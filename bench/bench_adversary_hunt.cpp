@@ -1,0 +1,65 @@
+// E19 — hunting the open question: does the unrelated model really need
+// (2+eps) speed?
+//
+// The conclusion leaves open whether (1+eps) suffices for unrelated
+// machines. This harness runs local-search over small instances to
+// maximize ALG / OPT-estimate at three speed profiles. Rising best-found
+// ratios under the (1+eps) profile but not the 2(1+eps) one would be
+// evidence the factor 2 is real; flat curves everywhere are evidence it is
+// an analysis artifact. Ratios here divide by an offline-search *upper*
+// bound on OPT, so they understate the truth — conservative by design.
+#include <iostream>
+
+#include "treesched/lp/adversary_search.hpp"
+#include "treesched/treesched.hpp"
+
+using namespace treesched;
+
+int main(int argc, char** argv) {
+  util::Cli cli("bench_adversary_hunt",
+                "Adversarial instance search for the (2+eps) question.");
+  auto& iterations = cli.add_int("iterations", 250, "mutation steps");
+  auto& jobs = cli.add_int("jobs", 8, "jobs per instance");
+  auto& reps = cli.add_int("reps", 2, "independent hunts per cell");
+  auto& eps = cli.add_double("eps", 0.5, "epsilon");
+  cli.parse(argc, argv);
+
+  std::cout <<
+      "E19 — adversarial hunt (conclusion's open question)\n"
+      "best-found ALG/OPT-UB per speed profile; conservative ratios.\n\n";
+
+  const Tree tree = builders::star_of_paths(2, 2);
+  util::Table table({"profile", "model", "hunt", "best ratio", "evals"});
+
+  struct Cell {
+    const char* name;
+    SpeedProfile speeds;
+    bool unrelated;
+  };
+  const std::vector<Cell> cells = {
+      {"(1+eps) unrelated", SpeedProfile::paper_identical(tree, eps), true},
+      {"2(1+eps) unrelated", SpeedProfile::paper_unrelated(tree, eps), true},
+      {"(1+eps) identical", SpeedProfile::paper_identical(tree, eps), false},
+  };
+
+  for (const auto& cell : cells) {
+    for (int rep = 0; rep < reps; ++rep) {
+      lp::AdversaryOptions opt;
+      opt.jobs = static_cast<int>(jobs);
+      opt.iterations = static_cast<int>(iterations);
+      opt.unrelated = cell.unrelated;
+      opt.seed = rep * 101 + 13;
+      const auto found =
+          lp::search_adversarial_instance(tree, cell.speeds, eps, opt);
+      table.add(cell.name, cell.unrelated ? "unrelated" : "identical", rep,
+                found.best_ratio, found.evaluations);
+    }
+  }
+  std::cout << table.str()
+            << "\n(ratios can sit below 1: the algorithm has extra speed "
+               "while OPT runs at speed 1. Watch the *relative* height of "
+               "the (1+eps)-unrelated row: if a true (2-delta) lower bound "
+               "exists, sustained search should push that row up while the "
+               "others stay put.)\n";
+  return 0;
+}

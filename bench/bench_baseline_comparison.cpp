@@ -1,0 +1,68 @@
+// E9 — why a congestion-aware rule is needed: the paper's greedy against
+// the naive policies its introduction implicitly argues against, across a
+// load sweep in both endpoint models.
+//
+// Expected shape: at low load everything is fine; as load grows the paper's
+// rule (and the load-aware baselines) separate decisively from the
+// load-oblivious ones (closest/round-robin/random), and on unrelated
+// endpoints the leaf-blind rules collapse.
+#include <iostream>
+
+#include "treesched/treesched.hpp"
+
+using namespace treesched;
+
+int main(int argc, char** argv) {
+  util::Cli cli("bench_baseline_comparison",
+                "Policy comparison across load (identical + unrelated).");
+  auto& jobs = cli.add_int("jobs", 400, "jobs per cell");
+  auto& reps = cli.add_int("reps", 3, "seeds per cell");
+  auto& eps = cli.add_double("eps", 0.5, "epsilon for the paper rule");
+  auto& csv_path = cli.add_string("csv", "", "optional CSV output");
+  cli.parse(argc, argv);
+
+  const std::vector<std::string> policies{
+      "paper",       "broomstick-mirror", "least-volume", "least-count",
+      "two-choice",  "closest",           "round-robin",  "random"};
+  util::CsvWriter csv({"model", "load", "policy", "ratio"});
+
+  for (const bool unrelated : {false, true}) {
+    std::cout << "E9 — total flow / lower bound, "
+              << (unrelated ? "UNRELATED" : "IDENTICAL") << " machines\n\n";
+    std::vector<std::string> header{"load"};
+    for (const auto& p : policies) header.push_back(p);
+    util::Table table(header);
+
+    for (const double load : {0.4, 0.6, 0.8, 0.95}) {
+      std::vector<std::string> row{util::Table::num(load, 2)};
+      for (const auto& policy : policies) {
+        stats::Summary ratios;
+        for (int rep = 0; rep < reps; ++rep) {
+          util::Rng rng(rep * 11 + static_cast<std::uint64_t>(load * 100) +
+                        (unrelated ? 7 : 0));
+          const Tree tree = builders::fat_tree(2, 2, 2);
+          workload::WorkloadSpec spec;
+          spec.jobs = static_cast<int>(jobs);
+          spec.load = load;
+          spec.sizes.dist = workload::SizeDistribution::kBoundedPareto;
+          if (unrelated) {
+            spec.endpoints = EndpointModel::kUnrelated;
+            spec.unrelated.model = workload::UnrelatedModel::kAffinity;
+          }
+          const Instance inst = workload::generate(rng, tree, spec);
+          const auto r = experiments::measure_ratio(
+              inst, SpeedProfile::uniform(inst.tree(), 1.0 + eps), policy,
+              eps, rep + 1);
+          ratios.add(r.ratio);
+          csv.add(unrelated ? "unrelated" : "identical", load, policy,
+                  r.ratio);
+        }
+        row.push_back(util::Table::num(ratios.mean()));
+      }
+      table.add_row(row);
+    }
+    std::cout << table.str() << '\n';
+  }
+  if (!csv_path.empty()) csv.write_file(csv_path);
+  return 0;
+}

@@ -1,0 +1,90 @@
+// E13 — simulator throughput (google-benchmark): jobs/second of full
+// simulation across instance sizes, tree shapes, and engine features, to
+// document that the substrate comfortably handles the experiment scales.
+#include <benchmark/benchmark.h>
+
+#include "treesched/treesched.hpp"
+
+using namespace treesched;
+
+namespace {
+
+Instance make_instance(int jobs, int arity, int depth, double chunk_hint) {
+  (void)chunk_hint;
+  util::Rng rng(42);
+  const Tree tree = builders::fat_tree(arity, depth, 2);
+  workload::WorkloadSpec spec;
+  spec.jobs = jobs;
+  spec.load = 0.8;
+  spec.sizes.dist = workload::SizeDistribution::kBoundedPareto;
+  return workload::generate(rng, tree, spec);
+}
+
+void BM_RunPaperPolicy(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  const Instance inst = make_instance(jobs, 2, 2, 0.0);
+  const SpeedProfile speeds = SpeedProfile::uniform(inst.tree(), 1.5);
+  for (auto _ : state) {
+    algo::PaperGreedyPolicy policy(0.5);
+    sim::Engine engine(inst, speeds);
+    engine.run(policy);
+    benchmark::DoNotOptimize(engine.metrics().total_flow_time());
+  }
+  state.SetItemsProcessed(state.iterations() * jobs);
+}
+BENCHMARK(BM_RunPaperPolicy)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_RunOnWideTree(benchmark::State& state) {
+  const int arity = static_cast<int>(state.range(0));
+  const Instance inst = make_instance(2000, arity, 2, 0.0);
+  const SpeedProfile speeds = SpeedProfile::uniform(inst.tree(), 1.5);
+  for (auto _ : state) {
+    algo::PaperGreedyPolicy policy(0.5);
+    sim::Engine engine(inst, speeds);
+    engine.run(policy);
+    benchmark::DoNotOptimize(engine.metrics().total_flow_time());
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_RunOnWideTree)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_PipelinedRouting(benchmark::State& state) {
+  const Instance inst = make_instance(2000, 2, 2, 0.5);
+  const SpeedProfile speeds = SpeedProfile::uniform(inst.tree(), 1.5);
+  sim::EngineConfig cfg;
+  cfg.router_chunk_size = 1.0 / static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    algo::PaperGreedyPolicy policy(0.5);
+    sim::Engine engine(inst, speeds, cfg);
+    engine.run(policy);
+    benchmark::DoNotOptimize(engine.metrics().total_flow_time());
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_PipelinedRouting)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_MirrorPolicyOverhead(benchmark::State& state) {
+  const Instance inst = make_instance(2000, 2, 2, 0.0);
+  const SpeedProfile speeds = SpeedProfile::paper_identical(inst.tree(), 0.5);
+  for (auto _ : state) {
+    algo::BroomstickMirrorPolicy mirror(inst, 0.5);
+    sim::Engine engine(inst, speeds);
+    engine.run(mirror);
+    benchmark::DoNotOptimize(engine.metrics().total_flow_time());
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_MirrorPolicyOverhead);
+
+void BM_SrptLowerBound(benchmark::State& state) {
+  const Instance inst = make_instance(static_cast<int>(state.range(0)), 2, 2,
+                                      0.0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(lp::combined_lower_bound(inst));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SrptLowerBound)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// E17 — how tight are the competitive-ratio denominators?
+//
+// Every ratio in E1/E2/E9-E11 divides by a certified lower bound. Here we
+// bracket the true optimum: lower bound <= OPT <= best offline schedule
+// found by local search. The bracket width (search / LB) is the maximum
+// factor by which the reported ratios could overstate the truth.
+#include <iostream>
+
+#include "treesched/lp/opt_search.hpp"
+#include "treesched/treesched.hpp"
+
+using namespace treesched;
+
+int main(int argc, char** argv) {
+  util::Cli cli("bench_lb_tightness",
+                "Bracket OPT between the certified LB and offline search.");
+  auto& jobs = cli.add_int("jobs", 120, "jobs per cell");
+  auto& reps = cli.add_int("reps", 3, "seeds per cell");
+  auto& csv_path = cli.add_string("csv", "", "optional CSV output");
+  cli.parse(argc, argv);
+
+  std::cout <<
+      "E17 — OPT bracketing: LB <= OPT <= offline local search\n"
+      "gap = search / LB bounds how much the E1/E2/E9-E11 ratios could\n"
+      "overstate the true competitive ratio.\n\n";
+
+  util::Table table({"tree", "load", "LB", "search UB", "gap",
+                     "online ALG", "ALG in bracket"});
+  util::CsvWriter csv({"tree", "load", "rep", "lb", "ub", "gap"});
+
+  const std::vector<std::pair<std::string, Tree>> trees = {
+      {"star-2x2", builders::star_of_paths(2, 2)},
+      {"fat-2x1x2", builders::fat_tree(2, 1, 2)},
+      {"figure1", builders::figure1_tree()},
+  };
+
+  for (const auto& [name, tree] : trees) {
+    for (const double load : {0.6, 0.9}) {
+      stats::Summary lbs, ubs, gaps, algs;
+      for (int rep = 0; rep < reps; ++rep) {
+        util::Rng rng(rep * 19 + 3);
+        workload::WorkloadSpec spec;
+        spec.jobs = static_cast<int>(jobs);
+        spec.load = load;
+        spec.sizes.dist = workload::SizeDistribution::kBoundedPareto;
+        const Instance inst = workload::generate(rng, tree, spec);
+        const SpeedProfile speed1 = SpeedProfile::uniform(inst.tree(), 1.0);
+
+        const double lb = lp::combined_lower_bound(inst);
+        lp::OptSearchOptions opt;
+        opt.restarts = 3;
+        opt.max_passes = 4;
+        opt.seed = rep + 1;
+        const auto search = lp::search_opt_upper_bound(inst, speed1, opt);
+        const auto online =
+            algo::run_named_policy(inst, speed1, "paper", 0.5);
+
+        lbs.add(lb);
+        ubs.add(search.best_flow);
+        gaps.add(search.best_flow / lb);
+        algs.add(online.total_flow);
+        csv.add(name, load, rep, lb, search.best_flow,
+                search.best_flow / lb);
+      }
+      table.add(name, load, lbs.mean(), ubs.mean(), gaps.mean(), algs.mean(),
+                ubs.mean() <= algs.mean() + 1e-9 ? "yes" : "ALG above UB");
+    }
+  }
+  std::cout << table.str()
+            << "\n(gap ~2x means the reported competitive ratios are at most "
+               "~2x pessimistic)\n";
+  if (!csv_path.empty()) csv.write_file(csv_path);
+  return 0;
+}

@@ -1,0 +1,86 @@
+// E1 — Theorem 1: identical routers + identical machines.
+//
+// The paper proves a (1+eps)-speed O(1/eps^7)-competitive algorithm. This
+// experiment sweeps eps, runs the paper's algorithm with its speed profile
+// ((1+eps) on root children, (1+eps)^2 elsewhere), and reports the ratio of
+// its total flow time to the certified lower bound on the speed-1
+// adversary's optimum. Expected shape: the ratio stays bounded for every
+// eps and grows as eps shrinks — never exploding with instance size.
+#include <iostream>
+
+#include "treesched/treesched.hpp"
+
+using namespace treesched;
+
+int main(int argc, char** argv) {
+  util::Cli cli("bench_theorem1_identical",
+                "Competitive-ratio sweep over eps (identical endpoints).");
+  auto& jobs = cli.add_int("jobs", 400, "jobs per repetition");
+  auto& reps = cli.add_int("reps", 5, "repetitions per eps");
+  auto& load = cli.add_double("load", 0.85, "root-cut utilization");
+  auto& seed = cli.add_int("seed", 1, "base seed");
+  auto& csv_path = cli.add_string("csv", "", "optional CSV output");
+  cli.parse(argc, argv);
+
+  std::cout <<
+      "E1 / Theorem 1 — (1+eps)-speed competitiveness, identical endpoints\n"
+      "ratio = ALG total flow / certified lower bound (speed-1 adversary).\n"
+      "Expected shape: bounded for all eps; grows as eps decreases.\n\n";
+
+  util::Table table({"eps", "speed profile", "ratio mean", "ratio min",
+                     "ratio max", "mean flow"});
+  util::CsvWriter csv({"eps", "rep", "ratio", "alg_flow", "lower_bound"});
+
+  for (const double eps : experiments::epsilon_sweep()) {
+    stats::Summary ratios;
+    stats::Summary flows;
+    for (int rep = 0; rep < reps; ++rep) {
+      util::Rng rng(static_cast<std::uint64_t>(seed) * 1000 + rep * 17 +
+                    static_cast<std::uint64_t>(eps * 1000));
+      const Tree tree = builders::fat_tree(2, 2, 2);
+      workload::WorkloadSpec spec;
+      spec.jobs = static_cast<int>(jobs);
+      spec.load = load;
+      spec.sizes.dist = workload::SizeDistribution::kBoundedPareto;
+      spec.sizes.class_eps = eps;
+      const Instance inst = workload::generate(rng, tree, spec);
+      const auto r = experiments::measure_ratio(
+          inst, SpeedProfile::paper_identical(inst.tree(), eps), "paper",
+          eps);
+      ratios.add(r.ratio);
+      flows.add(r.mean_flow);
+      csv.add(eps, rep, r.ratio, r.alg_flow, r.lower_bound);
+    }
+    std::ostringstream profile;
+    profile << (1.0 + eps) << " / " << (1.0 + eps) * (1.0 + eps);
+    table.add(eps, profile.str(), ratios.mean(), ratios.min(), ratios.max(),
+              flows.mean());
+  }
+  std::cout << table.str();
+
+  // Scale sweep: a competitive guarantee is instance-size independent, so
+  // the ratio must stay flat as n grows (only its variance shrinks).
+  std::cout << "\ninstance-size independence (eps = 0.5):\n\n";
+  util::Table scale_table({"jobs", "ratio mean", "ratio max"});
+  for (const int n : {125, 500, 2000, 8000}) {
+    stats::Summary ratios;
+    for (int rep = 0; rep < reps; ++rep) {
+      util::Rng rng(static_cast<std::uint64_t>(seed) * 31 + rep + n);
+      const Tree tree = builders::fat_tree(2, 2, 2);
+      workload::WorkloadSpec spec;
+      spec.jobs = n;
+      spec.load = load;
+      spec.sizes.dist = workload::SizeDistribution::kBoundedPareto;
+      spec.sizes.class_eps = 0.5;
+      const Instance inst = workload::generate(rng, tree, spec);
+      const auto r = experiments::measure_ratio(
+          inst, SpeedProfile::paper_identical(inst.tree(), 0.5), "paper",
+          0.5);
+      ratios.add(r.ratio);
+    }
+    scale_table.add(n, ratios.mean(), ratios.max());
+  }
+  std::cout << scale_table.str();
+  if (!csv_path.empty()) csv.write_file(csv_path);
+  return 0;
+}

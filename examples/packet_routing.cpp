@@ -1,0 +1,88 @@
+// Packet-routing scenario (Section 2's second interpretation): packets of
+// data originate at a collection site (the root) and must be forwarded hop
+// by hop to processing machines. Store-and-forward of whole packets is the
+// paper's model; the pipelined mode chunks packets on the wire (the
+// extension the paper defers to its full version). Also contrasts SJF with
+// FIFO routers — real routers rarely reorder, and the flow-time price of
+// that is visible here.
+//
+//   ./packet_routing [--jobs N] [--hops H] [--branches B] [--load RHO]
+//                    [--chunk C] [--seed S]
+#include <iostream>
+
+#include "treesched/treesched.hpp"
+
+using namespace treesched;
+
+namespace {
+
+struct RunRow {
+  std::string label;
+  algo::RunResult result;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli("packet_routing",
+                "Packet forwarding on a deep tree: node disciplines and "
+                "pipelined chunking.");
+  auto& jobs = cli.add_int("jobs", 400, "number of packets");
+  auto& hops = cli.add_int("hops", 6, "router hops per branch");
+  auto& branches = cli.add_int("branches", 3, "branches from the source");
+  auto& load = cli.add_double("load", 0.65, "source-link utilization");
+  auto& chunk = cli.add_double("chunk", 0.5, "pipelined chunk size");
+  auto& seed = cli.add_int("seed", 21, "workload seed");
+  cli.parse(argc, argv);
+
+  const Tree tree = builders::star_of_paths(static_cast<int>(branches),
+                                            static_cast<int>(hops));
+  util::Rng rng(static_cast<std::uint64_t>(seed));
+  workload::WorkloadSpec spec;
+  spec.jobs = static_cast<int>(jobs);
+  spec.load = load;
+  // Packet sizes: a few MTU classes.
+  spec.sizes.dist = workload::SizeDistribution::kBimodal;
+  spec.sizes.scale = 1.0;
+  spec.sizes.spread = 4.0;
+  spec.sizes.mix = 0.3;
+  const Instance inst = workload::generate(rng, tree, spec);
+
+  const SpeedProfile speeds = SpeedProfile::uniform(tree, 1.25);
+  const double eps = 0.5;
+
+  std::vector<RunRow> rows;
+  auto run_cfg = [&](const std::string& label, sim::NodePolicy np,
+                     double chunk_size) {
+    sim::EngineConfig cfg;
+    cfg.node_policy = np;
+    cfg.router_chunk_size = chunk_size;
+    rows.push_back(
+        {label, algo::run_named_policy(inst, speeds, "paper", eps, 1, cfg)});
+  };
+
+  run_cfg("SJF store-and-forward", sim::NodePolicy::kSjf, 0.0);
+  run_cfg("SJF pipelined", sim::NodePolicy::kSjf, chunk);
+  run_cfg("FIFO store-and-forward", sim::NodePolicy::kFifo, 0.0);
+  run_cfg("FIFO pipelined", sim::NodePolicy::kFifo, chunk);
+  run_cfg("SRPT store-and-forward", sim::NodePolicy::kSrpt, 0.0);
+
+  util::Table table(
+      {"router discipline", "total flow", "mean flow", "max flow",
+       "makespan"});
+  for (const auto& row : rows)
+    table.add(row.label, row.result.total_flow, row.result.mean_flow,
+              row.result.max_flow, row.result.makespan);
+  std::cout << "packets over " << hops << " hops x " << branches
+            << " branches (load " << load << ")\n\n"
+            << table.str() << '\n';
+
+  const double sf = rows[0].result.total_flow;
+  const double piped = rows[1].result.total_flow;
+  std::cout << "pipelining gain (SJF): " << (sf - piped) / sf * 100.0
+            << "% less total flow — deep paths amortize per-hop latency, "
+               "matching the paper's remark that congestion at interior "
+               "routers is 'effectively negated' once jobs split into "
+               "packets.\n";
+  return 0;
+}

@@ -1,0 +1,106 @@
+#include "treesched/algo/broomstick.hpp"
+
+#include <algorithm>
+
+#include "treesched/core/tree_builders.hpp"
+#include "treesched/util/assert.hpp"
+
+namespace treesched::algo {
+
+bool is_broomstick(const Tree& tree) {
+  for (NodeId v = 0; v < tree.node_count(); ++v) {
+    if (tree.is_root(v) || tree.is_leaf(v)) continue;
+    int router_children = 0;
+    int machine_children = 0;
+    for (const NodeId c : tree.children(v)) {
+      if (tree.is_leaf(c)) ++machine_children;
+      else ++router_children;
+    }
+    if (router_children > 1) return false;
+    const bool root_child = tree.parent(v) == tree.root();
+    if (root_child && (router_children != 1 || machine_children != 0))
+      return false;
+  }
+  return true;
+}
+
+BroomstickReduction BroomstickReduction::reduce(const Tree& original) {
+  BroomstickReduction red;
+  red.original_ = std::make_shared<const Tree>(original);
+
+  TreeAssembler a;
+  const NodeId root = a.add_root();
+  std::vector<std::pair<NodeId, NodeId>> leaf_pairs;  // (original, broom)
+
+  for (const NodeId v0 : original.root_children()) {
+    // Deepest leaf distance below v0 (v0 itself may be a machine only if the
+    // tree is degenerate; the model forbids machines adjacent to the root,
+    // so v0 is always a router here).
+    const std::vector<NodeId> leaves = original.leaves_under(v0);
+    TS_CHECK(!leaves.empty(), "root child with no machines below");
+    int max_dist = 0;
+    for (const NodeId leaf : leaves)
+      max_dist = std::max(max_dist, original.depth(leaf) - 1);
+    // Spine s_0 .. s_{L+1}; s_0 plays the role of v0.
+    std::vector<NodeId> spine;
+    NodeId cur = a.add_router(root);
+    spine.push_back(cur);
+    for (int i = 1; i <= max_dist + 1; ++i) {
+      cur = a.add_router(cur);
+      spine.push_back(cur);
+    }
+    // A leaf at edge-distance l' below v0 hangs below s_{l'+1}.
+    for (const NodeId leaf : leaves) {
+      const int dist = original.depth(leaf) - 1;
+      const NodeId broom_leaf = a.add_machine(spine[dist + 1]);
+      leaf_pairs.emplace_back(leaf, broom_leaf);
+    }
+  }
+
+  red.broomstick_ = std::make_shared<const Tree>(std::move(a).finish());
+
+  const Tree& bs = *red.broomstick_;
+  red.to_original_.assign(bs.leaves().size(), kInvalidNode);
+  red.from_original_.assign(original.leaves().size(), kInvalidNode);
+  for (const auto& [orig, broom] : leaf_pairs) {
+    red.to_original_[bs.leaf_index(broom)] = orig;
+    red.from_original_[original.leaf_index(orig)] = broom;
+  }
+  for (const NodeId v : red.to_original_)
+    TS_CHECK(v != kInvalidNode, "broomstick leaf with no preimage");
+  for (const NodeId v : red.from_original_)
+    TS_CHECK(v != kInvalidNode, "original leaf with no image");
+  return red;
+}
+
+NodeId BroomstickReduction::to_original(NodeId broomstick_leaf) const {
+  return to_original_[broomstick_->leaf_index(broomstick_leaf)];
+}
+
+NodeId BroomstickReduction::from_original(NodeId original_leaf) const {
+  return from_original_[original_->leaf_index(original_leaf)];
+}
+
+Instance BroomstickReduction::transform(const Instance& instance) const {
+  TS_REQUIRE(instance.tree().node_count() == original_->node_count(),
+             "instance does not live on the reduced tree");
+  std::vector<Job> jobs = instance.jobs();
+  if (instance.model() == EndpointModel::kUnrelated) {
+    const std::size_t n_leaves = broomstick_->leaves().size();
+    for (Job& j : jobs) {
+      std::vector<double> remapped(n_leaves, 0.0);
+      for (std::size_t bi = 0; bi < n_leaves; ++bi) {
+        const NodeId orig_leaf = to_original_[bi];
+        remapped[bi] = j.leaf_sizes[original_->leaf_index(orig_leaf)];
+      }
+      j.leaf_sizes = std::move(remapped);
+    }
+  }
+  return Instance(broomstick_, std::move(jobs), instance.model());
+}
+
+SpeedProfile BroomstickReduction::theorem4_speeds(double eps) const {
+  return SpeedProfile::paper_identical(*broomstick_, eps);
+}
+
+}  // namespace treesched::algo

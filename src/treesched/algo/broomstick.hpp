@@ -1,0 +1,57 @@
+// The broomstick reduction of Section 3.3.
+//
+// For each root child v0 of T the broomstick T' has a spine of identical
+// routers s_0 .. s_{L+1} (L = deepest leaf distance below v0); a leaf of T
+// at edge-distance l' below v0 hangs below spine node s_{l'+1}, so every
+// leaf's root-child distance grows by exactly 2. Jobs keep their processing
+// times (leaf times follow the leaf mapping in the unrelated model).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "treesched/core/instance.hpp"
+#include "treesched/core/speed_profile.hpp"
+
+namespace treesched::algo {
+
+/// True iff the tree is a broomstick: every root child is a router with
+/// exactly one (router) child, every router has at most one router child,
+/// and no machine hangs directly below a root child (Section 3.3's image —
+/// the dual fitting's Lemma 6 relies on root children having one child).
+bool is_broomstick(const Tree& tree);
+
+/// The reduction result: the broomstick topology plus the leaf bijection.
+class BroomstickReduction {
+ public:
+  /// Builds T' from T (Section 3.3 construction).
+  static BroomstickReduction reduce(const Tree& original);
+
+  const Tree& broomstick() const { return *broomstick_; }
+  std::shared_ptr<const Tree> broomstick_ptr() const { return broomstick_; }
+
+  /// Original leaf corresponding to a broomstick leaf.
+  NodeId to_original(NodeId broomstick_leaf) const;
+
+  /// Broomstick leaf corresponding to an original leaf.
+  NodeId from_original(NodeId original_leaf) const;
+
+  /// Transforms an instance on T into the same job sequence on T'
+  /// (unrelated leaf sizes re-indexed along the bijection).
+  Instance transform(const Instance& instance) const;
+
+  /// The paper's Theorem 4 speed profile on T': (1+eps) on root children,
+  /// (1+eps)^2 elsewhere — identical to SpeedProfile::paper_identical but
+  /// spelled here for discoverability next to the reduction.
+  SpeedProfile theorem4_speeds(double eps) const;
+
+ private:
+  BroomstickReduction() = default;
+
+  std::shared_ptr<const Tree> original_;
+  std::shared_ptr<const Tree> broomstick_;
+  std::vector<NodeId> to_original_;    ///< by broomstick leaf_index
+  std::vector<NodeId> from_original_;  ///< by original leaf_index
+};
+
+}  // namespace treesched::algo

@@ -1,0 +1,36 @@
+#include "treesched/algo/general_tree.hpp"
+
+#include "treesched/algo/policies.hpp"
+#include "treesched/util/assert.hpp"
+
+namespace treesched::algo {
+
+BroomstickMirrorPolicy::BroomstickMirrorPolicy(const Instance& instance,
+                                               double eps)
+    : reduction_(BroomstickReduction::reduce(instance.tree())) {
+  bs_instance_ = std::make_unique<Instance>(reduction_.transform(instance));
+  const SpeedProfile speeds =
+      instance.model() == EndpointModel::kIdentical
+          ? SpeedProfile::paper_identical(reduction_.broomstick(), eps)
+          : SpeedProfile::paper_unrelated(reduction_.broomstick(), eps);
+  bs_engine_ = std::make_unique<sim::Engine>(*bs_instance_, speeds);
+  greedy_ = std::make_unique<PaperGreedyPolicy>(eps);
+}
+
+BroomstickMirrorPolicy::~BroomstickMirrorPolicy() = default;
+
+NodeId BroomstickMirrorPolicy::assign(const sim::Engine& engine,
+                                      const Job& job) {
+  TS_REQUIRE(&engine.instance() != bs_instance_.get(),
+             "mirror policy must drive the original tree, not the broomstick");
+  bs_engine_->advance_to(job.release);
+  // Use the broomstick image of the job (leaf sizes re-indexed).
+  const Job& bs_job = bs_instance_->job(job.id);
+  const NodeId bs_leaf = greedy_->assign(*bs_engine_, bs_job);
+  bs_engine_->admit(job.id, bs_leaf);
+  return reduction_.to_original(bs_leaf);
+}
+
+void BroomstickMirrorPolicy::finish_simulation() { bs_engine_->run_to_completion(); }
+
+}  // namespace treesched::algo

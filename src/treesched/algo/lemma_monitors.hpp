@@ -1,0 +1,65 @@
+// Runtime monitors that measure the quantities bounded by the paper's
+// structural lemmas, so experiments can report observed-vs-proved ratios.
+#pragma once
+
+#include <vector>
+
+#include "treesched/sim/engine.hpp"
+
+namespace treesched::algo {
+
+/// Lemma 2 monitor: at (sampled) engine events, for every identical node v
+/// not adjacent to the root and every job j still needing v, measures
+///
+///   sum_{i in S_{v,j} available on v} p^A_{i,v}(t)   vs   (2/eps) p_j
+///
+/// and keeps the worst observed ratio. The lemma's premises require
+/// class-rounded sizes and speed >= 1+eps on non-root-adjacent nodes; runs
+/// violating them may legitimately exceed 1.
+class Lemma2Monitor : public sim::EngineObserver {
+ public:
+  /// check_every: evaluate at every k-th event (1 = all; the check is
+  /// O(nodes * queue^2) per event).
+  explicit Lemma2Monitor(double eps, int check_every = 1);
+
+  void on_event(const sim::Engine& engine, Time t) override;
+
+  double max_ratio() const { return max_ratio_; }
+  long checks() const { return checks_; }
+  long violations() const { return violations_; }
+
+ private:
+  double eps_;
+  int check_every_;
+  long event_count_ = 0;
+  long checks_ = 0;
+  long violations_ = 0;
+  double max_ratio_ = 0.0;
+};
+
+/// Lemma 1 report, computed after a finished run: for every job, the time
+/// between leaving R(v) (completion on the first path node) and completing
+/// the last identical node, against the proved (6/eps^2) p_j d_{v_e} bound.
+struct InteriorWaitReport {
+  double max_ratio = 0.0;   ///< worst observed wait / bound
+  double mean_ratio = 0.0;
+  long jobs_measured = 0;
+  long violations = 0;      ///< jobs with ratio > 1
+};
+
+InteriorWaitReport interior_wait_report(const sim::Engine& engine,
+                                        double eps);
+
+/// Lemma 8 comparison after a BroomstickMirrorPolicy run: per-job flow time
+/// on T versus on the simulated broomstick T'.
+struct DominationReport {
+  long jobs = 0;
+  long violations = 0;      ///< jobs slower on T than on T'
+  double max_excess = 0.0;  ///< worst flow_T - flow_T' (positive = violation)
+  double mean_speedup = 0.0;///< average flow_T' / flow_T
+};
+
+DominationReport domination_report(const sim::Metrics& on_tree,
+                                   const sim::Metrics& on_broomstick);
+
+}  // namespace treesched::algo

@@ -1,0 +1,185 @@
+#include "treesched/algo/policies.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "treesched/algo/general_tree.hpp"
+#include "treesched/util/assert.hpp"
+
+namespace treesched::algo {
+
+// ---------------------------------------------------------------------------
+// PaperGreedyPolicy
+// ---------------------------------------------------------------------------
+
+PaperGreedyPolicy::PaperGreedyPolicy(double eps)
+    : PaperGreedyPolicy(eps, 6.0 / (eps * eps)) {}
+
+PaperGreedyPolicy::PaperGreedyPolicy(double eps, double depth_penalty_coeff,
+                                     TieBreak tie_break)
+    : eps_(eps), penalty_(depth_penalty_coeff), tie_break_(tie_break) {
+  TS_REQUIRE(eps > 0.0, "eps must be positive");
+  TS_REQUIRE(depth_penalty_coeff >= 0.0, "penalty must be non-negative");
+}
+
+double PaperGreedyPolicy::F(const sim::Engine& engine, const Job& job,
+                            NodeId leaf) {
+  const Tree& tree = engine.tree();
+  const NodeId rc = tree.root_child_of(leaf);
+  // S_{R(v),j} includes the arriving job itself (full size), the queued
+  // higher-priority volume, and one p_j per queued strictly-larger job.
+  return engine.higher_priority_remaining(rc, job.size, job.release, job.id) +
+         job.size +
+         job.size * engine.count_larger(rc, job.size);
+}
+
+double PaperGreedyPolicy::F_prime(const sim::Engine& engine, const Job& job,
+                                  NodeId leaf) {
+  if (engine.instance().model() == EndpointModel::kIdentical) return 0.0;
+  const double p_jv = engine.size_on(job.id, leaf);
+  return engine.higher_priority_remaining(leaf, p_jv, job.release, job.id) +
+         p_jv +
+         p_jv * engine.larger_residual_fraction(leaf, p_jv);
+}
+
+double PaperGreedyPolicy::assignment_cost(const sim::Engine& engine,
+                                          const Job& job, NodeId leaf) const {
+  const Tree& tree = engine.tree();
+  const double depth_penalty = penalty_ * tree.d(leaf) * job.size;
+  return F(engine, job, leaf) + F_prime(engine, job, leaf) + depth_penalty;
+}
+
+NodeId PaperGreedyPolicy::assign(const sim::Engine& engine, const Job& job) {
+  double best = std::numeric_limits<double>::infinity();
+  NodeId best_leaf = kInvalidNode;
+  std::vector<NodeId> tied;
+  for (const NodeId v : engine.tree().leaves()) {
+    const double cost = assignment_cost(engine, job, v);
+    const double tol =
+        best_leaf == kInvalidNode ? 0.0 : 1e-9 * std::max(1.0, std::fabs(best));
+    if (best_leaf == kInvalidNode || cost < best - tol) {
+      best = cost;
+      best_leaf = v;
+      tied.clear();
+      tied.push_back(v);
+    } else if (tie_break_ == TieBreak::kRotate && cost <= best + tol) {
+      tied.push_back(v);
+    }
+  }
+  TS_CHECK(best_leaf != kInvalidNode, "no leaf to assign to");
+  if (tie_break_ == TieBreak::kRotate && tied.size() > 1)
+    return tied[rotation_++ % tied.size()];
+  return best_leaf;
+}
+
+// ---------------------------------------------------------------------------
+// Baselines
+// ---------------------------------------------------------------------------
+
+NodeId ClosestLeafPolicy::assign(const sim::Engine& engine, const Job& job) {
+  double best = std::numeric_limits<double>::infinity();
+  NodeId best_leaf = kInvalidNode;
+  for (const NodeId v : engine.tree().leaves()) {
+    const double cost = engine.instance().path_processing_time(job.id, v);
+    if (cost < best) {
+      best = cost;
+      best_leaf = v;
+    }
+  }
+  return best_leaf;
+}
+
+RandomLeafPolicy::RandomLeafPolicy(std::uint64_t seed) : rng_(seed) {}
+
+NodeId RandomLeafPolicy::assign(const sim::Engine& engine, const Job&) {
+  const auto& leaves = engine.tree().leaves();
+  return leaves[static_cast<std::size_t>(rng_.uniform_int(
+      0, static_cast<std::int64_t>(leaves.size()) - 1))];
+}
+
+NodeId RoundRobinPolicy::assign(const sim::Engine& engine, const Job&) {
+  const auto& leaves = engine.tree().leaves();
+  const NodeId v = leaves[next_ % leaves.size()];
+  ++next_;
+  return v;
+}
+
+NodeId LeastVolumePolicy::assign(const sim::Engine& engine, const Job& job) {
+  double best = std::numeric_limits<double>::infinity();
+  NodeId best_leaf = kInvalidNode;
+  for (const NodeId v : engine.tree().leaves()) {
+    const NodeId rc = engine.tree().root_child_of(v);
+    double vol = engine.instance().path_processing_time(job.id, v);
+    for (const JobId i : engine.queue_at(rc)) vol += engine.remaining_on(i, rc);
+    for (const JobId i : engine.queue_at(v)) vol += engine.remaining_on(i, v);
+    if (vol < best) {
+      best = vol;
+      best_leaf = v;
+    }
+  }
+  return best_leaf;
+}
+
+NodeId LeastCountPolicy::assign(const sim::Engine& engine, const Job&) {
+  std::size_t best = std::numeric_limits<std::size_t>::max();
+  int best_depth = std::numeric_limits<int>::max();
+  NodeId best_leaf = kInvalidNode;
+  for (const NodeId v : engine.tree().leaves()) {
+    const NodeId rc = engine.tree().root_child_of(v);
+    const std::size_t count = engine.queue_size(rc) + engine.queue_size(v);
+    const int depth = engine.tree().d(v);
+    if (count < best || (count == best && depth < best_depth)) {
+      best = count;
+      best_depth = depth;
+      best_leaf = v;
+    }
+  }
+  return best_leaf;
+}
+
+TwoChoicePolicy::TwoChoicePolicy(std::uint64_t seed) : rng_(seed) {}
+
+double TwoChoicePolicy::volume_cost(const sim::Engine& engine, const Job& job,
+                                    NodeId leaf) const {
+  double vol = engine.instance().path_processing_time(job.id, leaf);
+  const NodeId rc = engine.tree().root_child_of(leaf);
+  for (const JobId i : engine.queue_at(rc)) vol += engine.remaining_on(i, rc);
+  for (const JobId i : engine.queue_at(leaf))
+    vol += engine.remaining_on(i, leaf);
+  return vol;
+}
+
+NodeId TwoChoicePolicy::assign(const sim::Engine& engine, const Job& job) {
+  const auto& leaves = engine.tree().leaves();
+  const auto pick = [&]() {
+    return leaves[static_cast<std::size_t>(rng_.uniform_int(
+        0, static_cast<std::int64_t>(leaves.size()) - 1))];
+  };
+  const NodeId a = pick();
+  const NodeId b = pick();
+  if (a == b) return a;
+  return volume_cost(engine, job, a) <= volume_cost(engine, job, b) ? a : b;
+}
+
+// ---------------------------------------------------------------------------
+// Factory
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<sim::AssignmentPolicy> make_policy(const std::string& name,
+                                                   const Instance& instance,
+                                                   double eps,
+                                                   std::uint64_t seed) {
+  if (name == "paper") return std::make_unique<PaperGreedyPolicy>(eps);
+  if (name == "closest") return std::make_unique<ClosestLeafPolicy>();
+  if (name == "random") return std::make_unique<RandomLeafPolicy>(seed);
+  if (name == "round-robin") return std::make_unique<RoundRobinPolicy>();
+  if (name == "least-volume") return std::make_unique<LeastVolumePolicy>();
+  if (name == "least-count") return std::make_unique<LeastCountPolicy>();
+  if (name == "two-choice") return std::make_unique<TwoChoicePolicy>(seed);
+  if (name == "broomstick-mirror")
+    return std::make_unique<BroomstickMirrorPolicy>(instance, eps);
+  throw std::invalid_argument("unknown policy: " + name);
+}
+
+}  // namespace treesched::algo

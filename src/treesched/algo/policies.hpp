@@ -1,0 +1,139 @@
+// Leaf-assignment policies: the paper's greedy rule (Section 3.4) and the
+// baseline heuristics it is compared against.
+//
+// All policies are immediate-dispatch and online: they see only the engine
+// state at the arriving job's release time.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "treesched/sim/engine.hpp"
+#include "treesched/util/rng.hpp"
+
+namespace treesched::algo {
+
+/// The paper's greedy assignment (Section 3.4). For identical endpoints it
+/// minimizes F(j,v) + (6/eps^2) d_v p_j; for unrelated endpoints it adds the
+/// leaf term F'(j,v). The endpoint model is taken from the engine's
+/// instance. `eps` is the epsilon of the speed-augmentation guarantee and
+/// controls the depth penalty 6/eps^2.
+class PaperGreedyPolicy : public sim::AssignmentPolicy {
+ public:
+  /// Tie handling among cost-equal leaves. The paper leaves it unspecified;
+  /// in the identical model every equal-depth leaf under the same root
+  /// child costs the same, so kFirst funnels all of them to one machine.
+  /// kRotate spreads ties round-robin — same guarantees (any argmin is
+  /// valid), better leaf-level parallelism in practice (E14 ablation).
+  enum class TieBreak { kFirst, kRotate };
+
+  explicit PaperGreedyPolicy(double eps);
+
+  /// Ablation constructor: overrides the 6/eps^2 depth-penalty coefficient
+  /// (the cost becomes F + F' + coeff * d_v * p_j). The paper's constant is
+  /// what the proofs need; the ablation experiment measures what practice
+  /// wants.
+  PaperGreedyPolicy(double eps, double depth_penalty_coeff,
+                    TieBreak tie_break = TieBreak::kFirst);
+  NodeId assign(const sim::Engine& engine, const Job& job) override;
+  const char* name() const override { return "paper-greedy"; }
+
+  /// Cost the rule minimizes — exposed for the dual-fitting beta_j values.
+  double assignment_cost(const sim::Engine& engine, const Job& job,
+                         NodeId leaf) const;
+
+  /// F(j,v): root-child congestion term (identical-router part). Depends on
+  /// v only through R(v).
+  static double F(const sim::Engine& engine, const Job& job, NodeId leaf);
+
+  /// F'(j,v): leaf congestion term of the unrelated rule; 0 in the
+  /// identical model.
+  static double F_prime(const sim::Engine& engine, const Job& job,
+                        NodeId leaf);
+
+  double eps() const { return eps_; }
+  double depth_penalty_coeff() const { return penalty_; }
+
+ private:
+  double eps_;
+  double penalty_;
+  TieBreak tie_break_;
+  std::size_t rotation_ = 0;
+};
+
+/// Assigns to the leaf minimizing the job's total path processing time
+/// P_{j,v} — the "closest leaf" rule the paper argues is insufficient.
+class ClosestLeafPolicy : public sim::AssignmentPolicy {
+ public:
+  NodeId assign(const sim::Engine& engine, const Job& job) override;
+  const char* name() const override { return "closest-leaf"; }
+};
+
+/// Uniformly random leaf.
+class RandomLeafPolicy : public sim::AssignmentPolicy {
+ public:
+  explicit RandomLeafPolicy(std::uint64_t seed);
+  NodeId assign(const sim::Engine& engine, const Job& job) override;
+  const char* name() const override { return "random"; }
+
+ private:
+  util::Rng rng_;
+};
+
+/// Cycles through the leaves in order, ignoring all state.
+class RoundRobinPolicy : public sim::AssignmentPolicy {
+ public:
+  NodeId assign(const sim::Engine& engine, const Job& job) override;
+  const char* name() const override { return "round-robin"; }
+
+ private:
+  std::size_t next_ = 0;
+};
+
+/// Assigns to the leaf minimizing pending volume along the bottleneck:
+/// remaining work queued at R(v) plus at the leaf plus the job's own path
+/// processing time. A strong load-aware heuristic, but congestion-blind to
+/// job size classes.
+class LeastVolumePolicy : public sim::AssignmentPolicy {
+ public:
+  NodeId assign(const sim::Engine& engine, const Job& job) override;
+  const char* name() const override { return "least-volume"; }
+};
+
+/// Assigns to the leaf minimizing the number of queued jobs at R(v) plus at
+/// the leaf (ties by shallower leaf).
+class LeastCountPolicy : public sim::AssignmentPolicy {
+ public:
+  NodeId assign(const sim::Engine& engine, const Job& job) override;
+  const char* name() const override { return "least-count"; }
+};
+
+/// The power-of-two-choices baseline from randomized load balancing:
+/// samples two machines uniformly and takes the one with less pending
+/// volume along its path (plus the job's own path cost). Near-optimal for
+/// flat machine pools; the tree experiments show how far that intuition
+/// carries under shared links.
+class TwoChoicePolicy : public sim::AssignmentPolicy {
+ public:
+  explicit TwoChoicePolicy(std::uint64_t seed);
+  NodeId assign(const sim::Engine& engine, const Job& job) override;
+  const char* name() const override { return "two-choice"; }
+
+ private:
+  double volume_cost(const sim::Engine& engine, const Job& job,
+                     NodeId leaf) const;
+  util::Rng rng_;
+};
+
+/// Creates a policy by name: "paper", "closest", "random", "round-robin",
+/// "least-volume", "least-count", "two-choice", "broomstick-mirror" (the
+/// Section 3.7 general-tree algorithm). Throws std::invalid_argument on
+/// unknown names.
+/// `instance` is needed by "broomstick-mirror" (it simulates the broomstick
+/// image of the instance); `eps` parameterizes the paper rules; `seed` the
+/// random one.
+std::unique_ptr<sim::AssignmentPolicy> make_policy(
+    const std::string& name, const Instance& instance, double eps,
+    std::uint64_t seed);
+
+}  // namespace treesched::algo

@@ -1,0 +1,55 @@
+#include "treesched/algo/potential.hpp"
+
+#include <algorithm>
+
+#include "treesched/algo/policies.hpp"
+#include "treesched/util/assert.hpp"
+
+namespace treesched::algo {
+
+double phi(const sim::Engine& engine, JobId j, double eps, double s) {
+  TS_REQUIRE(eps > 0.0 && s > 0.0, "phi parameters must be positive");
+  TS_REQUIRE(engine.admitted(j), "phi of an unadmitted job");
+  const Instance& inst = engine.instance();
+  const Tree& tree = engine.tree();
+  const NodeId leaf = engine.assigned_leaf(j);
+  const auto& path = tree.path_to(leaf);
+  const int len = static_cast<int>(path.size());
+  const int cur = engine.current_path_index(j);
+  if (cur >= len) return 0.0;  // job done
+
+  // P_j(t): remaining identical nodes — in the unrelated model the leaf is
+  // excluded; in the identical model it participates like a router.
+  const bool leaf_identical = inst.model() == EndpointModel::kIdentical;
+  const int last_idx = leaf_identical ? len - 1 : len - 2;
+  if (cur > last_idx) return 0.0;  // only the unrelated leaf remains
+
+  const double p_j = inst.job(j).size;
+  const Time r_j = inst.job(j).release;
+  // d_j(t): nodes j still needs processing on (within the identical prefix
+  // the lemma reasons about, the offsets cancel — use the full count).
+  double best = 0.0;
+  for (int idx = cur; idx <= last_idx; ++idx) {
+    const NodeId v = path[idx];
+    // sum over S_{v,j} (including j itself) of remaining work on v.
+    const double vol =
+        engine.higher_priority_remaining(v, engine.size_on(j, v), r_j, j) +
+        engine.remaining_on(j, v);
+    // (d_j - d_{v,j}) counts the nodes strictly below v that j still needs
+    // (the unrelated leaf included, per the paper's d_j definition).
+    const double below = static_cast<double>(len - 1 - idx);
+    const double term = vol + 2.0 / eps * below * p_j;
+    best = std::max(best, term);
+  }
+  return best / s;
+}
+
+double lemma4_bound(const sim::Engine& engine, const Job& job, NodeId leaf,
+                    double eps) {
+  TS_REQUIRE(eps > 0.0, "eps must be positive");
+  return PaperGreedyPolicy::F(engine, job, leaf) +
+         PaperGreedyPolicy::F_prime(engine, job, leaf) +
+         6.0 / (eps * eps) * engine.tree().d(leaf) * job.size;
+}
+
+}  // namespace treesched::algo

@@ -1,0 +1,27 @@
+// The potential function of Lemma 3 and the waiting-time bounds of
+// Lemmas 1/2/4, evaluated on live engine state.
+#pragma once
+
+#include "treesched/sim/engine.hpp"
+
+namespace treesched::algo {
+
+/// Phi_j(t) of Lemma 3: an upper bound on the remaining time until job j
+/// clears its remaining *identical* nodes, assuming no further arrivals.
+///
+///   Phi_j(t) = (1/s) max_{v in P_j(t)} [ sum_{i in S_{v,j}} p^A_{i,v}(t)
+///                                        + (2/eps)(d_j - d_{v,j}) p_j ]
+///
+/// `s` is the speed of the non-root-adjacent nodes (the lemma's premise).
+/// P_j(t) excludes the leaf in the unrelated model. Requires j admitted and
+/// not completed past its identical nodes.
+double phi(const sim::Engine& engine, JobId j, double eps, double s);
+
+/// The Lemma 4 waiting-time upper bound for job j if assigned to `leaf`,
+/// evaluated at the current time (the assignment-rule quantity *before*
+/// dividing by speeds; see the paper's Section 3.4 expressions). Used by
+/// tests that re-derive the greedy rule's predictions.
+double lemma4_bound(const sim::Engine& engine, const Job& job, NodeId leaf,
+                    double eps);
+
+}  // namespace treesched::algo

@@ -1,0 +1,139 @@
+#include "treesched/algo/psw_model.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <set>
+
+#include "treesched/util/assert.hpp"
+
+namespace treesched::algo {
+
+double psw_transit_time(const Instance& instance, const SpeedProfile& speeds,
+                        JobId j, NodeId leaf) {
+  const auto& path = instance.tree().path_to(leaf);
+  double transit = 0.0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i)
+    transit += instance.processing_time(j, path[i]) / speeds.speed(path[i]);
+  return transit;
+}
+
+namespace {
+
+/// One machine's SRPT queue, advanced lazily between global events.
+struct Machine {
+  // (remaining, release, id) — SRPT order with deterministic ties.
+  std::set<std::tuple<double, Time, JobId>> active;
+  Time last = 0.0;
+
+  void advance(Time t, double speed, std::vector<Time>& completion) {
+    double budget = (t - last) * speed;
+    last = t;
+    while (!active.empty()) {
+      auto it = active.begin();
+      auto [rem, rel, id] = *it;
+      // Treat float residues as done: a job within tolerance of its budget
+      // completes now, otherwise a stranded ~1e-13 remainder would pin
+      // next_completion() at the current instant forever.
+      if (rem > budget + 1e-9) {
+        if (budget > 0.0) {
+          active.erase(it);
+          active.emplace(rem - budget, rel, id);
+        }
+        break;
+      }
+      active.erase(it);
+      budget = std::max(0.0, budget - rem);
+      completion[id] = t - budget / speed;
+    }
+  }
+
+  /// Time the machine finishes its current top job if nothing changes.
+  Time next_completion(Time now, double speed) const {
+    if (active.empty()) return std::numeric_limits<double>::infinity();
+    return now + std::get<0>(*active.begin()) / speed;
+  }
+};
+
+}  // namespace
+
+PswResult run_psw_model(const Instance& instance,
+                        const SpeedProfile& speeds) {
+  const Tree& tree = instance.tree();
+  const JobId n = instance.job_count();
+  PswResult result;
+  result.completion.assign(n, -1.0);
+
+  std::vector<Machine> machines(tree.leaves().size());
+  // In-flight jobs: (arrival-at-machine, job, leaf index).
+  using Flight = std::tuple<Time, JobId, int>;
+  std::priority_queue<Flight, std::vector<Flight>, std::greater<>> flights;
+
+  Time now = 0.0;
+  std::size_t next_job = 0;
+  const auto& jobs = instance.jobs();
+
+  auto advance_all = [&](Time t) {
+    for (std::size_t m = 0; m < machines.size(); ++m)
+      machines[m].advance(t, speeds.speed(tree.leaves()[m]),
+                          result.completion);
+    now = t;
+  };
+
+  while (true) {
+    // Next event: release, flight arrival, or machine completion.
+    Time next = std::numeric_limits<double>::infinity();
+    if (next_job < jobs.size()) next = jobs[next_job].release;
+    if (!flights.empty()) next = std::min(next, std::get<0>(flights.top()));
+    for (std::size_t m = 0; m < machines.size(); ++m)
+      next = std::min(next, machines[m].next_completion(
+                                now, speeds.speed(tree.leaves()[m])));
+    if (next == std::numeric_limits<double>::infinity()) break;
+    advance_all(next);
+
+    // Flight arrivals enter their machine's SRPT queue.
+    while (!flights.empty() && std::get<0>(flights.top()) <= now + 1e-12) {
+      auto [t, j, m] = flights.top();
+      flights.pop();
+      machines[m].active.emplace(
+          instance.processing_time(j, tree.leaves()[m]),
+          instance.job(j).release, j);
+    }
+
+    // Dispatch releases: pick the machine minimizing estimated completion
+    // (transit + work ahead at equal-or-higher priority + own size).
+    while (next_job < jobs.size() && jobs[next_job].release <= now + 1e-12) {
+      const Job& job = jobs[next_job++];
+      double best = std::numeric_limits<double>::infinity();
+      int best_m = 0;
+      for (std::size_t m = 0; m < machines.size(); ++m) {
+        const NodeId leaf = tree.leaves()[m];
+        const double p = instance.processing_time(job.id, leaf);
+        const double speed = speeds.speed(leaf);
+        double ahead = 0.0;
+        for (const auto& [rem, rel, id] : machines[m].active)
+          if (rem <= p) ahead += rem;
+        const double est = psw_transit_time(instance, speeds, job.id, leaf) +
+                           (ahead + p) / speed;
+        if (est < best) {
+          best = est;
+          best_m = static_cast<int>(m);
+        }
+      }
+      const Time arrive =
+          now + psw_transit_time(instance, speeds, job.id,
+                                 tree.leaves()[best_m]);
+      flights.emplace(arrive, job.id, best_m);
+    }
+  }
+
+  for (JobId j = 0; j < n; ++j) {
+    TS_CHECK(result.completion[j] >= 0.0, "PSW job never completed");
+    const double flow = result.completion[j] - instance.job(j).release;
+    result.total_flow += flow;
+    result.max_flow = std::max(result.max_flow, flow);
+  }
+  return result;
+}
+
+}  // namespace treesched::algo

@@ -1,0 +1,44 @@
+// The Phillips–Stein–Wein network-scheduling model (the paper's related
+// work [32]), implemented as a comparison substrate.
+//
+// In PSW's model the network only *delays* jobs — data moves without
+// contention, so assigning job j to machine v makes it available there at
+// r_j + transit(j, v), where transit is the path's processing volume over
+// the router speeds. Machines then schedule independently. The paper's
+// whole point is that real links are a contended resource; comparing the
+// two models on the same instances measures the price of congestion.
+//
+// Any feasible tree-model schedule is PSW-feasible with the same
+// completions (congestion can only delay beyond transit), so the PSW cost
+// under a good policy approximates how much of the tree-model flow time is
+// congestion rather than distance.
+#pragma once
+
+#include <vector>
+
+#include "treesched/core/instance.hpp"
+#include "treesched/core/speed_profile.hpp"
+
+namespace treesched::algo {
+
+struct PswResult {
+  std::vector<Time> completion;  ///< per job id
+  double total_flow = 0.0;
+  double max_flow = 0.0;
+  double mean_flow() const {
+    return completion.empty() ? 0.0
+                              : total_flow / static_cast<double>(
+                                                completion.size());
+  }
+};
+
+/// Runs the PSW model: immediate dispatch at release (the assignment
+/// minimizes transit + queued-work-ahead + own size), SRPT per machine.
+/// Speeds: routers shape the transit delays, leaves the processing rates.
+PswResult run_psw_model(const Instance& instance, const SpeedProfile& speeds);
+
+/// transit(j, v): the path volume above the leaf divided by router speeds.
+double psw_transit_time(const Instance& instance, const SpeedProfile& speeds,
+                        JobId j, NodeId leaf);
+
+}  // namespace treesched::algo

@@ -1,0 +1,31 @@
+#include "treesched/algo/runner.hpp"
+
+#include "treesched/algo/policies.hpp"
+
+namespace treesched::algo {
+
+RunResult run_policy(const Instance& instance, const SpeedProfile& speeds,
+                     sim::AssignmentPolicy& policy, sim::EngineConfig cfg,
+                     sim::EngineObserver* observer) {
+  sim::Engine engine(instance, speeds, cfg);
+  if (observer) engine.set_observer(observer);
+  engine.run(policy);
+  RunResult r;
+  r.metrics = engine.metrics();
+  r.total_flow = r.metrics.total_flow_time();
+  r.fractional_flow = r.metrics.total_fractional_flow_time();
+  r.max_flow = r.metrics.max_flow_time();
+  r.mean_flow = r.metrics.mean_flow_time();
+  r.makespan = r.metrics.makespan();
+  return r;
+}
+
+RunResult run_named_policy(const Instance& instance,
+                           const SpeedProfile& speeds,
+                           const std::string& policy_name, double eps,
+                           std::uint64_t seed, sim::EngineConfig cfg) {
+  auto policy = make_policy(policy_name, instance, eps, seed);
+  return run_policy(instance, speeds, *policy, cfg);
+}
+
+}  // namespace treesched::algo

@@ -1,0 +1,35 @@
+// One-call experiment helpers: run an instance under a policy and collect
+// the objectives.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "treesched/sim/engine.hpp"
+
+namespace treesched::algo {
+
+struct RunResult {
+  double total_flow = 0.0;
+  double fractional_flow = 0.0;
+  double max_flow = 0.0;
+  double mean_flow = 0.0;
+  double makespan = 0.0;
+  sim::Metrics metrics;
+};
+
+/// Runs `instance` under `policy` with the given speeds; returns the
+/// objectives. `cfg` selects node discipline / recording / pipelining.
+RunResult run_policy(const Instance& instance, const SpeedProfile& speeds,
+                     sim::AssignmentPolicy& policy,
+                     sim::EngineConfig cfg = {},
+                     sim::EngineObserver* observer = nullptr);
+
+/// Convenience: builds the named policy (see make_policy) and runs it.
+RunResult run_named_policy(const Instance& instance,
+                           const SpeedProfile& speeds,
+                           const std::string& policy_name, double eps,
+                           std::uint64_t seed = 1,
+                           sim::EngineConfig cfg = {});
+
+}  // namespace treesched::algo

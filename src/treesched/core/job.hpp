@@ -1,0 +1,46 @@
+// Job description (Section 2 of the paper).
+#pragma once
+
+#include <vector>
+
+#include "treesched/core/types.hpp"
+
+namespace treesched {
+
+/// One job J_j. `size` is the router processing requirement p_j (the data
+/// volume forwarded hop by hop). In the identical-endpoint model the leaf
+/// processing time is also `size`; in the unrelated model `leaf_sizes[i]`
+/// gives p_{j,v} for the leaf with leaf_index i (and must cover every leaf).
+///
+/// `weight` extends the paper's model to weighted flow time (all the
+/// paper's results are for weight 1); `source` extends it to jobs created
+/// at arbitrary nodes (the paper's "future work" generalization) —
+/// kInvalidNode means the root, the paper's base model.
+struct Job {
+  JobId id = kInvalidJob;
+  Time release = 0.0;
+  double size = 1.0;
+  double weight = 1.0;
+  NodeId source = kInvalidNode;    ///< kInvalidNode = the root
+  std::vector<double> leaf_sizes;  ///< empty in the identical model
+
+  Job() = default;
+  Job(JobId id_, Time release_, double size_)
+      : id(id_), release(release_), size(size_) {}
+  Job(JobId id_, Time release_, double size_, std::vector<double> leaf_sizes_)
+      : id(id_), release(release_), size(size_),
+        leaf_sizes(std::move(leaf_sizes_)) {}
+
+  /// Fluent setters for the extension fields (avoid constructor overloads
+  /// that would be ambiguous with the leaf-size form).
+  Job& with_weight(double w) {
+    weight = w;
+    return *this;
+  }
+  Job& with_source(NodeId s) {
+    source = s;
+    return *this;
+  }
+};
+
+}  // namespace treesched

@@ -1,0 +1,49 @@
+#include "treesched/core/speed_profile.hpp"
+
+#include "treesched/util/assert.hpp"
+
+namespace treesched {
+
+SpeedProfile::SpeedProfile(const Tree& tree, std::vector<double> speeds)
+    : speeds_(std::move(speeds)) {
+  TS_REQUIRE(speeds_.size() == static_cast<std::size_t>(tree.node_count()),
+             "speed vector must cover every node");
+  for (NodeId v = 0; v < tree.node_count(); ++v) {
+    if (tree.is_root(v)) continue;
+    TS_REQUIRE(speeds_[v] > 0.0, "node speeds must be positive");
+  }
+}
+
+SpeedProfile SpeedProfile::uniform(const Tree& tree, double s) {
+  TS_REQUIRE(s > 0.0, "speed must be positive");
+  return SpeedProfile(tree, std::vector<double>(tree.node_count(), s));
+}
+
+SpeedProfile SpeedProfile::layered(const Tree& tree, double root_child_speed,
+                                   double other_speed) {
+  TS_REQUIRE(root_child_speed > 0.0 && other_speed > 0.0,
+             "speeds must be positive");
+  std::vector<double> s(tree.node_count(), other_speed);
+  s[tree.root()] = 0.0;  // unused
+  for (NodeId v : tree.root_children()) s[v] = root_child_speed;
+  return SpeedProfile(tree, std::move(s));
+}
+
+SpeedProfile SpeedProfile::paper_identical(const Tree& tree, double eps) {
+  TS_REQUIRE(eps > 0.0, "eps must be positive");
+  return layered(tree, 1.0 + eps, (1.0 + eps) * (1.0 + eps));
+}
+
+SpeedProfile SpeedProfile::paper_unrelated(const Tree& tree, double eps) {
+  TS_REQUIRE(eps > 0.0, "eps must be positive");
+  return layered(tree, 2.0 * (1.0 + eps), 2.0 * (1.0 + eps) * (1.0 + eps));
+}
+
+SpeedProfile SpeedProfile::scaled(double factor) const {
+  TS_REQUIRE(factor > 0.0, "scale factor must be positive");
+  SpeedProfile out = *this;
+  for (double& s : out.speeds_) s *= factor;
+  return out;
+}
+
+}  // namespace treesched

@@ -1,0 +1,48 @@
+// Per-node speed (resource) augmentation profiles.
+//
+// The paper's analysis gives different speed to root-adjacent nodes than to
+// the rest of the tree (Sections 3.3–3.6); benchmarks also sweep uniform
+// speeds. A SpeedProfile is just a validated per-node multiplier vector.
+#pragma once
+
+#include <vector>
+
+#include "treesched/core/tree.hpp"
+#include "treesched/core/types.hpp"
+
+namespace treesched {
+
+/// Per-node processing speeds. A node with speed s completes s units of work
+/// per unit of time. The root's entry is unused (the root never processes).
+class SpeedProfile {
+ public:
+  /// Every node at the same speed s > 0.
+  static SpeedProfile uniform(const Tree& tree, double s);
+
+  /// Root-adjacent nodes at `root_child_speed`, all other processing nodes at
+  /// `other_speed`.
+  static SpeedProfile layered(const Tree& tree, double root_child_speed,
+                              double other_speed);
+
+  /// The profile of Theorem 5 (identical endpoints on broomsticks):
+  /// (1+eps) on root children, (1+eps)^2 elsewhere.
+  static SpeedProfile paper_identical(const Tree& tree, double eps);
+
+  /// The profile of Theorem 6 (unrelated endpoints on broomsticks):
+  /// 2(1+eps) on root children, 2(1+eps)^2 elsewhere.
+  static SpeedProfile paper_unrelated(const Tree& tree, double eps);
+
+  /// Explicit per-node speeds (validated: positive on all non-root nodes).
+  SpeedProfile(const Tree& tree, std::vector<double> speeds);
+
+  double speed(NodeId v) const { return speeds_[v]; }
+  const std::vector<double>& speeds() const { return speeds_; }
+
+  /// Returns a copy with every speed multiplied by factor > 0.
+  SpeedProfile scaled(double factor) const;
+
+ private:
+  std::vector<double> speeds_;
+};
+
+}  // namespace treesched

@@ -1,0 +1,202 @@
+#include "treesched/core/tree.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "treesched/util/assert.hpp"
+
+namespace treesched {
+
+Tree Tree::build(std::vector<NodeId> parent, std::vector<NodeKind> kind) {
+  TS_REQUIRE(!parent.empty(), "tree must have nodes");
+  TS_REQUIRE(parent.size() == kind.size(), "parent/kind size mismatch");
+  const NodeId n = static_cast<NodeId>(parent.size());
+
+  Tree t;
+  t.parent_ = std::move(parent);
+  t.kind_ = std::move(kind);
+  t.children_.assign(n, {});
+  t.depth_.assign(n, -1);
+  t.height_.assign(n, 0);
+  t.root_child_.assign(n, kInvalidNode);
+  t.leaf_index_.assign(n, -1);
+  t.tin_.assign(n, -1);
+  t.tout_.assign(n, -1);
+
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId p = t.parent_[v];
+    if (p == kInvalidNode) {
+      TS_REQUIRE(t.root_ == kInvalidNode, "multiple roots");
+      TS_REQUIRE(t.kind_[v] == NodeKind::kRoot, "root must have kind kRoot");
+      t.root_ = v;
+    } else {
+      TS_REQUIRE(p >= 0 && p < n && p != v, "parent id out of range");
+      TS_REQUIRE(t.kind_[v] != NodeKind::kRoot, "non-root node with kind kRoot");
+      t.children_[p].push_back(v);
+    }
+  }
+  TS_REQUIRE(t.root_ != kInvalidNode, "tree has no root");
+
+  // Iterative DFS: assigns depth, R(v), DFS intervals; detects disconnected
+  // or cyclic parent structure (unvisited nodes).
+  int timer = 0;
+  std::vector<std::pair<NodeId, std::size_t>> stack;
+  stack.emplace_back(t.root_, 0);
+  t.depth_[t.root_] = 0;
+  t.tin_[t.root_] = timer++;
+  while (!stack.empty()) {
+    auto& [v, ci] = stack.back();
+    if (ci == t.children_[v].size()) {
+      t.tout_[v] = timer;
+      for (NodeId c : t.children_[v])
+        t.height_[v] = std::max(t.height_[v], t.height_[c] + 1);
+      stack.pop_back();
+      continue;
+    }
+    const NodeId c = t.children_[v][ci++];
+    t.depth_[c] = t.depth_[v] + 1;
+    t.root_child_[c] = (v == t.root_) ? c : t.root_child_[v];
+    t.tin_[c] = timer++;
+    stack.emplace_back(c, 0);
+  }
+  for (NodeId v = 0; v < n; ++v)
+    TS_REQUIRE(t.depth_[v] >= 0, "node unreachable from root (cycle or forest)");
+
+  // Role constraints.
+  for (NodeId v = 0; v < n; ++v) {
+    switch (t.kind_[v]) {
+      case NodeKind::kRoot:
+        TS_REQUIRE(!t.children_[v].empty(), "root must have children");
+        break;
+      case NodeKind::kRouter:
+        TS_REQUIRE(!t.children_[v].empty(),
+                   "router " + std::to_string(v) + " has no children");
+        break;
+      case NodeKind::kMachine:
+        TS_REQUIRE(t.children_[v].empty(),
+                   "machine " + std::to_string(v) + " has children");
+        TS_REQUIRE(t.parent_[v] != t.root_,
+                   "machine " + std::to_string(v) + " adjacent to the root");
+        break;
+    }
+  }
+
+  for (NodeId v = 0; v < n; ++v) {
+    if (t.kind_[v] == NodeKind::kMachine) {
+      t.leaf_index_[v] = static_cast<int>(t.leaves_.size());
+      t.leaves_.push_back(v);
+    }
+    if (t.parent_[v] == t.root_) t.root_children_.push_back(v);
+  }
+  TS_REQUIRE(!t.leaves_.empty(), "tree must have at least one machine");
+
+  // Per-leaf processing paths (R(v) .. v).
+  t.leaf_paths_.resize(t.leaves_.size());
+  for (std::size_t i = 0; i < t.leaves_.size(); ++i) {
+    NodeId v = t.leaves_[i];
+    std::vector<NodeId> path;
+    for (NodeId u = v; u != t.root_; u = t.parent_[u]) path.push_back(u);
+    std::reverse(path.begin(), path.end());
+    t.leaf_paths_[i] = std::move(path);
+  }
+
+  // Leaves in DFS order for subtree queries.
+  t.leaf_dfs_order_ = t.leaves_;
+  std::sort(t.leaf_dfs_order_.begin(), t.leaf_dfs_order_.end(),
+            [&t](NodeId a, NodeId b) { return t.tin_[a] < t.tin_[b]; });
+
+  return t;
+}
+
+int Tree::d(NodeId v) const {
+  TS_REQUIRE(v != root_, "d_v undefined for the root");
+  return depth_[v];
+}
+
+NodeId Tree::root_child_of(NodeId v) const {
+  TS_REQUIRE(v != root_, "R(v) undefined for the root");
+  return root_child_[v];
+}
+
+int Tree::leaf_index(NodeId v) const {
+  TS_REQUIRE(is_leaf(v), "leaf_index on non-leaf");
+  return leaf_index_[v];
+}
+
+std::vector<NodeId> Tree::leaves_under(NodeId v) const {
+  auto lo = std::lower_bound(
+      leaf_dfs_order_.begin(), leaf_dfs_order_.end(), tin_[v],
+      [this](NodeId leaf, int val) { return tin_[leaf] < val; });
+  std::vector<NodeId> out;
+  for (auto it = lo; it != leaf_dfs_order_.end() && tin_[*it] < tout_[v]; ++it)
+    out.push_back(*it);
+  return out;
+}
+
+const std::vector<NodeId>& Tree::path_to(NodeId leaf) const {
+  return leaf_paths_[leaf_index(leaf)];
+}
+
+NodeId Tree::lca(NodeId u, NodeId v) const {
+  while (depth_[u] > depth_[v]) u = parent_[u];
+  while (depth_[v] > depth_[u]) v = parent_[v];
+  while (u != v) {
+    u = parent_[u];
+    v = parent_[v];
+  }
+  return u;
+}
+
+std::vector<NodeId> Tree::path_between(NodeId source, NodeId leaf) const {
+  TS_REQUIRE(is_leaf(leaf), "path_between targets a machine");
+  TS_REQUIRE(source >= 0 && source < node_count(), "source out of range");
+  if (source == root()) {
+    const auto& p = path_to(leaf);
+    return {p.begin(), p.end()};
+  }
+  const NodeId meet = lca(source, leaf);
+  std::vector<NodeId> path;
+  // Upward leg: every node entered while climbing (source excluded).
+  for (NodeId u = source; u != meet; u = parent_[u])
+    path.push_back(parent_[u]);
+  // Downward leg: nodes from below the meet down to the leaf.
+  std::vector<NodeId> down;
+  for (NodeId v = leaf; v != meet; v = parent_[v]) down.push_back(v);
+  path.insert(path.end(), down.rbegin(), down.rend());
+  if (path.empty()) path.push_back(leaf);  // source == leaf
+  return path;
+}
+
+bool Tree::is_ancestor_or_self(NodeId ancestor, NodeId descendant) const {
+  return tin_[ancestor] <= tin_[descendant] && tin_[descendant] < tout_[ancestor];
+}
+
+int Tree::max_leaf_depth() const {
+  int d_max = 0;
+  for (NodeId v : leaves_) d_max = std::max(d_max, depth_[v]);
+  return d_max;
+}
+
+std::string Tree::to_ascii() const {
+  std::ostringstream os;
+  std::function<void(NodeId, std::string, bool)> rec =
+      [&](NodeId v, std::string prefix, bool last) {
+        os << prefix;
+        if (v != root_) os << (last ? "`-- " : "|-- ");
+        switch (kind_[v]) {
+          case NodeKind::kRoot: os << "root"; break;
+          case NodeKind::kRouter: os << "router " << v; break;
+          case NodeKind::kMachine: os << "machine " << v; break;
+        }
+        os << '\n';
+        std::string child_prefix =
+            prefix + (v == root_ ? "" : (last ? "    " : "|   "));
+        for (std::size_t i = 0; i < children_[v].size(); ++i)
+          rec(children_[v][i], child_prefix, i + 1 == children_[v].size());
+      };
+  rec(root_, "", true);
+  return os.str();
+}
+
+}  // namespace treesched

@@ -1,0 +1,113 @@
+// Rooted tree network topology (Section 2 of the paper).
+//
+// The root is the job distribution center and performs no processing.
+// Interior nodes are routers; leaves are machines. A job assigned to leaf v
+// must be processed, in order, on every node of the path R(v) .. v, where
+// R(v) is v's ancestor adjacent to the root.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "treesched/core/types.hpp"
+
+namespace treesched {
+
+/// Immutable rooted tree. Construct via Tree::build (or the helpers in
+/// tree_builders.hpp); construction validates the scheduling preconditions:
+///  - exactly one root (parent == kInvalidNode) of kind kRoot,
+///  - parent array is acyclic and connected,
+///  - machines (leaves) have no children; routers have at least one child,
+///  - the root has at least one child and no machine is adjacent to the root.
+class Tree {
+ public:
+  /// Builds and validates a tree. parent[i] is the parent of node i
+  /// (kInvalidNode for the root); kind[i] is the node's role.
+  /// Throws std::invalid_argument on any violation.
+  static Tree build(std::vector<NodeId> parent, std::vector<NodeKind> kind);
+
+  /// Total number of nodes, root included.
+  NodeId node_count() const { return static_cast<NodeId>(parent_.size()); }
+
+  NodeId root() const { return root_; }
+  NodeId parent(NodeId v) const { return parent_[v]; }
+  const std::vector<NodeId>& children(NodeId v) const { return children_[v]; }
+  NodeKind kind(NodeId v) const { return kind_[v]; }
+  bool is_leaf(NodeId v) const { return kind_[v] == NodeKind::kMachine; }
+  bool is_router(NodeId v) const { return kind_[v] == NodeKind::kRouter; }
+  bool is_root(NodeId v) const { return v == root_; }
+
+  /// Depth of v: number of edges from the root. The root has depth 0.
+  /// For non-root v this equals d_v of the paper — the number of processing
+  /// nodes on the path from R(v) to v inclusive.
+  int depth(NodeId v) const { return depth_[v]; }
+
+  /// d_v of the paper (depth, but spelled like the paper for call sites that
+  /// mirror formulas). Requires v != root.
+  int d(NodeId v) const;
+
+  /// R(v): the ancestor of v adjacent to the root (v itself if v is a root
+  /// child). Requires v != root.
+  NodeId root_child_of(NodeId v) const;
+
+  /// All machines (leaves), in node-id order.
+  const std::vector<NodeId>& leaves() const { return leaves_; }
+
+  /// All children of the root (the set R of the paper), in node-id order.
+  const std::vector<NodeId>& root_children() const { return root_children_; }
+
+  /// Index of leaf v within leaves() — the dense key used by per-leaf data
+  /// such as unrelated processing times. Requires is_leaf(v).
+  int leaf_index(NodeId v) const;
+
+  /// Leaves in the subtree rooted at v — L(v) of the paper. Contiguous view
+  /// thanks to DFS ordering; cheap to call.
+  std::vector<NodeId> leaves_under(NodeId v) const;
+
+  /// The processing path of leaf v: nodes from R(v) down to v inclusive.
+  /// Precomputed; requires is_leaf(v).
+  const std::vector<NodeId>& path_to(NodeId leaf) const;
+
+  /// Lowest common ancestor of u and v.
+  NodeId lca(NodeId u, NodeId v) const;
+
+  /// The processing path of a job born at `source` and assigned to `leaf`
+  /// (the paper's future-work generalization): every node the data *enters*
+  /// on the unique source->leaf tree path — source excluded, leaf included.
+  /// For source == root this equals path_to(leaf); for source == leaf the
+  /// path is just {leaf} (the job still needs its machine processing).
+  /// Note the path may pass through the root, which then acts as a router.
+  std::vector<NodeId> path_between(NodeId source, NodeId leaf) const;
+
+  /// True if ancestor lies on the root-to-descendant path (inclusive).
+  bool is_ancestor_or_self(NodeId ancestor, NodeId descendant) const;
+
+  /// Longest edge-distance from v down to any leaf in its subtree.
+  int height_below(NodeId v) const { return height_[v]; }
+
+  /// Maximum leaf depth in the whole tree.
+  int max_leaf_depth() const;
+
+  /// Multi-line ASCII rendering of the topology (for examples and docs).
+  std::string to_ascii() const;
+
+ private:
+  Tree() = default;
+
+  std::vector<NodeId> parent_;
+  std::vector<NodeKind> kind_;
+  std::vector<std::vector<NodeId>> children_;
+  std::vector<int> depth_;
+  std::vector<int> height_;
+  std::vector<NodeId> root_child_;   // R(v); kInvalidNode for the root
+  std::vector<NodeId> leaves_;
+  std::vector<NodeId> root_children_;
+  std::vector<int> leaf_index_;      // dense index among leaves, -1 otherwise
+  std::vector<std::vector<NodeId>> leaf_paths_;  // by leaf_index
+  std::vector<int> tin_, tout_;      // DFS intervals for ancestor queries
+  std::vector<NodeId> leaf_dfs_order_;  // leaves sorted by tin
+  std::vector<int> leaf_dfs_pos_;       // position of each node's first/last leaf
+  NodeId root_ = kInvalidNode;
+};
+
+}  // namespace treesched

@@ -1,0 +1,174 @@
+#include "treesched/core/tree_builders.hpp"
+
+#include <algorithm>
+
+#include "treesched/util/assert.hpp"
+
+namespace treesched {
+
+NodeId TreeAssembler::add_root() {
+  TS_REQUIRE(parent_.empty(), "root must be the first node");
+  parent_.push_back(kInvalidNode);
+  kind_.push_back(NodeKind::kRoot);
+  return 0;
+}
+
+NodeId TreeAssembler::add_router(NodeId parent) {
+  TS_REQUIRE(parent >= 0 && parent < size(), "parent out of range");
+  parent_.push_back(parent);
+  kind_.push_back(NodeKind::kRouter);
+  return size() - 1;
+}
+
+NodeId TreeAssembler::add_machine(NodeId parent) {
+  TS_REQUIRE(parent >= 0 && parent < size(), "parent out of range");
+  parent_.push_back(parent);
+  kind_.push_back(NodeKind::kMachine);
+  return size() - 1;
+}
+
+Tree TreeAssembler::finish() && {
+  return Tree::build(std::move(parent_), std::move(kind_));
+}
+
+namespace builders {
+
+Tree star_of_paths(int branches, int routers_per_branch) {
+  TS_REQUIRE(branches >= 1, "need at least one branch");
+  TS_REQUIRE(routers_per_branch >= 1, "need at least one router per branch");
+  TreeAssembler a;
+  const NodeId root = a.add_root();
+  for (int b = 0; b < branches; ++b) {
+    NodeId cur = a.add_router(root);
+    for (int i = 1; i < routers_per_branch; ++i) cur = a.add_router(cur);
+    a.add_machine(cur);
+  }
+  return std::move(a).finish();
+}
+
+Tree caterpillar(int branches, int spine_len, int leaves_per_node) {
+  TS_REQUIRE(branches >= 1 && spine_len >= 1 && leaves_per_node >= 1,
+             "caterpillar parameters must be positive");
+  TreeAssembler a;
+  const NodeId root = a.add_root();
+  for (int b = 0; b < branches; ++b) {
+    NodeId cur = a.add_router(root);
+    for (int i = 0; i < spine_len; ++i) {
+      for (int l = 0; l < leaves_per_node; ++l) a.add_machine(cur);
+      if (i + 1 < spine_len) cur = a.add_router(cur);
+    }
+  }
+  return std::move(a).finish();
+}
+
+Tree fat_tree(int arity, int router_depth, int machines_per_rack) {
+  TS_REQUIRE(arity >= 1 && router_depth >= 1 && machines_per_rack >= 1,
+             "fat_tree parameters must be positive");
+  TreeAssembler a;
+  const NodeId root = a.add_root();
+  std::vector<NodeId> level{root};
+  for (int d = 0; d < router_depth; ++d) {
+    std::vector<NodeId> next;
+    for (NodeId p : level)
+      for (int c = 0; c < arity; ++c) next.push_back(a.add_router(p));
+    level = std::move(next);
+  }
+  for (NodeId rack : level)
+    for (int m = 0; m < machines_per_rack; ++m) a.add_machine(rack);
+  return std::move(a).finish();
+}
+
+Tree random_tree(util::Rng& rng, int n_routers, int n_leaves, int max_depth) {
+  TS_REQUIRE(n_routers >= 1 && n_leaves >= 1,
+             "random_tree needs routers and leaves");
+  TreeAssembler a;
+  const NodeId root = a.add_root();
+  std::vector<NodeId> routers;
+  std::vector<int> depth_of;  // parallel to routers
+  routers.push_back(a.add_router(root));
+  depth_of.push_back(1);
+  for (int i = 1; i < n_routers; ++i) {
+    // Random recursive attachment; optionally bounded depth. Attaching to
+    // the root is allowed so the tree can have several subtrees.
+    std::vector<std::size_t> eligible;
+    for (std::size_t r = 0; r < routers.size(); ++r)
+      if (max_depth <= 0 || depth_of[r] < max_depth) eligible.push_back(r);
+    if (eligible.empty()) break;
+    const bool at_root = rng.bernoulli(0.15);
+    if (at_root) {
+      routers.push_back(a.add_router(root));
+      depth_of.push_back(1);
+    } else {
+      const std::size_t pick = eligible[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(eligible.size()) - 1))];
+      routers.push_back(a.add_router(routers[pick]));
+      depth_of.push_back(depth_of[pick] + 1);
+    }
+  }
+  std::vector<int> machines_below(routers.size(), 0);
+  for (int l = 0; l < n_leaves; ++l) {
+    const std::size_t pick = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(routers.size()) - 1));
+    a.add_machine(routers[pick]);
+    ++machines_below[pick];
+  }
+  // A router validates only if it has some child; conservatively give every
+  // machine-less router one machine (a router child may also exist, but one
+  // extra machine never invalidates the topology).
+  for (std::size_t r = 0; r < routers.size(); ++r)
+    if (machines_below[r] == 0) a.add_machine(routers[r]);
+  return std::move(a).finish();
+}
+
+Tree broomstick(const std::vector<int>& spine_len,
+                const std::vector<std::vector<int>>& leaf_depths) {
+  TS_REQUIRE(!spine_len.empty(), "broomstick needs at least one broom");
+  TS_REQUIRE(spine_len.size() == leaf_depths.size(),
+             "spine_len/leaf_depths mismatch");
+  TreeAssembler a;
+  const NodeId root = a.add_root();
+  for (std::size_t b = 0; b < spine_len.size(); ++b) {
+    TS_REQUIRE(spine_len[b] >= 1, "spine must have at least one router");
+    std::vector<NodeId> spine;
+    NodeId cur = a.add_router(root);
+    spine.push_back(cur);
+    for (int i = 1; i < spine_len[b]; ++i) {
+      cur = a.add_router(cur);
+      spine.push_back(cur);
+    }
+    TS_REQUIRE(!leaf_depths[b].empty(), "each broom needs a machine");
+    for (int pos : leaf_depths[b]) {
+      TS_REQUIRE(pos >= 1 && pos <= spine_len[b],
+                 "leaf position outside the spine");
+      a.add_machine(spine[pos - 1]);
+    }
+  }
+  return std::move(a).finish();
+}
+
+Tree figure1_tree() {
+  TreeAssembler a;
+  const NodeId root = a.add_root();
+  // Left subtree: two router levels, three machines.
+  const NodeId l1 = a.add_router(root);
+  const NodeId l2a = a.add_router(l1);
+  const NodeId l2b = a.add_router(l1);
+  a.add_machine(l2a);
+  a.add_machine(l2a);
+  a.add_machine(l2b);
+  // Middle subtree: one router with two machines.
+  const NodeId m1 = a.add_router(root);
+  a.add_machine(m1);
+  a.add_machine(m1);
+  // Right subtree: a deeper chain with machines at two depths.
+  const NodeId r1 = a.add_router(root);
+  const NodeId r2 = a.add_router(r1);
+  a.add_machine(r2);
+  const NodeId r3 = a.add_router(r2);
+  a.add_machine(r3);
+  a.add_machine(r3);
+  return std::move(a).finish();
+}
+
+}  // namespace builders
+}  // namespace treesched

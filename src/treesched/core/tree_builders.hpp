@@ -1,0 +1,64 @@
+// Ready-made tree topologies used by tests, examples and benchmarks.
+//
+// Every builder returns a validated Tree in which machines hang below at
+// least one router layer (the model forbids machines adjacent to the root).
+#pragma once
+
+#include <vector>
+
+#include "treesched/core/tree.hpp"
+#include "treesched/util/rng.hpp"
+
+namespace treesched {
+
+/// Incremental tree assembly. Add the root first, then routers/machines
+/// below existing nodes; finish() validates and returns the Tree.
+class TreeAssembler {
+ public:
+  NodeId add_root();
+  NodeId add_router(NodeId parent);
+  NodeId add_machine(NodeId parent);
+  /// Number of nodes added so far.
+  NodeId size() const { return static_cast<NodeId>(parent_.size()); }
+  Tree finish() &&;
+
+ private:
+  std::vector<NodeId> parent_;
+  std::vector<NodeKind> kind_;
+};
+
+namespace builders {
+
+/// `branches` root-children, each a chain of `routers_per_branch` routers
+/// ending in one machine. branches >= 1, routers_per_branch >= 1.
+/// With branches = 1 this is the "spine" used to stress depth.
+Tree star_of_paths(int branches, int routers_per_branch);
+
+/// `branches` root-children; each heads a router spine of length `spine_len`
+/// with `leaves_per_node` machines hanging off every spine router.
+Tree caterpillar(int branches, int spine_len, int leaves_per_node);
+
+/// Complete `arity`-ary router tree of `router_depth` levels below the root;
+/// every bottom router carries `machines_per_rack` machines. Models the
+/// data-center fat-tree topologies the paper cites ([1, 15]).
+Tree fat_tree(int arity, int router_depth, int machines_per_rack);
+
+/// Random topology: a random recursive tree over `n_routers` routers (root
+/// children chosen among them), then `n_leaves` machines attached to random
+/// routers; childless routers receive one machine so the tree validates.
+Tree random_tree(util::Rng& rng, int n_routers, int n_leaves,
+                 int max_depth = 0);
+
+/// A broomstick with the given number of brooms; broom b has a spine of
+/// `spine_len[b]` routers and machines attached below the spine routers at
+/// the positions listed in `leaf_depths[b]` (1-based spine positions).
+Tree broomstick(const std::vector<int>& spine_len,
+                const std::vector<std::vector<int>>& leaf_depths);
+
+/// The schematic topology of Figure 1: a root with three subtrees of
+/// different shapes and depths (representative rendering of the paper's
+/// illustration).
+Tree figure1_tree();
+
+}  // namespace builders
+}  // namespace treesched

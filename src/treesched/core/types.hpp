@@ -1,0 +1,34 @@
+// Fundamental identifier and time types shared by the whole library.
+#pragma once
+
+#include <cstdint>
+
+namespace treesched {
+
+/// Index of a node within a Tree (0-based, root included).
+using NodeId = std::int32_t;
+
+/// Index of a job within an Instance (0-based, in release order).
+using JobId = std::int32_t;
+
+/// Simulation time / work volume. Continuous; all comparisons go through
+/// util::approx_* helpers.
+using Time = double;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr JobId kInvalidJob = -1;
+
+/// Role of a node in the tree network (Section 2 of the paper).
+enum class NodeKind : std::uint8_t {
+  kRoot,     ///< job distribution center; performs no processing
+  kRouter,   ///< interior node; forwards (processes) job data
+  kMachine,  ///< leaf node; executes the job
+};
+
+/// Which machine model governs the leaves (routers are always identical).
+enum class EndpointModel : std::uint8_t {
+  kIdentical,  ///< leaf processing time equals the router size p_j
+  kUnrelated,  ///< leaf processing time p_{j,v} arbitrary per (job, leaf)
+};
+
+}  // namespace treesched

@@ -1,0 +1,46 @@
+#include "treesched/experiments/harness.hpp"
+
+#include "treesched/lp/lower_bounds.hpp"
+#include "treesched/util/rng.hpp"
+
+namespace treesched::experiments {
+
+std::vector<NamedTree> standard_trees() {
+  std::vector<NamedTree> out;
+  out.push_back({"star-2x3", builders::star_of_paths(2, 3)});
+  out.push_back({"star-4x2", builders::star_of_paths(4, 2)});
+  out.push_back({"fat-2x2x2", builders::fat_tree(2, 2, 2)});
+  out.push_back({"caterpillar-2x3x2", builders::caterpillar(2, 3, 2)});
+  out.push_back({"deep-spine-1x8", builders::star_of_paths(1, 8)});
+  out.push_back({"figure1", builders::figure1_tree()});
+  util::Rng rng(0xF00D);
+  out.push_back({"random-8r-10l", builders::random_tree(rng, 8, 10)});
+  return out;
+}
+
+RatioResult measure_ratio(const Instance& instance, const SpeedProfile& speeds,
+                          const std::string& policy_name, double eps,
+                          std::uint64_t seed, sim::EngineConfig cfg) {
+  const algo::RunResult run =
+      algo::run_named_policy(instance, speeds, policy_name, eps, seed, cfg);
+  RatioResult r;
+  r.alg_flow = run.total_flow;
+  r.alg_fractional = run.fractional_flow;
+  r.mean_flow = run.mean_flow;
+  r.lower_bound = lp::combined_lower_bound(instance);
+  r.ratio = r.lower_bound > 0.0 ? r.alg_flow / r.lower_bound : 0.0;
+  return r;
+}
+
+std::vector<double> repeat(std::uint64_t seed, int reps,
+                           const std::function<double(std::uint64_t)>& body) {
+  util::Rng seeder(seed);
+  std::vector<double> out;
+  out.reserve(reps);
+  for (int r = 0; r < reps; ++r) out.push_back(body(seeder.next_u64()));
+  return out;
+}
+
+std::vector<double> epsilon_sweep() { return {2.0, 1.0, 0.5, 0.25, 0.125}; }
+
+}  // namespace treesched::experiments

@@ -1,0 +1,49 @@
+// Shared helpers for the experiment (bench) binaries: standard topologies,
+// ratio measurement against the certified lower bounds, repetition loops.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "treesched/algo/runner.hpp"
+#include "treesched/core/tree_builders.hpp"
+#include "treesched/workload/generator.hpp"
+
+namespace treesched::experiments {
+
+/// Named topology set used across experiments (E11 sweeps all of them).
+struct NamedTree {
+  std::string name;
+  Tree tree;
+};
+std::vector<NamedTree> standard_trees();
+
+/// One policy-vs-lower-bound measurement.
+struct RatioResult {
+  double alg_flow = 0.0;       ///< total flow time of the algorithm
+  double alg_fractional = 0.0;
+  double lower_bound = 0.0;    ///< certified LB on OPT total flow time
+  double ratio = 0.0;          ///< alg_flow / lower_bound
+
+  /// Per-job average flow (for readability in tables).
+  double mean_flow = 0.0;
+};
+
+/// Runs `policy_name` on the instance with the given speeds and divides by
+/// the combined lower bound (computed at adversary speed 1). The returned
+/// ratio *upper-bounds* the true competitive ratio on this instance.
+RatioResult measure_ratio(const Instance& instance, const SpeedProfile& speeds,
+                          const std::string& policy_name, double eps,
+                          std::uint64_t seed = 1,
+                          sim::EngineConfig cfg = {});
+
+/// Repeats `body(rep_seed)` `reps` times with split seeds and returns the
+/// collected values (for mean/CI reporting).
+std::vector<double> repeat(std::uint64_t seed, int reps,
+                           const std::function<double(std::uint64_t)>& body);
+
+/// Geometric epsilon sweep used by the theorem experiments.
+std::vector<double> epsilon_sweep();
+
+}  // namespace treesched::experiments

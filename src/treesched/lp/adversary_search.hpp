@@ -1,0 +1,50 @@
+// Adversarial instance search — a tool for the paper's open question.
+//
+// The conclusion asks whether the unrelated-endpoint speed requirement
+// (2+eps) can be lowered to (1+eps); the hurdle is "processing times of
+// jobs changing once they arrive at the machine". This module hunts for
+// bad instances by local search over job parameters: it mutates releases,
+// sizes and unrelated leaf times of a small instance to maximize
+//
+//     ratio(I) = ALG(I, speed profile) / max(LB(I), OPT_search(I))
+//
+// where ALG is the paper's algorithm at the profile under test and the
+// denominator is the tightest OPT estimate available (certified LB, and
+// optionally offline assignment search). Finding ratios that grow as the
+// search budget rises is evidence toward a lower bound; flat ratios are
+// evidence the (1+eps) regime may be safe.
+#pragma once
+
+#include "treesched/core/instance.hpp"
+#include "treesched/core/speed_profile.hpp"
+
+namespace treesched::lp {
+
+struct AdversaryOptions {
+  int jobs = 8;              ///< instance size (kept small on purpose)
+  int iterations = 400;      ///< mutation steps
+  double release_span = 20;  ///< releases mutate within [0, span]
+  double size_min = 1.0;
+  double size_max = 8.0;
+  double leaf_factor_max = 8.0;  ///< unrelated leaf times in size*[1, this]
+  bool unrelated = true;
+  bool use_opt_search = true;    ///< tighten the denominator (slower)
+  std::uint64_t seed = 1;
+};
+
+struct AdversaryResult {
+  double best_ratio = 0.0;
+  std::vector<Job> best_jobs;     ///< the instance achieving it
+  double alg_flow = 0.0;
+  double opt_estimate = 0.0;
+  int evaluations = 0;
+};
+
+/// Runs the hunt on the given tree with the algorithm at `speeds`.
+/// The OPT estimate always runs at speed 1 (the adversary's machine).
+AdversaryResult search_adversarial_instance(const Tree& tree,
+                                            const SpeedProfile& speeds,
+                                            double eps,
+                                            const AdversaryOptions& options);
+
+}  // namespace treesched::lp

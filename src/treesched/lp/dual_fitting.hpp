@@ -1,0 +1,50 @@
+// Numeric verification of the paper's dual-fitting argument on broomsticks
+// (Sections 3.5 and 3.6).
+//
+// Runs the paper's algorithm (SJF everywhere + greedy assignment) on a
+// broomstick with the paper's speed profile, constructs the dual variables
+// exactly as the proofs do —
+//   beta_j      = the assignment cost of the chosen leaf (Lemma 4 bound),
+//   gamma_{v,j,infinity} = F(j, v),
+//   alpha_{v,t} = remaining leaf fractions under root children (and on
+//                 leaves in the unrelated case), 0 elsewhere —
+// scales them by eps^2/10 (identical) or eps^2/20 (unrelated), and checks
+// the dual constraints (4), (5), (6) at every breakpoint of the piecewise-
+// linear alpha trajectories (arrivals and completions), where the residuals
+// attain their maxima. Also reports the dual objective as a competitiveness
+// certificate: by weak duality, ALG_frac / dual_objective upper-bounds the
+// algorithm's fractional competitive ratio on this instance.
+#pragma once
+
+#include <string>
+
+#include "treesched/core/instance.hpp"
+
+namespace treesched::lp {
+
+struct DualFitReport {
+  double alg_fractional = 0.0;   ///< the algorithm's fractional flow time
+  double alpha_integral = 0.0;   ///< sum over v,t of alpha (trapezoid exact)
+  double beta_sum = 0.0;         ///< sum of unscaled beta_j
+  double dual_objective = 0.0;   ///< scaled: (sum beta - alpha integral) * eps^2/K
+  double certificate_ratio = 0.0;///< ALG_frac / dual_objective (when > 0)
+  double max_residual_c4 = -1e300;  ///< constraint (4); feasible iff <= 0
+  double max_residual_c5 = -1e300;  ///< constraint (5)
+  double max_residual_c6 = -1e300;  ///< constraint (6)
+  long checks = 0;
+
+  bool feasible(double tol = 1e-7) const {
+    return max_residual_c4 <= tol && max_residual_c5 <= tol &&
+           max_residual_c6 <= tol;
+  }
+  std::string summary() const;
+};
+
+/// Identical-endpoint dual fitting (Section 3.5; scaling 10/eps^2).
+/// `instance` must live on a broomstick tree with identical endpoints.
+DualFitReport dual_fit_identical(const Instance& instance, double eps);
+
+/// Unrelated-endpoint dual fitting (Section 3.6; scaling 20/eps^2).
+DualFitReport dual_fit_unrelated(const Instance& instance, double eps);
+
+}  // namespace treesched::lp

@@ -1,0 +1,163 @@
+#include "treesched/lp/flowtime_lp.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "treesched/algo/policies.hpp"
+#include "treesched/sim/engine.hpp"
+#include "treesched/util/assert.hpp"
+
+namespace treesched::lp {
+
+namespace {
+
+/// Dense (node, job, slot) -> LP variable map; -1 where the variable does
+/// not exist (slots before the job's release, or the root node).
+class VarIndex {
+ public:
+  VarIndex(const Instance& inst, int horizon, LpModel& model)
+      : horizon_(horizon),
+        jobs_(inst.job_count()),
+        nodes_(inst.tree().node_count()),
+        idx_(static_cast<std::size_t>(jobs_) * nodes_ * horizon, -1) {
+    const Tree& tree = inst.tree();
+    for (const Job& job : inst.jobs()) {
+      const int r = static_cast<int>(std::floor(job.release));
+      for (NodeId v = 0; v < tree.node_count(); ++v) {
+        if (tree.is_root(v)) continue;
+        for (int t = r; t < horizon; ++t)
+          at(v, job.id, t) = model.add_var(0.0);
+      }
+    }
+  }
+
+  int var(NodeId v, JobId j, int t) const {
+    if (t < 0 || t >= horizon_) return -1;
+    return idx_[offset(v, j, t)];
+  }
+
+ private:
+  int& at(NodeId v, JobId j, int t) { return idx_[offset(v, j, t)]; }
+  std::size_t offset(NodeId v, JobId j, int t) const {
+    return (static_cast<std::size_t>(v) * jobs_ + j) * horizon_ + t;
+  }
+
+  int horizon_;
+  int jobs_;
+  int nodes_;
+  std::vector<int> idx_;
+};
+
+}  // namespace
+
+LpModel build_flowtime_lp(const Instance& instance, const SpeedProfile& speeds,
+                          int horizon) {
+  TS_REQUIRE(horizon >= 1, "horizon must be positive");
+  const Tree& tree = instance.tree();
+  for (const Job& job : instance.jobs())
+    TS_REQUIRE(std::floor(job.release) == job.release,
+               "time-indexed LP requires integer release times");
+
+  LpModel model;
+  VarIndex vars(instance, horizon, model);
+
+  // Objective. Fractional-waiting term on leaves and root children, plus
+  // the path-volume term on leaves (eta_{j,v}/p_{j,v} per unit processed).
+  auto is_root_child = [&](NodeId v) { return tree.parent(v) == tree.root(); };
+  for (const Job& job : instance.jobs()) {
+    const int r = static_cast<int>(job.release);
+    for (NodeId v = 0; v < tree.node_count(); ++v) {
+      if (tree.is_root(v)) continue;
+      const bool leaf = tree.is_leaf(v);
+      if (!leaf && !is_root_child(v)) continue;
+      const double p = instance.processing_time(job.id, v);
+      for (int t = r; t < horizon; ++t) {
+        const int x = vars.var(v, job.id, t);
+        double c = static_cast<double>(t - r) / p;
+        if (leaf)
+          c += instance.path_processing_time(job.id, v) / p;
+        model.objective[x] += c;
+      }
+    }
+  }
+
+  // (1) capacity: one node processes at most s_v units per slot.
+  for (NodeId v = 0; v < tree.node_count(); ++v) {
+    if (tree.is_root(v)) continue;
+    for (int t = 0; t < horizon; ++t) {
+      LpRow row;
+      row.sense = RowSense::kLe;
+      row.rhs = speeds.speed(v);
+      for (const Job& job : instance.jobs()) {
+        const int x = vars.var(v, job.id, t);
+        if (x >= 0) row.coeffs.emplace_back(x, 1.0);
+      }
+      if (!row.coeffs.empty()) model.add_row(std::move(row));
+    }
+  }
+
+  // (2) completion: each job fully processed across the leaves.
+  for (const Job& job : instance.jobs()) {
+    LpRow row;
+    row.sense = RowSense::kGe;
+    row.rhs = 1.0;
+    for (const NodeId v : tree.leaves()) {
+      const double p = instance.processing_time(job.id, v);
+      for (int t = static_cast<int>(job.release); t < horizon; ++t)
+        row.coeffs.emplace_back(vars.var(v, job.id, t), 1.0 / p);
+    }
+    model.add_row(std::move(row));
+  }
+
+  // (3) precedence: cumulative fraction on a router dominates the cumulative
+  // fraction forwarded to its children (each side in its own units).
+  for (NodeId v = 0; v < tree.node_count(); ++v) {
+    if (tree.is_root(v) || tree.is_leaf(v)) continue;
+    for (const Job& job : instance.jobs()) {
+      const double pv = instance.processing_time(job.id, v);
+      const int r = static_cast<int>(job.release);
+      for (int t = r; t < horizon; ++t) {
+        LpRow row;
+        row.sense = RowSense::kGe;
+        row.rhs = 0.0;
+        for (int tp = r; tp <= t; ++tp)
+          row.coeffs.emplace_back(vars.var(v, job.id, tp), 1.0 / pv);
+        for (const NodeId c : tree.children(v)) {
+          const double pc = instance.processing_time(job.id, c);
+          for (int tp = r; tp <= t; ++tp)
+            row.coeffs.emplace_back(vars.var(c, job.id, tp), -1.0 / pc);
+        }
+        model.add_row(std::move(row));
+      }
+    }
+  }
+
+  return model;
+}
+
+FlowtimeLpResult solve_flowtime_lp(const Instance& instance,
+                                   const SpeedProfile& speeds,
+                                   int horizon_hint) {
+  int horizon = horizon_hint;
+  if (horizon <= 0) {
+    // A simulated schedule under the same speeds is LP-feasible, so its
+    // makespan (plus slack) guarantees LP feasibility.
+    algo::PaperGreedyPolicy greedy(0.5);
+    sim::Engine engine(instance, speeds);
+    engine.run(greedy);
+    horizon = static_cast<int>(std::ceil(engine.metrics().makespan())) + 1;
+  }
+  FlowtimeLpResult result;
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const LpModel model = build_flowtime_lp(instance, speeds, horizon);
+    const LpSolution sol = solve(model);
+    result.status = sol.status;
+    result.objective = sol.objective;
+    result.horizon = horizon;
+    if (sol.status != LpStatus::kInfeasible) return result;
+    horizon *= 2;
+  }
+  return result;
+}
+
+}  // namespace treesched::lp

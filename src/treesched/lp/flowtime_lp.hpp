@@ -1,0 +1,49 @@
+// The paper's time-indexed LP relaxation (Section 2, LP-Primal).
+//
+// Variables x_{v,j,t}: work done on job j at node v during unit slot t
+// (t = 0 .. horizon-1, only slots with t >= floor(r_j) exist). Constraints:
+//   (1) sum_j x_{v,j,t} <= s_v                      (per node and slot)
+//   (2) sum_{v in L} sum_t x_{v,j,t}/p_{j,v} >= 1   (jobs finish on leaves)
+//   (3) cumulative fraction on a router >= cumulative fraction on children
+//       (dimension-corrected: each side divided by its own p; identical for
+//        identical nodes, and the leaf side uses p_{j,v'})
+// Objective: the paper's two lower-bound terms summed — fractional waiting
+// on leaves and root children, plus the path-volume term on leaves.
+//
+// The optimum is a certified lower bound on (twice) the optimal fractional
+// flow time; it is exactly the LP the paper's dual fitting argues against.
+#pragma once
+
+#include "treesched/core/instance.hpp"
+#include "treesched/core/speed_profile.hpp"
+#include "treesched/lp/simplex.hpp"
+
+namespace treesched::lp {
+
+/// Builds the LP. `horizon` must be large enough for all jobs to finish;
+/// solve_flowtime_lp grows it automatically. Throws on non-integral release
+/// times (the time-indexed LP assumes integer slots).
+LpModel build_flowtime_lp(const Instance& instance, const SpeedProfile& speeds,
+                          int horizon);
+
+struct FlowtimeLpResult {
+  LpStatus status = LpStatus::kIterLimit;
+  double objective = 0.0;
+  int horizon = 0;
+};
+
+/// Solves the LP, doubling the horizon until feasible (the LP is feasible
+/// iff every job can fully fit by the horizon). Starts from a volume-based
+/// estimate unless `horizon_hint` > 0.
+FlowtimeLpResult solve_flowtime_lp(const Instance& instance,
+                                   const SpeedProfile& speeds,
+                                   int horizon_hint = 0);
+
+/// The LP objective is a sum of two job-wise lower bounds on flow time, so
+/// OPT_LP <= 2 * OPT_fractional. This helper converts the LP optimum into a
+/// certified lower bound on the optimal fractional flow time.
+inline double lp_lower_bound_on_opt(double lp_objective) {
+  return lp_objective / 2.0;
+}
+
+}  // namespace treesched::lp

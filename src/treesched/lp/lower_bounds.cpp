@@ -1,0 +1,91 @@
+#include "treesched/lp/lower_bounds.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "treesched/util/assert.hpp"
+
+namespace treesched::lp {
+
+double lb_path_volume(const Instance& instance) {
+  double total = 0.0;
+  for (const Job& job : instance.jobs()) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const NodeId v : instance.tree().leaves())
+      best = std::min(best, instance.path_processing_time(job.id, v));
+    total += best;
+  }
+  return total;
+}
+
+double srpt_single_machine_flow(std::vector<std::pair<Time, double>> jobs,
+                                double speed) {
+  TS_REQUIRE(speed > 0.0, "machine speed must be positive");
+  std::sort(jobs.begin(), jobs.end());
+  // Min-heap of remaining sizes among released, unfinished jobs; each entry
+  // carries its release time for the flow-time sum.
+  using Entry = std::pair<double, Time>;  // (remaining, release)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> active;
+  double total_flow = 0.0;
+  Time now = 0.0;
+  std::size_t next = 0;
+
+  while (next < jobs.size() || !active.empty()) {
+    if (active.empty()) {
+      now = std::max(now, jobs[next].first);
+      active.emplace(jobs[next].second, jobs[next].first);
+      ++next;
+      continue;
+    }
+    auto [rem, rel] = active.top();
+    const Time finish = now + rem / speed;
+    if (next < jobs.size() && jobs[next].first < finish) {
+      // Work until the arrival, then reconsider (SRPT preempts).
+      const Time arrive = jobs[next].first;
+      active.pop();
+      active.emplace(rem - (arrive - now) * speed, rel);
+      active.emplace(jobs[next].second, jobs[next].first);
+      ++next;
+      now = arrive;
+    } else {
+      active.pop();
+      now = finish;
+      total_flow += now - rel;
+    }
+  }
+  return total_flow;
+}
+
+double lb_root_cut(const Instance& instance) {
+  std::vector<std::pair<Time, double>> jobs;
+  jobs.reserve(instance.job_count());
+  for (const Job& job : instance.jobs())
+    jobs.emplace_back(job.release, job.size);
+  const double speed =
+      static_cast<double>(instance.tree().root_children().size());
+  return srpt_single_machine_flow(std::move(jobs), speed);
+}
+
+double lb_leaf_cut(const Instance& instance) {
+  std::vector<std::pair<Time, double>> jobs;
+  jobs.reserve(instance.job_count());
+  for (const Job& job : instance.jobs()) {
+    double p = job.size;
+    if (instance.model() == EndpointModel::kUnrelated) {
+      p = std::numeric_limits<double>::infinity();
+      for (const NodeId v : instance.tree().leaves())
+        p = std::min(p, instance.processing_time(job.id, v));
+    }
+    jobs.emplace_back(job.release, p);
+  }
+  const double speed = static_cast<double>(instance.tree().leaves().size());
+  return srpt_single_machine_flow(std::move(jobs), speed);
+}
+
+double combined_lower_bound(const Instance& instance) {
+  return std::max({lb_path_volume(instance), lb_root_cut(instance),
+                   lb_leaf_cut(instance)});
+}
+
+}  // namespace treesched::lp

@@ -1,0 +1,40 @@
+// Certified lower bounds on the optimal total flow time, used as the OPT
+// proxy in competitive-ratio experiments on instances too large for the LP.
+//
+// Validity arguments (adversary at speed 1 everywhere):
+//  * path volume  — job j's flow time is at least min_v P_{j,v}, the least
+//    total processing any leaf assignment needs (Section 2).
+//  * root cut     — every job is fully processed by exactly one root child.
+//    The root-child layer is |R| unit-speed machines; a single machine of
+//    speed |R| with processor sharing can emulate any such layer schedule,
+//    and preemptive SRPT is flow-optimal on one machine. Hence total flow
+//    >= SRPT flow on one speed-|R| machine with sizes p_j.
+//  * leaf cut     — symmetric cut at the machines with sizes min_v p_{j,v}.
+// The returned combined bound is the max of the three.
+#pragma once
+
+#include <vector>
+
+#include "treesched/core/instance.hpp"
+
+namespace treesched::lp {
+
+/// sum_j min_{v in L} P_{j,v}.
+double lb_path_volume(const Instance& instance);
+
+/// SRPT total flow time on a single machine of speed `speed` for jobs with
+/// the given (release, size) pairs. Exposed for reuse and direct testing.
+double srpt_single_machine_flow(std::vector<std::pair<Time, double>> jobs,
+                                double speed);
+
+/// Root-cut bound: SRPT on one machine of speed |R| with sizes p_j.
+double lb_root_cut(const Instance& instance);
+
+/// Leaf-cut bound: SRPT on one machine of speed |L| with sizes
+/// min_v p_{j,v}.
+double lb_leaf_cut(const Instance& instance);
+
+/// max of the three bounds above.
+double combined_lower_bound(const Instance& instance);
+
+}  // namespace treesched::lp

@@ -1,0 +1,90 @@
+#include "treesched/lp/opt_search.hpp"
+
+#include <limits>
+
+#include "treesched/sim/engine.hpp"
+#include "treesched/util/assert.hpp"
+#include "treesched/util/rng.hpp"
+
+namespace treesched::lp {
+
+namespace {
+
+double evaluate(const Instance& inst, const SpeedProfile& speeds,
+                const std::vector<NodeId>& assignment) {
+  // SRPT per node: the strongest single-node discipline we have for total
+  // flow; the search only needs a consistent evaluator, not optimality.
+  sim::EngineConfig cfg;
+  cfg.node_policy = sim::NodePolicy::kSrpt;
+  sim::Engine engine(inst, speeds, cfg);
+  engine.run_with_assignment(assignment);
+  return engine.metrics().total_flow_time();
+}
+
+}  // namespace
+
+OptSearchResult search_opt_upper_bound(const Instance& instance,
+                                       const SpeedProfile& speeds,
+                                       const OptSearchOptions& options) {
+  TS_REQUIRE(options.restarts >= 1 && options.max_passes >= 1,
+             "search needs at least one restart and pass");
+  const auto& leaves = instance.tree().leaves();
+  const JobId n = instance.job_count();
+  util::Rng rng(options.seed);
+
+  OptSearchResult result;
+  result.best_flow = std::numeric_limits<double>::infinity();
+
+  for (int restart = 0; restart < options.restarts; ++restart) {
+    std::vector<NodeId> assignment(n);
+    if (restart == 0) {
+      // Seed one restart with the cheapest-path assignment; the rest random.
+      for (JobId j = 0; j < n; ++j) {
+        double best = std::numeric_limits<double>::infinity();
+        for (const NodeId v : leaves) {
+          const double c = instance.path_processing_time(j, v);
+          if (c < best) {
+            best = c;
+            assignment[j] = v;
+          }
+        }
+      }
+    } else {
+      for (JobId j = 0; j < n; ++j)
+        assignment[j] = leaves[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(leaves.size()) - 1))];
+    }
+
+    double current = evaluate(instance, speeds, assignment);
+    ++result.evaluations;
+
+    // First-improvement sweeps: move one job to another leaf.
+    for (int pass = 0; pass < options.max_passes; ++pass) {
+      bool improved = false;
+      for (JobId j = 0; j < n; ++j) {
+        const NodeId original = assignment[j];
+        for (const NodeId v : leaves) {
+          if (v == original) continue;
+          assignment[j] = v;
+          const double candidate = evaluate(instance, speeds, assignment);
+          ++result.evaluations;
+          if (candidate < current - 1e-9) {
+            current = candidate;
+            improved = true;
+            break;  // keep the move
+          }
+          assignment[j] = original;
+        }
+      }
+      if (!improved) break;
+    }
+
+    if (current < result.best_flow) {
+      result.best_flow = current;
+      result.best_assignment = assignment;
+    }
+  }
+  return result;
+}
+
+}  // namespace treesched::lp

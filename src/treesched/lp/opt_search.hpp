@@ -1,0 +1,36 @@
+// Offline search for good schedules — an *upper* bound on OPT.
+//
+// The competitive-ratio experiments divide by certified lower bounds; this
+// module quantifies how loose those denominators are by searching (random
+// restarts + first-improvement local search over leaf assignments, with
+// SRPT node scheduling as the evaluation engine) for the cheapest schedule
+// it can find. The gap best_found / lower_bound bounds the certificates'
+// slack: the true OPT lies inside [lower_bound, best_found].
+#pragma once
+
+#include <vector>
+
+#include "treesched/core/instance.hpp"
+#include "treesched/core/speed_profile.hpp"
+
+namespace treesched::lp {
+
+struct OptSearchResult {
+  double best_flow = 0.0;               ///< cheapest total flow time found
+  std::vector<NodeId> best_assignment;  ///< leaf per job id
+  int evaluations = 0;                  ///< engine runs spent
+};
+
+struct OptSearchOptions {
+  int restarts = 4;          ///< random restarts
+  int max_passes = 6;        ///< local-search sweeps per restart
+  std::uint64_t seed = 1;
+};
+
+/// Searches offline (adversary knowledge: the whole instance) at the given
+/// speeds — pass speed-1 profiles to estimate the adversary's optimum.
+OptSearchResult search_opt_upper_bound(const Instance& instance,
+                                       const SpeedProfile& speeds,
+                                       const OptSearchOptions& options = {});
+
+}  // namespace treesched::lp

@@ -1,0 +1,258 @@
+#include "treesched/lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "treesched/util/assert.hpp"
+
+namespace treesched::lp {
+
+namespace {
+constexpr double kPivotTol = 1e-9;
+constexpr double kFeasTol = 1e-7;
+}  // namespace
+
+int LpModel::add_row(LpRow row) {
+  rows.push_back(std::move(row));
+  return static_cast<int>(rows.size()) - 1;
+}
+
+int LpModel::add_var(double cost) {
+  objective.push_back(cost);
+  return num_vars++;
+}
+
+namespace {
+
+/// Dense tableau: m constraint rows + 1 objective row; columns are all
+/// variables (structural + slack/surplus + artificial) + rhs.
+class Tableau {
+ public:
+  Tableau(int rows, int cols)
+      : rows_(rows), cols_(cols), a_(static_cast<std::size_t>(rows) * cols, 0.0) {}
+
+  double& at(int r, int c) { return a_[static_cast<std::size_t>(r) * cols_ + c]; }
+  double at(int r, int c) const {
+    return a_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+
+  /// Gauss-Jordan pivot on (r, c), including the objective row.
+  void pivot(int r, int c) {
+    const double piv = at(r, c);
+    TS_CHECK(std::fabs(piv) > kPivotTol, "pivot on a numerically zero entry");
+    double* prow = &a_[static_cast<std::size_t>(r) * cols_];
+    const double inv = 1.0 / piv;
+    for (int j = 0; j < cols_; ++j) prow[j] *= inv;
+    for (int i = 0; i < rows_; ++i) {
+      if (i == r) continue;
+      double* row = &a_[static_cast<std::size_t>(i) * cols_];
+      const double factor = row[c];
+      if (factor == 0.0) continue;
+      for (int j = 0; j < cols_; ++j) row[j] -= factor * prow[j];
+      row[c] = 0.0;  // kill residual round-off in the pivot column
+    }
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+ private:
+  int rows_, cols_;
+  std::vector<double> a_;
+};
+
+struct Prepared {
+  Tableau tab;
+  std::vector<int> basis;      ///< basic variable per constraint row
+  int n_total = 0;             ///< columns excluding rhs
+  int first_artificial = 0;    ///< artificial columns are [first_artificial, n_total)
+};
+
+/// Runs simplex iterations on the prepared tableau, minimizing whatever the
+/// objective row currently encodes. Columns >= `blocked_from` never enter.
+LpStatus iterate(Prepared& p, int blocked_from, int& iters_left) {
+  Tableau& t = p.tab;
+  const int m = t.rows() - 1;  // constraint rows
+  const int obj = m;           // objective row index
+  const int rhs = p.n_total;   // rhs column
+  bool bland = false;
+  int since_progress = 0;
+
+  while (true) {
+    if (iters_left-- <= 0) return LpStatus::kIterLimit;
+    // Entering column: reduced cost < 0.
+    int enter = -1;
+    if (!bland) {
+      double best = -kPivotTol;
+      for (int j = 0; j < blocked_from; ++j) {
+        const double rc = t.at(obj, j);
+        if (rc < best) {
+          best = rc;
+          enter = j;
+        }
+      }
+    } else {
+      for (int j = 0; j < blocked_from; ++j) {
+        if (t.at(obj, j) < -kPivotTol) {
+          enter = j;
+          break;
+        }
+      }
+    }
+    if (enter < 0) return LpStatus::kOptimal;
+
+    // Ratio test: leaving row (ties by smallest basis index — Bland-safe).
+    int leave = -1;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < m; ++i) {
+      const double aij = t.at(i, enter);
+      if (aij > kPivotTol) {
+        const double ratio = t.at(i, rhs) / aij;
+        if (ratio < best_ratio - 1e-12 ||
+            (std::fabs(ratio - best_ratio) <= 1e-12 &&
+             (leave < 0 || p.basis[i] < p.basis[leave]))) {
+          best_ratio = ratio;
+          leave = i;
+        }
+      }
+    }
+    if (leave < 0) return LpStatus::kUnbounded;
+
+    t.pivot(leave, enter);
+    p.basis[leave] = enter;
+
+    // Degeneracy watchdog: long runs without objective progress switch the
+    // pivot rule to Bland's, which terminates finitely.
+    if (best_ratio <= 1e-12) {
+      if (++since_progress > 2 * (m + p.n_total)) bland = true;
+    } else {
+      since_progress = 0;
+    }
+  }
+}
+
+}  // namespace
+
+LpSolution solve(const LpModel& model, int max_iters) {
+  TS_REQUIRE(model.objective.size() ==
+                 static_cast<std::size_t>(model.num_vars),
+             "objective size mismatch");
+  const int n = model.num_vars;
+  const int m = static_cast<int>(model.rows.size());
+
+  // Normalize rows to rhs >= 0 and count extra columns.
+  std::vector<double> rhs(m);
+  std::vector<RowSense> sense(m);
+  std::vector<double> sign(m, 1.0);
+  int n_slack = 0, n_artificial = 0;
+  for (int i = 0; i < m; ++i) {
+    rhs[i] = model.rows[i].rhs;
+    sense[i] = model.rows[i].sense;
+    if (rhs[i] < 0.0) {
+      sign[i] = -1.0;
+      rhs[i] = -rhs[i];
+      if (sense[i] == RowSense::kLe) sense[i] = RowSense::kGe;
+      else if (sense[i] == RowSense::kGe) sense[i] = RowSense::kLe;
+    }
+    if (sense[i] != RowSense::kEq) ++n_slack;
+    if (sense[i] != RowSense::kLe) ++n_artificial;
+  }
+
+  const int n_total = n + n_slack + n_artificial;
+  Prepared p{Tableau(m + 1, n_total + 1), std::vector<int>(m, -1), n_total,
+             n + n_slack};
+  Tableau& t = p.tab;
+
+  int slack_col = n;
+  int art_col = n + n_slack;
+  for (int i = 0; i < m; ++i) {
+    for (const auto& [var, coeff] : model.rows[i].coeffs) {
+      TS_REQUIRE(var >= 0 && var < n, "row references unknown variable");
+      t.at(i, var) += sign[i] * coeff;
+    }
+    t.at(i, n_total) = rhs[i];
+    switch (sense[i]) {
+      case RowSense::kLe:
+        t.at(i, slack_col) = 1.0;
+        p.basis[i] = slack_col++;
+        break;
+      case RowSense::kGe:
+        t.at(i, slack_col) = -1.0;
+        ++slack_col;
+        t.at(i, art_col) = 1.0;
+        p.basis[i] = art_col++;
+        break;
+      case RowSense::kEq:
+        t.at(i, art_col) = 1.0;
+        p.basis[i] = art_col++;
+        break;
+    }
+  }
+
+  int iters_left = max_iters;
+  LpSolution sol;
+
+  // --- Phase 1: minimize the sum of artificials ---
+  if (n_artificial > 0) {
+    // Objective row: reduced costs of "sum of artificials" given the
+    // artificial basis: row_obj = -sum of rows whose basic var is artificial.
+    for (int i = 0; i < m; ++i) {
+      if (p.basis[i] >= p.first_artificial) {
+        for (int j = 0; j <= n_total; ++j) t.at(m, j) -= t.at(i, j);
+        t.at(m, p.basis[i]) = 0.0;
+      }
+    }
+    const LpStatus s1 = iterate(p, n_total, iters_left);
+    if (s1 == LpStatus::kIterLimit) {
+      sol.status = LpStatus::kIterLimit;
+      return sol;
+    }
+    TS_CHECK(s1 != LpStatus::kUnbounded, "phase 1 cannot be unbounded");
+    const double phase1 = -t.at(m, n_total);
+    if (phase1 > kFeasTol) {
+      sol.status = LpStatus::kInfeasible;
+      return sol;
+    }
+    // Drive any residual basic artificials out (or recognize their row as
+    // redundant and leave them at value 0 while blocking re-entry).
+    for (int i = 0; i < m; ++i) {
+      if (p.basis[i] < p.first_artificial) continue;
+      int col = -1;
+      for (int j = 0; j < p.first_artificial; ++j) {
+        if (std::fabs(t.at(i, j)) > 1e-7) {
+          col = j;
+          break;
+        }
+      }
+      if (col >= 0) {
+        t.pivot(i, col);
+        p.basis[i] = col;
+      }
+    }
+  }
+
+  // --- Phase 2: real objective ---
+  for (int j = 0; j <= n_total; ++j) t.at(m, j) = 0.0;
+  for (int j = 0; j < n; ++j) t.at(m, j) = model.objective[j];
+  for (int i = 0; i < m; ++i) {
+    const int b = p.basis[i];
+    if (b < n && model.objective[b] != 0.0) {
+      const double c = model.objective[b];
+      for (int j = 0; j <= n_total; ++j) t.at(m, j) -= c * t.at(i, j);
+      t.at(m, b) = 0.0;
+    }
+  }
+  const LpStatus s2 = iterate(p, p.first_artificial, iters_left);
+  sol.status = s2;
+  if (s2 != LpStatus::kOptimal) return sol;
+
+  sol.x.assign(n, 0.0);
+  for (int i = 0; i < m; ++i)
+    if (p.basis[i] < n) sol.x[p.basis[i]] = t.at(i, n_total);
+  sol.objective = 0.0;
+  for (int j = 0; j < n; ++j) sol.objective += model.objective[j] * sol.x[j];
+  return sol;
+}
+
+}  // namespace treesched::lp

@@ -1,0 +1,48 @@
+// Dense two-phase primal simplex, written from scratch.
+//
+// Solves   min c'x   s.t.  rows of (a_i' x  {<=,>=,=}  b_i),  x >= 0.
+//
+// Scope: the exact LP relaxations of this repo (hundreds of rows/columns).
+// Dense tableau with a largest-reduced-cost pivot rule and an automatic
+// switch to Bland's rule for anti-cycling after an iteration threshold.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+namespace treesched::lp {
+
+enum class RowSense { kLe, kGe, kEq };
+
+struct LpRow {
+  std::vector<std::pair<int, double>> coeffs;  ///< (variable, coefficient)
+  RowSense sense = RowSense::kLe;
+  double rhs = 0.0;
+};
+
+/// LP in minimization form with non-negative variables.
+struct LpModel {
+  int num_vars = 0;
+  std::vector<double> objective;  ///< size num_vars
+  std::vector<LpRow> rows;
+
+  /// Adds a row; returns its index.
+  int add_row(LpRow row);
+  /// Registers a new variable with the given objective coefficient.
+  int add_var(double cost);
+};
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterLimit };
+
+struct LpSolution {
+  LpStatus status = LpStatus::kIterLimit;
+  double objective = 0.0;
+  std::vector<double> x;
+
+  bool optimal() const { return status == LpStatus::kOptimal; }
+};
+
+/// Solves the model. `max_iters` bounds total pivots across both phases.
+LpSolution solve(const LpModel& model, int max_iters = 200000);
+
+}  // namespace treesched::lp

@@ -1,0 +1,488 @@
+#include "treesched/sim/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "treesched/util/assert.hpp"
+#include "treesched/util/float_compare.hpp"
+
+namespace treesched::sim {
+
+namespace {
+// Completion detection tolerance: event times are exact sums, but pauses
+// subtract elapsed*speed, so residuals accumulate a few ulps per event.
+constexpr double kWorkTol = 1e-6;
+}  // namespace
+
+Engine::Engine(const Instance& instance, SpeedProfile speeds, EngineConfig cfg)
+    : inst_(&instance), speeds_(std::move(speeds)), cfg_(cfg) {
+  TS_REQUIRE(speeds_.speeds().size() ==
+                 static_cast<std::size_t>(instance.tree().node_count()),
+             "speed profile does not match the tree");
+  TS_REQUIRE(cfg_.router_chunk_size >= 0.0, "chunk size must be >= 0");
+  nodes_.resize(instance.tree().node_count());
+  jobs_.resize(instance.job_count());
+  metrics_.reset(instance.job_count());
+}
+
+// ---------------------------------------------------------------------------
+// Internal helpers
+// ---------------------------------------------------------------------------
+
+int Engine::path_index(const JobState& js, NodeId v) const {
+  TS_REQUIRE(js.path != nullptr, "job not admitted");
+  for (std::size_t i = 0; i < js.path->size(); ++i)
+    if ((*js.path)[i] == v) return static_cast<int>(i);
+  TS_REQUIRE(false, "node not on the job's path");
+  return -1;
+}
+
+bool Engine::is_leaf_index(const JobState& js, int idx) const {
+  return static_cast<std::size_t>(idx) + 1 == js.path->size();
+}
+
+double Engine::stored_remaining_item(const JobState& js, int idx) const {
+  if (is_leaf_index(js, idx)) return js.leaf_rem;
+  TS_CHECK(js.chunks_done[idx] < js.chunks, "no pending chunk on this node");
+  return js.head_rem[idx];
+}
+
+double Engine::live_remaining_item(JobId j, int idx) const {
+  const JobState& js = jobs_[j];
+  const NodeId v = (*js.path)[idx];
+  double rem = stored_remaining_item(js, idx);
+  const NodeState& ns = nodes_[v];
+  if (ns.has_running && ns.running.job == j)
+    rem -= (now_ - ns.burst_start) * speeds_.speed(v);
+  return std::max(rem, 0.0);
+}
+
+PriorityKey Engine::make_key(JobId j, int idx, Time avail_time) const {
+  const JobState& js = jobs_[j];
+  const NodeId v = (*js.path)[idx];
+  PriorityKey k;
+  k.job = j;
+  k.chunk = is_leaf_index(js, idx) ? kLeafChunk : js.chunks_done[idx];
+  const Time release = inst_->job(j).release;
+  switch (cfg_.node_policy) {
+    case NodePolicy::kSjf:
+      k.a = size_on(j, v);
+      k.b = release;
+      break;
+    case NodePolicy::kFifo:
+      k.a = avail_time;
+      k.b = 0.0;
+      break;
+    case NodePolicy::kSrpt:
+      k.a = stored_remaining_item(js, idx);
+      k.b = release;
+      break;
+    case NodePolicy::kLcfs:
+      k.a = -avail_time;
+      k.b = 0.0;
+      break;
+    case NodePolicy::kHdf:
+      k.a = size_on(j, v) / inst_->job(j).weight;
+      k.b = release;
+      break;
+  }
+  return k;
+}
+
+void Engine::insert_avail(NodeId v, JobId j, int idx, Time t) {
+  JobState& js = jobs_[j];
+  TS_CHECK(!js.in_avail[idx], "work item already available");
+  const PriorityKey k = make_key(j, idx, t);
+  const bool inserted = nodes_[v].avail.insert(k).second;
+  TS_CHECK(inserted, "duplicate priority key");
+  js.in_avail[idx] = true;
+  js.avail_key[idx] = k;
+}
+
+void Engine::erase_avail(NodeId v, JobId j, int idx) {
+  JobState& js = jobs_[j];
+  TS_CHECK(js.in_avail[idx], "work item not available");
+  const std::size_t erased = nodes_[v].avail.erase(js.avail_key[idx]);
+  TS_CHECK(erased == 1, "avail key missing from node set");
+  js.in_avail[idx] = false;
+}
+
+void Engine::accumulate_frac_to(JobId j, Time t) {
+  JobState& js = jobs_[j];
+  if (t <= js.frac_touch) return;
+  metrics_.job(j).fractional_area += (t - js.frac_touch) * js.frac;
+  js.frac_touch = t;
+}
+
+void Engine::pause(NodeId v, Time t) {
+  NodeState& ns = nodes_[v];
+  TS_CHECK(t >= ns.burst_start - util::kEps, "pause moving backwards");
+  if (!ns.has_running) {
+    ns.burst_start = t;
+    return;
+  }
+  const double sp = speeds_.speed(v);
+  const double w = (t - ns.burst_start) * sp;
+  if (w <= 0.0) {
+    ns.burst_start = t;
+    return;
+  }
+  const JobId j = ns.running.job;
+  JobState& js = jobs_[j];
+  const int idx = path_index(js, v);
+  const double stored = stored_remaining_item(js, idx);
+  TS_CHECK(w <= stored + kWorkTol * std::max(1.0, stored),
+           "node performed more work than the item had");
+  const double done = std::min(w, stored);
+  const double rem = stored - done;
+
+  if (cfg_.record_schedule)
+    recorder_.add({v, j, ns.running.chunk, ns.burst_start, t, sp});
+
+  if (is_leaf_index(js, idx)) {
+    // Exact fractional flow: constant fraction up to burst start, then a
+    // linear drain over the burst (trapezoid).
+    accumulate_frac_to(j, ns.burst_start);
+    const double p = size_on(j, v);
+    const double new_frac = rem / p;
+    metrics_.job(j).fractional_area +=
+        (t - ns.burst_start) * (js.frac + new_frac) / 2.0;
+    js.frac = new_frac;
+    js.frac_touch = t;
+    js.leaf_rem = rem;
+  } else {
+    js.head_rem[idx] = rem;
+  }
+
+  if (cfg_.node_policy == NodePolicy::kSrpt) {
+    // Remaining time is the priority: refresh the running item's key.
+    erase_avail(v, j, idx);
+    PriorityKey k = ns.running;
+    k.a = rem;
+    const bool inserted = ns.avail.insert(k).second;
+    TS_CHECK(inserted, "SRPT key refresh collision");
+    js.in_avail[idx] = true;
+    js.avail_key[idx] = k;
+    ns.running = k;
+  }
+  ns.burst_start = t;
+}
+
+void Engine::resched(NodeId v, Time t) {
+  NodeState& ns = nodes_[v];
+  if (ns.has_running && !ns.avail.empty() && ns.running == *ns.avail.begin())
+    return;  // the pending completion event is still accurate
+  ++ns.version;
+  if (ns.avail.empty()) {
+    ns.has_running = false;
+    return;
+  }
+  ns.running = *ns.avail.begin();
+  ns.has_running = true;
+  ns.burst_start = t;
+  const JobState& js = jobs_[ns.running.job];
+  const int idx = path_index(js, v);
+  const double rem = stored_remaining_item(js, idx);
+  events_.push({t + rem / speeds_.speed(v), seq_++, v, ns.version});
+}
+
+void Engine::handle_completion(NodeId v, Time t) {
+  pause(v, t);
+  NodeState& ns = nodes_[v];
+  TS_CHECK(ns.has_running, "completion event without a running item");
+  const PriorityKey item = ns.running;
+  const JobId j = item.job;
+  JobState& js = jobs_[j];
+  const int idx = path_index(js, v);
+  const double rem = stored_remaining_item(js, idx);
+  TS_CHECK(rem <= kWorkTol * std::max(1.0, js.chunk_size),
+           "completion fired with work remaining");
+
+  ns.has_running = false;
+  erase_avail(v, j, idx);
+
+  if (is_leaf_index(js, idx)) {
+    js.leaf_rem = 0.0;
+    accumulate_frac_to(j, t);
+    js.frac = 0.0;
+    js.done = true;
+    ns.inflight.erase(j);
+    JobRecord& rec = metrics_.job(j);
+    rec.completion = t;
+    rec.node_completion[idx] = t;
+    if (observer_) observer_->on_job_completed(*this, j);
+  } else {
+    const std::int32_t c = js.chunks_done[idx];
+    TS_CHECK(c == item.chunk, "completed chunk is not the head");
+    js.chunks_done[idx] = c + 1;
+    js.head_rem[idx] = js.chunk_size;
+    const bool node_finished = (js.chunks_done[idx] == js.chunks);
+
+    // Next head chunk may already be deliverable on this node.
+    if (!node_finished &&
+        (idx == 0 || js.chunks_done[idx] < js.chunks_done[idx - 1]))
+      insert_avail(v, j, idx, t);
+
+    // Deliver chunk c downstream.
+    const NodeId next = (*js.path)[idx + 1];
+    const bool next_is_leaf = is_leaf_index(js, idx + 1);
+    if (!next_is_leaf) {
+      if (js.chunks_done[idx + 1] == c) {
+        // The child was waiting for exactly this chunk.
+        pause(next, t);
+        insert_avail(next, j, idx + 1, t);
+        resched(next, t);
+      }
+    } else if (node_finished) {
+      // All data arrived at the last router: the leaf work becomes available.
+      pause(next, t);
+      insert_avail(next, j, idx + 1, t);
+      resched(next, t);
+    }
+
+    if (node_finished) {
+      ns.inflight.erase(j);
+      metrics_.job(j).node_completion[idx] = t;
+    }
+  }
+  resched(v, t);
+}
+
+// ---------------------------------------------------------------------------
+// Driving
+// ---------------------------------------------------------------------------
+
+void Engine::advance_to(Time t) {
+  TS_REQUIRE(t >= now_ - util::kEps, "advance_to cannot move backwards");
+  while (!events_.empty() && events_.top().t <= t) {
+    const Event ev = events_.top();
+    events_.pop();
+    if (ev.version != nodes_[ev.node].version) continue;  // stale
+    now_ = std::max(now_, ev.t);
+    handle_completion(ev.node, now_);
+    if (observer_) observer_->on_event(*this, now_);
+  }
+  now_ = std::max(now_, t);
+}
+
+void Engine::admit(JobId j, NodeId leaf) {
+  TS_REQUIRE(j >= 0 && j < inst_->job_count(), "job id out of range");
+  TS_REQUIRE(!jobs_[j].admitted, "job already admitted");
+  TS_REQUIRE(tree().is_leaf(leaf), "assignment target must be a machine");
+  TS_CHECK(tree().path_to(leaf).size() >= 2,
+           "leaf adjacent to the root slipped through validation");
+  admit_on_path(j, &tree().path_to(leaf));
+}
+
+void Engine::admit_via_path(JobId j, std::vector<NodeId> path) {
+  TS_REQUIRE(j >= 0 && j < inst_->job_count(), "job id out of range");
+  TS_REQUIRE(!jobs_[j].admitted, "job already admitted");
+  TS_REQUIRE(!path.empty(), "processing path must be non-empty");
+  TS_REQUIRE(tree().is_leaf(path.back()), "path must end at a machine");
+  std::vector<bool> seen(tree().node_count(), false);
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    const NodeId v = path[i];
+    TS_REQUIRE(v >= 0 && v < tree().node_count(), "path node out of range");
+    TS_REQUIRE(!seen[v], "path revisits a node");
+    seen[v] = true;
+    TS_REQUIRE(speeds_.speed(v) > 0.0,
+               "path node has no processing speed (transit root?)");
+    if (i > 0) {
+      const bool adjacent = tree().parent(path[i]) == path[i - 1] ||
+                            tree().parent(path[i - 1]) == path[i];
+      TS_REQUIRE(adjacent, "path nodes must be adjacent in the tree");
+    }
+  }
+  JobState& js = jobs_[j];
+  js.owned_path = std::move(path);
+  admit_on_path(j, &js.owned_path);
+}
+
+void Engine::admit_on_path(JobId j, const std::vector<NodeId>* path) {
+  const Job& job = inst_->job(j);
+  TS_REQUIRE(now_ <= job.release + util::kEps,
+             "cannot admit a job after its release time has passed");
+  advance_to(job.release);
+
+  JobState& js = jobs_[j];
+  js.admitted = true;
+  js.path = path;
+  js.leaf = path->back();
+  const NodeId leaf = js.leaf;
+  const std::size_t len = js.path->size();
+
+  if (cfg_.router_chunk_size > 0.0)
+    js.chunks = static_cast<std::int32_t>(
+        std::max(1.0, std::ceil(job.size / cfg_.router_chunk_size)));
+  else
+    js.chunks = 1;
+  js.chunk_size = job.size / js.chunks;
+  js.chunks_done.assign(len - 1, 0);
+  js.head_rem.assign(len - 1, js.chunk_size);
+  js.leaf_rem = inst_->processing_time(j, leaf);
+  js.in_avail.assign(len, false);
+  js.avail_key.assign(len, PriorityKey{});
+  js.frac = 1.0;
+  js.frac_touch = now_;
+
+  for (NodeId v : *js.path) nodes_[v].inflight.insert(j);
+
+  JobRecord& rec = metrics_.job(j);
+  rec.release = job.release;
+  rec.weight = job.weight;
+  rec.leaf = leaf;
+  rec.node_completion.assign(len, -1.0);
+
+  const NodeId first = (*js.path)[0];
+  pause(first, now_);
+  insert_avail(first, j, 0, now_);
+  resched(first, now_);
+  ++admitted_count_;
+  if (observer_) observer_->on_job_admitted(*this, j);
+}
+
+void Engine::run(AssignmentPolicy& policy) {
+  for (const Job& job : inst_->jobs()) {
+    advance_to(job.release);
+    const NodeId leaf = policy.assign(*this, job);
+    admit(job.id, leaf);
+  }
+  run_to_completion();
+}
+
+void Engine::run_with_assignment(const std::vector<NodeId>& leaf_of_job) {
+  TS_REQUIRE(leaf_of_job.size() ==
+                 static_cast<std::size_t>(inst_->job_count()),
+             "assignment vector must cover every job");
+  for (const Job& job : inst_->jobs()) {
+    advance_to(job.release);
+    admit(job.id, leaf_of_job[job.id]);
+  }
+  run_to_completion();
+}
+
+void Engine::run_to_completion() {
+  TS_REQUIRE(admitted_count_ == inst_->job_count(),
+             "run_to_completion with unadmitted jobs");
+  while (!events_.empty()) {
+    const Event ev = events_.top();
+    events_.pop();
+    if (ev.version != nodes_[ev.node].version) continue;
+    now_ = std::max(now_, ev.t);
+    handle_completion(ev.node, now_);
+    if (observer_) observer_->on_event(*this, now_);
+  }
+  TS_CHECK(metrics_.all_completed(), "events drained with unfinished jobs");
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------------
+
+double Engine::size_on(JobId j, NodeId v) const {
+  return inst_->processing_time(j, v);
+}
+
+double Engine::remaining_on(JobId j, NodeId v) const {
+  const JobState& js = jobs_[j];
+  TS_REQUIRE(js.admitted, "remaining_on: job not admitted");
+  const int idx = path_index(js, v);
+  double total;
+  if (is_leaf_index(js, idx)) {
+    if (js.done) return 0.0;
+    total = js.leaf_rem;
+  } else {
+    if (js.chunks_done[idx] == js.chunks) return 0.0;
+    total = static_cast<double>(js.chunks - js.chunks_done[idx] - 1) *
+                js.chunk_size +
+            js.head_rem[idx];
+  }
+  const NodeState& ns = nodes_[v];
+  if (ns.has_running && ns.running.job == j)
+    total -= (now_ - ns.burst_start) * speeds_.speed(v);
+  return std::max(total, 0.0);
+}
+
+bool Engine::available_on(JobId j, NodeId v) const {
+  const JobState& js = jobs_[j];
+  TS_REQUIRE(js.admitted, "available_on: job not admitted");
+  const int idx = path_index(js, v);
+  return js.in_avail[idx];
+}
+
+int Engine::current_path_index(JobId j) const {
+  const JobState& js = jobs_[j];
+  TS_REQUIRE(js.admitted, "current_path_index: job not admitted");
+  const int len = static_cast<int>(js.path->size());
+  if (js.done) return len;
+  for (int i = 0; i < len - 1; ++i)
+    if (js.chunks_done[i] < js.chunks) return i;
+  return len - 1;
+}
+
+std::vector<JobId> Engine::queue_at(NodeId v) const {
+  return {nodes_[v].inflight.begin(), nodes_[v].inflight.end()};
+}
+
+double Engine::higher_priority_remaining(NodeId v, double cand_size,
+                                         Time cand_release,
+                                         JobId cand_id) const {
+  double sum = 0.0;
+  for (const JobId i : nodes_[v].inflight) {
+    if (i == cand_id) continue;
+    const double pi = size_on(i, v);
+    const Time ri = inst_->job(i).release;
+    const bool higher =
+        pi < cand_size ||
+        (pi == cand_size &&
+         (ri < cand_release || (ri == cand_release && i < cand_id)));
+    if (higher) sum += remaining_on(i, v);
+  }
+  return sum;
+}
+
+int Engine::count_larger(NodeId v, double size) const {
+  int count = 0;
+  for (const JobId i : nodes_[v].inflight)
+    if (size_on(i, v) > size) ++count;
+  return count;
+}
+
+double Engine::larger_residual_fraction(NodeId v, double size) const {
+  double sum = 0.0;
+  for (const JobId i : nodes_[v].inflight) {
+    const double pi = size_on(i, v);
+    if (pi > size) sum += remaining_on(i, v) / pi;
+  }
+  return sum;
+}
+
+double Engine::alpha_leaf(NodeId leaf) const {
+  TS_REQUIRE(tree().is_leaf(leaf), "alpha_leaf on non-leaf");
+  double sum = 0.0;
+  for (const JobId i : nodes_[leaf].inflight)
+    sum += remaining_on(i, leaf) / size_on(i, leaf);
+  return sum;
+}
+
+double Engine::alpha_root_child(NodeId root_child) const {
+  TS_REQUIRE(tree().parent(root_child) == tree().root(),
+             "alpha_root_child on non-root-child");
+  double sum = 0.0;
+  for (const NodeId leaf : tree().leaves_under(root_child))
+    sum += alpha_leaf(leaf);
+  return sum;
+}
+
+double Engine::total_remaining_work() const {
+  double total = 0.0;
+  for (JobId j = 0; j < static_cast<JobId>(jobs_.size()); ++j) {
+    const JobState& js = jobs_[j];
+    if (!js.admitted || js.done) continue;
+    for (const NodeId v : *js.path) total += remaining_on(j, v);
+  }
+  return total;
+}
+
+}  // namespace treesched::sim

@@ -1,0 +1,249 @@
+// Discrete-event simulator for the tree-network scheduling model (Section 2).
+//
+// Semantics implemented exactly as the paper specifies:
+//  * jobs arrive at the root and are immediately dispatched to a leaf;
+//  * a job must be processed on every node of the path R(v)..v, in order;
+//  * store-and-forward: a node may not start a job until the parent finished
+//    it completely (or, in the pipelined extension, finished the chunk);
+//  * every node processes at most one job at a time, preemption allowed;
+//  * node v has speed s_v: it completes s_v units of work per time unit.
+//
+// The engine is driven either offline (run(policy)) or incrementally
+// (advance_to / admit), which the general-tree algorithm uses to simulate
+// its broomstick image online.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "treesched/core/instance.hpp"
+#include "treesched/core/speed_profile.hpp"
+#include "treesched/sim/metrics.hpp"
+#include "treesched/sim/priority.hpp"
+#include "treesched/sim/recorder.hpp"
+
+namespace treesched::sim {
+
+class Engine;
+
+/// Immediate-dispatch leaf assignment strategy. `assign` is called exactly
+/// when the job arrives (engine time == job release) and must return a leaf
+/// of the engine's tree. Implementations may inspect any engine state — all
+/// queries reflect the current time only, so policies are genuinely online.
+class AssignmentPolicy {
+ public:
+  virtual ~AssignmentPolicy() = default;
+  virtual NodeId assign(const Engine& engine, const Job& job) = 0;
+  virtual const char* name() const = 0;
+};
+
+/// Hook for invariant monitors (Lemma 1/2 checks, dual-fitting recorders).
+class EngineObserver {
+ public:
+  virtual ~EngineObserver() = default;
+  /// After every processed completion event (engine state is consistent).
+  virtual void on_event(const Engine& /*engine*/, Time /*t*/) {}
+  /// After a job is admitted (assigned and registered on its path).
+  virtual void on_job_admitted(const Engine& /*engine*/, JobId /*j*/) {}
+  /// After a job completes at its leaf.
+  virtual void on_job_completed(const Engine& /*engine*/, JobId /*j*/) {}
+};
+
+struct EngineConfig {
+  /// Discipline used on every node (the paper's algorithm uses SJF).
+  NodePolicy node_policy = NodePolicy::kSjf;
+  /// Log every processing burst for the validator.
+  bool record_schedule = false;
+  /// > 0 enables the pipelined-routing extension (Section 2): each job's
+  /// data is forwarded in equal chunks of at most this size; a router may
+  /// forward a chunk as soon as it finished it. The leaf still starts only
+  /// once all data arrived. 0 = the paper's store-and-forward of whole jobs.
+  double router_chunk_size = 0.0;
+};
+
+/// The simulator. Non-copyable; references the Instance (not owned — the
+/// caller keeps it alive for the engine's lifetime).
+class Engine {
+ public:
+  Engine(const Instance& instance, SpeedProfile speeds, EngineConfig cfg = {});
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // --- driving -----------------------------------------------------------
+
+  /// Processes all events up to and including time t; afterwards now() == t
+  /// (unless already past t, which is an error only if t < now()).
+  void advance_to(Time t);
+
+  /// Admits job j (must not be admitted yet) assigned to `leaf`. Advances
+  /// the engine to the job's release time first; requires now() <= release.
+  void admit(JobId j, NodeId leaf);
+
+  /// Extension (the paper's future-work model of jobs created at arbitrary
+  /// nodes): admits job j to be processed along an explicit node path,
+  /// typically tree().path_between(job.source, leaf). The path must be a
+  /// chain of adjacent tree nodes ending at a machine, with no repeats;
+  /// every path node needs positive speed (the root may appear as a transit
+  /// router). To validate such runs, use the validate_schedule overload
+  /// that takes the per-job paths.
+  void admit_via_path(JobId j, std::vector<NodeId> path);
+
+  /// Offline convenience: admits every job of the instance in release order
+  /// using `policy` for leaf assignment, then drains all events.
+  void run(AssignmentPolicy& policy);
+
+  /// Offline convenience with a fixed assignment (leaf per job id).
+  void run_with_assignment(const std::vector<NodeId>& leaf_of_job);
+
+  /// Drains every pending event. All admitted jobs complete.
+  void run_to_completion();
+
+  // --- identity ----------------------------------------------------------
+
+  Time now() const { return now_; }
+  const Instance& instance() const { return *inst_; }
+  const Tree& tree() const { return inst_->tree(); }
+  const SpeedProfile& speeds() const { return speeds_; }
+  const EngineConfig& config() const { return cfg_; }
+
+  // --- per-job state (as of now()) ----------------------------------------
+
+  bool admitted(JobId j) const { return jobs_[j].admitted; }
+  bool completed(JobId j) const { return jobs_[j].done; }
+  NodeId assigned_leaf(JobId j) const { return jobs_[j].leaf; }
+
+  /// p_{j,v}: the original processing requirement of j on v.
+  double size_on(JobId j, NodeId v) const;
+
+  /// p^A_{j,v}(now): remaining work of j on v (full if j hasn't reached v,
+  /// 0 if finished there). Requires v on j's assigned path.
+  double remaining_on(JobId j, NodeId v) const;
+
+  /// True if some work of j is available to schedule on v right now: data
+  /// has arrived from the parent (fully, or the next chunk in pipelined
+  /// mode) and work remains on v. Requires v on j's path.
+  bool available_on(JobId j, NodeId v) const;
+
+  /// Index on j's path of the first node with unfinished work (the node the
+  /// job is "at"); path length if the job is done. Requires j admitted.
+  int current_path_index(JobId j) const;
+
+  /// Q_v(now): admitted jobs routed through v with unfinished work on v,
+  /// ascending job id.
+  std::vector<JobId> queue_at(NodeId v) const;
+  std::size_t queue_size(NodeId v) const { return nodes_[v].inflight.size(); }
+
+  // --- the paper's aggregate queries (SJF ordering) ------------------------
+
+  /// Sum over i in Q_v with strictly higher SJF priority than a candidate
+  /// (size-on-v, release, id) of remaining_on(i, v). This is
+  /// sum_{i in S_{v,cand} \ {cand}} p^A_{i,v}(now).
+  double higher_priority_remaining(NodeId v, double cand_size,
+                                   Time cand_release, JobId cand_id) const;
+
+  /// |{ i in Q_v : p_{i,v} > size }| (strictly larger original size).
+  int count_larger(NodeId v, double size) const;
+
+  /// sum_{i in Q_v, p_{i,v} > size} remaining_on(i,v) / p_{i,v} — the weight
+  /// used by F' in the unrelated assignment rule (Section 3.6).
+  double larger_residual_fraction(NodeId v, double size) const;
+
+  /// alpha_{v,now} for a root child v (Section 3.5): total remaining leaf
+  /// fraction over all jobs routed through v and unfinished at their leaf.
+  double alpha_root_child(NodeId root_child) const;
+
+  /// alpha_{v,now} for a leaf (Section 3.6): remaining fraction summed over
+  /// the jobs assigned to it.
+  double alpha_leaf(NodeId leaf) const;
+
+  // --- results -------------------------------------------------------------
+
+  const Metrics& metrics() const { return metrics_; }
+  const ScheduleRecorder& recorder() const { return recorder_; }
+  void set_observer(EngineObserver* obs) { observer_ = obs; }
+
+  /// Total work still unfinished anywhere (for conservation tests).
+  double total_remaining_work() const;
+
+  /// True when no events are pending (all admitted jobs finished).
+  bool drained() const { return events_.empty(); }
+
+ private:
+  struct Event {
+    Time t = 0.0;
+    std::uint64_t seq = 0;
+    NodeId node = kInvalidNode;
+    std::uint64_t version = 0;
+    friend bool operator>(const Event& a, const Event& b) {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  struct NodeState {
+    std::set<PriorityKey> avail;   ///< available work items, best first
+    std::set<JobId> inflight;      ///< Q_v: routed through, unfinished here
+    PriorityKey running{};         ///< cached top at burst start
+    bool has_running = false;
+    Time burst_start = 0.0;
+    std::uint64_t version = 0;     ///< invalidates stale completion events
+  };
+
+  struct JobState {
+    bool admitted = false;
+    bool done = false;
+    NodeId leaf = kInvalidNode;
+    const std::vector<NodeId>* path = nullptr;  ///< processing node sequence
+    std::vector<NodeId> owned_path;  ///< backing storage for custom paths
+    std::int32_t chunks = 1;          ///< router chunk count (1 = paper mode)
+    double chunk_size = 0.0;          ///< router work per chunk
+    std::vector<std::int32_t> chunks_done;  ///< per router path index
+    std::vector<double> head_rem;     ///< remaining of head chunk per router
+    double leaf_rem = 0.0;
+    std::vector<PriorityKey> avail_key;  ///< per path index; valid if in avail
+    std::vector<bool> in_avail;          ///< per path index
+    // Fractional flow accounting (exact, piecewise linear).
+    double frac = 1.0;
+    Time frac_touch = 0.0;
+  };
+
+  void admit_on_path(JobId j, const std::vector<NodeId>* path);
+  int path_index(const JobState& js, NodeId v) const;
+  bool is_leaf_index(const JobState& js, int idx) const;
+  double stored_remaining_item(const JobState& js, int idx) const;
+  double live_remaining_item(JobId j, int idx) const;
+
+  PriorityKey make_key(JobId j, int idx, Time avail_time) const;
+  void insert_avail(NodeId v, JobId j, int idx, Time t);
+  void erase_avail(NodeId v, JobId j, int idx);
+
+  /// Materializes the running burst of v up to time t (records the segment,
+  /// updates remaining work and fractional areas). Leaves the burst running.
+  void pause(NodeId v, Time t);
+
+  /// Re-evaluates which item v should run at time t (after pause + any
+  /// avail-set mutations) and schedules its completion event.
+  void resched(NodeId v, Time t);
+
+  void handle_completion(NodeId v, Time t);
+  void accumulate_frac_to(JobId j, Time t);
+
+  const Instance* inst_;
+  SpeedProfile speeds_;
+  EngineConfig cfg_;
+  std::vector<NodeState> nodes_;
+  std::vector<JobState> jobs_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  Metrics metrics_;
+  ScheduleRecorder recorder_;
+  EngineObserver* observer_ = nullptr;
+  Time now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  JobId admitted_count_ = 0;
+};
+
+}  // namespace treesched::sim

@@ -1,0 +1,59 @@
+#include "treesched/sim/gantt.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "treesched/util/assert.hpp"
+
+namespace treesched::sim {
+
+namespace {
+char job_letter(JobId j) {
+  const int k = j % 52;
+  return k < 26 ? static_cast<char>('a' + k) : static_cast<char>('A' + k - 26);
+}
+}  // namespace
+
+std::string render_gantt(const Instance& instance,
+                         const ScheduleRecorder& recorder,
+                         const GanttOptions& options) {
+  TS_REQUIRE(options.width >= 10, "gantt width too small");
+  const Tree& tree = instance.tree();
+  Time t_end = options.t_end;
+  if (t_end < 0.0) {
+    t_end = options.t_begin;
+    for (const Segment& s : recorder.segments())
+      t_end = std::max(t_end, s.t1);
+  }
+  TS_REQUIRE(t_end > options.t_begin, "empty time window");
+  const double scale =
+      options.width / (t_end - options.t_begin);
+
+  std::vector<std::string> rows(tree.node_count(),
+                                std::string(options.width, '.'));
+  for (const Segment& s : recorder.segments()) {
+    const int c0 = std::max(
+        0, static_cast<int>((s.t0 - options.t_begin) * scale));
+    const int c1 = std::min(
+        options.width,
+        std::max(c0 + 1, static_cast<int>((s.t1 - options.t_begin) * scale)));
+    for (int c = c0; c < c1; ++c) rows[s.node][c] = job_letter(s.job);
+  }
+
+  std::ostringstream os;
+  os << "time " << options.t_begin << " .. " << t_end << " ('.' idle)\n";
+  for (NodeId v = 0; v < tree.node_count(); ++v) {
+    if (tree.is_root(v) && rows[v].find_first_not_of('.') == std::string::npos)
+      continue;  // the root is usually silent
+    os.width(4);
+    os << v << ' '
+       << (tree.is_root(v) ? "root   "
+           : tree.is_leaf(v) ? "machine"
+                             : "router ")
+       << ' ' << rows[v] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace treesched::sim

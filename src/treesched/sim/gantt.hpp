@@ -1,0 +1,25 @@
+// ASCII Gantt rendering of recorded schedules, for examples and debugging.
+#pragma once
+
+#include <string>
+
+#include "treesched/core/instance.hpp"
+#include "treesched/sim/recorder.hpp"
+
+namespace treesched::sim {
+
+struct GanttOptions {
+  int width = 100;          ///< characters across the full time span
+  Time t_begin = 0.0;       ///< left edge
+  Time t_end = -1.0;        ///< right edge; <0 = last segment end
+  bool show_chunks = false; ///< annotate chunk indices in pipelined runs
+};
+
+/// Renders one row per node: '.' idle, a job letter (a..z, A..Z cycling by
+/// job id) while busy. Jobs appear on a node only while that node actually
+/// processes them, so store-and-forward hops and preemptions are visible.
+std::string render_gantt(const Instance& instance,
+                         const ScheduleRecorder& recorder,
+                         const GanttOptions& options = {});
+
+}  // namespace treesched::sim

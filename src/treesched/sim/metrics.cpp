@@ -1,0 +1,80 @@
+#include "treesched/sim/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "treesched/util/assert.hpp"
+
+namespace treesched::sim {
+
+void Metrics::reset(std::size_t job_count) {
+  jobs_.assign(job_count, JobRecord{});
+  for (std::size_t j = 0; j < job_count; ++j)
+    jobs_[j].id = static_cast<JobId>(j);
+}
+
+bool Metrics::all_completed() const {
+  return std::all_of(jobs_.begin(), jobs_.end(),
+                     [](const JobRecord& r) { return r.completed(); });
+}
+
+std::size_t Metrics::completed_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(jobs_.begin(), jobs_.end(),
+                    [](const JobRecord& r) { return r.completed(); }));
+}
+
+double Metrics::total_flow_time() const {
+  double total = 0.0;
+  for (const auto& r : jobs_)
+    if (r.completed()) total += r.flow();
+  return total;
+}
+
+double Metrics::mean_flow_time() const {
+  const std::size_t n = completed_count();
+  return n == 0 ? 0.0 : total_flow_time() / static_cast<double>(n);
+}
+
+double Metrics::total_fractional_flow_time() const {
+  double total = 0.0;
+  for (const auto& r : jobs_) total += r.fractional_area;
+  return total;
+}
+
+double Metrics::total_weighted_flow_time() const {
+  double total = 0.0;
+  for (const auto& r : jobs_)
+    if (r.completed()) total += r.weight * r.flow();
+  return total;
+}
+
+double Metrics::total_weighted_fractional_flow_time() const {
+  double total = 0.0;
+  for (const auto& r : jobs_) total += r.weight * r.fractional_area;
+  return total;
+}
+
+double Metrics::max_flow_time() const {
+  double mx = 0.0;
+  for (const auto& r : jobs_)
+    if (r.completed()) mx = std::max(mx, r.flow());
+  return mx;
+}
+
+double Metrics::lk_norm_flow_time(double k) const {
+  TS_REQUIRE(k >= 1.0, "l_k norm requires k >= 1");
+  double total = 0.0;
+  for (const auto& r : jobs_)
+    if (r.completed()) total += std::pow(r.flow(), k);
+  return std::pow(total, 1.0 / k);
+}
+
+double Metrics::makespan() const {
+  double mx = 0.0;
+  for (const auto& r : jobs_)
+    if (r.completed()) mx = std::max(mx, r.completion);
+  return mx;
+}
+
+}  // namespace treesched::sim

@@ -1,0 +1,65 @@
+// Per-job and aggregate result accounting for a simulation run.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "treesched/core/types.hpp"
+
+namespace treesched::sim {
+
+/// Everything recorded about one job over a run.
+struct JobRecord {
+  JobId id = kInvalidJob;
+  Time release = 0.0;
+  double weight = 1.0;
+  NodeId leaf = kInvalidNode;            ///< assigned machine
+  Time completion = -1.0;                ///< leaf completion; -1 if unfinished
+  double fractional_area = 0.0;          ///< the paper's fractional flow contribution
+  std::vector<Time> node_completion;     ///< completion per path index (first hop..leaf)
+
+  bool completed() const { return completion >= 0.0; }
+  Time flow() const { return completed() ? completion - release : -1.0; }
+};
+
+/// Aggregates over a run. Populated by the Engine; query helpers compute the
+/// objectives studied in the paper (total / fractional flow) plus the
+/// extension objectives (max flow, l_k norms).
+class Metrics {
+ public:
+  void reset(std::size_t job_count);
+
+  JobRecord& job(JobId j) { return jobs_[j]; }
+  const JobRecord& job(JobId j) const { return jobs_[j]; }
+  const std::vector<JobRecord>& jobs() const { return jobs_; }
+
+  bool all_completed() const;
+  std::size_t completed_count() const;
+
+  /// Sum of (C_j - r_j) over completed jobs. The paper's primary objective.
+  double total_flow_time() const;
+
+  /// Mean flow time over completed jobs.
+  double mean_flow_time() const;
+
+  /// The paper's fractional flow time variant (Section 2).
+  double total_fractional_flow_time() const;
+
+  /// Weighted extensions (beyond the paper, which has unit weights).
+  double total_weighted_flow_time() const;
+  double total_weighted_fractional_flow_time() const;
+
+  /// Maximum flow time (the open-question objective in the conclusion).
+  double max_flow_time() const;
+
+  /// l_k norm of flow times: (sum flow^k)^(1/k); k >= 1.
+  double lk_norm_flow_time(double k) const;
+
+  /// Makespan: latest completion time.
+  double makespan() const;
+
+ private:
+  std::vector<JobRecord> jobs_;
+};
+
+}  // namespace treesched::sim

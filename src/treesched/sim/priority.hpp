@@ -1,0 +1,54 @@
+// Per-node scheduling disciplines and their priority keys.
+//
+// The paper's algorithm runs SJF (by *original* processing time on the node,
+// ties by release time) on every node. FIFO / SRPT / LCFS are provided as
+// baselines and for counterexample hunting.
+#pragma once
+
+#include <cstdint>
+
+#include "treesched/core/types.hpp"
+
+namespace treesched::sim {
+
+/// Discipline used on each node to order the jobs available there.
+enum class NodePolicy : std::uint8_t {
+  kSjf,   ///< shortest original processing time on this node (the paper's)
+  kFifo,  ///< order of becoming available on this node
+  kSrpt,  ///< shortest remaining processing time on this node
+  kLcfs,  ///< newest arrival at the node first
+  kHdf,   ///< highest density first: smallest size/weight (weighted ext.)
+};
+
+/// Lexicographic priority key; smaller = higher priority. `a` and `b` are
+/// policy-dependent (see Engine::make_key); ties always break by job id and
+/// then chunk index, so schedules are fully deterministic.
+struct PriorityKey {
+  double a = 0.0;
+  double b = 0.0;
+  JobId job = kInvalidJob;
+  std::int32_t chunk = 0;
+
+  friend bool operator<(const PriorityKey& x, const PriorityKey& y) {
+    if (x.a != y.a) return x.a < y.a;
+    if (x.b != y.b) return x.b < y.b;
+    if (x.job != y.job) return x.job < y.job;
+    return x.chunk < y.chunk;
+  }
+  friend bool operator==(const PriorityKey& x, const PriorityKey& y) {
+    return x.a == y.a && x.b == y.b && x.job == y.job && x.chunk == y.chunk;
+  }
+};
+
+inline const char* node_policy_name(NodePolicy p) {
+  switch (p) {
+    case NodePolicy::kSjf: return "SJF";
+    case NodePolicy::kFifo: return "FIFO";
+    case NodePolicy::kSrpt: return "SRPT";
+    case NodePolicy::kLcfs: return "LCFS";
+    case NodePolicy::kHdf: return "HDF";
+  }
+  return "?";
+}
+
+}  // namespace treesched::sim

@@ -1,0 +1,38 @@
+// Schedule recording: the engine can log every processing burst so the
+// validator (and tests) can independently re-check feasibility.
+#pragma once
+
+#include <vector>
+
+#include "treesched/core/types.hpp"
+
+namespace treesched::sim {
+
+/// One maximal interval during which `node` processed chunk `chunk` of job
+/// `job` at rate `rate` (the node's speed).
+struct Segment {
+  NodeId node = kInvalidNode;
+  JobId job = kInvalidJob;
+  std::int32_t chunk = 0;  ///< router chunk index; kLeafChunk for leaf work
+  Time t0 = 0.0;
+  Time t1 = 0.0;
+  double rate = 1.0;
+
+  double work() const { return (t1 - t0) * rate; }
+};
+
+/// Sentinel chunk index marking processing of the whole job at its leaf.
+inline constexpr std::int32_t kLeafChunk = -1;
+
+/// Append-only burst log.
+class ScheduleRecorder {
+ public:
+  void add(Segment s) { segments_.push_back(s); }
+  const std::vector<Segment>& segments() const { return segments_; }
+  void clear() { segments_.clear(); }
+
+ private:
+  std::vector<Segment> segments_;
+};
+
+}  // namespace treesched::sim

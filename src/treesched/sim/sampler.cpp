@@ -1,0 +1,36 @@
+#include "treesched/sim/sampler.hpp"
+
+#include <algorithm>
+
+namespace treesched::sim {
+
+std::string ascii_sparkline(const std::vector<double>& series,
+                            std::size_t width) {
+  if (series.empty() || width == 0) return "";
+  static const char kLevels[] = " .:-=+*#%@";
+  constexpr std::size_t kNumLevels = sizeof(kLevels) - 2;  // index 0..9
+
+  const std::size_t columns = std::min(width, series.size());
+  const double per_col =
+      static_cast<double>(series.size()) / static_cast<double>(columns);
+  double peak = 0.0;
+  for (const double v : series) peak = std::max(peak, v);
+  if (peak <= 0.0) peak = 1.0;
+
+  std::string out(columns, ' ');
+  for (std::size_t c = 0; c < columns; ++c) {
+    const std::size_t lo = static_cast<std::size_t>(c * per_col);
+    const std::size_t hi = std::min(
+        series.size(),
+        std::max(lo + 1, static_cast<std::size_t>((c + 1) * per_col)));
+    double column_max = 0.0;
+    for (std::size_t i = lo; i < hi; ++i)
+      column_max = std::max(column_max, series[i]);
+    const std::size_t level = static_cast<std::size_t>(
+        column_max / peak * static_cast<double>(kNumLevels) + 0.5);
+    out[c] = kLevels[std::min(level, kNumLevels)];
+  }
+  return out;
+}
+
+}  // namespace treesched::sim

@@ -1,0 +1,181 @@
+#include "treesched/sim/validator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+#include "treesched/util/float_compare.hpp"
+
+namespace treesched::sim {
+
+namespace {
+constexpr double kTol = 1e-6;
+
+std::string fmt(double x) {
+  std::ostringstream os;
+  os << x;
+  return os.str();
+}
+}  // namespace
+
+std::string ValidationResult::summary() const {
+  if (ok) return "schedule valid";
+  std::ostringstream os;
+  os << errors.size() << " validation error(s):\n";
+  for (const auto& e : errors) os << "  - " << e << '\n';
+  return os.str();
+}
+
+ValidationResult validate_schedule(const Instance& instance,
+                                   const SpeedProfile& speeds,
+                                   const EngineConfig& cfg,
+                                   const ScheduleRecorder& recorder,
+                                   const Metrics& metrics) {
+  std::vector<std::vector<NodeId>> paths(instance.job_count());
+  for (const Job& job : instance.jobs()) {
+    const NodeId leaf = metrics.job(job.id).leaf;
+    if (leaf != kInvalidNode) {
+      const auto& p = instance.tree().path_to(leaf);
+      paths[job.id].assign(p.begin(), p.end());
+    }
+  }
+  return validate_schedule(instance, speeds, cfg, recorder, metrics, paths);
+}
+
+ValidationResult validate_schedule(
+    const Instance& instance, const SpeedProfile& speeds,
+    const EngineConfig& cfg, const ScheduleRecorder& recorder,
+    const Metrics& metrics, const std::vector<std::vector<NodeId>>& paths) {
+  ValidationResult res;
+  const auto& segs = recorder.segments();
+
+  // --- 1 & 2: per-node non-overlap and correct rate ---
+  std::map<NodeId, std::vector<const Segment*>> by_node;
+  for (const Segment& s : segs) {
+    if (s.t1 < s.t0 - kTol)
+      res.fail("segment with negative duration on node " +
+               std::to_string(s.node));
+    if (std::fabs(s.rate - speeds.speed(s.node)) > kTol)
+      res.fail("segment rate " + fmt(s.rate) + " != speed of node " +
+               std::to_string(s.node));
+    by_node[s.node].push_back(&s);
+  }
+  for (auto& [node, list] : by_node) {
+    std::sort(list.begin(), list.end(), [](const Segment* a, const Segment* b) {
+      return a->t0 < b->t0;
+    });
+    for (std::size_t i = 1; i < list.size(); ++i) {
+      if (list[i]->t0 < list[i - 1]->t1 - kTol) {
+        res.fail("node " + std::to_string(node) + " overlaps: [" +
+                 fmt(list[i - 1]->t0) + "," + fmt(list[i - 1]->t1) + ") and [" +
+                 fmt(list[i]->t0) + "," + fmt(list[i]->t1) + ")");
+      }
+    }
+  }
+
+  // --- per (job, node, chunk) aggregates ---
+  struct ChunkAgg {
+    double work = 0.0;
+    Time first_start = std::numeric_limits<double>::infinity();
+    Time last_end = -1.0;
+  };
+  std::map<std::tuple<JobId, NodeId, std::int32_t>, ChunkAgg> agg;
+  for (const Segment& s : segs) {
+    ChunkAgg& a = agg[{s.job, s.node, s.chunk}];
+    a.work += s.work();
+    a.first_start = std::min(a.first_start, s.t0);
+    a.last_end = std::max(a.last_end, s.t1);
+  }
+
+  for (const Job& job : instance.jobs()) {
+    const JobRecord& rec = metrics.job(job.id);
+    if (!rec.completed()) {
+      res.fail("job " + std::to_string(job.id) + " never completed");
+      continue;
+    }
+    const NodeId leaf = rec.leaf;
+    const std::vector<NodeId>& path = paths[job.id];
+    if (path.empty() || path.back() != leaf) {
+      res.fail("job " + std::to_string(job.id) +
+               ": supplied path does not end at the recorded machine");
+      continue;
+    }
+    const std::size_t len = path.size();
+
+    std::int32_t chunks = 1;
+    if (cfg.router_chunk_size > 0.0)
+      chunks = static_cast<std::int32_t>(
+          std::max(1.0, std::ceil(job.size / cfg.router_chunk_size)));
+    const double chunk_size = job.size / chunks;
+
+    // --- 3: work conservation, 5: release respected ---
+    for (std::size_t i = 0; i + 1 < len; ++i) {
+      for (std::int32_t c = 0; c < chunks; ++c) {
+        auto it = agg.find({job.id, path[i], c});
+        if (it == agg.end()) {
+          res.fail("job " + std::to_string(job.id) + " chunk " +
+                   std::to_string(c) + " never ran on node " +
+                   std::to_string(path[i]));
+          continue;
+        }
+        const ChunkAgg& a = it->second;
+        if (std::fabs(a.work - chunk_size) > kTol * std::max(1.0, chunk_size))
+          res.fail("job " + std::to_string(job.id) + " chunk " +
+                   std::to_string(c) + " on node " + std::to_string(path[i]) +
+                   ": work " + fmt(a.work) + " != " + fmt(chunk_size));
+        if (a.first_start < job.release - kTol)
+          res.fail("job " + std::to_string(job.id) + " ran before release");
+      }
+    }
+    const double leaf_work = instance.processing_time(job.id, leaf);
+    auto leaf_it = agg.find({job.id, leaf, kLeafChunk});
+    if (leaf_it == agg.end()) {
+      res.fail("job " + std::to_string(job.id) + " never ran on its leaf");
+      continue;
+    }
+    if (std::fabs(leaf_it->second.work - leaf_work) >
+        kTol * std::max(1.0, leaf_work))
+      res.fail("job " + std::to_string(job.id) + " leaf work " +
+               fmt(leaf_it->second.work) + " != " + fmt(leaf_work));
+
+    // --- 4: precedence chunk by chunk down the path ---
+    for (std::size_t i = 1; i + 1 < len; ++i) {
+      for (std::int32_t c = 0; c < chunks; ++c) {
+        auto up = agg.find({job.id, path[i - 1], c});
+        auto down = agg.find({job.id, path[i], c});
+        if (up == agg.end() || down == agg.end()) continue;  // reported above
+        if (down->second.first_start < up->second.last_end - kTol)
+          res.fail("job " + std::to_string(job.id) + " chunk " +
+                   std::to_string(c) + " started on node " +
+                   std::to_string(path[i]) + " at " +
+                   fmt(down->second.first_start) + " before parent finish " +
+                   fmt(up->second.last_end));
+      }
+    }
+    // Leaf work must wait for every chunk on the last router (paths of
+    // length 1 — a machine-born job — have no routing leg).
+    Time all_data_arrived = -1.0;
+    for (std::int32_t c = 0; len >= 2 && c < chunks; ++c) {
+      auto up = agg.find({job.id, path[len - 2], c});
+      if (up != agg.end())
+        all_data_arrived = std::max(all_data_arrived, up->second.last_end);
+    }
+    if (leaf_it->second.first_start < all_data_arrived - kTol)
+      res.fail("job " + std::to_string(job.id) + " leaf started at " +
+               fmt(leaf_it->second.first_start) + " before data arrival " +
+               fmt(all_data_arrived));
+
+    // --- 6: claimed completion matches the log ---
+    if (std::fabs(leaf_it->second.last_end - rec.completion) > kTol)
+      res.fail("job " + std::to_string(job.id) + " metrics completion " +
+               fmt(rec.completion) + " != log " +
+               fmt(leaf_it->second.last_end));
+  }
+
+  return res;
+}
+
+}  // namespace treesched::sim

@@ -1,0 +1,54 @@
+// Independent feasibility checker for recorded schedules.
+//
+// Replays the burst log produced by an Engine run (record_schedule = true)
+// and verifies, without trusting any engine state, that the schedule obeys
+// the model of Section 2:
+//   1. every node processes at most one work item at any instant;
+//   2. bursts run exactly at the node's speed;
+//   3. each (job, node) receives exactly its required work, chunk by chunk;
+//   4. store-and-forward precedence: a chunk starts on a node no earlier
+//      than its completion on the parent; leaf work starts only after all
+//      of the job's data finished on the last router;
+//   5. nothing runs before the job's release;
+//   6. the completion times claimed by Metrics match the burst log.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "treesched/core/instance.hpp"
+#include "treesched/core/speed_profile.hpp"
+#include "treesched/sim/engine.hpp"
+
+namespace treesched::sim {
+
+struct ValidationResult {
+  bool ok = true;
+  std::vector<std::string> errors;
+
+  void fail(std::string msg) {
+    ok = false;
+    if (errors.size() < 50) errors.push_back(std::move(msg));
+  }
+  std::string summary() const;
+};
+
+/// Validates the recorded schedule of a finished run. `cfg` must be the
+/// config the engine ran with (the chunk size determines expected chunking).
+ValidationResult validate_schedule(const Instance& instance,
+                                   const SpeedProfile& speeds,
+                                   const EngineConfig& cfg,
+                                   const ScheduleRecorder& recorder,
+                                   const Metrics& metrics);
+
+/// Same, with explicit per-job processing paths (for runs that used
+/// Engine::admit_via_path — the arbitrary-source extension). `paths[j]`
+/// must be the exact node sequence job j was admitted on.
+ValidationResult validate_schedule(const Instance& instance,
+                                   const SpeedProfile& speeds,
+                                   const EngineConfig& cfg,
+                                   const ScheduleRecorder& recorder,
+                                   const Metrics& metrics,
+                                   const std::vector<std::vector<NodeId>>& paths);
+
+}  // namespace treesched::sim

@@ -1,0 +1,29 @@
+#include "treesched/stats/bootstrap.hpp"
+
+#include <algorithm>
+
+#include "treesched/stats/summary.hpp"
+#include "treesched/util/assert.hpp"
+
+namespace treesched::stats {
+
+std::pair<double, double> bootstrap_mean_ci(util::Rng& rng,
+                                            const std::vector<double>& samples,
+                                            double confidence, int resamples) {
+  TS_REQUIRE(!samples.empty(), "bootstrap of empty sample");
+  TS_REQUIRE(confidence > 0.0 && confidence < 1.0, "confidence in (0,1)");
+  TS_REQUIRE(resamples >= 10, "need at least 10 resamples");
+  const std::int64_t n = static_cast<std::int64_t>(samples.size());
+  std::vector<double> means;
+  means.reserve(resamples);
+  for (int r = 0; r < resamples; ++r) {
+    double sum = 0.0;
+    for (std::int64_t i = 0; i < n; ++i)
+      sum += samples[static_cast<std::size_t>(rng.uniform_int(0, n - 1))];
+    means.push_back(sum / static_cast<double>(n));
+  }
+  const double alpha = (1.0 - confidence) / 2.0;
+  return {percentile(means, alpha), percentile(means, 1.0 - alpha)};
+}
+
+}  // namespace treesched::stats

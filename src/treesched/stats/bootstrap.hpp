@@ -1,0 +1,18 @@
+// Bootstrap confidence intervals for experiment repetitions.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "treesched/util/rng.hpp"
+
+namespace treesched::stats {
+
+/// Percentile-bootstrap confidence interval for the mean of `samples`.
+/// `confidence` in (0, 1); `resamples` bootstrap iterations.
+std::pair<double, double> bootstrap_mean_ci(util::Rng& rng,
+                                            const std::vector<double>& samples,
+                                            double confidence = 0.95,
+                                            int resamples = 1000);
+
+}  // namespace treesched::stats

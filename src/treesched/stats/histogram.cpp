@@ -1,0 +1,53 @@
+#include "treesched/stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "treesched/util/assert.hpp"
+
+namespace treesched::stats {
+
+LogHistogram::LogHistogram(double lo, double growth, std::size_t max_buckets)
+    : lo_(lo), growth_(growth), counts_(max_buckets, 0) {
+  TS_REQUIRE(lo > 0.0, "first bucket edge must be positive");
+  TS_REQUIRE(growth > 1.0, "bucket growth must exceed 1");
+  TS_REQUIRE(max_buckets >= 2, "need at least two buckets");
+}
+
+void LogHistogram::add(double x) {
+  TS_REQUIRE(x >= 0.0, "histogram values must be non-negative");
+  std::size_t b = 0;
+  if (x >= lo_) {
+    b = 1 + static_cast<std::size_t>(std::floor(std::log(x / lo_) /
+                                                std::log(growth_)));
+    b = std::min(b, counts_.size() - 1);
+  }
+  ++counts_[b];
+  ++total_;
+}
+
+double LogHistogram::lower_edge(std::size_t bucket) const {
+  TS_REQUIRE(bucket < counts_.size(), "bucket out of range");
+  if (bucket == 0) return 0.0;
+  return lo_ * std::pow(growth_, static_cast<double>(bucket - 1));
+}
+
+std::string LogHistogram::to_ascii(std::size_t width) const {
+  std::size_t max_count = 1;
+  std::size_t last_used = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    max_count = std::max(max_count, counts_[b]);
+    if (counts_[b] > 0) last_used = b;
+  }
+  std::ostringstream os;
+  for (std::size_t b = 0; b <= last_used; ++b) {
+    const std::size_t bar = counts_[b] * width / max_count;
+    os.width(12);
+    os << lower_edge(b) << " | " << std::string(bar, '#') << ' '
+       << counts_[b] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace treesched::stats

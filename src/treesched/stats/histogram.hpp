@@ -1,0 +1,36 @@
+// Logarithmic-bucket histogram for flow-time distributions.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace treesched::stats {
+
+/// Histogram with geometrically growing buckets: [0, lo), [lo, lo*g), ...
+/// Designed for flow times whose range spans several orders of magnitude.
+class LogHistogram {
+ public:
+  /// lo > 0 is the first finite bucket edge, growth > 1 the bucket ratio.
+  LogHistogram(double lo, double growth, std::size_t max_buckets = 64);
+
+  void add(double x);
+  std::size_t total() const { return total_; }
+
+  /// Bucket count (including the underflow bucket [0, lo)).
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bucket) const { return counts_[bucket]; }
+  /// Inclusive lower edge of the bucket.
+  double lower_edge(std::size_t bucket) const;
+
+  /// Simple ASCII bar rendering (for examples).
+  std::string to_ascii(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double growth_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace treesched::stats

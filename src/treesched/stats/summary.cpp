@@ -1,0 +1,69 @@
+#include "treesched/stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "treesched/util/assert.hpp"
+
+namespace treesched::stats {
+
+void Summary::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void Summary::merge(const Summary& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Summary::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double Summary::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+double Summary::min() const { return n_ == 0 ? 0.0 : min_; }
+
+double Summary::max() const { return n_ == 0 ? 0.0 : max_; }
+
+double percentile(std::vector<double> values, double q) {
+  TS_REQUIRE(!values.empty(), "percentile of empty sample");
+  TS_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double median(std::vector<double> values) {
+  return percentile(std::move(values), 0.5);
+}
+
+}  // namespace treesched::stats

@@ -1,0 +1,39 @@
+// Descriptive statistics for experiment reporting.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace treesched::stats {
+
+/// Streaming summary (Welford) — numerically stable mean/variance plus
+/// min/max, usable across millions of samples.
+class Summary {
+ public:
+  void add(double x);
+  void merge(const Summary& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  double variance() const;  ///< sample variance (n-1 denominator)
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile with linear interpolation; q in [0, 1]. Sorts a copy.
+double percentile(std::vector<double> values, double q);
+
+/// Median convenience.
+double median(std::vector<double> values);
+
+}  // namespace treesched::stats

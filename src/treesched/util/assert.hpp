@@ -1,0 +1,44 @@
+// Precondition / invariant checking for the treesched library.
+//
+// TS_REQUIRE  — checks a caller-facing precondition; throws std::invalid_argument.
+// TS_CHECK    — checks an internal invariant; throws std::logic_error.
+// Both are always on: the library is a research tool where silent corruption
+// of a schedule is far worse than the cost of a branch.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace treesched::util {
+
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace treesched::util
+
+#define TS_REQUIRE(expr, msg)                                              \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::treesched::util::throw_precondition(#expr, __FILE__, __LINE__,     \
+                                            (msg));                        \
+  } while (false)
+
+#define TS_CHECK(expr, msg)                                                \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::treesched::util::throw_invariant(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

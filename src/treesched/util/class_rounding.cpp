@@ -1,0 +1,29 @@
+#include "treesched/util/class_rounding.hpp"
+
+#include <cmath>
+
+#include "treesched/util/assert.hpp"
+#include "treesched/util/float_compare.hpp"
+
+namespace treesched::util {
+
+std::int64_t size_class(double p, double eps) {
+  TS_REQUIRE(p > 0.0, "size_class: p must be positive");
+  TS_REQUIRE(eps > 0.0, "size_class: eps must be positive");
+  const double raw = std::log(p) / std::log1p(eps);
+  std::int64_t k = static_cast<std::int64_t>(std::ceil(raw - 1e-9));
+  // Guard against rounding placing p just above (1+eps)^k.
+  while (class_size(k, eps) < p * (1.0 - 1e-12)) ++k;
+  while (k > 0 && class_size(k - 1, eps) >= p * (1.0 - 1e-12)) --k;
+  return k;
+}
+
+double round_up_to_class(double p, double eps) {
+  return class_size(size_class(p, eps), eps);
+}
+
+double class_size(std::int64_t k, double eps) {
+  return std::pow(1.0 + eps, static_cast<double>(k));
+}
+
+}  // namespace treesched::util

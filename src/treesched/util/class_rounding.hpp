@@ -1,0 +1,24 @@
+// Size-class rounding to powers of (1 + eps).
+//
+// The paper (Section 2) assumes every job's processing time is a power of
+// (1 + eps); this costs only a (1 + eps) factor of speed. SJF on a node then
+// works with *classes*: jobs of equal class are ordered by release time.
+// These helpers implement the rounding and the class index arithmetic used
+// by the scheduler, the workload generators, and Lemma 2/3 monitors.
+#pragma once
+
+#include <cstdint>
+
+namespace treesched::util {
+
+/// Returns the class index k such that (1+eps)^k is the smallest power of
+/// (1+eps) that is >= p. Requires p > 0 and eps > 0.
+std::int64_t size_class(double p, double eps);
+
+/// Rounds p up to the nearest power of (1+eps). Requires p > 0 and eps > 0.
+double round_up_to_class(double p, double eps);
+
+/// The representative size (1+eps)^k of class k.
+double class_size(std::int64_t k, double eps);
+
+}  // namespace treesched::util

@@ -1,0 +1,122 @@
+#include "treesched/util/cli.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "treesched/util/assert.hpp"
+
+namespace treesched::util {
+
+Cli::Cli(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+Cli::Option& Cli::add(const std::string& name, Kind kind,
+                      const std::string& help) {
+  TS_REQUIRE(!name.empty() && name[0] != '-', "option name must be bare");
+  TS_REQUIRE(options_.find(name) == options_.end(), "duplicate option: " + name);
+  Option opt;
+  opt.kind = kind;
+  opt.help = help;
+  auto [it, inserted] = options_.emplace(name, std::move(opt));
+  order_.push_back(name);
+  return it->second;
+}
+
+std::int64_t& Cli::add_int(const std::string& name, std::int64_t def,
+                           const std::string& help) {
+  Option& o = add(name, Kind::kInt, help);
+  o.int_value = def;
+  o.default_repr = std::to_string(def);
+  return o.int_value;
+}
+
+double& Cli::add_double(const std::string& name, double def,
+                        const std::string& help) {
+  Option& o = add(name, Kind::kDouble, help);
+  o.double_value = def;
+  std::ostringstream os;
+  os << def;
+  o.default_repr = os.str();
+  return o.double_value;
+}
+
+std::string& Cli::add_string(const std::string& name, std::string def,
+                             const std::string& help) {
+  Option& o = add(name, Kind::kString, help);
+  o.default_repr = def.empty() ? "\"\"" : def;
+  o.string_value = std::move(def);
+  return o.string_value;
+}
+
+bool& Cli::add_flag(const std::string& name, const std::string& help) {
+  Option& o = add(name, Kind::kFlag, help);
+  o.default_repr = "false";
+  return o.flag_value;
+}
+
+std::string Cli::usage() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\noptions:\n";
+  for (const auto& name : order_) {
+    const Option& o = options_.at(name);
+    os << "  --" << name;
+    switch (o.kind) {
+      case Kind::kInt: os << " <int>"; break;
+      case Kind::kDouble: os << " <real>"; break;
+      case Kind::kString: os << " <string>"; break;
+      case Kind::kFlag: break;
+    }
+    os << "  " << o.help << " (default: " << o.default_repr << ")\n";
+  }
+  os << "  --help  print this message\n";
+  return os.str();
+}
+
+void Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << usage();
+      std::exit(0);
+    }
+    if (arg.rfind("--", 0) != 0)
+      throw std::invalid_argument("unexpected positional argument: " + arg);
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto pos = arg.find('='); pos != std::string::npos) {
+      value = arg.substr(pos + 1);
+      arg = arg.substr(0, pos);
+      has_value = true;
+    }
+    auto it = options_.find(arg);
+    if (it == options_.end())
+      throw std::invalid_argument("unknown option: --" + arg);
+    Option& o = it->second;
+    if (o.kind == Kind::kFlag) {
+      if (has_value)
+        throw std::invalid_argument("flag --" + arg + " takes no value");
+      o.flag_value = true;
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc)
+        throw std::invalid_argument("option --" + arg + " needs a value");
+      value = argv[++i];
+    }
+    try {
+      switch (o.kind) {
+        case Kind::kInt: o.int_value = std::stoll(value); break;
+        case Kind::kDouble: o.double_value = std::stod(value); break;
+        case Kind::kString: o.string_value = value; break;
+        case Kind::kFlag: break;
+      }
+    } catch (const std::exception&) {
+      throw std::invalid_argument("bad value for --" + arg + ": " + value);
+    }
+  }
+}
+
+}  // namespace treesched::util

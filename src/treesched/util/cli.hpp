@@ -1,0 +1,64 @@
+// Tiny declarative command-line parser used by examples and bench binaries.
+//
+// Supports --name=value and --name value forms, boolean flags (--name),
+// typed defaults, and an auto-generated --help.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace treesched::util {
+
+/// Declarative option registry + parser.
+///
+///   Cli cli("bench_foo", "Reproduces experiment E1.");
+///   auto& n    = cli.add_int("jobs", 2000, "number of jobs");
+///   auto& eps  = cli.add_double("eps", 0.5, "speed augmentation epsilon");
+///   auto& csv  = cli.add_string("csv", "", "optional CSV output path");
+///   auto& fast = cli.add_flag("fast", "reduced repetition count");
+///   cli.parse(argc, argv);   // exits(0) on --help, throws on bad input
+class Cli {
+ public:
+  Cli(std::string program, std::string description);
+
+  /// Registers options. The returned reference stays valid for the Cli's
+  /// lifetime and holds the parsed value after parse().
+  std::int64_t& add_int(const std::string& name, std::int64_t def,
+                        const std::string& help);
+  double& add_double(const std::string& name, double def,
+                     const std::string& help);
+  std::string& add_string(const std::string& name, std::string def,
+                          const std::string& help);
+  bool& add_flag(const std::string& name, const std::string& help);
+
+  /// Parses argv. On --help prints usage and calls std::exit(0).
+  /// Throws std::invalid_argument on unknown options or bad values.
+  void parse(int argc, const char* const* argv);
+
+  /// Usage text (also printed by --help).
+  std::string usage() const;
+
+ private:
+  enum class Kind { kInt, kDouble, kString, kFlag };
+  struct Option {
+    Kind kind;
+    std::string help;
+    std::string default_repr;
+    // Owned storage, stable addresses.
+    std::int64_t int_value = 0;
+    double double_value = 0.0;
+    std::string string_value;
+    bool flag_value = false;
+  };
+
+  Option& add(const std::string& name, Kind kind, const std::string& help);
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace treesched::util

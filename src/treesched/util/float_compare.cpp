@@ -1,0 +1,33 @@
+#include "treesched/util/float_compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace treesched::util {
+
+namespace {
+double scale(double a, double b) {
+  return std::max({1.0, std::fabs(a), std::fabs(b)});
+}
+}  // namespace
+
+bool approx_eq(double a, double b, double tol) {
+  return std::fabs(a - b) <= tol * scale(a, b);
+}
+
+bool approx_lt(double a, double b, double tol) {
+  return (b - a) > tol * scale(a, b);
+}
+
+bool approx_le(double a, double b, double tol) { return !approx_lt(b, a, tol); }
+
+bool approx_gt(double a, double b, double tol) { return approx_lt(b, a, tol); }
+
+bool approx_ge(double a, double b, double tol) { return !approx_lt(a, b, tol); }
+
+double clamp_nonneg(double x, double tol) {
+  if (x < 0.0 && x >= -tol) return 0.0;
+  return x;
+}
+
+}  // namespace treesched::util

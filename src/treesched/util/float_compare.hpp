@@ -1,0 +1,34 @@
+// Centralized floating-point comparison for simulation time arithmetic.
+//
+// All event-time and work-volume comparisons in the simulator go through
+// these helpers with a single library-wide tolerance, so tie handling is
+// consistent everywhere.
+#pragma once
+
+namespace treesched::util {
+
+/// Library-wide absolute tolerance for time/volume comparisons.
+/// Simulation horizons are O(1e6) and sizes O(1e4), so 1e-7 absolute plus a
+/// relative term keeps comparisons stable without masking real differences.
+inline constexpr double kEps = 1e-7;
+
+/// Returns true if a and b are equal within tolerance.
+bool approx_eq(double a, double b, double tol = kEps);
+
+/// Returns true if a < b beyond tolerance.
+bool approx_lt(double a, double b, double tol = kEps);
+
+/// Returns true if a <= b within tolerance.
+bool approx_le(double a, double b, double tol = kEps);
+
+/// Returns true if a > b beyond tolerance.
+bool approx_gt(double a, double b, double tol = kEps);
+
+/// Returns true if a >= b within tolerance.
+bool approx_ge(double a, double b, double tol = kEps);
+
+/// Clamps tiny negative residuals (from float cancellation) to exactly zero;
+/// anything more negative than -tol is left alone so bugs still surface.
+double clamp_nonneg(double x, double tol = kEps);
+
+}  // namespace treesched::util

@@ -1,0 +1,100 @@
+#include "treesched/util/rng.hpp"
+
+#include <cmath>
+
+#include "treesched/util/assert.hpp"
+
+namespace treesched::util {
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  TS_REQUIRE(lo <= hi, "uniform_int bounds");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  // Lemire-style rejection to avoid modulo bias.
+  std::uint64_t x = next_u64();
+  std::uint64_t threshold = (-span) % span;
+  while (x < threshold) x = next_u64();
+  return lo + static_cast<std::int64_t>(x % span);
+}
+
+double Rng::uniform01() {
+  // 53 high bits → double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  TS_REQUIRE(lo < hi, "uniform_real bounds");
+  return lo + (hi - lo) * uniform01();
+}
+
+double Rng::exponential(double rate) {
+  TS_REQUIRE(rate > 0.0, "exponential rate");
+  double u = uniform01();
+  // Guard against log(0).
+  if (u >= 1.0) u = std::nextafter(1.0, 0.0);
+  return -std::log1p(-u) / rate;
+}
+
+double Rng::bounded_pareto(double lo, double hi, double alpha) {
+  TS_REQUIRE(lo > 0.0 && lo < hi && alpha > 0.0, "bounded_pareto parameters");
+  const double u = uniform01();
+  const double la = std::pow(lo, alpha);
+  const double ha = std::pow(hi, alpha);
+  // Inverse CDF of the bounded Pareto distribution.
+  return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+}
+
+double Rng::normal(double mean, double stddev) {
+  double u1 = uniform01();
+  if (u1 <= 0.0) u1 = std::nextafter(0.0, 1.0);
+  const double u2 = uniform01();
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  return mean + stddev * z;
+}
+
+bool Rng::bernoulli(double p) {
+  TS_REQUIRE(p >= 0.0 && p <= 1.0, "bernoulli probability");
+  return uniform01() < p;
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    TS_REQUIRE(w >= 0.0, "weights must be non-negative");
+    total += w;
+  }
+  TS_REQUIRE(total > 0.0, "weighted_index needs a positive weight");
+  double x = uniform01() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x <= 0.0) return i;
+  }
+  return weights.size() - 1;  // numeric fallback
+}
+
+Rng Rng::split() { return Rng(next_u64()); }
+
+}  // namespace treesched::util

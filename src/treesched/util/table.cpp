@@ -1,0 +1,64 @@
+#include "treesched/util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <iomanip>
+#include <sstream>
+
+#include "treesched/util/assert.hpp"
+
+namespace treesched::util {
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+}  // namespace
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  TS_REQUIRE(!header_.empty(), "table header must be non-empty");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  TS_REQUIRE(cells.size() == header_.size(), "table row width must match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c ? "  " : "");
+      const bool right = looks_numeric(row[c]);
+      const int w = static_cast<int>(width[c]);
+      os << (right ? std::setiosflags(std::ios::right)
+                   : std::setiosflags(std::ios::left))
+         << std::setw(w) << row[c]
+         << std::resetiosflags(std::ios::adjustfield);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    os << (c ? "  " : "") << std::string(width[c], '-');
+  os << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+}  // namespace treesched::util

@@ -1,0 +1,55 @@
+// ASCII table printer — the benchmarks print paper-style tables with it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace treesched::util {
+
+/// Collects rows of cells and renders a column-aligned ASCII table with a
+/// header rule, suitable for terminal output of experiment results.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arbitrary streamable values into a row.
+  template <typename... Ts>
+  void add(const Ts&... vals) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(vals));
+    (cells.push_back(format_cell(vals)), ...);
+    add_row(std::move(cells));
+  }
+
+  /// Renders the table. Numeric-looking cells are right-aligned.
+  std::string str() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Formats a double with the given precision (used by benches for ratios).
+  static std::string num(double v, int precision = 3);
+
+ private:
+  template <typename T>
+  static std::string format_cell(const T& v);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+template <typename T>
+std::string Table::format_cell(const T& v) {
+  if constexpr (std::is_same_v<T, std::string>) {
+    return v;
+  } else if constexpr (std::is_convertible_v<T, const char*>) {
+    return std::string(v);
+  } else if constexpr (std::is_floating_point_v<T>) {
+    return num(static_cast<double>(v));
+  } else {
+    return std::to_string(v);
+  }
+}
+
+}  // namespace treesched::util

@@ -1,0 +1,79 @@
+#include "treesched/workload/adversarial.hpp"
+
+#include "treesched/core/tree_builders.hpp"
+#include "treesched/util/class_rounding.hpp"
+
+namespace treesched::workload {
+
+Instance congestion_trap(int waves) {
+  // Branch A: 1 router deep. Branch B: 4 routers deep. Closest-leaf sends
+  // everything to A; the better schedule spills overflow into B.
+  Tree tree = builders::broomstick({1, 4}, {{1}, {4}});
+  std::vector<Job> jobs;
+  JobId id = 0;
+  Time t = 0.0;
+  for (int w = 0; w < waves; ++w) {
+    // Two unit jobs arrive per unit of time: one branch alone (capacity 1
+    // at the root cut per branch) cannot absorb them.
+    jobs.emplace_back(id++, t, 1.0);
+    jobs.emplace_back(id++, t + 0.5, 1.0);
+    t += 1.0;
+  }
+  return Instance(std::move(tree), std::move(jobs), EndpointModel::kIdentical);
+}
+
+Instance size_mixer(int waves) {
+  Tree tree = builders::star_of_paths(2, 2);
+  std::vector<Job> jobs;
+  JobId id = 0;
+  Time t = 0.0;
+  for (int w = 0; w < waves; ++w) {
+    // A big job followed by a burst of smalls: round-robin alternates and
+    // strands smalls behind the big one on one branch.
+    jobs.emplace_back(id++, t, 16.0);
+    for (int s = 0; s < 4; ++s)
+      jobs.emplace_back(id++, t + 0.1 * (s + 1), 1.0);
+    t += 24.0;
+  }
+  return Instance(std::move(tree), std::move(jobs), EndpointModel::kIdentical);
+}
+
+Instance class_cascade(int classes, int per_class, double eps) {
+  Tree tree = builders::star_of_paths(1, 6);
+  std::vector<Job> jobs;
+  JobId id = 0;
+  Time t = 0.0;
+  // Release classes from large to small so every small class preempts its
+  // predecessors on all six routers, exercising the Lemma 2 volume bound.
+  for (int c = classes - 1; c >= 0; --c) {
+    const double p = util::class_size(c, eps);
+    for (int i = 0; i < per_class; ++i) {
+      jobs.emplace_back(id++, t, p);
+      t += 1e-3;
+    }
+  }
+  return Instance(std::move(tree), std::move(jobs), EndpointModel::kIdentical);
+}
+
+Instance unrelated_trap(int waves) {
+  // Two branches, each with one leaf. Even jobs are fast on leaf 0, odd on
+  // leaf 1 — but arrivals hammer branch 0's router.
+  Tree tree = builders::star_of_paths(2, 2);
+  const std::size_t n_leaves = tree.leaves().size();
+  std::vector<Job> jobs;
+  JobId id = 0;
+  Time t = 0.0;
+  for (int w = 0; w < waves; ++w) {
+    std::vector<double> fast_on_0(n_leaves, 8.0);
+    fast_on_0[0] = 1.0;
+    std::vector<double> fast_on_1(n_leaves, 8.0);
+    fast_on_1[1] = 1.0;
+    jobs.emplace_back(id++, t, 1.0, fast_on_0);
+    jobs.emplace_back(id++, t + 0.4, 1.0, fast_on_0);
+    jobs.emplace_back(id++, t + 0.8, 1.0, fast_on_1);
+    t += 1.2;
+  }
+  return Instance(std::move(tree), std::move(jobs), EndpointModel::kUnrelated);
+}
+
+}  // namespace treesched::workload

@@ -1,0 +1,32 @@
+// Hand-crafted adversarial instances.
+//
+// The paper's lower-bound citations (e.g. [30]) and its assignment-rule
+// discussion motivate these gadgets: each one defeats a specific naive
+// policy, so the baseline-comparison experiment (E9) can demonstrate *why*
+// the paper's congestion-aware rule is needed.
+#pragma once
+
+#include "treesched/core/instance.hpp"
+
+namespace treesched::workload {
+
+/// Defeats closest-leaf assignment: one branch is shallow, the other deep;
+/// a stream of jobs overwhelms the shallow branch while the deep branch
+/// idles. `waves` controls the instance length.
+Instance congestion_trap(int waves);
+
+/// Defeats load-oblivious round-robin: alternating large/small jobs where
+/// rotating assignments pile large jobs onto the same branch as smalls.
+Instance size_mixer(int waves);
+
+/// Stress for Lemma 2's class argument: geometric size classes released so
+/// each class barely fits in front of the next (class-rounded sizes).
+/// `classes` size classes of `per_class` jobs each, eps the class base.
+Instance class_cascade(int classes, int per_class, double eps);
+
+/// Unrelated-endpoint trap: jobs whose fast leaf sits behind the congested
+/// branch — a policy ignoring network queues pays the router delay, one
+/// ignoring leaf speeds pays the slow leaf.
+Instance unrelated_trap(int waves);
+
+}  // namespace treesched::workload

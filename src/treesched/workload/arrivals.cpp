@@ -1,0 +1,96 @@
+#include "treesched/workload/arrivals.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "treesched/util/assert.hpp"
+
+namespace treesched::workload {
+
+std::vector<Time> poisson_arrivals(util::Rng& rng, int n, double rate) {
+  TS_REQUIRE(n >= 0, "job count must be non-negative");
+  TS_REQUIRE(rate > 0.0, "arrival rate must be positive");
+  std::vector<Time> out;
+  out.reserve(n);
+  Time t = 0.0;
+  for (int i = 0; i < n; ++i) {
+    t += rng.exponential(rate);
+    out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<Time> deterministic_arrivals(int n, double gap) {
+  TS_REQUIRE(n >= 0 && gap > 0.0, "bad deterministic arrival parameters");
+  std::vector<Time> out;
+  out.reserve(n);
+  for (int i = 1; i <= n; ++i) out.push_back(gap * i);
+  return out;
+}
+
+std::vector<Time> mmpp_arrivals(util::Rng& rng, int n, double calm_rate,
+                                double burst_rate, double switch_rate) {
+  TS_REQUIRE(calm_rate > 0.0 && burst_rate > 0.0 && switch_rate > 0.0,
+             "MMPP rates must be positive");
+  std::vector<Time> out;
+  out.reserve(n);
+  Time t = 0.0;
+  bool bursting = false;
+  Time next_switch = rng.exponential(switch_rate);
+  while (static_cast<int>(out.size()) < n) {
+    const double rate = bursting ? burst_rate : calm_rate;
+    const Time step = rng.exponential(rate);
+    if (t + step >= next_switch) {
+      t = next_switch;
+      bursting = !bursting;
+      next_switch = t + rng.exponential(switch_rate);
+      continue;  // no arrival during the truncated interval (thinning)
+    }
+    t += step;
+    out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<Time> batched_arrivals(util::Rng& rng, int n, int batch,
+                                   double gap, double jitter) {
+  TS_REQUIRE(batch >= 1 && gap > 0.0 && jitter >= 0.0,
+             "bad batched arrival parameters");
+  std::vector<Time> out;
+  out.reserve(n);
+  Time t = 0.0;
+  while (static_cast<int>(out.size()) < n) {
+    t += rng.exponential(1.0 / gap);
+    for (int b = 0; b < batch && static_cast<int>(out.size()) < n; ++b)
+      out.push_back(t + b * jitter);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Time> diurnal_arrivals(util::Rng& rng, int n, double base_rate,
+                                   double amplitude, double period) {
+  TS_REQUIRE(base_rate > 0.0, "base rate must be positive");
+  TS_REQUIRE(amplitude >= 0.0 && amplitude < 1.0, "amplitude in [0,1)");
+  TS_REQUIRE(period > 0.0, "period must be positive");
+  std::vector<Time> out;
+  out.reserve(n);
+  const double peak = base_rate * (1.0 + amplitude);
+  Time t = 0.0;
+  while (static_cast<int>(out.size()) < n) {
+    t += rng.exponential(peak);
+    const double rate =
+        base_rate *
+        (1.0 + amplitude * std::sin(2.0 * 3.14159265358979323846 * t / period));
+    if (rng.uniform01() * peak <= rate) out.push_back(t);  // thinning
+  }
+  return out;
+}
+
+double arrival_rate_for_load(int root_children, double mean_size, double rho) {
+  TS_REQUIRE(root_children >= 1 && mean_size > 0.0 && rho > 0.0,
+             "bad load parameters");
+  return rho * root_children / mean_size;
+}
+
+}  // namespace treesched::workload

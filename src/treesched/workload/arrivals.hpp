@@ -1,0 +1,41 @@
+// Arrival-time processes for synthetic workloads.
+#pragma once
+
+#include <vector>
+
+#include "treesched/core/types.hpp"
+#include "treesched/util/rng.hpp"
+
+namespace treesched::workload {
+
+/// n i.i.d. exponential inter-arrival times with the given rate (Poisson
+/// process). First arrival at the first inter-arrival, not at 0.
+std::vector<Time> poisson_arrivals(util::Rng& rng, int n, double rate);
+
+/// Evenly spaced arrivals: gap, 2*gap, ...
+std::vector<Time> deterministic_arrivals(int n, double gap);
+
+/// Two-state Markov-modulated Poisson process: alternates between a calm
+/// rate and a burst rate; the state flips after exp(switch_rate) time.
+/// Models the bursty data-analytics arrivals motivating the paper.
+std::vector<Time> mmpp_arrivals(util::Rng& rng, int n, double calm_rate,
+                                double burst_rate, double switch_rate);
+
+/// Batches of `batch` near-simultaneous jobs (jittered by `jitter`),
+/// batches separated by exp(1/gap).
+std::vector<Time> batched_arrivals(util::Rng& rng, int n, int batch,
+                                   double gap, double jitter = 1e-3);
+
+/// Non-homogeneous Poisson with sinusoidal intensity
+/// rate(t) = base * (1 + amplitude * sin(2*pi*t/period)) — the diurnal
+/// pattern of real cluster traces. amplitude in [0, 1); implemented by
+/// thinning against the peak rate.
+std::vector<Time> diurnal_arrivals(util::Rng& rng, int n, double base_rate,
+                                   double amplitude, double period);
+
+/// Arrival rate lambda such that the expected utilization of the root-child
+/// layer is `rho`: rho = lambda * mean_size / root_children (each job must
+/// be fully processed by exactly one root child at baseline speed 1).
+double arrival_rate_for_load(int root_children, double mean_size, double rho);
+
+}  // namespace treesched::workload

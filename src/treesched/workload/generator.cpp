@@ -1,0 +1,87 @@
+#include "treesched/workload/generator.hpp"
+
+#include "treesched/util/assert.hpp"
+
+namespace treesched::workload {
+
+Instance generate(util::Rng& rng, std::shared_ptr<const Tree> tree,
+                  const WorkloadSpec& spec) {
+  TS_REQUIRE(tree != nullptr, "generate needs a tree");
+  TS_REQUIRE(spec.jobs >= 0, "job count must be non-negative");
+  TS_REQUIRE(spec.load > 0.0, "load must be positive");
+
+  const double lambda = arrival_rate_for_load(
+      static_cast<int>(tree->root_children().size()), spec.sizes.mean(),
+      spec.load);
+
+  std::vector<Time> releases;
+  switch (spec.arrivals) {
+    case ArrivalProcess::kPoisson:
+      releases = poisson_arrivals(rng, spec.jobs, lambda);
+      break;
+    case ArrivalProcess::kDeterministic:
+      releases = deterministic_arrivals(spec.jobs, 1.0 / lambda);
+      break;
+    case ArrivalProcess::kMmpp: {
+      // Keep roughly the same average rate: the chain spends half its time
+      // in each state, so calm + burst should average to 2*lambda; when the
+      // burst alone exceeds that, fall back to a symmetric ratio.
+      const double burst = lambda * spec.burst_multiplier;
+      const double calm = (2.0 * lambda - burst > 1e-6)
+                              ? 2.0 * lambda - burst
+                              : lambda / spec.burst_multiplier;
+      releases = mmpp_arrivals(rng, spec.jobs, calm, burst,
+                               lambda * spec.switch_rate_fraction);
+      break;
+    }
+    case ArrivalProcess::kBatched:
+      releases = batched_arrivals(rng, spec.jobs, spec.batch,
+                                  spec.batch / lambda);
+      break;
+    case ArrivalProcess::kDiurnal:
+      releases = diurnal_arrivals(rng, spec.jobs, lambda,
+                                  spec.diurnal_amplitude,
+                                  spec.diurnal_period_arrivals / lambda);
+      break;
+  }
+
+  const std::vector<double> sizes = draw_sizes(rng, spec.jobs, spec.sizes);
+
+  std::vector<Job> jobs;
+  jobs.reserve(spec.jobs);
+  if (spec.endpoints == EndpointModel::kIdentical) {
+    for (int j = 0; j < spec.jobs; ++j)
+      jobs.emplace_back(static_cast<JobId>(j), releases[j], sizes[j]);
+  } else {
+    UnrelatedGenerator gen(*tree, spec.unrelated, rng);
+    for (int j = 0; j < spec.jobs; ++j)
+      jobs.emplace_back(static_cast<JobId>(j), releases[j], sizes[j],
+                        gen.leaf_sizes(rng, sizes[j]));
+  }
+  for (Job& j : jobs) {
+    switch (spec.weights) {
+      case WeightModel::kUnit:
+        break;
+      case WeightModel::kUniformInt:
+        TS_REQUIRE(spec.weight_max >= 1, "weight_max must be >= 1");
+        j.weight = static_cast<double>(rng.uniform_int(1, spec.weight_max));
+        break;
+      case WeightModel::kInverseSize:
+        j.weight = 1.0 / j.size;
+        break;
+    }
+    if (spec.leaf_source_fraction > 0.0 &&
+        rng.bernoulli(spec.leaf_source_fraction)) {
+      const auto& leaves = tree->leaves();
+      j.source = leaves[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(leaves.size()) - 1))];
+    }
+  }
+  return Instance(std::move(tree), std::move(jobs), spec.endpoints);
+}
+
+Instance generate(util::Rng& rng, const Tree& tree, const WorkloadSpec& spec) {
+  return generate(rng, std::make_shared<const Tree>(tree), spec);
+}
+
+}  // namespace treesched::workload

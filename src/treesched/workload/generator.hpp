@@ -1,0 +1,59 @@
+// End-to-end synthetic instance generation.
+#pragma once
+
+#include <memory>
+
+#include "treesched/core/instance.hpp"
+#include "treesched/workload/arrivals.hpp"
+#include "treesched/workload/sizes.hpp"
+#include "treesched/workload/unrelated.hpp"
+
+namespace treesched::workload {
+
+enum class ArrivalProcess {
+  kPoisson,
+  kDeterministic,
+  kMmpp,
+  kBatched,
+  kDiurnal,  ///< sinusoidally modulated Poisson (cluster-trace-like)
+};
+
+/// Job-weight models (weighted flow time extension; the paper uses kUnit).
+enum class WeightModel {
+  kUnit,         ///< every weight 1 (the paper's objective)
+  kUniformInt,   ///< uniform integer in [1, weight_max]
+  kInverseSize,  ///< weight ~ 1/size: small jobs are urgent (SLA-like)
+};
+
+struct WorkloadSpec {
+  int jobs = 1000;
+  ArrivalProcess arrivals = ArrivalProcess::kPoisson;
+  /// Target utilization of the root-child layer at adversary speed 1
+  /// (lambda is derived from it and the size distribution's mean).
+  double load = 0.7;
+  /// MMPP: burst rate multiple and state switch rate (relative to lambda).
+  double burst_multiplier = 5.0;
+  double switch_rate_fraction = 0.02;
+  /// Batched: jobs per batch.
+  int batch = 10;
+  /// Diurnal: modulation depth and period (in expected inter-arrival units).
+  double diurnal_amplitude = 0.6;
+  double diurnal_period_arrivals = 200.0;
+  SizeSpec sizes;
+  EndpointModel endpoints = EndpointModel::kIdentical;
+  UnrelatedSpec unrelated;  ///< used only when endpoints == kUnrelated
+  WeightModel weights = WeightModel::kUnit;
+  int weight_max = 8;       ///< kUniformInt upper bound
+  /// Fraction of jobs born at a random machine instead of the root
+  /// (arbitrary-source extension; 0 = the paper's base model).
+  double leaf_source_fraction = 0.0;
+};
+
+/// Generates an Instance on the given tree. Deterministic in (spec, rng).
+Instance generate(util::Rng& rng, std::shared_ptr<const Tree> tree,
+                  const WorkloadSpec& spec);
+
+/// Convenience overload copying the tree.
+Instance generate(util::Rng& rng, const Tree& tree, const WorkloadSpec& spec);
+
+}  // namespace treesched::workload

@@ -1,0 +1,93 @@
+#include "treesched/workload/sizes.hpp"
+
+#include <cmath>
+
+#include "treesched/util/assert.hpp"
+#include "treesched/util/class_rounding.hpp"
+
+namespace treesched::workload {
+
+namespace {
+/// Expected inflation from rounding up to powers of (1+eps), assuming the
+/// size's log-position within its class is uniform: E[(1+eps)^U, U~[0,1)]
+/// relative to the value itself = eps / ln(1+eps). Exact for log-uniform
+/// sizes, a good approximation for the smooth distributions here; keeping
+/// the load calibration honest matters more than the third decimal.
+double rounding_inflation(double eps) {
+  return eps > 0.0 ? eps / std::log1p(eps) : 1.0;
+}
+}  // namespace
+
+const char* SizeSpec::name() const {
+  switch (dist) {
+    case SizeDistribution::kFixed: return "fixed";
+    case SizeDistribution::kUniform: return "uniform";
+    case SizeDistribution::kExponential: return "exponential";
+    case SizeDistribution::kBoundedPareto: return "pareto";
+    case SizeDistribution::kBimodal: return "bimodal";
+  }
+  return "?";
+}
+
+double SizeSpec::mean() const {
+  return base_mean() * rounding_inflation(class_eps);
+}
+
+double SizeSpec::base_mean() const {
+  switch (dist) {
+    case SizeDistribution::kFixed:
+      return scale;
+    case SizeDistribution::kUniform:
+      return scale * (1.0 + spread) / 2.0;
+    case SizeDistribution::kExponential:
+      return scale;
+    case SizeDistribution::kBoundedPareto: {
+      // Mean of bounded Pareto on [L, H] with shape a != 1.
+      const double L = scale, H = scale * spread, a = shape;
+      const double la = std::pow(L, a);
+      if (std::fabs(a - 1.0) < 1e-9)
+        return L * H / (H - L) * std::log(H / L);
+      return la / (1.0 - std::pow(L / H, a)) * a / (a - 1.0) *
+             (1.0 / std::pow(L, a - 1.0) - 1.0 / std::pow(H, a - 1.0));
+    }
+    case SizeDistribution::kBimodal:
+      return scale * (1.0 - mix) + scale * spread * mix;
+  }
+  return scale;
+}
+
+std::vector<double> draw_sizes(util::Rng& rng, int n, const SizeSpec& spec) {
+  TS_REQUIRE(n >= 0, "size count must be non-negative");
+  TS_REQUIRE(spec.scale > 0.0, "size scale must be positive");
+  std::vector<double> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    double p = spec.scale;
+    switch (spec.dist) {
+      case SizeDistribution::kFixed:
+        break;
+      case SizeDistribution::kUniform:
+        TS_REQUIRE(spec.spread > 1.0, "uniform spread must exceed 1");
+        p = rng.uniform_real(spec.scale, spec.scale * spec.spread);
+        break;
+      case SizeDistribution::kExponential:
+        // Shifted off zero so sizes stay strictly positive.
+        p = std::max(1e-3 * spec.scale, rng.exponential(1.0 / spec.scale));
+        break;
+      case SizeDistribution::kBoundedPareto:
+        TS_REQUIRE(spec.spread > 1.0, "pareto spread must exceed 1");
+        p = rng.bounded_pareto(spec.scale, spec.scale * spec.spread,
+                               spec.shape);
+        break;
+      case SizeDistribution::kBimodal:
+        TS_REQUIRE(spec.mix >= 0.0 && spec.mix <= 1.0, "mix in [0,1]");
+        p = rng.bernoulli(spec.mix) ? spec.scale * spec.spread : spec.scale;
+        break;
+    }
+    if (spec.class_eps > 0.0) p = util::round_up_to_class(p, spec.class_eps);
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace treesched::workload

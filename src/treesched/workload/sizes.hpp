@@ -1,0 +1,42 @@
+// Job-size distributions.
+#pragma once
+
+#include <vector>
+
+#include "treesched/util/rng.hpp"
+
+namespace treesched::workload {
+
+/// Which distribution generates the router sizes p_j.
+enum class SizeDistribution {
+  kFixed,          ///< every job has size `scale`
+  kUniform,        ///< uniform on [scale, scale * spread]
+  kExponential,    ///< exponential with mean `scale`, shifted off zero
+  kBoundedPareto,  ///< bounded Pareto on [scale, scale*spread], shape `shape`
+  kBimodal,        ///< small `scale` w.p. (1-mix), large `scale*spread` w.p. mix
+};
+
+struct SizeSpec {
+  SizeDistribution dist = SizeDistribution::kExponential;
+  double scale = 8.0;   ///< base size
+  double spread = 64.0; ///< upper multiple for bounded distributions
+  double shape = 1.5;   ///< Pareto shape
+  double mix = 0.1;     ///< bimodal large-job probability
+  /// > 0: round every size up to a power of (1+class_eps), the paper's
+  /// Section 2 assumption (required by the Lemma 1/2 guarantees).
+  double class_eps = 0.0;
+
+  const char* name() const;
+  /// Expected size including the class-rounding inflation (approximated as
+  /// eps/ln(1+eps), exact for log-uniform class positions) — the quantity
+  /// load calibration must use, or "load 0.85" silently overloads the
+  /// speed-1 adversary.
+  double mean() const;
+  /// Expected size of the raw (unrounded) distribution.
+  double base_mean() const;
+};
+
+/// Draws n sizes.
+std::vector<double> draw_sizes(util::Rng& rng, int n, const SizeSpec& spec);
+
+}  // namespace treesched::workload

@@ -1,0 +1,120 @@
+#include "treesched/workload/trace_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "treesched/util/assert.hpp"
+#include "treesched/util/string_util.hpp"
+
+namespace treesched::workload {
+
+namespace {
+const char* kind_name(NodeKind k) {
+  switch (k) {
+    case NodeKind::kRoot: return "root";
+    case NodeKind::kRouter: return "router";
+    case NodeKind::kMachine: return "machine";
+  }
+  return "?";
+}
+
+NodeKind parse_kind(const std::string& s) {
+  if (s == "root") return NodeKind::kRoot;
+  if (s == "router") return NodeKind::kRouter;
+  if (s == "machine") return NodeKind::kMachine;
+  throw std::invalid_argument("trace: unknown node kind '" + s + "'");
+}
+
+[[noreturn]] void bad(const std::string& msg) {
+  throw std::invalid_argument("trace: " + msg);
+}
+}  // namespace
+
+void write_trace(std::ostream& os, const Instance& instance) {
+  const Tree& tree = instance.tree();
+  os << std::setprecision(17);
+  os << "tree " << tree.node_count() << '\n';
+  for (NodeId v = 0; v < tree.node_count(); ++v)
+    os << "node " << v << ' ' << tree.parent(v) << ' '
+       << kind_name(tree.kind(v)) << '\n';
+  os << "model "
+     << (instance.model() == EndpointModel::kIdentical ? "identical"
+                                                       : "unrelated")
+     << '\n';
+  for (const Job& j : instance.jobs()) {
+    os << "job " << j.id << ' ' << j.release << ' ' << j.size << ' '
+       << j.weight << ' ' << j.source;
+    for (double p : j.leaf_sizes) os << ' ' << p;
+    os << '\n';
+  }
+}
+
+void write_trace_file(const std::string& path, const Instance& instance) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open trace file: " + path);
+  write_trace(f, instance);
+  if (!f) throw std::runtime_error("failed writing trace file: " + path);
+}
+
+Instance read_trace(std::istream& is) {
+  std::string line;
+  int node_count = -1;
+  std::vector<NodeId> parent;
+  std::vector<NodeKind> kind;
+  bool model_seen = false;
+  EndpointModel model = EndpointModel::kIdentical;
+  std::vector<Job> jobs;
+
+  while (std::getline(is, line)) {
+    line = util::trim(line);
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "tree") {
+      if (!(ls >> node_count) || node_count <= 0) bad("bad tree header");
+      parent.assign(node_count, kInvalidNode);
+      kind.assign(node_count, NodeKind::kRouter);
+    } else if (tag == "node") {
+      if (node_count < 0) bad("node before tree header");
+      int id, par;
+      std::string kname;
+      if (!(ls >> id >> par >> kname)) bad("bad node line: " + line);
+      if (id < 0 || id >= node_count) bad("node id out of range");
+      parent[id] = static_cast<NodeId>(par);
+      kind[id] = parse_kind(kname);
+    } else if (tag == "model") {
+      std::string m;
+      if (!(ls >> m)) bad("bad model line");
+      if (m == "identical") model = EndpointModel::kIdentical;
+      else if (m == "unrelated") model = EndpointModel::kUnrelated;
+      else bad("unknown model '" + m + "'");
+      model_seen = true;
+    } else if (tag == "job") {
+      Job j;
+      if (!(ls >> j.id >> j.release >> j.size >> j.weight >> j.source))
+        bad("bad job line: " + line);
+      double p;
+      while (ls >> p) j.leaf_sizes.push_back(p);
+      jobs.push_back(std::move(j));
+    } else {
+      bad("unknown tag '" + tag + "'");
+    }
+  }
+  if (node_count < 0) bad("missing tree header");
+  if (!model_seen) bad("missing model line");
+  Tree tree = Tree::build(std::move(parent), std::move(kind));
+  return Instance(std::move(tree), std::move(jobs), model);
+}
+
+Instance read_trace_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open trace file: " + path);
+  return read_trace(f);
+}
+
+}  // namespace treesched::workload

@@ -1,0 +1,74 @@
+#include "treesched/workload/unrelated.hpp"
+
+#include "treesched/util/assert.hpp"
+#include "treesched/util/class_rounding.hpp"
+
+namespace treesched::workload {
+
+const char* UnrelatedSpec::name() const {
+  switch (model) {
+    case UnrelatedModel::kUniformFactor: return "uniform-factor";
+    case UnrelatedModel::kRelated: return "related";
+    case UnrelatedModel::kAffinity: return "affinity";
+    case UnrelatedModel::kRestricted: return "restricted";
+  }
+  return "?";
+}
+
+UnrelatedGenerator::UnrelatedGenerator(const Tree& tree, UnrelatedSpec spec,
+                                       util::Rng& rng)
+    : tree_(&tree), spec_(spec) {
+  TS_REQUIRE(spec_.spread >= 1.0, "spread must be >= 1");
+  TS_REQUIRE(spec_.penalty >= 1.0, "penalty must be >= 1");
+  TS_REQUIRE(spec_.feasible_fraction > 0.0 && spec_.feasible_fraction <= 1.0,
+             "feasible fraction in (0,1]");
+  if (spec_.model == UnrelatedModel::kRelated) {
+    leaf_speed_.reserve(tree.leaves().size());
+    for (std::size_t i = 0; i < tree.leaves().size(); ++i)
+      leaf_speed_.push_back(rng.uniform_real(1.0, spec_.spread));
+  }
+}
+
+std::vector<double> UnrelatedGenerator::leaf_sizes(util::Rng& rng,
+                                                   double p) const {
+  TS_REQUIRE(p > 0.0, "job size must be positive");
+  const std::size_t L = tree_->leaves().size();
+  std::vector<double> out(L, p);
+  switch (spec_.model) {
+    case UnrelatedModel::kUniformFactor:
+      for (double& x : out) x = p * rng.uniform_real(1.0 / spec_.spread,
+                                                     spec_.spread);
+      break;
+    case UnrelatedModel::kRelated:
+      for (std::size_t i = 0; i < L; ++i) out[i] = p / leaf_speed_[i];
+      break;
+    case UnrelatedModel::kAffinity: {
+      // One random root subtree hosts the job's data replica: its leaves run
+      // the job at native speed, everyone else pays the spread factor.
+      const auto& rcs = tree_->root_children();
+      const NodeId home = rcs[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(rcs.size()) - 1))];
+      for (std::size_t i = 0; i < L; ++i) {
+        const NodeId leaf = tree_->leaves()[i];
+        const bool at_home = tree_->is_ancestor_or_self(home, leaf);
+        out[i] = at_home ? p : p * spec_.spread;
+      }
+      break;
+    }
+    case UnrelatedModel::kRestricted: {
+      bool any_feasible = false;
+      for (std::size_t i = 0; i < L; ++i) {
+        const bool feasible = rng.bernoulli(spec_.feasible_fraction);
+        any_feasible = any_feasible || feasible;
+        out[i] = feasible ? p : p * spec_.penalty;
+      }
+      if (!any_feasible) out[0] = p;  // keep at least one sane target
+      break;
+    }
+  }
+  if (spec_.class_eps > 0.0)
+    for (double& x : out) x = util::round_up_to_class(x, spec_.class_eps);
+  return out;
+}
+
+}  // namespace treesched::workload

@@ -1,0 +1,47 @@
+// Unrelated-leaf processing-time models (Section 2, unrelated endpoints).
+//
+// Given a job's router size p_j, these models derive the per-leaf p_{j,v}.
+#pragma once
+
+#include <vector>
+
+#include "treesched/core/tree.hpp"
+#include "treesched/util/rng.hpp"
+
+namespace treesched::workload {
+
+enum class UnrelatedModel {
+  kUniformFactor,  ///< p_{j,v} = p_j * U[1/spread, spread] per (job, leaf)
+  kRelated,        ///< p_{j,v} = p_j / s_v for a fixed per-leaf speed s_v
+  kAffinity,       ///< one random "home" subtree is fast, the rest slow
+  kRestricted,     ///< a random subset of leaves is feasible; others `penalty`x
+};
+
+struct UnrelatedSpec {
+  UnrelatedModel model = UnrelatedModel::kUniformFactor;
+  double spread = 4.0;    ///< speed/size ratio between extremes
+  double penalty = 64.0;  ///< slowdown on infeasible leaves (kRestricted)
+  double feasible_fraction = 0.5;  ///< kRestricted: P(leaf is feasible)
+  /// > 0: round leaf sizes up to powers of (1+class_eps).
+  double class_eps = 0.0;
+
+  const char* name() const;
+};
+
+/// Per-instance state for the kRelated model (fixed leaf speeds drawn once).
+class UnrelatedGenerator {
+ public:
+  UnrelatedGenerator(const Tree& tree, UnrelatedSpec spec, util::Rng& rng);
+
+  /// Draws the leaf size vector for one job with router size p.
+  std::vector<double> leaf_sizes(util::Rng& rng, double p) const;
+
+  const UnrelatedSpec& spec() const { return spec_; }
+
+ private:
+  const Tree* tree_;
+  UnrelatedSpec spec_;
+  std::vector<double> leaf_speed_;  ///< kRelated: fixed speeds per leaf index
+};
+
+}  // namespace treesched::workload

@@ -1,0 +1,144 @@
+// Tree topology: construction, validation, derived structure.
+#include <gtest/gtest.h>
+
+#include "treesched/core/tree.hpp"
+#include "treesched/core/tree_builders.hpp"
+#include "treesched/util/rng.hpp"
+
+namespace treesched {
+namespace {
+
+TEST(TreeBuild, StarOfPathsShape) {
+  const Tree t = builders::star_of_paths(3, 2);
+  // root + 3 * (2 routers + 1 machine)
+  EXPECT_EQ(t.node_count(), 10);
+  EXPECT_EQ(t.leaves().size(), 3u);
+  EXPECT_EQ(t.root_children().size(), 3u);
+  for (const NodeId leaf : t.leaves()) {
+    EXPECT_EQ(t.depth(leaf), 3);
+    EXPECT_EQ(t.d(leaf), 3);
+    EXPECT_EQ(t.path_to(leaf).size(), 3u);
+    EXPECT_EQ(t.path_to(leaf).front(), t.root_child_of(leaf));
+    EXPECT_EQ(t.path_to(leaf).back(), leaf);
+  }
+}
+
+TEST(TreeBuild, RootChildOfIsIdempotentOnRootChildren) {
+  const Tree t = builders::star_of_paths(2, 3);
+  for (const NodeId rc : t.root_children()) EXPECT_EQ(t.root_child_of(rc), rc);
+}
+
+TEST(TreeBuild, LeafIndexIsDenseBijection) {
+  const Tree t = builders::fat_tree(2, 2, 2);
+  std::vector<bool> seen(t.leaves().size(), false);
+  for (const NodeId leaf : t.leaves()) {
+    const int idx = t.leaf_index(leaf);
+    ASSERT_GE(idx, 0);
+    ASSERT_LT(idx, static_cast<int>(t.leaves().size()));
+    EXPECT_FALSE(seen[idx]);
+    seen[idx] = true;
+  }
+}
+
+TEST(TreeBuild, LeavesUnderRootChildPartitionAllLeaves) {
+  const Tree t = builders::figure1_tree();
+  std::size_t total = 0;
+  for (const NodeId rc : t.root_children()) {
+    const auto leaves = t.leaves_under(rc);
+    total += leaves.size();
+    for (const NodeId leaf : leaves) EXPECT_EQ(t.root_child_of(leaf), rc);
+  }
+  EXPECT_EQ(total, t.leaves().size());
+}
+
+TEST(TreeBuild, AncestorQueries) {
+  const Tree t = builders::star_of_paths(2, 3);
+  const NodeId leaf = t.leaves()[0];
+  EXPECT_TRUE(t.is_ancestor_or_self(t.root(), leaf));
+  EXPECT_TRUE(t.is_ancestor_or_self(leaf, leaf));
+  EXPECT_TRUE(t.is_ancestor_or_self(t.root_child_of(leaf), leaf));
+  const NodeId other = t.leaves()[1];
+  EXPECT_FALSE(t.is_ancestor_or_self(leaf, other));
+  EXPECT_FALSE(t.is_ancestor_or_self(t.root_child_of(leaf),
+                                     other));
+}
+
+TEST(TreeBuild, HeightBelow) {
+  const Tree t = builders::star_of_paths(1, 4);
+  EXPECT_EQ(t.height_below(t.root()), 5);  // 4 routers + machine
+  EXPECT_EQ(t.height_below(t.leaves()[0]), 0);
+  EXPECT_EQ(t.max_leaf_depth(), 5);
+}
+
+TEST(TreeValidation, RejectsMachineAdjacentToRoot) {
+  // root(0) -> machine(1): forbidden by the model.
+  EXPECT_THROW(Tree::build({kInvalidNode, 0},
+                           {NodeKind::kRoot, NodeKind::kMachine}),
+               std::invalid_argument);
+}
+
+TEST(TreeValidation, RejectsChildlessRouter) {
+  // root -> router (no child).
+  EXPECT_THROW(
+      Tree::build({kInvalidNode, 0}, {NodeKind::kRoot, NodeKind::kRouter}),
+      std::invalid_argument);
+}
+
+TEST(TreeValidation, RejectsCycle) {
+  // 1 and 2 parent each other; no path to root.
+  EXPECT_THROW(Tree::build({kInvalidNode, 2, 1, 0},
+                           {NodeKind::kRoot, NodeKind::kRouter,
+                            NodeKind::kRouter, NodeKind::kRouter}),
+               std::invalid_argument);
+}
+
+TEST(TreeValidation, RejectsMultipleRoots) {
+  EXPECT_THROW(Tree::build({kInvalidNode, kInvalidNode},
+                           {NodeKind::kRoot, NodeKind::kRoot}),
+               std::invalid_argument);
+}
+
+TEST(TreeValidation, RejectsMachineWithChildren) {
+  EXPECT_THROW(Tree::build({kInvalidNode, 0, 1, 2},
+                           {NodeKind::kRoot, NodeKind::kRouter,
+                            NodeKind::kMachine, NodeKind::kMachine}),
+               std::invalid_argument);
+}
+
+TEST(TreeBuilders, RandomTreeIsAlwaysValid) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int routers = static_cast<int>(rng.uniform_int(1, 12));
+    const int leaves = static_cast<int>(rng.uniform_int(1, 20));
+    const Tree t = builders::random_tree(rng, routers, leaves);
+    EXPECT_GE(t.leaves().size(), static_cast<std::size_t>(leaves));
+    for (const NodeId leaf : t.leaves()) EXPECT_GE(t.depth(leaf), 2);
+  }
+}
+
+TEST(TreeBuilders, CaterpillarCounts) {
+  const Tree t = builders::caterpillar(2, 3, 2);
+  // per branch: 3 spine routers, 6 machines.
+  EXPECT_EQ(t.leaves().size(), 12u);
+  EXPECT_EQ(t.root_children().size(), 2u);
+}
+
+TEST(TreeBuilders, FigureOneTreeMatchesPaperSketch) {
+  const Tree t = builders::figure1_tree();
+  EXPECT_EQ(t.root_children().size(), 3u);
+  EXPECT_EQ(t.leaves().size(), 8u);
+  EXPECT_FALSE(t.to_ascii().empty());
+}
+
+TEST(TreeBuilders, BroomstickBuilder) {
+  const Tree t = builders::broomstick({3, 2}, {{1, 3}, {2}});
+  EXPECT_EQ(t.root_children().size(), 2u);
+  EXPECT_EQ(t.leaves().size(), 3u);
+}
+
+TEST(TreeBuilders, BroomstickBuilderRejectsBadPositions) {
+  EXPECT_THROW(builders::broomstick({2}, {{3}}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace treesched

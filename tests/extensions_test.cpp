@@ -1,0 +1,145 @@
+// Tests for the auxiliary substrates added around the core reproduction:
+// Gantt rendering, offline OPT search, the PSW comparison model, and the
+// greedy rule's tie-breaking ablation knob.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "treesched/algo/policies.hpp"
+#include "treesched/algo/psw_model.hpp"
+#include "treesched/algo/runner.hpp"
+#include "treesched/core/tree_builders.hpp"
+#include "treesched/lp/lower_bounds.hpp"
+#include "treesched/lp/opt_search.hpp"
+#include "treesched/sim/gantt.hpp"
+#include "treesched/workload/generator.hpp"
+
+namespace treesched {
+namespace {
+
+TEST(Gantt, RendersEveryBusyNode) {
+  Instance inst(builders::star_of_paths(1, 2),
+                {Job(0, 0.0, 2.0), Job(1, 1.0, 1.0)},
+                EndpointModel::kIdentical);
+  sim::EngineConfig cfg;
+  cfg.record_schedule = true;
+  sim::Engine eng(inst, SpeedProfile::uniform(inst.tree(), 1.0), cfg);
+  const NodeId leaf = inst.tree().leaves()[0];
+  eng.run_with_assignment({leaf, leaf});
+  const std::string g = sim::render_gantt(inst, eng.recorder());
+  // Both jobs appear (letters 'a' and 'b'), three processing rows.
+  EXPECT_NE(g.find('a'), std::string::npos);
+  EXPECT_NE(g.find('b'), std::string::npos);
+  EXPECT_NE(g.find("router"), std::string::npos);
+  EXPECT_NE(g.find("machine"), std::string::npos);
+}
+
+TEST(Gantt, RejectsDegenerateWindows) {
+  Instance inst(builders::star_of_paths(1, 1), {Job(0, 0.0, 1.0)},
+                EndpointModel::kIdentical);
+  sim::Engine eng(inst, SpeedProfile::uniform(inst.tree(), 1.0));
+  EXPECT_THROW(sim::render_gantt(inst, eng.recorder()),
+               std::invalid_argument);  // nothing recorded -> empty window
+}
+
+TEST(OptSearch, NeverBeatsTheCertifiedLowerBound) {
+  util::Rng rng(41);
+  workload::WorkloadSpec spec;
+  spec.jobs = 25;
+  spec.load = 0.8;
+  const Instance inst =
+      workload::generate(rng, builders::star_of_paths(2, 2), spec);
+  const SpeedProfile speeds = SpeedProfile::uniform(inst.tree(), 1.0);
+  const auto found = lp::search_opt_upper_bound(inst, speeds);
+  EXPECT_GE(found.best_flow, lp::combined_lower_bound(inst) - 1e-6);
+  EXPECT_GT(found.evaluations, 0);
+  EXPECT_EQ(found.best_assignment.size(),
+            static_cast<std::size_t>(inst.job_count()));
+}
+
+TEST(OptSearch, ImprovesOnTheOnlineAlgorithm) {
+  // Offline search with full knowledge should not lose to the online rule
+  // at equal speeds (it can always reproduce the online assignment).
+  util::Rng rng(43);
+  workload::WorkloadSpec spec;
+  spec.jobs = 30;
+  spec.load = 0.9;
+  const Instance inst =
+      workload::generate(rng, builders::star_of_paths(2, 2), spec);
+  const SpeedProfile speeds = SpeedProfile::uniform(inst.tree(), 1.0);
+  const auto online = algo::run_named_policy(inst, speeds, "paper", 0.5);
+  const auto found = lp::search_opt_upper_bound(inst, speeds);
+  EXPECT_LE(found.best_flow, online.total_flow * 1.1);
+}
+
+TEST(Psw, TransitTimeMatchesHandComputation) {
+  Instance inst(builders::star_of_paths(1, 3), {Job(0, 0.0, 2.0)},
+                EndpointModel::kIdentical);
+  const SpeedProfile speeds = SpeedProfile::uniform(inst.tree(), 2.0);
+  // Three routers above the leaf, each 2.0/2.0 = 1.0.
+  EXPECT_DOUBLE_EQ(algo::psw_transit_time(inst, speeds, 0,
+                                          inst.tree().leaves()[0]),
+                   3.0);
+}
+
+TEST(Psw, SingleJobFlowIsTransitPlusProcessing) {
+  Instance inst(builders::star_of_paths(1, 2), {Job(0, 0.0, 2.0)},
+                EndpointModel::kIdentical);
+  const SpeedProfile speeds = SpeedProfile::uniform(inst.tree(), 1.0);
+  const auto res = algo::run_psw_model(inst, speeds);
+  EXPECT_DOUBLE_EQ(res.total_flow, 2.0 + 2.0 + 2.0);  // same as the engine
+}
+
+TEST(Psw, NeverSlowerThanTheTreeModel) {
+  // PSW removes contention, so a PSW run should not exceed the tree-model
+  // run of the same policy family on congested instances.
+  util::Rng rng(47);
+  workload::WorkloadSpec spec;
+  spec.jobs = 200;
+  spec.load = 0.95;
+  const Instance inst =
+      workload::generate(rng, builders::star_of_paths(2, 4), spec);
+  const SpeedProfile speeds = SpeedProfile::uniform(inst.tree(), 1.0);
+  const auto psw = algo::run_psw_model(inst, speeds);
+  const auto tree_run = algo::run_named_policy(inst, speeds, "paper", 0.5);
+  EXPECT_LT(psw.total_flow, tree_run.total_flow);
+}
+
+TEST(Psw, AllJobsComplete) {
+  util::Rng rng(48);
+  workload::WorkloadSpec spec;
+  spec.jobs = 150;
+  spec.endpoints = EndpointModel::kUnrelated;
+  const Instance inst =
+      workload::generate(rng, builders::fat_tree(2, 2, 2), spec);
+  const auto res =
+      algo::run_psw_model(inst, SpeedProfile::uniform(inst.tree(), 1.0));
+  for (const Time c : res.completion) EXPECT_GE(c, 0.0);
+}
+
+TEST(TieBreak, RotateSpreadsEqualCostLeaves) {
+  // Four equal-depth leaves under one root child: kFirst funnels to one
+  // machine, kRotate cycles through all four.
+  Tree tree = builders::caterpillar(1, 1, 4);
+  std::vector<Job> jobs;
+  for (int i = 0; i < 8; ++i) jobs.emplace_back(i, 0.1 * (i + 1), 1.0);
+  Instance inst(std::move(tree), std::move(jobs), EndpointModel::kIdentical);
+
+  const auto distinct_leaves = [&inst](algo::PaperGreedyPolicy& policy) {
+    sim::Engine eng(inst, SpeedProfile::uniform(inst.tree(), 1.0));
+    eng.run(policy);
+    std::set<NodeId> used;
+    for (JobId j = 0; j < inst.job_count(); ++j)
+      used.insert(eng.assigned_leaf(j));
+    return used.size();
+  };
+
+  algo::PaperGreedyPolicy first(0.5);
+  algo::PaperGreedyPolicy rotate(0.5, 6.0 / 0.25,
+                                 algo::PaperGreedyPolicy::TieBreak::kRotate);
+  EXPECT_EQ(distinct_leaves(first), 1u);
+  EXPECT_EQ(distinct_leaves(rotate), 4u);
+}
+
+}  // namespace
+}  // namespace treesched

@@ -1,0 +1,85 @@
+// Golden regression tests: fixed seeds and configurations whose exact
+// objective values were captured from a verified build. Any engine,
+// policy, RNG, or workload-generation change that alters schedules will
+// trip these — deliberately. If a change is *intended* to alter schedules
+// (e.g. a new tie rule), regenerate the constants and say so in the
+// commit.
+//
+// The RNG is specified in-repo (xoshiro256++) and the engine is fully
+// deterministic, so these values are portable across platforms.
+#include <gtest/gtest.h>
+
+#include "treesched/treesched.hpp"
+
+namespace treesched {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+TEST(Golden, PaperPolicyOnFatTreePareto) {
+  util::Rng rng(1001);
+  workload::WorkloadSpec spec;
+  spec.jobs = 100;
+  spec.load = 0.8;
+  spec.sizes.dist = workload::SizeDistribution::kBoundedPareto;
+  const Instance inst =
+      workload::generate(rng, builders::fat_tree(2, 2, 2), spec);
+  const auto r = algo::run_named_policy(
+      inst, SpeedProfile::paper_identical(inst.tree(), 0.5), "paper", 0.5);
+  EXPECT_NEAR(r.total_flow, 2842.612867, kTol);
+  EXPECT_NEAR(r.fractional_flow, 2447.035319, kTol);
+}
+
+TEST(Golden, UnrelatedAffinityOnFigureOne) {
+  util::Rng rng(1002);
+  workload::WorkloadSpec spec;
+  spec.jobs = 80;
+  spec.endpoints = EndpointModel::kUnrelated;
+  spec.unrelated.model = workload::UnrelatedModel::kAffinity;
+  const Instance inst =
+      workload::generate(rng, builders::figure1_tree(), spec);
+  const auto r = algo::run_named_policy(
+      inst, SpeedProfile::paper_unrelated(inst.tree(), 0.5), "paper", 0.5);
+  EXPECT_NEAR(r.total_flow, 704.8286129, kTol);
+  EXPECT_NEAR(r.max_flow, 65.98530015, kTol);
+}
+
+TEST(Golden, PipelinedDeepSpine) {
+  util::Rng rng(1003);
+  workload::WorkloadSpec spec;
+  spec.jobs = 60;
+  const Instance inst =
+      workload::generate(rng, builders::star_of_paths(2, 4), spec);
+  sim::EngineConfig cfg;
+  cfg.router_chunk_size = 0.5;
+  const auto r = algo::run_named_policy(
+      inst, SpeedProfile::uniform(inst.tree(), 1.5), "paper", 0.5, 1, cfg);
+  EXPECT_NEAR(r.total_flow, 970.6995288, kTol);
+  EXPECT_NEAR(r.makespan, 338.676897, kTol);
+}
+
+TEST(Golden, AdversarialGadgetUnderClosestLeaf) {
+  const Instance inst = workload::congestion_trap(25);
+  const auto r = algo::run_named_policy(
+      inst, SpeedProfile::uniform(inst.tree(), 1.0), "closest", 0.5);
+  EXPECT_NEAR(r.total_flow, 712.5, kTol);
+}
+
+TEST(Golden, WeightedHdfLeastVolume) {
+  util::Rng rng(1005);
+  workload::WorkloadSpec spec;
+  spec.jobs = 50;
+  spec.weights = workload::WeightModel::kUniformInt;
+  const Instance inst =
+      workload::generate(rng, builders::caterpillar(2, 2, 2), spec);
+  sim::EngineConfig cfg;
+  cfg.node_policy = sim::NodePolicy::kHdf;
+  const auto r = algo::run_named_policy(
+      inst, SpeedProfile::uniform(inst.tree(), 1.25), "least-volume", 0.5, 1,
+      cfg);
+  EXPECT_NEAR(r.metrics.total_weighted_flow_time(), 3346.697674, kTol);
+  EXPECT_NEAR(r.total_flow, 824.066174, kTol);
+}
+
+}  // namespace
+}  // namespace treesched

@@ -1,0 +1,78 @@
+// The adversarial search harness.
+#include <gtest/gtest.h>
+
+#include "treesched/core/tree_builders.hpp"
+#include "treesched/lp/adversary_search.hpp"
+#include "treesched/lp/lower_bounds.hpp"
+
+namespace treesched {
+namespace {
+
+TEST(AdversarySearch, ProducesValidBestInstance) {
+  const Tree tree = builders::star_of_paths(2, 1);
+  lp::AdversaryOptions opt;
+  opt.jobs = 5;
+  opt.iterations = 30;
+  opt.use_opt_search = false;  // keep the test fast
+  const auto found = lp::search_adversarial_instance(
+      tree, SpeedProfile::paper_identical(tree, 0.5), 0.5, opt);
+  EXPECT_GT(found.best_ratio, 0.0);
+  EXPECT_EQ(found.best_jobs.size(), 5u);
+  // The instance must reconstruct (ids dense, sizes valid).
+  Instance check(tree, found.best_jobs, EndpointModel::kUnrelated);
+  EXPECT_EQ(check.job_count(), 5);
+}
+
+TEST(AdversarySearch, RatioNeverDecreasesAcrossIterationBudget) {
+  const Tree tree = builders::star_of_paths(2, 1);
+  lp::AdversaryOptions small, large;
+  small.jobs = large.jobs = 5;
+  small.iterations = 5;
+  large.iterations = 60;
+  small.use_opt_search = large.use_opt_search = false;
+  small.seed = large.seed = 3;
+  const auto a = lp::search_adversarial_instance(
+      tree, SpeedProfile::paper_identical(tree, 0.5), 0.5, small);
+  const auto b = lp::search_adversarial_instance(
+      tree, SpeedProfile::paper_identical(tree, 0.5), 0.5, large);
+  EXPECT_GE(b.best_ratio, a.best_ratio - 1e-12);
+}
+
+TEST(AdversarySearch, IdenticalModeGeneratesIdenticalInstances) {
+  const Tree tree = builders::star_of_paths(2, 1);
+  lp::AdversaryOptions opt;
+  opt.jobs = 4;
+  opt.iterations = 10;
+  opt.unrelated = false;
+  opt.use_opt_search = false;
+  const auto found = lp::search_adversarial_instance(
+      tree, SpeedProfile::paper_identical(tree, 0.5), 0.5, opt);
+  for (const Job& j : found.best_jobs) EXPECT_TRUE(j.leaf_sizes.empty());
+}
+
+TEST(AdversarySearch, OptSearchDenominatorIsConservative) {
+  // With the offline-search denominator the reported ratio is at most the
+  // LB-based ratio (UB >= LB).
+  const Tree tree = builders::star_of_paths(2, 1);
+  lp::AdversaryOptions opt;
+  opt.jobs = 4;
+  opt.iterations = 1;
+  opt.seed = 5;
+  opt.use_opt_search = true;
+  const auto found = lp::search_adversarial_instance(
+      tree, SpeedProfile::paper_identical(tree, 0.5), 0.5, opt);
+  Instance inst(tree, found.best_jobs, EndpointModel::kUnrelated);
+  EXPECT_GE(found.opt_estimate, lp::combined_lower_bound(inst) - 1e-9);
+}
+
+TEST(AdversarySearch, ValidatesOptions) {
+  const Tree tree = builders::star_of_paths(2, 1);
+  lp::AdversaryOptions opt;
+  opt.iterations = 0;
+  EXPECT_THROW(lp::search_adversarial_instance(
+                   tree, SpeedProfile::uniform(tree, 1.0), 0.5, opt),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace treesched

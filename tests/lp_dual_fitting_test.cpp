@@ -1,0 +1,121 @@
+// The dual-fitting construction of Sections 3.5/3.6, verified numerically:
+// the constructed duals must be feasible after the paper's scaling, the
+// alpha variables must integrate to the algorithm's fractional cost, and
+// weak duality must hold against the exact LP optimum on tiny instances.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "treesched/core/tree_builders.hpp"
+#include "treesched/lp/dual_fitting.hpp"
+#include "treesched/lp/flowtime_lp.hpp"
+#include "treesched/util/class_rounding.hpp"
+#include "treesched/workload/generator.hpp"
+
+namespace treesched {
+namespace {
+
+Instance random_broomstick_instance(std::uint64_t seed, int jobs, double eps,
+                                    bool unrelated) {
+  Tree tree = builders::broomstick({3, 4}, {{2, 3}, {2, 4}});
+  util::Rng rng(seed);
+  workload::WorkloadSpec spec;
+  spec.jobs = jobs;
+  spec.load = 0.8;
+  spec.sizes.class_eps = eps;
+  spec.sizes.scale = 2.0;
+  if (unrelated) {
+    spec.endpoints = EndpointModel::kUnrelated;
+    spec.unrelated.class_eps = eps;
+  }
+  return workload::generate(rng, std::move(tree), spec);
+}
+
+class DualFitIdentical
+    : public testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(DualFitIdentical, ConstraintsFeasibleAndAlphaMatchesCost) {
+  const auto [seed, eps] = GetParam();
+  const Instance inst = random_broomstick_instance(seed, 60, eps, false);
+  const auto rep = lp::dual_fit_identical(inst, eps);
+
+  EXPECT_TRUE(rep.feasible()) << rep.summary();
+  EXPECT_GT(rep.checks, 0);
+  // Section 3.5: sum_{v,t} alpha equals the algorithm's fractional cost.
+  EXPECT_NEAR(rep.alpha_integral, rep.alg_fractional,
+              1e-6 * std::max(1.0, rep.alg_fractional));
+  // The dual objective must be positive (it certifies competitiveness).
+  EXPECT_GT(rep.dual_objective, 0.0);
+  EXPECT_GT(rep.certificate_ratio, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DualFitIdentical,
+    testing::Combine(testing::Values(1u, 2u, 3u, 4u),
+                     testing::Values(0.25, 0.5, 1.0)));
+
+class DualFitUnrelated
+    : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DualFitUnrelated, ConstraintsFeasibleAndAlphaIsTwiceCost) {
+  const double eps = 0.5;
+  const Instance inst = random_broomstick_instance(GetParam(), 50, eps, true);
+  const auto rep = lp::dual_fit_unrelated(inst, eps);
+  EXPECT_TRUE(rep.feasible()) << rep.summary();
+  // Section 3.6: the alphas double-count (root children + leaves).
+  EXPECT_NEAR(rep.alpha_integral, 2.0 * rep.alg_fractional,
+              1e-6 * std::max(1.0, rep.alg_fractional));
+  EXPECT_GT(rep.dual_objective, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DualFitUnrelated,
+                         testing::Values(11u, 12u, 13u, 14u));
+
+TEST(DualFit, WeakDualityAgainstExactLp) {
+  // On a tiny instance with integer releases, the scaled dual objective
+  // must lower-bound the exact LP optimum (computed at the paper's
+  // augmented speeds, the LP the duals are fit against).
+  Tree tree = builders::broomstick({3}, {{2, 3}});
+  const double eps = 0.5;
+  std::vector<Job> jobs;
+  jobs.emplace_back(0, 0.0, util::round_up_to_class(1.8, eps));
+  jobs.emplace_back(1, 1.0, util::round_up_to_class(0.9, eps));
+  jobs.emplace_back(2, 2.0, util::round_up_to_class(2.7, eps));
+  Instance inst(std::move(tree), std::move(jobs), EndpointModel::kIdentical);
+
+  const auto rep = lp::dual_fit_identical(inst, eps);
+  ASSERT_TRUE(rep.feasible()) << rep.summary();
+
+  const auto lp_res = lp::solve_flowtime_lp(
+      inst, SpeedProfile::paper_identical(inst.tree(), eps));
+  ASSERT_EQ(lp_res.status, lp::LpStatus::kOptimal);
+  EXPECT_LE(rep.dual_objective, lp_res.objective + 1e-6)
+      << "weak duality violated";
+}
+
+TEST(DualFit, RejectsNonBroomsticks) {
+  Instance inst(builders::figure1_tree(), {Job(0, 0.0, 1.0)},
+                EndpointModel::kIdentical);
+  EXPECT_THROW(lp::dual_fit_identical(inst, 0.5), std::invalid_argument);
+}
+
+TEST(DualFit, RejectsModelMismatch) {
+  Tree tree = builders::broomstick({2}, {{2}});
+  Instance inst(std::move(tree), {Job(0, 0.0, 1.0)},
+                EndpointModel::kIdentical);
+  EXPECT_THROW(lp::dual_fit_unrelated(inst, 0.5), std::invalid_argument);
+}
+
+TEST(DualFit, CertificateScalesWithEpsilonAsTheorem5Predicts) {
+  // Theorem 5: the competitive ratio certificate should grow as eps
+  // shrinks (O(1/eps^3)); check monotonicity over a 2x eps range.
+  const Instance inst = random_broomstick_instance(7, 60, 0.25, false);
+  const auto tight = lp::dual_fit_identical(inst, 0.25);
+  const auto loose = lp::dual_fit_identical(inst, 1.0);
+  ASSERT_TRUE(tight.feasible()) << tight.summary();
+  ASSERT_TRUE(loose.feasible()) << loose.summary();
+  EXPECT_GT(tight.certificate_ratio, loose.certificate_ratio);
+}
+
+}  // namespace
+}  // namespace treesched

@@ -1,0 +1,155 @@
+// The paper's time-indexed LP relaxation: hand-checked optima and the
+// lower-bound relationships it must satisfy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "treesched/algo/policies.hpp"
+#include "treesched/core/tree_builders.hpp"
+#include "treesched/lp/flowtime_lp.hpp"
+#include "treesched/lp/lower_bounds.hpp"
+#include "treesched/sim/engine.hpp"
+#include "treesched/workload/generator.hpp"
+
+namespace treesched {
+namespace {
+
+TEST(FlowtimeLp, SingleJobOptimumIsPathVolumeTerm) {
+  // One unit job on root->router->leaf. The LP can run router and leaf in
+  // the same slot (fraction by fraction), so only the eta term remains:
+  // objective = eta_{j,leaf} = 2.
+  Instance inst(builders::star_of_paths(1, 1), {Job(0, 0.0, 1.0)},
+                EndpointModel::kIdentical);
+  const auto res = lp::solve_flowtime_lp(
+      inst, SpeedProfile::uniform(inst.tree(), 1.0), 4);
+  ASSERT_EQ(res.status, lp::LpStatus::kOptimal);
+  EXPECT_NEAR(res.objective, 2.0, 1e-6);
+}
+
+TEST(FlowtimeLp, CapacityForcesWaiting) {
+  // Two unit jobs released together, one branch: someone waits a slot.
+  Instance inst(builders::star_of_paths(1, 1),
+                {Job(0, 0.0, 1.0), Job(1, 0.0, 1.0)},
+                EndpointModel::kIdentical);
+  const auto res = lp::solve_flowtime_lp(
+      inst, SpeedProfile::uniform(inst.tree(), 1.0), 6);
+  ASSERT_EQ(res.status, lp::LpStatus::kOptimal);
+  // Each job contributes its eta = 2; the contention adds waiting cost.
+  EXPECT_GT(res.objective, 4.0 + 0.5);
+}
+
+TEST(FlowtimeLp, HigherSpeedLowersTheOptimum) {
+  Instance inst(builders::star_of_paths(2, 2),
+                {Job(0, 0.0, 2.0), Job(1, 0.0, 2.0), Job(2, 1.0, 1.0)},
+                EndpointModel::kIdentical);
+  const auto slow = lp::solve_flowtime_lp(
+      inst, SpeedProfile::uniform(inst.tree(), 1.0), 16);
+  const auto fast = lp::solve_flowtime_lp(
+      inst, SpeedProfile::uniform(inst.tree(), 2.0), 16);
+  ASSERT_EQ(slow.status, lp::LpStatus::kOptimal);
+  ASSERT_EQ(fast.status, lp::LpStatus::kOptimal);
+  EXPECT_LE(fast.objective, slow.objective + 1e-9);
+}
+
+TEST(FlowtimeLp, LpLowerBoundsAnySimulatedSchedule) {
+  // The LP optimum is at most the LP objective of any feasible schedule,
+  // and each job's objective contribution is at most twice its flow time.
+  util::Rng rng(3);
+  workload::WorkloadSpec spec;
+  spec.jobs = 5;
+  spec.load = 0.8;
+  spec.sizes.dist = workload::SizeDistribution::kFixed;
+  spec.sizes.scale = 2.0;
+  Tree tree = builders::star_of_paths(2, 1);
+  Instance raw = workload::generate(rng, tree, spec);
+  // Integer releases for the time-indexed LP.
+  std::vector<Job> jobs = raw.jobs();
+  for (Job& j : jobs) j.release = std::floor(j.release);
+  Instance inst(raw.tree_ptr(), std::move(jobs), raw.model());
+
+  const SpeedProfile speeds = SpeedProfile::uniform(inst.tree(), 1.0);
+  const auto res = lp::solve_flowtime_lp(inst, speeds);
+  ASSERT_EQ(res.status, lp::LpStatus::kOptimal);
+
+  algo::PaperGreedyPolicy policy(0.5);
+  sim::Engine engine(inst, speeds);
+  engine.run(policy);
+  EXPECT_LE(res.objective,
+            2.0 * engine.metrics().total_flow_time() + 1e-6);
+  // And the certified bound never exceeds the simulated cost.
+  EXPECT_LE(lp::lp_lower_bound_on_opt(res.objective),
+            engine.metrics().total_flow_time() + 1e-6);
+}
+
+TEST(FlowtimeLp, CombinedLowerBoundIsBelowLpObjective) {
+  // Both are lower bounds; the combinatorial one must not exceed ALG either.
+  Instance inst(builders::star_of_paths(2, 1),
+                {Job(0, 0.0, 2.0), Job(1, 0.0, 2.0), Job(2, 1.0, 1.0)},
+                EndpointModel::kIdentical);
+  const SpeedProfile speeds = SpeedProfile::uniform(inst.tree(), 1.0);
+  algo::PaperGreedyPolicy policy(0.5);
+  sim::Engine engine(inst, speeds);
+  engine.run(policy);
+  const double alg = engine.metrics().total_flow_time();
+  EXPECT_LE(lp::combined_lower_bound(inst), alg + 1e-9);
+}
+
+TEST(FlowtimeLp, RejectsFractionalReleases) {
+  Instance inst(builders::star_of_paths(1, 1), {Job(0, 0.5, 1.0)},
+                EndpointModel::kIdentical);
+  EXPECT_THROW(lp::build_flowtime_lp(
+                   inst, SpeedProfile::uniform(inst.tree(), 1.0), 4),
+               std::invalid_argument);
+}
+
+TEST(FlowtimeLp, HorizonDoublingRecoversFromTightHint) {
+  Instance inst(builders::star_of_paths(1, 1),
+                {Job(0, 0.0, 2.0), Job(1, 0.0, 2.0)},
+                EndpointModel::kIdentical);
+  // Hint 2 is too small for 8 units of total work; the solver must double.
+  const auto res = lp::solve_flowtime_lp(
+      inst, SpeedProfile::uniform(inst.tree(), 1.0), 2);
+  EXPECT_EQ(res.status, lp::LpStatus::kOptimal);
+  EXPECT_GT(res.horizon, 2);
+}
+
+TEST(LowerBounds, PathVolumeMatchesHandComputation) {
+  Tree tree = builders::broomstick({2, 4}, {{2}, {4}});
+  Instance inst(std::move(tree), {Job(0, 0.0, 3.0)},
+                EndpointModel::kIdentical);
+  // Shallow leaf: d = 3 => P = 9; deep leaf: d = 5 => 15.
+  EXPECT_DOUBLE_EQ(lp::lb_path_volume(inst), 9.0);
+}
+
+TEST(LowerBounds, SrptSingleMachineKnownValue) {
+  // Jobs (r=0,p=4), (r=1,p=1) at speed 1: SRPT completes the short one at 2
+  // and the long one at 5: flows 1 + 5 = 6.
+  EXPECT_DOUBLE_EQ(
+      lp::srpt_single_machine_flow({{0.0, 4.0}, {1.0, 1.0}}, 1.0), 6.0);
+  // At speed 2: j0 has 2 units left at t=1 when j1 (1 unit) arrives and
+  // preempts; j1 finishes at 1.5 (flow 0.5), j0 at 2.5 (flow 2.5).
+  EXPECT_DOUBLE_EQ(
+      lp::srpt_single_machine_flow({{0.0, 4.0}, {1.0, 1.0}}, 2.0), 3.0);
+}
+
+TEST(LowerBounds, RootCutUsesRootChildCount) {
+  // One branch vs two branches: same jobs, the two-branch cut is weaker.
+  Instance narrow(builders::star_of_paths(1, 1),
+                  {Job(0, 0.0, 2.0), Job(1, 0.0, 2.0)},
+                  EndpointModel::kIdentical);
+  Instance wide(builders::star_of_paths(2, 1),
+                {Job(0, 0.0, 2.0), Job(1, 0.0, 2.0)},
+                EndpointModel::kIdentical);
+  EXPECT_GT(lp::lb_root_cut(narrow), lp::lb_root_cut(wide));
+}
+
+TEST(LowerBounds, LeafCutUsesBestLeafSizeInUnrelatedModel) {
+  Instance inst(builders::star_of_paths(2, 1),
+                {Job(0, 0.0, 4.0, {6.0, 2.0})},
+                EndpointModel::kUnrelated);
+  // Single job: leaf cut = min leaf size / |L| machines aggregated speed 2.
+  EXPECT_DOUBLE_EQ(lp::lb_leaf_cut(inst), 1.0);
+}
+
+}  // namespace
+}  // namespace treesched

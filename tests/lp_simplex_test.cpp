@@ -1,0 +1,153 @@
+// The from-scratch simplex solver against known optima.
+#include <gtest/gtest.h>
+
+#include "treesched/lp/simplex.hpp"
+#include "treesched/util/rng.hpp"
+
+namespace treesched::lp {
+namespace {
+
+TEST(Simplex, BasicMaximizationAsMinimization) {
+  // max x + y s.t. x + 2y <= 4, 3x + y <= 6  =>  opt at (1.6, 1.2) = 2.8.
+  LpModel m;
+  const int x = m.add_var(-1.0);
+  const int y = m.add_var(-1.0);
+  m.add_row({{{x, 1.0}, {y, 2.0}}, RowSense::kLe, 4.0});
+  m.add_row({{{x, 3.0}, {y, 1.0}}, RowSense::kLe, 6.0});
+  const LpSolution s = solve(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, -2.8, 1e-9);
+  EXPECT_NEAR(s.x[x], 1.6, 1e-9);
+  EXPECT_NEAR(s.x[y], 1.2, 1e-9);
+}
+
+TEST(Simplex, GreaterEqualAndEquality) {
+  // min 2x + 3y s.t. x + y = 10, x >= 4  =>  x=10? No: y >= 0, so
+  // minimize 2x+3y with x+y=10: prefer x big => x=10, y=0, obj 20.
+  LpModel m;
+  const int x = m.add_var(2.0);
+  const int y = m.add_var(3.0);
+  m.add_row({{{x, 1.0}, {y, 1.0}}, RowSense::kEq, 10.0});
+  m.add_row({{{x, 1.0}}, RowSense::kGe, 4.0});
+  const LpSolution s = solve(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 20.0, 1e-9);
+  EXPECT_NEAR(s.x[x], 10.0, 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  LpModel m;
+  const int x = m.add_var(1.0);
+  m.add_row({{{x, 1.0}}, RowSense::kGe, 2.0});
+  m.add_row({{{x, 1.0}}, RowSense::kLe, 1.0});
+  EXPECT_EQ(solve(m).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnboundedness) {
+  LpModel m;
+  const int x = m.add_var(-1.0);
+  m.add_row({{{x, -1.0}}, RowSense::kLe, 5.0});  // -x <= 5, x free upward
+  EXPECT_EQ(solve(m).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  // x - y <= -2 with min x: x = 0, y >= 2 feasible => obj 0.
+  LpModel m;
+  const int x = m.add_var(1.0);
+  const int y = m.add_var(0.0);
+  m.add_row({{{x, 1.0}, {y, -1.0}}, RowSense::kLe, -2.0});
+  const LpSolution s = solve(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 0.0, 1e-9);
+  EXPECT_GE(s.x[y], 2.0 - 1e-9);
+}
+
+TEST(Simplex, DegenerateVertexStillTerminates) {
+  // Multiple constraints meeting at the same vertex.
+  LpModel m;
+  const int x = m.add_var(-1.0);
+  const int y = m.add_var(-1.0);
+  m.add_row({{{x, 1.0}}, RowSense::kLe, 1.0});
+  m.add_row({{{y, 1.0}}, RowSense::kLe, 1.0});
+  m.add_row({{{x, 1.0}, {y, 1.0}}, RowSense::kLe, 2.0});
+  m.add_row({{{x, 2.0}, {y, 2.0}}, RowSense::kLe, 4.0});
+  const LpSolution s = solve(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, -2.0, 1e-9);
+}
+
+TEST(Simplex, TransportationProblem) {
+  // 2 suppliers (10, 20) x 2 consumers (15, 15), costs {{1,4},{2,1}}.
+  // Optimal: s0->c0 10, s1->c0 5, s1->c1 15 => 10 + 10 + 15 = 35.
+  LpModel m;
+  int v[2][2];
+  const double cost[2][2] = {{1, 4}, {2, 1}};
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 2; ++j) v[i][j] = m.add_var(cost[i][j]);
+  m.add_row({{{v[0][0], 1.0}, {v[0][1], 1.0}}, RowSense::kLe, 10.0});
+  m.add_row({{{v[1][0], 1.0}, {v[1][1], 1.0}}, RowSense::kLe, 20.0});
+  m.add_row({{{v[0][0], 1.0}, {v[1][0], 1.0}}, RowSense::kGe, 15.0});
+  m.add_row({{{v[0][1], 1.0}, {v[1][1], 1.0}}, RowSense::kGe, 15.0});
+  const LpSolution s = solve(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 35.0, 1e-9);
+}
+
+TEST(Simplex, PrimalDualObjectivesMatch) {
+  // Strong duality spot check on a fixed LP.
+  // Primal: min c'x, Ax >= b, x >= 0 with A = [[2,1],[1,3]], b = [4, 6],
+  // c = [3, 4]. Dual: max b'y, A'y <= c, y >= 0.
+  LpModel primal;
+  const int x0 = primal.add_var(3.0);
+  const int x1 = primal.add_var(4.0);
+  primal.add_row({{{x0, 2.0}, {x1, 1.0}}, RowSense::kGe, 4.0});
+  primal.add_row({{{x0, 1.0}, {x1, 3.0}}, RowSense::kGe, 6.0});
+  const LpSolution ps = solve(primal);
+  ASSERT_TRUE(ps.optimal());
+
+  LpModel dual;
+  const int y0 = dual.add_var(-4.0);
+  const int y1 = dual.add_var(-6.0);
+  dual.add_row({{{y0, 2.0}, {y1, 1.0}}, RowSense::kLe, 3.0});
+  dual.add_row({{{y0, 1.0}, {y1, 3.0}}, RowSense::kLe, 4.0});
+  const LpSolution ds = solve(dual);
+  ASSERT_TRUE(ds.optimal());
+  EXPECT_NEAR(ps.objective, -ds.objective, 1e-9);
+}
+
+TEST(Simplex, RandomLpsSatisfyFeasibilityAndOptimalityBasics) {
+  util::Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    LpModel m;
+    const int n = 4 + static_cast<int>(rng.uniform_int(0, 3));
+    for (int j = 0; j < n; ++j) m.add_var(rng.uniform_real(0.1, 2.0));
+    const int rows = 3 + static_cast<int>(rng.uniform_int(0, 4));
+    for (int i = 0; i < rows; ++i) {
+      LpRow row;
+      for (int j = 0; j < n; ++j)
+        if (rng.bernoulli(0.6))
+          row.coeffs.emplace_back(j, rng.uniform_real(0.1, 1.5));
+      if (row.coeffs.empty()) row.coeffs.emplace_back(0, 1.0);
+      row.sense = rng.bernoulli(0.5) ? RowSense::kGe : RowSense::kLe;
+      row.rhs = rng.uniform_real(0.5, 4.0);
+      m.add_row(std::move(row));
+    }
+    const LpSolution s = solve(m);
+    if (!s.optimal()) continue;  // infeasible combinations are fine
+    // Verify primal feasibility of the reported solution.
+    for (const auto& row : m.rows) {
+      double lhs = 0.0;
+      for (const auto& [var, coeff] : row.coeffs) lhs += coeff * s.x[var];
+      if (row.sense == RowSense::kLe) {
+        EXPECT_LE(lhs, row.rhs + 1e-6);
+      }
+      if (row.sense == RowSense::kGe) {
+        EXPECT_GE(lhs, row.rhs - 1e-6);
+      }
+    }
+    for (double xv : s.x) EXPECT_GE(xv, -1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace treesched::lp

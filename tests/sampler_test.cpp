@@ -1,0 +1,58 @@
+// Queue sampling and sparkline rendering.
+#include <gtest/gtest.h>
+
+#include "treesched/core/tree_builders.hpp"
+#include "treesched/sim/sampler.hpp"
+#include "treesched/workload/generator.hpp"
+#include "treesched/algo/policies.hpp"
+
+namespace treesched {
+namespace {
+
+TEST(Sampler, CollectsMonotoneTimesAndSaneCounts) {
+  util::Rng rng(9);
+  workload::WorkloadSpec spec;
+  spec.jobs = 80;
+  spec.load = 0.9;
+  const Instance inst =
+      workload::generate(rng, builders::star_of_paths(2, 2), spec);
+  sim::QueueSampler sampler(0.5);
+  algo::PaperGreedyPolicy policy(0.5);
+  sim::Engine engine(inst, SpeedProfile::uniform(inst.tree(), 1.2));
+  engine.set_observer(&sampler);
+  engine.run(policy);
+  ASSERT_FALSE(sampler.samples().empty());
+  for (std::size_t i = 1; i < sampler.samples().size(); ++i) {
+    EXPECT_GE(sampler.samples()[i].t, sampler.samples()[i - 1].t + 0.5 - 1e-9);
+    EXPECT_LE(sampler.samples()[i].alive_jobs,
+              sampler.samples()[i].queued_jobs);
+  }
+  EXPECT_EQ(sampler.queued_series().size(), sampler.samples().size());
+}
+
+TEST(Sparkline, ScalesToPeakAndWidth) {
+  const std::vector<double> series{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const std::string line = sim::ascii_sparkline(series, 10);
+  EXPECT_EQ(line.size(), 10u);
+  EXPECT_EQ(line.front(), ' ');  // zero level
+  EXPECT_EQ(line.back(), '@');   // peak level
+}
+
+TEST(Sparkline, DownsamplesByColumnMax) {
+  std::vector<double> series(100, 0.0);
+  series[55] = 10.0;  // a single spike must survive downsampling
+  const std::string line = sim::ascii_sparkline(series, 10);
+  EXPECT_EQ(line.size(), 10u);
+  EXPECT_NE(line.find('@'), std::string::npos);
+}
+
+TEST(Sparkline, DegenerateInputs) {
+  EXPECT_TRUE(sim::ascii_sparkline({}, 10).empty());
+  EXPECT_TRUE(sim::ascii_sparkline({1.0}, 0).empty());
+  // All-zero series renders as blanks, not a crash.
+  const std::string flat = sim::ascii_sparkline({0.0, 0.0, 0.0}, 3);
+  EXPECT_EQ(flat, "   ");
+}
+
+}  // namespace
+}  // namespace treesched

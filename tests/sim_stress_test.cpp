@@ -1,0 +1,140 @@
+// Stress and robustness: large instances, extreme size ranges, adversarial
+// incremental-API interleavings, and numeric edge cases.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "treesched/algo/policies.hpp"
+#include "treesched/core/tree_builders.hpp"
+#include "treesched/sim/engine.hpp"
+#include "treesched/workload/generator.hpp"
+
+namespace treesched {
+namespace {
+
+TEST(Stress, TwentyThousandJobsCompleteAndConserve) {
+  const Tree tree = builders::fat_tree(2, 2, 2);
+  util::Rng rng(2024);
+  workload::WorkloadSpec spec;
+  spec.jobs = 20000;
+  spec.load = 0.85;
+  spec.sizes.dist = workload::SizeDistribution::kBoundedPareto;
+  const Instance inst = workload::generate(rng, tree, spec);
+  algo::PaperGreedyPolicy policy(0.5);
+  sim::Engine engine(inst, SpeedProfile::uniform(inst.tree(), 1.5));
+  engine.run(policy);
+  EXPECT_TRUE(engine.metrics().all_completed());
+  EXPECT_NEAR(engine.total_remaining_work(), 0.0, 1e-6);
+  EXPECT_GT(engine.metrics().total_flow_time(), 0.0);
+}
+
+TEST(Stress, ExtremeSizeRangesStayNumericallySane) {
+  // Six orders of magnitude between the smallest and largest job.
+  Tree tree = builders::star_of_paths(2, 2);
+  std::vector<Job> jobs;
+  JobId id = 0;
+  for (int k = 0; k < 30; ++k) {
+    jobs.emplace_back(id, 0.5 * id, std::pow(10.0, (k % 7) - 3));
+    ++id;
+  }
+  Instance inst(std::move(tree), std::move(jobs), EndpointModel::kIdentical);
+  sim::EngineConfig cfg;
+  cfg.record_schedule = true;
+  algo::PaperGreedyPolicy policy(0.5);
+  sim::Engine engine(inst, SpeedProfile::uniform(inst.tree(), 1.25), cfg);
+  engine.run(policy);
+  EXPECT_TRUE(engine.metrics().all_completed());
+  for (const auto& rec : engine.metrics().jobs()) {
+    EXPECT_TRUE(std::isfinite(rec.completion));
+    EXPECT_GE(rec.flow(), 0.0);
+    EXPECT_GE(rec.fractional_area, 0.0);
+  }
+}
+
+TEST(Stress, ManySimultaneousReleases) {
+  // 200 jobs at the exact same instant — deterministic tie handling must
+  // keep the engine consistent.
+  Tree tree = builders::star_of_paths(3, 2);
+  std::vector<Job> jobs;
+  for (int i = 0; i < 200; ++i) jobs.emplace_back(i, 1.0, 1.0 + (i % 4));
+  Instance inst(std::move(tree), std::move(jobs), EndpointModel::kIdentical);
+  algo::PaperGreedyPolicy policy(0.5);
+  sim::Engine engine(inst, SpeedProfile::uniform(inst.tree(), 1.0));
+  engine.run(policy);
+  EXPECT_TRUE(engine.metrics().all_completed());
+}
+
+TEST(Stress, RandomIncrementalInterleavings) {
+  // Fuzz the incremental API: random advance_to calls interleaved with
+  // admissions must end in exactly the same schedule as the offline run.
+  const Tree tree = builders::fat_tree(2, 1, 2);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    util::Rng rng(seed);
+    workload::WorkloadSpec spec;
+    spec.jobs = 40;
+    spec.load = 0.9;
+    const Instance inst = workload::generate(rng, tree, spec);
+    const SpeedProfile speeds = SpeedProfile::uniform(inst.tree(), 1.2);
+
+    std::vector<NodeId> assignment(inst.job_count());
+    for (JobId j = 0; j < inst.job_count(); ++j)
+      assignment[j] = inst.tree().leaves()[j % inst.tree().leaves().size()];
+
+    sim::Engine offline(inst, speeds);
+    offline.run_with_assignment(assignment);
+
+    sim::Engine online(inst, speeds);
+    util::Rng fuzz(seed * 77);
+    Time cursor = 0.0;
+    for (const Job& job : inst.jobs()) {
+      // Random number of partial advances before the admission.
+      while (fuzz.bernoulli(0.6) && cursor < job.release) {
+        cursor += (job.release - cursor) * fuzz.uniform01();
+        online.advance_to(cursor);
+      }
+      online.admit(job.id, assignment[job.id]);
+      cursor = std::max(cursor, job.release);
+    }
+    online.run_to_completion();
+
+    for (JobId j = 0; j < inst.job_count(); ++j)
+      EXPECT_NEAR(online.metrics().job(j).completion,
+                  offline.metrics().job(j).completion, 1e-7)
+          << "seed " << seed << " job " << j;
+  }
+}
+
+TEST(Stress, ZeroLengthBurstsFromInstantPreemptions) {
+  // A cascade of ever-smaller jobs arriving at the same node back-to-back
+  // produces bursts of length ~0; the engine must not record garbage.
+  Tree tree = builders::star_of_paths(1, 1);
+  std::vector<Job> jobs;
+  for (int i = 0; i < 12; ++i)
+    jobs.emplace_back(i, 1e-9 * i, std::pow(2.0, 12 - i));
+  Instance inst(std::move(tree), std::move(jobs), EndpointModel::kIdentical);
+  sim::EngineConfig cfg;
+  cfg.record_schedule = true;
+  sim::Engine engine(inst, SpeedProfile::uniform(inst.tree(), 1.0), cfg);
+  std::vector<NodeId> assignment(inst.job_count(), inst.tree().leaves()[0]);
+  engine.run_with_assignment(assignment);
+  EXPECT_TRUE(engine.metrics().all_completed());
+  for (const auto& s : engine.recorder().segments())
+    EXPECT_GE(s.t1, s.t0);
+}
+
+TEST(Stress, PipelinedHighChunkCounts) {
+  // 1000 chunks per job through 4 hops.
+  Instance inst(builders::star_of_paths(1, 3), {Job(0, 0.0, 10.0)},
+                EndpointModel::kIdentical);
+  sim::EngineConfig cfg;
+  cfg.router_chunk_size = 0.01;
+  sim::Engine engine(inst, SpeedProfile::uniform(inst.tree(), 1.0), cfg);
+  engine.run_with_assignment({inst.tree().leaves()[0]});
+  // Pipeline limit: the first router streams for 10, each later router lags
+  // by one chunk (0.01), then the leaf runs its full 10.
+  EXPECT_NEAR(engine.metrics().job(0).completion, 10.0 + 2 * 0.01 + 10.0,
+              1e-6);
+}
+
+}  // namespace
+}  // namespace treesched

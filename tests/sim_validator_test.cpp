@@ -1,0 +1,149 @@
+// The validator must reject corrupted schedules — these tests corrupt a
+// genuine recorded run in targeted ways and assert the right error fires.
+#include <gtest/gtest.h>
+
+#include "treesched/core/tree_builders.hpp"
+#include "treesched/sim/engine.hpp"
+#include "treesched/sim/validator.hpp"
+
+namespace treesched {
+namespace {
+
+using sim::EngineConfig;
+using sim::ScheduleRecorder;
+using sim::Segment;
+
+struct Baseline {
+  Instance inst;
+  SpeedProfile speeds;
+  EngineConfig cfg;
+  ScheduleRecorder recorder;
+  sim::Metrics metrics;
+};
+
+Baseline make_baseline() {
+  Instance inst(builders::star_of_paths(1, 1),
+                {Job(0, 0.0, 2.0), Job(1, 1.0, 1.0)},
+                EndpointModel::kIdentical);
+  SpeedProfile speeds = SpeedProfile::uniform(inst.tree(), 1.0);
+  EngineConfig cfg;
+  cfg.record_schedule = true;
+  sim::Engine eng(inst, speeds, cfg);
+  const NodeId leaf = inst.tree().leaves()[0];
+  eng.run_with_assignment({leaf, leaf});
+  Baseline b{std::move(inst), std::move(speeds), cfg, eng.recorder(),
+             eng.metrics()};
+  return b;
+}
+
+TEST(Validator, AcceptsGenuineSchedule) {
+  Baseline b = make_baseline();
+  const auto res =
+      sim::validate_schedule(b.inst, b.speeds, b.cfg, b.recorder, b.metrics);
+  EXPECT_TRUE(res.ok) << res.summary();
+}
+
+TEST(Validator, DetectsOverlap) {
+  Baseline b = make_baseline();
+  ScheduleRecorder bad;
+  for (Segment s : b.recorder.segments()) bad.add(s);
+  // Duplicate the first segment: the node now works on two items at once.
+  bad.add(b.recorder.segments().front());
+  const auto res =
+      sim::validate_schedule(b.inst, b.speeds, b.cfg, bad, b.metrics);
+  EXPECT_FALSE(res.ok);
+}
+
+TEST(Validator, DetectsMissingWork) {
+  Baseline b = make_baseline();
+  ScheduleRecorder bad;
+  const auto& segs = b.recorder.segments();
+  for (std::size_t i = 0; i + 1 < segs.size(); ++i) bad.add(segs[i]);
+  const auto res =
+      sim::validate_schedule(b.inst, b.speeds, b.cfg, bad, b.metrics);
+  EXPECT_FALSE(res.ok);
+}
+
+TEST(Validator, DetectsWrongRate) {
+  Baseline b = make_baseline();
+  ScheduleRecorder bad;
+  for (Segment s : b.recorder.segments()) {
+    s.rate *= 2.0;
+    bad.add(s);
+  }
+  const auto res =
+      sim::validate_schedule(b.inst, b.speeds, b.cfg, bad, b.metrics);
+  EXPECT_FALSE(res.ok);
+}
+
+TEST(Validator, DetectsPrecedenceViolation) {
+  Baseline b = make_baseline();
+  ScheduleRecorder bad;
+  const NodeId leaf = b.inst.tree().leaves()[0];
+  for (Segment s : b.recorder.segments()) {
+    // Shift all leaf work of job 0 to start at time 0 — before the router
+    // delivered its data.
+    if (s.node == leaf && s.job == 0) {
+      const double len = s.t1 - s.t0;
+      s.t0 = 0.0;
+      s.t1 = len;
+    }
+    bad.add(s);
+  }
+  const auto res =
+      sim::validate_schedule(b.inst, b.speeds, b.cfg, bad, b.metrics);
+  EXPECT_FALSE(res.ok);
+}
+
+TEST(Validator, DetectsWrongClaimedCompletion) {
+  Baseline b = make_baseline();
+  sim::Metrics bad = b.metrics;
+  bad.job(0).completion += 1.0;
+  const auto res =
+      sim::validate_schedule(b.inst, b.speeds, b.cfg, b.recorder, bad);
+  EXPECT_FALSE(res.ok);
+}
+
+TEST(Validator, DetectsRunBeforeRelease) {
+  Baseline b = make_baseline();
+  ScheduleRecorder bad;
+  const NodeId router = b.inst.tree().root_children()[0];
+  for (Segment s : b.recorder.segments()) {
+    // Move job 1's router burst to before its release at t=1.
+    if (s.node == router && s.job == 1) {
+      const double len = s.t1 - s.t0;
+      s.t0 = 0.25;
+      s.t1 = 0.25 + len;
+    }
+    bad.add(s);
+  }
+  const auto res =
+      sim::validate_schedule(b.inst, b.speeds, b.cfg, bad, b.metrics);
+  EXPECT_FALSE(res.ok);
+}
+
+TEST(Validator, DetectsUnfinishedJob) {
+  Baseline b = make_baseline();
+  sim::Metrics bad = b.metrics;
+  bad.job(1).completion = -1.0;
+  const auto res =
+      sim::validate_schedule(b.inst, b.speeds, b.cfg, b.recorder, bad);
+  EXPECT_FALSE(res.ok);
+}
+
+TEST(Validator, ChunkedScheduleValidates) {
+  Instance inst(builders::star_of_paths(1, 3), {Job(0, 0.0, 3.0)},
+                EndpointModel::kIdentical);
+  SpeedProfile speeds = SpeedProfile::uniform(inst.tree(), 1.0);
+  EngineConfig cfg;
+  cfg.record_schedule = true;
+  cfg.router_chunk_size = 1.0;
+  sim::Engine eng(inst, speeds, cfg);
+  eng.run_with_assignment({inst.tree().leaves()[0]});
+  const auto res = sim::validate_schedule(inst, speeds, cfg, eng.recorder(),
+                                          eng.metrics());
+  EXPECT_TRUE(res.ok) << res.summary();
+}
+
+}  // namespace
+}  // namespace treesched

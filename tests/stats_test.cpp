@@ -1,0 +1,98 @@
+// Statistics helpers.
+#include <gtest/gtest.h>
+
+#include "treesched/stats/bootstrap.hpp"
+#include "treesched/stats/histogram.hpp"
+#include "treesched/stats/summary.hpp"
+
+namespace treesched::stats {
+namespace {
+
+TEST(Summary, KnownMoments) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Summary, MergeEqualsBulk) {
+  Summary all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = 0.37 * i - 3.0;
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Summary, EmptyIsSafe) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(median(v), 2.5);
+  EXPECT_THROW(percentile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, 1.5), std::invalid_argument);
+}
+
+TEST(Histogram, BucketsGrowGeometrically) {
+  LogHistogram h(1.0, 2.0, 8);
+  EXPECT_DOUBLE_EQ(h.lower_edge(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.lower_edge(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.lower_edge(3), 4.0);
+  h.add(0.5);   // bucket 0
+  h.add(1.0);   // bucket 1
+  h.add(3.9);   // bucket 2 (edges 2..4)
+  h.add(1e9);   // clamps to the last bucket
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(7), 1u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_FALSE(h.to_ascii().empty());
+}
+
+TEST(Histogram, RejectsBadConfig) {
+  EXPECT_THROW(LogHistogram(0.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(1.0, 1.0), std::invalid_argument);
+  LogHistogram h(1.0, 2.0);
+  EXPECT_THROW(h.add(-1.0), std::invalid_argument);
+}
+
+TEST(Bootstrap, CiCoversTrueMeanOfTightSample) {
+  util::Rng rng(77);
+  std::vector<double> samples;
+  for (int i = 0; i < 200; ++i) samples.push_back(5.0 + rng.normal(0.0, 0.5));
+  const auto [lo, hi] = bootstrap_mean_ci(rng, samples, 0.95, 500);
+  EXPECT_LT(lo, hi);
+  EXPECT_LT(lo, 5.1);
+  EXPECT_GT(hi, 4.9);
+  EXPECT_LT(hi - lo, 0.5);
+}
+
+TEST(Bootstrap, ValidatesArguments) {
+  util::Rng rng(1);
+  EXPECT_THROW(bootstrap_mean_ci(rng, {}, 0.95, 100), std::invalid_argument);
+  EXPECT_THROW(bootstrap_mean_ci(rng, {1.0}, 1.5, 100),
+               std::invalid_argument);
+  EXPECT_THROW(bootstrap_mean_ci(rng, {1.0}, 0.95, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace treesched::stats

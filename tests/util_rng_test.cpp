@@ -1,0 +1,135 @@
+// Deterministic RNG and its distributions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "treesched/util/rng.hpp"
+
+namespace treesched::util {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(7);
+  Rng child = a.split();
+  // The child stream should not replay the parent stream.
+  Rng a2(7);
+  a2.split();
+  EXPECT_NE(child.next_u64(), a.next_u64());
+}
+
+TEST(Rng, UniformIntRespectsBoundsAndCoversRange) {
+  Rng r(3);
+  std::vector<int> seen(6, 0);
+  for (int i = 0; i < 6000; ++i) {
+    const auto v = r.uniform_int(10, 15);
+    ASSERT_GE(v, 10);
+    ASSERT_LE(v, 15);
+    ++seen[v - 10];
+  }
+  for (int c : seen) EXPECT_GT(c, 700);  // roughly uniform
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng r(4);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMeanApproximatelyCorrect) {
+  Rng r(5);
+  double sum = 0.0;
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, BoundedParetoStaysInRange) {
+  Rng r(6);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.bounded_pareto(1.0, 64.0, 1.5);
+    ASSERT_GE(x, 1.0 - 1e-12);
+    ASSERT_LE(x, 64.0 + 1e-9);
+  }
+}
+
+TEST(Rng, BoundedParetoIsHeavyTailed) {
+  Rng r(7);
+  int small = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (r.bounded_pareto(1.0, 1000.0, 1.1) < 4.0) ++small;
+  // Most mass near the lower bound, but a real tail exists.
+  EXPECT_GT(small, n / 2);
+  EXPECT_LT(small, n);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(8);
+  double sum = 0.0, sq = 0.0;
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal(3.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(std::sqrt(sq / n - mean * mean), 2.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r(9);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += r.bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+  Rng r(10);
+  std::vector<double> w{1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 8000; ++i) ++counts[r.weighted_index(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.4);
+}
+
+TEST(Rng, WeightedIndexRejectsAllZero) {
+  Rng r(11);
+  std::vector<double> w{0.0, 0.0};
+  EXPECT_THROW(r.weighted_index(w), std::invalid_argument);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng r(12);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto s = v;
+  r.shuffle(s);
+  std::sort(s.begin(), s.end());
+  EXPECT_EQ(s, v);
+}
+
+TEST(Rng, ParameterValidation) {
+  Rng r(13);
+  EXPECT_THROW(r.uniform_int(5, 4), std::invalid_argument);
+  EXPECT_THROW(r.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(r.bounded_pareto(2.0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(r.bernoulli(1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace treesched::util

@@ -1,0 +1,115 @@
+// Extended validator coverage: chunked-mode corruption, path-aware
+// (anycast) validation failures, and windowed edge cases.
+#include <gtest/gtest.h>
+
+#include "treesched/core/tree_builders.hpp"
+#include "treesched/sim/engine.hpp"
+#include "treesched/sim/validator.hpp"
+
+namespace treesched {
+namespace {
+
+using sim::EngineConfig;
+using sim::ScheduleRecorder;
+using sim::Segment;
+
+TEST(ValidatorChunked, DetectsMissingChunk) {
+  Instance inst(builders::star_of_paths(1, 2), {Job(0, 0.0, 2.0)},
+                EndpointModel::kIdentical);
+  EngineConfig cfg;
+  cfg.record_schedule = true;
+  cfg.router_chunk_size = 1.0;
+  const SpeedProfile speeds = SpeedProfile::uniform(inst.tree(), 1.0);
+  sim::Engine eng(inst, speeds, cfg);
+  eng.run_with_assignment({inst.tree().leaves()[0]});
+
+  // Drop every burst of chunk 1 on the first router.
+  const NodeId r1 = inst.tree().root_children()[0];
+  ScheduleRecorder bad;
+  for (const Segment& s : eng.recorder().segments())
+    if (!(s.node == r1 && s.chunk == 1)) bad.add(s);
+  const auto res =
+      sim::validate_schedule(inst, speeds, cfg, bad, eng.metrics());
+  EXPECT_FALSE(res.ok);
+}
+
+TEST(ValidatorChunked, DetectsChunkPrecedenceViolation) {
+  Instance inst(builders::star_of_paths(1, 2), {Job(0, 0.0, 2.0)},
+                EndpointModel::kIdentical);
+  EngineConfig cfg;
+  cfg.record_schedule = true;
+  cfg.router_chunk_size = 1.0;
+  const SpeedProfile speeds = SpeedProfile::uniform(inst.tree(), 1.0);
+  sim::Engine eng(inst, speeds, cfg);
+  eng.run_with_assignment({inst.tree().leaves()[0]});
+
+  // Shift chunk 0's bursts on the second router to before the first router
+  // produced it.
+  const auto& path = inst.tree().path_to(inst.tree().leaves()[0]);
+  ScheduleRecorder bad;
+  for (Segment s : eng.recorder().segments()) {
+    if (s.node == path[1] && s.chunk == 0) {
+      const double len = s.t1 - s.t0;
+      s.t0 = 0.0;
+      s.t1 = len;
+    }
+    bad.add(s);
+  }
+  const auto res =
+      sim::validate_schedule(inst, speeds, cfg, bad, eng.metrics());
+  EXPECT_FALSE(res.ok);
+}
+
+TEST(ValidatorPaths, WrongPathEndpointIsRejected) {
+  Instance inst(builders::star_of_paths(2, 1), {Job(0, 0.0, 1.0)},
+                EndpointModel::kIdentical);
+  EngineConfig cfg;
+  cfg.record_schedule = true;
+  const SpeedProfile speeds = SpeedProfile::uniform(inst.tree(), 1.0);
+  sim::Engine eng(inst, speeds, cfg);
+  eng.run_with_assignment({inst.tree().leaves()[0]});
+  // Claim the job ran on the other machine's path.
+  const auto& wrong = inst.tree().path_to(inst.tree().leaves()[1]);
+  const std::vector<std::vector<NodeId>> paths{
+      {wrong.begin(), wrong.end()}};
+  const auto res = sim::validate_schedule(inst, speeds, cfg, eng.recorder(),
+                                          eng.metrics(), paths);
+  EXPECT_FALSE(res.ok);
+}
+
+TEST(ValidatorPaths, MachineBornSingleNodePathValidates) {
+  Instance inst(builders::star_of_paths(1, 1), {Job(0, 0.0, 2.0)},
+                EndpointModel::kIdentical);
+  EngineConfig cfg;
+  cfg.record_schedule = true;
+  const SpeedProfile speeds = SpeedProfile::uniform(inst.tree(), 1.0);
+  sim::Engine eng(inst, speeds, cfg);
+  const NodeId leaf = inst.tree().leaves()[0];
+  eng.admit_via_path(0, {leaf});
+  eng.run_to_completion();
+  const std::vector<std::vector<NodeId>> paths{{leaf}};
+  const auto res = sim::validate_schedule(inst, speeds, cfg, eng.recorder(),
+                                          eng.metrics(), paths);
+  EXPECT_TRUE(res.ok) << res.summary();
+  EXPECT_DOUBLE_EQ(eng.metrics().job(0).completion, 2.0);
+}
+
+TEST(ValidatorPaths, UpAndOverPathValidates) {
+  Instance inst(builders::star_of_paths(2, 2), {Job(0, 0.0, 1.0)},
+                EndpointModel::kIdentical);
+  EngineConfig cfg;
+  cfg.record_schedule = true;
+  const SpeedProfile speeds = SpeedProfile::uniform(inst.tree(), 1.0);
+  sim::Engine eng(inst, speeds, cfg);
+  const auto path = inst.tree().path_between(inst.tree().leaves()[0],
+                                             inst.tree().leaves()[1]);
+  eng.admit_via_path(0, path);
+  eng.run_to_completion();
+  const std::vector<std::vector<NodeId>> paths{path};
+  const auto res = sim::validate_schedule(inst, speeds, cfg, eng.recorder(),
+                                          eng.metrics(), paths);
+  EXPECT_TRUE(res.ok) << res.summary();
+}
+
+}  // namespace
+}  // namespace treesched

@@ -1,0 +1,84 @@
+// Weighted flow time extension: HDF node discipline and weighted metrics.
+#include <gtest/gtest.h>
+
+#include "treesched/core/tree_builders.hpp"
+#include "treesched/sim/engine.hpp"
+#include "treesched/workload/generator.hpp"
+
+namespace treesched {
+namespace {
+
+TEST(Weighted, MetricsWeightCorrectly) {
+  Tree tree = builders::star_of_paths(2, 1);
+  std::vector<Job> jobs{Job(0, 0.0, 2.0), Job(1, 0.0, 2.0)};
+  jobs[0].weight = 3.0;
+  Instance inst(std::move(tree), std::move(jobs), EndpointModel::kIdentical);
+  sim::Engine eng(inst, SpeedProfile::uniform(inst.tree(), 1.0));
+  eng.run_with_assignment({inst.tree().leaves()[0], inst.tree().leaves()[1]});
+  // Separate branches: both complete at 4, flows 4 and 4.
+  EXPECT_DOUBLE_EQ(eng.metrics().total_flow_time(), 8.0);
+  EXPECT_DOUBLE_EQ(eng.metrics().total_weighted_flow_time(),
+                   3.0 * 4.0 + 1.0 * 4.0);
+  EXPECT_DOUBLE_EQ(eng.metrics().total_weighted_fractional_flow_time(),
+                   3.0 * 3.0 + 1.0 * 3.0);  // area 2 + 2*(1/2)... = 3 each
+}
+
+TEST(Weighted, HdfPrefersDenseJobs) {
+  // j0: size 4, weight 4 (density 1); j1: size 2, weight 1 (density 2).
+  // SJF runs j1 first (smaller size); HDF runs j0 first (denser).
+  Tree tree = builders::star_of_paths(1, 1);
+  std::vector<Job> jobs{Job(0, 0.0, 4.0), Job(1, 0.0, 2.0)};
+  jobs[0].weight = 4.0;
+  Instance inst(std::move(tree), std::move(jobs), EndpointModel::kIdentical);
+  const NodeId leaf = inst.tree().leaves()[0];
+
+  sim::EngineConfig sjf_cfg;  // default SJF
+  sim::Engine sjf(inst, SpeedProfile::uniform(inst.tree(), 1.0), sjf_cfg);
+  sjf.run_with_assignment({leaf, leaf});
+  EXPECT_LT(sjf.metrics().job(1).completion, sjf.metrics().job(0).completion);
+
+  sim::EngineConfig hdf_cfg;
+  hdf_cfg.node_policy = sim::NodePolicy::kHdf;
+  sim::Engine hdf(inst, SpeedProfile::uniform(inst.tree(), 1.0), hdf_cfg);
+  hdf.run_with_assignment({leaf, leaf});
+  EXPECT_LT(hdf.metrics().job(0).completion, hdf.metrics().job(1).completion);
+
+  // And HDF wins on the weighted objective here.
+  EXPECT_LT(hdf.metrics().total_weighted_flow_time(),
+            sjf.metrics().total_weighted_flow_time());
+}
+
+TEST(Weighted, UnitWeightsKeepHdfEqualToSjf) {
+  const Tree tree = builders::fat_tree(2, 1, 2);
+  util::Rng rng(5);
+  workload::WorkloadSpec spec;
+  spec.jobs = 60;
+  spec.load = 0.9;
+  const Instance inst = workload::generate(rng, tree, spec);
+  std::vector<NodeId> assign(inst.job_count());
+  for (JobId j = 0; j < inst.job_count(); ++j)
+    assign[j] = inst.tree().leaves()[j % inst.tree().leaves().size()];
+
+  const SpeedProfile speeds = SpeedProfile::uniform(inst.tree(), 1.2);
+  sim::EngineConfig sjf_cfg;
+  sim::Engine sjf(inst, speeds, sjf_cfg);
+  sjf.run_with_assignment(assign);
+  sim::EngineConfig hdf_cfg;
+  hdf_cfg.node_policy = sim::NodePolicy::kHdf;
+  sim::Engine hdf(inst, speeds, hdf_cfg);
+  hdf.run_with_assignment(assign);
+  // With unit weights HDF's key equals SJF's key.
+  EXPECT_DOUBLE_EQ(sjf.metrics().total_flow_time(),
+                   hdf.metrics().total_flow_time());
+}
+
+TEST(Weighted, InstanceRejectsNonPositiveWeight) {
+  auto tree = std::make_shared<const Tree>(builders::star_of_paths(1, 1));
+  Job j(0, 0.0, 1.0);
+  j.weight = 0.0;
+  EXPECT_THROW(Instance(tree, {j}, EndpointModel::kIdentical),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace treesched

@@ -1,0 +1,92 @@
+// treesched_gen — generate a scheduling instance and write it as a trace.
+//
+//   treesched_gen --tree fat --jobs 1000 --load 0.8 --out trace.txt
+//
+// Topologies: star:<branches>x<routers>, fat:<arity>x<depth>x<rack>,
+// cater:<branches>x<spine>x<leaves>, figure1, random:<routers>x<leaves>.
+#include <iostream>
+
+#include "treesched/treesched.hpp"
+
+using namespace treesched;
+
+namespace {
+
+Tree parse_tree(const std::string& spec, util::Rng& rng) {
+  const auto parts = util::split(spec, ':');
+  const std::string kind = parts[0];
+  std::vector<int> dims;
+  if (parts.size() > 1)
+    for (const auto& d : util::split(parts[1], 'x'))
+      dims.push_back(std::stoi(d));
+  auto dim = [&dims](std::size_t i, int def) {
+    return i < dims.size() ? dims[i] : def;
+  };
+  if (kind == "star") return builders::star_of_paths(dim(0, 2), dim(1, 3));
+  if (kind == "fat") return builders::fat_tree(dim(0, 2), dim(1, 2), dim(2, 2));
+  if (kind == "cater")
+    return builders::caterpillar(dim(0, 2), dim(1, 3), dim(2, 2));
+  if (kind == "figure1") return builders::figure1_tree();
+  if (kind == "random")
+    return builders::random_tree(rng, dim(0, 8), dim(1, 10));
+  throw std::invalid_argument("unknown tree spec: " + spec);
+}
+
+workload::SizeDistribution parse_sizes(const std::string& s) {
+  if (s == "fixed") return workload::SizeDistribution::kFixed;
+  if (s == "uniform") return workload::SizeDistribution::kUniform;
+  if (s == "exp") return workload::SizeDistribution::kExponential;
+  if (s == "pareto") return workload::SizeDistribution::kBoundedPareto;
+  if (s == "bimodal") return workload::SizeDistribution::kBimodal;
+  throw std::invalid_argument("unknown size distribution: " + s);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli("treesched_gen", "Generate a tree-scheduling trace file.");
+  auto& tree_spec = cli.add_string("tree", "fat:2x2x2", "topology spec");
+  auto& jobs = cli.add_int("jobs", 1000, "number of jobs");
+  auto& load = cli.add_double("load", 0.7, "root-cut utilization target");
+  auto& sizes = cli.add_string("sizes", "pareto",
+                               "fixed|uniform|exp|pareto|bimodal");
+  auto& scale = cli.add_double("scale", 8.0, "size scale");
+  auto& class_eps = cli.add_double("class-eps", 0.0,
+                                   "round sizes to powers of 1+eps (0=off)");
+  auto& unrelated = cli.add_flag("unrelated", "unrelated leaf model");
+  auto& bursty = cli.add_flag("bursty", "MMPP arrivals instead of Poisson");
+  auto& leaf_sources = cli.add_double(
+      "leaf-sources", 0.0, "fraction of jobs born at random machines");
+  auto& seed = cli.add_int("seed", 1, "generator seed");
+  auto& out = cli.add_string("out", "", "output path (default stdout)");
+  cli.parse(argc, argv);
+
+  try {
+    util::Rng rng(static_cast<std::uint64_t>(seed));
+    const Tree tree = parse_tree(tree_spec, rng);
+    workload::WorkloadSpec spec;
+    spec.jobs = static_cast<int>(jobs);
+    spec.load = load;
+    spec.sizes.dist = parse_sizes(sizes);
+    spec.sizes.scale = scale;
+    spec.sizes.class_eps = class_eps;
+    spec.leaf_source_fraction = leaf_sources;
+    if (bursty) spec.arrivals = workload::ArrivalProcess::kMmpp;
+    if (unrelated) {
+      spec.endpoints = EndpointModel::kUnrelated;
+      spec.unrelated.class_eps = class_eps;
+    }
+    const Instance inst = workload::generate(rng, tree, spec);
+    if (out.empty()) {
+      workload::write_trace(std::cout, inst);
+    } else {
+      workload::write_trace_file(out, inst);
+      std::cerr << "wrote " << inst.job_count() << " jobs on "
+                << tree.node_count() << " nodes to " << out << '\n';
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

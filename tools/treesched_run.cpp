@@ -1,0 +1,133 @@
+// treesched_run — schedule a trace file and report every objective.
+//
+//   treesched_gen --out t.txt && treesched_run --trace t.txt --policy paper
+//
+// Policies: paper, broomstick-mirror, closest, random, round-robin,
+// least-volume, least-count — or anycast-{closest,least-volume,greedy} for
+// traces with arbitrary-source jobs. Speeds: "uniform:<s>",
+// "paper-identical:<eps>", "paper-unrelated:<eps>", "layered:<rc>:<rest>".
+#include <iostream>
+
+#include "treesched/algo/anycast.hpp"
+#include "treesched/treesched.hpp"
+
+using namespace treesched;
+
+namespace {
+
+SpeedProfile parse_speeds(const std::string& spec, const Tree& tree) {
+  const auto parts = util::split(spec, ':');
+  const std::string kind = parts[0];
+  auto arg = [&parts](std::size_t i, double def) {
+    return i < parts.size() ? std::stod(parts[i]) : def;
+  };
+  if (kind == "uniform") return SpeedProfile::uniform(tree, arg(1, 1.0));
+  if (kind == "paper-identical")
+    return SpeedProfile::paper_identical(tree, arg(1, 0.5));
+  if (kind == "paper-unrelated")
+    return SpeedProfile::paper_unrelated(tree, arg(1, 0.5));
+  if (kind == "layered")
+    return SpeedProfile::layered(tree, arg(1, 1.0), arg(2, 1.5));
+  throw std::invalid_argument("unknown speed spec: " + spec);
+}
+
+bool has_custom_sources(const Instance& inst) {
+  for (const Job& j : inst.jobs())
+    if (j.source != kInvalidNode) return true;
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli("treesched_run", "Run a policy on a trace and report metrics.");
+  auto& trace = cli.add_string("trace", "", "input trace path (required)");
+  auto& policy_name = cli.add_string("policy", "paper", "assignment policy");
+  auto& speeds_spec = cli.add_string("speeds", "paper-identical:0.5",
+                                     "speed profile spec");
+  auto& eps = cli.add_double("eps", 0.5, "epsilon for the paper rule");
+  auto& node_policy = cli.add_string("node-policy", "sjf",
+                                     "sjf|fifo|srpt|lcfs|hdf");
+  auto& chunk = cli.add_double("chunk", 0.0,
+                               "pipelined router chunk size (0=off)");
+  auto& validate = cli.add_flag("validate", "replay-check the schedule");
+  auto& with_lb = cli.add_flag("lb", "also compute the certified lower bound");
+  auto& seed = cli.add_int("seed", 1, "seed for randomized policies");
+  cli.parse(argc, argv);
+
+  try {
+    if (trace.empty()) throw std::invalid_argument("--trace is required");
+    const Instance inst = workload::read_trace_file(trace);
+    const SpeedProfile speeds = parse_speeds(speeds_spec, inst.tree());
+
+    sim::EngineConfig cfg;
+    cfg.router_chunk_size = chunk;
+    cfg.record_schedule = validate;
+    if (node_policy == "fifo") cfg.node_policy = sim::NodePolicy::kFifo;
+    else if (node_policy == "srpt") cfg.node_policy = sim::NodePolicy::kSrpt;
+    else if (node_policy == "lcfs") cfg.node_policy = sim::NodePolicy::kLcfs;
+    else if (node_policy == "hdf") cfg.node_policy = sim::NodePolicy::kHdf;
+    else if (node_policy != "sjf")
+      throw std::invalid_argument("unknown node policy: " + node_policy);
+
+    sim::Metrics metrics;
+    if (util::starts_with(policy_name, "anycast-") ||
+        has_custom_sources(inst)) {
+      algo::AnycastStrategy strategy = algo::AnycastStrategy::kGreedy;
+      if (policy_name == "anycast-closest")
+        strategy = algo::AnycastStrategy::kClosest;
+      else if (policy_name == "anycast-least-volume")
+        strategy = algo::AnycastStrategy::kLeastVolume;
+      else if (policy_name != "anycast-greedy" && policy_name != "paper")
+        throw std::invalid_argument(
+            "trace has arbitrary-source jobs; use an anycast-* policy");
+      std::vector<std::vector<NodeId>> paths;
+      sim::ScheduleRecorder recorder;
+      metrics = algo::run_anycast(inst, speeds, strategy, cfg, &paths,
+                                  &recorder);
+      if (validate) {
+        const auto res = sim::validate_schedule(inst, speeds, cfg, recorder,
+                                                metrics, paths);
+        std::cout << "validation         : " << res.summary() << '\n';
+        if (!res.ok) return 2;
+      }
+      std::cout << "policy             : "
+                << algo::anycast_strategy_name(strategy) << '\n';
+    } else {
+      auto policy = algo::make_policy(policy_name, inst, eps,
+                                      static_cast<std::uint64_t>(seed));
+      sim::Engine engine(inst, speeds, cfg);
+      engine.run(*policy);
+      if (validate) {
+        const auto res = sim::validate_schedule(
+            inst, speeds, cfg, engine.recorder(), engine.metrics());
+        std::cout << "validation         : " << res.summary() << '\n';
+        if (!res.ok) return 2;
+      }
+      metrics = engine.metrics();
+      std::cout << "policy             : " << policy->name() << '\n';
+    }
+
+    std::cout << "jobs               : " << metrics.jobs().size() << '\n'
+              << "total flow time    : " << metrics.total_flow_time() << '\n'
+              << "mean flow time     : " << metrics.mean_flow_time() << '\n'
+              << "max flow time      : " << metrics.max_flow_time() << '\n'
+              << "l2 norm            : " << metrics.lk_norm_flow_time(2.0)
+              << '\n'
+              << "fractional flow    : "
+              << metrics.total_fractional_flow_time() << '\n'
+              << "weighted flow      : "
+              << metrics.total_weighted_flow_time() << '\n'
+              << "makespan           : " << metrics.makespan() << '\n';
+    if (with_lb) {
+      const double lb = lp::combined_lower_bound(inst);
+      std::cout << "OPT lower bound    : " << lb << '\n'
+                << "flow / lower bound : " << metrics.total_flow_time() / lb
+                << '\n';
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}
