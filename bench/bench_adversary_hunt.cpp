@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
       opt.jobs = static_cast<int>(jobs);
       opt.iterations = static_cast<int>(iterations);
       opt.unrelated = cell.unrelated;
-      opt.seed = rep * 101 + 13;
+      opt.seed = uidx(rep) * 101 + 13;
       const auto found =
           lp::search_adversarial_instance(tree, cell.speeds, eps, opt);
       table.add(cell.name, cell.unrelated ? "unrelated" : "identical", rep,

@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
           algo::AnycastStrategy::kGreedy}) {
       stats::Summary total, mean, mx;
       for (int rep = 0; rep < reps; ++rep) {
-        util::Rng rng(rep * 31 + 17);
+        util::Rng rng(uidx(rep) * 31 + 17);
         const Tree tree = builders::fat_tree(2, 2, 2);
         workload::WorkloadSpec spec;
         spec.jobs = static_cast<int>(jobs);

@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
       for (const auto& policy : policies) {
         stats::Summary ratios;
         for (int rep = 0; rep < reps; ++rep) {
-          util::Rng rng(rep * 11 + static_cast<std::uint64_t>(load * 100) +
+          util::Rng rng(uidx(rep) * 11 + static_cast<std::uint64_t>(load * 100) +
                         (unrelated ? 7 : 0));
           const Tree tree = builders::fat_tree(2, 2, 2);
           workload::WorkloadSpec spec;
@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
           const Instance inst = workload::generate(rng, tree, spec);
           const auto r = experiments::measure_ratio(
               inst, SpeedProfile::uniform(inst.tree(), 1.0 + eps), policy,
-              eps, rep + 1);
+              eps, uidx(rep) + 1);
           ratios.add(r.ratio);
           csv.add(unrelated ? "unrelated" : "identical", load, policy,
                   r.ratio);

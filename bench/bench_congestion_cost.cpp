@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
     for (const double load : {0.3, 0.6, 0.9}) {
       stats::Summary tree_flow, psw_flow, factor;
       for (int rep = 0; rep < reps; ++rep) {
-        util::Rng rng(rep * 13 + 7);
+        util::Rng rng(uidx(rep) * 13 + 7);
         workload::WorkloadSpec spec;
         spec.jobs = static_cast<int>(jobs);
         spec.load = load;

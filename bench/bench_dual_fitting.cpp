@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
   for (const double eps : {1.0, 0.5, 0.25}) {
     for (int rep = 0; rep < reps; ++rep) {
       Tree tree = builders::broomstick({4, 5}, {{2, 4}, {3, 5}});
-      util::Rng rng(static_cast<std::uint64_t>(seed) * 13 + rep +
+      util::Rng rng(static_cast<std::uint64_t>(seed) * 13 + uidx(rep) +
                     static_cast<std::uint64_t>(eps * 100));
       workload::WorkloadSpec spec;
       spec.jobs = static_cast<int>(jobs);

@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
     for (const double eps : {1.0, 0.25}) {
       stats::Summary ratios;
       for (int rep = 0; rep < reps; ++rep) {
-        util::Rng rng(rep * 3 + static_cast<std::uint64_t>(load * 100));
+        util::Rng rng(uidx(rep) * 3 + static_cast<std::uint64_t>(load * 100));
         const Tree tree = builders::fat_tree(2, 2, 2);
         workload::WorkloadSpec spec;
         spec.jobs = static_cast<int>(jobs);

@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
     for (const double load : {0.6, 0.9}) {
       stats::Summary lbs, ubs, gaps, algs;
       for (int rep = 0; rep < reps; ++rep) {
-        util::Rng rng(rep * 19 + 3);
+        util::Rng rng(uidx(rep) * 19 + 3);
         workload::WorkloadSpec spec;
         spec.jobs = static_cast<int>(jobs);
         spec.load = load;
@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
         lp::OptSearchOptions opt;
         opt.restarts = 3;
         opt.max_passes = 4;
-        opt.seed = rep + 1;
+        opt.seed = uidx(rep) + 1;
         const auto search = lp::search_opt_upper_bound(inst, speed1, opt);
         const auto online =
             algo::run_named_policy(inst, speed1, "paper", 0.5);

@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
 
   for (const auto& [name, tree] : experiments::standard_trees()) {
     for (int rep = 0; rep < reps; ++rep) {
-      util::Rng rng(rep * 7 + 3);
+      util::Rng rng(uidx(rep) * 7 + 3);
       workload::WorkloadSpec spec;
       spec.jobs = static_cast<int>(jobs);
       spec.load = load;

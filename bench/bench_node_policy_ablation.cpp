@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
         sim::NodePolicy::kLcfs, sim::NodePolicy::kHdf}) {
     stats::Summary total, mx, weighted, p99s;
     for (int rep = 0; rep < reps; ++rep) {
-      util::Rng rng(rep * 7 + 29);
+      util::Rng rng(uidx(rep) * 7 + 29);
       const Tree tree = builders::fat_tree(2, 2, 2);
       workload::WorkloadSpec spec;
       spec.jobs = static_cast<int>(jobs);
@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
       cfg.node_policy = np;
       const auto run = algo::run_named_policy(
           inst, SpeedProfile::paper_identical(inst.tree(), eps), "paper",
-          eps, rep + 1, cfg);
+          eps, uidx(rep) + 1, cfg);
       total.add(run.total_flow);
       mx.add(run.max_flow);
       weighted.add(run.metrics.total_weighted_flow_time());

@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
                          4.0 * paper_coeff}) {
       stats::Summary ratios;
       for (int rep = 0; rep < reps; ++rep) {
-        util::Rng rng(rep * 23 + 11);
+        util::Rng rng(uidx(rep) * 23 + 11);
         workload::WorkloadSpec spec;
         spec.jobs = static_cast<int>(jobs);
         spec.load = load;
@@ -73,7 +73,7 @@ int main(int argc, char** argv) {
                          algo::PaperGreedyPolicy::TieBreak::kRotate}) {
     stats::Summary ratios;
     for (int rep = 0; rep < reps; ++rep) {
-      util::Rng rng(rep * 41 + 2);
+      util::Rng rng(uidx(rep) * 41 + 2);
       const Tree tree = builders::caterpillar(2, 2, 4);
       workload::WorkloadSpec spec;
       spec.jobs = static_cast<int>(jobs);

@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
     for (const double chunk : {0.0, 4.0, 2.0, 1.0, 0.5, 0.25}) {
       stats::Summary flow, ratio, maxflow;
       for (int rep = 0; rep < reps; ++rep) {
-        util::Rng rng(rep * 17 + 9);
+        util::Rng rng(uidx(rep) * 17 + 9);
         workload::WorkloadSpec spec;
         spec.jobs = static_cast<int>(jobs);
         spec.load = load;
@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
         cfg.router_chunk_size = chunk;
         const auto r = experiments::measure_ratio(
             inst, SpeedProfile::uniform(inst.tree(), 1.0 + eps), "paper",
-            eps, rep + 1, cfg);
+            eps, uidx(rep) + 1, cfg);
         flow.add(r.alg_flow);
         ratio.add(r.ratio);
         maxflow.add(r.alg_flow > 0 ? r.alg_flow : 0);

@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
     for (int rep = 0; rep < reps; ++rep) {
       const Tree tree = builders::fat_tree(2, 2, 2);
       {
-        util::Rng rng(rep * 5 + 1);
+        util::Rng rng(uidx(rep) * 5 + 1);
         workload::WorkloadSpec spec;
         spec.jobs = static_cast<int>(jobs);
         spec.load = load;
@@ -44,12 +44,12 @@ int main(int argc, char** argv) {
         const Instance inst = workload::generate(rng, tree, spec);
         const auto r = experiments::measure_ratio(
             inst, SpeedProfile::uniform(inst.tree(), s), "paper", eps,
-            rep + 1);
+            uidx(rep) + 1);
         ident.add(r.ratio);
         csv.add(s, "identical", rep, r.ratio);
       }
       {
-        util::Rng rng(rep * 5 + 2);
+        util::Rng rng(uidx(rep) * 5 + 2);
         workload::WorkloadSpec spec;
         spec.jobs = static_cast<int>(jobs);
         spec.load = load;
@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
         const Instance inst = workload::generate(rng, tree, spec);
         const auto r = experiments::measure_ratio(
             inst, SpeedProfile::uniform(inst.tree(), s), "paper", eps,
-            rep + 1);
+            uidx(rep) + 1);
         unrel.add(r.ratio);
         csv.add(s, "unrelated", rep, r.ratio);
       }

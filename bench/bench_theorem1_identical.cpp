@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
     stats::Summary ratios;
     stats::Summary flows;
     for (int rep = 0; rep < reps; ++rep) {
-      util::Rng rng(static_cast<std::uint64_t>(seed) * 1000 + rep * 17 +
+      util::Rng rng(static_cast<std::uint64_t>(seed) * 1000 + uidx(rep) * 17 +
                     static_cast<std::uint64_t>(eps * 1000));
       const Tree tree = builders::fat_tree(2, 2, 2);
       workload::WorkloadSpec spec;
@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
   for (const int n : {125, 500, 2000, 8000}) {
     stats::Summary ratios;
     for (int rep = 0; rep < reps; ++rep) {
-      util::Rng rng(static_cast<std::uint64_t>(seed) * 31 + rep + n);
+      util::Rng rng(static_cast<std::uint64_t>(seed) * 31 + uidx(rep) + uidx(n));
       const Tree tree = builders::fat_tree(2, 2, 2);
       workload::WorkloadSpec spec;
       spec.jobs = n;

@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
   for (const double eps : experiments::epsilon_sweep()) {
     stats::Summary proved, open;
     for (int rep = 0; rep < reps; ++rep) {
-      util::Rng rng(static_cast<std::uint64_t>(seed) * 999 + rep * 31 +
+      util::Rng rng(static_cast<std::uint64_t>(seed) * 999 + uidx(rep) * 31 +
                     static_cast<std::uint64_t>(eps * 1000));
       const Tree tree = builders::fat_tree(2, 2, 2);
       workload::WorkloadSpec spec;

@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
 
   for (const double eps : {1.0, 0.5, 0.25}) {
     for (int rep = 0; rep < reps; ++rep) {
-      util::Rng rng(static_cast<std::uint64_t>(seed) * 101 + rep +
+      util::Rng rng(static_cast<std::uint64_t>(seed) * 101 + uidx(rep) +
                     static_cast<std::uint64_t>(eps * 1000));
       // Small integer instance: integer releases, small class sizes.
       std::vector<Job> js;

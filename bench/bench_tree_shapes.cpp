@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
   for (const auto& [name, tree] : experiments::standard_trees()) {
     stats::Summary ratios, flows;
     for (int rep = 0; rep < reps; ++rep) {
-      util::Rng rng(rep * 13 + 5);
+      util::Rng rng(uidx(rep) * 13 + 5);
       workload::WorkloadSpec spec;
       spec.jobs = static_cast<int>(jobs);
       spec.load = load;

@@ -1,0 +1,59 @@
+# Sanitizer wiring for all treesched targets.
+#
+# TREESCHED_SANITIZE is a semicolon- or comma-separated list of sanitizers:
+#   address, undefined, leak, thread  (thread cannot combine with the others)
+#
+# The flags are attached to the `treesched_sanitizers` INTERFACE target,
+# which `treesched_warnings` links — so every target in the repo (src, tools,
+# tests, bench, examples) picks them up without per-directory changes.
+# The CMakePresets.json `asan-ubsan` / `tsan` presets set this option.
+
+set(TREESCHED_SANITIZE "" CACHE STRING
+    "Semicolon/comma-separated sanitizers for all treesched targets \
+(address;undefined;leak;thread). Empty = none.")
+
+add_library(treesched_sanitizers INTERFACE)
+
+function(_treesched_configure_sanitizers)
+  if(TREESCHED_SANITIZE STREQUAL "")
+    return()
+  endif()
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    message(WARNING "TREESCHED_SANITIZE is only supported with GCC/Clang; "
+                    "ignoring for ${CMAKE_CXX_COMPILER_ID}")
+    return()
+  endif()
+
+  string(REPLACE "," ";" _requested "${TREESCHED_SANITIZE}")
+  set(_known address undefined leak thread)
+  set(_enabled "")
+  foreach(_san IN LISTS _requested)
+    string(STRIP "${_san}" _san)
+    string(TOLOWER "${_san}" _san)
+    if(NOT _san IN_LIST _known)
+      message(FATAL_ERROR "TREESCHED_SANITIZE: unknown sanitizer '${_san}' "
+                          "(known: ${_known})")
+    endif()
+    list(APPEND _enabled ${_san})
+  endforeach()
+  list(REMOVE_DUPLICATES _enabled)
+
+  if("thread" IN_LIST _enabled AND NOT _enabled STREQUAL "thread")
+    message(FATAL_ERROR "TREESCHED_SANITIZE: 'thread' cannot be combined "
+                        "with other sanitizers (got: ${_enabled})")
+  endif()
+
+  list(JOIN _enabled "," _fsan)
+  set(_flags -fsanitize=${_fsan} -fno-omit-frame-pointer)
+  if("undefined" IN_LIST _enabled)
+    # Trap-free: report and continue so one run surfaces every finding;
+    # -fno-sanitize-recover makes any report a hard failure for CI.
+    list(APPEND _flags -fno-sanitize-recover=all)
+  endif()
+
+  target_compile_options(treesched_sanitizers INTERFACE ${_flags})
+  target_link_options(treesched_sanitizers INTERFACE ${_flags})
+  message(STATUS "treesched: sanitizers enabled: ${_enabled}")
+endfunction()
+
+_treesched_configure_sanitizers()

@@ -59,11 +59,11 @@ sim::Metrics run_anycast(const Instance& instance, const SpeedProfile& speeds,
                          std::vector<std::vector<NodeId>>* paths_out,
                          sim::ScheduleRecorder* recorder_out) {
   sim::Engine engine(instance, speeds, cfg);
-  if (paths_out) paths_out->assign(instance.job_count(), {});
+  if (paths_out) paths_out->assign(uidx(instance.job_count()), {});
   for (const Job& job : instance.jobs()) {
     engine.advance_to(job.release);
     std::vector<NodeId> path = choose_anycast_path(engine, job, strategy);
-    if (paths_out) (*paths_out)[job.id] = path;
+    if (paths_out) (*paths_out)[uidx(job.id)] = path;
     engine.admit_via_path(job.id, std::move(path));
   }
   engine.run_to_completion();

@@ -52,7 +52,7 @@ BroomstickReduction BroomstickReduction::reduce(const Tree& original) {
     // A leaf at edge-distance l' below v0 hangs below s_{l'+1}.
     for (const NodeId leaf : leaves) {
       const int dist = original.depth(leaf) - 1;
-      const NodeId broom_leaf = a.add_machine(spine[dist + 1]);
+      const NodeId broom_leaf = a.add_machine(spine[uidx(dist + 1)]);
       leaf_pairs.emplace_back(leaf, broom_leaf);
     }
   }
@@ -63,8 +63,8 @@ BroomstickReduction BroomstickReduction::reduce(const Tree& original) {
   red.to_original_.assign(bs.leaves().size(), kInvalidNode);
   red.from_original_.assign(original.leaves().size(), kInvalidNode);
   for (const auto& [orig, broom] : leaf_pairs) {
-    red.to_original_[bs.leaf_index(broom)] = orig;
-    red.from_original_[original.leaf_index(orig)] = broom;
+    red.to_original_[uidx(bs.leaf_index(broom))] = orig;
+    red.from_original_[uidx(original.leaf_index(orig))] = broom;
   }
   for (const NodeId v : red.to_original_)
     TS_CHECK(v != kInvalidNode, "broomstick leaf with no preimage");
@@ -74,11 +74,11 @@ BroomstickReduction BroomstickReduction::reduce(const Tree& original) {
 }
 
 NodeId BroomstickReduction::to_original(NodeId broomstick_leaf) const {
-  return to_original_[broomstick_->leaf_index(broomstick_leaf)];
+  return to_original_[uidx(broomstick_->leaf_index(broomstick_leaf))];
 }
 
 NodeId BroomstickReduction::from_original(NodeId original_leaf) const {
-  return from_original_[original_->leaf_index(original_leaf)];
+  return from_original_[uidx(original_->leaf_index(original_leaf))];
 }
 
 Instance BroomstickReduction::transform(const Instance& instance) const {
@@ -91,7 +91,7 @@ Instance BroomstickReduction::transform(const Instance& instance) const {
       std::vector<double> remapped(n_leaves, 0.0);
       for (std::size_t bi = 0; bi < n_leaves; ++bi) {
         const NodeId orig_leaf = to_original_[bi];
-        remapped[bi] = j.leaf_sizes[original_->leaf_index(orig_leaf)];
+        remapped[bi] = j.leaf_sizes[uidx(original_->leaf_index(orig_leaf))];
       }
       j.leaf_sizes = std::move(remapped);
     }

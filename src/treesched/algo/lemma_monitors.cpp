@@ -64,11 +64,11 @@ InteriorWaitReport interior_wait_report(const sim::Engine& engine,
     const int last_idx = leaf_identical ? len - 1 : len - 2;
     if (last_idx < 1) continue;  // no identical nodes beyond R(v)
     const Time left_root_child = rec.node_completion[0];
-    const Time cleared_identical = rec.node_completion[last_idx];
+    const Time cleared_identical = rec.node_completion[uidx(last_idx)];
     TS_CHECK(left_root_child >= 0.0 && cleared_identical >= 0.0,
              "missing node completion stamps");
     const double wait = cleared_identical - left_root_child;
-    const NodeId v_e = path[last_idx];
+    const NodeId v_e = path[uidx(last_idx)];
     const double bound =
         6.0 / (eps * eps) * inst.job(rec.id).size * tree.d(v_e);
     const double ratio = wait / bound;

@@ -30,7 +30,7 @@ double phi(const sim::Engine& engine, JobId j, double eps, double s) {
   // the lemma reasons about, the offsets cancel — use the full count).
   double best = 0.0;
   for (int idx = cur; idx <= last_idx; ++idx) {
-    const NodeId v = path[idx];
+    const NodeId v = path[uidx(idx)];
     // sum over S_{v,j} (including j itself) of remaining work on v.
     const double vol =
         engine.higher_priority_remaining(v, engine.size_on(j, v), r_j, j) +

@@ -44,7 +44,7 @@ struct Machine {
       }
       active.erase(it);
       budget = std::max(0.0, budget - rem);
-      completion[id] = t - budget / speed;
+      completion[uidx(id)] = t - budget / speed;
     }
   }
 
@@ -62,7 +62,7 @@ PswResult run_psw_model(const Instance& instance,
   const Tree& tree = instance.tree();
   const JobId n = instance.job_count();
   PswResult result;
-  result.completion.assign(n, -1.0);
+  result.completion.assign(uidx(n), -1.0);
 
   std::vector<Machine> machines(tree.leaves().size());
   // In-flight jobs: (arrival-at-machine, job, leaf index).
@@ -95,8 +95,8 @@ PswResult run_psw_model(const Instance& instance,
     while (!flights.empty() && std::get<0>(flights.top()) <= now + 1e-12) {
       auto [t, j, m] = flights.top();
       flights.pop();
-      machines[m].active.emplace(
-          instance.processing_time(j, tree.leaves()[m]),
+      machines[uidx(m)].active.emplace(
+          instance.processing_time(j, tree.leaves()[uidx(m)]),
           instance.job(j).release, j);
     }
 
@@ -122,14 +122,14 @@ PswResult run_psw_model(const Instance& instance,
       }
       const Time arrive =
           now + psw_transit_time(instance, speeds, job.id,
-                                 tree.leaves()[best_m]);
+                                 tree.leaves()[uidx(best_m)]);
       flights.emplace(arrive, job.id, best_m);
     }
   }
 
   for (JobId j = 0; j < n; ++j) {
-    TS_CHECK(result.completion[j] >= 0.0, "PSW job never completed");
-    const double flow = result.completion[j] - instance.job(j).release;
+    TS_CHECK(result.completion[uidx(j)] >= 0.0, "PSW job never completed");
+    const double flow = result.completion[uidx(j)] - instance.job(j).release;
     result.total_flow += flow;
     result.max_flow = std::max(result.max_flow, flow);
   }

@@ -19,7 +19,7 @@ Instance::Instance(std::shared_ptr<const Tree> tree, std::vector<Job> jobs,
   validate();
   position_of_id_.resize(jobs_.size());
   for (std::size_t i = 0; i < jobs_.size(); ++i)
-    position_of_id_[jobs_[i].id] = i;
+    position_of_id_[uidx(jobs_[i].id)] = i;
 }
 
 Instance::Instance(Tree tree, std::vector<Job> jobs, EndpointModel model)
@@ -31,8 +31,8 @@ void Instance::validate() const {
   for (const Job& j : jobs_) {
     TS_REQUIRE(j.id >= 0 && static_cast<std::size_t>(j.id) < jobs_.size(),
                "job ids must be dense 0..n-1");
-    TS_REQUIRE(!seen[j.id], "duplicate job id");
-    seen[j.id] = true;
+    TS_REQUIRE(!seen[uidx(j.id)], "duplicate job id");
+    seen[uidx(j.id)] = true;
     TS_REQUIRE(j.release >= 0.0, "release times must be non-negative");
     TS_REQUIRE(j.size > 0.0, "job size must be positive");
     TS_REQUIRE(j.weight > 0.0, "job weight must be positive");
@@ -58,7 +58,7 @@ double Instance::processing_time(JobId j, NodeId v) const {
   const Job& jb = job(j);  // by id, not by release position
   if (tree_->is_root(v)) return jb.size;
   if (tree_->is_leaf(v) && model_ == EndpointModel::kUnrelated)
-    return jb.leaf_sizes[tree_->leaf_index(v)];
+    return jb.leaf_sizes[uidx(tree_->leaf_index(v))];
   return jb.size;
 }
 

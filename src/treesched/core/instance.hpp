@@ -29,7 +29,7 @@ class Instance {
   /// Jobs in release order (not necessarily id order).
   const std::vector<Job>& jobs() const { return jobs_; }
   /// Job lookup *by id*, regardless of release order.
-  const Job& job(JobId j) const { return jobs_[position_of_id_[j]]; }
+  const Job& job(JobId j) const { return jobs_[position_of_id_[uidx(j)]]; }
   JobId job_count() const { return static_cast<JobId>(jobs_.size()); }
   EndpointModel model() const { return model_; }
 

@@ -10,22 +10,22 @@ SpeedProfile::SpeedProfile(const Tree& tree, std::vector<double> speeds)
              "speed vector must cover every node");
   for (NodeId v = 0; v < tree.node_count(); ++v) {
     if (tree.is_root(v)) continue;
-    TS_REQUIRE(speeds_[v] > 0.0, "node speeds must be positive");
+    TS_REQUIRE(speeds_[uidx(v)] > 0.0, "node speeds must be positive");
   }
 }
 
 SpeedProfile SpeedProfile::uniform(const Tree& tree, double s) {
   TS_REQUIRE(s > 0.0, "speed must be positive");
-  return SpeedProfile(tree, std::vector<double>(tree.node_count(), s));
+  return SpeedProfile(tree, std::vector<double>(uidx(tree.node_count()), s));
 }
 
 SpeedProfile SpeedProfile::layered(const Tree& tree, double root_child_speed,
                                    double other_speed) {
   TS_REQUIRE(root_child_speed > 0.0 && other_speed > 0.0,
              "speeds must be positive");
-  std::vector<double> s(tree.node_count(), other_speed);
-  s[tree.root()] = 0.0;  // unused
-  for (NodeId v : tree.root_children()) s[v] = root_child_speed;
+  std::vector<double> s(uidx(tree.node_count()), other_speed);
+  s[uidx(tree.root())] = 0.0;  // unused
+  for (NodeId v : tree.root_children()) s[uidx(v)] = root_child_speed;
   return SpeedProfile(tree, std::move(s));
 }
 

@@ -35,7 +35,7 @@ class SpeedProfile {
   /// Explicit per-node speeds (validated: positive on all non-root nodes).
   SpeedProfile(const Tree& tree, std::vector<double> speeds);
 
-  double speed(NodeId v) const { return speeds_[v]; }
+  double speed(NodeId v) const { return speeds_[uidx(v)]; }
   const std::vector<double>& speeds() const { return speeds_; }
 
   /// Returns a copy with every speed multiplied by factor > 0.

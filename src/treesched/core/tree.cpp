@@ -16,24 +16,24 @@ Tree Tree::build(std::vector<NodeId> parent, std::vector<NodeKind> kind) {
   Tree t;
   t.parent_ = std::move(parent);
   t.kind_ = std::move(kind);
-  t.children_.assign(n, {});
-  t.depth_.assign(n, -1);
-  t.height_.assign(n, 0);
-  t.root_child_.assign(n, kInvalidNode);
-  t.leaf_index_.assign(n, -1);
-  t.tin_.assign(n, -1);
-  t.tout_.assign(n, -1);
+  t.children_.assign(uidx(n), {});
+  t.depth_.assign(uidx(n), -1);
+  t.height_.assign(uidx(n), 0);
+  t.root_child_.assign(uidx(n), kInvalidNode);
+  t.leaf_index_.assign(uidx(n), -1);
+  t.tin_.assign(uidx(n), -1);
+  t.tout_.assign(uidx(n), -1);
 
   for (NodeId v = 0; v < n; ++v) {
-    const NodeId p = t.parent_[v];
+    const NodeId p = t.parent_[uidx(v)];
     if (p == kInvalidNode) {
       TS_REQUIRE(t.root_ == kInvalidNode, "multiple roots");
-      TS_REQUIRE(t.kind_[v] == NodeKind::kRoot, "root must have kind kRoot");
+      TS_REQUIRE(t.kind_[uidx(v)] == NodeKind::kRoot, "root must have kind kRoot");
       t.root_ = v;
     } else {
       TS_REQUIRE(p >= 0 && p < n && p != v, "parent id out of range");
-      TS_REQUIRE(t.kind_[v] != NodeKind::kRoot, "non-root node with kind kRoot");
-      t.children_[p].push_back(v);
+      TS_REQUIRE(t.kind_[uidx(v)] != NodeKind::kRoot, "non-root node with kind kRoot");
+      t.children_[uidx(p)].push_back(v);
     }
   }
   TS_REQUIRE(t.root_ != kInvalidNode, "tree has no root");
@@ -43,51 +43,51 @@ Tree Tree::build(std::vector<NodeId> parent, std::vector<NodeKind> kind) {
   int timer = 0;
   std::vector<std::pair<NodeId, std::size_t>> stack;
   stack.emplace_back(t.root_, 0);
-  t.depth_[t.root_] = 0;
-  t.tin_[t.root_] = timer++;
+  t.depth_[uidx(t.root_)] = 0;
+  t.tin_[uidx(t.root_)] = timer++;
   while (!stack.empty()) {
     auto& [v, ci] = stack.back();
-    if (ci == t.children_[v].size()) {
-      t.tout_[v] = timer;
-      for (NodeId c : t.children_[v])
-        t.height_[v] = std::max(t.height_[v], t.height_[c] + 1);
+    if (ci == t.children_[uidx(v)].size()) {
+      t.tout_[uidx(v)] = timer;
+      for (NodeId c : t.children_[uidx(v)])
+        t.height_[uidx(v)] = std::max(t.height_[uidx(v)], t.height_[uidx(c)] + 1);
       stack.pop_back();
       continue;
     }
-    const NodeId c = t.children_[v][ci++];
-    t.depth_[c] = t.depth_[v] + 1;
-    t.root_child_[c] = (v == t.root_) ? c : t.root_child_[v];
-    t.tin_[c] = timer++;
+    const NodeId c = t.children_[uidx(v)][ci++];
+    t.depth_[uidx(c)] = t.depth_[uidx(v)] + 1;
+    t.root_child_[uidx(c)] = (v == t.root_) ? c : t.root_child_[uidx(v)];
+    t.tin_[uidx(c)] = timer++;
     stack.emplace_back(c, 0);
   }
   for (NodeId v = 0; v < n; ++v)
-    TS_REQUIRE(t.depth_[v] >= 0, "node unreachable from root (cycle or forest)");
+    TS_REQUIRE(t.depth_[uidx(v)] >= 0, "node unreachable from root (cycle or forest)");
 
   // Role constraints.
   for (NodeId v = 0; v < n; ++v) {
-    switch (t.kind_[v]) {
+    switch (t.kind_[uidx(v)]) {
       case NodeKind::kRoot:
-        TS_REQUIRE(!t.children_[v].empty(), "root must have children");
+        TS_REQUIRE(!t.children_[uidx(v)].empty(), "root must have children");
         break;
       case NodeKind::kRouter:
-        TS_REQUIRE(!t.children_[v].empty(),
+        TS_REQUIRE(!t.children_[uidx(v)].empty(),
                    "router " + std::to_string(v) + " has no children");
         break;
       case NodeKind::kMachine:
-        TS_REQUIRE(t.children_[v].empty(),
+        TS_REQUIRE(t.children_[uidx(v)].empty(),
                    "machine " + std::to_string(v) + " has children");
-        TS_REQUIRE(t.parent_[v] != t.root_,
+        TS_REQUIRE(t.parent_[uidx(v)] != t.root_,
                    "machine " + std::to_string(v) + " adjacent to the root");
         break;
     }
   }
 
   for (NodeId v = 0; v < n; ++v) {
-    if (t.kind_[v] == NodeKind::kMachine) {
-      t.leaf_index_[v] = static_cast<int>(t.leaves_.size());
+    if (t.kind_[uidx(v)] == NodeKind::kMachine) {
+      t.leaf_index_[uidx(v)] = static_cast<int>(t.leaves_.size());
       t.leaves_.push_back(v);
     }
-    if (t.parent_[v] == t.root_) t.root_children_.push_back(v);
+    if (t.parent_[uidx(v)] == t.root_) t.root_children_.push_back(v);
   }
   TS_REQUIRE(!t.leaves_.empty(), "tree must have at least one machine");
 
@@ -96,7 +96,7 @@ Tree Tree::build(std::vector<NodeId> parent, std::vector<NodeKind> kind) {
   for (std::size_t i = 0; i < t.leaves_.size(); ++i) {
     NodeId v = t.leaves_[i];
     std::vector<NodeId> path;
-    for (NodeId u = v; u != t.root_; u = t.parent_[u]) path.push_back(u);
+    for (NodeId u = v; u != t.root_; u = t.parent_[uidx(u)]) path.push_back(u);
     std::reverse(path.begin(), path.end());
     t.leaf_paths_[i] = std::move(path);
   }
@@ -104,46 +104,46 @@ Tree Tree::build(std::vector<NodeId> parent, std::vector<NodeKind> kind) {
   // Leaves in DFS order for subtree queries.
   t.leaf_dfs_order_ = t.leaves_;
   std::sort(t.leaf_dfs_order_.begin(), t.leaf_dfs_order_.end(),
-            [&t](NodeId a, NodeId b) { return t.tin_[a] < t.tin_[b]; });
+            [&t](NodeId a, NodeId b) { return t.tin_[uidx(a)] < t.tin_[uidx(b)]; });
 
   return t;
 }
 
 int Tree::d(NodeId v) const {
   TS_REQUIRE(v != root_, "d_v undefined for the root");
-  return depth_[v];
+  return depth_[uidx(v)];
 }
 
 NodeId Tree::root_child_of(NodeId v) const {
   TS_REQUIRE(v != root_, "R(v) undefined for the root");
-  return root_child_[v];
+  return root_child_[uidx(v)];
 }
 
 int Tree::leaf_index(NodeId v) const {
   TS_REQUIRE(is_leaf(v), "leaf_index on non-leaf");
-  return leaf_index_[v];
+  return leaf_index_[uidx(v)];
 }
 
 std::vector<NodeId> Tree::leaves_under(NodeId v) const {
   auto lo = std::lower_bound(
-      leaf_dfs_order_.begin(), leaf_dfs_order_.end(), tin_[v],
-      [this](NodeId leaf, int val) { return tin_[leaf] < val; });
+      leaf_dfs_order_.begin(), leaf_dfs_order_.end(), tin_[uidx(v)],
+      [this](NodeId leaf, int val) { return tin_[uidx(leaf)] < val; });
   std::vector<NodeId> out;
-  for (auto it = lo; it != leaf_dfs_order_.end() && tin_[*it] < tout_[v]; ++it)
+  for (auto it = lo; it != leaf_dfs_order_.end() && tin_[uidx(*it)] < tout_[uidx(v)]; ++it)
     out.push_back(*it);
   return out;
 }
 
 const std::vector<NodeId>& Tree::path_to(NodeId leaf) const {
-  return leaf_paths_[leaf_index(leaf)];
+  return leaf_paths_[uidx(leaf_index(leaf))];
 }
 
 NodeId Tree::lca(NodeId u, NodeId v) const {
-  while (depth_[u] > depth_[v]) u = parent_[u];
-  while (depth_[v] > depth_[u]) v = parent_[v];
+  while (depth_[uidx(u)] > depth_[uidx(v)]) u = parent_[uidx(u)];
+  while (depth_[uidx(v)] > depth_[uidx(u)]) v = parent_[uidx(v)];
   while (u != v) {
-    u = parent_[u];
-    v = parent_[v];
+    u = parent_[uidx(u)];
+    v = parent_[uidx(v)];
   }
   return u;
 }
@@ -158,23 +158,23 @@ std::vector<NodeId> Tree::path_between(NodeId source, NodeId leaf) const {
   const NodeId meet = lca(source, leaf);
   std::vector<NodeId> path;
   // Upward leg: every node entered while climbing (source excluded).
-  for (NodeId u = source; u != meet; u = parent_[u])
-    path.push_back(parent_[u]);
+  for (NodeId u = source; u != meet; u = parent_[uidx(u)])
+    path.push_back(parent_[uidx(u)]);
   // Downward leg: nodes from below the meet down to the leaf.
   std::vector<NodeId> down;
-  for (NodeId v = leaf; v != meet; v = parent_[v]) down.push_back(v);
+  for (NodeId v = leaf; v != meet; v = parent_[uidx(v)]) down.push_back(v);
   path.insert(path.end(), down.rbegin(), down.rend());
   if (path.empty()) path.push_back(leaf);  // source == leaf
   return path;
 }
 
 bool Tree::is_ancestor_or_self(NodeId ancestor, NodeId descendant) const {
-  return tin_[ancestor] <= tin_[descendant] && tin_[descendant] < tout_[ancestor];
+  return tin_[uidx(ancestor)] <= tin_[uidx(descendant)] && tin_[uidx(descendant)] < tout_[uidx(ancestor)];
 }
 
 int Tree::max_leaf_depth() const {
   int d_max = 0;
-  for (NodeId v : leaves_) d_max = std::max(d_max, depth_[v]);
+  for (NodeId v : leaves_) d_max = std::max(d_max, depth_[uidx(v)]);
   return d_max;
 }
 
@@ -184,7 +184,7 @@ std::string Tree::to_ascii() const {
       [&](NodeId v, std::string prefix, bool last) {
         os << prefix;
         if (v != root_) os << (last ? "`-- " : "|-- ");
-        switch (kind_[v]) {
+        switch (kind_[uidx(v)]) {
           case NodeKind::kRoot: os << "root"; break;
           case NodeKind::kRouter: os << "router " << v; break;
           case NodeKind::kMachine: os << "machine " << v; break;
@@ -192,8 +192,8 @@ std::string Tree::to_ascii() const {
         os << '\n';
         std::string child_prefix =
             prefix + (v == root_ ? "" : (last ? "    " : "|   "));
-        for (std::size_t i = 0; i < children_[v].size(); ++i)
-          rec(children_[v][i], child_prefix, i + 1 == children_[v].size());
+        for (std::size_t i = 0; i < children_[uidx(v)].size(); ++i)
+          rec(children_[uidx(v)][i], child_prefix, i + 1 == children_[uidx(v)].size());
       };
   rec(root_, "", true);
   return os.str();

@@ -30,17 +30,19 @@ class Tree {
   NodeId node_count() const { return static_cast<NodeId>(parent_.size()); }
 
   NodeId root() const { return root_; }
-  NodeId parent(NodeId v) const { return parent_[v]; }
-  const std::vector<NodeId>& children(NodeId v) const { return children_[v]; }
-  NodeKind kind(NodeId v) const { return kind_[v]; }
-  bool is_leaf(NodeId v) const { return kind_[v] == NodeKind::kMachine; }
-  bool is_router(NodeId v) const { return kind_[v] == NodeKind::kRouter; }
+  NodeId parent(NodeId v) const { return parent_[uidx(v)]; }
+  const std::vector<NodeId>& children(NodeId v) const {
+    return children_[uidx(v)];
+  }
+  NodeKind kind(NodeId v) const { return kind_[uidx(v)]; }
+  bool is_leaf(NodeId v) const { return kind_[uidx(v)] == NodeKind::kMachine; }
+  bool is_router(NodeId v) const { return kind_[uidx(v)] == NodeKind::kRouter; }
   bool is_root(NodeId v) const { return v == root_; }
 
   /// Depth of v: number of edges from the root. The root has depth 0.
   /// For non-root v this equals d_v of the paper — the number of processing
   /// nodes on the path from R(v) to v inclusive.
-  int depth(NodeId v) const { return depth_[v]; }
+  int depth(NodeId v) const { return depth_[uidx(v)]; }
 
   /// d_v of the paper (depth, but spelled like the paper for call sites that
   /// mirror formulas). Requires v != root.
@@ -83,7 +85,7 @@ class Tree {
   bool is_ancestor_or_self(NodeId ancestor, NodeId descendant) const;
 
   /// Longest edge-distance from v down to any leaf in its subtree.
-  int height_below(NodeId v) const { return height_[v]; }
+  int height_below(NodeId v) const { return height_[uidx(v)]; }
 
   /// Maximum leaf depth in the whole tree.
   int max_leaf_depth() const;

@@ -140,7 +140,7 @@ Tree broomstick(const std::vector<int>& spine_len,
     for (int pos : leaf_depths[b]) {
       TS_REQUIRE(pos >= 1 && pos <= spine_len[b],
                  "leaf position outside the spine");
-      a.add_machine(spine[pos - 1]);
+      a.add_machine(spine[uidx(pos - 1)]);
     }
   }
   return std::move(a).finish();

@@ -1,6 +1,7 @@
 // Fundamental identifier and time types shared by the whole library.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 namespace treesched {
@@ -17,6 +18,14 @@ using Time = double;
 
 inline constexpr NodeId kInvalidNode = -1;
 inline constexpr JobId kInvalidJob = -1;
+
+/// Container-index cast for signed ids. NodeId/JobId are signed so the
+/// kInvalid* sentinels exist, but containers are size_t-indexed; uidx makes
+/// the (validated-non-negative) conversion explicit under -Wsign-conversion.
+template <typename T>
+constexpr std::size_t uidx(T id) noexcept {
+  return static_cast<std::size_t>(id);
+}
 
 /// Role of a node in the tree network (Section 2 of the paper).
 enum class NodeKind : std::uint8_t {

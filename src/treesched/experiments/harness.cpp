@@ -36,7 +36,7 @@ std::vector<double> repeat(std::uint64_t seed, int reps,
                            const std::function<double(std::uint64_t)>& body) {
   util::Rng seeder(seed);
   std::vector<double> out;
-  out.reserve(reps);
+  out.reserve(uidx(reps));
   for (int r = 0; r < reps; ++r) out.push_back(body(seeder.next_u64()));
   return out;
 }

@@ -17,7 +17,7 @@ namespace {
 std::vector<Job> random_jobs(util::Rng& rng, const Tree& tree,
                              const AdversaryOptions& opt) {
   std::vector<Job> jobs;
-  jobs.reserve(opt.jobs);
+  jobs.reserve(uidx(opt.jobs));
   for (int j = 0; j < opt.jobs; ++j) {
     Job job(static_cast<JobId>(j),
             rng.uniform_real(0.0, opt.release_span),

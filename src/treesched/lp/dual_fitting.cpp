@@ -84,11 +84,11 @@ DualFitReport dual_fit(const Instance& instance, double eps, bool unrelated) {
   for (const NodeId rc : tree.root_children())
     rc_leaf.push_back(tree.leaves_under(rc).front());
 
-  std::vector<JobDuals> duals(instance.job_count());
+  std::vector<JobDuals> duals(uidx(instance.job_count()));
   for (const Job& job : instance.jobs()) {
     engine.advance_to(job.release);
     recorder.take(engine, job.release);  // pre-admit breakpoint
-    JobDuals& d = duals[job.id];
+    JobDuals& d = duals[uidx(job.id)];
     d.F_rc.reserve(rc_leaf.size());
     for (const NodeId leaf : rc_leaf)
       d.F_rc.push_back(algo::PaperGreedyPolicy::F(engine, job, leaf));
@@ -144,7 +144,7 @@ DualFitReport dual_fit(const Instance& instance, double eps, bool unrelated) {
   // ---- Constraint residuals ----
   const auto& rcs = tree.root_children();
   for (const Job& job : instance.jobs()) {
-    const JobDuals& d = duals[job.id];
+    const JobDuals& d = duals[uidx(job.id)];
     const double p_j = job.size;
 
     // (5): root children, at every breakpoint t >= r_j (starting at the
@@ -182,7 +182,7 @@ DualFitReport dual_fit(const Instance& instance, double eps, bool unrelated) {
           const Snapshot& s = snaps[si];
           if (s.t < job.release - 1e-9) continue;
           const double resid =
-              scale * (-s.alpha_leaf[leaf_idx] +
+              scale * (-s.alpha_leaf[uidx(leaf_idx)] +
                        (d.beta - gamma_parent) / p_jv) -
               (s.t - job.release) / p_jv - eta / p_jv;
           rep.max_residual_c4 = std::max(rep.max_residual_c4, resid);

@@ -19,7 +19,7 @@ class VarIndex {
       : horizon_(horizon),
         jobs_(inst.job_count()),
         nodes_(inst.tree().node_count()),
-        idx_(static_cast<std::size_t>(jobs_) * nodes_ * horizon, -1) {
+        idx_(uidx(jobs_) * uidx(nodes_) * uidx(horizon), -1) {
     const Tree& tree = inst.tree();
     for (const Job& job : inst.jobs()) {
       const int r = static_cast<int>(std::floor(job.release));
@@ -39,7 +39,7 @@ class VarIndex {
  private:
   int& at(NodeId v, JobId j, int t) { return idx_[offset(v, j, t)]; }
   std::size_t offset(NodeId v, JobId j, int t) const {
-    return (static_cast<std::size_t>(v) * jobs_ + j) * horizon_ + t;
+    return (uidx(v) * uidx(jobs_) + uidx(j)) * uidx(horizon_) + uidx(t);
   }
 
   int horizon_;
@@ -76,7 +76,7 @@ LpModel build_flowtime_lp(const Instance& instance, const SpeedProfile& speeds,
         double c = static_cast<double>(t - r) / p;
         if (leaf)
           c += instance.path_processing_time(job.id, v) / p;
-        model.objective[x] += c;
+        model.objective[uidx(x)] += c;
       }
     }
   }

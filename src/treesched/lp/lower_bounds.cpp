@@ -59,7 +59,7 @@ double srpt_single_machine_flow(std::vector<std::pair<Time, double>> jobs,
 
 double lb_root_cut(const Instance& instance) {
   std::vector<std::pair<Time, double>> jobs;
-  jobs.reserve(instance.job_count());
+  jobs.reserve(uidx(instance.job_count()));
   for (const Job& job : instance.jobs())
     jobs.emplace_back(job.release, job.size);
   const double speed =
@@ -69,7 +69,7 @@ double lb_root_cut(const Instance& instance) {
 
 double lb_leaf_cut(const Instance& instance) {
   std::vector<std::pair<Time, double>> jobs;
-  jobs.reserve(instance.job_count());
+  jobs.reserve(uidx(instance.job_count()));
   for (const Job& job : instance.jobs()) {
     double p = job.size;
     if (instance.model() == EndpointModel::kUnrelated) {

@@ -36,7 +36,7 @@ OptSearchResult search_opt_upper_bound(const Instance& instance,
   result.best_flow = std::numeric_limits<double>::infinity();
 
   for (int restart = 0; restart < options.restarts; ++restart) {
-    std::vector<NodeId> assignment(n);
+    std::vector<NodeId> assignment(uidx(n));
     if (restart == 0) {
       // Seed one restart with the cheapest-path assignment; the rest random.
       for (JobId j = 0; j < n; ++j) {
@@ -45,13 +45,13 @@ OptSearchResult search_opt_upper_bound(const Instance& instance,
           const double c = instance.path_processing_time(j, v);
           if (c < best) {
             best = c;
-            assignment[j] = v;
+            assignment[uidx(j)] = v;
           }
         }
       }
     } else {
       for (JobId j = 0; j < n; ++j)
-        assignment[j] = leaves[static_cast<std::size_t>(rng.uniform_int(
+        assignment[uidx(j)] = leaves[static_cast<std::size_t>(rng.uniform_int(
             0, static_cast<std::int64_t>(leaves.size()) - 1))];
     }
 
@@ -62,10 +62,10 @@ OptSearchResult search_opt_upper_bound(const Instance& instance,
     for (int pass = 0; pass < options.max_passes; ++pass) {
       bool improved = false;
       for (JobId j = 0; j < n; ++j) {
-        const NodeId original = assignment[j];
+        const NodeId original = assignment[uidx(j)];
         for (const NodeId v : leaves) {
           if (v == original) continue;
-          assignment[j] = v;
+          assignment[uidx(j)] = v;
           const double candidate = evaluate(instance, speeds, assignment);
           ++result.evaluations;
           if (candidate < current - 1e-9) {
@@ -73,7 +73,7 @@ OptSearchResult search_opt_upper_bound(const Instance& instance,
             improved = true;
             break;  // keep the move
           }
-          assignment[j] = original;
+          assignment[uidx(j)] = original;
         }
       }
       if (!improved) break;

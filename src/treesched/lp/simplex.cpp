@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "treesched/core/types.hpp"
 #include "treesched/util/assert.hpp"
 
 namespace treesched::lp {
@@ -30,23 +31,23 @@ namespace {
 class Tableau {
  public:
   Tableau(int rows, int cols)
-      : rows_(rows), cols_(cols), a_(static_cast<std::size_t>(rows) * cols, 0.0) {}
+      : rows_(rows), cols_(cols), a_(uidx(rows) * uidx(cols), 0.0) {}
 
-  double& at(int r, int c) { return a_[static_cast<std::size_t>(r) * cols_ + c]; }
+  double& at(int r, int c) { return a_[uidx(r) * uidx(cols_) + uidx(c)]; }
   double at(int r, int c) const {
-    return a_[static_cast<std::size_t>(r) * cols_ + c];
+    return a_[uidx(r) * uidx(cols_) + uidx(c)];
   }
 
   /// Gauss-Jordan pivot on (r, c), including the objective row.
   void pivot(int r, int c) {
     const double piv = at(r, c);
     TS_CHECK(std::fabs(piv) > kPivotTol, "pivot on a numerically zero entry");
-    double* prow = &a_[static_cast<std::size_t>(r) * cols_];
+    double* prow = &a_[uidx(r) * uidx(cols_)];
     const double inv = 1.0 / piv;
     for (int j = 0; j < cols_; ++j) prow[j] *= inv;
     for (int i = 0; i < rows_; ++i) {
       if (i == r) continue;
-      double* row = &a_[static_cast<std::size_t>(i) * cols_];
+      double* row = &a_[uidx(i) * uidx(cols_)];
       const double factor = row[c];
       if (factor == 0.0) continue;
       for (int j = 0; j < cols_; ++j) row[j] -= factor * prow[j];
@@ -111,7 +112,7 @@ LpStatus iterate(Prepared& p, int blocked_from, int& iters_left) {
         const double ratio = t.at(i, rhs) / aij;
         if (ratio < best_ratio - 1e-12 ||
             (std::fabs(ratio - best_ratio) <= 1e-12 &&
-             (leave < 0 || p.basis[i] < p.basis[leave]))) {
+             (leave < 0 || p.basis[uidx(i)] < p.basis[uidx(leave)]))) {
           best_ratio = ratio;
           leave = i;
         }
@@ -120,7 +121,7 @@ LpStatus iterate(Prepared& p, int blocked_from, int& iters_left) {
     if (leave < 0) return LpStatus::kUnbounded;
 
     t.pivot(leave, enter);
-    p.basis[leave] = enter;
+    p.basis[uidx(leave)] = enter;
 
     // Degeneracy watchdog: long runs without objective progress switch the
     // pivot rule to Bland's, which terminates finitely.
@@ -142,50 +143,50 @@ LpSolution solve(const LpModel& model, int max_iters) {
   const int m = static_cast<int>(model.rows.size());
 
   // Normalize rows to rhs >= 0 and count extra columns.
-  std::vector<double> rhs(m);
-  std::vector<RowSense> sense(m);
-  std::vector<double> sign(m, 1.0);
+  std::vector<double> rhs(uidx(m));
+  std::vector<RowSense> sense(uidx(m));
+  std::vector<double> sign(uidx(m), 1.0);
   int n_slack = 0, n_artificial = 0;
   for (int i = 0; i < m; ++i) {
-    rhs[i] = model.rows[i].rhs;
-    sense[i] = model.rows[i].sense;
-    if (rhs[i] < 0.0) {
-      sign[i] = -1.0;
-      rhs[i] = -rhs[i];
-      if (sense[i] == RowSense::kLe) sense[i] = RowSense::kGe;
-      else if (sense[i] == RowSense::kGe) sense[i] = RowSense::kLe;
+    rhs[uidx(i)] = model.rows[uidx(i)].rhs;
+    sense[uidx(i)] = model.rows[uidx(i)].sense;
+    if (rhs[uidx(i)] < 0.0) {
+      sign[uidx(i)] = -1.0;
+      rhs[uidx(i)] = -rhs[uidx(i)];
+      if (sense[uidx(i)] == RowSense::kLe) sense[uidx(i)] = RowSense::kGe;
+      else if (sense[uidx(i)] == RowSense::kGe) sense[uidx(i)] = RowSense::kLe;
     }
-    if (sense[i] != RowSense::kEq) ++n_slack;
-    if (sense[i] != RowSense::kLe) ++n_artificial;
+    if (sense[uidx(i)] != RowSense::kEq) ++n_slack;
+    if (sense[uidx(i)] != RowSense::kLe) ++n_artificial;
   }
 
   const int n_total = n + n_slack + n_artificial;
-  Prepared p{Tableau(m + 1, n_total + 1), std::vector<int>(m, -1), n_total,
+  Prepared p{Tableau(m + 1, n_total + 1), std::vector<int>(uidx(m), -1), n_total,
              n + n_slack};
   Tableau& t = p.tab;
 
   int slack_col = n;
   int art_col = n + n_slack;
   for (int i = 0; i < m; ++i) {
-    for (const auto& [var, coeff] : model.rows[i].coeffs) {
+    for (const auto& [var, coeff] : model.rows[uidx(i)].coeffs) {
       TS_REQUIRE(var >= 0 && var < n, "row references unknown variable");
-      t.at(i, var) += sign[i] * coeff;
+      t.at(i, var) += sign[uidx(i)] * coeff;
     }
-    t.at(i, n_total) = rhs[i];
-    switch (sense[i]) {
+    t.at(i, n_total) = rhs[uidx(i)];
+    switch (sense[uidx(i)]) {
       case RowSense::kLe:
         t.at(i, slack_col) = 1.0;
-        p.basis[i] = slack_col++;
+        p.basis[uidx(i)] = slack_col++;
         break;
       case RowSense::kGe:
         t.at(i, slack_col) = -1.0;
         ++slack_col;
         t.at(i, art_col) = 1.0;
-        p.basis[i] = art_col++;
+        p.basis[uidx(i)] = art_col++;
         break;
       case RowSense::kEq:
         t.at(i, art_col) = 1.0;
-        p.basis[i] = art_col++;
+        p.basis[uidx(i)] = art_col++;
         break;
     }
   }
@@ -198,9 +199,9 @@ LpSolution solve(const LpModel& model, int max_iters) {
     // Objective row: reduced costs of "sum of artificials" given the
     // artificial basis: row_obj = -sum of rows whose basic var is artificial.
     for (int i = 0; i < m; ++i) {
-      if (p.basis[i] >= p.first_artificial) {
+      if (p.basis[uidx(i)] >= p.first_artificial) {
         for (int j = 0; j <= n_total; ++j) t.at(m, j) -= t.at(i, j);
-        t.at(m, p.basis[i]) = 0.0;
+        t.at(m, p.basis[uidx(i)]) = 0.0;
       }
     }
     const LpStatus s1 = iterate(p, n_total, iters_left);
@@ -217,7 +218,7 @@ LpSolution solve(const LpModel& model, int max_iters) {
     // Drive any residual basic artificials out (or recognize their row as
     // redundant and leave them at value 0 while blocking re-entry).
     for (int i = 0; i < m; ++i) {
-      if (p.basis[i] < p.first_artificial) continue;
+      if (p.basis[uidx(i)] < p.first_artificial) continue;
       int col = -1;
       for (int j = 0; j < p.first_artificial; ++j) {
         if (std::fabs(t.at(i, j)) > 1e-7) {
@@ -227,18 +228,18 @@ LpSolution solve(const LpModel& model, int max_iters) {
       }
       if (col >= 0) {
         t.pivot(i, col);
-        p.basis[i] = col;
+        p.basis[uidx(i)] = col;
       }
     }
   }
 
   // --- Phase 2: real objective ---
   for (int j = 0; j <= n_total; ++j) t.at(m, j) = 0.0;
-  for (int j = 0; j < n; ++j) t.at(m, j) = model.objective[j];
+  for (int j = 0; j < n; ++j) t.at(m, j) = model.objective[uidx(j)];
   for (int i = 0; i < m; ++i) {
-    const int b = p.basis[i];
-    if (b < n && model.objective[b] != 0.0) {
-      const double c = model.objective[b];
+    const int b = p.basis[uidx(i)];
+    if (b < n && model.objective[uidx(b)] != 0.0) {
+      const double c = model.objective[uidx(b)];
       for (int j = 0; j <= n_total; ++j) t.at(m, j) -= c * t.at(i, j);
       t.at(m, b) = 0.0;
     }
@@ -247,11 +248,11 @@ LpSolution solve(const LpModel& model, int max_iters) {
   sol.status = s2;
   if (s2 != LpStatus::kOptimal) return sol;
 
-  sol.x.assign(n, 0.0);
+  sol.x.assign(uidx(n), 0.0);
   for (int i = 0; i < m; ++i)
-    if (p.basis[i] < n) sol.x[p.basis[i]] = t.at(i, n_total);
+    if (p.basis[uidx(i)] < n) sol.x[uidx(p.basis[uidx(i)])] = t.at(i, n_total);
   sol.objective = 0.0;
-  for (int j = 0; j < n; ++j) sol.objective += model.objective[j] * sol.x[j];
+  for (int j = 0; j < n; ++j) sol.objective += model.objective[uidx(j)] * sol.x[uidx(j)];
   return sol;
 }
 

@@ -1,0 +1,542 @@
+#include "treesched/sim/audit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "treesched/sim/priority.hpp"
+#include "treesched/util/table.hpp"
+
+namespace treesched::sim {
+
+namespace {
+
+constexpr Time kInf = std::numeric_limits<double>::infinity();
+
+std::string fmt(double x) {
+  std::ostringstream os;
+  os << x;
+  return os.str();
+}
+
+/// Aggregate of all bursts of one work item (job, hop, chunk).
+struct ItemAgg {
+  double work = 0.0;
+  Time first = kInf;
+  Time last = -1.0;
+  bool ran() const { return last >= 0.0; }
+};
+
+/// Everything the audit derives about one job's walk down its path.
+struct JobAudit {
+  const std::vector<NodeId>* path = nullptr;  ///< empty => never dispatched
+  std::int32_t chunks = 1;
+  double chunk_size = 0.0;
+  std::vector<std::vector<ItemAgg>> router;   ///< [hop][chunk], hops 0..len-2
+  ItemAgg leaf;
+  std::vector<std::vector<Time>> avail;       ///< availability window starts
+  Time leaf_avail = -1.0;
+
+  std::size_t len() const { return path ? path->size() : 0; }
+  /// Index of v on the path, -1 if absent. Paths are short; linear is fine.
+  int hop_of(NodeId v) const {
+    for (std::size_t i = 0; i < len(); ++i)
+      if ((*path)[i] == v) return static_cast<int>(i);
+    return -1;
+  }
+};
+
+/// Strictly higher priority, in the engine's exact lexicographic order. Key
+/// inputs (instance sizes, releases, burst endpoints) round-trip bit-exactly
+/// through the run log, so no tolerance is needed — and using one would flag
+/// correct near-tie decisions.
+bool higher_priority(const PriorityKey& x, const PriorityKey& y) {
+  return x < y;
+}
+
+}  // namespace
+
+std::string AuditReport::summary() const {
+  std::ostringstream os;
+  if (ok) {
+    os << "audit clean: " << jobs_checked << " job(s), " << segments_checked
+       << " segment(s), all invariants hold";
+  } else {
+    os << violations.size() << " audit violation(s):\n";
+    for (const auto& v : violations) os << "  - " << v << '\n';
+  }
+  for (const auto& n : notes) os << "\n  note: " << n;
+  return os.str();
+}
+
+std::string AuditReport::lemma_table() const {
+  if (lemma_rows.empty()) return {};
+  util::Table t({"job", "size", "lemma2 max ratio", "@node", "interior wait",
+                 "wait bound", "wait ratio"});
+  auto cell = [](double v) {
+    return v < 0.0 ? std::string("-") : util::Table::num(v);
+  };
+  for (const LemmaRow& r : lemma_rows) {
+    t.add(r.job, util::Table::num(r.size), cell(r.lemma2_ratio),
+          r.lemma2_node == kInvalidNode ? std::string("-")
+                                        : std::to_string(r.lemma2_node),
+          cell(r.interior_wait), cell(r.wait_bound), cell(r.wait_ratio));
+  }
+  std::ostringstream os;
+  os << t.str();
+  os << "worst lemma 2 ratio      : " << cell(lemma2_max_ratio) << '\n'
+     << "worst interior-wait ratio: " << cell(wait_max_ratio) << '\n';
+  return os.str();
+}
+
+AuditReport audit_run(const Instance& instance, const RunLog& log,
+                      const AuditOptions& opts) {
+  AuditReport rep;
+  const double tol = opts.tol;
+  const Tree& tree = instance.tree();
+  const std::size_t n_jobs = uidx(instance.job_count());
+  const std::size_t n_nodes = uidx(tree.node_count());
+
+  if (log.paths.size() != n_jobs || log.completion.size() != n_jobs) {
+    rep.fail("run log covers " + std::to_string(log.paths.size()) +
+             " job(s) but the instance has " + std::to_string(n_jobs));
+    return rep;
+  }
+  if (log.speeds.size() != n_nodes) {
+    rep.fail("run log has " + std::to_string(log.speeds.size()) +
+             " speed(s) but the tree has " + std::to_string(n_nodes) +
+             " node(s)");
+    return rep;
+  }
+
+  // --- per-job setup: path sanity, chunking, item aggregates ---------------
+  std::vector<JobAudit> ja(n_jobs);
+  for (std::size_t j = 0; j < n_jobs; ++j) {
+    const Job& job = instance.job(static_cast<JobId>(j));
+    const auto& path = log.paths[j];
+    if (path.empty()) {
+      rep.fail("job " + std::to_string(j) +
+               " has no recorded path (never dispatched)");
+      continue;
+    }
+    bool path_ok = true;
+    for (const NodeId v : path)
+      if (v < 0 || uidx(v) >= n_nodes) {
+        rep.fail("job " + std::to_string(j) + " path names unknown node " +
+                 std::to_string(v));
+        path_ok = false;
+      }
+    if (!path_ok) continue;
+    if (!tree.is_leaf(path.back())) {
+      rep.fail("job " + std::to_string(j) +
+               " path does not end at a machine (node " +
+               std::to_string(path.back()) + ")");
+      continue;
+    }
+    JobAudit& a = ja[j];
+    a.path = &path;
+    if (log.router_chunk_size > 0.0)
+      a.chunks = static_cast<std::int32_t>(
+          std::max(1.0, std::ceil(job.size / log.router_chunk_size)));
+    a.chunk_size = job.size / a.chunks;
+    a.router.assign(path.size() - 1,
+                    std::vector<ItemAgg>(uidx(a.chunks)));
+  }
+
+  // --- per-segment structural checks + aggregation -------------------------
+  std::vector<std::vector<const Segment*>> by_node(n_nodes);
+  // Bursts of job j on its hop h, for offline remaining-work reconstruction.
+  std::map<std::pair<std::size_t, int>, std::vector<const Segment*>> by_item_node;
+  for (const Segment& s : log.segments) {
+    ++rep.segments_checked;
+    if (s.job < 0 || uidx(s.job) >= n_jobs) {
+      rep.fail("segment names unknown job " + std::to_string(s.job));
+      continue;
+    }
+    if (s.node < 0 || uidx(s.node) >= n_nodes) {
+      rep.fail("segment names unknown node " + std::to_string(s.node));
+      continue;
+    }
+    if (s.t1 < s.t0 - tol) {
+      rep.fail("segment of job " + std::to_string(s.job) + " on node " +
+               std::to_string(s.node) + " has negative duration [" +
+               fmt(s.t0) + "," + fmt(s.t1) + ")");
+      continue;
+    }
+    if (std::fabs(s.rate - log.speeds[uidx(s.node)]) > tol)
+      rep.fail("segment rate " + fmt(s.rate) + " != speed " +
+               fmt(log.speeds[uidx(s.node)]) + " of node " +
+               std::to_string(s.node));
+    JobAudit& a = ja[uidx(s.job)];
+    if (!a.path) continue;  // path problem already reported
+    const int hop = a.hop_of(s.node);
+    const int last_hop = static_cast<int>(a.len()) - 1;
+    if (hop < 0) {
+      rep.fail("job " + std::to_string(s.job) + " ran on node " +
+               std::to_string(s.node) +
+               " which is not on its assigned path (immediate-dispatch "
+               "violation)");
+      continue;
+    }
+    const Job& job = instance.job(s.job);
+    if (s.t0 < job.release - tol)
+      rep.fail("job " + std::to_string(s.job) + " ran on node " +
+               std::to_string(s.node) + " at " + fmt(s.t0) +
+               " before its release " + fmt(job.release));
+    ItemAgg* agg = nullptr;
+    if (s.chunk == kLeafChunk) {
+      if (hop != last_hop) {
+        rep.fail("job " + std::to_string(s.job) +
+                 " recorded machine work on interior node " +
+                 std::to_string(s.node));
+        continue;
+      }
+      agg = &a.leaf;
+    } else {
+      if (hop == last_hop) {
+        rep.fail("job " + std::to_string(s.job) + " recorded router chunk " +
+                 std::to_string(s.chunk) + " on its machine node " +
+                 std::to_string(s.node));
+        continue;
+      }
+      if (s.chunk < 0 || s.chunk >= a.chunks) {
+        rep.fail("job " + std::to_string(s.job) + " chunk " +
+                 std::to_string(s.chunk) + " out of range (job has " +
+                 std::to_string(a.chunks) + ")");
+        continue;
+      }
+      agg = &a.router[uidx(hop)][uidx(s.chunk)];
+    }
+    agg->work += s.work();
+    agg->first = std::min(agg->first, s.t0);
+    agg->last = std::max(agg->last, s.t1);
+    by_node[uidx(s.node)].push_back(&s);
+    by_item_node[{uidx(s.job), hop}].push_back(&s);
+  }
+
+  // --- unit capacity: per-node non-overlap ---------------------------------
+  for (std::size_t v = 0; v < n_nodes; ++v) {
+    auto& list = by_node[v];
+    std::sort(list.begin(), list.end(),
+              [](const Segment* a, const Segment* b) { return a->t0 < b->t0; });
+    for (std::size_t i = 1; i < list.size(); ++i) {
+      const Segment* p = list[i - 1];
+      const Segment* q = list[i];
+      if (q->t0 < p->t1 - tol)
+        rep.fail("unit capacity violated on node " + std::to_string(v) +
+                 ": job " + std::to_string(p->job) + " [" + fmt(p->t0) + "," +
+                 fmt(p->t1) + ") overlaps job " + std::to_string(q->job) +
+                 " [" + fmt(q->t0) + "," + fmt(q->t1) + ")");
+    }
+  }
+
+  // --- per-job: conservation, precedence, completion, availability ---------
+  for (std::size_t j = 0; j < n_jobs; ++j) {
+    JobAudit& a = ja[j];
+    if (!a.path) continue;
+    ++rep.jobs_checked;
+    const Job& job = instance.job(static_cast<JobId>(j));
+    const std::size_t len = a.len();
+    const NodeId leaf = a.path->back();
+    const double leaf_work = instance.processing_time(job.id, leaf);
+
+    // Work conservation per item.
+    for (std::size_t h = 0; h + 1 < len; ++h)
+      for (std::int32_t c = 0; c < a.chunks; ++c) {
+        const ItemAgg& agg = a.router[h][uidx(c)];
+        if (!agg.ran()) {
+          rep.fail("job " + std::to_string(j) + " chunk " + std::to_string(c) +
+                   " never ran on node " + std::to_string((*a.path)[h]));
+        } else if (std::fabs(agg.work - a.chunk_size) >
+                   tol * std::max(1.0, a.chunk_size)) {
+          rep.fail("job " + std::to_string(j) + " chunk " + std::to_string(c) +
+                   " on node " + std::to_string((*a.path)[h]) + ": work " +
+                   fmt(agg.work) + " != " + fmt(a.chunk_size));
+        }
+      }
+    if (!a.leaf.ran()) {
+      rep.fail("job " + std::to_string(j) + " never ran on its machine " +
+               std::to_string(leaf));
+    } else if (std::fabs(a.leaf.work - leaf_work) >
+               tol * std::max(1.0, leaf_work)) {
+      rep.fail("job " + std::to_string(j) + " machine work " +
+               fmt(a.leaf.work) + " != " + fmt(leaf_work));
+    }
+
+    // Store-and-forward precedence, chunk by chunk down the path.
+    for (std::size_t h = 1; h + 1 < len; ++h)
+      for (std::int32_t c = 0; c < a.chunks; ++c) {
+        const ItemAgg& up = a.router[h - 1][uidx(c)];
+        const ItemAgg& down = a.router[h][uidx(c)];
+        if (!up.ran() || !down.ran()) continue;  // reported above
+        if (down.first < up.last - tol)
+          rep.fail("precedence violated: job " + std::to_string(j) +
+                   " chunk " + std::to_string(c) + " started on node " +
+                   std::to_string((*a.path)[h]) + " at " + fmt(down.first) +
+                   " before finishing on parent node " +
+                   std::to_string((*a.path)[h - 1]) + " at " + fmt(up.last));
+      }
+    Time all_data_arrived = -1.0;
+    for (std::int32_t c = 0; len >= 2 && c < a.chunks; ++c) {
+      const ItemAgg& up = a.router[len - 2][uidx(c)];
+      if (up.ran()) all_data_arrived = std::max(all_data_arrived, up.last);
+    }
+    if (a.leaf.ran() && a.leaf.first < all_data_arrived - tol)
+      rep.fail("precedence violated: job " + std::to_string(j) +
+               " machine work on node " + std::to_string(leaf) +
+               " started at " + fmt(a.leaf.first) + " before data arrival " +
+               fmt(all_data_arrived));
+
+    // Claimed completion vs the log.
+    const Time claimed = log.completion[j];
+    if (claimed < 0.0) {
+      rep.fail("job " + std::to_string(j) + " never completed");
+    } else if (a.leaf.ran() && std::fabs(a.leaf.last - claimed) > tol) {
+      rep.fail("job " + std::to_string(j) + " claimed completion " +
+               fmt(claimed) + " != last machine burst end " + fmt(a.leaf.last));
+    }
+
+    // Availability windows (head-chunk rule + store-and-forward arrivals).
+    a.avail.assign(len > 0 ? len - 1 : 0,
+                   std::vector<Time>(uidx(a.chunks), -1.0));
+    for (std::size_t h = 0; h + 1 < len; ++h)
+      for (std::int32_t c = 0; c < a.chunks; ++c) {
+        Time t = (h == 0) ? job.release : -1.0;
+        if (h > 0) {
+          const ItemAgg& up = a.router[h - 1][uidx(c)];
+          if (!up.ran()) continue;  // unknown; dependent checks skip it
+          t = up.last;
+        }
+        if (c > 0) {
+          const ItemAgg& prev = a.router[h][uidx(c - 1)];
+          if (!prev.ran()) continue;
+          t = std::max(t, prev.last);
+        }
+        a.avail[h][uidx(c)] = t;
+      }
+    a.leaf_avail = (len == 1) ? job.release : all_data_arrived;
+  }
+
+  // --- priority consistency ------------------------------------------------
+  if (log.node_policy == NodePolicy::kSrpt) {
+    rep.notes.push_back(
+        "priority consistency not audited for SRPT (keys depend on "
+        "instantaneous remaining work)");
+  } else {
+    // All items per node with their key and availability window.
+    struct NodeItem {
+      PriorityKey key;
+      Time avail = -1.0;
+      Time finish = -1.0;
+    };
+    std::vector<std::vector<NodeItem>> items(n_nodes);
+    auto make_key = [&](std::size_t j, NodeId v, std::int32_t chunk,
+                        Time avail) {
+      PriorityKey k;
+      k.job = static_cast<JobId>(j);
+      k.chunk = chunk;
+      const Job& job = instance.job(k.job);
+      switch (log.node_policy) {
+        case NodePolicy::kSjf:
+          k.a = instance.processing_time(k.job, v);
+          k.b = job.release;
+          break;
+        case NodePolicy::kFifo:
+          k.a = avail;
+          break;
+        case NodePolicy::kLcfs:
+          k.a = -avail;
+          break;
+        case NodePolicy::kHdf:
+          k.a = instance.processing_time(k.job, v) / job.weight;
+          k.b = job.release;
+          break;
+        case NodePolicy::kSrpt:
+          break;  // unreachable
+      }
+      return k;
+    };
+    for (std::size_t j = 0; j < n_jobs; ++j) {
+      const JobAudit& a = ja[j];
+      if (!a.path) continue;
+      const std::size_t len = a.len();
+      for (std::size_t h = 0; h + 1 < len; ++h)
+        for (std::int32_t c = 0; c < a.chunks; ++c) {
+          const ItemAgg& agg = a.router[h][uidx(c)];
+          const Time avail = a.avail[h][uidx(c)];
+          if (!agg.ran() || avail < 0.0) continue;
+          items[uidx((*a.path)[h])].push_back(
+              {make_key(j, (*a.path)[h], c, avail), avail, agg.last});
+        }
+      if (a.leaf.ran() && a.leaf_avail >= 0.0)
+        items[uidx(a.path->back())].push_back(
+            {make_key(j, a.path->back(), kLeafChunk, a.leaf_avail),
+             a.leaf_avail, a.leaf.last});
+    }
+    const char* policy = node_policy_name(log.node_policy);
+    std::set<std::tuple<JobId, std::int32_t, JobId, std::int32_t, NodeId>>
+        reported;
+    for (std::size_t v = 0; v < n_nodes; ++v) {
+      if (items[v].empty()) continue;
+      for (const Segment* s : by_node[v]) {
+        // Identify the running item's key.
+        const NodeItem* running = nullptr;
+        for (const NodeItem& it : items[v])
+          if (it.key.job == s->job && it.key.chunk == s->chunk) running = &it;
+        if (!running) continue;  // structurally bad segment, reported above
+        for (const NodeItem& other : items[v]) {
+          if (other.key.job == s->job) continue;
+          if (!higher_priority(other.key, running->key)) continue;
+          const Time lo = std::max(s->t0, other.avail);
+          const Time hi = std::min(s->t1, other.finish);
+          if (hi - lo <= tol) continue;
+          if (!reported
+                   .insert({s->job, s->chunk, other.key.job, other.key.chunk,
+                            static_cast<NodeId>(v)})
+                   .second)
+            continue;
+          rep.fail(std::string(policy) + " priority violated on node " +
+                   std::to_string(v) + ": ran job " + std::to_string(s->job) +
+                   " (key " + fmt(running->key.a) + ") during [" + fmt(lo) +
+                   "," + fmt(hi) + ") while job " +
+                   std::to_string(other.key.job) + " (key " +
+                   fmt(other.key.a) + ", available since " + fmt(other.avail) +
+                   ") waited");
+        }
+      }
+    }
+  }
+
+  // --- lemma margins (optional) --------------------------------------------
+  if (opts.eps > 0.0) {
+    const double eps = opts.eps;
+    const bool leaf_identical = instance.model() == EndpointModel::kIdentical;
+
+    // remaining work of job i on its hop h at time t, from the burst log.
+    auto remaining_at = [&](std::size_t i, int h, double required, Time t) {
+      double done = 0.0;
+      auto it = by_item_node.find({i, h});
+      if (it != by_item_node.end())
+        for (const Segment* s : it->second) {
+          if (s->t1 <= t)
+            done += s->work();
+          else if (s->t0 < t)
+            done += (t - s->t0) * s->rate;
+        }
+      return std::max(required - done, 0.0);
+    };
+    // Is some work item of job i available on its hop h at time t?
+    auto available_at = [&](const JobAudit& a, std::size_t h, Time t) {
+      const std::size_t len = a.len();
+      if (h + 1 == len)
+        return a.leaf_avail >= 0.0 && a.leaf_avail <= t + 1e-12 &&
+               a.leaf.ran() && a.leaf.last > t + 1e-12;
+      for (std::int32_t c = 0; c < a.chunks; ++c) {
+        const Time av = a.avail[h][uidx(c)];
+        const ItemAgg& agg = a.router[h][uidx(c)];
+        if (av >= 0.0 && av <= t + 1e-12 && agg.ran() && agg.last > t + 1e-12)
+          return true;
+      }
+      return false;
+    };
+
+    for (std::size_t j = 0; j < n_jobs; ++j) {
+      const JobAudit& a = ja[j];
+      if (!a.path) continue;
+      const Job& job = instance.job(static_cast<JobId>(j));
+      LemmaRow row;
+      row.job = job.id;
+      row.size = job.size;
+      const std::size_t len = a.len();
+
+      // Lemma 2: at j's arrival on each eligible interior node v, the
+      // available volume with priority >= j's is at most (2/eps) p_j.
+      for (std::size_t h = 0; h < len; ++h) {
+        const NodeId v = (*a.path)[h];
+        if (tree.is_root(v) || tree.parent(v) == tree.root()) continue;
+        if (tree.is_leaf(v) && !leaf_identical) continue;
+        Time t;
+        if (h + 1 == len) {
+          t = a.leaf_avail;
+        } else {
+          t = a.avail[h].empty() ? -1.0 : a.avail[h][0];
+        }
+        if (t < 0.0) continue;
+        const double p_j = instance.processing_time(job.id, v);
+        const Time r_j = job.release;
+        double vol = 0.0;
+        for (std::size_t i = 0; i < n_jobs; ++i) {
+          const JobAudit& ai = ja[i];
+          if (!ai.path) continue;
+          const int hi = ai.hop_of(v);
+          if (hi < 0) continue;
+          if (i != j && !available_at(ai, uidx(hi), t)) continue;
+          const double p_i = instance.processing_time(static_cast<JobId>(i), v);
+          const Time r_i = instance.job(static_cast<JobId>(i)).release;
+          const bool in_s =
+              (i == j) || p_i < p_j ||
+              (p_i == p_j && (r_i < r_j || (r_i == r_j && i < j)));
+          if (!in_s) continue;
+          const double required =
+              (uidx(hi) + 1 == ai.len())
+                  ? instance.processing_time(static_cast<JobId>(i),
+                                             ai.path->back())
+                  : instance.job(static_cast<JobId>(i)).size;
+          vol += remaining_at(i, hi, required, t);
+        }
+        const double bound = 2.0 / eps * p_j;
+        const double ratio = vol / bound;
+        if (ratio > row.lemma2_ratio) {
+          row.lemma2_ratio = ratio;
+          row.lemma2_node = v;
+        }
+      }
+      if (row.lemma2_ratio >= 0.0)
+        rep.lemma2_max_ratio = std::max(rep.lemma2_max_ratio, row.lemma2_ratio);
+
+      // Lemma 1/3: interior wait after leaving R(v)'s node is at most
+      // (6/eps^2) p_j d_v over the identical portion of the path.
+      const int last_idx =
+          static_cast<int>(len) - (leaf_identical ? 1 : 2);
+      if (last_idx >= 1) {
+        Time left_first = -1.0;
+        for (std::int32_t c = 0; c < a.chunks; ++c)
+          if (a.router[0][uidx(c)].ran())
+            left_first = std::max(left_first, a.router[0][uidx(c)].last);
+        Time cleared = -1.0;
+        if (uidx(last_idx) + 1 == len) {
+          cleared = a.leaf.ran() ? a.leaf.last : -1.0;
+        } else {
+          for (std::int32_t c = 0; c < a.chunks; ++c)
+            if (a.router[uidx(last_idx)][uidx(c)].ran())
+              cleared =
+                  std::max(cleared, a.router[uidx(last_idx)][uidx(c)].last);
+        }
+        if (left_first >= 0.0 && cleared >= 0.0) {
+          const NodeId v_e = (*a.path)[uidx(last_idx)];
+          row.interior_wait = cleared - left_first;
+          row.wait_bound = 6.0 / (eps * eps) * job.size * tree.d(v_e);
+          row.wait_ratio = row.interior_wait / row.wait_bound;
+          rep.wait_max_ratio = std::max(rep.wait_max_ratio, row.wait_ratio);
+          if (opts.strict_lemmas && row.wait_ratio > 1.0 + 1e-9)
+            rep.fail("interior-wait bound violated for job " +
+                     std::to_string(j) + ": wait " + fmt(row.interior_wait) +
+                     " > bound " + fmt(row.wait_bound));
+        }
+      }
+      if (opts.strict_lemmas && row.lemma2_ratio > 1.0 + 1e-9)
+        rep.fail("lemma 2 volume bound violated for job " + std::to_string(j) +
+                 " on node " + std::to_string(row.lemma2_node) + ": ratio " +
+                 fmt(row.lemma2_ratio));
+      rep.lemma_rows.push_back(row);
+    }
+  }
+
+  return rep;
+}
+
+}  // namespace treesched::sim

@@ -1,0 +1,75 @@
+// Offline invariant analyzer for recorded runs.
+//
+// Re-derives every model invariant from (instance, run log) alone, trusting
+// neither Engine state nor Metrics. Beyond the feasibility checks shared with
+// validator.hpp, the audit reconstructs per-work-item availability windows
+// from the burst log and checks the *scheduling discipline* itself:
+//
+//   - store-and-forward precedence (chunk c starts on a node no earlier than
+//     it finished on the parent; leaf work waits for all data);
+//   - unit capacity: each node runs at most one work item at any instant;
+//   - priority consistency: a node never runs an item while a strictly
+//     higher-priority item is available on it (SJF/FIFO/LCFS/HDF — SRPT keys
+//     depend on instantaneous remaining work and are skipped);
+//   - assignment stability (immediate dispatch): all of a job's work stays on
+//     the single path fixed at admission, with machine work only at its end;
+//   - optionally, the paper's lemma bounds with per-job worst-case margins:
+//     Lemma 2's (2/eps)·p_j available-volume bound at arrival on each
+//     interior node, and the Lemma 1/3 interior wait bound (6/eps²)·p_j·d_v.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "treesched/core/instance.hpp"
+#include "treesched/sim/run_log.hpp"
+
+namespace treesched::sim {
+
+struct AuditOptions {
+  /// Speed-augmentation epsilon. > 0 computes the lemma margin table.
+  double eps = 0.0;
+  /// Treat a lemma ratio > 1 as a violation (off by default: the lemmas
+  /// presuppose class-rounded sizes and (1+eps)-speeds, which an arbitrary
+  /// run log need not satisfy).
+  bool strict_lemmas = false;
+  double tol = 1e-6;
+};
+
+/// Worst-case lemma margins for one job. Ratios are measured/bound; <= 1
+/// means the bound held. -1 marks "not applicable" (no eligible node).
+struct LemmaRow {
+  JobId job = kInvalidJob;
+  double size = 0.0;
+  double lemma2_ratio = -1.0;   ///< max over eligible nodes
+  NodeId lemma2_node = kInvalidNode;
+  double interior_wait = -1.0;
+  double wait_bound = -1.0;
+  double wait_ratio = -1.0;
+};
+
+struct AuditReport {
+  bool ok = true;
+  std::vector<std::string> violations;
+  std::vector<std::string> notes;   ///< non-fatal observations (skipped checks)
+  std::size_t jobs_checked = 0;
+  std::size_t segments_checked = 0;
+  std::vector<LemmaRow> lemma_rows;
+  double lemma2_max_ratio = -1.0;
+  double wait_max_ratio = -1.0;
+
+  void fail(std::string msg) {
+    ok = false;
+    if (violations.size() < 100) violations.push_back(std::move(msg));
+  }
+  /// One-paragraph verdict plus every violation and note.
+  std::string summary() const;
+  /// Per-job lemma margin table (empty string when eps was not set).
+  std::string lemma_table() const;
+};
+
+/// Audits a recorded run against the instance it claims to schedule.
+AuditReport audit_run(const Instance& instance, const RunLog& log,
+                      const AuditOptions& opts = {});
+
+}  // namespace treesched::sim

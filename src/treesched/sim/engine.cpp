@@ -21,9 +21,9 @@ Engine::Engine(const Instance& instance, SpeedProfile speeds, EngineConfig cfg)
                  static_cast<std::size_t>(instance.tree().node_count()),
              "speed profile does not match the tree");
   TS_REQUIRE(cfg_.router_chunk_size >= 0.0, "chunk size must be >= 0");
-  nodes_.resize(instance.tree().node_count());
-  jobs_.resize(instance.job_count());
-  metrics_.reset(instance.job_count());
+  nodes_.resize(uidx(instance.tree().node_count()));
+  jobs_.resize(uidx(instance.job_count()));
+  metrics_.reset(uidx(instance.job_count()));
 }
 
 // ---------------------------------------------------------------------------
@@ -44,26 +44,26 @@ bool Engine::is_leaf_index(const JobState& js, int idx) const {
 
 double Engine::stored_remaining_item(const JobState& js, int idx) const {
   if (is_leaf_index(js, idx)) return js.leaf_rem;
-  TS_CHECK(js.chunks_done[idx] < js.chunks, "no pending chunk on this node");
-  return js.head_rem[idx];
+  TS_CHECK(js.chunks_done[uidx(idx)] < js.chunks, "no pending chunk on this node");
+  return js.head_rem[uidx(idx)];
 }
 
 double Engine::live_remaining_item(JobId j, int idx) const {
-  const JobState& js = jobs_[j];
-  const NodeId v = (*js.path)[idx];
+  const JobState& js = jobs_[uidx(j)];
+  const NodeId v = (*js.path)[uidx(idx)];
   double rem = stored_remaining_item(js, idx);
-  const NodeState& ns = nodes_[v];
+  const NodeState& ns = nodes_[uidx(v)];
   if (ns.has_running && ns.running.job == j)
     rem -= (now_ - ns.burst_start) * speeds_.speed(v);
   return std::max(rem, 0.0);
 }
 
 PriorityKey Engine::make_key(JobId j, int idx, Time avail_time) const {
-  const JobState& js = jobs_[j];
-  const NodeId v = (*js.path)[idx];
+  const JobState& js = jobs_[uidx(j)];
+  const NodeId v = (*js.path)[uidx(idx)];
   PriorityKey k;
   k.job = j;
-  k.chunk = is_leaf_index(js, idx) ? kLeafChunk : js.chunks_done[idx];
+  k.chunk = is_leaf_index(js, idx) ? kLeafChunk : js.chunks_done[uidx(idx)];
   const Time release = inst_->job(j).release;
   switch (cfg_.node_policy) {
     case NodePolicy::kSjf:
@@ -91,32 +91,32 @@ PriorityKey Engine::make_key(JobId j, int idx, Time avail_time) const {
 }
 
 void Engine::insert_avail(NodeId v, JobId j, int idx, Time t) {
-  JobState& js = jobs_[j];
-  TS_CHECK(!js.in_avail[idx], "work item already available");
+  JobState& js = jobs_[uidx(j)];
+  TS_CHECK(!js.in_avail[uidx(idx)], "work item already available");
   const PriorityKey k = make_key(j, idx, t);
-  const bool inserted = nodes_[v].avail.insert(k).second;
+  const bool inserted = nodes_[uidx(v)].avail.insert(k).second;
   TS_CHECK(inserted, "duplicate priority key");
-  js.in_avail[idx] = true;
-  js.avail_key[idx] = k;
+  js.in_avail[uidx(idx)] = true;
+  js.avail_key[uidx(idx)] = k;
 }
 
 void Engine::erase_avail(NodeId v, JobId j, int idx) {
-  JobState& js = jobs_[j];
-  TS_CHECK(js.in_avail[idx], "work item not available");
-  const std::size_t erased = nodes_[v].avail.erase(js.avail_key[idx]);
+  JobState& js = jobs_[uidx(j)];
+  TS_CHECK(js.in_avail[uidx(idx)], "work item not available");
+  const std::size_t erased = nodes_[uidx(v)].avail.erase(js.avail_key[uidx(idx)]);
   TS_CHECK(erased == 1, "avail key missing from node set");
-  js.in_avail[idx] = false;
+  js.in_avail[uidx(idx)] = false;
 }
 
 void Engine::accumulate_frac_to(JobId j, Time t) {
-  JobState& js = jobs_[j];
+  JobState& js = jobs_[uidx(j)];
   if (t <= js.frac_touch) return;
   metrics_.job(j).fractional_area += (t - js.frac_touch) * js.frac;
   js.frac_touch = t;
 }
 
 void Engine::pause(NodeId v, Time t) {
-  NodeState& ns = nodes_[v];
+  NodeState& ns = nodes_[uidx(v)];
   TS_CHECK(t >= ns.burst_start - util::kEps, "pause moving backwards");
   if (!ns.has_running) {
     ns.burst_start = t;
@@ -129,7 +129,7 @@ void Engine::pause(NodeId v, Time t) {
     return;
   }
   const JobId j = ns.running.job;
-  JobState& js = jobs_[j];
+  JobState& js = jobs_[uidx(j)];
   const int idx = path_index(js, v);
   const double stored = stored_remaining_item(js, idx);
   TS_CHECK(w <= stored + kWorkTol * std::max(1.0, stored),
@@ -152,7 +152,7 @@ void Engine::pause(NodeId v, Time t) {
     js.frac_touch = t;
     js.leaf_rem = rem;
   } else {
-    js.head_rem[idx] = rem;
+    js.head_rem[uidx(idx)] = rem;
   }
 
   if (cfg_.node_policy == NodePolicy::kSrpt) {
@@ -162,15 +162,15 @@ void Engine::pause(NodeId v, Time t) {
     k.a = rem;
     const bool inserted = ns.avail.insert(k).second;
     TS_CHECK(inserted, "SRPT key refresh collision");
-    js.in_avail[idx] = true;
-    js.avail_key[idx] = k;
+    js.in_avail[uidx(idx)] = true;
+    js.avail_key[uidx(idx)] = k;
     ns.running = k;
   }
   ns.burst_start = t;
 }
 
 void Engine::resched(NodeId v, Time t) {
-  NodeState& ns = nodes_[v];
+  NodeState& ns = nodes_[uidx(v)];
   if (ns.has_running && !ns.avail.empty() && ns.running == *ns.avail.begin())
     return;  // the pending completion event is still accurate
   ++ns.version;
@@ -181,7 +181,7 @@ void Engine::resched(NodeId v, Time t) {
   ns.running = *ns.avail.begin();
   ns.has_running = true;
   ns.burst_start = t;
-  const JobState& js = jobs_[ns.running.job];
+  const JobState& js = jobs_[uidx(ns.running.job)];
   const int idx = path_index(js, v);
   const double rem = stored_remaining_item(js, idx);
   events_.push({t + rem / speeds_.speed(v), seq_++, v, ns.version});
@@ -189,11 +189,11 @@ void Engine::resched(NodeId v, Time t) {
 
 void Engine::handle_completion(NodeId v, Time t) {
   pause(v, t);
-  NodeState& ns = nodes_[v];
+  NodeState& ns = nodes_[uidx(v)];
   TS_CHECK(ns.has_running, "completion event without a running item");
   const PriorityKey item = ns.running;
   const JobId j = item.job;
-  JobState& js = jobs_[j];
+  JobState& js = jobs_[uidx(j)];
   const int idx = path_index(js, v);
   const double rem = stored_remaining_item(js, idx);
   TS_CHECK(rem <= kWorkTol * std::max(1.0, js.chunk_size),
@@ -210,25 +210,25 @@ void Engine::handle_completion(NodeId v, Time t) {
     ns.inflight.erase(j);
     JobRecord& rec = metrics_.job(j);
     rec.completion = t;
-    rec.node_completion[idx] = t;
+    rec.node_completion[uidx(idx)] = t;
     if (observer_) observer_->on_job_completed(*this, j);
   } else {
-    const std::int32_t c = js.chunks_done[idx];
+    const std::int32_t c = js.chunks_done[uidx(idx)];
     TS_CHECK(c == item.chunk, "completed chunk is not the head");
-    js.chunks_done[idx] = c + 1;
-    js.head_rem[idx] = js.chunk_size;
-    const bool node_finished = (js.chunks_done[idx] == js.chunks);
+    js.chunks_done[uidx(idx)] = c + 1;
+    js.head_rem[uidx(idx)] = js.chunk_size;
+    const bool node_finished = (js.chunks_done[uidx(idx)] == js.chunks);
 
     // Next head chunk may already be deliverable on this node.
     if (!node_finished &&
-        (idx == 0 || js.chunks_done[idx] < js.chunks_done[idx - 1]))
+        (idx == 0 || js.chunks_done[uidx(idx)] < js.chunks_done[uidx(idx - 1)]))
       insert_avail(v, j, idx, t);
 
     // Deliver chunk c downstream.
-    const NodeId next = (*js.path)[idx + 1];
+    const NodeId next = (*js.path)[uidx(idx + 1)];
     const bool next_is_leaf = is_leaf_index(js, idx + 1);
     if (!next_is_leaf) {
-      if (js.chunks_done[idx + 1] == c) {
+      if (js.chunks_done[uidx(idx + 1)] == c) {
         // The child was waiting for exactly this chunk.
         pause(next, t);
         insert_avail(next, j, idx + 1, t);
@@ -243,7 +243,7 @@ void Engine::handle_completion(NodeId v, Time t) {
 
     if (node_finished) {
       ns.inflight.erase(j);
-      metrics_.job(j).node_completion[idx] = t;
+      metrics_.job(j).node_completion[uidx(idx)] = t;
     }
   }
   resched(v, t);
@@ -258,7 +258,7 @@ void Engine::advance_to(Time t) {
   while (!events_.empty() && events_.top().t <= t) {
     const Event ev = events_.top();
     events_.pop();
-    if (ev.version != nodes_[ev.node].version) continue;  // stale
+    if (ev.version != nodes_[uidx(ev.node)].version) continue;  // stale
     now_ = std::max(now_, ev.t);
     handle_completion(ev.node, now_);
     if (observer_) observer_->on_event(*this, now_);
@@ -268,7 +268,7 @@ void Engine::advance_to(Time t) {
 
 void Engine::admit(JobId j, NodeId leaf) {
   TS_REQUIRE(j >= 0 && j < inst_->job_count(), "job id out of range");
-  TS_REQUIRE(!jobs_[j].admitted, "job already admitted");
+  TS_REQUIRE(!jobs_[uidx(j)].admitted, "job already admitted");
   TS_REQUIRE(tree().is_leaf(leaf), "assignment target must be a machine");
   TS_CHECK(tree().path_to(leaf).size() >= 2,
            "leaf adjacent to the root slipped through validation");
@@ -277,15 +277,15 @@ void Engine::admit(JobId j, NodeId leaf) {
 
 void Engine::admit_via_path(JobId j, std::vector<NodeId> path) {
   TS_REQUIRE(j >= 0 && j < inst_->job_count(), "job id out of range");
-  TS_REQUIRE(!jobs_[j].admitted, "job already admitted");
+  TS_REQUIRE(!jobs_[uidx(j)].admitted, "job already admitted");
   TS_REQUIRE(!path.empty(), "processing path must be non-empty");
   TS_REQUIRE(tree().is_leaf(path.back()), "path must end at a machine");
-  std::vector<bool> seen(tree().node_count(), false);
+  std::vector<bool> seen(uidx(tree().node_count()), false);
   for (std::size_t i = 0; i < path.size(); ++i) {
     const NodeId v = path[i];
     TS_REQUIRE(v >= 0 && v < tree().node_count(), "path node out of range");
-    TS_REQUIRE(!seen[v], "path revisits a node");
-    seen[v] = true;
+    TS_REQUIRE(!seen[uidx(v)], "path revisits a node");
+    seen[uidx(v)] = true;
     TS_REQUIRE(speeds_.speed(v) > 0.0,
                "path node has no processing speed (transit root?)");
     if (i > 0) {
@@ -294,7 +294,7 @@ void Engine::admit_via_path(JobId j, std::vector<NodeId> path) {
       TS_REQUIRE(adjacent, "path nodes must be adjacent in the tree");
     }
   }
-  JobState& js = jobs_[j];
+  JobState& js = jobs_[uidx(j)];
   js.owned_path = std::move(path);
   admit_on_path(j, &js.owned_path);
 }
@@ -305,7 +305,7 @@ void Engine::admit_on_path(JobId j, const std::vector<NodeId>* path) {
              "cannot admit a job after its release time has passed");
   advance_to(job.release);
 
-  JobState& js = jobs_[j];
+  JobState& js = jobs_[uidx(j)];
   js.admitted = true;
   js.path = path;
   js.leaf = path->back();
@@ -326,7 +326,7 @@ void Engine::admit_on_path(JobId j, const std::vector<NodeId>* path) {
   js.frac = 1.0;
   js.frac_touch = now_;
 
-  for (NodeId v : *js.path) nodes_[v].inflight.insert(j);
+  for (NodeId v : *js.path) nodes_[uidx(v)].inflight.insert(j);
 
   JobRecord& rec = metrics_.job(j);
   rec.release = job.release;
@@ -357,7 +357,7 @@ void Engine::run_with_assignment(const std::vector<NodeId>& leaf_of_job) {
              "assignment vector must cover every job");
   for (const Job& job : inst_->jobs()) {
     advance_to(job.release);
-    admit(job.id, leaf_of_job[job.id]);
+    admit(job.id, leaf_of_job[uidx(job.id)]);
   }
   run_to_completion();
 }
@@ -368,7 +368,7 @@ void Engine::run_to_completion() {
   while (!events_.empty()) {
     const Event ev = events_.top();
     events_.pop();
-    if (ev.version != nodes_[ev.node].version) continue;
+    if (ev.version != nodes_[uidx(ev.node)].version) continue;
     now_ = std::max(now_, ev.t);
     handle_completion(ev.node, now_);
     if (observer_) observer_->on_event(*this, now_);
@@ -385,7 +385,7 @@ double Engine::size_on(JobId j, NodeId v) const {
 }
 
 double Engine::remaining_on(JobId j, NodeId v) const {
-  const JobState& js = jobs_[j];
+  const JobState& js = jobs_[uidx(j)];
   TS_REQUIRE(js.admitted, "remaining_on: job not admitted");
   const int idx = path_index(js, v);
   double total;
@@ -393,43 +393,43 @@ double Engine::remaining_on(JobId j, NodeId v) const {
     if (js.done) return 0.0;
     total = js.leaf_rem;
   } else {
-    if (js.chunks_done[idx] == js.chunks) return 0.0;
-    total = static_cast<double>(js.chunks - js.chunks_done[idx] - 1) *
+    if (js.chunks_done[uidx(idx)] == js.chunks) return 0.0;
+    total = static_cast<double>(js.chunks - js.chunks_done[uidx(idx)] - 1) *
                 js.chunk_size +
-            js.head_rem[idx];
+            js.head_rem[uidx(idx)];
   }
-  const NodeState& ns = nodes_[v];
+  const NodeState& ns = nodes_[uidx(v)];
   if (ns.has_running && ns.running.job == j)
     total -= (now_ - ns.burst_start) * speeds_.speed(v);
   return std::max(total, 0.0);
 }
 
 bool Engine::available_on(JobId j, NodeId v) const {
-  const JobState& js = jobs_[j];
+  const JobState& js = jobs_[uidx(j)];
   TS_REQUIRE(js.admitted, "available_on: job not admitted");
   const int idx = path_index(js, v);
-  return js.in_avail[idx];
+  return js.in_avail[uidx(idx)];
 }
 
 int Engine::current_path_index(JobId j) const {
-  const JobState& js = jobs_[j];
+  const JobState& js = jobs_[uidx(j)];
   TS_REQUIRE(js.admitted, "current_path_index: job not admitted");
   const int len = static_cast<int>(js.path->size());
   if (js.done) return len;
   for (int i = 0; i < len - 1; ++i)
-    if (js.chunks_done[i] < js.chunks) return i;
+    if (js.chunks_done[uidx(i)] < js.chunks) return i;
   return len - 1;
 }
 
 std::vector<JobId> Engine::queue_at(NodeId v) const {
-  return {nodes_[v].inflight.begin(), nodes_[v].inflight.end()};
+  return {nodes_[uidx(v)].inflight.begin(), nodes_[uidx(v)].inflight.end()};
 }
 
 double Engine::higher_priority_remaining(NodeId v, double cand_size,
                                          Time cand_release,
                                          JobId cand_id) const {
   double sum = 0.0;
-  for (const JobId i : nodes_[v].inflight) {
+  for (const JobId i : nodes_[uidx(v)].inflight) {
     if (i == cand_id) continue;
     const double pi = size_on(i, v);
     const Time ri = inst_->job(i).release;
@@ -444,14 +444,14 @@ double Engine::higher_priority_remaining(NodeId v, double cand_size,
 
 int Engine::count_larger(NodeId v, double size) const {
   int count = 0;
-  for (const JobId i : nodes_[v].inflight)
+  for (const JobId i : nodes_[uidx(v)].inflight)
     if (size_on(i, v) > size) ++count;
   return count;
 }
 
 double Engine::larger_residual_fraction(NodeId v, double size) const {
   double sum = 0.0;
-  for (const JobId i : nodes_[v].inflight) {
+  for (const JobId i : nodes_[uidx(v)].inflight) {
     const double pi = size_on(i, v);
     if (pi > size) sum += remaining_on(i, v) / pi;
   }
@@ -461,7 +461,7 @@ double Engine::larger_residual_fraction(NodeId v, double size) const {
 double Engine::alpha_leaf(NodeId leaf) const {
   TS_REQUIRE(tree().is_leaf(leaf), "alpha_leaf on non-leaf");
   double sum = 0.0;
-  for (const JobId i : nodes_[leaf].inflight)
+  for (const JobId i : nodes_[uidx(leaf)].inflight)
     sum += remaining_on(i, leaf) / size_on(i, leaf);
   return sum;
 }
@@ -478,7 +478,7 @@ double Engine::alpha_root_child(NodeId root_child) const {
 double Engine::total_remaining_work() const {
   double total = 0.0;
   for (JobId j = 0; j < static_cast<JobId>(jobs_.size()); ++j) {
-    const JobState& js = jobs_[j];
+    const JobState& js = jobs_[uidx(j)];
     if (!js.admitted || js.done) continue;
     for (const NodeId v : *js.path) total += remaining_on(j, v);
   }

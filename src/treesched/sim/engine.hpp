@@ -112,9 +112,9 @@ class Engine {
 
   // --- per-job state (as of now()) ----------------------------------------
 
-  bool admitted(JobId j) const { return jobs_[j].admitted; }
-  bool completed(JobId j) const { return jobs_[j].done; }
-  NodeId assigned_leaf(JobId j) const { return jobs_[j].leaf; }
+  bool admitted(JobId j) const { return jobs_[uidx(j)].admitted; }
+  bool completed(JobId j) const { return jobs_[uidx(j)].done; }
+  NodeId assigned_leaf(JobId j) const { return jobs_[uidx(j)].leaf; }
 
   /// p_{j,v}: the original processing requirement of j on v.
   double size_on(JobId j, NodeId v) const;
@@ -135,7 +135,7 @@ class Engine {
   /// Q_v(now): admitted jobs routed through v with unfinished work on v,
   /// ascending job id.
   std::vector<JobId> queue_at(NodeId v) const;
-  std::size_t queue_size(NodeId v) const { return nodes_[v].inflight.size(); }
+  std::size_t queue_size(NodeId v) const { return nodes_[uidx(v)].inflight.size(); }
 
   // --- the paper's aggregate queries (SJF ordering) ------------------------
 

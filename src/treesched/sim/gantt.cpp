@@ -30,28 +30,28 @@ std::string render_gantt(const Instance& instance,
   const double scale =
       options.width / (t_end - options.t_begin);
 
-  std::vector<std::string> rows(tree.node_count(),
-                                std::string(options.width, '.'));
+  std::vector<std::string> rows(uidx(tree.node_count()),
+                                std::string(uidx(options.width), '.'));
   for (const Segment& s : recorder.segments()) {
     const int c0 = std::max(
         0, static_cast<int>((s.t0 - options.t_begin) * scale));
     const int c1 = std::min(
         options.width,
         std::max(c0 + 1, static_cast<int>((s.t1 - options.t_begin) * scale)));
-    for (int c = c0; c < c1; ++c) rows[s.node][c] = job_letter(s.job);
+    for (int c = c0; c < c1; ++c) rows[uidx(s.node)][uidx(c)] = job_letter(s.job);
   }
 
   std::ostringstream os;
   os << "time " << options.t_begin << " .. " << t_end << " ('.' idle)\n";
   for (NodeId v = 0; v < tree.node_count(); ++v) {
-    if (tree.is_root(v) && rows[v].find_first_not_of('.') == std::string::npos)
+    if (tree.is_root(v) && rows[uidx(v)].find_first_not_of('.') == std::string::npos)
       continue;  // the root is usually silent
     os.width(4);
     os << v << ' '
        << (tree.is_root(v) ? "root   "
            : tree.is_leaf(v) ? "machine"
                              : "router ")
-       << ' ' << rows[v] << '\n';
+       << ' ' << rows[uidx(v)] << '\n';
   }
   return os.str();
 }

@@ -29,8 +29,8 @@ class Metrics {
  public:
   void reset(std::size_t job_count);
 
-  JobRecord& job(JobId j) { return jobs_[j]; }
-  const JobRecord& job(JobId j) const { return jobs_[j]; }
+  JobRecord& job(JobId j) { return jobs_[uidx(j)]; }
+  const JobRecord& job(JobId j) const { return jobs_[uidx(j)]; }
   const std::vector<JobRecord>& jobs() const { return jobs_; }
 
   bool all_completed() const;

@@ -50,14 +50,14 @@ ReferenceResult simulate_reference(const Instance& instance,
   const Tree& tree = instance.tree();
   const JobId n = instance.job_count();
 
-  std::vector<RefJob> jobs(n);
+  std::vector<RefJob> jobs(uidx(n));
   ReferenceResult result;
-  result.completion.assign(n, -1.0);
-  result.node_completion.resize(n);
+  result.completion.assign(uidx(n), -1.0);
+  result.node_completion.resize(uidx(n));
   for (JobId j = 0; j < n; ++j) {
-    RefJob& rj = jobs[j];
+    RefJob& rj = jobs[uidx(j)];
     rj.job = &instance.job(j);
-    const auto& p = tree.path_to(leaf_of_job[j]);
+    const auto& p = tree.path_to(leaf_of_job[uidx(j)]);
     rj.path.assign(p.begin(), p.end());
     rj.chunks = chunk_size > 0.0
                     ? static_cast<std::int32_t>(std::max(
@@ -68,12 +68,12 @@ ReferenceResult simulate_reference(const Instance& instance,
     rj.head.assign(rj.len() - 1, rj.chunk_size);
     rj.leaf_rem = instance.processing_time(j, rj.path.back());
     rj.head_avail.assign(rj.len(), -1.0);
-    result.node_completion[j].assign(rj.len(), -1.0);
+    result.node_completion[uidx(j)].assign(rj.len(), -1.0);
   }
 
   // Hop index of job j on node v, or npos.
   const auto hop_of = [&](JobId j, NodeId v) -> std::size_t {
-    const auto& p = jobs[j].path;
+    const auto& p = jobs[uidx(j)].path;
     for (std::size_t i = 0; i < p.size(); ++i)
       if (p[i] == v) return i;
     return static_cast<std::size_t>(-1);
@@ -82,8 +82,8 @@ ReferenceResult simulate_reference(const Instance& instance,
 
   const auto beats = [&](JobId a, std::size_t ha, JobId b,
                          std::size_t hb) {
-    const RefJob& ra = jobs[a];
-    const RefJob& rb = jobs[b];
+    const RefJob& ra = jobs[uidx(a)];
+    const RefJob& rb = jobs[uidx(b)];
     if (policy == NodePolicy::kSjf) {
       const double pa = instance.processing_time(a, ra.path[ha]);
       const double pb = instance.processing_time(b, rb.path[hb]);
@@ -102,7 +102,7 @@ ReferenceResult simulate_reference(const Instance& instance,
   // Stamp availability times for FIFO keys (and assert reachability).
   const auto refresh_avail_stamps = [&](Time t) {
     for (JobId j = 0; j < n; ++j) {
-      RefJob& rj = jobs[j];
+      RefJob& rj = jobs[uidx(j)];
       for (std::size_t i = 0; i < rj.len(); ++i)
         if (rj.hop_available(i) && rj.head_avail[i] < 0.0)
           rj.head_avail[i] = t;
@@ -120,21 +120,21 @@ ReferenceResult simulate_reference(const Instance& instance,
     refresh_avail_stamps(now);
 
     // Per node, the best available (job, hop).
-    std::vector<JobId> running(tree.node_count(), kInvalidJob);
-    std::vector<std::size_t> running_hop(tree.node_count(), 0);
+    std::vector<JobId> running(uidx(tree.node_count()), kInvalidJob);
+    std::vector<std::size_t> running_hop(uidx(tree.node_count()), 0);
     bool any_alive = false;
     for (JobId j = 0; j < n; ++j) {
-      RefJob& rj = jobs[j];
+      RefJob& rj = jobs[uidx(j)];
       if (rj.finished) continue;
       any_alive = true;
       if (!rj.arrived) continue;
       for (std::size_t i = 0; i < rj.len(); ++i) {
         if (!rj.hop_available(i)) continue;
         const NodeId v = rj.path[i];
-        if (running[v] == kInvalidJob ||
-            beats(j, i, running[v], running_hop[v])) {
-          running[v] = j;
-          running_hop[v] = i;
+        if (running[uidx(v)] == kInvalidJob ||
+            beats(j, i, running[uidx(v)], running_hop[uidx(v)])) {
+          running[uidx(v)] = j;
+          running_hop[uidx(v)] = i;
         }
       }
     }
@@ -143,38 +143,38 @@ ReferenceResult simulate_reference(const Instance& instance,
     // Next breakpoint: release or completion of a running head/leaf.
     Time next = inf;
     for (JobId j = 0; j < n; ++j)
-      if (!jobs[j].finished && !jobs[j].arrived)
-        next = std::min(next, jobs[j].job->release);
+      if (!jobs[uidx(j)].finished && !jobs[uidx(j)].arrived)
+        next = std::min(next, jobs[uidx(j)].job->release);
     for (NodeId v = 0; v < tree.node_count(); ++v) {
-      const JobId j = running[v];
+      const JobId j = running[uidx(v)];
       if (j == kInvalidJob) continue;
-      const std::size_t i = running_hop[v];
+      const std::size_t i = running_hop[uidx(v)];
       const double rem =
-          (i + 1 == jobs[j].len()) ? jobs[j].leaf_rem : jobs[j].head[i];
+          (i + 1 == jobs[uidx(j)].len()) ? jobs[uidx(j)].leaf_rem : jobs[uidx(j)].head[i];
       next = std::min(next, now + rem / speeds.speed(v));
     }
     TS_CHECK(next < inf, "deadlock in reference simulator");
 
     const Time dt = next - now;
     for (NodeId v = 0; v < tree.node_count(); ++v) {
-      const JobId j = running[v];
+      const JobId j = running[uidx(v)];
       if (j == kInvalidJob) continue;
-      const std::size_t i = running_hop[v];
+      const std::size_t i = running_hop[uidx(v)];
       const double w = dt * speeds.speed(v);
-      if (i + 1 == jobs[j].len()) jobs[j].leaf_rem -= w;
-      else jobs[j].head[i] -= w;
+      if (i + 1 == jobs[uidx(j)].len()) jobs[uidx(j)].leaf_rem -= w;
+      else jobs[uidx(j)].head[i] -= w;
     }
     now = next;
 
     for (JobId j = 0; j < n; ++j) {
-      RefJob& rj = jobs[j];
+      RefJob& rj = jobs[uidx(j)];
       if (!rj.finished && !rj.arrived && rj.job->release <= now + 1e-12)
         rj.arrived = true;
     }
 
     // Completion cascade.
     for (JobId j = 0; j < n; ++j) {
-      RefJob& rj = jobs[j];
+      RefJob& rj = jobs[uidx(j)];
       if (rj.finished || !rj.arrived) continue;
       for (std::size_t i = 0; i + 1 < rj.len(); ++i) {
         if (rj.done[i] < rj.chunks && rj.head[i] <= 1e-9 &&
@@ -183,14 +183,14 @@ ReferenceResult simulate_reference(const Instance& instance,
           rj.head[i] = rj.chunk_size;
           rj.head_avail[i] = -1.0;  // the next head re-stamps when ready
           if (rj.done[i] == rj.chunks)
-            result.node_completion[j][i] = now;
+            result.node_completion[uidx(j)][i] = now;
         }
       }
       if (rj.len() >= 1 && rj.leaf_rem <= 1e-9 &&
           (rj.len() == 1 || rj.done[rj.len() - 2] == rj.chunks)) {
         rj.finished = true;
-        result.node_completion[j][rj.len() - 1] = now;
-        result.completion[j] = now;
+        result.node_completion[uidx(j)][rj.len() - 1] = now;
+        result.completion[uidx(j)] = now;
         result.total_flow += now - rj.job->release;
       }
     }

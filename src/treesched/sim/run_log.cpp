@@ -1,0 +1,159 @@
+#include "treesched/sim/run_log.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "treesched/util/string_util.hpp"
+
+namespace treesched::sim {
+
+namespace {
+
+const char* policy_token(NodePolicy p) {
+  switch (p) {
+    case NodePolicy::kSjf: return "sjf";
+    case NodePolicy::kFifo: return "fifo";
+    case NodePolicy::kSrpt: return "srpt";
+    case NodePolicy::kLcfs: return "lcfs";
+    case NodePolicy::kHdf: return "hdf";
+  }
+  return "?";
+}
+
+NodePolicy parse_policy(const std::string& s) {
+  if (s == "sjf") return NodePolicy::kSjf;
+  if (s == "fifo") return NodePolicy::kFifo;
+  if (s == "srpt") return NodePolicy::kSrpt;
+  if (s == "lcfs") return NodePolicy::kLcfs;
+  if (s == "hdf") return NodePolicy::kHdf;
+  throw std::invalid_argument("runlog: unknown node policy '" + s + "'");
+}
+
+[[noreturn]] void bad(const std::string& msg) {
+  throw std::invalid_argument("runlog: " + msg);
+}
+
+}  // namespace
+
+RunLog make_run_log(const Instance& instance, const SpeedProfile& speeds,
+                    const EngineConfig& cfg, const ScheduleRecorder& recorder,
+                    const Metrics& metrics) {
+  std::vector<std::vector<NodeId>> paths(uidx(instance.job_count()));
+  for (const Job& job : instance.jobs()) {
+    const NodeId leaf = metrics.job(job.id).leaf;
+    if (leaf != kInvalidNode) {
+      const auto& p = instance.tree().path_to(leaf);
+      paths[uidx(job.id)].assign(p.begin(), p.end());
+    }
+  }
+  return make_run_log(instance, speeds, cfg, recorder, metrics, paths);
+}
+
+RunLog make_run_log(const Instance& instance, const SpeedProfile& speeds,
+                    const EngineConfig& cfg, const ScheduleRecorder& recorder,
+                    const Metrics& metrics,
+                    const std::vector<std::vector<NodeId>>& paths) {
+  RunLog log;
+  log.node_policy = cfg.node_policy;
+  log.router_chunk_size = cfg.router_chunk_size;
+  log.speeds = speeds.speeds();
+  log.paths = paths;
+  log.completion.assign(uidx(instance.job_count()), -1.0);
+  for (const Job& job : instance.jobs())
+    log.completion[uidx(job.id)] = metrics.job(job.id).completion;
+  log.segments = recorder.segments();
+  return log;
+}
+
+void write_run_log(std::ostream& os, const RunLog& log) {
+  os << std::setprecision(17);
+  os << "runlog 1\n";
+  os << "policy " << policy_token(log.node_policy) << '\n';
+  os << "chunk " << log.router_chunk_size << '\n';
+  os << "speeds " << log.speeds.size();
+  for (double s : log.speeds) os << ' ' << s;
+  os << '\n';
+  for (std::size_t j = 0; j < log.paths.size(); ++j) {
+    os << "job " << j << ' ' << log.completion[j] << ' '
+       << log.paths[j].size();
+    for (NodeId v : log.paths[j]) os << ' ' << v;
+    os << '\n';
+  }
+  for (const Segment& s : log.segments)
+    os << "seg " << s.node << ' ' << s.job << ' ' << s.chunk << ' ' << s.t0
+       << ' ' << s.t1 << ' ' << s.rate << '\n';
+}
+
+void write_run_log_file(const std::string& path, const RunLog& log) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open run log for writing: " + path);
+  write_run_log(f, log);
+  if (!f) throw std::runtime_error("failed writing run log: " + path);
+}
+
+RunLog read_run_log(std::istream& is) {
+  RunLog log;
+  bool header_seen = false;
+  std::string line;
+  while (std::getline(is, line)) {
+    line = util::trim(line);
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "runlog") {
+      int version = 0;
+      if (!(ls >> version) || version != 1) bad("unsupported version");
+      header_seen = true;
+    } else if (!header_seen) {
+      bad("missing 'runlog 1' header");
+    } else if (tag == "policy") {
+      std::string p;
+      if (!(ls >> p)) bad("bad policy line");
+      log.node_policy = parse_policy(p);
+    } else if (tag == "chunk") {
+      if (!(ls >> log.router_chunk_size) || log.router_chunk_size < 0.0)
+        bad("bad chunk line");
+    } else if (tag == "speeds") {
+      std::size_t n = 0;
+      if (!(ls >> n)) bad("bad speeds line");
+      log.speeds.resize(n);
+      for (std::size_t i = 0; i < n; ++i)
+        if (!(ls >> log.speeds[i])) bad("speeds line truncated");
+    } else if (tag == "job") {
+      std::size_t id = 0, len = 0;
+      Time completion = -1.0;
+      if (!(ls >> id >> completion >> len)) bad("bad job line: " + line);
+      if (id >= 1000000) bad("job id out of range");
+      if (log.paths.size() <= id) {
+        log.paths.resize(id + 1);
+        log.completion.resize(id + 1, -1.0);
+      }
+      log.completion[id] = completion;
+      log.paths[id].resize(len);
+      for (std::size_t i = 0; i < len; ++i)
+        if (!(ls >> log.paths[id][i])) bad("job path truncated: " + line);
+    } else if (tag == "seg") {
+      Segment s;
+      if (!(ls >> s.node >> s.job >> s.chunk >> s.t0 >> s.t1 >> s.rate))
+        bad("bad seg line: " + line);
+      log.segments.push_back(s);
+    } else {
+      bad("unknown tag '" + tag + "'");
+    }
+  }
+  if (!header_seen) bad("missing 'runlog 1' header");
+  return log;
+}
+
+RunLog read_run_log_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open run log: " + path);
+  return read_run_log(f);
+}
+
+}  // namespace treesched::sim

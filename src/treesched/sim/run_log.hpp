@@ -1,0 +1,55 @@
+// Serializable record of a finished simulation run: the engine config, the
+// speed profile, every job's processing path and claimed completion, and the
+// full burst log. Written by `treesched_run --record-out` and consumed by
+// `treesched_audit`, which re-checks the paper's invariants offline without
+// trusting any engine state.
+//
+// Format (line-oriented, '#' comments allowed, full double precision):
+//   runlog 1
+//   policy <sjf|fifo|srpt|lcfs|hdf>
+//   chunk <router_chunk_size>
+//   speeds <node_count> <s_0> ... <s_{n-1}>
+//   job <id> <completion> <path_len> <v_0> ... <v_{len-1}>
+//   seg <node> <job> <chunk> <t0> <t1> <rate>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "treesched/core/instance.hpp"
+#include "treesched/core/speed_profile.hpp"
+#include "treesched/sim/engine.hpp"
+
+namespace treesched::sim {
+
+/// Everything `treesched_audit` needs besides the instance itself.
+struct RunLog {
+  NodePolicy node_policy = NodePolicy::kSjf;
+  double router_chunk_size = 0.0;
+  std::vector<double> speeds;                 ///< per node id
+  std::vector<std::vector<NodeId>> paths;     ///< per job id: processing path
+  std::vector<Time> completion;               ///< per job id; -1 = unfinished
+  std::vector<Segment> segments;
+};
+
+/// Captures a finished engine run. Paths are derived from the recorded leaf
+/// assignment (tree().path_to), so this overload covers root-dispatched runs.
+RunLog make_run_log(const Instance& instance, const SpeedProfile& speeds,
+                    const EngineConfig& cfg, const ScheduleRecorder& recorder,
+                    const Metrics& metrics);
+
+/// Same with explicit per-job paths (runs that used Engine::admit_via_path).
+RunLog make_run_log(const Instance& instance, const SpeedProfile& speeds,
+                    const EngineConfig& cfg, const ScheduleRecorder& recorder,
+                    const Metrics& metrics,
+                    const std::vector<std::vector<NodeId>>& paths);
+
+void write_run_log(std::ostream& os, const RunLog& log);
+void write_run_log_file(const std::string& path, const RunLog& log);
+
+/// Parses a run log; throws std::invalid_argument on malformed input.
+RunLog read_run_log(std::istream& is);
+RunLog read_run_log_file(const std::string& path);
+
+}  // namespace treesched::sim

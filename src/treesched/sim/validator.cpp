@@ -34,12 +34,12 @@ ValidationResult validate_schedule(const Instance& instance,
                                    const EngineConfig& cfg,
                                    const ScheduleRecorder& recorder,
                                    const Metrics& metrics) {
-  std::vector<std::vector<NodeId>> paths(instance.job_count());
+  std::vector<std::vector<NodeId>> paths(uidx(instance.job_count()));
   for (const Job& job : instance.jobs()) {
     const NodeId leaf = metrics.job(job.id).leaf;
     if (leaf != kInvalidNode) {
       const auto& p = instance.tree().path_to(leaf);
-      paths[job.id].assign(p.begin(), p.end());
+      paths[uidx(job.id)].assign(p.begin(), p.end());
     }
   }
   return validate_schedule(instance, speeds, cfg, recorder, metrics, paths);
@@ -69,8 +69,10 @@ ValidationResult validate_schedule(
     });
     for (std::size_t i = 1; i < list.size(); ++i) {
       if (list[i]->t0 < list[i - 1]->t1 - kTol) {
-        res.fail("node " + std::to_string(node) + " overlaps: [" +
-                 fmt(list[i - 1]->t0) + "," + fmt(list[i - 1]->t1) + ") and [" +
+        res.fail("node " + std::to_string(node) + " overlaps: job " +
+                 std::to_string(list[i - 1]->job) + " [" +
+                 fmt(list[i - 1]->t0) + "," + fmt(list[i - 1]->t1) +
+                 ") and job " + std::to_string(list[i]->job) + " [" +
                  fmt(list[i]->t0) + "," + fmt(list[i]->t1) + ")");
       }
     }
@@ -97,7 +99,7 @@ ValidationResult validate_schedule(
       continue;
     }
     const NodeId leaf = rec.leaf;
-    const std::vector<NodeId>& path = paths[job.id];
+    const std::vector<NodeId>& path = paths[uidx(job.id)];
     if (path.empty() || path.back() != leaf) {
       res.fail("job " + std::to_string(job.id) +
                ": supplied path does not end at the recorded machine");
@@ -164,7 +166,8 @@ ValidationResult validate_schedule(
         all_data_arrived = std::max(all_data_arrived, up->second.last_end);
     }
     if (leaf_it->second.first_start < all_data_arrived - kTol)
-      res.fail("job " + std::to_string(job.id) + " leaf started at " +
+      res.fail("job " + std::to_string(job.id) + " leaf work on node " +
+               std::to_string(leaf) + " started at " +
                fmt(leaf_it->second.first_start) + " before data arrival " +
                fmt(all_data_arrived));
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "treesched/core/types.hpp"
 #include "treesched/stats/summary.hpp"
 #include "treesched/util/assert.hpp"
 
@@ -15,7 +16,7 @@ std::pair<double, double> bootstrap_mean_ci(util::Rng& rng,
   TS_REQUIRE(resamples >= 10, "need at least 10 resamples");
   const std::int64_t n = static_cast<std::int64_t>(samples.size());
   std::vector<double> means;
-  means.reserve(resamples);
+  means.reserve(uidx(resamples));
   for (int r = 0; r < resamples; ++r) {
     double sum = 0.0;
     for (std::int64_t i = 0; i < n; ++i)

@@ -20,12 +20,14 @@
 #include "treesched/core/tree_builders.hpp"
 #include "treesched/core/types.hpp"
 
+#include "treesched/sim/audit.hpp"
 #include "treesched/sim/engine.hpp"
 #include "treesched/sim/gantt.hpp"
 #include "treesched/sim/metrics.hpp"
 #include "treesched/sim/priority.hpp"
 #include "treesched/sim/recorder.hpp"
 #include "treesched/sim/reference.hpp"
+#include "treesched/sim/run_log.hpp"
 #include "treesched/sim/sampler.hpp"
 #include "treesched/sim/validator.hpp"
 

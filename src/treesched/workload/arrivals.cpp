@@ -11,7 +11,7 @@ std::vector<Time> poisson_arrivals(util::Rng& rng, int n, double rate) {
   TS_REQUIRE(n >= 0, "job count must be non-negative");
   TS_REQUIRE(rate > 0.0, "arrival rate must be positive");
   std::vector<Time> out;
-  out.reserve(n);
+  out.reserve(uidx(n));
   Time t = 0.0;
   for (int i = 0; i < n; ++i) {
     t += rng.exponential(rate);
@@ -23,7 +23,7 @@ std::vector<Time> poisson_arrivals(util::Rng& rng, int n, double rate) {
 std::vector<Time> deterministic_arrivals(int n, double gap) {
   TS_REQUIRE(n >= 0 && gap > 0.0, "bad deterministic arrival parameters");
   std::vector<Time> out;
-  out.reserve(n);
+  out.reserve(uidx(n));
   for (int i = 1; i <= n; ++i) out.push_back(gap * i);
   return out;
 }
@@ -33,7 +33,7 @@ std::vector<Time> mmpp_arrivals(util::Rng& rng, int n, double calm_rate,
   TS_REQUIRE(calm_rate > 0.0 && burst_rate > 0.0 && switch_rate > 0.0,
              "MMPP rates must be positive");
   std::vector<Time> out;
-  out.reserve(n);
+  out.reserve(uidx(n));
   Time t = 0.0;
   bool bursting = false;
   Time next_switch = rng.exponential(switch_rate);
@@ -57,7 +57,7 @@ std::vector<Time> batched_arrivals(util::Rng& rng, int n, int batch,
   TS_REQUIRE(batch >= 1 && gap > 0.0 && jitter >= 0.0,
              "bad batched arrival parameters");
   std::vector<Time> out;
-  out.reserve(n);
+  out.reserve(uidx(n));
   Time t = 0.0;
   while (static_cast<int>(out.size()) < n) {
     t += rng.exponential(1.0 / gap);
@@ -74,7 +74,7 @@ std::vector<Time> diurnal_arrivals(util::Rng& rng, int n, double base_rate,
   TS_REQUIRE(amplitude >= 0.0 && amplitude < 1.0, "amplitude in [0,1)");
   TS_REQUIRE(period > 0.0, "period must be positive");
   std::vector<Time> out;
-  out.reserve(n);
+  out.reserve(uidx(n));
   const double peak = base_rate * (1.0 + amplitude);
   Time t = 0.0;
   while (static_cast<int>(out.size()) < n) {

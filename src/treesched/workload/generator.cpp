@@ -48,15 +48,15 @@ Instance generate(util::Rng& rng, std::shared_ptr<const Tree> tree,
   const std::vector<double> sizes = draw_sizes(rng, spec.jobs, spec.sizes);
 
   std::vector<Job> jobs;
-  jobs.reserve(spec.jobs);
+  jobs.reserve(uidx(spec.jobs));
   if (spec.endpoints == EndpointModel::kIdentical) {
     for (int j = 0; j < spec.jobs; ++j)
-      jobs.emplace_back(static_cast<JobId>(j), releases[j], sizes[j]);
+      jobs.emplace_back(static_cast<JobId>(j), releases[uidx(j)], sizes[uidx(j)]);
   } else {
     UnrelatedGenerator gen(*tree, spec.unrelated, rng);
     for (int j = 0; j < spec.jobs; ++j)
-      jobs.emplace_back(static_cast<JobId>(j), releases[j], sizes[j],
-                        gen.leaf_sizes(rng, sizes[j]));
+      jobs.emplace_back(static_cast<JobId>(j), releases[uidx(j)], sizes[uidx(j)],
+                        gen.leaf_sizes(rng, sizes[uidx(j)]));
   }
   for (Job& j : jobs) {
     switch (spec.weights) {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "treesched/core/types.hpp"
 #include "treesched/util/assert.hpp"
 #include "treesched/util/class_rounding.hpp"
 
@@ -60,7 +61,7 @@ std::vector<double> draw_sizes(util::Rng& rng, int n, const SizeSpec& spec) {
   TS_REQUIRE(n >= 0, "size count must be non-negative");
   TS_REQUIRE(spec.scale > 0.0, "size scale must be positive");
   std::vector<double> out;
-  out.reserve(n);
+  out.reserve(uidx(n));
   for (int i = 0; i < n; ++i) {
     double p = spec.scale;
     switch (spec.dist) {

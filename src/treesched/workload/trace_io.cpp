@@ -77,16 +77,16 @@ Instance read_trace(std::istream& is) {
     ls >> tag;
     if (tag == "tree") {
       if (!(ls >> node_count) || node_count <= 0) bad("bad tree header");
-      parent.assign(node_count, kInvalidNode);
-      kind.assign(node_count, NodeKind::kRouter);
+      parent.assign(uidx(node_count), kInvalidNode);
+      kind.assign(uidx(node_count), NodeKind::kRouter);
     } else if (tag == "node") {
       if (node_count < 0) bad("node before tree header");
       int id, par;
       std::string kname;
       if (!(ls >> id >> par >> kname)) bad("bad node line: " + line);
       if (id < 0 || id >= node_count) bad("node id out of range");
-      parent[id] = static_cast<NodeId>(par);
-      kind[id] = parse_kind(kname);
+      parent[uidx(id)] = static_cast<NodeId>(par);
+      kind[uidx(id)] = parse_kind(kname);
     } else if (tag == "model") {
       std::string m;
       if (!(ls >> m)) bad("bad model line");

@@ -174,7 +174,7 @@ TEST(AnycastStrategies, AllStrategiesCompleteRandomWorkloads) {
   for (Job& j : jobs) {
     const auto& leaves = base.tree().leaves();
     if (j.id % 3 == 0)
-      j.source = leaves[j.id % leaves.size()];
+      j.source = leaves[uidx(j.id) % leaves.size()];
     else if (j.id % 3 == 1)
       j.source = base.tree().root_children()[0];
   }

@@ -97,9 +97,9 @@ TEST(Lemma2, MonitorDetectsViolationsWhenPremisesInvert) {
   const double eps = 0.5;
   const Instance inst = workload::class_cascade(10, 6, eps);
   const Tree& tree = inst.tree();
-  std::vector<double> speeds(tree.node_count(), 0.25);  // slow interior
-  speeds[tree.root()] = 0.0;
-  for (const NodeId rc : tree.root_children()) speeds[rc] = 4.0;  // fast feed
+  std::vector<double> speeds(uidx(tree.node_count()), 0.25);  // slow interior
+  speeds[uidx(tree.root())] = 0.0;
+  for (const NodeId rc : tree.root_children()) speeds[uidx(rc)] = 4.0;  // fast feed
   const SpeedProfile profile(tree, std::move(speeds));
 
   algo::PaperGreedyPolicy policy(eps);
@@ -148,23 +148,23 @@ TEST(Phi, UpperBoundsRemainingInteriorTime) {
     engine.admit(job.id, policy.assign(engine, job));
   }
   const Time t0 = engine.now();
-  std::vector<double> bound(inst.job_count(), -1.0);
+  std::vector<double> bound(uidx(inst.job_count()), -1.0);
   for (const Job& job : inst.jobs()) {
     // Lemma 3's premise: the job is available on a node *not* adjacent to
     // the root (root children run at speed 1, below the lemma's s).
     if (!engine.completed(job.id) && engine.current_path_index(job.id) >= 1)
-      bound[job.id] = algo::phi(engine, job.id, eps, s);
+      bound[uidx(job.id)] = algo::phi(engine, job.id, eps, s);
   }
   engine.run_to_completion();
 
   int measured = 0;
   for (const Job& job : inst.jobs()) {
-    if (bound[job.id] < 0.0) continue;
+    if (bound[uidx(job.id)] < 0.0) continue;
     // Identical model: the last identical node is the leaf itself, so the
     // remaining interior time is completion - t0.
     const double actual = engine.metrics().job(job.id).completion - t0;
-    EXPECT_LE(actual, bound[job.id] + 1e-6)
-        << "job " << job.id << " actual " << actual << " phi " << bound[job.id];
+    EXPECT_LE(actual, bound[uidx(job.id)] + 1e-6)
+        << "job " << job.id << " actual " << actual << " phi " << bound[uidx(job.id)];
     ++measured;
   }
   EXPECT_GT(measured, 0);

@@ -35,8 +35,8 @@ TEST(TreeBuild, LeafIndexIsDenseBijection) {
     const int idx = t.leaf_index(leaf);
     ASSERT_GE(idx, 0);
     ASSERT_LT(idx, static_cast<int>(t.leaves().size()));
-    EXPECT_FALSE(seen[idx]);
-    seen[idx] = true;
+    EXPECT_FALSE(seen[uidx(idx)]);
+    seen[uidx(idx)] = true;
   }
 }
 

@@ -1,6 +1,7 @@
 // The from-scratch simplex solver against known optima.
 #include <gtest/gtest.h>
 
+#include "treesched/core/types.hpp"
 #include "treesched/lp/simplex.hpp"
 #include "treesched/util/rng.hpp"
 
@@ -17,8 +18,8 @@ TEST(Simplex, BasicMaximizationAsMinimization) {
   const LpSolution s = solve(m);
   ASSERT_TRUE(s.optimal());
   EXPECT_NEAR(s.objective, -2.8, 1e-9);
-  EXPECT_NEAR(s.x[x], 1.6, 1e-9);
-  EXPECT_NEAR(s.x[y], 1.2, 1e-9);
+  EXPECT_NEAR(s.x[uidx(x)], 1.6, 1e-9);
+  EXPECT_NEAR(s.x[uidx(y)], 1.2, 1e-9);
 }
 
 TEST(Simplex, GreaterEqualAndEquality) {
@@ -32,7 +33,7 @@ TEST(Simplex, GreaterEqualAndEquality) {
   const LpSolution s = solve(m);
   ASSERT_TRUE(s.optimal());
   EXPECT_NEAR(s.objective, 20.0, 1e-9);
-  EXPECT_NEAR(s.x[x], 10.0, 1e-9);
+  EXPECT_NEAR(s.x[uidx(x)], 10.0, 1e-9);
 }
 
 TEST(Simplex, DetectsInfeasibility) {
@@ -59,7 +60,7 @@ TEST(Simplex, NegativeRhsNormalization) {
   const LpSolution s = solve(m);
   ASSERT_TRUE(s.optimal());
   EXPECT_NEAR(s.objective, 0.0, 1e-9);
-  EXPECT_GE(s.x[y], 2.0 - 1e-9);
+  EXPECT_GE(s.x[uidx(y)], 2.0 - 1e-9);
 }
 
 TEST(Simplex, DegenerateVertexStillTerminates) {
@@ -137,7 +138,7 @@ TEST(Simplex, RandomLpsSatisfyFeasibilityAndOptimalityBasics) {
     // Verify primal feasibility of the reported solution.
     for (const auto& row : m.rows) {
       double lhs = 0.0;
-      for (const auto& [var, coeff] : row.coeffs) lhs += coeff * s.x[var];
+      for (const auto& [var, coeff] : row.coeffs) lhs += coeff * s.x[uidx(var)];
       if (row.sense == RowSense::kLe) {
         EXPECT_LE(lhs, row.rhs + 1e-6);
       }

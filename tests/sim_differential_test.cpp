@@ -23,7 +23,7 @@ struct DiffCase {
 };
 
 Tree diff_tree(int id) {
-  util::Rng rng(1234 + id);
+  util::Rng rng(1234 + static_cast<std::uint64_t>(id));
   switch (id) {
     case 0: return builders::star_of_paths(2, 3);
     case 1: return builders::fat_tree(2, 2, 2);
@@ -50,8 +50,8 @@ TEST_P(Differential, EngineMatchesReference) {
   std::vector<NodeId> assignment;
   for (const Job& job : inst.jobs()) {
     const auto& leaves = inst.tree().leaves();
-    assignment.resize(inst.job_count());
-    assignment[job.id] = leaves[job.id % leaves.size()];
+    assignment.resize(uidx(inst.job_count()));
+    assignment[uidx(job.id)] = leaves[uidx(job.id) % leaves.size()];
   }
 
   const SpeedProfile speeds = SpeedProfile::uniform(inst.tree(), 1.25);
@@ -68,11 +68,11 @@ TEST_P(Differential, EngineMatchesReference) {
   for (JobId j = 0; j < inst.job_count(); ++j) {
     const auto& rec = engine.metrics().job(j);
     ASSERT_TRUE(rec.completed());
-    EXPECT_NEAR(rec.completion, ref.completion[j], 1e-6)
+    EXPECT_NEAR(rec.completion, ref.completion[uidx(j)], 1e-6)
         << "job " << j << " diverges";
-    ASSERT_EQ(rec.node_completion.size(), ref.node_completion[j].size());
+    ASSERT_EQ(rec.node_completion.size(), ref.node_completion[uidx(j)].size());
     for (std::size_t i = 0; i < rec.node_completion.size(); ++i)
-      EXPECT_NEAR(rec.node_completion[i], ref.node_completion[j][i], 1e-6)
+      EXPECT_NEAR(rec.node_completion[i], ref.node_completion[uidx(j)][i], 1e-6)
           << "job " << j << " node " << i;
   }
   EXPECT_NEAR(engine.metrics().total_flow_time(), ref.total_flow, 1e-4);
@@ -121,13 +121,13 @@ TEST(DifferentialPaperPolicy, GreedyAssignmentsAlsoMatch) {
   algo::PaperGreedyPolicy policy(0.5);
   sim::Engine engine(inst, speeds);
   engine.run(policy);
-  std::vector<NodeId> assignment(inst.job_count());
+  std::vector<NodeId> assignment(uidx(inst.job_count()));
   for (JobId j = 0; j < inst.job_count(); ++j)
-    assignment[j] = engine.assigned_leaf(j);
+    assignment[uidx(j)] = engine.assigned_leaf(j);
 
   const auto ref = sim::simulate_reference(inst, speeds, assignment);
   for (JobId j = 0; j < inst.job_count(); ++j)
-    EXPECT_NEAR(engine.metrics().job(j).completion, ref.completion[j], 1e-6);
+    EXPECT_NEAR(engine.metrics().job(j).completion, ref.completion[uidx(j)], 1e-6);
 }
 
 TEST(Reference, RejectsUnsupportedPolicy) {

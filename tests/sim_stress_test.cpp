@@ -76,9 +76,9 @@ TEST(Stress, RandomIncrementalInterleavings) {
     const Instance inst = workload::generate(rng, tree, spec);
     const SpeedProfile speeds = SpeedProfile::uniform(inst.tree(), 1.2);
 
-    std::vector<NodeId> assignment(inst.job_count());
+    std::vector<NodeId> assignment(uidx(inst.job_count()));
     for (JobId j = 0; j < inst.job_count(); ++j)
-      assignment[j] = inst.tree().leaves()[j % inst.tree().leaves().size()];
+      assignment[uidx(j)] = inst.tree().leaves()[uidx(j) % inst.tree().leaves().size()];
 
     sim::Engine offline(inst, speeds);
     offline.run_with_assignment(assignment);
@@ -92,7 +92,7 @@ TEST(Stress, RandomIncrementalInterleavings) {
         cursor += (job.release - cursor) * fuzz.uniform01();
         online.advance_to(cursor);
       }
-      online.admit(job.id, assignment[job.id]);
+      online.admit(job.id, assignment[uidx(job.id)]);
       cursor = std::max(cursor, job.release);
     }
     online.run_to_completion();
@@ -115,7 +115,7 @@ TEST(Stress, ZeroLengthBurstsFromInstantPreemptions) {
   sim::EngineConfig cfg;
   cfg.record_schedule = true;
   sim::Engine engine(inst, SpeedProfile::uniform(inst.tree(), 1.0), cfg);
-  std::vector<NodeId> assignment(inst.job_count(), inst.tree().leaves()[0]);
+  std::vector<NodeId> assignment(uidx(inst.job_count()), inst.tree().leaves()[0]);
   engine.run_with_assignment(assignment);
   EXPECT_TRUE(engine.metrics().all_completed());
   for (const auto& s : engine.recorder().segments())

@@ -131,6 +131,61 @@ TEST(Validator, DetectsUnfinishedJob) {
   EXPECT_FALSE(res.ok);
 }
 
+bool any_error_contains(const sim::ValidationResult& res,
+                        const std::string& needle) {
+  for (const auto& e : res.errors)
+    if (e.find(needle) != std::string::npos) return true;
+  return false;
+}
+
+TEST(Validator, PrecedenceErrorNamesJobAndNode) {
+  Baseline b = make_baseline();
+  ScheduleRecorder bad;
+  const NodeId leaf = b.inst.tree().leaves()[0];
+  for (Segment s : b.recorder.segments()) {
+    if (s.node == leaf && s.job == 0) {
+      const double len = s.t1 - s.t0;
+      s.t0 = 0.0;
+      s.t1 = len;
+    }
+    bad.add(s);
+  }
+  const auto res =
+      sim::validate_schedule(b.inst, b.speeds, b.cfg, bad, b.metrics);
+  ASSERT_FALSE(res.ok);
+  EXPECT_TRUE(any_error_contains(res, "job 0")) << res.summary();
+  EXPECT_TRUE(any_error_contains(res, "node " + std::to_string(leaf)))
+      << res.summary();
+  EXPECT_TRUE(any_error_contains(res, "before data arrival")) << res.summary();
+}
+
+TEST(Validator, UnitCapacityErrorNamesJobsAndNode) {
+  Baseline b = make_baseline();
+  ScheduleRecorder bad;
+  for (Segment s : b.recorder.segments()) bad.add(s);
+  // Run job 1 on the router while job 0's burst is still in progress there.
+  const NodeId router = b.inst.tree().root_children()[0];
+  Segment clash;
+  bool found = false;
+  for (const Segment& s : b.recorder.segments())
+    if (s.node == router && s.job == 0) {
+      clash = s;
+      found = true;
+      break;
+    }
+  ASSERT_TRUE(found);
+  clash.job = 1;
+  bad.add(clash);
+  const auto res =
+      sim::validate_schedule(b.inst, b.speeds, b.cfg, bad, b.metrics);
+  ASSERT_FALSE(res.ok);
+  EXPECT_TRUE(
+      any_error_contains(res, "node " + std::to_string(router) + " overlaps"))
+      << res.summary();
+  EXPECT_TRUE(any_error_contains(res, "job 0")) << res.summary();
+  EXPECT_TRUE(any_error_contains(res, "job 1")) << res.summary();
+}
+
 TEST(Validator, ChunkedScheduleValidates) {
   Instance inst(builders::star_of_paths(1, 3), {Job(0, 0.0, 3.0)},
                 EndpointModel::kIdentical);

@@ -1,0 +1,98 @@
+// TS_REQUIRE / TS_CHECK: thrown types, message formatting, pass-through.
+#include "treesched/util/assert.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace {
+
+TEST(UtilAssert, RequirePassesWhenTrue) {
+  EXPECT_NO_THROW(TS_REQUIRE(1 + 1 == 2, "arithmetic works"));
+}
+
+TEST(UtilAssert, CheckPassesWhenTrue) {
+  EXPECT_NO_THROW(TS_CHECK(true, "trivially true"));
+}
+
+TEST(UtilAssert, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(TS_REQUIRE(false, "boom"), std::invalid_argument);
+}
+
+TEST(UtilAssert, CheckThrowsLogicError) {
+  EXPECT_THROW(TS_CHECK(false, "boom"), std::logic_error);
+}
+
+TEST(UtilAssert, RequireIsNotCaughtAsLogicErrorSubtypeConfusion) {
+  // std::invalid_argument derives from std::logic_error; the distinction that
+  // matters is that TS_CHECK does NOT throw invalid_argument.
+  EXPECT_THROW(TS_CHECK(false, ""), std::logic_error);
+  bool caught_invalid = false;
+  try {
+    TS_CHECK(false, "");
+  } catch (const std::invalid_argument&) {
+    caught_invalid = true;
+  } catch (const std::logic_error&) {
+  }
+  EXPECT_FALSE(caught_invalid);
+}
+
+TEST(UtilAssert, RequireMessageNamesExpressionFileAndDetail) {
+  try {
+    TS_REQUIRE(2 < 1, "two is not less than one");
+    FAIL() << "TS_REQUIRE did not throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("precondition failed"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 < 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("util_assert_test"), std::string::npos) << what;
+    EXPECT_NE(what.find("two is not less than one"), std::string::npos) << what;
+  }
+}
+
+TEST(UtilAssert, CheckMessageNamesExpressionFileAndDetail) {
+  try {
+    TS_CHECK(false, "queue drained unexpectedly");
+    FAIL() << "TS_CHECK did not throw";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("invariant violated"), std::string::npos) << what;
+    EXPECT_NE(what.find("util_assert_test"), std::string::npos) << what;
+    EXPECT_NE(what.find("queue drained unexpectedly"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(UtilAssert, EmptyDetailOmitsSeparator) {
+  try {
+    TS_REQUIRE(false, "");
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_EQ(what.find(" — "), std::string::npos) << what;
+  }
+}
+
+TEST(UtilAssert, DetailMayBeStdString) {
+  const std::string detail = "built at runtime";
+  try {
+    TS_REQUIRE(false, detail + " indeed");
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("built at runtime indeed"),
+              std::string::npos);
+  }
+}
+
+TEST(UtilAssert, ConditionEvaluatedExactlyOnce) {
+  int calls = 0;
+  auto pred = [&calls]() {
+    ++calls;
+    return true;
+  };
+  TS_REQUIRE(pred(), "side effects counted");
+  EXPECT_EQ(calls, 1);
+  TS_CHECK(pred(), "side effects counted");
+  EXPECT_EQ(calls, 2);
+}
+
+}  // namespace

@@ -3,6 +3,7 @@
 
 #include <cmath>
 
+#include "treesched/core/types.hpp"
 #include "treesched/util/rng.hpp"
 
 namespace treesched::util {
@@ -36,7 +37,7 @@ TEST(Rng, UniformIntRespectsBoundsAndCoversRange) {
     const auto v = r.uniform_int(10, 15);
     ASSERT_GE(v, 10);
     ASSERT_LE(v, 15);
-    ++seen[v - 10];
+    ++seen[uidx(v - 10)];
   }
   for (int c : seen) EXPECT_GT(c, 700);  // roughly uniform
 }

@@ -55,9 +55,9 @@ TEST(Weighted, UnitWeightsKeepHdfEqualToSjf) {
   spec.jobs = 60;
   spec.load = 0.9;
   const Instance inst = workload::generate(rng, tree, spec);
-  std::vector<NodeId> assign(inst.job_count());
+  std::vector<NodeId> assign(uidx(inst.job_count()));
   for (JobId j = 0; j < inst.job_count(); ++j)
-    assign[j] = inst.tree().leaves()[j % inst.tree().leaves().size()];
+    assign[uidx(j)] = inst.tree().leaves()[uidx(j) % inst.tree().leaves().size()];
 
   const SpeedProfile speeds = SpeedProfile::uniform(inst.tree(), 1.2);
   sim::EngineConfig sjf_cfg;

@@ -51,6 +51,8 @@ int main(int argc, char** argv) {
   auto& chunk = cli.add_double("chunk", 0.0,
                                "pipelined router chunk size (0=off)");
   auto& validate = cli.add_flag("validate", "replay-check the schedule");
+  auto& record_out = cli.add_string(
+      "record-out", "", "write the burst log here for treesched_audit");
   auto& with_lb = cli.add_flag("lb", "also compute the certified lower bound");
   auto& seed = cli.add_int("seed", 1, "seed for randomized policies");
   cli.parse(argc, argv);
@@ -62,7 +64,7 @@ int main(int argc, char** argv) {
 
     sim::EngineConfig cfg;
     cfg.router_chunk_size = chunk;
-    cfg.record_schedule = validate;
+    cfg.record_schedule = validate || !record_out.empty();
     if (node_policy == "fifo") cfg.node_policy = sim::NodePolicy::kFifo;
     else if (node_policy == "srpt") cfg.node_policy = sim::NodePolicy::kSrpt;
     else if (node_policy == "lcfs") cfg.node_policy = sim::NodePolicy::kLcfs;
@@ -85,6 +87,10 @@ int main(int argc, char** argv) {
       sim::ScheduleRecorder recorder;
       metrics = algo::run_anycast(inst, speeds, strategy, cfg, &paths,
                                   &recorder);
+      if (!record_out.empty())
+        sim::write_run_log_file(
+            record_out,
+            sim::make_run_log(inst, speeds, cfg, recorder, metrics, paths));
       if (validate) {
         const auto res = sim::validate_schedule(inst, speeds, cfg, recorder,
                                                 metrics, paths);
@@ -98,6 +104,10 @@ int main(int argc, char** argv) {
                                       static_cast<std::uint64_t>(seed));
       sim::Engine engine(inst, speeds, cfg);
       engine.run(*policy);
+      if (!record_out.empty())
+        sim::write_run_log_file(
+            record_out, sim::make_run_log(inst, speeds, cfg, engine.recorder(),
+                                          engine.metrics()));
       if (validate) {
         const auto res = sim::validate_schedule(
             inst, speeds, cfg, engine.recorder(), engine.metrics());
