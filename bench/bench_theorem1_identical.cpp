@@ -6,11 +6,34 @@
 // its total flow time to the certified lower bound on the speed-1
 // adversary's optimum. Expected shape: the ratio stays bounded for every
 // eps and grows as eps shrinks — never exploding with instance size.
+//
+// Repetitions fan out over the exec thread pool (TREESCHED_THREADS workers,
+// default hardware concurrency); every rep's seed is a pure function of its
+// grid position, so the tables are identical at any thread count.
 #include <iostream>
 
+#include "treesched/exec/parallel.hpp"
 #include "treesched/treesched.hpp"
 
 using namespace treesched;
+
+namespace {
+
+experiments::RatioResult run_cell(std::uint64_t rep_seed, int jobs,
+                                  double load, double eps) {
+  util::Rng rng(rep_seed);
+  const Tree tree = builders::fat_tree(2, 2, 2);
+  workload::WorkloadSpec spec;
+  spec.jobs = jobs;
+  spec.load = load;
+  spec.sizes.dist = workload::SizeDistribution::kBoundedPareto;
+  spec.sizes.class_eps = eps;
+  const Instance inst = workload::generate(rng, tree, spec);
+  return experiments::measure_ratio(
+      inst, SpeedProfile::paper_identical(inst.tree(), eps), "paper", eps);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   util::Cli cli("bench_theorem1_identical",
@@ -27,26 +50,29 @@ int main(int argc, char** argv) {
       "ratio = ALG total flow / certified lower bound (speed-1 adversary).\n"
       "Expected shape: bounded for all eps; grows as eps decreases.\n\n";
 
+  const std::size_t threads = exec::default_thread_count();
   util::Table table({"eps", "speed profile", "ratio mean", "ratio min",
                      "ratio max", "mean flow"});
   util::CsvWriter csv({"eps", "rep", "ratio", "alg_flow", "lower_bound"});
 
-  for (const double eps : experiments::epsilon_sweep()) {
+  // Flatten the eps × rep grid into one task list; gather by index.
+  const std::vector<double> eps_grid = experiments::epsilon_sweep();
+  const auto ureps = static_cast<std::size_t>(reps);
+  const auto results = exec::parallel_map(
+      threads, eps_grid.size() * ureps, [&](std::size_t t) {
+        const double eps = eps_grid[t / ureps];
+        const std::size_t rep = t % ureps;
+        const std::uint64_t rep_seed = static_cast<std::uint64_t>(seed) * 1000 +
+                                       rep * 17 +
+                                       static_cast<std::uint64_t>(eps * 1000);
+        return run_cell(rep_seed, static_cast<int>(jobs), load, eps);
+      });
+  for (std::size_t e = 0; e < eps_grid.size(); ++e) {
+    const double eps = eps_grid[e];
     stats::Summary ratios;
     stats::Summary flows;
-    for (int rep = 0; rep < reps; ++rep) {
-      util::Rng rng(static_cast<std::uint64_t>(seed) * 1000 + uidx(rep) * 17 +
-                    static_cast<std::uint64_t>(eps * 1000));
-      const Tree tree = builders::fat_tree(2, 2, 2);
-      workload::WorkloadSpec spec;
-      spec.jobs = static_cast<int>(jobs);
-      spec.load = load;
-      spec.sizes.dist = workload::SizeDistribution::kBoundedPareto;
-      spec.sizes.class_eps = eps;
-      const Instance inst = workload::generate(rng, tree, spec);
-      const auto r = experiments::measure_ratio(
-          inst, SpeedProfile::paper_identical(inst.tree(), eps), "paper",
-          eps);
+    for (std::size_t rep = 0; rep < ureps; ++rep) {
+      const auto& r = results[e * ureps + rep];
       ratios.add(r.ratio);
       flows.add(r.mean_flow);
       csv.add(eps, rep, r.ratio, r.alg_flow, r.lower_bound);
@@ -62,23 +88,20 @@ int main(int argc, char** argv) {
   // the ratio must stay flat as n grows (only its variance shrinks).
   std::cout << "\ninstance-size independence (eps = 0.5):\n\n";
   util::Table scale_table({"jobs", "ratio mean", "ratio max"});
-  for (const int n : {125, 500, 2000, 8000}) {
+  const std::vector<int> sizes = {125, 500, 2000, 8000};
+  const auto scale_results = exec::parallel_map(
+      threads, sizes.size() * ureps, [&](std::size_t t) {
+        const int n = sizes[t / ureps];
+        const std::size_t rep = t % ureps;
+        const std::uint64_t rep_seed =
+            static_cast<std::uint64_t>(seed) * 31 + rep + uidx(n);
+        return run_cell(rep_seed, n, load, 0.5);
+      });
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
     stats::Summary ratios;
-    for (int rep = 0; rep < reps; ++rep) {
-      util::Rng rng(static_cast<std::uint64_t>(seed) * 31 + uidx(rep) + uidx(n));
-      const Tree tree = builders::fat_tree(2, 2, 2);
-      workload::WorkloadSpec spec;
-      spec.jobs = n;
-      spec.load = load;
-      spec.sizes.dist = workload::SizeDistribution::kBoundedPareto;
-      spec.sizes.class_eps = 0.5;
-      const Instance inst = workload::generate(rng, tree, spec);
-      const auto r = experiments::measure_ratio(
-          inst, SpeedProfile::paper_identical(inst.tree(), 0.5), "paper",
-          0.5);
-      ratios.add(r.ratio);
-    }
-    scale_table.add(n, ratios.mean(), ratios.max());
+    for (std::size_t rep = 0; rep < ureps; ++rep)
+      ratios.add(scale_results[i * ureps + rep].ratio);
+    scale_table.add(sizes[i], ratios.mean(), ratios.max());
   }
   std::cout << scale_table.str();
   if (!csv_path.empty()) csv.write_file(csv_path);

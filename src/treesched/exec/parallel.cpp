@@ -1,0 +1,27 @@
+#include "treesched/exec/parallel.hpp"
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+namespace treesched::exec {
+
+std::size_t hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::size_t default_thread_count() {
+  const char* env = std::getenv("TREESCHED_THREADS");
+  if (env != nullptr && *env != '\0') {
+    try {
+      const long v = std::stol(env);
+      if (v >= 1) return v > 512 ? 512 : static_cast<std::size_t>(v);
+    } catch (const std::exception&) {
+      // fall through to the hardware default
+    }
+  }
+  return hardware_threads();
+}
+
+}  // namespace treesched::exec

@@ -1,0 +1,101 @@
+// Deterministic parallel map over an index range.
+//
+// Determinism contract: the function receives only its task index (derive
+// per-task randomness with util::split_seed(base, index)), and results are
+// gathered by task index — never by completion order — so the output vector
+// is bit-identical for any thread count, including the fully sequential
+// threads == 1 path.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <future>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "treesched/exec/thread_pool.hpp"
+
+namespace treesched::exec {
+
+/// std::thread::hardware_concurrency() clamped to at least 1.
+std::size_t hardware_threads();
+
+/// Worker count for experiment parallelism: the TREESCHED_THREADS environment
+/// variable when set (clamped to [1, 512]; invalid values fall back), else
+/// hardware_threads(). `TREESCHED_THREADS=1` restores fully sequential
+/// execution in every rewired code path.
+std::size_t default_thread_count();
+
+/// Runs fn(0..n-1) on `threads` workers and returns the results in index
+/// order. threads <= 1 executes inline on the caller's thread (no pool, no
+/// extra threads — exactly the pre-parallel behavior). The first exception
+/// thrown by any task is rethrown after the pool drains.
+template <typename Fn>
+auto parallel_map(std::size_t threads, std::size_t n, Fn&& fn)
+    -> std::vector<decltype(fn(std::size_t{0}))> {
+  using R = decltype(fn(std::size_t{0}));
+  std::vector<R> out;
+  out.reserve(n);
+  if (threads <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) out.push_back(fn(i));
+    return out;
+  }
+  ThreadPool pool(threads < n ? threads : n);
+  std::vector<std::future<R>> futures;
+  futures.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    futures.push_back(pool.submit([&fn, i] { return fn(i); }));
+  for (std::size_t i = 0; i < n; ++i) out.push_back(futures[i].get());
+  return out;
+}
+
+/// parallel_map without results.
+template <typename Fn>
+void parallel_for(std::size_t threads, std::size_t n, Fn&& fn) {
+  parallel_map(threads, n, [&fn](std::size_t i) {
+    fn(i);
+    return 0;
+  });
+}
+
+/// Result of gather_with_deadline: values in index order (nullopt for tasks
+/// that missed the deadline or threw), plus the indices of each kind.
+template <typename R>
+struct GatherReport {
+  std::vector<std::optional<R>> values;
+  std::vector<std::size_t> timed_out;
+  /// (index, exception message) for tasks that threw.
+  std::vector<std::pair<std::size_t, std::string>> failed;
+};
+
+/// Index-ordered gather with a per-task patience budget: waits at most
+/// `timeout` for each future (measured from the moment its turn to be
+/// gathered comes up; while earlier tasks are waited on, later ones run — or
+/// finish — in the background). timeout <= 0 waits forever. Never hangs on a
+/// wedged task: the caller owns the pool and decides whether to drain or
+/// abandon() it afterwards.
+template <typename R>
+GatherReport<R> gather_with_deadline(std::vector<std::future<R>>& futures,
+                                     std::chrono::milliseconds timeout) {
+  GatherReport<R> report;
+  report.values.resize(futures.size());
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    if (timeout.count() > 0 &&
+        futures[i].wait_for(timeout) != std::future_status::ready) {
+      report.timed_out.push_back(i);
+      continue;
+    }
+    try {
+      report.values[i] = futures[i].get();
+    } catch (const std::exception& e) {
+      report.failed.emplace_back(i, e.what());
+    } catch (...) {
+      report.failed.emplace_back(i, "unknown exception");
+    }
+  }
+  return report;
+}
+
+}  // namespace treesched::exec

@@ -1,0 +1,336 @@
+#include "treesched/exec/sweep.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "treesched/algo/policies.hpp"
+#include "treesched/exec/parallel.hpp"
+#include "treesched/experiments/harness.hpp"
+#include "treesched/lp/lower_bounds.hpp"
+#include "treesched/sim/engine.hpp"
+#include "treesched/sim/run_log.hpp"
+#include "treesched/stats/bootstrap.hpp"
+#include "treesched/stats/summary.hpp"
+#include "treesched/util/log.hpp"
+#include "treesched/util/rng.hpp"
+#include "treesched/util/stopwatch.hpp"
+#include "treesched/util/table.hpp"
+#include "treesched/workload/generator.hpp"
+#include "treesched/workload/trace_io.hpp"
+
+namespace treesched::exec {
+
+namespace {
+
+struct Grid {
+  SweepSpec spec;  // trees / eps resolved
+  std::vector<std::shared_ptr<const Tree>> trees;
+};
+
+Grid resolve(const SweepSpec& in) {
+  Grid g;
+  g.spec = in;
+  if (g.spec.policies.empty())
+    throw std::invalid_argument("sweep: no policies given");
+  if (g.spec.seeds <= 0)
+    throw std::invalid_argument("sweep: seeds must be positive");
+  if (g.spec.jobs <= 0)
+    throw std::invalid_argument("sweep: jobs must be positive");
+  if (g.spec.eps_grid.empty()) g.spec.eps_grid = experiments::epsilon_sweep();
+
+  const auto named = experiments::standard_trees();
+  if (g.spec.trees.empty())
+    for (const auto& nt : named) g.spec.trees.push_back(nt.name);
+  for (const std::string& want : g.spec.trees) {
+    const auto it =
+        std::find_if(named.begin(), named.end(),
+                     [&want](const auto& nt) { return nt.name == want; });
+    if (it == named.end())
+      throw std::invalid_argument("sweep: unknown tree '" + want +
+                                  "' (see experiments::standard_trees)");
+    g.trees.push_back(std::make_shared<const Tree>(it->tree));
+  }
+  return g;
+}
+
+/// Runs one grid point. Pure in (grid, task.index): every random choice
+/// derives from task.seed, so the result is thread-count independent.
+SweepTask run_one(const Grid& grid, SweepTask task) {
+  const util::Stopwatch watch;
+  const SweepSpec& spec = grid.spec;
+  const double eps = spec.eps_grid[task.eps_i];
+
+  util::Rng rng(task.seed);
+  workload::WorkloadSpec wspec;
+  wspec.jobs = spec.jobs;
+  wspec.load = spec.load;
+  wspec.sizes.dist = workload::SizeDistribution::kBoundedPareto;
+  wspec.sizes.class_eps = eps;
+  const Instance inst =
+      workload::generate(rng, grid.trees[task.tree_i], wspec);
+  const SpeedProfile speeds = SpeedProfile::paper_identical(inst.tree(), eps);
+
+  sim::EngineConfig cfg;
+  const bool record = !spec.record_dir.empty();
+  cfg.record_schedule = record;
+  const auto policy =
+      algo::make_policy(spec.policies[task.policy_i], inst, eps, task.seed);
+  sim::Engine engine(inst, speeds, cfg);
+  engine.run(*policy);
+
+  const sim::Metrics& m = engine.metrics();
+  task.alg_flow = m.total_flow_time();
+  task.mean_flow = m.mean_flow_time();
+  task.lower_bound = lp::combined_lower_bound(inst);
+  task.ratio =
+      task.lower_bound > 0.0 ? task.alg_flow / task.lower_bound : 0.0;
+  if (record) {
+    // One file pair per task (index-suffixed): concurrent workers never
+    // share a stream, and each pair replays under treesched_audit.
+    workload::write_trace_file(
+        sim::task_log_path(spec.record_dir + "/trace.txt", task.index), inst);
+    sim::write_run_log_file(
+        sim::task_log_path(spec.record_dir + "/run.log", task.index),
+        sim::make_run_log(inst, speeds, cfg, engine.recorder(), m));
+  }
+  task.status = TaskStatus::kOk;
+  task.wall_ms = watch.elapsed_seconds() * 1000.0;
+  return task;
+}
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out + "\"";
+}
+
+}  // namespace
+
+SweepResult run_sweep(const SweepSpec& in) {
+  const util::Stopwatch watch;
+  const Grid grid = resolve(in);
+  const SweepSpec& spec = grid.spec;
+  if (!spec.record_dir.empty())
+    std::filesystem::create_directories(spec.record_dir);
+
+  // Fixed task enumeration; task identity never depends on execution.
+  std::vector<SweepTask> tasks;
+  for (std::size_t p = 0; p < spec.policies.size(); ++p)
+    for (std::size_t t = 0; t < grid.trees.size(); ++t)
+      for (std::size_t e = 0; e < spec.eps_grid.size(); ++e)
+        for (int s = 0; s < spec.seeds; ++s) {
+          SweepTask task;
+          task.index = tasks.size();
+          task.policy_i = p;
+          task.tree_i = t;
+          task.eps_i = e;
+          task.seed_index = s;
+          task.seed = util::split_seed(spec.base_seed, task.index);
+          tasks.push_back(task);
+        }
+
+  SweepResult result;
+  result.spec = spec;
+  result.threads_used =
+      spec.threads == 0 ? default_thread_count() : spec.threads;
+  result.tasks.resize(tasks.size());
+
+  const bool use_pool = result.threads_used > 1 || spec.timeout_ms > 0.0;
+  if (!use_pool) {
+    for (const SweepTask& task : tasks)
+      result.tasks[task.index] = run_one(grid, task);
+  } else {
+    ThreadPool pool(std::min(result.threads_used, tasks.size()));
+    std::vector<std::future<SweepTask>> futures;
+    futures.reserve(tasks.size());
+    for (const SweepTask& task : tasks)
+      futures.push_back(
+          pool.submit([&grid, task] { return run_one(grid, task); }));
+    // Any positive budget must stay a budget: sub-millisecond values would
+    // otherwise truncate to 0, which gather_with_deadline reads as "forever".
+    const auto patience = std::chrono::milliseconds(
+        spec.timeout_ms > 0.0
+            ? std::max(1LL, static_cast<long long>(spec.timeout_ms))
+            : 0LL);
+    auto gathered = gather_with_deadline(futures, patience);
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      if (gathered.values[i]) {
+        result.tasks[i] = std::move(*gathered.values[i]);
+      } else {
+        result.tasks[i] = tasks[i];
+        result.tasks[i].status = TaskStatus::kTimedOut;
+      }
+    }
+    for (const auto& [i, what] : gathered.failed) {
+      result.tasks[i].status = TaskStatus::kFailed;
+      result.tasks[i].error = what;
+      util::log_warn("sweep task ", i, " failed: ", what);
+    }
+    if (!gathered.timed_out.empty()) {
+      // Skipped-task report instead of a hang: drop unstarted work and
+      // detach any worker still stuck inside a task.
+      util::log_warn("sweep: ", gathered.timed_out.size(),
+                     " task(s) exceeded --timeout-ms; reporting them as "
+                     "skipped");
+      pool.cancel_pending();
+      pool.abandon();
+    }
+  }
+
+  // Per-cell aggregation, in enumeration order, from index-ordered results.
+  const std::size_t cell_count = spec.policies.size() * grid.trees.size() *
+                                 spec.eps_grid.size();
+  result.cells.reserve(cell_count);
+  std::size_t cursor = 0;
+  for (std::size_t p = 0; p < spec.policies.size(); ++p)
+    for (std::size_t t = 0; t < grid.trees.size(); ++t)
+      for (std::size_t e = 0; e < spec.eps_grid.size(); ++e) {
+        SweepCellStats cell;
+        cell.policy_i = p;
+        cell.tree_i = t;
+        cell.eps_i = e;
+        stats::Summary ratios;
+        stats::Summary flows;
+        std::vector<double> samples;
+        for (int s = 0; s < spec.seeds; ++s, ++cursor) {
+          const SweepTask& task = result.tasks[cursor];
+          if (task.status != TaskStatus::kOk) {
+            ++cell.skipped;
+            continue;
+          }
+          ratios.add(task.ratio);
+          flows.add(task.mean_flow);
+          samples.push_back(task.ratio);
+        }
+        cell.count = ratios.count();
+        if (cell.count > 0) {
+          cell.ratio_mean = ratios.mean();
+          cell.ratio_min = ratios.min();
+          cell.ratio_max = ratios.max();
+          cell.mean_flow = flows.mean();
+          // Bootstrap stream keyed by the cell's enumeration index, not by
+          // any task stream: deterministic at any thread count.
+          util::Rng boot(util::split_seed(~spec.base_seed,
+                                          result.cells.size()));
+          const auto ci = stats::bootstrap_mean_ci(boot, samples);
+          cell.ratio_ci_lo = ci.first;
+          cell.ratio_ci_hi = ci.second;
+        }
+        result.cells.push_back(cell);
+      }
+
+  for (const SweepTask& task : result.tasks) result.task_ms_sum += task.wall_ms;
+  result.wall_ms = watch.elapsed_seconds() * 1000.0;
+  return result;
+}
+
+std::string sweep_json(const SweepResult& r, bool include_timing) {
+  const SweepSpec& spec = r.spec;
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"treesched-sweep-v1\",\n  \"spec\": {\n";
+  os << "    \"policies\": [";
+  for (std::size_t i = 0; i < spec.policies.size(); ++i)
+    os << (i ? ", " : "") << quoted(spec.policies[i]);
+  os << "],\n    \"trees\": [";
+  for (std::size_t i = 0; i < spec.trees.size(); ++i)
+    os << (i ? ", " : "") << quoted(spec.trees[i]);
+  os << "],\n    \"eps\": [";
+  for (std::size_t i = 0; i < spec.eps_grid.size(); ++i)
+    os << (i ? ", " : "") << fmt(spec.eps_grid[i]);
+  os << "],\n    \"seeds\": " << spec.seeds
+     << ",\n    \"base_seed\": " << spec.base_seed
+     << ",\n    \"jobs\": " << spec.jobs
+     << ",\n    \"load\": " << fmt(spec.load)
+     << ",\n    \"timeout_ms\": " << fmt(spec.timeout_ms) << "\n  },\n";
+
+  os << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < r.cells.size(); ++i) {
+    const SweepCellStats& c = r.cells[i];
+    os << "    {\"policy\": " << quoted(spec.policies[c.policy_i])
+       << ", \"tree\": " << quoted(spec.trees[c.tree_i])
+       << ", \"eps\": " << fmt(spec.eps_grid[c.eps_i])
+       << ", \"count\": " << c.count << ", \"skipped\": " << c.skipped
+       << ", \"ratio_mean\": " << fmt(c.ratio_mean)
+       << ", \"ratio_ci95\": [" << fmt(c.ratio_ci_lo) << ", "
+       << fmt(c.ratio_ci_hi) << "]"
+       << ", \"ratio_min\": " << fmt(c.ratio_min)
+       << ", \"ratio_max\": " << fmt(c.ratio_max)
+       << ", \"mean_flow\": " << fmt(c.mean_flow) << "}"
+       << (i + 1 < r.cells.size() ? "," : "") << '\n';
+  }
+  os << "  ],\n";
+
+  os << "  \"tasks\": [\n";
+  for (std::size_t i = 0; i < r.tasks.size(); ++i) {
+    const SweepTask& t = r.tasks[i];
+    const char* status = t.status == TaskStatus::kOk ? "ok"
+                         : t.status == TaskStatus::kTimedOut ? "timeout"
+                                                             : "failed";
+    os << "    {\"index\": " << t.index << ", \"policy\": "
+       << quoted(spec.policies[t.policy_i])
+       << ", \"tree\": " << quoted(spec.trees[t.tree_i])
+       << ", \"eps\": " << fmt(spec.eps_grid[t.eps_i])
+       << ", \"seed_index\": " << t.seed_index << ", \"seed\": " << t.seed
+       << ", \"status\": \"" << status << "\""
+       << ", \"ratio\": " << fmt(t.ratio)
+       << ", \"alg_flow\": " << fmt(t.alg_flow)
+       << ", \"lower_bound\": " << fmt(t.lower_bound) << "}"
+       << (i + 1 < r.tasks.size() ? "," : "") << '\n';
+  }
+  os << "  ],\n";
+
+  os << "  \"skipped_tasks\": [";
+  bool first = true;
+  for (const SweepTask& t : r.tasks)
+    if (t.status != TaskStatus::kOk) {
+      os << (first ? "" : ", ") << t.index;
+      first = false;
+    }
+  os << "]";
+
+  if (include_timing) {
+    // Everything below varies run to run; it is opt-in so the default
+    // document stays byte-identical across thread counts.
+    os << ",\n  \"timing\": {\"threads\": " << r.threads_used
+       << ", \"wall_ms\": " << fmt(r.wall_ms)
+       << ", \"task_ms_sum\": " << fmt(r.task_ms_sum)
+       << ", \"speedup_estimate\": "
+       << fmt(r.wall_ms > 0.0 ? r.task_ms_sum / r.wall_ms : 0.0) << "}";
+  }
+  os << "\n}\n";
+  return os.str();
+}
+
+void write_sweep_json_file(const std::string& path, const SweepResult& result,
+                           bool include_timing) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open json output: " + path);
+  f << sweep_json(result, include_timing);
+}
+
+std::string sweep_table(const SweepResult& r) {
+  util::Table table({"policy", "tree", "eps", "reps", "ratio mean", "ci95 lo",
+                     "ci95 hi", "ratio max", "skipped"});
+  for (const SweepCellStats& c : r.cells)
+    table.add(r.spec.policies[c.policy_i], r.spec.trees[c.tree_i],
+              r.spec.eps_grid[c.eps_i], c.count, c.ratio_mean, c.ratio_ci_lo,
+              c.ratio_ci_hi, c.ratio_max, c.skipped);
+  return table.str();
+}
+
+}  // namespace treesched::exec

@@ -1,0 +1,94 @@
+// Declarative policy × topology × eps × seed sweeps over the thread pool.
+//
+// A sweep expands its grid into a fixed task enumeration, gives task i the
+// seed util::split_seed(base_seed, i), fans the tasks out over a ThreadPool,
+// and gathers results by task index. Because no task ever observes thread
+// count or completion order, the aggregated results — and the JSON emitted
+// by sweep_json(result, /*include_timing=*/false) — are byte-identical for
+// any --threads value, which is the determinism contract the ctest suite
+// pins down.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace treesched::exec {
+
+/// The declarative sweep description (the CLI flags of treesched_sweep map
+/// onto this 1:1). The first block identifies the results; the second block
+/// only controls execution and is excluded from the deterministic JSON.
+struct SweepSpec {
+  std::vector<std::string> policies{"paper"};  ///< run_named_policy names
+  /// Topology names from experiments::standard_trees(); empty = all of them.
+  std::vector<std::string> trees;
+  /// Speed-augmentation grid; empty = experiments::epsilon_sweep().
+  std::vector<double> eps_grid;
+  int seeds = 3;                 ///< repetitions per (policy, tree, eps) cell
+  std::uint64_t base_seed = 1;
+  int jobs = 200;                ///< jobs per generated instance
+  double load = 0.85;            ///< root-cut utilization
+
+  // Execution knobs — never part of the result identity.
+  std::size_t threads = 0;       ///< 0 = default_thread_count()
+  double timeout_ms = 0.0;       ///< per-task gather patience; 0 = none
+  /// When non-empty: every task writes its instance trace and run log here
+  /// (index-suffixed via sim::task_log_path) for offline treesched_audit.
+  std::string record_dir;
+};
+
+enum class TaskStatus { kOk, kTimedOut, kFailed };
+
+/// One (policy, tree, eps, seed-index) measurement.
+struct SweepTask {
+  std::size_t index = 0;         ///< position in the fixed enumeration
+  std::size_t policy_i = 0, tree_i = 0, eps_i = 0;
+  int seed_index = 0;
+  std::uint64_t seed = 0;        ///< split_seed(base_seed, index)
+  TaskStatus status = TaskStatus::kOk;
+  double ratio = 0.0;
+  double alg_flow = 0.0;
+  double lower_bound = 0.0;
+  double mean_flow = 0.0;
+  double wall_ms = 0.0;          ///< timing metadata; not in deterministic JSON
+  std::string error;             ///< kFailed: the exception message
+};
+
+/// Per-cell aggregate over the cell's completed repetitions.
+struct SweepCellStats {
+  std::size_t policy_i = 0, tree_i = 0, eps_i = 0;
+  std::size_t count = 0;    ///< completed repetitions
+  std::size_t skipped = 0;  ///< timed out or failed
+  double ratio_mean = 0.0, ratio_ci_lo = 0.0, ratio_ci_hi = 0.0;
+  double ratio_min = 0.0, ratio_max = 0.0;
+  double mean_flow = 0.0;
+};
+
+struct SweepResult {
+  SweepSpec spec;                   ///< trees / eps grid resolved
+  std::vector<SweepTask> tasks;
+  std::vector<SweepCellStats> cells;
+  std::size_t threads_used = 1;
+  double wall_ms = 0.0;             ///< orchestration wall clock
+  double task_ms_sum = 0.0;         ///< sequential-cost estimate
+};
+
+/// Expands the grid and runs it. Throws std::invalid_argument on unknown
+/// policy/tree names or an empty grid. Timed-out tasks are reported as
+/// skipped (never hang the sweep); their workers are abandoned on exit.
+SweepResult run_sweep(const SweepSpec& spec);
+
+/// Machine-readable results. The default document is deterministic: spec,
+/// per-cell stats (mean / bootstrap CI / min / max), per-task ratios, and
+/// skip reports, all doubles printed with %.17g. include_timing appends a
+/// "timing" block (threads, wall clock, speedup estimate) that naturally
+/// varies run to run.
+std::string sweep_json(const SweepResult& result, bool include_timing);
+void write_sweep_json_file(const std::string& path, const SweepResult& result,
+                           bool include_timing);
+
+/// The human-facing per-cell table.
+std::string sweep_table(const SweepResult& result);
+
+}  // namespace treesched::exec

@@ -1,0 +1,95 @@
+#include "treesched/exec/thread_pool.hpp"
+
+#include <stdexcept>
+
+namespace treesched::exec {
+
+ThreadPool::ThreadPool(std::size_t workers)
+    : state_(std::make_shared<State>()) {
+  if (workers == 0) workers = 1;
+  workers_.reserve(workers);
+  // Each worker co-owns the state, so abandon() can detach them and destroy
+  // the pool while a wedged task is still running.
+  for (std::size_t i = 0; i < workers; ++i)
+    workers_.emplace_back([state = state_] { worker_loop(*state); });
+}
+
+ThreadPool::~ThreadPool() {
+  if (!abandoned_) shutdown();
+}
+
+void ThreadPool::enqueue(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->stopping)
+      throw std::runtime_error("ThreadPool: submit after shutdown");
+    state_->queue.push(std::move(fn));
+  }
+  state_->work_cv.notify_one();
+}
+
+void ThreadPool::worker_loop(State& s) {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(s.mu);
+      s.work_cv.wait(lock, [&s] { return s.stopping || !s.queue.empty(); });
+      if (s.queue.empty()) return;  // stopping with a drained queue
+      task = std::move(s.queue.front());
+      s.queue.pop();
+      ++s.active;
+    }
+    task();  // a packaged_task: exceptions land in the caller's future
+    {
+      std::lock_guard<std::mutex> lock(s.mu);
+      --s.active;
+    }
+    s.idle_cv.notify_all();
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->idle_cv.wait(
+      lock, [this] { return state_->queue.empty() && state_->active == 0; });
+}
+
+std::size_t ThreadPool::cancel_pending() {
+  std::queue<std::function<void()>> dropped;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    dropped.swap(state_->queue);
+  }
+  state_->idle_cv.notify_all();
+  // Destroying a packaged_task before invocation breaks its promise; the
+  // matching futures throw std::future_error(broken_promise) on get().
+  return dropped.size();
+}
+
+void ThreadPool::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->stopping = true;
+  }
+  state_->work_cv.notify_all();
+  for (std::thread& w : workers_)
+    if (w.joinable()) w.join();
+}
+
+std::size_t ThreadPool::abandon() {
+  std::size_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->stopping = true;
+    dropped = state_->queue.size();
+    std::queue<std::function<void()>>().swap(state_->queue);
+  }
+  abandoned_ = true;
+  state_->work_cv.notify_all();
+  state_->idle_cv.notify_all();
+  for (std::thread& w : workers_)
+    if (w.joinable()) w.detach();
+  return dropped;
+}
+
+}  // namespace treesched::exec

@@ -1,0 +1,87 @@
+// Fixed-size work-queue thread pool for the experiment layer.
+//
+// Tasks are submitted as callables and return std::future; exceptions thrown
+// inside a task are captured and rethrown from future::get(). The destructor
+// drains every queued task and joins the workers, so a pool on the stack
+// behaves like a synchronous scope. For timeout recovery there are two escape
+// hatches: cancel_pending() drops tasks that have not started (their futures
+// report broken_promise), and abandon() additionally detaches the worker
+// threads so the process can exit while a stuck task is still running.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace treesched::exec {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (at least 1).
+  explicit ThreadPool(std::size_t workers);
+
+  /// Drains all queued tasks, then joins (unless abandon() was called).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+  /// Enqueues `fn`; the returned future yields its result or rethrows the
+  /// exception it raised. Throws std::runtime_error after shutdown/abandon.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+  /// Blocks until the queue is empty and no worker is running a task.
+  void wait_idle();
+
+  /// Drops every task that has not started yet; their futures throw
+  /// std::future_error(broken_promise) on get(). Returns how many were
+  /// dropped. In-flight tasks are unaffected.
+  std::size_t cancel_pending();
+
+  /// Stops accepting work, finishes everything queued, joins the workers.
+  /// Idempotent; also called by the destructor.
+  void shutdown();
+
+  /// Timeout escape hatch: stop accepting work, drop the queue, and detach
+  /// the workers so a wedged task cannot block process exit. The pool is
+  /// unusable afterwards. Returns the number of dropped queued tasks.
+  std::size_t abandon();
+
+ private:
+  /// Shared between the pool handle and the workers; co-owned so detached
+  /// workers (after abandon()) never touch freed memory.
+  struct State {
+    std::mutex mu;
+    std::condition_variable work_cv;   ///< signals workers: task or stop
+    std::condition_variable idle_cv;   ///< signals waiters: pool drained
+    std::queue<std::function<void()>> queue;
+    std::size_t active = 0;  ///< tasks currently executing
+    bool stopping = false;   ///< no new submissions; workers drain and exit
+  };
+
+  void enqueue(std::function<void()> fn);
+  static void worker_loop(State& s);
+
+  std::shared_ptr<State> state_;
+  std::vector<std::thread> workers_;
+  bool abandoned_ = false;  ///< workers detached, pool dead
+};
+
+}  // namespace treesched::exec

@@ -1,5 +1,6 @@
 #include "treesched/experiments/harness.hpp"
 
+#include "treesched/exec/parallel.hpp"
 #include "treesched/lp/lower_bounds.hpp"
 #include "treesched/util/rng.hpp"
 
@@ -34,11 +35,11 @@ RatioResult measure_ratio(const Instance& instance, const SpeedProfile& speeds,
 
 std::vector<double> repeat(std::uint64_t seed, int reps,
                            const std::function<double(std::uint64_t)>& body) {
-  util::Rng seeder(seed);
-  std::vector<double> out;
-  out.reserve(uidx(reps));
-  for (int r = 0; r < reps; ++r) out.push_back(body(seeder.next_u64()));
-  return out;
+  // Rep r's seed depends only on (seed, r), and results come back in rep
+  // order, so the vector is identical at any TREESCHED_THREADS setting.
+  return exec::parallel_map(
+      exec::default_thread_count(), uidx(reps),
+      [&](std::size_t r) { return body(util::split_seed(seed, r)); });
 }
 
 std::vector<double> epsilon_sweep() { return {2.0, 1.0, 0.5, 0.25, 0.125}; }

@@ -38,8 +38,12 @@ RatioResult measure_ratio(const Instance& instance, const SpeedProfile& speeds,
                           std::uint64_t seed = 1,
                           sim::EngineConfig cfg = {});
 
-/// Repeats `body(rep_seed)` `reps` times with split seeds and returns the
-/// collected values (for mean/CI reporting).
+/// Repeats `body(rep_seed)` `reps` times and returns the collected values
+/// in rep order (for mean/CI reporting). Rep r gets util::split_seed(seed, r)
+/// and the reps run on the exec thread pool (TREESCHED_THREADS workers,
+/// default hardware concurrency; 1 = sequential in the caller's thread), so
+/// `body` must not touch shared mutable state. Results are bit-identical at
+/// any thread count.
 std::vector<double> repeat(std::uint64_t seed, int reps,
                            const std::function<double(std::uint64_t)>& body);
 

@@ -156,4 +156,15 @@ RunLog read_run_log_file(const std::string& path) {
   return read_run_log(f);
 }
 
+std::string task_log_path(const std::string& base, std::size_t task_index) {
+  std::ostringstream tag;
+  tag << ".task" << std::setw(6) << std::setfill('0') << task_index;
+  const std::size_t dot = base.find_last_of('.');
+  const std::size_t slash = base.find_last_of('/');
+  const bool has_ext =
+      dot != std::string::npos && (slash == std::string::npos || dot > slash);
+  if (!has_ext) return base + tag.str();
+  return base.substr(0, dot) + tag.str() + base.substr(dot);
+}
+
 }  // namespace treesched::sim

@@ -48,6 +48,14 @@ RunLog make_run_log(const Instance& instance, const SpeedProfile& speeds,
 void write_run_log(std::ostream& os, const RunLog& log);
 void write_run_log_file(const std::string& path, const RunLog& log);
 
+/// Concurrent-recording convention: task `index` of a parallel sweep writes
+/// to its own file, so no two pool workers ever share a stream. Inserts a
+/// zero-padded ".taskNNNNNN" tag before the final extension of `base`
+/// ("runs/sweep.log", 7 → "runs/sweep.task000007.log"; extension-less bases
+/// get the tag appended). The audit format itself is unchanged — each
+/// per-task file is a complete, independently auditable run log.
+std::string task_log_path(const std::string& base, std::size_t task_index);
+
 /// Parses a run log; throws std::invalid_argument on malformed input.
 RunLog read_run_log(std::istream& is);
 RunLog read_run_log_file(const std::string& path);

@@ -53,6 +53,10 @@
 #include "treesched/workload/trace_io.hpp"
 #include "treesched/workload/unrelated.hpp"
 
+#include "treesched/exec/parallel.hpp"
+#include "treesched/exec/sweep.hpp"
+#include "treesched/exec/thread_pool.hpp"
+
 #include "treesched/experiments/harness.hpp"
 
 #include "treesched/stats/bootstrap.hpp"

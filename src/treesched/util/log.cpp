@@ -2,11 +2,18 @@
 
 #include <atomic>
 #include <iostream>
+#include <mutex>
+#include <sstream>
 
 namespace treesched::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+// Serializes emission so lines from concurrent pool workers never interleave
+// mid-line. The message is formatted outside the lock and written in one
+// stream insertion.
+std::mutex g_emit_mutex;
 
 const char* level_name(LogLevel l) {
   switch (l) {
@@ -26,7 +33,10 @@ LogLevel log_level() { return g_level.load(); }
 
 void log_line(LogLevel level, const std::string& msg) {
   if (level < g_level.load()) return;
-  std::cerr << "[" << level_name(level) << "] " << msg << '\n';
+  std::ostringstream line;
+  line << "[" << level_name(level) << "] " << msg << '\n';
+  const std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::cerr << line.str();
 }
 
 }  // namespace treesched::util

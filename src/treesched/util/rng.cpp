@@ -12,6 +12,14 @@ inline std::uint64_t rotl(std::uint64_t x, int k) {
 }
 }  // namespace
 
+std::uint64_t split_seed(std::uint64_t base, std::uint64_t index) {
+  // SplitMix64 advances its state by the golden-gamma per next(); starting
+  // at base + index*gamma therefore reproduces output index of the base
+  // stream without the O(index) walk.
+  SplitMix64 sm(base + index * 0x9e3779b97f4a7c15ULL);
+  return sm.next();
+}
+
 Rng::Rng(std::uint64_t seed) {
   SplitMix64 sm(seed);
   for (auto& s : s_) s = sm.next();

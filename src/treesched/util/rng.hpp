@@ -26,6 +26,14 @@ struct SplitMix64 {
   }
 };
 
+/// Derives the seed of logical stream `index` from `base` in O(1).
+/// split_seed(base, i) equals the (i+1)-th output of SplitMix64(base), so a
+/// task's seed depends only on (base, index) — never on call order or on how
+/// many random draws other tasks make. This is the seeding rule for every
+/// parallel code path (exec::parallel_map tasks, sweep cells, experiment
+/// repetitions): identical results at any thread count.
+std::uint64_t split_seed(std::uint64_t base, std::uint64_t index);
+
 /// xoshiro256++ — the library's workhorse generator. Fast, high quality,
 /// and deterministic across platforms.
 class Rng {

@@ -10,6 +10,16 @@ Instance generate(util::Rng& rng, std::shared_ptr<const Tree> tree,
   TS_REQUIRE(spec.jobs >= 0, "job count must be non-negative");
   TS_REQUIRE(spec.load > 0.0, "load must be positive");
 
+  // Each generation phase gets its own split_seed-derived stream, so how
+  // many draws one phase makes (e.g. MMPP state switches) never shifts the
+  // randomness another phase sees. The caller's rng is consumed exactly
+  // once regardless of spec.
+  const std::uint64_t base = rng.next_u64();
+  util::Rng arrivals_rng(util::split_seed(base, 0));
+  util::Rng sizes_rng(util::split_seed(base, 1));
+  util::Rng endpoint_rng(util::split_seed(base, 2));
+  util::Rng attr_rng(util::split_seed(base, 3));
+
   const double lambda = arrival_rate_for_load(
       static_cast<int>(tree->root_children().size()), spec.sizes.mean(),
       spec.load);
@@ -17,7 +27,7 @@ Instance generate(util::Rng& rng, std::shared_ptr<const Tree> tree,
   std::vector<Time> releases;
   switch (spec.arrivals) {
     case ArrivalProcess::kPoisson:
-      releases = poisson_arrivals(rng, spec.jobs, lambda);
+      releases = poisson_arrivals(arrivals_rng, spec.jobs, lambda);
       break;
     case ArrivalProcess::kDeterministic:
       releases = deterministic_arrivals(spec.jobs, 1.0 / lambda);
@@ -30,22 +40,23 @@ Instance generate(util::Rng& rng, std::shared_ptr<const Tree> tree,
       const double calm = (2.0 * lambda - burst > 1e-6)
                               ? 2.0 * lambda - burst
                               : lambda / spec.burst_multiplier;
-      releases = mmpp_arrivals(rng, spec.jobs, calm, burst,
+      releases = mmpp_arrivals(arrivals_rng, spec.jobs, calm, burst,
                                lambda * spec.switch_rate_fraction);
       break;
     }
     case ArrivalProcess::kBatched:
-      releases = batched_arrivals(rng, spec.jobs, spec.batch,
+      releases = batched_arrivals(arrivals_rng, spec.jobs, spec.batch,
                                   spec.batch / lambda);
       break;
     case ArrivalProcess::kDiurnal:
-      releases = diurnal_arrivals(rng, spec.jobs, lambda,
+      releases = diurnal_arrivals(arrivals_rng, spec.jobs, lambda,
                                   spec.diurnal_amplitude,
                                   spec.diurnal_period_arrivals / lambda);
       break;
   }
 
-  const std::vector<double> sizes = draw_sizes(rng, spec.jobs, spec.sizes);
+  const std::vector<double> sizes =
+      draw_sizes(sizes_rng, spec.jobs, spec.sizes);
 
   std::vector<Job> jobs;
   jobs.reserve(uidx(spec.jobs));
@@ -53,10 +64,10 @@ Instance generate(util::Rng& rng, std::shared_ptr<const Tree> tree,
     for (int j = 0; j < spec.jobs; ++j)
       jobs.emplace_back(static_cast<JobId>(j), releases[uidx(j)], sizes[uidx(j)]);
   } else {
-    UnrelatedGenerator gen(*tree, spec.unrelated, rng);
+    UnrelatedGenerator gen(*tree, spec.unrelated, endpoint_rng);
     for (int j = 0; j < spec.jobs; ++j)
       jobs.emplace_back(static_cast<JobId>(j), releases[uidx(j)], sizes[uidx(j)],
-                        gen.leaf_sizes(rng, sizes[uidx(j)]));
+                        gen.leaf_sizes(endpoint_rng, sizes[uidx(j)]));
   }
   for (Job& j : jobs) {
     switch (spec.weights) {
@@ -64,16 +75,16 @@ Instance generate(util::Rng& rng, std::shared_ptr<const Tree> tree,
         break;
       case WeightModel::kUniformInt:
         TS_REQUIRE(spec.weight_max >= 1, "weight_max must be >= 1");
-        j.weight = static_cast<double>(rng.uniform_int(1, spec.weight_max));
+        j.weight = static_cast<double>(attr_rng.uniform_int(1, spec.weight_max));
         break;
       case WeightModel::kInverseSize:
         j.weight = 1.0 / j.size;
         break;
     }
     if (spec.leaf_source_fraction > 0.0 &&
-        rng.bernoulli(spec.leaf_source_fraction)) {
+        attr_rng.bernoulli(spec.leaf_source_fraction)) {
       const auto& leaves = tree->leaves();
-      j.source = leaves[static_cast<std::size_t>(rng.uniform_int(
+      j.source = leaves[static_cast<std::size_t>(attr_rng.uniform_int(
           0, static_cast<std::int64_t>(leaves.size()) - 1))];
     }
   }

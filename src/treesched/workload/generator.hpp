@@ -49,7 +49,10 @@ struct WorkloadSpec {
   double leaf_source_fraction = 0.0;
 };
 
-/// Generates an Instance on the given tree. Deterministic in (spec, rng).
+/// Generates an Instance on the given tree. Deterministic in (spec, rng):
+/// exactly one value is drawn from `rng`, and every generation phase
+/// (arrivals, sizes, endpoint speeds, weights/sources) runs on its own
+/// util::split_seed-derived stream so phases never shift each other.
 Instance generate(util::Rng& rng, std::shared_ptr<const Tree> tree,
                   const WorkloadSpec& spec);
 

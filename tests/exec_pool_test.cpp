@@ -1,0 +1,210 @@
+// Thread pool + deterministic parallel map layer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <future>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "treesched/exec/parallel.hpp"
+#include "treesched/exec/thread_pool.hpp"
+#include "treesched/util/rng.hpp"
+
+namespace treesched::exec {
+namespace {
+
+TEST(ThreadPool, RunsManySmallTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<int>> futures;
+  futures.reserve(2000);
+  for (int i = 0; i < 2000; ++i)
+    futures.push_back(pool.submit([&counter, i] {
+      counter.fetch_add(1);
+      return i * 2;
+    }));
+  long long sum = 0;
+  for (auto& f : futures) sum += f.get();
+  EXPECT_EQ(counter.load(), 2000);
+  EXPECT_EQ(sum, 2LL * (1999 * 2000 / 2));
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFutures) {
+  ThreadPool pool(2);
+  auto ok = pool.submit([] { return 7; });
+  auto bad = pool.submit(
+      []() -> int { throw std::runtime_error("task exploded"); });
+  EXPECT_EQ(ok.get(), 7);
+  EXPECT_THROW(
+      {
+        try {
+          bad.get();
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "task exploded");
+          throw;
+        }
+      },
+      std::runtime_error);
+  // A throwing task must not take its worker down with it.
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasksWhileBusy) {
+  std::atomic<int> completed{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i)
+      pool.submit([&completed] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        completed.fetch_add(1);
+      });
+    // Destroy while most tasks are still queued: shutdown must drain.
+  }
+  EXPECT_EQ(completed.load(), 50);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  ThreadPool pool(1);
+  pool.shutdown();
+  EXPECT_THROW(pool.submit([] { return 0; }), std::runtime_error);
+}
+
+TEST(ThreadPool, CancelPendingBreaksPromises) {
+  ThreadPool pool(1);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool started = false;
+  bool release = false;
+  auto blocker = pool.submit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    started = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+    return 0;
+  });
+  {
+    // Make sure the lone worker has actually dequeued `blocker` before we
+    // enqueue the victims, so exactly those five are pending.
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return started; });
+  }
+  std::vector<std::future<int>> queued;
+  for (int i = 0; i < 5; ++i)
+    queued.push_back(pool.submit([i] { return i; }));
+  EXPECT_EQ(pool.cancel_pending(), 5u);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_one();
+  EXPECT_EQ(blocker.get(), 0);
+  for (auto& f : queued) EXPECT_THROW(f.get(), std::future_error);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilDrained) {
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 30; ++i)
+    pool.submit([&done] {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      done.fetch_add(1);
+    });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 30);
+}
+
+TEST(GatherWithDeadline, ReportsTimeoutsInsteadOfHanging) {
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::vector<std::future<int>> futures;
+  futures.push_back(pool.submit([] { return 10; }));
+  futures.push_back(pool.submit([&]() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+    return 11;
+  }));
+  futures.push_back(pool.submit([] { return 12; }));
+  const auto report =
+      gather_with_deadline(futures, std::chrono::milliseconds(50));
+  ASSERT_EQ(report.values.size(), 3u);
+  EXPECT_EQ(report.values[0], 10);
+  EXPECT_FALSE(report.values[1].has_value());
+  EXPECT_EQ(report.values[2], 12);
+  ASSERT_EQ(report.timed_out.size(), 1u);
+  EXPECT_EQ(report.timed_out[0], 1u);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_one();
+}
+
+TEST(GatherWithDeadline, CollectsFailuresWithMessages) {
+  ThreadPool pool(2);
+  std::vector<std::future<int>> futures;
+  futures.push_back(pool.submit([] { return 1; }));
+  futures.push_back(
+      pool.submit([]() -> int { throw std::invalid_argument("nope"); }));
+  const auto report =
+      gather_with_deadline(futures, std::chrono::milliseconds(0));
+  EXPECT_TRUE(report.timed_out.empty());
+  ASSERT_EQ(report.failed.size(), 1u);
+  EXPECT_EQ(report.failed[0].first, 1u);
+  EXPECT_EQ(report.failed[0].second, "nope");
+}
+
+TEST(ParallelMap, MatchesSequentialForEveryThreadCount) {
+  const auto body = [](std::size_t i) {
+    // Deterministic per-index stream, as all sweep tasks are seeded.
+    util::Rng rng(util::split_seed(99, i));
+    double acc = 0.0;
+    for (int k = 0; k < 100; ++k) acc += rng.uniform01();
+    return acc;
+  };
+  const auto expected = parallel_map(1, 64, body);
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    const auto got = parallel_map(threads, 64, body);
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+      EXPECT_EQ(got[i], expected[i]) << "index " << i << " at " << threads
+                                     << " threads";
+  }
+}
+
+TEST(ParallelMap, RethrowsTaskException) {
+  EXPECT_THROW(parallel_map(4, 16,
+                            [](std::size_t i) -> int {
+                              if (i == 9) throw std::runtime_error("boom");
+                              return static_cast<int>(i);
+                            }),
+               std::runtime_error);
+}
+
+TEST(ParallelFor, VisitsEveryIndexOnce) {
+  std::vector<std::atomic<int>> hits(128);
+  parallel_for(6, hits.size(),
+               [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(DefaultThreadCount, HonorsEnvOverride) {
+  ASSERT_EQ(setenv("TREESCHED_THREADS", "3", 1), 0);
+  EXPECT_EQ(default_thread_count(), 3u);
+  ASSERT_EQ(setenv("TREESCHED_THREADS", "1", 1), 0);
+  EXPECT_EQ(default_thread_count(), 1u);
+  ASSERT_EQ(setenv("TREESCHED_THREADS", "garbage", 1), 0);
+  EXPECT_EQ(default_thread_count(), hardware_threads());
+  ASSERT_EQ(unsetenv("TREESCHED_THREADS"), 0);
+  EXPECT_EQ(default_thread_count(), hardware_threads());
+}
+
+}  // namespace
+}  // namespace treesched::exec

@@ -1,0 +1,118 @@
+// Sweep orchestration: determinism across thread counts, timeout reporting,
+// per-task recording for the offline auditor.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "treesched/exec/sweep.hpp"
+#include "treesched/sim/run_log.hpp"
+#include "treesched/util/rng.hpp"
+
+namespace treesched::exec {
+namespace {
+
+SweepSpec small_spec() {
+  SweepSpec spec;
+  spec.policies = {"paper", "closest"};
+  spec.trees = {"figure1", "star-2x3"};
+  spec.eps_grid = {1.0, 0.5};
+  spec.seeds = 2;
+  spec.base_seed = 17;
+  spec.jobs = 40;
+  return spec;
+}
+
+TEST(Sweep, JsonIsByteIdenticalAcrossThreadCounts) {
+  SweepSpec spec = small_spec();
+  spec.threads = 1;
+  const SweepResult seq = run_sweep(spec);
+  spec.threads = 8;
+  const SweepResult par = run_sweep(spec);
+  EXPECT_EQ(sweep_json(seq, false), sweep_json(par, false));
+  EXPECT_EQ(seq.tasks.size(), 2u * 2u * 2u * 2u);
+}
+
+TEST(Sweep, TaskSeedsAreSplitSeedOfIndex) {
+  SweepSpec spec = small_spec();
+  spec.threads = 1;
+  const SweepResult result = run_sweep(spec);
+  for (const auto& task : result.tasks)
+    EXPECT_EQ(task.seed, util::split_seed(spec.base_seed, task.index));
+}
+
+TEST(Sweep, CellsAggregateOnlyCompletedReps) {
+  SweepSpec spec = small_spec();
+  spec.threads = 2;
+  const SweepResult result = run_sweep(spec);
+  ASSERT_EQ(result.cells.size(), 2u * 2u * 2u);
+  for (const auto& cell : result.cells) {
+    EXPECT_EQ(cell.count, 2u);
+    EXPECT_EQ(cell.skipped, 0u);
+    EXPECT_GT(cell.ratio_mean, 0.0);
+    EXPECT_LE(cell.ratio_ci_lo, cell.ratio_mean);
+    EXPECT_GE(cell.ratio_ci_hi, cell.ratio_mean);
+    EXPECT_LE(cell.ratio_min, cell.ratio_max);
+  }
+}
+
+TEST(Sweep, GenerousTimeoutSkipsNothing) {
+  SweepSpec spec = small_spec();
+  spec.threads = 2;
+  spec.timeout_ms = 60000.0;
+  const SweepResult result = run_sweep(spec);
+  for (const auto& task : result.tasks)
+    EXPECT_EQ(task.status, TaskStatus::kOk) << "task " << task.index;
+}
+
+TEST(Sweep, RejectsUnknownNames) {
+  SweepSpec bad_policy = small_spec();
+  bad_policy.policies = {"no-such-policy"};
+  EXPECT_THROW(run_sweep(bad_policy), std::invalid_argument);
+
+  SweepSpec bad_tree = small_spec();
+  bad_tree.trees = {"no-such-tree"};
+  EXPECT_THROW(run_sweep(bad_tree), std::invalid_argument);
+
+  SweepSpec no_reps = small_spec();
+  no_reps.seeds = 0;
+  EXPECT_THROW(run_sweep(no_reps), std::invalid_argument);
+}
+
+TEST(Sweep, RecordDirWritesIndexSuffixedLogsPerTask) {
+  const std::string dir = testing::TempDir() + "/sweep_record";
+  std::filesystem::remove_all(dir);
+
+  SweepSpec spec;
+  spec.policies = {"paper"};
+  spec.trees = {"star-2x3"};
+  spec.eps_grid = {0.5};
+  spec.seeds = 3;
+  spec.jobs = 30;
+  spec.threads = 2;
+  spec.record_dir = dir;
+  const SweepResult result = run_sweep(spec);
+  ASSERT_EQ(result.tasks.size(), 3u);
+
+  for (const auto& task : result.tasks) {
+    const std::string trace = sim::task_log_path(dir + "/trace.txt", task.index);
+    const std::string log = sim::task_log_path(dir + "/run.log", task.index);
+    EXPECT_TRUE(std::filesystem::exists(trace)) << trace;
+    EXPECT_TRUE(std::filesystem::exists(log)) << log;
+    EXPECT_GT(std::filesystem::file_size(log), 0u) << log;
+  }
+  // The suffix keeps concurrent tasks from clobbering a shared file name.
+  EXPECT_TRUE(std::filesystem::exists(dir + "/run.task000002.log"));
+}
+
+TEST(Sweep, TimingBlockIsOptIn) {
+  SweepSpec spec = small_spec();
+  spec.threads = 1;
+  const SweepResult result = run_sweep(spec);
+  EXPECT_EQ(sweep_json(result, false).find("\"timing\""), std::string::npos);
+  EXPECT_NE(sweep_json(result, true).find("\"timing\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace treesched::exec

@@ -26,8 +26,8 @@ TEST(Golden, PaperPolicyOnFatTreePareto) {
       workload::generate(rng, builders::fat_tree(2, 2, 2), spec);
   const auto r = algo::run_named_policy(
       inst, SpeedProfile::paper_identical(inst.tree(), 0.5), "paper", 0.5);
-  EXPECT_NEAR(r.total_flow, 2842.612867, kTol);
-  EXPECT_NEAR(r.fractional_flow, 2447.035319, kTol);
+  EXPECT_NEAR(r.total_flow, 5147.271726, kTol);
+  EXPECT_NEAR(r.fractional_flow, 4412.859606, kTol);
 }
 
 TEST(Golden, UnrelatedAffinityOnFigureOne) {
@@ -40,8 +40,8 @@ TEST(Golden, UnrelatedAffinityOnFigureOne) {
       workload::generate(rng, builders::figure1_tree(), spec);
   const auto r = algo::run_named_policy(
       inst, SpeedProfile::paper_unrelated(inst.tree(), 0.5), "paper", 0.5);
-  EXPECT_NEAR(r.total_flow, 704.8286129, kTol);
-  EXPECT_NEAR(r.max_flow, 65.98530015, kTol);
+  EXPECT_NEAR(r.total_flow, 1330.474181, kTol);
+  EXPECT_NEAR(r.max_flow, 156.9995101, kTol);
 }
 
 TEST(Golden, PipelinedDeepSpine) {
@@ -54,8 +54,8 @@ TEST(Golden, PipelinedDeepSpine) {
   cfg.router_chunk_size = 0.5;
   const auto r = algo::run_named_policy(
       inst, SpeedProfile::uniform(inst.tree(), 1.5), "paper", 0.5, 1, cfg);
-  EXPECT_NEAR(r.total_flow, 970.6995288, kTol);
-  EXPECT_NEAR(r.makespan, 338.676897, kTol);
+  EXPECT_NEAR(r.total_flow, 1085.872611, kTol);
+  EXPECT_NEAR(r.makespan, 362.3760993, kTol);
 }
 
 TEST(Golden, AdversarialGadgetUnderClosestLeaf) {
@@ -77,8 +77,8 @@ TEST(Golden, WeightedHdfLeastVolume) {
   const auto r = algo::run_named_policy(
       inst, SpeedProfile::uniform(inst.tree(), 1.25), "least-volume", 0.5, 1,
       cfg);
-  EXPECT_NEAR(r.metrics.total_weighted_flow_time(), 3346.697674, kTol);
-  EXPECT_NEAR(r.total_flow, 824.066174, kTol);
+  EXPECT_NEAR(r.metrics.total_weighted_flow_time(), 2680.870571, kTol);
+  EXPECT_NEAR(r.total_flow, 739.9747948, kTol);
 }
 
 }  // namespace

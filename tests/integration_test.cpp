@@ -30,8 +30,11 @@ TEST(Integration, EveryPolicyCompletesAndValidates) {
                                             engine.recorder(),
                                             engine.metrics());
     EXPECT_TRUE(res.ok) << name << ": " << res.summary();
-    // Sanity: cost at least the certified lower bound.
-    EXPECT_GE(engine.metrics().total_flow_time() + 1e-9,
+    // Sanity: the bound certifies the speed-1 adversary, and uniformly
+    // speeding every node by s shrinks any schedule's flow by at most s, so
+    // the valid invariant at speed 1.5 is ALG * 1.5 >= LB (the unscaled
+    // comparison can legitimately fail — augmented ALG may beat speed-1 OPT).
+    EXPECT_GE(engine.metrics().total_flow_time() * 1.5 + 1e-9,
               lp::combined_lower_bound(inst));
   }
 }
