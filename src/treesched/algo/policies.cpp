@@ -74,6 +74,36 @@ NodeId PaperGreedyPolicy::assign(const sim::Engine& engine, const Job& job) {
 }
 
 // ---------------------------------------------------------------------------
+// FaultAwareGreedy
+// ---------------------------------------------------------------------------
+
+NodeId FaultAwareGreedy::best_live_leaf(const sim::Engine& engine,
+                                        const Job& job) const {
+  double best = std::numeric_limits<double>::infinity();
+  NodeId best_leaf = kInvalidNode;
+  for (const NodeId v : engine.tree().leaves()) {
+    if (engine.node_down(v)) continue;
+    const double cost = greedy_.assignment_cost(engine, job, v);
+    if (cost < best) {
+      best = cost;
+      best_leaf = v;
+    }
+  }
+  TS_REQUIRE(best_leaf != kInvalidNode,
+             "fault-greedy: every machine is down at assignment time");
+  return best_leaf;
+}
+
+NodeId FaultAwareGreedy::assign(const sim::Engine& engine, const Job& job) {
+  return best_live_leaf(engine, job);
+}
+
+NodeId FaultAwareGreedy::reassign(const sim::Engine& engine, JobId job,
+                                  NodeId /*dead_leaf*/) {
+  return best_live_leaf(engine, engine.instance().job(job));
+}
+
+// ---------------------------------------------------------------------------
 // Baselines
 // ---------------------------------------------------------------------------
 
@@ -177,9 +207,19 @@ std::unique_ptr<sim::AssignmentPolicy> make_policy(const std::string& name,
   if (name == "least-volume") return std::make_unique<LeastVolumePolicy>();
   if (name == "least-count") return std::make_unique<LeastCountPolicy>();
   if (name == "two-choice") return std::make_unique<TwoChoicePolicy>(seed);
+  if (name == "fault-greedy") return std::make_unique<FaultAwareGreedy>(eps);
   if (name == "broomstick-mirror")
     return std::make_unique<BroomstickMirrorPolicy>(instance, eps);
   throw std::invalid_argument("unknown policy: " + name);
+}
+
+bool is_known_policy(const std::string& name) {
+  static const char* const kNames[] = {
+      "paper",       "closest",    "random",     "round-robin", "least-volume",
+      "least-count", "two-choice", "fault-greedy", "broomstick-mirror"};
+  for (const char* const n : kNames)
+    if (name == n) return true;
+  return false;
 }
 
 }  // namespace treesched::algo

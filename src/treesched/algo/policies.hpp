@@ -61,6 +61,27 @@ class PaperGreedyPolicy : public sim::AssignmentPolicy {
   std::size_t rotation_ = 0;
 };
 
+/// Failure-aware variant of the paper's greedy rule: the same Lemma-4 cost
+/// F + F' + (6/eps^2) d_v p_j, minimized over the *live* leaves only. Also
+/// implements the engine's re-dispatch hook, so when a machine crashes its
+/// stranded jobs are re-assigned by re-running the greedy rule over the
+/// surviving leaves at the crash instant.
+class FaultAwareGreedy : public sim::AssignmentPolicy,
+                         public sim::RedispatchPolicy {
+ public:
+  explicit FaultAwareGreedy(double eps) : greedy_(eps) {}
+
+  NodeId assign(const sim::Engine& engine, const Job& job) override;
+  NodeId reassign(const sim::Engine& engine, JobId job,
+                  NodeId dead_leaf) override;
+  const char* name() const override { return "fault-greedy"; }
+
+ private:
+  NodeId best_live_leaf(const sim::Engine& engine, const Job& job) const;
+
+  PaperGreedyPolicy greedy_;
+};
+
 /// Assigns to the leaf minimizing the job's total path processing time
 /// P_{j,v} — the "closest leaf" rule the paper argues is insufficient.
 class ClosestLeafPolicy : public sim::AssignmentPolicy {
@@ -126,14 +147,18 @@ class TwoChoicePolicy : public sim::AssignmentPolicy {
 };
 
 /// Creates a policy by name: "paper", "closest", "random", "round-robin",
-/// "least-volume", "least-count", "two-choice", "broomstick-mirror" (the
-/// Section 3.7 general-tree algorithm). Throws std::invalid_argument on
-/// unknown names.
+/// "least-volume", "least-count", "two-choice", "fault-greedy",
+/// "broomstick-mirror" (the Section 3.7 general-tree algorithm). Throws
+/// std::invalid_argument on unknown names.
 /// `instance` is needed by "broomstick-mirror" (it simulates the broomstick
 /// image of the instance); `eps` parameterizes the paper rules; `seed` the
 /// random one.
 std::unique_ptr<sim::AssignmentPolicy> make_policy(
     const std::string& name, const Instance& instance, double eps,
     std::uint64_t seed);
+
+/// True iff `name` is one make_policy accepts — for validating user input
+/// eagerly (e.g. before a sweep enumerates thousands of tasks).
+bool is_known_policy(const std::string& name);
 
 }  // namespace treesched::algo

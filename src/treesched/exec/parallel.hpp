@@ -7,6 +7,8 @@
 // threads == 1 path.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <future>
@@ -60,42 +62,93 @@ void parallel_for(std::size_t threads, std::size_t n, Fn&& fn) {
   });
 }
 
-/// Result of gather_with_deadline: values in index order (nullopt for tasks
-/// that missed the deadline or threw), plus the indices of each kind.
+/// Result of gather_with_deadline / gather_cancellable: values in index
+/// order (nullopt for tasks that missed the deadline, were cancelled, or
+/// threw), plus the indices of each kind.
 template <typename R>
 struct GatherReport {
   std::vector<std::optional<R>> values;
   std::vector<std::size_t> timed_out;
+  /// Unfinished when the cancel flag was observed (gather_cancellable only).
+  std::vector<std::size_t> cancelled;
   /// (index, exception message) for tasks that threw.
   std::vector<std::pair<std::size_t, std::string>> failed;
 };
 
-/// Index-ordered gather with a per-task patience budget: waits at most
-/// `timeout` for each future (measured from the moment its turn to be
-/// gathered comes up; while earlier tasks are waited on, later ones run — or
-/// finish — in the background). timeout <= 0 waits forever. Never hangs on a
-/// wedged task: the caller owns the pool and decides whether to drain or
-/// abandon() it afterwards.
+/// gather_with_deadline plus cooperative cancellation: `cancel` (may be
+/// nullptr) is polled while waiting; once it reads true, results that are
+/// already finished are still collected, and every unfinished future is
+/// reported as cancelled instead of being waited for. The caller owns the
+/// pool: typically it then drops the queue with cancel_pending() and lets
+/// in-flight tasks drain.
 template <typename R>
-GatherReport<R> gather_with_deadline(std::vector<std::future<R>>& futures,
-                                     std::chrono::milliseconds timeout) {
+GatherReport<R> gather_cancellable(std::vector<std::future<R>>& futures,
+                                   std::chrono::milliseconds timeout,
+                                   const std::atomic<bool>* cancel) {
+  using Clock = std::chrono::steady_clock;
+  constexpr std::chrono::milliseconds kSlice(20);
   GatherReport<R> report;
   report.values.resize(futures.size());
   for (std::size_t i = 0; i < futures.size(); ++i) {
-    if (timeout.count() > 0 &&
-        futures[i].wait_for(timeout) != std::future_status::ready) {
-      report.timed_out.push_back(i);
-      continue;
+    // Per-task patience, measured from this future's gather turn; while
+    // earlier tasks are waited on, later ones run in the background.
+    const bool bounded = timeout.count() > 0;
+    const auto deadline =
+        bounded ? Clock::now() + timeout : Clock::time_point::max();
+    bool ready = false;
+    bool late = false;
+    for (;;) {
+      if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+        ready = futures[i].wait_for(std::chrono::milliseconds(0)) ==
+                std::future_status::ready;
+        break;
+      }
+      if (!bounded && cancel == nullptr) {
+        futures[i].wait();
+        ready = true;
+        break;
+      }
+      auto wait = cancel != nullptr ? kSlice : std::chrono::milliseconds::max();
+      if (bounded) {
+        const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - Clock::now());
+        if (left.count() <= 0) {
+          late = true;
+          break;
+        }
+        wait = std::min(wait, std::max(left, std::chrono::milliseconds(1)));
+      }
+      if (futures[i].wait_for(wait) == std::future_status::ready) {
+        ready = true;
+        break;
+      }
     }
-    try {
-      report.values[i] = futures[i].get();
-    } catch (const std::exception& e) {
-      report.failed.emplace_back(i, e.what());
-    } catch (...) {
-      report.failed.emplace_back(i, "unknown exception");
+    if (ready) {
+      try {
+        report.values[i] = futures[i].get();
+      } catch (const std::exception& e) {
+        report.failed.emplace_back(i, e.what());
+      } catch (...) {
+        report.failed.emplace_back(i, "unknown exception");
+      }
+    } else if (late) {
+      report.timed_out.push_back(i);
+    } else {
+      report.cancelled.push_back(i);
     }
   }
   return report;
+}
+
+/// Index-ordered gather with a per-task patience budget: waits at most
+/// `timeout` for each future (measured from the moment its turn to be
+/// gathered comes up). timeout <= 0 waits forever. Never hangs on a wedged
+/// task: the caller owns the pool and decides whether to drain or abandon()
+/// it afterwards.
+template <typename R>
+GatherReport<R> gather_with_deadline(std::vector<std::future<R>>& futures,
+                                     std::chrono::milliseconds timeout) {
+  return gather_cancellable(futures, timeout, nullptr);
 }
 
 }  // namespace treesched::exec

@@ -2,21 +2,27 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "treesched/algo/policies.hpp"
 #include "treesched/exec/parallel.hpp"
 #include "treesched/experiments/harness.hpp"
+#include "treesched/fault/model.hpp"
 #include "treesched/lp/lower_bounds.hpp"
 #include "treesched/sim/engine.hpp"
 #include "treesched/sim/run_log.hpp"
 #include "treesched/stats/bootstrap.hpp"
 #include "treesched/stats/summary.hpp"
+#include "treesched/util/fs.hpp"
 #include "treesched/util/log.hpp"
 #include "treesched/util/rng.hpp"
 #include "treesched/util/stopwatch.hpp"
@@ -28,9 +34,28 @@ namespace treesched::exec {
 
 namespace {
 
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out + "\"";
+}
+
 struct Grid {
   SweepSpec spec;  // trees / eps resolved
   std::vector<std::shared_ptr<const Tree>> trees;
+
+  std::size_t fault_count() const {
+    return spec.fault_rates.empty() ? 1 : spec.fault_rates.size();
+  }
 };
 
 Grid resolve(const SweepSpec& in) {
@@ -38,11 +63,35 @@ Grid resolve(const SweepSpec& in) {
   g.spec = in;
   if (g.spec.policies.empty())
     throw std::invalid_argument("sweep: no policies given");
+  for (const std::string& p : g.spec.policies) {
+    if (p.empty()) throw std::invalid_argument("sweep: empty policy name");
+    if (!algo::is_known_policy(p))
+      throw std::invalid_argument("sweep: unknown policy '" + p +
+                                  "' (see algo::make_policy)");
+  }
   if (g.spec.seeds <= 0)
     throw std::invalid_argument("sweep: seeds must be positive");
   if (g.spec.jobs <= 0)
     throw std::invalid_argument("sweep: jobs must be positive");
+  if (g.spec.load <= 0.0)
+    throw std::invalid_argument("sweep: load must be positive");
   if (g.spec.eps_grid.empty()) g.spec.eps_grid = experiments::epsilon_sweep();
+  for (const double e : g.spec.eps_grid)
+    if (e <= 0.0)
+      throw std::invalid_argument("sweep: eps must be positive, got " +
+                                  fmt(e));
+  for (const double r : g.spec.fault_rates)
+    if (r < 0.0)
+      throw std::invalid_argument(
+          "sweep: fault rates must be non-negative, got " + fmt(r));
+  if (!g.spec.fault_rates.empty() && g.spec.fault_mttr <= 0.0)
+    throw std::invalid_argument("sweep: fault mttr must be positive");
+  if (g.spec.fault_horizon < 0.0)
+    throw std::invalid_argument("sweep: fault horizon must be >= 0");
+  if (g.spec.retries < 0)
+    throw std::invalid_argument("sweep: retries must be >= 0");
+  if (g.spec.resume && g.spec.checkpoint.empty())
+    throw std::invalid_argument("sweep: --resume needs --checkpoint");
 
   const auto named = experiments::standard_trees();
   if (g.spec.trees.empty())
@@ -58,6 +107,109 @@ Grid resolve(const SweepSpec& in) {
   }
   return g;
 }
+
+/// Canonical identity of the resolved result grid — everything that decides
+/// what the measurements ARE, nothing about how they are executed. Journal
+/// files carry this as their fingerprint so --resume refuses a stale or
+/// foreign checkpoint.
+std::uint64_t spec_fingerprint(const SweepSpec& spec) {
+  std::ostringstream os;
+  os << "sweep-grid-v2";
+  for (const auto& p : spec.policies) os << "|p=" << p;
+  for (const auto& t : spec.trees) os << "|t=" << t;
+  for (const double e : spec.eps_grid) os << "|e=" << fmt(e);
+  for (const double r : spec.fault_rates) os << "|f=" << fmt(r);
+  os << "|seeds=" << spec.seeds << "|base=" << spec.base_seed
+     << "|jobs=" << spec.jobs << "|load=" << fmt(spec.load);
+  if (!spec.fault_rates.empty())
+    os << "|mttr=" << fmt(spec.fault_mttr)
+       << "|horizon=" << fmt(spec.fault_horizon);
+  const std::string s = os.str();
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a 64
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Append-only checkpoint journal. One flushed line per completed task, so
+/// a kill loses at most the line in flight; the trailing "ok" token lets the
+/// reader drop a torn tail instead of resurrecting a half-written double.
+class Checkpoint {
+ public:
+  Checkpoint(const std::string& path, std::uint64_t fingerprint, bool resume) {
+    bool append = false;
+    if (resume && std::filesystem::exists(path)) {
+      load(path, fingerprint);
+      append = true;
+    }
+    out_.open(path, append ? (std::ios::out | std::ios::app)
+                           : (std::ios::out | std::ios::trunc));
+    if (!out_)
+      throw std::runtime_error("cannot open checkpoint journal '" + path +
+                               "' for writing");
+    if (!append) {
+      out_ << "sweepjournal 1\nfingerprint " << fingerprint << '\n';
+      out_.flush();
+    }
+  }
+
+  const std::map<std::size_t, SweepTask>& completed() const { return done_; }
+
+  /// Thread-safe: called from pool workers as tasks finish.
+  void record(const SweepTask& t) {
+    if (t.status != TaskStatus::kOk) return;
+    const std::lock_guard<std::mutex> lock(mu_);
+    out_ << "task " << t.index << ' ' << fmt(t.ratio) << ' '
+         << fmt(t.alg_flow) << ' ' << fmt(t.lower_bound) << ' '
+         << fmt(t.mean_flow) << " ok\n";
+    out_.flush();
+  }
+
+ private:
+  void load(const std::string& path, std::uint64_t fingerprint) {
+    std::ifstream in(path);
+    if (!in)
+      throw std::runtime_error("cannot read checkpoint journal '" + path +
+                               "'");
+    std::string line;
+    if (!std::getline(in, line) || line != "sweepjournal 1")
+      throw std::invalid_argument("'" + path +
+                                  "' is not a sweep checkpoint journal");
+    std::uint64_t fp = 0;
+    {
+      std::string tag;
+      if (!std::getline(in, line))
+        throw std::invalid_argument("checkpoint journal '" + path +
+                                    "' is missing its fingerprint");
+      std::istringstream ls(line);
+      if (!(ls >> tag >> fp) || tag != "fingerprint")
+        throw std::invalid_argument("checkpoint journal '" + path +
+                                    "' is missing its fingerprint");
+    }
+    if (fp != fingerprint)
+      throw std::invalid_argument(
+          "checkpoint journal '" + path +
+          "' belongs to a different sweep grid; rerun without --resume or "
+          "point --checkpoint elsewhere");
+    while (std::getline(in, line)) {
+      std::istringstream ls(line);
+      std::string tag, tail;
+      SweepTask t;
+      if (!(ls >> tag >> t.index >> t.ratio >> t.alg_flow >> t.lower_bound >>
+            t.mean_flow >> tail) ||
+          tag != "task" || tail != "ok")
+        break;  // torn tail from a killed run: everything after is suspect
+      t.status = TaskStatus::kOk;
+      done_[t.index] = t;
+    }
+  }
+
+  std::mutex mu_;
+  std::ofstream out_;
+  std::map<std::size_t, SweepTask> done_;
+};
 
 /// Runs one grid point. Pure in (grid, task.index): every random choice
 /// derives from task.seed, so the result is thread-count independent.
@@ -82,6 +234,23 @@ SweepTask run_one(const Grid& grid, SweepTask task) {
   const auto policy =
       algo::make_policy(spec.policies[task.policy_i], inst, eps, task.seed);
   sim::Engine engine(inst, speeds, cfg);
+
+  fault::FaultPlan plan;
+  algo::FaultAwareGreedy redispatch(eps);
+  if (!spec.fault_rates.empty()) {
+    fault::FaultModel model;
+    model.node_failure_rate = spec.fault_rates[task.fault_i];
+    model.node_mttr = spec.fault_mttr;
+    const Time last_release =
+        inst.job_count() > 0 ? inst.jobs().back().release : 0.0;
+    model.horizon = spec.fault_horizon > 0.0 ? spec.fault_horizon
+                                             : std::max(10.0, 2.0 * last_release);
+    // ~task.seed decorrelates the plan stream from the workload stream
+    // (Rng(seed) itself consumes the first split_seed outputs of `seed`).
+    plan = fault::generate_plan(inst.tree(), model,
+                                util::split_seed(~task.seed, 1));
+    engine.set_fault_plan(&plan, &redispatch);
+  }
   engine.run(*policy);
 
   const sim::Metrics& m = engine.metrics();
@@ -97,26 +266,31 @@ SweepTask run_one(const Grid& grid, SweepTask task) {
         sim::task_log_path(spec.record_dir + "/trace.txt", task.index), inst);
     sim::write_run_log_file(
         sim::task_log_path(spec.record_dir + "/run.log", task.index),
-        sim::make_run_log(inst, speeds, cfg, engine.recorder(), m));
+        sim::make_run_log(inst, engine));
   }
   task.status = TaskStatus::kOk;
   task.wall_ms = watch.elapsed_seconds() * 1000.0;
   return task;
 }
 
-std::string fmt(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
-}
-
-std::string quoted(const std::string& s) {
-  std::string out = "\"";
-  for (const char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
+/// run_one wrapped in the transient-failure retry loop: attempt k sleeps
+/// retry_backoff_ms * min(2^(k-1), 32) first, then re-runs. Determinism is
+/// unaffected — a retried task re-derives everything from the same seed.
+SweepTask run_with_retries(const Grid& grid, const SweepTask& task) {
+  const SweepSpec& spec = grid.spec;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      if (spec.inject_fault) spec.inject_fault(task, attempt);
+      SweepTask done = run_one(grid, task);
+      done.attempts = attempt;
+      return done;
+    } catch (...) {
+      if (attempt > spec.retries) throw;
+      const double mult = std::min(32.0, std::ldexp(1.0, attempt - 1));
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          spec.retry_backoff_ms * mult));
+    }
   }
-  return out + "\"";
 }
 
 }  // namespace
@@ -133,16 +307,18 @@ SweepResult run_sweep(const SweepSpec& in) {
   for (std::size_t p = 0; p < spec.policies.size(); ++p)
     for (std::size_t t = 0; t < grid.trees.size(); ++t)
       for (std::size_t e = 0; e < spec.eps_grid.size(); ++e)
-        for (int s = 0; s < spec.seeds; ++s) {
-          SweepTask task;
-          task.index = tasks.size();
-          task.policy_i = p;
-          task.tree_i = t;
-          task.eps_i = e;
-          task.seed_index = s;
-          task.seed = util::split_seed(spec.base_seed, task.index);
-          tasks.push_back(task);
-        }
+        for (std::size_t f = 0; f < grid.fault_count(); ++f)
+          for (int s = 0; s < spec.seeds; ++s) {
+            SweepTask task;
+            task.index = tasks.size();
+            task.policy_i = p;
+            task.tree_i = t;
+            task.eps_i = e;
+            task.fault_i = f;
+            task.seed_index = s;
+            task.seed = util::split_seed(spec.base_seed, task.index);
+            tasks.push_back(task);
+          }
 
   SweepResult result;
   result.spec = spec;
@@ -150,36 +326,92 @@ SweepResult run_sweep(const SweepSpec& in) {
       spec.threads == 0 ? default_thread_count() : spec.threads;
   result.tasks.resize(tasks.size());
 
+  std::shared_ptr<Checkpoint> journal;
+  if (!spec.checkpoint.empty())
+    journal = std::make_shared<Checkpoint>(
+        spec.checkpoint, spec_fingerprint(spec), spec.resume);
+
+  // Satisfy resumed tasks from the journal; only the rest run.
+  std::vector<SweepTask> pending;
+  for (const SweepTask& task : tasks) {
+    if (journal) {
+      const auto it = journal->completed().find(task.index);
+      if (it != journal->completed().end()) {
+        SweepTask done = task;  // identity from the fresh enumeration
+        done.status = TaskStatus::kOk;
+        done.ratio = it->second.ratio;
+        done.alg_flow = it->second.alg_flow;
+        done.lower_bound = it->second.lower_bound;
+        done.mean_flow = it->second.mean_flow;
+        result.tasks[task.index] = done;
+        ++result.resumed;
+        continue;
+      }
+    }
+    pending.push_back(task);
+  }
+
   const bool use_pool = result.threads_used > 1 || spec.timeout_ms > 0.0;
   if (!use_pool) {
-    for (const SweepTask& task : tasks)
-      result.tasks[task.index] = run_one(grid, task);
-  } else {
-    ThreadPool pool(std::min(result.threads_used, tasks.size()));
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      if (spec.cancel != nullptr &&
+          spec.cancel->load(std::memory_order_relaxed)) {
+        result.interrupted = true;
+        for (; i < pending.size(); ++i) {
+          result.tasks[pending[i].index] = pending[i];
+          result.tasks[pending[i].index].status = TaskStatus::kCancelled;
+        }
+        break;
+      }
+      const SweepTask& task = pending[i];
+      try {
+        SweepTask done = run_with_retries(grid, task);
+        if (journal) journal->record(done);
+        result.tasks[task.index] = std::move(done);
+      } catch (const std::exception& e) {
+        result.tasks[task.index] = task;
+        result.tasks[task.index].status = TaskStatus::kFailed;
+        result.tasks[task.index].error = e.what();
+        util::log_warn("sweep task ", task.index, " failed: ", e.what());
+      }
+    }
+  } else if (!pending.empty()) {
+    ThreadPool pool(std::min(result.threads_used, pending.size()));
     std::vector<std::future<SweepTask>> futures;
-    futures.reserve(tasks.size());
-    for (const SweepTask& task : tasks)
-      futures.push_back(
-          pool.submit([&grid, task] { return run_one(grid, task); }));
+    futures.reserve(pending.size());
+    for (const SweepTask& task : pending)
+      futures.push_back(pool.submit([&grid, task, journal] {
+        SweepTask done = run_with_retries(grid, task);
+        if (journal) journal->record(done);
+        return done;
+      }));
     // Any positive budget must stay a budget: sub-millisecond values would
-    // otherwise truncate to 0, which gather_with_deadline reads as "forever".
+    // otherwise truncate to 0, which the gather reads as "forever".
     const auto patience = std::chrono::milliseconds(
         spec.timeout_ms > 0.0
             ? std::max(1LL, static_cast<long long>(spec.timeout_ms))
             : 0LL);
-    auto gathered = gather_with_deadline(futures, patience);
-    for (std::size_t i = 0; i < tasks.size(); ++i) {
+    auto gathered = gather_cancellable(futures, patience, spec.cancel);
+    for (std::size_t i = 0; i < pending.size(); ++i) {
       if (gathered.values[i]) {
-        result.tasks[i] = std::move(*gathered.values[i]);
+        result.tasks[pending[i].index] = std::move(*gathered.values[i]);
       } else {
-        result.tasks[i] = tasks[i];
-        result.tasks[i].status = TaskStatus::kTimedOut;
+        result.tasks[pending[i].index] = pending[i];
+        result.tasks[pending[i].index].status = TaskStatus::kTimedOut;
       }
     }
     for (const auto& [i, what] : gathered.failed) {
-      result.tasks[i].status = TaskStatus::kFailed;
-      result.tasks[i].error = what;
-      util::log_warn("sweep task ", i, " failed: ", what);
+      result.tasks[pending[i].index].status = TaskStatus::kFailed;
+      result.tasks[pending[i].index].error = what;
+      util::log_warn("sweep task ", pending[i].index, " failed: ", what);
+    }
+    for (const std::size_t i : gathered.cancelled)
+      result.tasks[pending[i].index].status = TaskStatus::kCancelled;
+    if (!gathered.cancelled.empty()) {
+      // Clean interruption: drop the queue but let in-flight tasks finish
+      // (and land in the journal) while the pool joins.
+      result.interrupted = true;
+      pool.cancel_pending();
     }
     if (!gathered.timed_out.empty()) {
       // Skipped-task report instead of a hang: drop unstarted work and
@@ -193,46 +425,45 @@ SweepResult run_sweep(const SweepSpec& in) {
   }
 
   // Per-cell aggregation, in enumeration order, from index-ordered results.
-  const std::size_t cell_count = spec.policies.size() * grid.trees.size() *
-                                 spec.eps_grid.size();
-  result.cells.reserve(cell_count);
   std::size_t cursor = 0;
   for (std::size_t p = 0; p < spec.policies.size(); ++p)
     for (std::size_t t = 0; t < grid.trees.size(); ++t)
-      for (std::size_t e = 0; e < spec.eps_grid.size(); ++e) {
-        SweepCellStats cell;
-        cell.policy_i = p;
-        cell.tree_i = t;
-        cell.eps_i = e;
-        stats::Summary ratios;
-        stats::Summary flows;
-        std::vector<double> samples;
-        for (int s = 0; s < spec.seeds; ++s, ++cursor) {
-          const SweepTask& task = result.tasks[cursor];
-          if (task.status != TaskStatus::kOk) {
-            ++cell.skipped;
-            continue;
+      for (std::size_t e = 0; e < spec.eps_grid.size(); ++e)
+        for (std::size_t f = 0; f < grid.fault_count(); ++f) {
+          SweepCellStats cell;
+          cell.policy_i = p;
+          cell.tree_i = t;
+          cell.eps_i = e;
+          cell.fault_i = f;
+          stats::Summary ratios;
+          stats::Summary flows;
+          std::vector<double> samples;
+          for (int s = 0; s < spec.seeds; ++s, ++cursor) {
+            const SweepTask& task = result.tasks[cursor];
+            if (task.status != TaskStatus::kOk) {
+              ++cell.skipped;
+              continue;
+            }
+            ratios.add(task.ratio);
+            flows.add(task.mean_flow);
+            samples.push_back(task.ratio);
           }
-          ratios.add(task.ratio);
-          flows.add(task.mean_flow);
-          samples.push_back(task.ratio);
+          cell.count = ratios.count();
+          if (cell.count > 0) {
+            cell.ratio_mean = ratios.mean();
+            cell.ratio_min = ratios.min();
+            cell.ratio_max = ratios.max();
+            cell.mean_flow = flows.mean();
+            // Bootstrap stream keyed by the cell's enumeration index, not by
+            // any task stream: deterministic at any thread count.
+            util::Rng boot(util::split_seed(~spec.base_seed,
+                                            result.cells.size()));
+            const auto ci = stats::bootstrap_mean_ci(boot, samples);
+            cell.ratio_ci_lo = ci.first;
+            cell.ratio_ci_hi = ci.second;
+          }
+          result.cells.push_back(cell);
         }
-        cell.count = ratios.count();
-        if (cell.count > 0) {
-          cell.ratio_mean = ratios.mean();
-          cell.ratio_min = ratios.min();
-          cell.ratio_max = ratios.max();
-          cell.mean_flow = flows.mean();
-          // Bootstrap stream keyed by the cell's enumeration index, not by
-          // any task stream: deterministic at any thread count.
-          util::Rng boot(util::split_seed(~spec.base_seed,
-                                          result.cells.size()));
-          const auto ci = stats::bootstrap_mean_ci(boot, samples);
-          cell.ratio_ci_lo = ci.first;
-          cell.ratio_ci_hi = ci.second;
-        }
-        result.cells.push_back(cell);
-      }
 
   for (const SweepTask& task : result.tasks) result.task_ms_sum += task.wall_ms;
   result.wall_ms = watch.elapsed_seconds() * 1000.0;
@@ -241,6 +472,7 @@ SweepResult run_sweep(const SweepSpec& in) {
 
 std::string sweep_json(const SweepResult& r, bool include_timing) {
   const SweepSpec& spec = r.spec;
+  const bool faulty = !spec.fault_rates.empty();
   std::ostringstream os;
   os << "{\n  \"schema\": \"treesched-sweep-v1\",\n  \"spec\": {\n";
   os << "    \"policies\": [";
@@ -252,7 +484,15 @@ std::string sweep_json(const SweepResult& r, bool include_timing) {
   os << "],\n    \"eps\": [";
   for (std::size_t i = 0; i < spec.eps_grid.size(); ++i)
     os << (i ? ", " : "") << fmt(spec.eps_grid[i]);
-  os << "],\n    \"seeds\": " << spec.seeds
+  os << "],\n";
+  if (faulty) {
+    os << "    \"fault_rates\": [";
+    for (std::size_t i = 0; i < spec.fault_rates.size(); ++i)
+      os << (i ? ", " : "") << fmt(spec.fault_rates[i]);
+    os << "],\n    \"fault_mttr\": " << fmt(spec.fault_mttr)
+       << ",\n    \"fault_horizon\": " << fmt(spec.fault_horizon) << ",\n";
+  }
+  os << "    \"seeds\": " << spec.seeds
      << ",\n    \"base_seed\": " << spec.base_seed
      << ",\n    \"jobs\": " << spec.jobs
      << ",\n    \"load\": " << fmt(spec.load)
@@ -263,8 +503,10 @@ std::string sweep_json(const SweepResult& r, bool include_timing) {
     const SweepCellStats& c = r.cells[i];
     os << "    {\"policy\": " << quoted(spec.policies[c.policy_i])
        << ", \"tree\": " << quoted(spec.trees[c.tree_i])
-       << ", \"eps\": " << fmt(spec.eps_grid[c.eps_i])
-       << ", \"count\": " << c.count << ", \"skipped\": " << c.skipped
+       << ", \"eps\": " << fmt(spec.eps_grid[c.eps_i]);
+    if (faulty)
+      os << ", \"fault_rate\": " << fmt(spec.fault_rates[c.fault_i]);
+    os << ", \"count\": " << c.count << ", \"skipped\": " << c.skipped
        << ", \"ratio_mean\": " << fmt(c.ratio_mean)
        << ", \"ratio_ci95\": [" << fmt(c.ratio_ci_lo) << ", "
        << fmt(c.ratio_ci_hi) << "]"
@@ -278,14 +520,17 @@ std::string sweep_json(const SweepResult& r, bool include_timing) {
   os << "  \"tasks\": [\n";
   for (std::size_t i = 0; i < r.tasks.size(); ++i) {
     const SweepTask& t = r.tasks[i];
-    const char* status = t.status == TaskStatus::kOk ? "ok"
-                         : t.status == TaskStatus::kTimedOut ? "timeout"
-                                                             : "failed";
+    const char* status = t.status == TaskStatus::kOk          ? "ok"
+                         : t.status == TaskStatus::kTimedOut  ? "timeout"
+                         : t.status == TaskStatus::kCancelled ? "cancelled"
+                                                              : "failed";
     os << "    {\"index\": " << t.index << ", \"policy\": "
        << quoted(spec.policies[t.policy_i])
        << ", \"tree\": " << quoted(spec.trees[t.tree_i])
-       << ", \"eps\": " << fmt(spec.eps_grid[t.eps_i])
-       << ", \"seed_index\": " << t.seed_index << ", \"seed\": " << t.seed
+       << ", \"eps\": " << fmt(spec.eps_grid[t.eps_i]);
+    if (faulty)
+      os << ", \"fault_rate\": " << fmt(spec.fault_rates[t.fault_i]);
+    os << ", \"seed_index\": " << t.seed_index << ", \"seed\": " << t.seed
        << ", \"status\": \"" << status << "\""
        << ", \"ratio\": " << fmt(t.ratio)
        << ", \"alg_flow\": " << fmt(t.alg_flow)
@@ -309,6 +554,7 @@ std::string sweep_json(const SweepResult& r, bool include_timing) {
     os << ",\n  \"timing\": {\"threads\": " << r.threads_used
        << ", \"wall_ms\": " << fmt(r.wall_ms)
        << ", \"task_ms_sum\": " << fmt(r.task_ms_sum)
+       << ", \"resumed\": " << r.resumed
        << ", \"speedup_estimate\": "
        << fmt(r.wall_ms > 0.0 ? r.task_ms_sum / r.wall_ms : 0.0) << "}";
   }
@@ -318,18 +564,28 @@ std::string sweep_json(const SweepResult& r, bool include_timing) {
 
 void write_sweep_json_file(const std::string& path, const SweepResult& result,
                            bool include_timing) {
-  std::ofstream f(path);
-  if (!f) throw std::runtime_error("cannot open json output: " + path);
-  f << sweep_json(result, include_timing);
+  util::write_file_atomic(path, sweep_json(result, include_timing));
 }
 
 std::string sweep_table(const SweepResult& r) {
-  util::Table table({"policy", "tree", "eps", "reps", "ratio mean", "ci95 lo",
-                     "ci95 hi", "ratio max", "skipped"});
-  for (const SweepCellStats& c : r.cells)
-    table.add(r.spec.policies[c.policy_i], r.spec.trees[c.tree_i],
-              r.spec.eps_grid[c.eps_i], c.count, c.ratio_mean, c.ratio_ci_lo,
-              c.ratio_ci_hi, c.ratio_max, c.skipped);
+  const bool faulty = !r.spec.fault_rates.empty();
+  std::vector<std::string> headers{"policy", "tree", "eps"};
+  if (faulty) headers.push_back("fault rate");
+  for (const char* h : {"reps", "ratio mean", "ci95 lo", "ci95 hi",
+                        "ratio max", "skipped"})
+    headers.push_back(h);
+  util::Table table(headers);
+  for (const SweepCellStats& c : r.cells) {
+    if (faulty)
+      table.add(r.spec.policies[c.policy_i], r.spec.trees[c.tree_i],
+                r.spec.eps_grid[c.eps_i], r.spec.fault_rates[c.fault_i],
+                c.count, c.ratio_mean, c.ratio_ci_lo, c.ratio_ci_hi,
+                c.ratio_max, c.skipped);
+    else
+      table.add(r.spec.policies[c.policy_i], r.spec.trees[c.tree_i],
+                r.spec.eps_grid[c.eps_i], c.count, c.ratio_mean,
+                c.ratio_ci_lo, c.ratio_ci_hi, c.ratio_max, c.skipped);
+  }
   return table.str();
 }
 

@@ -1,4 +1,5 @@
-// Declarative policy × topology × eps × seed sweeps over the thread pool.
+// Declarative policy × topology × eps × fault-rate × seed sweeps over the
+// thread pool.
 //
 // A sweep expands its grid into a fixed task enumeration, gives task i the
 // seed util::split_seed(base_seed, i), fans the tasks out over a ThreadPool,
@@ -7,14 +8,26 @@
 // by sweep_json(result, /*include_timing=*/false) — are byte-identical for
 // any --threads value, which is the determinism contract the ctest suite
 // pins down.
+//
+// Resilience: tasks may be retried with capped exponential backoff
+// (`retries`), completed measurements can be journaled to an append-only
+// checkpoint file (`checkpoint`), and a later run with `resume` merges the
+// journal instead of re-running finished cells — producing JSON
+// byte-identical to an uninterrupted run. A cooperative `cancel` flag (set
+// by treesched_sweep's SIGINT handler) stops the sweep cleanly: pending
+// tasks are dropped, in-flight ones still land in the journal.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 namespace treesched::exec {
+
+struct SweepTask;
 
 /// The declarative sweep description (the CLI flags of treesched_sweep map
 /// onto this 1:1). The first block identifies the results; the second block
@@ -25,10 +38,21 @@ struct SweepSpec {
   std::vector<std::string> trees;
   /// Speed-augmentation grid; empty = experiments::epsilon_sweep().
   std::vector<double> eps_grid;
-  int seeds = 3;                 ///< repetitions per (policy, tree, eps) cell
+  int seeds = 3;                 ///< repetitions per grid cell
   std::uint64_t base_seed = 1;
   int jobs = 200;                ///< jobs per generated instance
   double load = 0.85;            ///< root-cut utilization
+
+  /// Fault-injection grid dimension: node crash rates (failures per unit
+  /// time per node, exponential MTBF). Empty = fault-free sweep with the
+  /// classic 4-dimensional grid; non-empty adds the dimension, generates a
+  /// seed-derived fault::FaultPlan per task, and measures flow-time
+  /// degradation vs failure rate. A rate of 0 is the control cell.
+  std::vector<double> fault_rates;
+  double fault_mttr = 5.0;       ///< mean time to repair for crashed nodes
+  /// Fault-window generation horizon; 0 = auto (twice the last release,
+  /// at least 10 time units).
+  double fault_horizon = 0.0;
 
   // Execution knobs — never part of the result identity.
   std::size_t threads = 0;       ///< 0 = default_thread_count()
@@ -36,14 +60,32 @@ struct SweepSpec {
   /// When non-empty: every task writes its instance trace and run log here
   /// (index-suffixed via sim::task_log_path) for offline treesched_audit.
   std::string record_dir;
+  /// Transient-failure retries per task; each attempt k sleeps
+  /// retry_backoff_ms * min(2^(k-1), 32) before re-running.
+  int retries = 0;
+  double retry_backoff_ms = 5.0;
+  /// Append-only checkpoint journal; empty disables checkpointing. Written
+  /// line-by-line (flushed) as tasks finish, so a killed sweep loses at most
+  /// the line being written — which the tolerant reader skips.
+  std::string checkpoint;
+  /// Load `checkpoint` and skip every task it already covers. The journal's
+  /// spec fingerprint must match (resuming under a different grid throws).
+  /// A missing journal file is not an error (fresh start).
+  bool resume = false;
+  /// Cooperative cancellation, polled while gathering: once true, pending
+  /// tasks are dropped and the result is marked interrupted.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Test hook, called before every attempt of every task; throwing
+  /// simulates a transient task failure (consumed by the retry loop).
+  std::function<void(const SweepTask&, int attempt)> inject_fault;
 };
 
-enum class TaskStatus { kOk, kTimedOut, kFailed };
+enum class TaskStatus { kOk, kTimedOut, kFailed, kCancelled };
 
-/// One (policy, tree, eps, seed-index) measurement.
+/// One (policy, tree, eps, fault-rate, seed-index) measurement.
 struct SweepTask {
   std::size_t index = 0;         ///< position in the fixed enumeration
-  std::size_t policy_i = 0, tree_i = 0, eps_i = 0;
+  std::size_t policy_i = 0, tree_i = 0, eps_i = 0, fault_i = 0;
   int seed_index = 0;
   std::uint64_t seed = 0;        ///< split_seed(base_seed, index)
   TaskStatus status = TaskStatus::kOk;
@@ -51,15 +93,16 @@ struct SweepTask {
   double alg_flow = 0.0;
   double lower_bound = 0.0;
   double mean_flow = 0.0;
+  int attempts = 0;              ///< runs it took (0 = loaded from journal)
   double wall_ms = 0.0;          ///< timing metadata; not in deterministic JSON
   std::string error;             ///< kFailed: the exception message
 };
 
 /// Per-cell aggregate over the cell's completed repetitions.
 struct SweepCellStats {
-  std::size_t policy_i = 0, tree_i = 0, eps_i = 0;
+  std::size_t policy_i = 0, tree_i = 0, eps_i = 0, fault_i = 0;
   std::size_t count = 0;    ///< completed repetitions
-  std::size_t skipped = 0;  ///< timed out or failed
+  std::size_t skipped = 0;  ///< timed out, failed, or cancelled
   double ratio_mean = 0.0, ratio_ci_lo = 0.0, ratio_ci_hi = 0.0;
   double ratio_min = 0.0, ratio_max = 0.0;
   double mean_flow = 0.0;
@@ -70,13 +113,16 @@ struct SweepResult {
   std::vector<SweepTask> tasks;
   std::vector<SweepCellStats> cells;
   std::size_t threads_used = 1;
+  std::size_t resumed = 0;          ///< tasks satisfied from the checkpoint
+  bool interrupted = false;         ///< the cancel flag fired mid-sweep
   double wall_ms = 0.0;             ///< orchestration wall clock
   double task_ms_sum = 0.0;         ///< sequential-cost estimate
 };
 
 /// Expands the grid and runs it. Throws std::invalid_argument on unknown
-/// policy/tree names or an empty grid. Timed-out tasks are reported as
-/// skipped (never hang the sweep); their workers are abandoned on exit.
+/// policy/tree names, an empty grid, or a checkpoint fingerprint mismatch.
+/// Timed-out tasks are reported as skipped (never hang the sweep); their
+/// workers are abandoned on exit.
 SweepResult run_sweep(const SweepSpec& spec);
 
 /// Machine-readable results. The default document is deterministic: spec,
@@ -85,6 +131,8 @@ SweepResult run_sweep(const SweepSpec& spec);
 /// "timing" block (threads, wall clock, speedup estimate) that naturally
 /// varies run to run.
 std::string sweep_json(const SweepResult& result, bool include_timing);
+/// Atomic write (tmp + fsync + rename): a killed sweep never leaves a torn
+/// JSON file behind.
 void write_sweep_json_file(const std::string& path, const SweepResult& result,
                            bool include_timing);
 

@@ -1,0 +1,88 @@
+#include "treesched/fault/model.hpp"
+
+#include <stdexcept>
+
+#include "treesched/util/rng.hpp"
+
+namespace treesched::fault {
+
+namespace {
+
+/// Opens alternating windows along [0, horizon): an opening event at t with
+/// `open_factor` and a closing event at t + repair with `close_factor`.
+/// Every opened window is closed, even past the horizon.
+void emit_windows(FaultPlan& plan, NodeId node, FaultKind open_kind,
+                  FaultKind close_kind, double open_factor,
+                  double close_factor, double rate, double mttr, Time horizon,
+                  util::Rng& rng) {
+  if (rate <= 0.0) return;
+  Time t = 0.0;
+  for (;;) {
+    t += rng.exponential(rate);
+    if (t >= horizon) return;
+    const Time repair = rng.exponential(1.0 / mttr);
+    plan.events.push_back({t, open_kind, node, open_factor});
+    plan.events.push_back({t + repair, close_kind, node, close_factor});
+    t += repair;
+  }
+}
+
+}  // namespace
+
+void FaultModel::validate() const {
+  auto require = [](bool ok, const char* msg) {
+    if (!ok) throw std::invalid_argument(std::string("fault model: ") + msg);
+  };
+  require(node_failure_rate >= 0.0, "node_failure_rate must be >= 0");
+  require(edge_failure_rate >= 0.0, "edge_failure_rate must be >= 0");
+  require(slow_rate >= 0.0, "slow_rate must be >= 0");
+  require(node_failure_rate == 0.0 || node_mttr > 0.0,
+          "node_mttr must be > 0 when nodes can fail");
+  require(edge_failure_rate == 0.0 || edge_mttr > 0.0,
+          "edge_mttr must be > 0 when edges can fail");
+  require(slow_rate == 0.0 || slow_mttr > 0.0,
+          "slow_mttr must be > 0 when slowdowns occur");
+  require(slow_factor > 0.0, "slow_factor must be > 0");
+  require(horizon > 0.0, "horizon must be > 0");
+}
+
+FaultPlan generate_plan(const Tree& tree, const FaultModel& model,
+                        std::uint64_t seed) {
+  model.validate();
+  FaultPlan plan;
+  const NodeId spared_leaf =
+      tree.leaves().empty() ? kInvalidNode : tree.leaves().front();
+  for (NodeId v = 0; v < tree.node_count(); ++v) {
+    if (tree.is_root(v)) continue;
+    const std::uint64_t base = uidx(v) * 3;
+    // Crashes. Sparing one leaf keeps re-dispatch solvable by construction.
+    const bool may_crash = tree.is_leaf(v)
+                               ? (model.fail_leaves && v != spared_leaf)
+                               : model.fail_routers;
+    if (may_crash) {
+      util::Rng rng(util::split_seed(seed, base));
+      emit_windows(plan, v, FaultKind::kNodeDown, FaultKind::kNodeUp, 1.0,
+                   1.0, model.node_failure_rate, model.node_mttr,
+                   model.horizon, rng);
+    }
+    // Link outages on the edge parent(v) -> v.
+    {
+      util::Rng rng(util::split_seed(seed, base + 1));
+      emit_windows(plan, v, FaultKind::kEdgeDown, FaultKind::kEdgeUp, 1.0,
+                   1.0, model.edge_failure_rate, model.edge_mttr,
+                   model.horizon, rng);
+    }
+    // Slowdown windows: speed drops to slow_factor, then restores to 1.
+    {
+      util::Rng rng(util::split_seed(seed, base + 2));
+      emit_windows(plan, v, FaultKind::kSlow, FaultKind::kSlow,
+                   model.slow_factor, 1.0, model.slow_rate, model.slow_mttr,
+                   model.horizon, rng);
+    }
+  }
+  plan.normalize();
+  plan.validate(tree);
+  return plan;
+}
+
+}  // namespace treesched::fault

@@ -1,0 +1,47 @@
+// Stochastic fault models: MTBF/MTTR-style rates expanded into a concrete
+// FaultPlan.
+//
+// Generation is seed-derived and per-node: node v's crash, edge, and
+// slowdown timelines come from three independent streams seeded with
+// util::split_seed, so the emitted plan depends only on (tree, model, seed)
+// — never on iteration order or thread count. Failure windows alternate
+// exponential up-times (mean = 1/rate) with exponential repair times
+// (mean = mttr); every opened window is closed even if the repair lands
+// past the horizon, so no generated fault is permanent.
+//
+// One designated machine — the first leaf in node-id order — is never
+// crashed by the generator, guaranteeing that failure-aware re-dispatch
+// always has a surviving target. (Hand-written plans may of course still
+// kill every leaf; the engine reports that as an actionable error.)
+#pragma once
+
+#include <cstdint>
+
+#include "treesched/core/tree.hpp"
+#include "treesched/fault/plan.hpp"
+
+namespace treesched::fault {
+
+/// Rates are per unit of simulation time; a rate of 0 disables that fault
+/// class. mttr is the mean time to repair of the matching class.
+struct FaultModel {
+  double node_failure_rate = 0.0;  ///< crashes per node per time unit
+  double node_mttr = 10.0;
+  double edge_failure_rate = 0.0;  ///< link outages per edge per time unit
+  double edge_mttr = 5.0;
+  double slow_rate = 0.0;          ///< slowdown onsets per node per time unit
+  double slow_mttr = 10.0;
+  double slow_factor = 0.5;        ///< speed multiplier while slowed
+  bool fail_leaves = true;         ///< machines may crash (spares one leaf)
+  bool fail_routers = true;        ///< interior routers may crash
+  Time horizon = 100.0;            ///< stop opening new windows past this
+
+  /// Throws std::invalid_argument on nonsensical parameters.
+  void validate() const;
+};
+
+/// Expands the model into a normalized, validated plan.
+FaultPlan generate_plan(const Tree& tree, const FaultModel& model,
+                        std::uint64_t seed);
+
+}  // namespace treesched::fault

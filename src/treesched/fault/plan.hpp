@@ -1,0 +1,89 @@
+// Declarative fault plans: a reproducible, time-sorted schedule of node
+// crash/recover windows, node slowdown windows, and edge (link) outage
+// windows injected into a simulation run.
+//
+// The paper's model assumes every router and machine stays up forever; the
+// fault layer relaxes that so the reproduction can be measured under the
+// kind of stress a production tree network actually sees. A plan is pure
+// data — it never references engine state — so the same (plan, instance,
+// seed) triple replays bit-identically at any thread count.
+//
+// Plans are either written by hand (JSON, see below) or generated from a
+// FaultModel (MTBF/MTTR-style rates, model.hpp). JSON schema:
+//
+//   {
+//     "schema": "treesched-fault-plan-v1",
+//     "events": [
+//       {"kind": "node-down", "t": 10.0, "node": 3},
+//       {"kind": "node-up",   "t": 15.0, "node": 3},
+//       {"kind": "slow",      "t": 20.0, "node": 4, "factor": 0.5},
+//       {"kind": "edge-down", "t": 5.0,  "node": 2},
+//       {"kind": "edge-up",   "t": 9.0,  "node": 2}
+//     ]
+//   }
+//
+// An edge event names the child endpoint: "edge-down node 2" severs the
+// link parent(2) -> 2, so data finished at the parent cannot be delivered
+// to node 2 until the matching edge-up.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "treesched/core/tree.hpp"
+#include "treesched/core/types.hpp"
+
+namespace treesched::fault {
+
+enum class FaultKind : std::uint8_t {
+  kNodeDown,  ///< node crashes: in-flight work reverts, nothing runs on it
+  kNodeUp,    ///< node recovers: queued work resumes from the reverted state
+  kEdgeDown,  ///< link parent(node) -> node severed: deliveries defer
+  kEdgeUp,    ///< link restored: deferred deliveries arrive now
+  kSlow,      ///< node speed multiplied by `factor` from this instant on
+};
+
+const char* fault_kind_name(FaultKind k);
+
+struct FaultEvent {
+  Time t = 0.0;
+  FaultKind kind = FaultKind::kNodeDown;
+  NodeId node = kInvalidNode;
+  double factor = 1.0;  ///< kSlow only; must be > 0
+
+  friend bool operator==(const FaultEvent& a, const FaultEvent& b) {
+    return a.t == b.t && a.kind == b.kind && a.node == b.node &&
+           a.factor == b.factor;
+  }
+};
+
+/// A time-sorted schedule of fault events. Invariants (checked by
+/// validate()): events sorted by time; no event targets the root (the
+/// distribution center neither processes nor fails); down/up events
+/// alternate per node and per edge; slow factors are positive.
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+
+  /// Canonical order: (t, node, kind, factor). normalize() sorts in place so
+  /// hand-built plans need not worry about emission order.
+  void normalize();
+
+  /// Throws std::invalid_argument with a one-line actionable message on the
+  /// first violated invariant.
+  void validate(const Tree& tree) const;
+
+  std::string to_json() const;
+};
+
+/// Parses the JSON schema above; throws std::invalid_argument with a
+/// one-line message on malformed input. The returned plan is normalized but
+/// NOT validated against a tree (call validate() once the tree is known).
+FaultPlan parse_plan_json(const std::string& text);
+FaultPlan read_plan_file(const std::string& path);
+void write_plan_file(const std::string& path, const FaultPlan& plan);
+
+}  // namespace treesched::fault

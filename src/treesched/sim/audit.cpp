@@ -58,6 +58,391 @@ bool higher_priority(const PriorityKey& x, const PriorityKey& y) {
   return x < y;
 }
 
+// ---------------------------------------------------------------------------
+// Fault mode: recovery-invariant audit for fault-injected runs
+// ---------------------------------------------------------------------------
+
+/// Audits a run whose log carries fault records. The clean-run invariants
+/// that survive faults are re-checked epoch-aware (a job's path changes at
+/// each re-dispatch); on top the recovery invariants hold:
+///   - no work progresses at a node inside one of its down windows;
+///   - every recorded burst rate equals speed x slowdown factor, and no
+///     burst spans a factor change;
+///   - re-dispatch chains are consistent: `from` is the job's current leaf
+///     and is down at the instant, `to` is a live machine, and the final
+///     `to` matches the recorded final path;
+///   - the job fully forwards through every router of its final path and
+///     performs exactly the required machine work at its final leaf within
+///     the final epoch (lost partial work is extra, never missing);
+///   - recovery precedence: machine work at the final leaf starts only
+///     after every router burst of the job has ended.
+/// Priority consistency and lemma margins are skipped (noted): crashes
+/// legitimately reorder work, and the paper's bounds presuppose a
+/// fault-free network.
+AuditReport audit_fault_run(const Instance& instance, const RunLog& log,
+                            const AuditOptions& opts) {
+  AuditReport rep;
+  const double tol = opts.tol;
+  const Tree& tree = instance.tree();
+  const std::size_t n_jobs = uidx(instance.job_count());
+  const std::size_t n_nodes = uidx(tree.node_count());
+
+  if (log.paths.size() != n_jobs || log.completion.size() != n_jobs) {
+    rep.fail("run log covers " + std::to_string(log.paths.size()) +
+             " job(s) but the instance has " + std::to_string(n_jobs));
+    return rep;
+  }
+  if (log.speeds.size() != n_nodes) {
+    rep.fail("run log has " + std::to_string(log.speeds.size()) +
+             " speed(s) but the tree has " + std::to_string(n_nodes) +
+             " node(s)");
+    return rep;
+  }
+  if (log.router_chunk_size > 0.0) {
+    rep.fail("fault-injected runs require whole-job forwarding "
+             "(router_chunk_size 0), log has chunk " +
+             fmt(log.router_chunk_size));
+    return rep;
+  }
+
+  // --- fault timeline sanity; down windows and slowdown steps per node -----
+  struct Window {
+    Time lo = 0.0;
+    Time hi = kInf;
+  };
+  std::vector<std::vector<Window>> down(n_nodes);
+  std::vector<std::vector<std::pair<Time, double>>> factor_steps(n_nodes);
+  std::vector<std::vector<FaultRecord>> redis(n_jobs);
+  {
+    std::vector<char> is_down(n_nodes, 0), is_edge_down(n_nodes, 0);
+    Time prev = 0.0;
+    for (const FaultRecord& fr : log.faults) {
+      if (fr.t < prev - tol) {
+        rep.fail("fault log out of order at t=" + fmt(fr.t));
+        return rep;
+      }
+      prev = std::max(prev, fr.t);
+      if (fr.node < 0 || uidx(fr.node) >= n_nodes) {
+        rep.fail("fault record names unknown node " + std::to_string(fr.node));
+        return rep;
+      }
+      const std::size_t v = uidx(fr.node);
+      switch (fr.kind) {
+        case FaultRecord::Kind::kNodeDown:
+          if (is_down[v]) rep.fail("node " + std::to_string(fr.node) +
+                                   " down twice without recovering");
+          is_down[v] = 1;
+          down[v].push_back({fr.t, kInf});
+          break;
+        case FaultRecord::Kind::kNodeUp:
+          if (!is_down[v]) {
+            rep.fail("node " + std::to_string(fr.node) +
+                     " recovered without being down");
+          } else {
+            is_down[v] = 0;
+            down[v].back().hi = fr.t;
+          }
+          break;
+        case FaultRecord::Kind::kEdgeDown:
+          if (is_edge_down[v]) rep.fail("edge to node " +
+                                        std::to_string(fr.node) +
+                                        " severed twice");
+          is_edge_down[v] = 1;
+          break;
+        case FaultRecord::Kind::kEdgeUp:
+          if (!is_edge_down[v]) rep.fail("edge to node " +
+                                         std::to_string(fr.node) +
+                                         " restored without being severed");
+          is_edge_down[v] = 0;
+          break;
+        case FaultRecord::Kind::kSlow:
+          if (fr.factor <= 0.0)
+            rep.fail("slowdown factor " + fmt(fr.factor) + " on node " +
+                     std::to_string(fr.node) + " is not positive");
+          factor_steps[v].push_back({fr.t, fr.factor});
+          break;
+        case FaultRecord::Kind::kRedispatch:
+          if (fr.job < 0 || uidx(fr.job) >= n_jobs) {
+            rep.fail("redispatch names unknown job " + std::to_string(fr.job));
+            return rep;
+          }
+          if (fr.to < 0 || uidx(fr.to) >= n_nodes) {
+            rep.fail("redispatch names unknown target node " +
+                     std::to_string(fr.to));
+            return rep;
+          }
+          redis[uidx(fr.job)].push_back(fr);
+          break;
+      }
+    }
+  }
+  if (!rep.ok) return rep;
+
+  auto down_at = [&](NodeId v, Time t) {
+    for (const Window& w : down[uidx(v)])
+      if (w.lo <= t && t < w.hi) return true;
+    return false;
+  };
+  auto factor_at = [&](NodeId v, Time t) {
+    double f = 1.0;
+    for (const auto& [st, sf] : factor_steps[uidx(v)]) {
+      if (st > t) break;
+      f = sf;
+    }
+    return f;
+  };
+
+  // --- per-job epochs from the re-dispatch chain ---------------------------
+  struct Epoch {
+    Time start = 0.0;
+    const std::vector<NodeId>* path = nullptr;
+  };
+  std::vector<std::vector<Epoch>> epochs(n_jobs);
+  for (std::size_t j = 0; j < n_jobs; ++j) {
+    const auto& path = log.paths[j];
+    if (path.empty()) {
+      rep.fail("job " + std::to_string(j) +
+               " has no recorded path (never dispatched)");
+      continue;
+    }
+    bool ok = true;
+    for (const NodeId v : path)
+      if (v < 0 || uidx(v) >= n_nodes) {
+        rep.fail("job " + std::to_string(j) + " path names unknown node " +
+                 std::to_string(v));
+        ok = false;
+      }
+    if (!ok) continue;
+    const NodeId final_leaf = path.back();
+    if (!tree.is_leaf(final_leaf) || path != tree.path_to(final_leaf)) {
+      rep.fail("job " + std::to_string(j) +
+               " recorded path is not the tree path to machine " +
+               std::to_string(final_leaf));
+      continue;
+    }
+    // Chain: initial leaf -> redispatch targets -> final leaf.
+    const auto& chain = redis[j];
+    NodeId cur =
+        chain.empty() ? final_leaf : chain.front().node;  // initial leaf
+    if (!tree.is_leaf(cur)) {
+      rep.fail("job " + std::to_string(j) + " initial leaf " +
+               std::to_string(cur) + " is not a machine");
+      continue;
+    }
+    auto& ep = epochs[j];
+    ep.push_back({0.0, &tree.path_to(cur)});
+    for (const FaultRecord& fr : chain) {
+      if (fr.node != cur) {
+        rep.fail("redispatch of job " + std::to_string(j) + " at t=" +
+                 fmt(fr.t) + " moves it from node " + std::to_string(fr.node) +
+                 " but it was assigned to " + std::to_string(cur));
+        ok = false;
+        break;
+      }
+      if (!down_at(fr.node, fr.t)) {
+        rep.fail("job " + std::to_string(j) + " re-dispatched at t=" +
+                 fmt(fr.t) + " away from node " + std::to_string(fr.node) +
+                 " which was not down");
+      }
+      if (!tree.is_leaf(fr.to) || down_at(fr.to, fr.t)) {
+        rep.fail("job " + std::to_string(j) + " re-dispatched at t=" +
+                 fmt(fr.t) + " to node " + std::to_string(fr.to) +
+                 " which is not a live machine");
+      }
+      cur = fr.to;
+      ep.push_back({fr.t, &tree.path_to(cur)});
+    }
+    if (!ok) {
+      epochs[j].clear();
+      continue;
+    }
+    if (cur != final_leaf) {
+      rep.fail("job " + std::to_string(j) + " re-dispatch chain ends at node " +
+               std::to_string(cur) + " but the recorded final machine is " +
+               std::to_string(final_leaf));
+      epochs[j].clear();
+    }
+  }
+
+  // --- per-segment checks ---------------------------------------------------
+  struct LeafAgg {
+    double work = 0.0;
+    Time first = kInf;
+    Time last = -1.0;
+  };
+  std::vector<LeafAgg> final_leaf_work(n_jobs);
+  std::vector<Time> last_router_end(n_jobs, -1.0);
+  // Total work of job j on node v across all epochs.
+  std::map<std::pair<std::size_t, NodeId>, double> node_work;
+  std::vector<std::vector<const Segment*>> by_node(n_nodes);
+  for (const Segment& s : log.segments) {
+    ++rep.segments_checked;
+    if (s.job < 0 || uidx(s.job) >= n_jobs) {
+      rep.fail("segment names unknown job " + std::to_string(s.job));
+      continue;
+    }
+    if (s.node < 0 || uidx(s.node) >= n_nodes) {
+      rep.fail("segment names unknown node " + std::to_string(s.node));
+      continue;
+    }
+    if (s.t1 < s.t0 - tol) {
+      rep.fail("segment of job " + std::to_string(s.job) + " on node " +
+               std::to_string(s.node) + " has negative duration [" +
+               fmt(s.t0) + "," + fmt(s.t1) + ")");
+      continue;
+    }
+    const Job& job = instance.job(s.job);
+    if (s.t0 < job.release - tol)
+      rep.fail("job " + std::to_string(s.job) + " ran on node " +
+               std::to_string(s.node) + " at " + fmt(s.t0) +
+               " before its release " + fmt(job.release));
+    // Effective rate: base speed times the slowdown factor in force. Bursts
+    // never span a factor change, so the factor at t0 governs the burst.
+    const double expect = log.speeds[uidx(s.node)] * factor_at(s.node, s.t0);
+    if (std::fabs(s.rate - expect) > tol)
+      rep.fail("segment rate " + fmt(s.rate) + " != speed x slowdown " +
+               fmt(expect) + " of node " + std::to_string(s.node) + " at t=" +
+               fmt(s.t0));
+    if (s.t1 > s.t0 &&
+        factor_at(s.node, s.t0) != factor_at(s.node, s.t1 - 1e-12) &&
+        std::fabs(factor_at(s.node, s.t0) -
+                  factor_at(s.node, s.t1 - 1e-12)) > tol)
+      rep.fail("segment of job " + std::to_string(s.job) + " on node " +
+               std::to_string(s.node) + " spans a slowdown change at [" +
+               fmt(s.t0) + "," + fmt(s.t1) + ")");
+    // Recovery invariant: nothing progresses at a dead node.
+    for (const Window& w : down[uidx(s.node)]) {
+      const Time lo = std::max(s.t0, w.lo);
+      const Time hi = std::min(s.t1, w.hi);
+      if (hi - lo > tol)
+        rep.fail("job " + std::to_string(s.job) + " progressed at node " +
+                 std::to_string(s.node) + " during its down window [" +
+                 fmt(w.lo) + "," + fmt(w.hi) + "): burst [" + fmt(s.t0) + "," +
+                 fmt(s.t1) + ")");
+    }
+    // Epoch-aware path membership.
+    const auto& ep = epochs[uidx(s.job)];
+    if (ep.empty()) continue;  // chain problem already reported
+    std::size_t k = 0;
+    while (k + 1 < ep.size() && ep[k + 1].start <= s.t0) ++k;
+    const auto& path = *ep[k].path;
+    int hop = -1;
+    for (std::size_t i = 0; i < path.size(); ++i)
+      if (path[i] == s.node) hop = static_cast<int>(i);
+    if (hop < 0) {
+      rep.fail("job " + std::to_string(s.job) + " ran on node " +
+               std::to_string(s.node) + " at t=" + fmt(s.t0) +
+               " which is not on its epoch-" + std::to_string(k) + " path");
+      continue;
+    }
+    const bool leaf_hop = static_cast<std::size_t>(hop) + 1 == path.size();
+    if (leaf_hop != (s.chunk == kLeafChunk)) {
+      rep.fail("job " + std::to_string(s.job) + " recorded " +
+               (s.chunk == kLeafChunk ? "machine" : "router") +
+               " work on node " + std::to_string(s.node) +
+               " which is a " + (leaf_hop ? "machine" : "router") +
+               " hop of its epoch-" + std::to_string(k) + " path");
+      continue;
+    }
+    if (s.chunk != kLeafChunk && s.chunk != 0) {
+      rep.fail("job " + std::to_string(s.job) + " router chunk " +
+               std::to_string(s.chunk) +
+               " in a whole-job-forwarding fault run");
+      continue;
+    }
+    node_work[{uidx(s.job), s.node}] += s.work();
+    if (s.chunk == kLeafChunk) {
+      if (k + 1 == ep.size()) {
+        LeafAgg& agg = final_leaf_work[uidx(s.job)];
+        agg.work += s.work();
+        agg.first = std::min(agg.first, s.t0);
+        agg.last = std::max(agg.last, s.t1);
+      }
+    } else {
+      last_router_end[uidx(s.job)] =
+          std::max(last_router_end[uidx(s.job)], s.t1);
+    }
+    by_node[uidx(s.node)].push_back(&s);
+  }
+
+  // --- unit capacity: per-node non-overlap ---------------------------------
+  for (std::size_t v = 0; v < n_nodes; ++v) {
+    auto& list = by_node[v];
+    std::sort(list.begin(), list.end(),
+              [](const Segment* a, const Segment* b) { return a->t0 < b->t0; });
+    for (std::size_t i = 1; i < list.size(); ++i) {
+      const Segment* p = list[i - 1];
+      const Segment* q = list[i];
+      if (q->t0 < p->t1 - tol)
+        rep.fail("unit capacity violated on node " + std::to_string(v) +
+                 ": job " + std::to_string(p->job) + " [" + fmt(p->t0) + "," +
+                 fmt(p->t1) + ") overlaps job " + std::to_string(q->job) +
+                 " [" + fmt(q->t0) + "," + fmt(q->t1) + ")");
+    }
+  }
+
+  // --- per-job recovery invariants -----------------------------------------
+  for (std::size_t j = 0; j < n_jobs; ++j) {
+    if (epochs[j].empty()) continue;
+    ++rep.jobs_checked;
+    const Job& job = instance.job(static_cast<JobId>(j));
+    const auto& path = log.paths[j];
+    const NodeId leaf = path.back();
+    const double leaf_work = instance.processing_time(job.id, leaf);
+    const Time claimed = log.completion[j];
+
+    if (claimed < 0.0) {
+      rep.fail("job " + std::to_string(j) + " never completed");
+      continue;
+    }
+    const LeafAgg& agg = final_leaf_work[j];
+    if (agg.last < 0.0) {
+      rep.fail("job " + std::to_string(j) +
+               " has no machine work at its final leaf " +
+               std::to_string(leaf) + " after the last re-dispatch");
+      continue;
+    }
+    // The final attempt performs exactly the requirement: lost partial work
+    // lives in earlier epochs (a crashed machine triggers re-dispatch), so
+    // any shortfall or excess here means recovery dropped or double-counted
+    // work.
+    if (std::fabs(agg.work - leaf_work) > tol * std::max(1.0, leaf_work))
+      rep.fail("job " + std::to_string(j) + " final-epoch machine work " +
+               fmt(agg.work) + " != " + fmt(leaf_work) + " on node " +
+               std::to_string(leaf));
+    if (std::fabs(agg.last - claimed) > tol)
+      rep.fail("job " + std::to_string(j) + " claimed completion " +
+               fmt(claimed) + " != last machine burst end " + fmt(agg.last));
+    // Every router of the final path fully forwarded the job at least once
+    // (crash-reverted partials make the total larger, never smaller).
+    for (std::size_t h = 0; h + 1 < path.size(); ++h) {
+      const auto it = node_work.find({j, path[h]});
+      const double w = it == node_work.end() ? 0.0 : it->second;
+      if (w < job.size - tol * std::max(1.0, job.size))
+        rep.fail("job " + std::to_string(j) + " completed but node " +
+                 std::to_string(path[h]) + " of its final path forwarded " +
+                 fmt(w) + " < " + fmt(job.size));
+    }
+    // Recovery precedence: all routing (every epoch) precedes the final
+    // machine work.
+    if (last_router_end[j] > agg.first + tol)
+      rep.fail("precedence violated across recovery: job " +
+               std::to_string(j) + " machine work started at " +
+               fmt(agg.first) + " before its last router burst ended at " +
+               fmt(last_router_end[j]));
+  }
+
+  rep.notes.push_back(
+      "fault mode: " + std::to_string(log.faults.size()) +
+      " fault record(s); priority consistency not audited (crashes "
+      "legitimately reorder work)");
+  if (opts.eps > 0.0)
+    rep.notes.push_back(
+        "fault mode: lemma margins not audited (the paper's bounds "
+        "presuppose a fault-free network)");
+  return rep;
+}
+
 }  // namespace
 
 std::string AuditReport::summary() const {
@@ -95,6 +480,7 @@ std::string AuditReport::lemma_table() const {
 
 AuditReport audit_run(const Instance& instance, const RunLog& log,
                       const AuditOptions& opts) {
+  if (!log.faults.empty()) return audit_fault_run(instance, log, opts);
   AuditReport rep;
   const double tol = opts.tol;
   const Tree& tree = instance.tree();

@@ -16,6 +16,14 @@
 //   - optionally, the paper's lemma bounds with per-job worst-case margins:
 //     Lemma 2's (2/eps)·p_j available-volume bound at arrival on each
 //     interior node, and the Lemma 1/3 interior wait bound (6/eps²)·p_j·d_v.
+//
+// Run logs carrying fault records switch the audit into its fault mode: the
+// structural checks become epoch-aware (a job's path changes at every
+// re-dispatch) and the recovery invariants are verified instead — no work at
+// a dead node, burst rates match speed x slowdown factor, re-dispatch chains
+// move jobs from a dead machine to a live one, the final attempt performs
+// exactly the required machine work, and all routing precedes it. Priority
+// consistency and lemma margins are skipped with a note.
 #pragma once
 
 #include <string>

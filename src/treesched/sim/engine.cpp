@@ -13,6 +13,7 @@ namespace {
 // Completion detection tolerance: event times are exact sums, but pauses
 // subtract elapsed*speed, so residuals accumulate a few ulps per event.
 constexpr double kWorkTol = 1e-6;
+constexpr Time kNever = std::numeric_limits<Time>::infinity();
 }  // namespace
 
 Engine::Engine(const Instance& instance, SpeedProfile speeds, EngineConfig cfg)
@@ -54,7 +55,7 @@ double Engine::live_remaining_item(JobId j, int idx) const {
   double rem = stored_remaining_item(js, idx);
   const NodeState& ns = nodes_[uidx(v)];
   if (ns.has_running && ns.running.job == j)
-    rem -= (now_ - ns.burst_start) * speeds_.speed(v);
+    rem -= (now_ - ns.burst_start) * node_speed(v);
   return std::max(rem, 0.0);
 }
 
@@ -108,6 +109,19 @@ void Engine::erase_avail(NodeId v, JobId j, int idx) {
   js.in_avail[uidx(idx)] = false;
 }
 
+void Engine::deliver(NodeId v, JobId j, int idx, Time t) {
+  NodeState& ns = nodes_[uidx(v)];
+  if (ns.edge_down) {
+    // The link from the parent is severed: the data sits at the parent's
+    // copy until the matching edge-up flushes it.
+    ns.deferred.emplace_back(j, idx);
+    return;
+  }
+  pause(v, t);
+  insert_avail(v, j, idx, t);
+  resched(v, t);
+}
+
 void Engine::accumulate_frac_to(JobId j, Time t) {
   JobState& js = jobs_[uidx(j)];
   if (t <= js.frac_touch) return;
@@ -122,7 +136,7 @@ void Engine::pause(NodeId v, Time t) {
     ns.burst_start = t;
     return;
   }
-  const double sp = speeds_.speed(v);
+  const double sp = node_speed(v);
   const double w = (t - ns.burst_start) * sp;
   if (w <= 0.0) {
     ns.burst_start = t;
@@ -174,7 +188,7 @@ void Engine::resched(NodeId v, Time t) {
   if (ns.has_running && !ns.avail.empty() && ns.running == *ns.avail.begin())
     return;  // the pending completion event is still accurate
   ++ns.version;
-  if (ns.avail.empty()) {
+  if (ns.down || ns.avail.empty()) {
     ns.has_running = false;
     return;
   }
@@ -184,7 +198,24 @@ void Engine::resched(NodeId v, Time t) {
   const JobState& js = jobs_[uidx(ns.running.job)];
   const int idx = path_index(js, v);
   const double rem = stored_remaining_item(js, idx);
-  events_.push({t + rem / speeds_.speed(v), seq_++, v, ns.version});
+  events_.push({t + rem / node_speed(v), seq_++, v, ns.version});
+}
+
+void Engine::force_resched(NodeId v, Time t) {
+  // Unlike resched(), never trust the pending completion event: fault
+  // transitions (speed change, crash, recovery) change the finish time even
+  // when the running item is still the best one.
+  NodeState& ns = nodes_[uidx(v)];
+  ++ns.version;
+  ns.has_running = false;
+  if (ns.down || ns.avail.empty()) return;
+  ns.running = *ns.avail.begin();
+  ns.has_running = true;
+  ns.burst_start = t;
+  const JobState& js = jobs_[uidx(ns.running.job)];
+  const int idx = path_index(js, v);
+  const double rem = stored_remaining_item(js, idx);
+  events_.push({t + rem / node_speed(v), seq_++, v, ns.version});
 }
 
 void Engine::handle_completion(NodeId v, Time t) {
@@ -225,20 +256,15 @@ void Engine::handle_completion(NodeId v, Time t) {
       insert_avail(v, j, idx, t);
 
     // Deliver chunk c downstream.
-    const NodeId next = (*js.path)[uidx(idx + 1)];
     const bool next_is_leaf = is_leaf_index(js, idx + 1);
     if (!next_is_leaf) {
       if (js.chunks_done[uidx(idx + 1)] == c) {
         // The child was waiting for exactly this chunk.
-        pause(next, t);
-        insert_avail(next, j, idx + 1, t);
-        resched(next, t);
+        deliver((*js.path)[uidx(idx + 1)], j, idx + 1, t);
       }
     } else if (node_finished) {
       // All data arrived at the last router: the leaf work becomes available.
-      pause(next, t);
-      insert_avail(next, j, idx + 1, t);
-      resched(next, t);
+      deliver((*js.path)[uidx(idx + 1)], j, idx + 1, t);
     }
 
     if (node_finished) {
@@ -250,18 +276,275 @@ void Engine::handle_completion(NodeId v, Time t) {
 }
 
 // ---------------------------------------------------------------------------
+// Faults
+// ---------------------------------------------------------------------------
+
+void Engine::set_fault_plan(const fault::FaultPlan* plan,
+                            RedispatchPolicy* redispatch) {
+  TS_REQUIRE(now_ == 0.0 && admitted_count_ == 0,
+             "fault plan must be armed before the run starts");
+  TS_REQUIRE(cfg_.router_chunk_size == 0.0,
+             "fault runs require whole-job forwarding (router_chunk_size 0)");
+  if (plan != nullptr) plan->validate(tree());
+  fault_plan_ = plan;
+  redispatch_ = redispatch;
+  fault_cursor_ = 0;
+  fault_log_.clear();
+}
+
+Time Engine::next_fault_time() const {
+  if (fault_plan_ == nullptr || fault_cursor_ >= fault_plan_->events.size())
+    return kNever;
+  return fault_plan_->events[fault_cursor_].t;
+}
+
+void Engine::apply_next_fault() {
+  const fault::FaultEvent& fe = fault_plan_->events[fault_cursor_++];
+  const Time t = now_;
+  switch (fe.kind) {
+    case fault::FaultKind::kNodeDown:
+      fault_log_.push_back({FaultRecord::Kind::kNodeDown, t, fe.node, 1.0,
+                            kInvalidJob, kInvalidNode});
+      apply_node_down(fe.node, t);
+      break;
+    case fault::FaultKind::kNodeUp:
+      fault_log_.push_back({FaultRecord::Kind::kNodeUp, t, fe.node, 1.0,
+                            kInvalidJob, kInvalidNode});
+      apply_node_up(fe.node, t);
+      break;
+    case fault::FaultKind::kEdgeDown:
+      fault_log_.push_back({FaultRecord::Kind::kEdgeDown, t, fe.node, 1.0,
+                            kInvalidJob, kInvalidNode});
+      apply_edge_down(fe.node, t);
+      break;
+    case fault::FaultKind::kEdgeUp:
+      fault_log_.push_back({FaultRecord::Kind::kEdgeUp, t, fe.node, 1.0,
+                            kInvalidJob, kInvalidNode});
+      apply_edge_up(fe.node, t);
+      break;
+    case fault::FaultKind::kSlow:
+      fault_log_.push_back({FaultRecord::Kind::kSlow, t, fe.node, fe.factor,
+                            kInvalidJob, kInvalidNode});
+      apply_slow(fe.node, fe.factor, t);
+      break;
+  }
+}
+
+void Engine::apply_node_down(NodeId v, Time t) {
+  pause(v, t);  // materialize the truthful burst segment up to the crash
+  NodeState& ns = nodes_[uidx(v)];
+  TS_CHECK(!ns.down, "node-down on an already-down node");
+  if (ns.has_running) {
+    // The crash voids the partial progress of the in-flight item: the job
+    // reverts to the last fully forwarded copy (the parent finished it, so
+    // a pristine copy exists upstream; re-receiving is free in this model).
+    const JobId j = ns.running.job;
+    JobState& js = jobs_[uidx(j)];
+    const int idx = path_index(js, v);
+    if (is_leaf_index(js, idx)) {
+      const double p = size_on(j, v);
+      if (js.leaf_rem < p) {
+        accumulate_frac_to(j, t);
+        js.frac = 1.0;
+        js.frac_touch = t;
+        js.leaf_rem = p;
+      }
+    } else {
+      js.head_rem[uidx(idx)] = js.chunk_size;
+    }
+    if (cfg_.node_policy == NodePolicy::kSrpt && js.in_avail[uidx(idx)]) {
+      PriorityKey k = js.avail_key[uidx(idx)];
+      erase_avail(v, j, idx);
+      k.a = stored_remaining_item(js, idx);
+      const bool inserted = ns.avail.insert(k).second;
+      TS_CHECK(inserted, "SRPT key revert collision");
+      js.in_avail[uidx(idx)] = true;
+      js.avail_key[uidx(idx)] = k;
+    }
+    ns.has_running = false;
+  }
+  ns.down = true;
+  ++ns.version;  // invalidate the pending completion event
+  ns.burst_start = t;
+  if (tree().is_leaf(v)) redispatch_jobs_of(v, t);
+}
+
+void Engine::apply_node_up(NodeId v, Time t) {
+  NodeState& ns = nodes_[uidx(v)];
+  TS_CHECK(ns.down, "node-up on a node that is not down");
+  ns.down = false;
+  ns.burst_start = t;
+  force_resched(v, t);
+}
+
+void Engine::apply_edge_down(NodeId v, Time t) {
+  NodeState& ns = nodes_[uidx(v)];
+  TS_CHECK(!ns.edge_down, "edge-down on an already-severed edge");
+  (void)t;
+  ns.edge_down = true;
+}
+
+void Engine::apply_edge_up(NodeId v, Time t) {
+  NodeState& ns = nodes_[uidx(v)];
+  TS_CHECK(ns.edge_down, "edge-up on an edge that is not down");
+  ns.edge_down = false;
+  if (ns.deferred.empty()) return;
+  pause(v, t);
+  for (const auto& [j, idx] : ns.deferred) insert_avail(v, j, idx, t);
+  ns.deferred.clear();
+  force_resched(v, t);
+}
+
+void Engine::apply_slow(NodeId v, double factor, Time t) {
+  // Materialize the current burst at the old speed, then switch: a recorded
+  // segment never spans a factor change.
+  pause(v, t);
+  nodes_[uidx(v)].factor = factor;
+  force_resched(v, t);
+}
+
+void Engine::redispatch_jobs_of(NodeId dead_leaf, Time t) {
+  NodeState& ns = nodes_[uidx(dead_leaf)];
+  if (ns.inflight.empty()) return;
+  // Snapshot ascending job ids: reassign_leaf mutates the inflight set.
+  const std::vector<JobId> stranded(ns.inflight.begin(), ns.inflight.end());
+  for (const JobId j : stranded) {
+    NodeId target = kInvalidNode;
+    if (redispatch_ != nullptr) {
+      target = redispatch_->reassign(*this, j, dead_leaf);
+    } else {
+      for (const NodeId leaf : tree().leaves()) {
+        if (!nodes_[uidx(leaf)].down) {
+          target = leaf;
+          break;
+        }
+      }
+    }
+    TS_REQUIRE(target != kInvalidNode && tree().is_leaf(target) &&
+                   !nodes_[uidx(target)].down,
+               "re-dispatch target must be a live machine");
+    fault_log_.push_back(
+        {FaultRecord::Kind::kRedispatch, t, dead_leaf, 1.0, j, target});
+    reassign_leaf(j, target, t);
+  }
+}
+
+void Engine::reassign_leaf(JobId j, NodeId new_leaf, Time t) {
+  JobState& js = jobs_[uidx(j)];
+  TS_REQUIRE(js.owned_path.empty(),
+             "re-dispatch is unsupported for custom-path jobs");
+  TS_CHECK(js.chunks == 1, "re-dispatch requires whole-job forwarding");
+  const std::vector<NodeId> old_path = *js.path;  // copy: js.path changes
+  const std::vector<NodeId>& new_path = tree().path_to(new_leaf);
+  const std::size_t old_len = old_path.size();
+  const std::size_t new_len = new_path.size();
+
+  // Shared prefix: hops where receipt/processing progress carries over.
+  std::size_t shared = 0;
+  while (shared < old_len - 1 && shared < new_len - 1 &&
+         old_path[shared] == new_path[shared])
+    ++shared;
+
+  // Tear the job out of every hop past the divergence point. Work already
+  // performed there is lost (the segments stay recorded — the time was
+  // genuinely burnt); the data reverts to the copy at new_path[shared-1].
+  for (std::size_t i = shared; i < old_len; ++i) {
+    const NodeId v = old_path[i];
+    NodeState& ns = nodes_[uidx(v)];
+    pause(v, t);
+    const int idx = static_cast<int>(i);
+    if (ns.has_running && ns.running.job == j) ns.has_running = false;
+    if (js.in_avail[uidx(idx)]) erase_avail(v, j, idx);
+    ns.deferred.erase(
+        std::remove_if(ns.deferred.begin(), ns.deferred.end(),
+                       [j](const std::pair<JobId, int>& d) {
+                         return d.first == j;
+                       }),
+        ns.deferred.end());
+    ns.inflight.erase(j);
+  }
+
+  // Rebuild the per-path job state: prefix entries survive, the rest resets.
+  js.path = &new_path;
+  js.leaf = new_leaf;
+  js.chunks_done.resize(new_len - 1);
+  js.head_rem.resize(new_len - 1);
+  js.in_avail.resize(new_len);
+  js.avail_key.resize(new_len);
+  for (std::size_t i = shared; i < new_len - 1; ++i) {
+    js.chunks_done[i] = 0;
+    js.head_rem[i] = js.chunk_size;
+  }
+  for (std::size_t i = shared; i < new_len; ++i) {
+    js.in_avail[i] = false;
+    js.avail_key[i] = PriorityKey{};
+  }
+  js.leaf_rem = inst_->processing_time(j, new_leaf);
+  accumulate_frac_to(j, t);
+  js.frac = 1.0;
+  js.frac_touch = t;
+
+  for (std::size_t i = shared; i < new_len; ++i)
+    nodes_[uidx(new_path[i])].inflight.insert(j);
+
+  JobRecord& rec = metrics_.job(j);
+  rec.leaf = new_leaf;
+  rec.node_completion.resize(new_len);
+  for (std::size_t i = shared; i < new_len; ++i) rec.node_completion[i] = -1.0;
+
+  // The frontier: the first hop with unfinished work. Inside the shared
+  // prefix the item is already in the system (available, running, or
+  // deferred on a severed edge); past it the parent's completed copy makes
+  // exactly the divergence hop deliverable now.
+  std::size_t frontier = new_len - 1;
+  for (std::size_t i = 0; i < new_len - 1; ++i) {
+    if (js.chunks_done[i] < js.chunks) {
+      frontier = i;
+      break;
+    }
+  }
+  if (frontier >= shared) {
+    TS_CHECK(frontier == shared || (frontier == new_len - 1 &&
+                                    shared == new_len - 1),
+             "re-dispatch frontier past the divergence hop");
+    deliver(new_path[frontier], j, static_cast<int>(frontier), t);
+  } else {
+    const NodeId fv = new_path[frontier];
+    const NodeState& fs = nodes_[uidx(fv)];
+    const bool deferred_here = std::any_of(
+        fs.deferred.begin(), fs.deferred.end(),
+        [j](const std::pair<JobId, int>& d) { return d.first == j; });
+    TS_CHECK(js.in_avail[frontier] || deferred_here,
+             "re-dispatched job lost its frontier work item");
+  }
+
+  // Old-branch nodes may have lost their running item.
+  for (std::size_t i = shared; i < old_len; ++i)
+    force_resched(old_path[i], t);
+}
+
+// ---------------------------------------------------------------------------
 // Driving
 // ---------------------------------------------------------------------------
 
 void Engine::advance_to(Time t) {
   TS_REQUIRE(t >= now_ - util::kEps, "advance_to cannot move backwards");
-  while (!events_.empty() && events_.top().t <= t) {
-    const Event ev = events_.top();
-    events_.pop();
-    if (ev.version != nodes_[uidx(ev.node)].version) continue;  // stale
-    now_ = std::max(now_, ev.t);
-    handle_completion(ev.node, now_);
-    if (observer_) observer_->on_event(*this, now_);
+  for (;;) {
+    const Time ft = next_fault_time();
+    const bool fault_due = ft <= t;
+    const Time limit = fault_due ? ft : t;
+    // Completions at the fault instant are processed before the fault.
+    while (!events_.empty() && events_.top().t <= limit) {
+      const Event ev = events_.top();
+      events_.pop();
+      if (ev.version != nodes_[uidx(ev.node)].version) continue;  // stale
+      now_ = std::max(now_, ev.t);
+      handle_completion(ev.node, now_);
+      if (observer_) observer_->on_event(*this, now_);
+    }
+    if (!fault_due) break;
+    now_ = std::max(now_, ft);
+    apply_next_fault();
   }
   now_ = std::max(now_, t);
 }
@@ -334,10 +617,7 @@ void Engine::admit_on_path(JobId j, const std::vector<NodeId>* path) {
   rec.leaf = leaf;
   rec.node_completion.assign(len, -1.0);
 
-  const NodeId first = (*js.path)[0];
-  pause(first, now_);
-  insert_avail(first, j, 0, now_);
-  resched(first, now_);
+  deliver((*js.path)[0], j, 0, now_);
   ++admitted_count_;
   if (observer_) observer_->on_job_admitted(*this, j);
 }
@@ -365,15 +645,23 @@ void Engine::run_with_assignment(const std::vector<NodeId>& leaf_of_job) {
 void Engine::run_to_completion() {
   TS_REQUIRE(admitted_count_ == inst_->job_count(),
              "run_to_completion with unadmitted jobs");
-  while (!events_.empty()) {
-    const Event ev = events_.top();
-    events_.pop();
-    if (ev.version != nodes_[uidx(ev.node)].version) continue;
-    now_ = std::max(now_, ev.t);
-    handle_completion(ev.node, now_);
-    if (observer_) observer_->on_event(*this, now_);
+  for (;;) {
+    const Time ft = next_fault_time();
+    while (!events_.empty() && events_.top().t <= ft) {
+      const Event ev = events_.top();
+      events_.pop();
+      if (ev.version != nodes_[uidx(ev.node)].version) continue;
+      now_ = std::max(now_, ev.t);
+      handle_completion(ev.node, now_);
+      if (observer_) observer_->on_event(*this, now_);
+    }
+    if (ft == kNever) break;
+    now_ = std::max(now_, ft);
+    apply_next_fault();
   }
-  TS_CHECK(metrics_.all_completed(), "events drained with unfinished jobs");
+  TS_CHECK(metrics_.all_completed(),
+           "events drained with unfinished jobs (a hand-written fault plan "
+           "that never recovers a node can wedge its queue)");
 }
 
 // ---------------------------------------------------------------------------
@@ -400,7 +688,7 @@ double Engine::remaining_on(JobId j, NodeId v) const {
   }
   const NodeState& ns = nodes_[uidx(v)];
   if (ns.has_running && ns.running.job == j)
-    total -= (now_ - ns.burst_start) * speeds_.speed(v);
+    total -= (now_ - ns.burst_start) * node_speed(v);
   return std::max(total, 0.0);
 }
 

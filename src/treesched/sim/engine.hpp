@@ -11,6 +11,17 @@
 // The engine is driven either offline (run(policy)) or incrementally
 // (advance_to / admit), which the general-tree algorithm uses to simulate
 // its broomstick image online.
+//
+// Fault extension (set_fault_plan): the engine consumes a declarative
+// fault::FaultPlan and interleaves its events deterministically with the
+// completion events. A crashed node performs no work and loses the partial
+// progress of its in-flight item — the job reverts to the last fully
+// forwarded copy at the parent, consistent with store-and-forward. A leaf
+// crash triggers failure-aware re-dispatch of every job still assigned to
+// it (see RedispatchPolicy). Slowdowns multiply the node's base speed; link
+// outages defer deliveries into the severed child until the edge recovers.
+// Fault runs require the paper's whole-job forwarding (router_chunk_size
+// == 0).
 #pragma once
 
 #include <cstdint>
@@ -21,6 +32,7 @@
 
 #include "treesched/core/instance.hpp"
 #include "treesched/core/speed_profile.hpp"
+#include "treesched/fault/plan.hpp"
 #include "treesched/sim/metrics.hpp"
 #include "treesched/sim/priority.hpp"
 #include "treesched/sim/recorder.hpp"
@@ -40,6 +52,21 @@ class AssignmentPolicy {
   virtual const char* name() const = 0;
 };
 
+/// Failure-aware re-dispatch hook: when leaf `dead_leaf` crashes, the engine
+/// calls reassign once per job still assigned to it (ascending job id) and
+/// moves the job to the returned leaf. The target must be a live machine
+/// (engine.node_down(target) == false). Work already done on the shared
+/// path prefix carries over; everything from the divergence point on
+/// restarts from the parent's copy. Without a policy the engine falls back
+/// to the first live leaf in node-id order.
+class RedispatchPolicy {
+ public:
+  virtual ~RedispatchPolicy() = default;
+  virtual NodeId reassign(const Engine& engine, JobId job,
+                          NodeId dead_leaf) = 0;
+  virtual const char* name() const = 0;
+};
+
 /// Hook for invariant monitors (Lemma 1/2 checks, dual-fitting recorders).
 class EngineObserver {
  public:
@@ -50,6 +77,27 @@ class EngineObserver {
   virtual void on_job_admitted(const Engine& /*engine*/, JobId /*j*/) {}
   /// After a job completes at its leaf.
   virtual void on_job_completed(const Engine& /*engine*/, JobId /*j*/) {}
+};
+
+/// One applied fault-timeline entry, in application order: every consumed
+/// plan event plus one kRedispatch record per moved job. Serialized into
+/// run logs so treesched_audit can re-check the recovery invariants
+/// offline.
+struct FaultRecord {
+  enum class Kind : std::uint8_t {
+    kNodeDown,
+    kNodeUp,
+    kEdgeDown,
+    kEdgeUp,
+    kSlow,
+    kRedispatch,
+  };
+  Kind kind = Kind::kNodeDown;
+  Time t = 0.0;
+  NodeId node = kInvalidNode;  ///< affected node; the dead leaf for kRedispatch
+  double factor = 1.0;         ///< kSlow only
+  JobId job = kInvalidJob;     ///< kRedispatch only
+  NodeId to = kInvalidNode;    ///< kRedispatch only: the new leaf
 };
 
 struct EngineConfig {
@@ -72,6 +120,23 @@ class Engine {
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
+
+  // --- faults ------------------------------------------------------------
+
+  /// Arms the fault plan (validated against the tree; kept alive by the
+  /// caller). Must be called before any job is admitted or time advanced,
+  /// and requires whole-job forwarding (router_chunk_size == 0).
+  /// `redispatch` (optional, caller-owned) handles leaf crashes; nullptr
+  /// falls back to the first live leaf.
+  void set_fault_plan(const fault::FaultPlan* plan,
+                      RedispatchPolicy* redispatch = nullptr);
+
+  bool node_down(NodeId v) const { return nodes_[uidx(v)].down; }
+  bool edge_down(NodeId v) const { return nodes_[uidx(v)].edge_down; }
+  /// Current slowdown multiplier of v (1.0 = nominal).
+  double fault_factor(NodeId v) const { return nodes_[uidx(v)].factor; }
+  /// Applied fault timeline (plan events + re-dispatch records), in order.
+  const std::vector<FaultRecord>& fault_log() const { return fault_log_; }
 
   // --- driving -----------------------------------------------------------
 
@@ -191,6 +256,13 @@ class Engine {
     bool has_running = false;
     Time burst_start = 0.0;
     std::uint64_t version = 0;     ///< invalidates stale completion events
+    // Fault state.
+    bool down = false;             ///< crashed: runs nothing until recovery
+    bool edge_down = false;        ///< link from the parent severed
+    double factor = 1.0;           ///< slowdown multiplier on the base speed
+    /// Deliveries (job, path index) blocked by the severed incoming edge,
+    /// in arrival order; flushed on edge recovery.
+    std::vector<std::pair<JobId, int>> deferred;
   };
 
   struct JobState {
@@ -217,9 +289,18 @@ class Engine {
   double stored_remaining_item(const JobState& js, int idx) const;
   double live_remaining_item(JobId j, int idx) const;
 
+  /// Effective processing speed of v right now (base speed x slowdown).
+  double node_speed(NodeId v) const {
+    return speeds_.speed(v) * nodes_[uidx(v)].factor;
+  }
+
   PriorityKey make_key(JobId j, int idx, Time avail_time) const;
   void insert_avail(NodeId v, JobId j, int idx, Time t);
   void erase_avail(NodeId v, JobId j, int idx);
+
+  /// Makes work item (j, idx) available on v — or, if v's incoming edge is
+  /// down, defers it until the edge recovers.
+  void deliver(NodeId v, JobId j, int idx, Time t);
 
   /// Materializes the running burst of v up to time t (records the segment,
   /// updates remaining work and fractional areas). Leaves the burst running.
@@ -229,8 +310,26 @@ class Engine {
   /// avail-set mutations) and schedules its completion event.
   void resched(NodeId v, Time t);
 
+  /// Like resched but never trusts the pending completion event — used after
+  /// fault transitions (speed change, crash, recovery) that invalidate it.
+  void force_resched(NodeId v, Time t);
+
   void handle_completion(NodeId v, Time t);
   void accumulate_frac_to(JobId j, Time t);
+
+  // Fault machinery.
+  Time next_fault_time() const;
+  void apply_next_fault();
+  void apply_node_down(NodeId v, Time t);
+  void apply_node_up(NodeId v, Time t);
+  void apply_edge_down(NodeId v, Time t);
+  void apply_edge_up(NodeId v, Time t);
+  void apply_slow(NodeId v, double factor, Time t);
+  /// Re-dispatches every job still assigned to the crashed leaf.
+  void redispatch_jobs_of(NodeId dead_leaf, Time t);
+  /// Moves job j to new_leaf: keeps the shared path prefix, restarts the
+  /// rest from the parent's copy, delivers the frontier item.
+  void reassign_leaf(JobId j, NodeId new_leaf, Time t);
 
   const Instance* inst_;
   SpeedProfile speeds_;
@@ -241,6 +340,10 @@ class Engine {
   Metrics metrics_;
   ScheduleRecorder recorder_;
   EngineObserver* observer_ = nullptr;
+  const fault::FaultPlan* fault_plan_ = nullptr;
+  RedispatchPolicy* redispatch_ = nullptr;
+  std::size_t fault_cursor_ = 0;
+  std::vector<FaultRecord> fault_log_;
   Time now_ = 0.0;
   std::uint64_t seq_ = 0;
   JobId admitted_count_ = 0;

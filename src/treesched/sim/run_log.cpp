@@ -7,6 +7,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "treesched/util/fs.hpp"
 #include "treesched/util/string_util.hpp"
 
 namespace treesched::sim {
@@ -35,6 +36,27 @@ NodePolicy parse_policy(const std::string& s) {
 
 [[noreturn]] void bad(const std::string& msg) {
   throw std::invalid_argument("runlog: " + msg);
+}
+
+const char* fault_token(FaultRecord::Kind k) {
+  switch (k) {
+    case FaultRecord::Kind::kNodeDown: return "node-down";
+    case FaultRecord::Kind::kNodeUp: return "node-up";
+    case FaultRecord::Kind::kEdgeDown: return "edge-down";
+    case FaultRecord::Kind::kEdgeUp: return "edge-up";
+    case FaultRecord::Kind::kSlow: return "slow";
+    case FaultRecord::Kind::kRedispatch: return "redispatch";
+  }
+  return "?";
+}
+
+FaultRecord::Kind parse_fault_token(const std::string& s) {
+  if (s == "node-down") return FaultRecord::Kind::kNodeDown;
+  if (s == "node-up") return FaultRecord::Kind::kNodeUp;
+  if (s == "edge-down") return FaultRecord::Kind::kEdgeDown;
+  if (s == "edge-up") return FaultRecord::Kind::kEdgeUp;
+  if (s == "slow") return FaultRecord::Kind::kSlow;
+  throw std::invalid_argument("runlog: unknown fault kind '" + s + "'");
 }
 
 }  // namespace
@@ -69,6 +91,13 @@ RunLog make_run_log(const Instance& instance, const SpeedProfile& speeds,
   return log;
 }
 
+RunLog make_run_log(const Instance& instance, const Engine& engine) {
+  RunLog log = make_run_log(instance, engine.speeds(), engine.config(),
+                            engine.recorder(), engine.metrics());
+  log.faults = engine.fault_log();
+  return log;
+}
+
 void write_run_log(std::ostream& os, const RunLog& log) {
   os << std::setprecision(17);
   os << "runlog 1\n";
@@ -86,13 +115,20 @@ void write_run_log(std::ostream& os, const RunLog& log) {
   for (const Segment& s : log.segments)
     os << "seg " << s.node << ' ' << s.job << ' ' << s.chunk << ' ' << s.t0
        << ' ' << s.t1 << ' ' << s.rate << '\n';
+  for (const FaultRecord& fr : log.faults) {
+    if (fr.kind == FaultRecord::Kind::kRedispatch)
+      os << "redispatch " << fr.t << ' ' << fr.job << ' ' << fr.node << ' '
+         << fr.to << '\n';
+    else
+      os << "fevent " << fault_token(fr.kind) << ' ' << fr.t << ' ' << fr.node
+         << ' ' << fr.factor << '\n';
+  }
 }
 
 void write_run_log_file(const std::string& path, const RunLog& log) {
-  std::ofstream f(path);
-  if (!f) throw std::runtime_error("cannot open run log for writing: " + path);
-  write_run_log(f, log);
-  if (!f) throw std::runtime_error("failed writing run log: " + path);
+  std::ostringstream os;
+  write_run_log(os, log);
+  util::write_file_atomic(path, os.str());
 }
 
 RunLog read_run_log(std::istream& is) {
@@ -142,6 +178,19 @@ RunLog read_run_log(std::istream& is) {
       if (!(ls >> s.node >> s.job >> s.chunk >> s.t0 >> s.t1 >> s.rate))
         bad("bad seg line: " + line);
       log.segments.push_back(s);
+    } else if (tag == "fevent") {
+      std::string tok;
+      FaultRecord fr;
+      if (!(ls >> tok >> fr.t >> fr.node >> fr.factor))
+        bad("bad fevent line: " + line);
+      fr.kind = parse_fault_token(tok);
+      log.faults.push_back(fr);
+    } else if (tag == "redispatch") {
+      FaultRecord fr;
+      fr.kind = FaultRecord::Kind::kRedispatch;
+      if (!(ls >> fr.t >> fr.job >> fr.node >> fr.to))
+        bad("bad redispatch line: " + line);
+      log.faults.push_back(fr);
     } else {
       bad("unknown tag '" + tag + "'");
     }

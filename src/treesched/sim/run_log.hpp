@@ -11,6 +11,11 @@
 //   speeds <node_count> <s_0> ... <s_{n-1}>
 //   job <id> <completion> <path_len> <v_0> ... <v_{len-1}>
 //   seg <node> <job> <chunk> <t0> <t1> <rate>
+//
+// Fault-injected runs additionally carry the applied fault timeline (in
+// application order), which switches treesched_audit into its fault mode:
+//   fevent <node-down|node-up|edge-down|edge-up|slow> <t> <node> <factor>
+//   redispatch <t> <job> <from> <to>
 #pragma once
 
 #include <iosfwd>
@@ -31,6 +36,11 @@ struct RunLog {
   std::vector<std::vector<NodeId>> paths;     ///< per job id: processing path
   std::vector<Time> completion;               ///< per job id; -1 = unfinished
   std::vector<Segment> segments;
+  /// Applied fault timeline (plan events + re-dispatch records) in the order
+  /// the engine consumed them. Non-empty turns on the audit's fault mode;
+  /// `paths` then holds each job's FINAL path (earlier epochs are
+  /// reconstructed from the redispatch records).
+  std::vector<FaultRecord> faults;
 };
 
 /// Captures a finished engine run. Paths are derived from the recorded leaf
@@ -44,6 +54,10 @@ RunLog make_run_log(const Instance& instance, const SpeedProfile& speeds,
                     const EngineConfig& cfg, const ScheduleRecorder& recorder,
                     const Metrics& metrics,
                     const std::vector<std::vector<NodeId>>& paths);
+
+/// Captures everything straight from a finished engine, including the fault
+/// timeline — the overload fault-injected runs must use.
+RunLog make_run_log(const Instance& instance, const Engine& engine);
 
 void write_run_log(std::ostream& os, const RunLog& log);
 void write_run_log_file(const std::string& path, const RunLog& log);

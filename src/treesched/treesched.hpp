@@ -20,6 +20,9 @@
 #include "treesched/core/tree_builders.hpp"
 #include "treesched/core/types.hpp"
 
+#include "treesched/fault/model.hpp"
+#include "treesched/fault/plan.hpp"
+
 #include "treesched/sim/audit.hpp"
 #include "treesched/sim/engine.hpp"
 #include "treesched/sim/gantt.hpp"
@@ -66,6 +69,7 @@
 #include "treesched/util/cli.hpp"
 #include "treesched/util/class_rounding.hpp"
 #include "treesched/util/csv.hpp"
+#include "treesched/util/fs.hpp"
 #include "treesched/util/log.hpp"
 #include "treesched/util/rng.hpp"
 #include "treesched/util/string_util.hpp"

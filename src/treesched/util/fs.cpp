@@ -1,0 +1,57 @@
+#include "treesched/util/fs.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace treesched::util {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + " '" + path +
+                           "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+void write_file_atomic(const std::string& path, const std::string& content) {
+  // Same-directory temporary: rename() is only atomic within a filesystem,
+  // and a pid suffix keeps concurrent writers off each other's temp file.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail("cannot create temporary file", tmp);
+
+  std::size_t off = 0;
+  while (off < content.size()) {
+    const ::ssize_t n =
+        ::write(fd, content.data() + off, content.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      fail("write failed for", tmp);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    fail("fsync failed for", tmp);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    fail("close failed for", tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    fail("cannot rename temporary over", path);
+  }
+}
+
+}  // namespace treesched::util

@@ -1,0 +1,19 @@
+// Crash-safe file writes for results that must never be half-written.
+//
+// Sweep JSON, run logs, and fault plans are consumed by other tools (and by
+// --resume); a process killed mid-write must leave either the complete old
+// file or the complete new file, never a torn one. write_file_atomic writes
+// to a sibling temporary, fsyncs it, and renames it over the target —
+// rename(2) on the same filesystem is atomic.
+#pragma once
+
+#include <string>
+
+namespace treesched::util {
+
+/// Atomically replaces `path` with `content` (tmp + fsync + rename). Throws
+/// std::runtime_error with a one-line actionable message on any I/O failure;
+/// the temporary is cleaned up best-effort.
+void write_file_atomic(const std::string& path, const std::string& content);
+
+}  // namespace treesched::util

@@ -6,6 +6,7 @@
 #include <condition_variable>
 #include <cstdlib>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <numeric>
 #include <stdexcept>
@@ -117,6 +118,123 @@ TEST(ThreadPool, WaitIdleBlocksUntilDrained) {
     });
   pool.wait_idle();
   EXPECT_EQ(done.load(), 30);
+}
+
+TEST(ThreadPool, ThrowAfterPartialOutputLeavesPoolAndDataConsistent) {
+  // A task that mutates shared state and then throws must not wedge the
+  // worker or corrupt the pool: its partial output stays visible, the
+  // exception arrives through the future, later tasks still run.
+  ThreadPool pool(2);
+  std::atomic<int> partial{0};
+  auto bad = pool.submit([&partial]() -> int {
+    partial.fetch_add(1);  // partial output before the failure
+    throw std::runtime_error("died mid-write");
+  });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  EXPECT_EQ(partial.load(), 1);
+  EXPECT_EQ(pool.submit([] { return 41; }).get(), 41);
+}
+
+TEST(ThreadPool, CancelPendingRacesConcurrentSubmitters) {
+  // Submitters and a canceller race; every submitted task must end exactly
+  // one way: executed (counted) or broken promise. Nothing may be lost or
+  // run twice.
+  ThreadPool pool(2);
+  std::atomic<int> executed{0};
+  std::atomic<std::size_t> dropped{0};
+  std::vector<std::future<int>> futures;
+  std::mutex futures_mu;
+  std::vector<std::thread> submitters;
+  submitters.reserve(3);
+  for (int s = 0; s < 3; ++s)
+    submitters.emplace_back([&pool, &executed, &futures, &futures_mu] {
+      for (int i = 0; i < 40; ++i) {
+        auto f = pool.submit([&executed] {
+          executed.fetch_add(1);
+          return 0;
+        });
+        const std::lock_guard<std::mutex> lock(futures_mu);
+        futures.push_back(std::move(f));
+      }
+    });
+  for (int k = 0; k < 20; ++k) {
+    dropped.fetch_add(pool.cancel_pending());
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  for (auto& t : submitters) t.join();
+  pool.wait_idle();
+  std::size_t broken = 0;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (const std::future_error&) {
+      ++broken;
+    }
+  }
+  EXPECT_EQ(broken, dropped.load());
+  EXPECT_EQ(executed.load() + static_cast<int>(broken), 3 * 40);
+}
+
+TEST(ThreadPool, AbandonWithWedgedTaskReturnsPromptly) {
+  // One worker is wedged forever; abandon() + destruction must not block.
+  // The wedge state is shared_ptr-owned so the detached worker can outlive
+  // both the pool and this test's stack frame safely.
+  struct Wedge {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool release = false;
+  };
+  auto wedge = std::make_shared<Wedge>();
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    ThreadPool pool(1);
+    pool.submit([wedge] {
+      std::unique_lock<std::mutex> lock(wedge->mu);
+      wedge->cv.wait(lock, [&wedge] { return wedge->release; });
+    });
+    pool.submit([] {});  // queued behind the wedge, dropped below
+    pool.cancel_pending();
+    pool.abandon();
+  }  // destructor: must not join the wedged worker
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            2000);
+  {
+    // Unwedge so the detached thread exits instead of leaking blocked.
+    const std::lock_guard<std::mutex> lock(wedge->mu);
+    wedge->release = true;
+  }
+  wedge->cv.notify_all();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+}
+
+TEST(GatherCancellable, CollectsReadyResultsAndMarksRestCancelled) {
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::vector<std::future<int>> futures;
+  futures.push_back(pool.submit([] { return 5; }));
+  futures.push_back(pool.submit([&]() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+    return 6;
+  }));
+  futures[0].wait();
+  std::atomic<bool> cancel{true};
+  const auto report =
+      gather_cancellable(futures, std::chrono::milliseconds(0), &cancel);
+  EXPECT_EQ(report.values[0], 5);
+  EXPECT_FALSE(report.values[1].has_value());
+  ASSERT_EQ(report.cancelled.size(), 1u);
+  EXPECT_EQ(report.cancelled[0], 1u);
+  EXPECT_TRUE(report.timed_out.empty());
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_one();
 }
 
 TEST(GatherWithDeadline, ReportsTimeoutsInsteadOfHanging) {

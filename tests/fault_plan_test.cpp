@@ -1,0 +1,144 @@
+// Fault plans: JSON round-trips, invariant validation, and MTBF/MTTR model
+// expansion (determinism, spared leaf, closed windows).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "treesched/core/tree_builders.hpp"
+#include "treesched/fault/model.hpp"
+#include "treesched/fault/plan.hpp"
+
+namespace treesched::fault {
+namespace {
+
+FaultPlan sample_plan() {
+  FaultPlan plan;
+  plan.events.push_back({5.0, FaultKind::kEdgeDown, 2, 1.0});
+  plan.events.push_back({9.0, FaultKind::kEdgeUp, 2, 1.0});
+  plan.events.push_back({10.0, FaultKind::kNodeDown, 3, 1.0});
+  plan.events.push_back({15.0, FaultKind::kNodeUp, 3, 1.0});
+  plan.events.push_back({20.0, FaultKind::kSlow, 4, 0.5});
+  plan.events.push_back({25.0, FaultKind::kSlow, 4, 1.0});
+  plan.normalize();
+  return plan;
+}
+
+TEST(FaultPlan, JsonRoundTripsExactly) {
+  const FaultPlan plan = sample_plan();
+  const FaultPlan back = parse_plan_json(plan.to_json());
+  ASSERT_EQ(back.events.size(), plan.events.size());
+  for (std::size_t i = 0; i < plan.events.size(); ++i)
+    EXPECT_EQ(back.events[i], plan.events[i]) << "event " << i;
+}
+
+TEST(FaultPlan, FileRoundTripsExactly) {
+  const std::string path = testing::TempDir() + "/plan_roundtrip.json";
+  const FaultPlan plan = sample_plan();
+  write_plan_file(path, plan);
+  const FaultPlan back = read_plan_file(path);
+  EXPECT_EQ(back.events, plan.events);
+  std::filesystem::remove(path);
+}
+
+TEST(FaultPlan, NormalizeSortsByTimeThenNode) {
+  FaultPlan plan;
+  plan.events.push_back({7.0, FaultKind::kNodeUp, 3, 1.0});
+  plan.events.push_back({2.0, FaultKind::kNodeDown, 3, 1.0});
+  plan.normalize();
+  EXPECT_EQ(plan.events.front().t, 2.0);
+  EXPECT_EQ(plan.events.back().t, 7.0);
+}
+
+TEST(FaultPlan, ParseRejectsMalformedJson) {
+  EXPECT_THROW(parse_plan_json("not json"), std::invalid_argument);
+  EXPECT_THROW(parse_plan_json("{\"schema\": \"wrong\", \"events\": []}"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      parse_plan_json("{\"schema\": \"treesched-fault-plan-v1\", \"events\": "
+                      "[{\"kind\": \"martian\", \"t\": 1, \"node\": 2}]}"),
+      std::invalid_argument);
+}
+
+TEST(FaultPlan, ValidateRejectsBrokenInvariants) {
+  const Tree tree = builders::star_of_paths(2, 1);  // root,2 routers,2 leaves
+
+  FaultPlan targets_root;
+  targets_root.events.push_back({1.0, FaultKind::kNodeDown, tree.root(), 1.0});
+  EXPECT_THROW(targets_root.validate(tree), std::invalid_argument);
+
+  FaultPlan double_down;
+  double_down.events.push_back({1.0, FaultKind::kNodeDown, 1, 1.0});
+  double_down.events.push_back({2.0, FaultKind::kNodeDown, 1, 1.0});
+  EXPECT_THROW(double_down.validate(tree), std::invalid_argument);
+
+  FaultPlan up_without_down;
+  up_without_down.events.push_back({1.0, FaultKind::kNodeUp, 1, 1.0});
+  EXPECT_THROW(up_without_down.validate(tree), std::invalid_argument);
+
+  FaultPlan bad_factor;
+  bad_factor.events.push_back({1.0, FaultKind::kSlow, 1, 0.0});
+  EXPECT_THROW(bad_factor.validate(tree), std::invalid_argument);
+
+  FaultPlan unknown_node;
+  unknown_node.events.push_back({1.0, FaultKind::kNodeDown, 99, 1.0});
+  EXPECT_THROW(unknown_node.validate(tree), std::invalid_argument);
+
+  EXPECT_NO_THROW(sample_plan().validate(builders::star_of_paths(2, 2)));
+}
+
+TEST(FaultModel, GenerationIsDeterministicInSeed) {
+  const Tree tree = builders::caterpillar(2, 2, 2);
+  FaultModel model;
+  model.node_failure_rate = 0.05;
+  model.edge_failure_rate = 0.02;
+  model.slow_rate = 0.03;
+  model.horizon = 50.0;
+  const FaultPlan a = generate_plan(tree, model, 42);
+  const FaultPlan b = generate_plan(tree, model, 42);
+  const FaultPlan c = generate_plan(tree, model, 43);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_NE(a.events, c.events);
+  EXPECT_FALSE(a.empty());
+  EXPECT_NO_THROW(a.validate(tree));
+}
+
+TEST(FaultModel, SparesTheFirstLeafAndClosesEveryWindow) {
+  const Tree tree = builders::star_of_paths(3, 1);
+  FaultModel model;
+  model.node_failure_rate = 0.5;  // aggressive: plenty of windows
+  model.node_mttr = 2.0;
+  model.horizon = 100.0;
+  const FaultPlan plan = generate_plan(tree, model, 7);
+  const NodeId spared = tree.leaves().front();
+  std::map<NodeId, int> open;
+  for (const FaultEvent& e : plan.events) {
+    EXPECT_NE(e.node, spared) << "spared leaf crashed at t=" << e.t;
+    if (e.kind == FaultKind::kNodeDown) {
+      EXPECT_EQ(open[e.node]++, 0);
+    } else if (e.kind == FaultKind::kNodeUp) {
+      EXPECT_EQ(--open[e.node], 0);
+    }
+  }
+  for (const auto& [node, n] : open)
+    EXPECT_EQ(n, 0) << "node " << node << " never recovers";
+}
+
+TEST(FaultModel, ZeroRatesYieldEmptyPlanAndBadRatesThrow) {
+  const Tree tree = builders::star_of_paths(2, 1);
+  FaultModel model;  // all rates 0
+  EXPECT_TRUE(generate_plan(tree, model, 1).empty());
+
+  FaultModel bad;
+  bad.node_failure_rate = -0.1;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  FaultModel bad_mttr;
+  bad_mttr.node_failure_rate = 0.1;
+  bad_mttr.node_mttr = 0.0;
+  EXPECT_THROW(bad_mttr.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace treesched::fault

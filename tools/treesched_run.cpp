@@ -3,9 +3,21 @@
 //   treesched_gen --out t.txt && treesched_run --trace t.txt --policy paper
 //
 // Policies: paper, broomstick-mirror, closest, random, round-robin,
-// least-volume, least-count — or anycast-{closest,least-volume,greedy} for
-// traces with arbitrary-source jobs. Speeds: "uniform:<s>",
-// "paper-identical:<eps>", "paper-unrelated:<eps>", "layered:<rc>:<rest>".
+// least-volume, least-count, fault-greedy — or
+// anycast-{closest,least-volume,greedy} for traces with arbitrary-source
+// jobs. Speeds: "uniform:<s>", "paper-identical:<eps>",
+// "paper-unrelated:<eps>", "layered:<rc>:<rest>".
+//
+// Fault injection: --fault-plan replays a JSON fault plan
+// (treesched-fault-plan-v1); --fault-rate generates a seed-derived plan
+// from an MTBF/MTTR model instead. Either way the run uses fault-greedy
+// re-dispatch for crashed machines, and --record-out logs the fault events
+// so treesched_audit can verify the recovery invariants offline.
+//
+// Exit codes: 0 = clean, 64 = usage/config error (bad flag, unknown
+// policy/speed/node-policy name, malformed fault plan), 2 = the schedule
+// failed replay validation, 1 = runtime error (unreadable trace, I/O).
+#include <algorithm>
 #include <iostream>
 
 #include "treesched/algo/anycast.hpp"
@@ -15,11 +27,22 @@ using namespace treesched;
 
 namespace {
 
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 64;
+constexpr int kExitValidation = 2;
+constexpr int kExitRuntime = 1;
+
 SpeedProfile parse_speeds(const std::string& spec, const Tree& tree) {
   const auto parts = util::split(spec, ':');
   const std::string kind = parts[0];
-  auto arg = [&parts](std::size_t i, double def) {
-    return i < parts.size() ? std::stod(parts[i]) : def;
+  auto arg = [&parts, &spec](std::size_t i, double def) {
+    if (i >= parts.size()) return def;
+    try {
+      return std::stod(parts[i]);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("--speeds '" + spec + "': '" + parts[i] +
+                                  "' is not a number");
+    }
   };
   if (kind == "uniform") return SpeedProfile::uniform(tree, arg(1, 1.0));
   if (kind == "paper-identical")
@@ -28,7 +51,10 @@ SpeedProfile parse_speeds(const std::string& spec, const Tree& tree) {
     return SpeedProfile::paper_unrelated(tree, arg(1, 0.5));
   if (kind == "layered")
     return SpeedProfile::layered(tree, arg(1, 1.0), arg(2, 1.5));
-  throw std::invalid_argument("unknown speed spec: " + spec);
+  throw std::invalid_argument(
+      "unknown speed spec '" + spec +
+      "' (want uniform:<s>, paper-identical:<eps>, paper-unrelated:<eps>, "
+      "or layered:<rc>:<rest>)");
 }
 
 bool has_custom_sources(const Instance& inst) {
@@ -50,15 +76,40 @@ int main(int argc, char** argv) {
                                      "sjf|fifo|srpt|lcfs|hdf");
   auto& chunk = cli.add_double("chunk", 0.0,
                                "pipelined router chunk size (0=off)");
+  auto& fault_plan_path = cli.add_string(
+      "fault-plan", "", "JSON fault plan to inject (treesched-fault-plan-v1)");
+  auto& fault_rate = cli.add_double(
+      "fault-rate", 0.0, "generate a fault plan: node crashes per time unit");
+  auto& fault_mttr = cli.add_double("fault-mttr", 5.0,
+                                    "mean time to repair for generated plans");
+  auto& fault_horizon = cli.add_double(
+      "fault-horizon", 0.0, "generated-plan horizon (0 = auto from releases)");
   auto& validate = cli.add_flag("validate", "replay-check the schedule");
   auto& record_out = cli.add_string(
       "record-out", "", "write the burst log here for treesched_audit");
   auto& with_lb = cli.add_flag("lb", "also compute the certified lower bound");
   auto& seed = cli.add_int("seed", 1, "seed for randomized policies");
-  cli.parse(argc, argv);
 
   try {
-    if (trace.empty()) throw std::invalid_argument("--trace is required");
+    cli.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\nrun with --help for usage\n";
+    return kExitUsage;
+  }
+
+  try {
+    if (trace.empty())
+      throw std::invalid_argument("--trace is required (make one with "
+                                  "treesched_gen --out trace.txt)");
+    if (eps <= 0.0)
+      throw std::invalid_argument("--eps must be positive");
+    if (!fault_plan_path.empty() && fault_rate > 0.0)
+      throw std::invalid_argument(
+          "--fault-plan and --fault-rate are mutually exclusive");
+    if (fault_rate < 0.0)
+      throw std::invalid_argument("--fault-rate must be non-negative");
+    const bool faulty = !fault_plan_path.empty() || fault_rate > 0.0;
+
     const Instance inst = workload::read_trace_file(trace);
     const SpeedProfile speeds = parse_speeds(speeds_spec, inst.tree());
 
@@ -70,7 +121,23 @@ int main(int argc, char** argv) {
     else if (node_policy == "lcfs") cfg.node_policy = sim::NodePolicy::kLcfs;
     else if (node_policy == "hdf") cfg.node_policy = sim::NodePolicy::kHdf;
     else if (node_policy != "sjf")
-      throw std::invalid_argument("unknown node policy: " + node_policy);
+      throw std::invalid_argument("unknown node policy '" + node_policy +
+                                  "' (want sjf|fifo|srpt|lcfs|hdf)");
+
+    if (faulty) {
+      if (chunk != 0.0)
+        throw std::invalid_argument(
+            "fault injection needs --chunk 0 (store-and-forward routing)");
+      if (validate)
+        throw std::invalid_argument(
+            "--validate cannot replay fault runs; use --record-out and "
+            "treesched_audit instead");
+      if (util::starts_with(policy_name, "anycast-") ||
+          has_custom_sources(inst))
+        throw std::invalid_argument(
+            "fault injection is not supported for anycast/arbitrary-source "
+            "traces");
+    }
 
     sim::Metrics metrics;
     if (util::starts_with(policy_name, "anycast-") ||
@@ -95,7 +162,7 @@ int main(int argc, char** argv) {
         const auto res = sim::validate_schedule(inst, speeds, cfg, recorder,
                                                 metrics, paths);
         std::cout << "validation         : " << res.summary() << '\n';
-        if (!res.ok) return 2;
+        if (!res.ok) return kExitValidation;
       }
       std::cout << "policy             : "
                 << algo::anycast_strategy_name(strategy) << '\n';
@@ -103,19 +170,48 @@ int main(int argc, char** argv) {
       auto policy = algo::make_policy(policy_name, inst, eps,
                                       static_cast<std::uint64_t>(seed));
       sim::Engine engine(inst, speeds, cfg);
+
+      fault::FaultPlan plan;
+      algo::FaultAwareGreedy redispatch(eps);
+      if (faulty) {
+        if (!fault_plan_path.empty()) {
+          plan = fault::read_plan_file(fault_plan_path);
+        } else {
+          fault::FaultModel model;
+          model.node_failure_rate = fault_rate;
+          model.node_mttr = fault_mttr;
+          const Time last_release =
+              inst.job_count() > 0 ? inst.jobs().back().release : 0.0;
+          model.horizon = fault_horizon > 0.0
+                              ? fault_horizon
+                              : std::max(10.0, 2.0 * last_release);
+          plan = fault::generate_plan(
+              inst.tree(), model,
+              util::split_seed(~static_cast<std::uint64_t>(seed), 1));
+        }
+        plan.validate(inst.tree());
+        engine.set_fault_plan(&plan, &redispatch);
+      }
+
       engine.run(*policy);
       if (!record_out.empty())
-        sim::write_run_log_file(
-            record_out, sim::make_run_log(inst, speeds, cfg, engine.recorder(),
-                                          engine.metrics()));
+        sim::write_run_log_file(record_out, sim::make_run_log(inst, engine));
       if (validate) {
         const auto res = sim::validate_schedule(
             inst, speeds, cfg, engine.recorder(), engine.metrics());
         std::cout << "validation         : " << res.summary() << '\n';
-        if (!res.ok) return 2;
+        if (!res.ok) return kExitValidation;
       }
       metrics = engine.metrics();
       std::cout << "policy             : " << policy->name() << '\n';
+      if (faulty) {
+        std::size_t redispatches = 0;
+        for (const auto& fr : engine.fault_log())
+          if (fr.kind == sim::FaultRecord::Kind::kRedispatch) ++redispatches;
+        std::cout << "fault events       : "
+                  << engine.fault_log().size() - redispatches << '\n'
+                  << "re-dispatches      : " << redispatches << '\n';
+      }
     }
 
     std::cout << "jobs               : " << metrics.jobs().size() << '\n'
@@ -135,9 +231,12 @@ int main(int argc, char** argv) {
                 << "flow / lower bound : " << metrics.total_flow_time() / lb
                 << '\n';
     }
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: " << e.what() << "\nrun with --help for usage\n";
+    return kExitUsage;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
-    return 1;
+    return kExitRuntime;
   }
-  return 0;
+  return kExitOk;
 }

@@ -1,7 +1,9 @@
-// treesched_sweep — parallel policy × topology × eps × seed sweeps.
+// treesched_sweep — parallel policy × topology × eps × fault × seed sweeps.
 //
 //   treesched_sweep --policies paper,closest --trees star-2x3,figure1
 //       --eps 1.0,0.5 --seeds 5 --threads 8 --json results.json
+//   treesched_sweep --policies fault-greedy --fault-rates 0,0.01,0.05
+//       --checkpoint sweep.ckpt --json faults.json
 //
 // The flags form a declarative sweep spec (exec::SweepSpec). Tasks fan out
 // over the exec thread pool; every task's seed derives from --seed and the
@@ -10,8 +12,20 @@
 // are printed to stdout and embedded in the JSON only with --timing, which
 // keeps the default output deterministic.
 //
-// Exit codes: 0 = clean, 1 = usage/input error, 3 = tasks were skipped
-// (per-task --timeout-ms exceeded or a task threw; see the report).
+// Robustness: --retries N re-runs transiently failing tasks with capped
+// exponential backoff; --checkpoint journals every finished task (flushed
+// per line); --resume skips everything the journal already covers and still
+// produces JSON byte-identical to an uninterrupted run. SIGINT/SIGTERM
+// cancel the sweep cleanly: pending tasks are dropped, in-flight tasks
+// finish and land in the journal, and no final JSON is written.
+//
+// Exit codes: 0 = clean, 2 = usage/config error (bad flag value, unknown
+// policy/tree, eps <= 0, unwritable --record-dir, foreign checkpoint),
+// 3 = tasks were skipped (per-task --timeout-ms exceeded or a task kept
+// failing), 130 = interrupted by SIGINT/SIGTERM, 1 = unexpected error.
+#include <atomic>
+#include <csignal>
+#include <filesystem>
 #include <iostream>
 
 #include "treesched/exec/parallel.hpp"
@@ -22,25 +36,56 @@ using namespace treesched;
 
 namespace {
 
-std::vector<std::string> parse_list(const std::string& csv) {
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 2;
+constexpr int kExitSkipped = 3;
+constexpr int kExitInterrupted = 130;
+constexpr int kExitUnexpected = 1;
+
+std::atomic<bool> g_cancel{false};
+
+extern "C" void on_signal(int) { g_cancel.store(true); }
+
+std::vector<std::string> parse_list(const std::string& flag,
+                                    const std::string& csv) {
   std::vector<std::string> out;
   for (const std::string& part : util::split(csv, ','))
     if (!part.empty()) out.push_back(part);
+  if (out.empty())
+    throw std::invalid_argument("--" + flag +
+                                " needs a non-empty comma-separated list, got '" +
+                                csv + "'");
+  return out;
+}
+
+std::vector<double> parse_doubles(const std::string& flag,
+                                  const std::string& csv) {
+  std::vector<double> out;
+  for (const std::string& part : parse_list(flag, csv)) {
+    try {
+      std::size_t used = 0;
+      const double v = std::stod(part, &used);
+      if (used != part.size()) throw std::invalid_argument(part);
+      out.push_back(v);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("--" + flag + ": '" + part +
+                                  "' is not a number");
+    }
+  }
   return out;
 }
 
 std::vector<double> parse_eps(const std::string& csv) {
   if (csv == "paper") return experiments::epsilon_sweep();
-  std::vector<double> out;
-  for (const std::string& part : parse_list(csv)) out.push_back(std::stod(part));
-  return out;
+  return parse_doubles("eps", csv);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   util::Cli cli("treesched_sweep",
-                "Deterministic parallel sweep over policies/trees/eps/seeds.");
+                "Deterministic parallel sweep over policies/trees/eps/"
+                "fault-rates/seeds.");
   auto& policies = cli.add_string("policies", "paper",
                                   "comma-separated run_named_policy names");
   auto& trees = cli.add_string(
@@ -51,32 +96,95 @@ int main(int argc, char** argv) {
   auto& seed = cli.add_int("seed", 1, "base seed (task i gets split_seed(seed, i))");
   auto& jobs = cli.add_int("jobs", 200, "jobs per generated instance");
   auto& load = cli.add_double("load", 0.85, "root-cut utilization");
+  auto& fault_rates = cli.add_string(
+      "fault-rates", "",
+      "comma-separated node crash rates; adds the fault grid dimension");
+  auto& fault_mttr = cli.add_double("fault-mttr", 5.0,
+                                    "mean time to repair for crashed nodes");
+  auto& fault_horizon = cli.add_double(
+      "fault-horizon", 0.0, "fault window horizon (0 = auto from releases)");
   auto& threads = cli.add_int(
       "threads", 0, "worker threads (0 = TREESCHED_THREADS or hardware)");
   auto& timeout_ms = cli.add_double(
       "timeout-ms", 0.0, "per-task patience; late tasks are skipped, not awaited");
+  auto& retries = cli.add_int(
+      "retries", 0, "per-task retries with capped exponential backoff");
+  auto& backoff_ms = cli.add_double("retry-backoff-ms", 5.0,
+                                    "base backoff before a retry");
+  auto& checkpoint = cli.add_string(
+      "checkpoint", "", "append-only journal of finished tasks");
+  auto& resume = cli.add_flag(
+      "resume", "skip tasks already in --checkpoint (same grid required)");
   auto& json_path = cli.add_string("json", "", "machine-readable results file");
   auto& timing = cli.add_flag(
       "timing", "embed wall-clock/speedup metadata in the JSON (non-deterministic)");
   auto& record_dir = cli.add_string(
       "record-dir", "", "write per-task traces + run logs here for treesched_audit");
   auto& quiet = cli.add_flag("quiet", "suppress the human table");
-  cli.parse(argc, argv);
+
+  try {
+    cli.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\nrun with --help for usage\n";
+    return kExitUsage;
+  }
 
   try {
     exec::SweepSpec spec;
-    spec.policies = parse_list(policies);
-    spec.trees = trees == "all" ? std::vector<std::string>{} : parse_list(trees);
+    spec.policies = parse_list("policies", policies);
+    spec.trees = trees == "all" ? std::vector<std::string>{}
+                                : parse_list("trees", trees);
     spec.eps_grid = parse_eps(eps);
     spec.seeds = static_cast<int>(seeds);
     spec.base_seed = static_cast<std::uint64_t>(seed);
     spec.jobs = static_cast<int>(jobs);
     spec.load = load;
+    if (!fault_rates.empty())
+      spec.fault_rates = parse_doubles("fault-rates", fault_rates);
+    spec.fault_mttr = fault_mttr;
+    spec.fault_horizon = fault_horizon;
     spec.threads = static_cast<std::size_t>(threads);
     spec.timeout_ms = timeout_ms;
+    spec.retries = static_cast<int>(retries);
+    spec.retry_backoff_ms = backoff_ms;
+    spec.checkpoint = checkpoint;
+    spec.resume = resume;
     spec.record_dir = record_dir;
+    spec.cancel = &g_cancel;
+
+    if (!record_dir.empty()) {
+      // Fail before the sweep, not after: an unwritable record dir would
+      // otherwise surface as one cryptic task failure per grid point.
+      std::error_code ec;
+      std::filesystem::create_directories(record_dir, ec);
+      if (ec)
+        throw std::invalid_argument("--record-dir '" + record_dir +
+                                    "' is not writable: " + ec.message());
+      const std::string probe = record_dir + "/.treesched_probe";
+      try {
+        util::write_file_atomic(probe, "probe\n");
+        std::filesystem::remove(probe, ec);
+      } catch (const std::exception& e) {
+        throw std::invalid_argument("--record-dir '" + record_dir +
+                                    "' is not writable: " + e.what());
+      }
+    }
+
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
 
     const exec::SweepResult result = exec::run_sweep(spec);
+
+    if (result.interrupted) {
+      std::cerr << "interrupted: pending tasks dropped";
+      if (!checkpoint.empty())
+        std::cerr << "; finished work is journaled — rerun with --resume "
+                     "--checkpoint "
+                  << checkpoint << " to continue";
+      std::cerr << '\n';
+      return kExitInterrupted;
+    }
+
     if (!json_path.empty())
       exec::write_sweep_json_file(json_path, result, timing);
 
@@ -87,7 +195,8 @@ int main(int argc, char** argv) {
     if (!quiet) {
       std::cout << sweep_table(result) << '\n'
                 << "tasks              : " << result.tasks.size()
-                << " (" << skipped << " skipped)\n"
+                << " (" << skipped << " skipped, " << result.resumed
+                << " resumed)\n"
                 << "threads            : " << result.threads_used << '\n'
                 << "wall clock         : " << result.wall_ms / 1000.0 << " s\n"
                 << "task time (sum)    : " << result.task_ms_sum / 1000.0
@@ -109,9 +218,12 @@ int main(int argc, char** argv) {
                     << task.error << '\n';
       }
     }
-    return skipped > 0 ? 3 : 0;
+    return skipped > 0 ? kExitSkipped : kExitOk;
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: " << e.what() << "\nrun with --help for usage\n";
+    return kExitUsage;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
-    return 1;
+    return kExitUnexpected;
   }
 }
