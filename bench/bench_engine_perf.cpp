@@ -9,24 +9,30 @@ using namespace treesched;
 
 namespace {
 
-Instance make_instance(int jobs, int arity, int depth, double chunk_hint) {
-  (void)chunk_hint;
+struct Setup {
+  Instance inst;
+  sim::EngineConfig cfg;
+};
+
+Setup make_setup(int jobs, int arity, int depth, double chunk_hint) {
   util::Rng rng(42);
   const Tree tree = builders::fat_tree(arity, depth, 2);
   workload::WorkloadSpec spec;
   spec.jobs = jobs;
   spec.load = 0.8;
   spec.sizes.dist = workload::SizeDistribution::kBoundedPareto;
-  return workload::generate(rng, tree, spec);
+  sim::EngineConfig cfg;
+  cfg.router_chunk_size = chunk_hint;
+  return {workload::generate(rng, tree, spec), cfg};
 }
 
 void BM_RunPaperPolicy(benchmark::State& state) {
   const int jobs = static_cast<int>(state.range(0));
-  const Instance inst = make_instance(jobs, 2, 2, 0.0);
-  const SpeedProfile speeds = SpeedProfile::uniform(inst.tree(), 1.5);
+  const Setup setup = make_setup(jobs, 2, 2, 0.0);
+  const SpeedProfile speeds = SpeedProfile::uniform(setup.inst.tree(), 1.5);
   for (auto _ : state) {
     algo::PaperGreedyPolicy policy(0.5);
-    sim::Engine engine(inst, speeds);
+    sim::Engine engine(setup.inst, speeds, setup.cfg);
     engine.run(policy);
     benchmark::DoNotOptimize(engine.metrics().total_flow_time());
   }
@@ -36,11 +42,11 @@ BENCHMARK(BM_RunPaperPolicy)->Arg(100)->Arg(1000)->Arg(10000);
 
 void BM_RunOnWideTree(benchmark::State& state) {
   const int arity = static_cast<int>(state.range(0));
-  const Instance inst = make_instance(2000, arity, 2, 0.0);
-  const SpeedProfile speeds = SpeedProfile::uniform(inst.tree(), 1.5);
+  const Setup setup = make_setup(2000, arity, 2, 0.0);
+  const SpeedProfile speeds = SpeedProfile::uniform(setup.inst.tree(), 1.5);
   for (auto _ : state) {
     algo::PaperGreedyPolicy policy(0.5);
-    sim::Engine engine(inst, speeds);
+    sim::Engine engine(setup.inst, speeds, setup.cfg);
     engine.run(policy);
     benchmark::DoNotOptimize(engine.metrics().total_flow_time());
   }
@@ -49,13 +55,14 @@ void BM_RunOnWideTree(benchmark::State& state) {
 BENCHMARK(BM_RunOnWideTree)->Arg(2)->Arg(3)->Arg(4);
 
 void BM_PipelinedRouting(benchmark::State& state) {
-  const Instance inst = make_instance(2000, 2, 2, 0.5);
-  const SpeedProfile speeds = SpeedProfile::uniform(inst.tree(), 1.5);
-  sim::EngineConfig cfg;
-  cfg.router_chunk_size = 1.0 / static_cast<double>(state.range(0));
+  // The chunk hint flows through make_setup into the engine config, so the
+  // instance and the engine agree on the pipelining granularity.
+  const Setup setup =
+      make_setup(2000, 2, 2, 1.0 / static_cast<double>(state.range(0)));
+  const SpeedProfile speeds = SpeedProfile::uniform(setup.inst.tree(), 1.5);
   for (auto _ : state) {
     algo::PaperGreedyPolicy policy(0.5);
-    sim::Engine engine(inst, speeds, cfg);
+    sim::Engine engine(setup.inst, speeds, setup.cfg);
     engine.run(policy);
     benchmark::DoNotOptimize(engine.metrics().total_flow_time());
   }
@@ -64,11 +71,12 @@ void BM_PipelinedRouting(benchmark::State& state) {
 BENCHMARK(BM_PipelinedRouting)->Arg(1)->Arg(4)->Arg(16);
 
 void BM_MirrorPolicyOverhead(benchmark::State& state) {
-  const Instance inst = make_instance(2000, 2, 2, 0.0);
-  const SpeedProfile speeds = SpeedProfile::paper_identical(inst.tree(), 0.5);
+  const Setup setup = make_setup(2000, 2, 2, 0.0);
+  const SpeedProfile speeds =
+      SpeedProfile::paper_identical(setup.inst.tree(), 0.5);
   for (auto _ : state) {
-    algo::BroomstickMirrorPolicy mirror(inst, 0.5);
-    sim::Engine engine(inst, speeds);
+    algo::BroomstickMirrorPolicy mirror(setup.inst, 0.5);
+    sim::Engine engine(setup.inst, speeds, setup.cfg);
     engine.run(mirror);
     benchmark::DoNotOptimize(engine.metrics().total_flow_time());
   }
@@ -77,13 +85,41 @@ void BM_MirrorPolicyOverhead(benchmark::State& state) {
 BENCHMARK(BM_MirrorPolicyOverhead);
 
 void BM_SrptLowerBound(benchmark::State& state) {
-  const Instance inst = make_instance(static_cast<int>(state.range(0)), 2, 2,
-                                      0.0);
+  const Setup setup =
+      make_setup(static_cast<int>(state.range(0)), 2, 2, 0.0);
   for (auto _ : state)
-    benchmark::DoNotOptimize(lp::combined_lower_bound(inst));
+    benchmark::DoNotOptimize(lp::combined_lower_bound(setup.inst));
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_SrptLowerBound)->Arg(1000)->Arg(10000);
+
+// Dispatch stress on a genuinely wide topology: 100 racks x 100 machines
+// (10^4 leaves), overloaded (rho = 4) so queues build up and assignment
+// cost — not event processing — dominates. Arg "slow" = 1 forces the
+// seed's end-to-end path (EngineConfig::slow_queries): rescanning Q_v
+// per query and one F evaluation per leaf; 0 uses the incremental
+// per-node dispatch indices plus the per-root-child F cache. The CI perf
+// leg gates on the fast/slow items_per_second ratio of this benchmark.
+void BM_DispatchWideTree(benchmark::State& state) {
+  util::Rng rng(42);
+  const Tree tree = builders::fat_tree(100, 1, 100);
+  workload::WorkloadSpec spec;
+  spec.jobs = 4000;
+  spec.load = 4.0;
+  spec.sizes.dist = workload::SizeDistribution::kBoundedPareto;
+  const Instance inst = workload::generate(rng, tree, spec);
+  const SpeedProfile speeds = SpeedProfile::uniform(inst.tree(), 1.5);
+  sim::EngineConfig cfg;
+  cfg.slow_queries = state.range(0) != 0;
+  for (auto _ : state) {
+    algo::PaperGreedyPolicy policy(0.5);
+    sim::Engine engine(inst, speeds, cfg);
+    engine.run(policy);
+    benchmark::DoNotOptimize(engine.metrics().total_flow_time());
+  }
+  state.SetItemsProcessed(state.iterations() * spec.jobs);
+}
+BENCHMARK(BM_DispatchWideTree)->ArgNames({"slow"})->Arg(0)->Arg(1);
 
 }  // namespace
 

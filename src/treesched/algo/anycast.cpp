@@ -30,7 +30,7 @@ std::vector<NodeId> choose_anycast_path(const sim::Engine& engine,
     for (const NodeId v : path) cost += inst.processing_time(job.id, v);
     if (strategy != AnycastStrategy::kClosest) {
       for (const NodeId v : path) {
-        for (const JobId i : engine.queue_at(v)) {
+        for (const JobId i : engine.inflight_at(v)) {
           const double rem = engine.remaining_on(i, v);
           if (strategy == AnycastStrategy::kLeastVolume) {
             cost += rem;

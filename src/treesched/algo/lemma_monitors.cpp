@@ -23,7 +23,7 @@ void Lemma2Monitor::on_event(const sim::Engine& engine, Time t) {
     if (tree.is_root(v)) continue;
     if (tree.parent(v) == tree.root()) continue;  // lemma excludes R
     if (tree.is_leaf(v) && !leaf_identical) continue;  // unrelated leaves
-    const std::vector<JobId> queue = engine.queue_at(v);
+    const std::set<JobId>& queue = engine.inflight_at(v);
     if (queue.empty()) continue;
     for (const JobId j : queue) {
       // "j still needs to use v": unfinished work of j on v — all of Q_v.

@@ -43,33 +43,73 @@ double PaperGreedyPolicy::F_prime(const sim::Engine& engine, const Job& job,
          p_jv * engine.larger_residual_fraction(leaf, p_jv);
 }
 
+double PaperGreedyPolicy::cached_F(const sim::Engine& engine, const Job& job,
+                                   NodeId leaf) const {
+  // Oracle mode reproduces the seed's computational path end to end: naive
+  // engine queries AND one F evaluation per leaf, no hoisting. The value is
+  // bit-identical either way (F is a deterministic function of engine state,
+  // which cannot change during one assign sweep), so the differential suite
+  // exercises the cache as well as the index queries.
+  if (engine.config().slow_queries) return F(engine, job, leaf);
+  const Tree& tree = engine.tree();
+  const NodeId rc = tree.root_child_of(leaf);
+  if (cache_engine_ != &engine || cache_mutations_ != engine.mutation_count() ||
+      cache_now_ != engine.now() || cache_job_ != job.id) {
+    cache_engine_ = &engine;
+    cache_mutations_ = engine.mutation_count();
+    cache_now_ = engine.now();
+    cache_job_ = job.id;
+    ++cache_gen_;
+    const std::size_t n = uidx(tree.node_count());
+    if (cache_f_.size() < n) {
+      cache_f_.resize(n);
+      cache_stamp_.resize(n, 0);
+    }
+  }
+  if (cache_stamp_[uidx(rc)] != cache_gen_) {
+    cache_f_[uidx(rc)] = F(engine, job, leaf);
+    cache_stamp_[uidx(rc)] = cache_gen_;
+  }
+  return cache_f_[uidx(rc)];
+}
+
 double PaperGreedyPolicy::assignment_cost(const sim::Engine& engine,
                                           const Job& job, NodeId leaf) const {
   const Tree& tree = engine.tree();
   const double depth_penalty = penalty_ * tree.d(leaf) * job.size;
-  return F(engine, job, leaf) + F_prime(engine, job, leaf) + depth_penalty;
+  // F' is identically zero for identical endpoints; skip the per-leaf
+  // queries entirely there.
+  const double f_prime = engine.instance().model() == EndpointModel::kIdentical
+                             ? 0.0
+                             : F_prime(engine, job, leaf);
+  return cached_F(engine, job, leaf) + f_prime + depth_penalty;
 }
 
 NodeId PaperGreedyPolicy::assign(const sim::Engine& engine, const Job& job) {
+  // Pass 1: the true minimum. The old single-pass version derived the tie
+  // tolerance from the *running* best (zero while best_leaf was still
+  // kInvalidNode), so a chain of sub-tolerance improvements could leave
+  // `best` strictly above the minimum and the first exactly-tied candidate
+  // out of the rotation set.
+  const auto& leaves = engine.tree().leaves();
   double best = std::numeric_limits<double>::infinity();
   NodeId best_leaf = kInvalidNode;
-  std::vector<NodeId> tied;
-  for (const NodeId v : engine.tree().leaves()) {
+  for (const NodeId v : leaves) {
     const double cost = assignment_cost(engine, job, v);
-    const double tol =
-        best_leaf == kInvalidNode ? 0.0 : 1e-9 * std::max(1.0, std::fabs(best));
-    if (best_leaf == kInvalidNode || cost < best - tol) {
+    if (cost < best) {
       best = cost;
       best_leaf = v;
-      tied.clear();
-      tied.push_back(v);
-    } else if (tie_break_ == TieBreak::kRotate && cost <= best + tol) {
-      tied.push_back(v);
     }
   }
   TS_CHECK(best_leaf != kInvalidNode, "no leaf to assign to");
-  if (tie_break_ == TieBreak::kRotate && tied.size() > 1)
-    return tied[rotation_++ % tied.size()];
+  if (tie_break_ != TieBreak::kRotate) return best_leaf;
+  // Pass 2: collect every leaf within tolerance of the settled minimum
+  // (cheap — F is epoch-cached, so this re-sweep repeats no rc queries).
+  const double tol = 1e-9 * std::max(1.0, std::fabs(best));
+  std::vector<NodeId> tied;
+  for (const NodeId v : leaves)
+    if (assignment_cost(engine, job, v) <= best + tol) tied.push_back(v);
+  if (tied.size() > 1) return tied[rotation_++ % tied.size()];
   return best_leaf;
 }
 
@@ -140,9 +180,9 @@ NodeId LeastVolumePolicy::assign(const sim::Engine& engine, const Job& job) {
   NodeId best_leaf = kInvalidNode;
   for (const NodeId v : engine.tree().leaves()) {
     const NodeId rc = engine.tree().root_child_of(v);
-    double vol = engine.instance().path_processing_time(job.id, v);
-    for (const JobId i : engine.queue_at(rc)) vol += engine.remaining_on(i, rc);
-    for (const JobId i : engine.queue_at(v)) vol += engine.remaining_on(i, v);
+    const double vol = engine.instance().path_processing_time(job.id, v) +
+                       engine.pending_remaining(rc) +
+                       engine.pending_remaining(v);
     if (vol < best) {
       best = vol;
       best_leaf = v;
@@ -172,12 +212,9 @@ TwoChoicePolicy::TwoChoicePolicy(std::uint64_t seed) : rng_(seed) {}
 
 double TwoChoicePolicy::volume_cost(const sim::Engine& engine, const Job& job,
                                     NodeId leaf) const {
-  double vol = engine.instance().path_processing_time(job.id, leaf);
   const NodeId rc = engine.tree().root_child_of(leaf);
-  for (const JobId i : engine.queue_at(rc)) vol += engine.remaining_on(i, rc);
-  for (const JobId i : engine.queue_at(leaf))
-    vol += engine.remaining_on(i, leaf);
-  return vol;
+  return engine.instance().path_processing_time(job.id, leaf) +
+         engine.pending_remaining(rc) + engine.pending_remaining(leaf);
 }
 
 NodeId TwoChoicePolicy::assign(const sim::Engine& engine, const Job& job) {

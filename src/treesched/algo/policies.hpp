@@ -55,10 +55,28 @@ class PaperGreedyPolicy : public sim::AssignmentPolicy {
   double depth_penalty_coeff() const { return penalty_; }
 
  private:
+  /// F evaluated through a per-root-child epoch cache: F depends on the leaf
+  /// only through R(v), so one evaluation per root child suffices for the
+  /// whole leaves() sweep. The epoch key (engine identity, mutation count,
+  /// now, job) invalidates the cache on any engine mutation — including the
+  /// re-dispatch cascade, where the engine bumps its mutation counter
+  /// between successive reassignments.
+  double cached_F(const sim::Engine& engine, const Job& job,
+                  NodeId leaf) const;
+
   double eps_;
   double penalty_;
   TieBreak tie_break_;
   std::size_t rotation_ = 0;
+
+  // Epoch-cache state (mutable: assignment_cost is const and hot).
+  mutable const sim::Engine* cache_engine_ = nullptr;
+  mutable std::uint64_t cache_mutations_ = 0;
+  mutable Time cache_now_ = 0.0;
+  mutable JobId cache_job_ = kInvalidJob;
+  mutable std::uint64_t cache_gen_ = 0;        ///< bumped on every epoch change
+  mutable std::vector<double> cache_f_;        ///< per root-child F value
+  mutable std::vector<std::uint64_t> cache_stamp_;  ///< gen that wrote the slot
 };
 
 /// Failure-aware variant of the paper's greedy rule: the same Lemma-4 cost

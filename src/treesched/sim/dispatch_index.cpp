@@ -1,0 +1,197 @@
+#include "treesched/sim/dispatch_index.hpp"
+
+#include "treesched/util/assert.hpp"
+
+namespace treesched::sim {
+
+namespace {
+// Deterministic treap priority: a splitmix-style avalanche of the job id.
+// The tree shape must depend only on the entry set so repeated runs (and
+// the resume machinery above the engine) stay bit-reproducible.
+std::uint32_t priority_of(JobId job) {
+  std::uint64_t z = static_cast<std::uint64_t>(static_cast<std::uint32_t>(job)) +
+                    0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return static_cast<std::uint32_t>(z >> 32);
+}
+}  // namespace
+
+DispatchIndex::Ref DispatchIndex::alloc(const SjfKey& key, double remaining) {
+  Ref t;
+  if (!free_list_.empty()) {
+    t = free_list_.back();
+    free_list_.pop_back();
+  } else {
+    t = static_cast<Ref>(pool_.size());
+    pool_.emplace_back();
+  }
+  Node& n = pool_[uidx(t)];
+  n.key = key;
+  n.rem = remaining;
+  n.frac = remaining / key.size;
+  n.sum_rem = n.rem;
+  n.sum_frac = n.frac;
+  n.cnt = 1;
+  n.left = kNil;
+  n.right = kNil;
+  n.prio = priority_of(key.job);
+  return t;
+}
+
+void DispatchIndex::free_node(Ref t) { free_list_.push_back(t); }
+
+void DispatchIndex::pull(Ref t) {
+  Node& n = pool_[uidx(t)];
+  n.cnt = 1;
+  n.sum_rem = n.rem;
+  n.sum_frac = n.frac;
+  if (n.left != kNil) {
+    const Node& l = pool_[uidx(n.left)];
+    n.cnt += l.cnt;
+    n.sum_rem += l.sum_rem;
+    n.sum_frac += l.sum_frac;
+  }
+  if (n.right != kNil) {
+    const Node& r = pool_[uidx(n.right)];
+    n.cnt += r.cnt;
+    n.sum_rem += r.sum_rem;
+    n.sum_frac += r.sum_frac;
+  }
+}
+
+void DispatchIndex::split(Ref t, const SjfKey& key, Ref& left, Ref& right) {
+  if (t == kNil) {
+    left = kNil;
+    right = kNil;
+    return;
+  }
+  Node& n = pool_[uidx(t)];
+  if (n.key < key) {
+    left = t;
+    split(n.right, key, pool_[uidx(t)].right, right);
+  } else {
+    right = t;
+    split(n.left, key, left, pool_[uidx(t)].left);
+  }
+  pull(t);
+}
+
+DispatchIndex::Ref DispatchIndex::merge(Ref left, Ref right) {
+  if (left == kNil) return right;
+  if (right == kNil) return left;
+  if (pool_[uidx(left)].prio >= pool_[uidx(right)].prio) {
+    pool_[uidx(left)].right = merge(pool_[uidx(left)].right, right);
+    pull(left);
+    return left;
+  }
+  pool_[uidx(right)].left = merge(left, pool_[uidx(right)].left);
+  pull(right);
+  return right;
+}
+
+void DispatchIndex::insert(const SjfKey& key, double remaining) {
+  Ref left = kNil;
+  Ref right = kNil;
+  split(root_, key, left, right);
+  // The key must be new: the smallest entry of `right`, if any, differs.
+  const Ref fresh = alloc(key, remaining);
+  root_ = merge(merge(left, fresh), right);
+}
+
+DispatchIndex::Ref DispatchIndex::erase_rec(Ref t, const SjfKey& key,
+                                            bool& erased) {
+  if (t == kNil) return kNil;
+  Node& n = pool_[uidx(t)];
+  if (key == n.key) {
+    const Ref replacement = merge(n.left, n.right);
+    free_node(t);
+    erased = true;
+    return replacement;
+  }
+  if (key < n.key)
+    n.left = erase_rec(n.left, key, erased);
+  else
+    n.right = erase_rec(n.right, key, erased);
+  pull(t);
+  return t;
+}
+
+void DispatchIndex::erase(const SjfKey& key) {
+  bool erased = false;
+  root_ = erase_rec(root_, key, erased);
+  TS_CHECK(erased, "dispatch index: erase of a missing key");
+}
+
+bool DispatchIndex::update_rec(Ref t, const SjfKey& key, double remaining) {
+  if (t == kNil) return false;
+  Node& n = pool_[uidx(t)];
+  bool found;
+  if (key == n.key) {
+    n.rem = remaining;
+    n.frac = remaining / key.size;
+    found = true;
+  } else {
+    found = update_rec(key < n.key ? n.left : n.right, key, remaining);
+  }
+  if (found) pull(t);
+  return found;
+}
+
+void DispatchIndex::update(const SjfKey& key, double remaining) {
+  const bool found = update_rec(root_, key, remaining);
+  TS_CHECK(found, "dispatch index: update of a missing key");
+}
+
+double DispatchIndex::remaining_before(const SjfKey& key) const {
+  double acc = 0.0;
+  Ref t = root_;
+  while (t != kNil) {
+    const Node& n = pool_[uidx(t)];
+    if (n.key < key) {
+      if (n.left != kNil) acc += pool_[uidx(n.left)].sum_rem;
+      acc += n.rem;
+      t = n.right;
+    } else {
+      t = n.left;
+    }
+  }
+  return acc;
+}
+
+int DispatchIndex::count_size_greater(double size) const {
+  int acc = 0;
+  Ref t = root_;
+  while (t != kNil) {
+    const Node& n = pool_[uidx(t)];
+    if (n.key.size > size) {
+      // Everything right of n is lexicographically larger, hence has size
+      // >= n.key.size > size.
+      acc += 1;
+      if (n.right != kNil) acc += pool_[uidx(n.right)].cnt;
+      t = n.left;
+    } else {
+      // Everything left of n has size <= n.key.size <= size.
+      t = n.right;
+    }
+  }
+  return acc;
+}
+
+double DispatchIndex::fraction_size_greater(double size) const {
+  double acc = 0.0;
+  Ref t = root_;
+  while (t != kNil) {
+    const Node& n = pool_[uidx(t)];
+    if (n.key.size > size) {
+      acc += n.frac;
+      if (n.right != kNil) acc += pool_[uidx(n.right)].sum_frac;
+      t = n.left;
+    } else {
+      t = n.right;
+    }
+  }
+  return acc;
+}
+
+}  // namespace treesched::sim

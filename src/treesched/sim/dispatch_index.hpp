@@ -1,0 +1,114 @@
+// Order-statistic index over a node's inflight jobs, keyed by the SJF
+// priority triple (original size on the node, release time, job id).
+//
+// The engine maintains one DispatchIndex per node so the paper's aggregate
+// queries (Engine::higher_priority_remaining, count_larger,
+// larger_residual_fraction, alpha_leaf) answer in O(log n) instead of
+// rescanning Q_v. Keys are immutable for a given (job, node) — only the
+// remaining-work value changes — so the structure is an augmented treap
+// with subtree aggregates:
+//   cnt       |subtree|
+//   sum_rem   sum of remaining over the subtree
+//   sum_frac  sum of remaining / size over the subtree
+//
+// Because the key's primary component IS the size, both "all entries with
+// strictly higher SJF priority than a candidate key" and "all entries with
+// size strictly greater than a threshold" are contiguous key ranges, and
+// every query is a single root-to-leaf descent.
+//
+// Treap priorities are a deterministic hash of the job id, so the tree
+// shape — and therefore the floating-point association of the aggregate
+// sums — depends only on the set of inserted jobs, never on wall-clock
+// randomness. Identical runs produce identical query results.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "treesched/core/types.hpp"
+
+namespace treesched::sim {
+
+/// SJF ordering triple of the paper's aggregate queries; smaller = higher
+/// priority. Matches the comparison in the naive Q_v scans exactly.
+struct SjfKey {
+  double size = 0.0;
+  Time release = 0.0;
+  JobId job = kInvalidJob;
+
+  friend bool operator<(const SjfKey& x, const SjfKey& y) {
+    if (x.size != y.size) return x.size < y.size;
+    if (x.release != y.release) return x.release < y.release;
+    return x.job < y.job;
+  }
+  friend bool operator==(const SjfKey& x, const SjfKey& y) {
+    return x.size == y.size && x.release == y.release && x.job == y.job;
+  }
+};
+
+class DispatchIndex {
+ public:
+  /// Inserts a new entry. The key must not be present. O(log n).
+  void insert(const SjfKey& key, double remaining);
+
+  /// Replaces the remaining value of an existing entry. O(log n).
+  void update(const SjfKey& key, double remaining);
+
+  /// Removes an existing entry. O(log n).
+  void erase(const SjfKey& key);
+
+  std::size_t size() const { return root_ == kNil ? 0 : uidx(pool_[uidx(root_)].cnt); }
+  bool empty() const { return root_ == kNil; }
+
+  /// Sum of remaining over entries with key strictly less than `key`
+  /// (strictly higher SJF priority). The key itself, if present, is
+  /// excluded. O(log n).
+  double remaining_before(const SjfKey& key) const;
+
+  /// Number of entries with size strictly greater than `size`. O(log n).
+  int count_size_greater(double size) const;
+
+  /// Sum of remaining / size over entries with size strictly greater than
+  /// `size`. O(log n).
+  double fraction_size_greater(double size) const;
+
+  /// Sum of remaining over all entries. O(1).
+  double total_remaining() const {
+    return root_ == kNil ? 0.0 : pool_[uidx(root_)].sum_rem;
+  }
+
+  /// Sum of remaining / size over all entries. O(1).
+  double total_fraction() const {
+    return root_ == kNil ? 0.0 : pool_[uidx(root_)].sum_frac;
+  }
+
+ private:
+  using Ref = std::int32_t;
+  static constexpr Ref kNil = -1;
+
+  struct Node {
+    SjfKey key;
+    double rem = 0.0;
+    double frac = 0.0;      ///< rem / key.size, precomputed at update time
+    double sum_rem = 0.0;   ///< subtree aggregate of rem
+    double sum_frac = 0.0;  ///< subtree aggregate of frac
+    std::int32_t cnt = 0;   ///< subtree size
+    Ref left = kNil;
+    Ref right = kNil;
+    std::uint32_t prio = 0;
+  };
+
+  Ref alloc(const SjfKey& key, double remaining);
+  void free_node(Ref t);
+  void pull(Ref t);
+  void split(Ref t, const SjfKey& key, Ref& left, Ref& right);
+  Ref merge(Ref left, Ref right);
+  Ref erase_rec(Ref t, const SjfKey& key, bool& erased);
+  bool update_rec(Ref t, const SjfKey& key, double remaining);
+
+  std::vector<Node> pool_;
+  std::vector<Ref> free_list_;
+  Ref root_ = kNil;
+};
+
+}  // namespace treesched::sim

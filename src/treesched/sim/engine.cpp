@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 
 #include "treesched/util/assert.hpp"
@@ -14,6 +15,12 @@ namespace {
 // subtract elapsed*speed, so residuals accumulate a few ulps per event.
 constexpr double kWorkTol = 1e-6;
 constexpr Time kNever = std::numeric_limits<Time>::infinity();
+
+bool slow_queries_env() {
+  const char* env = std::getenv("TREESCHED_SLOW_QUERIES");
+  return env != nullptr && env[0] != '\0' &&
+         !(env[0] == '0' && env[1] == '\0');
+}
 }  // namespace
 
 Engine::Engine(const Instance& instance, SpeedProfile speeds, EngineConfig cfg)
@@ -22,6 +29,7 @@ Engine::Engine(const Instance& instance, SpeedProfile speeds, EngineConfig cfg)
                  static_cast<std::size_t>(instance.tree().node_count()),
              "speed profile does not match the tree");
   TS_REQUIRE(cfg_.router_chunk_size >= 0.0, "chunk size must be >= 0");
+  if (slow_queries_env()) cfg_.slow_queries = true;
   nodes_.resize(uidx(instance.tree().node_count()));
   jobs_.resize(uidx(instance.job_count()));
   metrics_.reset(uidx(instance.job_count()));
@@ -33,6 +41,17 @@ Engine::Engine(const Instance& instance, SpeedProfile speeds, EngineConfig cfg)
 
 int Engine::path_index(const JobState& js, NodeId v) const {
   TS_REQUIRE(js.path != nullptr, "job not admitted");
+  if (js.owned_path.empty()) {
+    // Root-dispatched paths are tree().path_to(leaf): the node at depth d
+    // sits at position d - 1, so the lookup is O(1) instead of a scan.
+    const int idx = tree().depth(v) - 1;
+    TS_REQUIRE(idx >= 0 && static_cast<std::size_t>(idx) < js.path->size() &&
+                   (*js.path)[uidx(idx)] == v,
+               "node not on the job's path");
+    return idx;
+  }
+  // Custom paths (arbitrary-source extension) may climb before descending;
+  // they are short and rare, so the scan stays.
   for (std::size_t i = 0; i < js.path->size(); ++i)
     if ((*js.path)[i] == v) return static_cast<int>(i);
   TS_REQUIRE(false, "node not on the job's path");
@@ -57,6 +76,42 @@ double Engine::live_remaining_item(JobId j, int idx) const {
   if (ns.has_running && ns.running.job == j)
     rem -= (now_ - ns.burst_start) * node_speed(v);
   return std::max(rem, 0.0);
+}
+
+double Engine::stored_remaining_total(const JobState& js, int idx) const {
+  if (is_leaf_index(js, idx)) return js.done ? 0.0 : js.leaf_rem;
+  if (js.chunks_done[uidx(idx)] == js.chunks) return 0.0;
+  return static_cast<double>(js.chunks - js.chunks_done[uidx(idx)] - 1) *
+             js.chunk_size +
+         js.head_rem[uidx(idx)];
+}
+
+SjfKey Engine::index_key(JobId j, NodeId v) const {
+  return {size_on(j, v), inst_->job(j).release, j};
+}
+
+void Engine::index_insert(NodeId v, JobId j, int idx) {
+  if (cfg_.slow_queries) return;
+  nodes_[uidx(v)].index.insert(index_key(j, v),
+                               stored_remaining_total(jobs_[uidx(j)], idx));
+}
+
+void Engine::index_refresh(NodeId v, JobId j, int idx) {
+  if (cfg_.slow_queries) return;
+  nodes_[uidx(v)].index.update(index_key(j, v),
+                               stored_remaining_total(jobs_[uidx(j)], idx));
+}
+
+void Engine::index_erase(NodeId v, JobId j) {
+  if (cfg_.slow_queries) return;
+  nodes_[uidx(v)].index.erase(index_key(j, v));
+}
+
+double Engine::running_drain(const NodeState& ns, NodeId v) const {
+  if (!ns.has_running) return 0.0;
+  const double w = (now_ - ns.burst_start) * node_speed(v);
+  if (w <= 0.0) return 0.0;
+  return std::min(w, ns.running_rem);
 }
 
 PriorityKey Engine::make_key(JobId j, int idx, Time avail_time) const {
@@ -150,6 +205,7 @@ void Engine::pause(NodeId v, Time t) {
            "node performed more work than the item had");
   const double done = std::min(w, stored);
   const double rem = stored - done;
+  ++mutation_count_;
 
   if (cfg_.record_schedule)
     recorder_.add({v, j, ns.running.chunk, ns.burst_start, t, sp});
@@ -168,6 +224,9 @@ void Engine::pause(NodeId v, Time t) {
   } else {
     js.head_rem[uidx(idx)] = rem;
   }
+
+  index_refresh(v, j, idx);
+  ns.running_rem = stored_remaining_total(js, idx);
 
   if (cfg_.node_policy == NodePolicy::kSrpt) {
     // Remaining time is the priority: refresh the running item's key.
@@ -198,6 +257,7 @@ void Engine::resched(NodeId v, Time t) {
   const JobState& js = jobs_[uidx(ns.running.job)];
   const int idx = path_index(js, v);
   const double rem = stored_remaining_item(js, idx);
+  ns.running_rem = stored_remaining_total(js, idx);
   events_.push({t + rem / node_speed(v), seq_++, v, ns.version});
 }
 
@@ -215,6 +275,7 @@ void Engine::force_resched(NodeId v, Time t) {
   const JobState& js = jobs_[uidx(ns.running.job)];
   const int idx = path_index(js, v);
   const double rem = stored_remaining_item(js, idx);
+  ns.running_rem = stored_remaining_total(js, idx);
   events_.push({t + rem / node_speed(v), seq_++, v, ns.version});
 }
 
@@ -232,6 +293,7 @@ void Engine::handle_completion(NodeId v, Time t) {
 
   ns.has_running = false;
   erase_avail(v, j, idx);
+  ++mutation_count_;
 
   if (is_leaf_index(js, idx)) {
     js.leaf_rem = 0.0;
@@ -239,6 +301,7 @@ void Engine::handle_completion(NodeId v, Time t) {
     js.frac = 0.0;
     js.done = true;
     ns.inflight.erase(j);
+    index_erase(v, j);
     JobRecord& rec = metrics_.job(j);
     rec.completion = t;
     rec.node_completion[uidx(idx)] = t;
@@ -249,6 +312,10 @@ void Engine::handle_completion(NodeId v, Time t) {
     js.chunks_done[uidx(idx)] = c + 1;
     js.head_rem[uidx(idx)] = js.chunk_size;
     const bool node_finished = (js.chunks_done[uidx(idx)] == js.chunks);
+    if (node_finished)
+      index_erase(v, j);
+    else
+      index_refresh(v, j, idx);
 
     // Next head chunk may already be deliverable on this node.
     if (!node_finished &&
@@ -301,6 +368,7 @@ Time Engine::next_fault_time() const {
 void Engine::apply_next_fault() {
   const fault::FaultEvent& fe = fault_plan_->events[fault_cursor_++];
   const Time t = now_;
+  ++mutation_count_;  // speed factors and topology state feed the queries
   switch (fe.kind) {
     case fault::FaultKind::kNodeDown:
       fault_log_.push_back({FaultRecord::Kind::kNodeDown, t, fe.node, 1.0,
@@ -352,6 +420,7 @@ void Engine::apply_node_down(NodeId v, Time t) {
     } else {
       js.head_rem[uidx(idx)] = js.chunk_size;
     }
+    index_refresh(v, j, idx);
     if (cfg_.node_policy == NodePolicy::kSrpt && js.in_avail[uidx(idx)]) {
       PriorityKey k = js.avail_key[uidx(idx)];
       erase_avail(v, j, idx);
@@ -430,6 +499,7 @@ void Engine::redispatch_jobs_of(NodeId dead_leaf, Time t) {
 }
 
 void Engine::reassign_leaf(JobId j, NodeId new_leaf, Time t) {
+  ++mutation_count_;  // invalidate policy caches between successive reassigns
   JobState& js = jobs_[uidx(j)];
   TS_REQUIRE(js.owned_path.empty(),
              "re-dispatch is unsupported for custom-path jobs");
@@ -461,7 +531,9 @@ void Engine::reassign_leaf(JobId j, NodeId new_leaf, Time t) {
                          return d.first == j;
                        }),
         ns.deferred.end());
-    ns.inflight.erase(j);
+    // A hop the job already finished (a fully forwarded router) dropped it
+    // from both structures at completion time.
+    if (ns.inflight.erase(j) == 1) index_erase(v, j);
   }
 
   // Rebuild the per-path job state: prefix entries survive, the rest resets.
@@ -484,8 +556,10 @@ void Engine::reassign_leaf(JobId j, NodeId new_leaf, Time t) {
   js.frac = 1.0;
   js.frac_touch = t;
 
-  for (std::size_t i = shared; i < new_len; ++i)
+  for (std::size_t i = shared; i < new_len; ++i) {
     nodes_[uidx(new_path[i])].inflight.insert(j);
+    index_insert(new_path[i], j, static_cast<int>(i));
+  }
 
   JobRecord& rec = metrics_.job(j);
   rec.leaf = new_leaf;
@@ -609,7 +683,12 @@ void Engine::admit_on_path(JobId j, const std::vector<NodeId>* path) {
   js.frac = 1.0;
   js.frac_touch = now_;
 
-  for (NodeId v : *js.path) nodes_[uidx(v)].inflight.insert(j);
+  ++mutation_count_;
+  for (std::size_t i = 0; i < len; ++i) {
+    const NodeId v = (*js.path)[i];
+    nodes_[uidx(v)].inflight.insert(j);
+    index_insert(v, j, static_cast<int>(i));
+  }
 
   JobRecord& rec = metrics_.job(j);
   rec.release = job.release;
@@ -675,21 +754,14 @@ double Engine::size_on(JobId j, NodeId v) const {
 double Engine::remaining_on(JobId j, NodeId v) const {
   const JobState& js = jobs_[uidx(j)];
   TS_REQUIRE(js.admitted, "remaining_on: job not admitted");
-  const int idx = path_index(js, v);
-  double total;
-  if (is_leaf_index(js, idx)) {
-    if (js.done) return 0.0;
-    total = js.leaf_rem;
-  } else {
-    if (js.chunks_done[uidx(idx)] == js.chunks) return 0.0;
-    total = static_cast<double>(js.chunks - js.chunks_done[uidx(idx)] - 1) *
-                js.chunk_size +
-            js.head_rem[uidx(idx)];
-  }
   const NodeState& ns = nodes_[uidx(v)];
-  if (ns.has_running && ns.running.job == j)
-    total -= (now_ - ns.burst_start) * node_speed(v);
-  return std::max(total, 0.0);
+  if (ns.has_running && ns.running.job == j) {
+    // running_rem caches the stored total as of burst start, so the live
+    // value needs only the elapsed-drain adjustment.
+    return std::max(ns.running_rem - (now_ - ns.burst_start) * node_speed(v),
+                    0.0);
+  }
+  return stored_remaining_total(js, path_index(js, v));
 }
 
 bool Engine::available_on(JobId j, NodeId v) const {
@@ -716,8 +788,19 @@ std::vector<JobId> Engine::queue_at(NodeId v) const {
 double Engine::higher_priority_remaining(NodeId v, double cand_size,
                                          Time cand_release,
                                          JobId cand_id) const {
+  const NodeState& ns = nodes_[uidx(v)];
+  if (!cfg_.slow_queries) {
+    const SjfKey cand{cand_size, cand_release, cand_id};
+    double sum = ns.index.remaining_before(cand);
+    // Index entries hold stored (as-of-burst-start) totals; at most one of
+    // them — the running item — is stale by the elapsed drain.
+    if (ns.has_running && ns.running.job != cand_id &&
+        index_key(ns.running.job, v) < cand)
+      sum -= running_drain(ns, v);
+    return std::max(sum, 0.0);
+  }
   double sum = 0.0;
-  for (const JobId i : nodes_[uidx(v)].inflight) {
+  for (const JobId i : ns.inflight) {
     if (i == cand_id) continue;
     const double pi = size_on(i, v);
     const Time ri = inst_->job(i).release;
@@ -731,15 +814,26 @@ double Engine::higher_priority_remaining(NodeId v, double cand_size,
 }
 
 int Engine::count_larger(NodeId v, double size) const {
+  const NodeState& ns = nodes_[uidx(v)];
+  if (!cfg_.slow_queries) return ns.index.count_size_greater(size);
   int count = 0;
-  for (const JobId i : nodes_[uidx(v)].inflight)
+  for (const JobId i : ns.inflight)
     if (size_on(i, v) > size) ++count;
   return count;
 }
 
 double Engine::larger_residual_fraction(NodeId v, double size) const {
+  const NodeState& ns = nodes_[uidx(v)];
+  if (!cfg_.slow_queries) {
+    double sum = ns.index.fraction_size_greater(size);
+    if (ns.has_running) {
+      const double pr = size_on(ns.running.job, v);
+      if (pr > size) sum -= running_drain(ns, v) / pr;
+    }
+    return std::max(sum, 0.0);
+  }
   double sum = 0.0;
-  for (const JobId i : nodes_[uidx(v)].inflight) {
+  for (const JobId i : ns.inflight) {
     const double pi = size_on(i, v);
     if (pi > size) sum += remaining_on(i, v) / pi;
   }
@@ -748,9 +842,25 @@ double Engine::larger_residual_fraction(NodeId v, double size) const {
 
 double Engine::alpha_leaf(NodeId leaf) const {
   TS_REQUIRE(tree().is_leaf(leaf), "alpha_leaf on non-leaf");
+  const NodeState& ns = nodes_[uidx(leaf)];
+  if (!cfg_.slow_queries) {
+    double sum = ns.index.total_fraction();
+    if (ns.has_running)
+      sum -= running_drain(ns, leaf) / size_on(ns.running.job, leaf);
+    return std::max(sum, 0.0);
+  }
   double sum = 0.0;
-  for (const JobId i : nodes_[uidx(leaf)].inflight)
+  for (const JobId i : ns.inflight)
     sum += remaining_on(i, leaf) / size_on(i, leaf);
+  return sum;
+}
+
+double Engine::pending_remaining(NodeId v) const {
+  const NodeState& ns = nodes_[uidx(v)];
+  if (!cfg_.slow_queries)
+    return std::max(ns.index.total_remaining() - running_drain(ns, v), 0.0);
+  double sum = 0.0;
+  for (const JobId i : ns.inflight) sum += remaining_on(i, v);
   return sum;
 }
 

@@ -33,6 +33,7 @@
 #include "treesched/core/instance.hpp"
 #include "treesched/core/speed_profile.hpp"
 #include "treesched/fault/plan.hpp"
+#include "treesched/sim/dispatch_index.hpp"
 #include "treesched/sim/metrics.hpp"
 #include "treesched/sim/priority.hpp"
 #include "treesched/sim/recorder.hpp"
@@ -110,6 +111,14 @@ struct EngineConfig {
   /// forward a chunk as soon as it finished it. The leaf still starts only
   /// once all data arrived. 0 = the paper's store-and-forward of whole jobs.
   double router_chunk_size = 0.0;
+  /// Differential-testing oracle: answer the aggregate queries
+  /// (higher_priority_remaining, count_larger, larger_residual_fraction,
+  /// alpha_leaf, pending_remaining) by rescanning Q_v instead of consulting
+  /// the incremental per-node dispatch indices, and skip index maintenance
+  /// entirely — the seed implementation, kept as the ground truth the fast
+  /// path is differential-tested against. Also forced on by setting the
+  /// TREESCHED_SLOW_QUERIES environment variable to anything but "0".
+  bool slow_queries = false;
 };
 
 /// The simulator. Non-copyable; references the Instance (not owned — the
@@ -198,9 +207,22 @@ class Engine {
   int current_path_index(JobId j) const;
 
   /// Q_v(now): admitted jobs routed through v with unfinished work on v,
-  /// ascending job id.
+  /// ascending job id. Returns a copy; iteration-heavy callers should use
+  /// inflight_at instead.
   std::vector<JobId> queue_at(NodeId v) const;
+  /// Q_v(now) by const reference (ascending job id) — the allocation-free
+  /// iteration path for per-leaf policy loops and monitors.
+  const std::set<JobId>& inflight_at(NodeId v) const {
+    return nodes_[uidx(v)].inflight;
+  }
   std::size_t queue_size(NodeId v) const { return nodes_[uidx(v)].inflight.size(); }
+
+  /// Counts every state mutation that can change the aggregate queries
+  /// (admissions, materialized bursts, completions, fault transitions,
+  /// re-dispatches). Together with now() this forms the epoch key policy
+  /// layers use to cache per-root-child aggregates across repeated
+  /// assignment-cost evaluations at one instant.
+  std::uint64_t mutation_count() const { return mutation_count_; }
 
   // --- the paper's aggregate queries (SJF ordering) ------------------------
 
@@ -216,6 +238,10 @@ class Engine {
   /// sum_{i in Q_v, p_{i,v} > size} remaining_on(i,v) / p_{i,v} — the weight
   /// used by F' in the unrelated assignment rule (Section 3.6).
   double larger_residual_fraction(NodeId v, double size) const;
+
+  /// sum_{i in Q_v} remaining_on(i, v): total queued volume pending at v
+  /// (the load-aware baselines' bottleneck term). O(1) on the fast path.
+  double pending_remaining(NodeId v) const;
 
   /// alpha_{v,now} for a root child v (Section 3.5): total remaining leaf
   /// fraction over all jobs routed through v and unfinished at their leaf.
@@ -252,8 +278,17 @@ class Engine {
   struct NodeState {
     std::set<PriorityKey> avail;   ///< available work items, best first
     std::set<JobId> inflight;      ///< Q_v: routed through, unfinished here
+    /// Incremental SJF aggregates over `inflight` (empty in slow-query
+    /// mode); values are the stored remaining as of the last materialized
+    /// burst, so queries subtract the running item's live drain.
+    DispatchIndex index;
     PriorityKey running{};         ///< cached top at burst start
     bool has_running = false;
+    /// Stored remaining-on-v of the running item's job (whole job, pending
+    /// chunks included) as of burst_start — refreshed whenever the stored
+    /// arrays mutate, so remaining_on and the aggregate-query adjustments
+    /// never re-derive it per call.
+    double running_rem = 0.0;
     Time burst_start = 0.0;
     std::uint64_t version = 0;     ///< invalidates stale completion events
     // Fault state.
@@ -287,7 +322,21 @@ class Engine {
   int path_index(const JobState& js, NodeId v) const;
   bool is_leaf_index(const JobState& js, int idx) const;
   double stored_remaining_item(const JobState& js, int idx) const;
+  /// Whole remaining of (j, idx) on its node as of the stored arrays
+  /// (pending chunks included; no running-burst adjustment) — the value the
+  /// dispatch index carries and remaining_on starts from.
+  double stored_remaining_total(const JobState& js, int idx) const;
   double live_remaining_item(JobId j, int idx) const;
+
+  // Dispatch-index maintenance (no-ops in slow-query mode). Membership
+  // mirrors the inflight sets exactly; values mirror stored_remaining_total.
+  SjfKey index_key(JobId j, NodeId v) const;
+  void index_insert(NodeId v, JobId j, int idx);
+  void index_refresh(NodeId v, JobId j, int idx);
+  void index_erase(NodeId v, JobId j);
+  /// Work the running burst of v has drained off its item since burst
+  /// start, clamped the way remaining_on clamps (never below zero).
+  double running_drain(const NodeState& ns, NodeId v) const;
 
   /// Effective processing speed of v right now (base speed x slowdown).
   double node_speed(NodeId v) const {
@@ -346,6 +395,7 @@ class Engine {
   std::vector<FaultRecord> fault_log_;
   Time now_ = 0.0;
   std::uint64_t seq_ = 0;
+  std::uint64_t mutation_count_ = 0;
   JobId admitted_count_ = 0;
 };
 

@@ -25,7 +25,7 @@ class QueueSampler : public EngineObserver {
       s.queued_jobs += engine.queue_size(v);
     }
     for (const NodeId rc : tree.root_children())
-      s.alive_jobs += engine.queue_at(rc).size();
+      s.alive_jobs += engine.queue_size(rc);
     samples_.push_back(s);
   }
 

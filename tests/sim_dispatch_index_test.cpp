@@ -1,0 +1,166 @@
+// DispatchIndex differential test: random insert/update/erase traffic
+// checked after every operation against a naive flat-vector model. Sums are
+// compared with a relative tolerance (the treap reassociates additions);
+// counts and membership are exact.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "treesched/sim/dispatch_index.hpp"
+#include "treesched/util/rng.hpp"
+
+namespace treesched::sim {
+namespace {
+
+struct Entry {
+  SjfKey key;
+  double rem = 0.0;
+};
+
+class NaiveIndex {
+ public:
+  void insert(const SjfKey& key, double rem) { entries_.push_back({key, rem}); }
+  void update(const SjfKey& key, double rem) { find(key)->rem = rem; }
+  void erase(const SjfKey& key) { entries_.erase(find(key)); }
+  std::size_t size() const { return entries_.size(); }
+
+  double remaining_before(const SjfKey& key) const {
+    double sum = 0.0;
+    for (const Entry& e : entries_)
+      if (e.key < key) sum += e.rem;
+    return sum;
+  }
+  int count_size_greater(double size) const {
+    int n = 0;
+    for (const Entry& e : entries_)
+      if (e.key.size > size) ++n;
+    return n;
+  }
+  double fraction_size_greater(double size) const {
+    double sum = 0.0;
+    for (const Entry& e : entries_)
+      if (e.key.size > size) sum += e.rem / e.key.size;
+    return sum;
+  }
+  double total_remaining() const {
+    double sum = 0.0;
+    for (const Entry& e : entries_) sum += e.rem;
+    return sum;
+  }
+  double total_fraction() const {
+    double sum = 0.0;
+    for (const Entry& e : entries_) sum += e.rem / e.key.size;
+    return sum;
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry>::iterator find(const SjfKey& key) {
+    return std::find_if(entries_.begin(), entries_.end(),
+                        [&](const Entry& e) { return e.key == key; });
+  }
+
+  std::vector<Entry> entries_;
+};
+
+void expect_near_rel(double fast, double naive) {
+  const double tol = 1e-9 * std::max(1.0, std::fabs(naive));
+  EXPECT_NEAR(fast, naive, tol);
+}
+
+void check_queries(const DispatchIndex& fast, const NaiveIndex& naive,
+                   util::Rng& rng) {
+  ASSERT_EQ(fast.size(), naive.size());
+  expect_near_rel(fast.total_remaining(), naive.total_remaining());
+  expect_near_rel(fast.total_fraction(), naive.total_fraction());
+  for (int q = 0; q < 4; ++q) {
+    // Thresholds drawn from the same small grids the keys use, so queries
+    // land exactly on stored sizes (the strict-inequality edge) as well as
+    // between them.
+    const double size = static_cast<double>(rng.uniform_int(0, 12)) / 2.0;
+    EXPECT_EQ(fast.count_size_greater(size), naive.count_size_greater(size));
+    expect_near_rel(fast.fraction_size_greater(size),
+                    naive.fraction_size_greater(size));
+    const SjfKey probe{size, static_cast<Time>(rng.uniform_int(0, 4)),
+                       static_cast<JobId>(rng.uniform_int(0, 400))};
+    expect_near_rel(fast.remaining_before(probe),
+                    naive.remaining_before(probe));
+  }
+}
+
+TEST(DispatchIndex, MatchesNaiveModelUnderRandomTraffic) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    util::Rng rng(seed);
+    DispatchIndex fast;
+    NaiveIndex naive;
+    JobId next_job = 0;
+    for (int op = 0; op < 800; ++op) {
+      const std::int64_t kind = rng.uniform_int(0, 9);
+      if (kind < 5 || naive.size() == 0) {
+        // Sizes from a small grid force heavy duplication in the size
+        // dimension; the (release, job) components keep keys unique.
+        const SjfKey key{static_cast<double>(rng.uniform_int(1, 6)),
+                         static_cast<Time>(rng.uniform_int(0, 3)),
+                         next_job++};
+        const double rem = key.size * rng.uniform01();
+        fast.insert(key, rem);
+        naive.insert(key, rem);
+      } else {
+        const std::size_t pick = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(naive.size()) - 1));
+        const SjfKey key = naive.entries()[pick].key;
+        if (kind < 8) {
+          const double rem = key.size * rng.uniform01();
+          fast.update(key, rem);
+          naive.update(key, rem);
+        } else {
+          fast.erase(key);
+          naive.erase(key);
+        }
+      }
+      check_queries(fast, naive, rng);
+    }
+    // Drain completely: erase-path coverage down to the empty tree.
+    while (naive.size() > 0) {
+      const SjfKey key = naive.entries().back().key;
+      fast.erase(key);
+      naive.erase(key);
+      check_queries(fast, naive, rng);
+    }
+    EXPECT_TRUE(fast.empty());
+  }
+}
+
+TEST(DispatchIndex, DeterministicAcrossInsertionOrders) {
+  // The treap shape depends only on the key set, so the same entries
+  // inserted in different orders answer every query bit-identically.
+  std::vector<Entry> entries;
+  util::Rng rng(99);
+  for (JobId j = 0; j < 64; ++j)
+    entries.push_back({{static_cast<double>(rng.uniform_int(1, 5)),
+                        static_cast<Time>(rng.uniform_int(0, 2)), j},
+                       rng.uniform01() * 7.0});
+
+  DispatchIndex forward;
+  for (const Entry& e : entries) forward.insert(e.key, e.rem);
+  DispatchIndex backward;
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it)
+    backward.insert(it->key, it->rem);
+
+  for (double size = 0.0; size <= 6.0; size += 0.5) {
+    EXPECT_EQ(forward.count_size_greater(size),
+              backward.count_size_greater(size));
+    EXPECT_EQ(forward.fraction_size_greater(size),
+              backward.fraction_size_greater(size));
+    EXPECT_EQ(forward.remaining_before({size, 1.0, 32}),
+              backward.remaining_before({size, 1.0, 32}));
+  }
+  EXPECT_EQ(forward.total_remaining(), backward.total_remaining());
+  EXPECT_EQ(forward.total_fraction(), backward.total_fraction());
+}
+
+}  // namespace
+}  // namespace treesched::sim

@@ -1,0 +1,142 @@
+// Fast-path differential suite: every assignment policy on random
+// instances, run once with the incremental dispatch indices (the default)
+// and once with EngineConfig::slow_queries — the seed's rescan-everything
+// oracle. The two runs must agree to the byte on the serialized run log
+// (assignments, burst segments, completions, fault timeline) and exactly on
+// the headline metrics: the indices are a pure representation change.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "treesched/algo/policies.hpp"
+#include "treesched/core/tree_builders.hpp"
+#include "treesched/fault/model.hpp"
+#include "treesched/sim/engine.hpp"
+#include "treesched/sim/run_log.hpp"
+#include "treesched/workload/generator.hpp"
+
+namespace treesched {
+namespace {
+
+struct FastSlowCase {
+  const char* policy;
+  int tree_id;
+  EndpointModel endpoints;
+  bool faults;
+  double chunk = 0.0;
+  std::uint64_t seed = 7;
+};
+
+std::string case_name(const testing::TestParamInfo<FastSlowCase>& info) {
+  const FastSlowCase& c = info.param;
+  std::string name = c.policy;
+  for (char& ch : name)
+    if (ch == '-') ch = '_';
+  name += c.endpoints == EndpointModel::kIdentical ? "_ident" : "_unrel";
+  name += "_tree";
+  name += std::to_string(c.tree_id);
+  if (c.faults) name += "_faults";
+  if (c.chunk > 0.0) name += "_chunked";
+  return name;
+}
+
+Tree case_tree(int id) {
+  switch (id) {
+    case 0: return builders::fat_tree(3, 2, 2);
+    case 1: return builders::caterpillar(3, 2, 2);
+    default: return builders::star_of_paths(4, 2);
+  }
+}
+
+struct RunResult {
+  std::string log;
+  double flow = 0.0;
+  double makespan = 0.0;
+};
+
+RunResult run_once(const Instance& inst, const SpeedProfile& speeds,
+                   const FastSlowCase& c, bool slow) {
+  sim::EngineConfig cfg;
+  cfg.record_schedule = true;
+  cfg.router_chunk_size = c.chunk;
+  cfg.slow_queries = slow;
+  sim::Engine engine(inst, speeds, cfg);
+
+  // Fresh policy per run: rotation counters and RNG streams restart, so any
+  // divergence comes from the engine's query paths alone.
+  auto policy = algo::make_policy(c.policy, inst, 0.5, c.seed);
+
+  fault::FaultPlan plan;
+  algo::FaultAwareGreedy redispatch(0.5);
+  if (c.faults) {
+    fault::FaultModel model;
+    model.node_failure_rate = 0.02;
+    model.node_mttr = 8.0;
+    model.edge_failure_rate = 0.01;
+    model.slow_rate = 0.01;
+    model.slow_factor = 0.5;
+    model.horizon = 60.0;
+    plan = fault::generate_plan(inst.tree(), model, c.seed + 17);
+    engine.set_fault_plan(&plan, &redispatch);
+  }
+
+  engine.run(*policy);
+
+  std::ostringstream os;
+  sim::write_run_log(os, sim::make_run_log(inst, engine));
+  return {os.str(), engine.metrics().total_flow_time(),
+          engine.metrics().makespan()};
+}
+
+class FastSlow : public testing::TestWithParam<FastSlowCase> {};
+
+TEST_P(FastSlow, RunLogsAreByteIdentical) {
+  const FastSlowCase& c = GetParam();
+  util::Rng rng(c.seed);
+  workload::WorkloadSpec spec;
+  spec.jobs = 70;
+  spec.load = 1.2;  // enough backlog that the aggregate queries matter
+  spec.sizes.dist = workload::SizeDistribution::kBoundedPareto;
+  spec.endpoints = c.endpoints;
+  const Instance inst = workload::generate(rng, case_tree(c.tree_id), spec);
+  const SpeedProfile speeds = SpeedProfile::uniform(inst.tree(), 1.5);
+
+  const RunResult fast = run_once(inst, speeds, c, /*slow=*/false);
+  const RunResult slow = run_once(inst, speeds, c, /*slow=*/true);
+
+  EXPECT_EQ(fast.log, slow.log);
+  EXPECT_EQ(fast.flow, slow.flow);
+  EXPECT_EQ(fast.makespan, slow.makespan);
+}
+
+std::vector<FastSlowCase> all_cases() {
+  std::vector<FastSlowCase> cases;
+  const char* policies[] = {"paper",        "closest",     "random",
+                            "round-robin",  "least-volume", "least-count",
+                            "two-choice",   "fault-greedy",
+                            "broomstick-mirror"};
+  for (const char* p : policies) {
+    for (int tree_id = 0; tree_id < 2; ++tree_id) {
+      for (const EndpointModel m :
+           {EndpointModel::kIdentical, EndpointModel::kUnrelated}) {
+        cases.push_back({p, tree_id, m, /*faults=*/false});
+      }
+    }
+    // Fault runs (whole-job forwarding required): crash, link, and slowdown
+    // events plus greedy re-dispatch, both endpoint models.
+    cases.push_back({p, 0, EndpointModel::kIdentical, /*faults=*/true});
+    cases.push_back({p, 1, EndpointModel::kUnrelated, /*faults=*/true});
+  }
+  // Pipelined routing exercises the chunked index updates.
+  cases.push_back({"paper", 0, EndpointModel::kIdentical, false, 0.75});
+  cases.push_back({"least-volume", 1, EndpointModel::kUnrelated, false, 0.75});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, FastSlow, testing::ValuesIn(all_cases()),
+                         case_name);
+
+}  // namespace
+}  // namespace treesched
