@@ -54,6 +54,16 @@ class PaperGreedyPolicy : public sim::AssignmentPolicy {
   double eps() const { return eps_; }
   double depth_penalty_coeff() const { return penalty_; }
 
+  /// F(j,v) through the per-root-child epoch cache — the shared evaluation
+  /// path for assignment_cost and the deadline admission controller, which
+  /// probes the same F at the same decision instant (so the cache makes the
+  /// controller's leaves() sweep one evaluation per root child, not per
+  /// leaf).
+  double F_cached(const sim::Engine& engine, const Job& job,
+                  NodeId leaf) const {
+    return cached_F(engine, job, leaf);
+  }
+
  private:
   /// F evaluated through a per-root-child epoch cache: F depends on the leaf
   /// only through R(v), so one evaluation per root child suffices for the

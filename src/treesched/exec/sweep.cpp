@@ -6,15 +6,18 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
 
 #include "treesched/algo/policies.hpp"
 #include "treesched/exec/parallel.hpp"
+#include "treesched/overload/controller.hpp"
 #include "treesched/experiments/harness.hpp"
 #include "treesched/fault/model.hpp"
 #include "treesched/lp/lower_bounds.hpp"
@@ -40,6 +43,12 @@ std::string fmt(double v) {
   return buf;
 }
 
+/// JSON numbers: NaN/inf have no JSON representation, so completed-job
+/// averages of an empty set (fully shed cells) serialize as null.
+std::string json_num(double v) {
+  return std::isfinite(v) ? fmt(v) : std::string("null");
+}
+
 std::string quoted(const std::string& s) {
   std::string out = "\"";
   for (const char c : s) {
@@ -55,6 +64,21 @@ struct Grid {
 
   std::size_t fault_count() const {
     return spec.fault_rates.empty() ? 1 : spec.fault_rates.size();
+  }
+  std::size_t shed_count() const {
+    return spec.shed_policies.empty() ? 1 : spec.shed_policies.size();
+  }
+
+  /// The resolved shed configuration of task cell `shed_i` (disabled when
+  /// the dimension is absent or the cell is the "none" control).
+  overload::ShedConfig shed_config(std::size_t shed_i) const {
+    overload::ShedConfig sc;
+    if (!spec.shed_policies.empty()) {
+      sc.policy = overload::parse_shed_policy(spec.shed_policies[shed_i]);
+      sc.queue_cap = spec.queue_cap;
+      sc.deadline_slack = spec.deadline_slack;
+    }
+    return sc;
   }
 };
 
@@ -88,6 +112,13 @@ Grid resolve(const SweepSpec& in) {
     throw std::invalid_argument("sweep: fault mttr must be positive");
   if (g.spec.fault_horizon < 0.0)
     throw std::invalid_argument("sweep: fault horizon must be >= 0");
+  for (std::size_t i = 0; i < g.spec.shed_policies.size(); ++i) {
+    try {
+      overload::validate_shed_config(g.shed_config(i));
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument(std::string("sweep: ") + e.what());
+    }
+  }
   if (g.spec.retries < 0)
     throw std::invalid_argument("sweep: retries must be >= 0");
   if (g.spec.resume && g.spec.checkpoint.empty())
@@ -124,6 +155,10 @@ std::uint64_t spec_fingerprint(const SweepSpec& spec) {
   if (!spec.fault_rates.empty())
     os << "|mttr=" << fmt(spec.fault_mttr)
        << "|horizon=" << fmt(spec.fault_horizon);
+  for (const auto& sp : spec.shed_policies) os << "|shed=" << sp;
+  if (!spec.shed_policies.empty())
+    os << "|cap=" << fmt(spec.queue_cap)
+       << "|slack=" << fmt(spec.deadline_slack);
   const std::string s = os.str();
   std::uint64_t h = 1469598103934665603ULL;  // FNV-1a 64
   for (const char c : s) {
@@ -150,7 +185,7 @@ class Checkpoint {
       throw std::runtime_error("cannot open checkpoint journal '" + path +
                                "' for writing");
     if (!append) {
-      out_ << "sweepjournal 1\nfingerprint " << fingerprint << '\n';
+      out_ << "sweepjournal 2\nfingerprint " << fingerprint << '\n';
       out_.flush();
     }
   }
@@ -163,7 +198,8 @@ class Checkpoint {
     const std::lock_guard<std::mutex> lock(mu_);
     out_ << "task " << t.index << ' ' << fmt(t.ratio) << ' '
          << fmt(t.alg_flow) << ' ' << fmt(t.lower_bound) << ' '
-         << fmt(t.mean_flow) << " ok\n";
+         << fmt(t.mean_flow) << ' ' << fmt(t.goodput) << ' ' << t.completed
+         << ' ' << t.shed_jobs << " ok\n";
     out_.flush();
   }
 
@@ -174,9 +210,13 @@ class Checkpoint {
       throw std::runtime_error("cannot read checkpoint journal '" + path +
                                "'");
     std::string line;
-    if (!std::getline(in, line) || line != "sweepjournal 1")
-      throw std::invalid_argument("'" + path +
-                                  "' is not a sweep checkpoint journal");
+    // Version 2 added goodput / completed / shed-count columns; resuming a
+    // version-1 journal would silently drop them, so it is refused.
+    if (!std::getline(in, line) || line != "sweepjournal 2")
+      throw std::invalid_argument(
+          "'" + path +
+          "' is not a sweepjournal-2 checkpoint (pre-overload journals "
+          "cannot be resumed; rerun without --resume)");
     std::uint64_t fp = 0;
     {
       std::string tag;
@@ -196,11 +236,23 @@ class Checkpoint {
     while (std::getline(in, line)) {
       std::istringstream ls(line);
       std::string tag, tail;
+      // Doubles go through stod, not operator>>: a fully-shed cell journals
+      // its mean flow as "nan", which stream extraction need not accept.
+      std::string ratio, alg_flow, lower_bound, mean_flow, goodput;
       SweepTask t;
-      if (!(ls >> tag >> t.index >> t.ratio >> t.alg_flow >> t.lower_bound >>
-            t.mean_flow >> tail) ||
+      if (!(ls >> tag >> t.index >> ratio >> alg_flow >> lower_bound >>
+            mean_flow >> goodput >> t.completed >> t.shed_jobs >> tail) ||
           tag != "task" || tail != "ok")
         break;  // torn tail from a killed run: everything after is suspect
+      try {
+        t.ratio = std::stod(ratio);
+        t.alg_flow = std::stod(alg_flow);
+        t.lower_bound = std::stod(lower_bound);
+        t.mean_flow = std::stod(mean_flow);
+        t.goodput = std::stod(goodput);
+      } catch (const std::exception&) {
+        break;
+      }
       t.status = TaskStatus::kOk;
       done_[t.index] = t;
     }
@@ -231,9 +283,17 @@ SweepTask run_one(const Grid& grid, SweepTask task) {
   sim::EngineConfig cfg;
   const bool record = !spec.record_dir.empty();
   cfg.record_schedule = record;
+  const overload::ShedConfig shed_cfg = grid.shed_config(task.shed_i);
+  cfg.shed = shed_cfg;
   const auto policy =
       algo::make_policy(spec.policies[task.policy_i], inst, eps, task.seed);
   sim::Engine engine(inst, speeds, cfg);
+
+  std::optional<overload::AdmissionController> admission;
+  if (shed_cfg.enabled()) {
+    admission.emplace(shed_cfg, eps);
+    engine.set_admission(&*admission);
+  }
 
   fault::FaultPlan plan;
   algo::FaultAwareGreedy redispatch(eps);
@@ -256,6 +316,9 @@ SweepTask run_one(const Grid& grid, SweepTask task) {
   const sim::Metrics& m = engine.metrics();
   task.alg_flow = m.total_flow_time();
   task.mean_flow = m.mean_flow_time();
+  task.goodput = m.goodput();
+  task.completed = m.jobs().size() - m.shed_count() - m.rejected_count();
+  task.shed_jobs = m.shed_count() + m.rejected_count();
   task.lower_bound = lp::combined_lower_bound(inst);
   task.ratio =
       task.lower_bound > 0.0 ? task.alg_flow / task.lower_bound : 0.0;
@@ -295,6 +358,26 @@ SweepTask run_with_retries(const Grid& grid, const SweepTask& task) {
 
 }  // namespace
 
+double probe_offered_load(const SweepSpec& in) {
+  const Grid grid = resolve(in);
+  const SweepSpec& spec = grid.spec;
+  double worst = 0.0;
+  for (const auto& tree : grid.trees)
+    for (const double eps : spec.eps_grid) {
+      util::Rng rng(util::split_seed(spec.base_seed, 0));
+      workload::WorkloadSpec wspec;
+      wspec.jobs = spec.jobs;
+      wspec.load = spec.load;
+      wspec.sizes.dist = workload::SizeDistribution::kBoundedPareto;
+      wspec.sizes.class_eps = eps;
+      const Instance inst = workload::generate(rng, tree, wspec);
+      worst = std::max(
+          worst, workload::offered_load(
+                     inst, SpeedProfile::paper_identical(inst.tree(), eps)));
+    }
+  return worst;
+}
+
 SweepResult run_sweep(const SweepSpec& in) {
   const util::Stopwatch watch;
   const Grid grid = resolve(in);
@@ -308,17 +391,19 @@ SweepResult run_sweep(const SweepSpec& in) {
     for (std::size_t t = 0; t < grid.trees.size(); ++t)
       for (std::size_t e = 0; e < spec.eps_grid.size(); ++e)
         for (std::size_t f = 0; f < grid.fault_count(); ++f)
-          for (int s = 0; s < spec.seeds; ++s) {
-            SweepTask task;
-            task.index = tasks.size();
-            task.policy_i = p;
-            task.tree_i = t;
-            task.eps_i = e;
-            task.fault_i = f;
-            task.seed_index = s;
-            task.seed = util::split_seed(spec.base_seed, task.index);
-            tasks.push_back(task);
-          }
+          for (std::size_t sh = 0; sh < grid.shed_count(); ++sh)
+            for (int s = 0; s < spec.seeds; ++s) {
+              SweepTask task;
+              task.index = tasks.size();
+              task.policy_i = p;
+              task.tree_i = t;
+              task.eps_i = e;
+              task.fault_i = f;
+              task.shed_i = sh;
+              task.seed_index = s;
+              task.seed = util::split_seed(spec.base_seed, task.index);
+              tasks.push_back(task);
+            }
 
   SweepResult result;
   result.spec = spec;
@@ -343,6 +428,9 @@ SweepResult run_sweep(const SweepSpec& in) {
         done.alg_flow = it->second.alg_flow;
         done.lower_bound = it->second.lower_bound;
         done.mean_flow = it->second.mean_flow;
+        done.goodput = it->second.goodput;
+        done.completed = it->second.completed;
+        done.shed_jobs = it->second.shed_jobs;
         result.tasks[task.index] = done;
         ++result.resumed;
         continue;
@@ -429,14 +517,17 @@ SweepResult run_sweep(const SweepSpec& in) {
   for (std::size_t p = 0; p < spec.policies.size(); ++p)
     for (std::size_t t = 0; t < grid.trees.size(); ++t)
       for (std::size_t e = 0; e < spec.eps_grid.size(); ++e)
-        for (std::size_t f = 0; f < grid.fault_count(); ++f) {
+        for (std::size_t f = 0; f < grid.fault_count(); ++f)
+          for (std::size_t sh = 0; sh < grid.shed_count(); ++sh) {
           SweepCellStats cell;
           cell.policy_i = p;
           cell.tree_i = t;
           cell.eps_i = e;
           cell.fault_i = f;
+          cell.shed_i = sh;
           stats::Summary ratios;
           stats::Summary flows;
+          stats::Summary goodputs;
           std::vector<double> samples;
           for (int s = 0; s < spec.seeds; ++s, ++cursor) {
             const SweepTask& task = result.tasks[cursor];
@@ -445,7 +536,12 @@ SweepResult run_sweep(const SweepSpec& in) {
               continue;
             }
             ratios.add(task.ratio);
-            flows.add(task.mean_flow);
+            // A fully-shed repetition has no completed jobs and a NaN mean
+            // flow / goodput; the cell means average the defined ones.
+            if (std::isfinite(task.mean_flow)) flows.add(task.mean_flow);
+            if (std::isfinite(task.goodput)) goodputs.add(task.goodput);
+            cell.completed += task.completed;
+            cell.shed_jobs += task.shed_jobs;
             samples.push_back(task.ratio);
           }
           cell.count = ratios.count();
@@ -453,7 +549,13 @@ SweepResult run_sweep(const SweepSpec& in) {
             cell.ratio_mean = ratios.mean();
             cell.ratio_min = ratios.min();
             cell.ratio_max = ratios.max();
-            cell.mean_flow = flows.mean();
+            cell.mean_flow = flows.count() > 0
+                                 ? flows.mean()
+                                 : std::numeric_limits<double>::quiet_NaN();
+            cell.goodput_mean =
+                goodputs.count() > 0
+                    ? goodputs.mean()
+                    : std::numeric_limits<double>::quiet_NaN();
             // Bootstrap stream keyed by the cell's enumeration index, not by
             // any task stream: deterministic at any thread count.
             util::Rng boot(util::split_seed(~spec.base_seed,
@@ -473,6 +575,7 @@ SweepResult run_sweep(const SweepSpec& in) {
 std::string sweep_json(const SweepResult& r, bool include_timing) {
   const SweepSpec& spec = r.spec;
   const bool faulty = !spec.fault_rates.empty();
+  const bool shedding = !spec.shed_policies.empty();
   std::ostringstream os;
   os << "{\n  \"schema\": \"treesched-sweep-v1\",\n  \"spec\": {\n";
   os << "    \"policies\": [";
@@ -492,6 +595,13 @@ std::string sweep_json(const SweepResult& r, bool include_timing) {
     os << "],\n    \"fault_mttr\": " << fmt(spec.fault_mttr)
        << ",\n    \"fault_horizon\": " << fmt(spec.fault_horizon) << ",\n";
   }
+  if (shedding) {
+    os << "    \"shed_policies\": [";
+    for (std::size_t i = 0; i < spec.shed_policies.size(); ++i)
+      os << (i ? ", " : "") << quoted(spec.shed_policies[i]);
+    os << "],\n    \"queue_cap\": " << fmt(spec.queue_cap)
+       << ",\n    \"deadline_slack\": " << fmt(spec.deadline_slack) << ",\n";
+  }
   os << "    \"seeds\": " << spec.seeds
      << ",\n    \"base_seed\": " << spec.base_seed
      << ",\n    \"jobs\": " << spec.jobs
@@ -506,14 +616,20 @@ std::string sweep_json(const SweepResult& r, bool include_timing) {
        << ", \"eps\": " << fmt(spec.eps_grid[c.eps_i]);
     if (faulty)
       os << ", \"fault_rate\": " << fmt(spec.fault_rates[c.fault_i]);
+    if (shedding)
+      os << ", \"shed_policy\": " << quoted(spec.shed_policies[c.shed_i]);
     os << ", \"count\": " << c.count << ", \"skipped\": " << c.skipped
        << ", \"ratio_mean\": " << fmt(c.ratio_mean)
        << ", \"ratio_ci95\": [" << fmt(c.ratio_ci_lo) << ", "
        << fmt(c.ratio_ci_hi) << "]"
        << ", \"ratio_min\": " << fmt(c.ratio_min)
        << ", \"ratio_max\": " << fmt(c.ratio_max)
-       << ", \"mean_flow\": " << fmt(c.mean_flow) << "}"
-       << (i + 1 < r.cells.size() ? "," : "") << '\n';
+       << ", \"mean_flow\": " << json_num(c.mean_flow);
+    if (shedding)
+      os << ", \"goodput_mean\": " << json_num(c.goodput_mean)
+         << ", \"completed\": " << c.completed
+         << ", \"shed\": " << c.shed_jobs;
+    os << "}" << (i + 1 < r.cells.size() ? "," : "") << '\n';
   }
   os << "  ],\n";
 
@@ -530,12 +646,18 @@ std::string sweep_json(const SweepResult& r, bool include_timing) {
        << ", \"eps\": " << fmt(spec.eps_grid[t.eps_i]);
     if (faulty)
       os << ", \"fault_rate\": " << fmt(spec.fault_rates[t.fault_i]);
+    if (shedding)
+      os << ", \"shed_policy\": " << quoted(spec.shed_policies[t.shed_i]);
     os << ", \"seed_index\": " << t.seed_index << ", \"seed\": " << t.seed
        << ", \"status\": \"" << status << "\""
        << ", \"ratio\": " << fmt(t.ratio)
        << ", \"alg_flow\": " << fmt(t.alg_flow)
-       << ", \"lower_bound\": " << fmt(t.lower_bound) << "}"
-       << (i + 1 < r.tasks.size() ? "," : "") << '\n';
+       << ", \"lower_bound\": " << fmt(t.lower_bound);
+    if (shedding)
+      os << ", \"goodput\": " << json_num(t.goodput)
+         << ", \"completed\": " << t.completed
+         << ", \"shed\": " << t.shed_jobs;
+    os << "}" << (i + 1 < r.tasks.size() ? "," : "") << '\n';
   }
   os << "  ],\n";
 
@@ -569,22 +691,37 @@ void write_sweep_json_file(const std::string& path, const SweepResult& result,
 
 std::string sweep_table(const SweepResult& r) {
   const bool faulty = !r.spec.fault_rates.empty();
+  const bool shedding = !r.spec.shed_policies.empty();
   std::vector<std::string> headers{"policy", "tree", "eps"};
   if (faulty) headers.push_back("fault rate");
+  if (shedding) headers.push_back("shed policy");
   for (const char* h : {"reps", "ratio mean", "ci95 lo", "ci95 hi",
                         "ratio max", "skipped"})
     headers.push_back(h);
+  if (shedding) {
+    headers.push_back("goodput");
+    headers.push_back("shed");
+  }
   util::Table table(headers);
   for (const SweepCellStats& c : r.cells) {
-    if (faulty)
-      table.add(r.spec.policies[c.policy_i], r.spec.trees[c.tree_i],
-                r.spec.eps_grid[c.eps_i], r.spec.fault_rates[c.fault_i],
-                c.count, c.ratio_mean, c.ratio_ci_lo, c.ratio_ci_hi,
-                c.ratio_max, c.skipped);
-    else
-      table.add(r.spec.policies[c.policy_i], r.spec.trees[c.tree_i],
-                r.spec.eps_grid[c.eps_i], c.count, c.ratio_mean,
-                c.ratio_ci_lo, c.ratio_ci_hi, c.ratio_max, c.skipped);
+    std::vector<std::string> row{r.spec.policies[c.policy_i],
+                                 r.spec.trees[c.tree_i],
+                                 util::Table::num(r.spec.eps_grid[c.eps_i])};
+    if (faulty) row.push_back(util::Table::num(r.spec.fault_rates[c.fault_i]));
+    if (shedding) row.push_back(r.spec.shed_policies[c.shed_i]);
+    row.push_back(std::to_string(c.count));
+    row.push_back(util::Table::num(c.ratio_mean));
+    row.push_back(util::Table::num(c.ratio_ci_lo));
+    row.push_back(util::Table::num(c.ratio_ci_hi));
+    row.push_back(util::Table::num(c.ratio_max));
+    row.push_back(std::to_string(c.skipped));
+    if (shedding) {
+      row.push_back(std::isfinite(c.goodput_mean)
+                        ? util::Table::num(c.goodput_mean)
+                        : std::string("-"));
+      row.push_back(std::to_string(c.shed_jobs));
+    }
+    table.add_row(row);
   }
   return table.str();
 }

@@ -1,5 +1,5 @@
-// Declarative policy × topology × eps × fault-rate × seed sweeps over the
-// thread pool.
+// Declarative policy × topology × eps × fault-rate × shed-policy × seed
+// sweeps over the thread pool.
 //
 // A sweep expands its grid into a fixed task enumeration, gives task i the
 // seed util::split_seed(base_seed, i), fans the tasks out over a ThreadPool,
@@ -54,6 +54,15 @@ struct SweepSpec {
   /// at least 10 time units).
   double fault_horizon = 0.0;
 
+  /// Overload-protection grid dimension: admission-control policy names
+  /// ("none", "bounded-queue", "largest-first", "deadline"). Empty = no
+  /// dimension and a grid (and JSON) byte-identical to pre-overload sweeps;
+  /// non-empty adds the dimension and measures goodput / shed volume per
+  /// policy. "none" is the control cell.
+  std::vector<std::string> shed_policies;
+  double queue_cap = 0.0;        ///< root-cut cap for the volume policies
+  double deadline_slack = 8.0;   ///< deadline policy: admit iff F <= slack*p_j
+
   // Execution knobs — never part of the result identity.
   std::size_t threads = 0;       ///< 0 = default_thread_count()
   double timeout_ms = 0.0;       ///< per-task gather patience; 0 = none
@@ -82,17 +91,20 @@ struct SweepSpec {
 
 enum class TaskStatus { kOk, kTimedOut, kFailed, kCancelled };
 
-/// One (policy, tree, eps, fault-rate, seed-index) measurement.
+/// One (policy, tree, eps, fault-rate, shed-policy, seed-index) measurement.
 struct SweepTask {
   std::size_t index = 0;         ///< position in the fixed enumeration
-  std::size_t policy_i = 0, tree_i = 0, eps_i = 0, fault_i = 0;
+  std::size_t policy_i = 0, tree_i = 0, eps_i = 0, fault_i = 0, shed_i = 0;
   int seed_index = 0;
   std::uint64_t seed = 0;        ///< split_seed(base_seed, index)
   TaskStatus status = TaskStatus::kOk;
   double ratio = 0.0;
   double alg_flow = 0.0;
   double lower_bound = 0.0;
-  double mean_flow = 0.0;
+  double mean_flow = 0.0;        ///< NaN when nothing completed (JSON null)
+  double goodput = 0.0;          ///< completed / makespan; NaN when empty
+  std::size_t completed = 0;     ///< jobs that finished
+  std::size_t shed_jobs = 0;     ///< jobs shed or rejected by admission
   int attempts = 0;              ///< runs it took (0 = loaded from journal)
   double wall_ms = 0.0;          ///< timing metadata; not in deterministic JSON
   std::string error;             ///< kFailed: the exception message
@@ -100,12 +112,15 @@ struct SweepTask {
 
 /// Per-cell aggregate over the cell's completed repetitions.
 struct SweepCellStats {
-  std::size_t policy_i = 0, tree_i = 0, eps_i = 0, fault_i = 0;
+  std::size_t policy_i = 0, tree_i = 0, eps_i = 0, fault_i = 0, shed_i = 0;
   std::size_t count = 0;    ///< completed repetitions
   std::size_t skipped = 0;  ///< timed out, failed, or cancelled
   double ratio_mean = 0.0, ratio_ci_lo = 0.0, ratio_ci_hi = 0.0;
   double ratio_min = 0.0, ratio_max = 0.0;
   double mean_flow = 0.0;
+  double goodput_mean = 0.0;     ///< NaN-excluding mean over repetitions
+  std::size_t completed = 0;     ///< summed over repetitions
+  std::size_t shed_jobs = 0;     ///< summed over repetitions
 };
 
 struct SweepResult {
@@ -124,6 +139,13 @@ struct SweepResult {
 /// Timed-out tasks are reported as skipped (never hang the sweep); their
 /// workers are abandoned on exit.
 SweepResult run_sweep(const SweepSpec& spec);
+
+/// Worst achieved offered load over the sweep's (tree, eps) cells, probed by
+/// generating one instance per cell exactly as the sweep would (rounded
+/// sizes, paper-identical speeds) with the first task's seed stream.
+/// treesched_sweep warns when this reaches 1 and no shedding cell is armed:
+/// such a sweep measures a diverging queue, not a steady state.
+double probe_offered_load(const SweepSpec& spec);
 
 /// Machine-readable results. The default document is deterministic: spec,
 /// per-cell stats (mean / bootstrap CI / min / max), per-task ratios, and

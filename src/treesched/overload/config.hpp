@@ -1,0 +1,68 @@
+// Overload-protection configuration: the shedding policy knob shared by the
+// engine, the admission controller, run logs, and both CLIs.
+//
+// The config lives apart from the controller so that `sim` (EngineConfig,
+// run_log) can embed it without linking against the policy layer — the
+// controller itself (treesched_overload) depends on algo for the Lemma-4
+// bound and is wired in by the caller via Engine::set_admission.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace treesched::overload {
+
+/// Admission-control discipline applied at the root when a job arrives.
+enum class ShedPolicy : std::uint8_t {
+  /// Admit everything — the pre-overload engine behavior, and the default.
+  kNone,
+  /// Reject the arriving job whenever the root backlog (total remaining
+  /// volume pending at the root children) would exceed `queue_cap`.
+  kBoundedQueue,
+  /// Keep the backlog under `queue_cap` by shedding the LARGEST pending job
+  /// first (the SJF-dual choice): by Lemma 2 a job j only delays
+  /// higher-priority volume by at most (2/eps)·p_j, so evicting the largest
+  /// p_j removes the most backlog while freeing the least SJF priority mass.
+  kLargestFirst,
+  /// Admit only jobs whose Lemma-4 completion-time upper bound satisfies
+  /// F(j, leaf) <= deadline_slack * p_j for the best leaf; reject the rest.
+  kDeadline,
+};
+
+struct ShedConfig {
+  ShedPolicy policy = ShedPolicy::kNone;
+  /// Volume cap on the root backlog (bounded-queue / largest-first). Must be
+  /// > 0 when one of those policies is selected.
+  double queue_cap = 0.0;
+  /// Deadline policy: admit iff min-leaf F(j, leaf) <= slack * p_j.
+  double deadline_slack = 8.0;
+
+  bool enabled() const { return policy != ShedPolicy::kNone; }
+};
+
+inline const char* shed_policy_name(ShedPolicy p) {
+  switch (p) {
+    case ShedPolicy::kNone: return "none";
+    case ShedPolicy::kBoundedQueue: return "bounded-queue";
+    case ShedPolicy::kLargestFirst: return "largest-first";
+    case ShedPolicy::kDeadline: return "deadline";
+  }
+  return "?";
+}
+
+inline ShedPolicy parse_shed_policy(const std::string& s) {
+  if (s == "none") return ShedPolicy::kNone;
+  if (s == "bounded-queue") return ShedPolicy::kBoundedQueue;
+  if (s == "largest-first") return ShedPolicy::kLargestFirst;
+  if (s == "deadline") return ShedPolicy::kDeadline;
+  throw std::invalid_argument("unknown shed policy '" + s +
+                              "' (none|bounded-queue|largest-first|deadline)");
+}
+
+inline bool is_known_shed_policy(const std::string& s) {
+  return s == "none" || s == "bounded-queue" || s == "largest-first" ||
+         s == "deadline";
+}
+
+}  // namespace treesched::overload

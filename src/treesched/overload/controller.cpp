@@ -1,0 +1,116 @@
+#include "treesched/overload/controller.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "treesched/util/assert.hpp"
+
+namespace treesched::overload {
+
+void validate_shed_config(const ShedConfig& cfg) {
+  switch (cfg.policy) {
+    case ShedPolicy::kNone:
+      return;
+    case ShedPolicy::kBoundedQueue:
+    case ShedPolicy::kLargestFirst:
+      if (cfg.queue_cap <= 0.0)
+        throw std::invalid_argument(
+            std::string(shed_policy_name(cfg.policy)) +
+            " requires a positive volume cap (--queue-cap)");
+      return;
+    case ShedPolicy::kDeadline:
+      if (cfg.deadline_slack <= 0.0)
+        throw std::invalid_argument(
+            "deadline requires a positive slack (--deadline-slack)");
+      return;
+  }
+}
+
+AdmissionController::AdmissionController(const ShedConfig& cfg, double eps)
+    : cfg_(cfg), greedy_(eps) {
+  validate_shed_config(cfg_);
+}
+
+double AdmissionController::root_backlog(const sim::Engine& engine) {
+  double sum = 0.0;
+  for (const NodeId rc : engine.tree().root_children())
+    sum += engine.pending_remaining(rc);
+  return sum;
+}
+
+bool AdmissionController::admit(sim::Engine& engine, const Job& job) {
+  switch (cfg_.policy) {
+    case ShedPolicy::kNone:
+      return true;
+    case ShedPolicy::kBoundedQueue:
+      return admit_bounded_queue(engine, job);
+    case ShedPolicy::kLargestFirst:
+      return admit_largest_first(engine, job);
+    case ShedPolicy::kDeadline:
+      return admit_deadline(engine, job);
+  }
+  return true;
+}
+
+bool AdmissionController::admit_bounded_queue(sim::Engine& engine,
+                                              const Job& job) {
+  if (root_backlog(engine) + job.size <= cfg_.queue_cap) return true;
+  engine.reject(job.id);
+  return false;
+}
+
+bool AdmissionController::admit_largest_first(sim::Engine& engine,
+                                              const Job& job) {
+  if (root_backlog(engine) + job.size <= cfg_.queue_cap) return true;
+  // Over the cap: evict the largest candidate until the arrival fits (or the
+  // arrival itself is the largest, in which case it is rejected). Candidates
+  // are the jobs still pending at their root-child hop — jobs already
+  // forwarded past the root cut contribute nothing to the backlog, and
+  // re-dispatched jobs are never shed (the fault-recovery invariant).
+  // Ordering is largest p_j first, ties to the latest release then the
+  // highest id: a deterministic function of static attributes only.
+  for (;;) {
+    double best_size = job.size;
+    Time best_release = job.release;
+    JobId best = job.id;
+    bool best_is_arrival = true;
+    for (const NodeId rc : engine.tree().root_children()) {
+      for (const JobId cand : engine.inflight_at(rc)) {
+        if (engine.job_redispatched(cand)) continue;
+        const Job& cj = engine.instance().job(cand);
+        const bool larger =
+            cj.size > best_size ||
+            (cj.size == best_size &&
+             (cj.release > best_release ||
+              (cj.release == best_release && cand > best)));
+        if (larger) {
+          best_size = cj.size;
+          best_release = cj.release;
+          best = cand;
+          best_is_arrival = false;
+        }
+      }
+    }
+    if (best_is_arrival) {
+      engine.reject(job.id);
+      return false;
+    }
+    engine.shed(best);
+    if (root_backlog(engine) + job.size <= cfg_.queue_cap) return true;
+  }
+}
+
+bool AdmissionController::admit_deadline(sim::Engine& engine, const Job& job) {
+  double fmin = std::numeric_limits<double>::infinity();
+  for (const NodeId leaf : engine.tree().leaves())
+    fmin = std::min(fmin, greedy_.F_cached(engine, job, leaf));
+  const double bound = cfg_.deadline_slack * job.size;
+  if (fmin <= bound) {
+    engine.log_admission(job.id, fmin, bound);
+    return true;
+  }
+  engine.reject(job.id, fmin, bound);
+  return false;
+}
+
+}  // namespace treesched::overload

@@ -1,0 +1,60 @@
+// Admission control at the root (the overload-protection tentpole).
+//
+// The controller implements sim::AdmissionPolicy: the engine consults it
+// once per arriving job, at the release instant, before leaf assignment.
+// Three shedding disciplines are provided beyond `none`:
+//
+//  * bounded-queue — reject the arrival when the root-cut backlog (total
+//    remaining volume pending at the root children, via the O(log n)
+//    pending_remaining aggregates) would exceed the volume cap.
+//  * largest-first — keep the backlog under the cap by evicting the LARGEST
+//    job first, the SJF-dual choice: by Lemma 2 a job j delays only
+//    (2/eps)*p_j of higher-priority volume, so shedding the largest p_j
+//    frees the most backlog while disturbing the least SJF priority mass.
+//    If the arrival itself is the largest candidate it is rejected instead.
+//  * deadline — admit only jobs whose best-leaf Lemma-4 congestion bound
+//    satisfies F(j, leaf) <= slack * p_j (at unit root-cut speed F bounds
+//    the volume draining ahead of j, hence its flow), reusing
+//    PaperGreedyPolicy's per-root-child epoch cache for the leaves() sweep.
+//
+// Determinism contract: every decision is a pure function of engine queries
+// that are differential-tested identical across the fast/slow query modes
+// (pending_remaining, the F aggregates) plus static job attributes (p_j,
+// r_j, id), and decisions happen in the single-threaded admission loop — so
+// degraded runs are byte-reproducible across thread counts and query modes.
+#pragma once
+
+#include "treesched/algo/policies.hpp"
+#include "treesched/overload/config.hpp"
+#include "treesched/sim/engine.hpp"
+
+namespace treesched::overload {
+
+/// Validates a shed config eagerly: the volume policies (bounded-queue,
+/// largest-first) require queue_cap > 0, deadline requires deadline_slack
+/// > 0. Throws std::invalid_argument with an actionable message.
+void validate_shed_config(const ShedConfig& cfg);
+
+class AdmissionController : public sim::AdmissionPolicy {
+ public:
+  /// `eps` parameterizes the deadline policy's Lemma-4 F evaluation (use the
+  /// same eps the assignment policy runs with); ignored by the others.
+  explicit AdmissionController(const ShedConfig& cfg, double eps = 0.5);
+
+  bool admit(sim::Engine& engine, const Job& job) override;
+  const char* name() const override { return shed_policy_name(cfg_.policy); }
+  const ShedConfig& config() const { return cfg_; }
+
+  /// Root-cut backlog: sum of pending_remaining over the root children.
+  static double root_backlog(const sim::Engine& engine);
+
+ private:
+  bool admit_bounded_queue(sim::Engine& engine, const Job& job);
+  bool admit_largest_first(sim::Engine& engine, const Job& job);
+  bool admit_deadline(sim::Engine& engine, const Job& job);
+
+  ShedConfig cfg_;
+  algo::PaperGreedyPolicy greedy_;  ///< deadline F evaluation (epoch-cached)
+};
+
+}  // namespace treesched::overload

@@ -1,0 +1,64 @@
+#include "treesched/overload/estimator.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "treesched/util/assert.hpp"
+
+namespace treesched::overload {
+
+SaturationEstimator::SaturationEstimator(double window) : window_(window) {
+  TS_REQUIRE(window > 0.0, "estimator window must be positive");
+}
+
+void SaturationEstimator::on_job_admitted(const sim::Engine& engine, JobId j) {
+  if (arrivals_.empty()) {
+    arrivals_.resize(uidx(engine.tree().node_count()));
+    sums_.assign(uidx(engine.tree().node_count()), 0.0);
+  }
+  const Time now = engine.now();
+  const NodeId leaf = engine.assigned_leaf(j);
+  for (const NodeId v : engine.tree().path_to(leaf)) {
+    const double work = engine.size_on(j, v);
+    prune(v, now);
+    arrivals_[uidx(v)].push_back({now, work});
+    sums_[uidx(v)] += work;
+  }
+}
+
+void SaturationEstimator::prune(NodeId v, Time now) {
+  auto& dq = arrivals_[uidx(v)];
+  while (!dq.empty() && dq.front().t < now - window_) {
+    sums_[uidx(v)] -= dq.front().work;
+    dq.pop_front();
+  }
+}
+
+double SaturationEstimator::rho_hat(const sim::Engine& engine, NodeId v) {
+  if (arrivals_.empty()) return 0.0;
+  const Time now = engine.now();
+  prune(v, now);
+  const double work = std::max(sums_[uidx(v)], 0.0);
+  if (work == 0.0) return 0.0;
+  const double horizon = std::min(window_, now);
+  const double speed = engine.speeds().speed(v);
+  if (horizon <= 0.0 || speed <= 0.0)
+    return std::numeric_limits<double>::infinity();
+  return work / (horizon * speed);
+}
+
+double SaturationEstimator::max_root_child_rho(const sim::Engine& engine) {
+  double mx = 0.0;
+  for (const NodeId rc : engine.tree().root_children())
+    mx = std::max(mx, rho_hat(engine, rc));
+  return mx;
+}
+
+double SaturationEstimator::root_backlog(const sim::Engine& engine) {
+  double sum = 0.0;
+  for (const NodeId rc : engine.tree().root_children())
+    sum += engine.pending_remaining(rc);
+  return sum;
+}
+
+}  // namespace treesched::overload

@@ -59,6 +59,78 @@ bool higher_priority(const PriorityKey& x, const PriorityKey& y) {
 }
 
 // ---------------------------------------------------------------------------
+// Overload mode: admission-control records (shedcfg / shed / reject / admitf)
+// ---------------------------------------------------------------------------
+
+/// Per-job view of the admission-control records, shared by the clean and
+/// fault audits. Cross-record sanity (a job both shed and rejected, records
+/// naming unknown jobs, shed records without a shed policy) is reported here.
+struct OverloadAudit {
+  bool active = false;       ///< a shed policy was configured
+  std::vector<Time> shed_t;  ///< eviction time; -1 = never shed
+  std::vector<char> rejected;
+  std::vector<double> reject_f, reject_bound;
+  std::vector<char> has_admitf;
+  std::vector<double> admit_f, admit_bound;
+
+  bool shed(std::size_t j) const { return shed_t[j] >= 0.0; }
+};
+
+/// Requires log.paths.size() == instance.job_count() (checked by callers).
+OverloadAudit build_overload_audit(const Instance& instance, const RunLog& log,
+                                   AuditReport& rep) {
+  OverloadAudit ov;
+  const std::size_t n_jobs = uidx(instance.job_count());
+  ov.active = log.shed.enabled();
+  ov.shed_t.assign(n_jobs, -1.0);
+  ov.rejected.assign(n_jobs, 0);
+  ov.reject_f.assign(n_jobs, -1.0);
+  ov.reject_bound.assign(n_jobs, -1.0);
+  ov.has_admitf.assign(n_jobs, 0);
+  ov.admit_f.assign(n_jobs, -1.0);
+  ov.admit_bound.assign(n_jobs, -1.0);
+  if (!ov.active && !log.sheds.empty())
+    rep.fail("log carries admission-control records but no shed policy");
+  for (const ShedRecord& sr : log.sheds) {
+    if (sr.job < 0 || uidx(sr.job) >= n_jobs) {
+      rep.fail("admission record names unknown job " + std::to_string(sr.job));
+      continue;
+    }
+    const std::size_t j = uidx(sr.job);
+    switch (sr.kind) {
+      case ShedRecord::Kind::kShed:
+        if (ov.shed(j))
+          rep.fail("job " + std::to_string(sr.job) + " shed twice");
+        ov.shed_t[j] = sr.t;
+        break;
+      case ShedRecord::Kind::kReject:
+        if (ov.rejected[j])
+          rep.fail("job " + std::to_string(sr.job) + " rejected twice");
+        ov.rejected[j] = 1;
+        ov.reject_f[j] = sr.f;
+        ov.reject_bound[j] = sr.bound;
+        break;
+      case ShedRecord::Kind::kAdmit:
+        ov.has_admitf[j] = 1;
+        ov.admit_f[j] = sr.f;
+        ov.admit_bound[j] = sr.bound;
+        break;
+    }
+  }
+  for (std::size_t j = 0; j < n_jobs; ++j) {
+    if (ov.rejected[j] && ov.shed(j))
+      rep.fail("job " + std::to_string(j) + " both rejected and shed");
+    if (ov.rejected[j] && !log.paths[j].empty())
+      rep.fail("rejected job " + std::to_string(j) +
+               " has a recorded path (was dispatched anyway)");
+    if (ov.shed(j) && log.paths[j].empty())
+      rep.fail("shed job " + std::to_string(j) +
+               " has no recorded path (was never admitted)");
+  }
+  return ov;
+}
+
+// ---------------------------------------------------------------------------
 // Fault mode: recovery-invariant audit for fault-injected runs
 // ---------------------------------------------------------------------------
 
@@ -104,6 +176,7 @@ AuditReport audit_fault_run(const Instance& instance, const RunLog& log,
              fmt(log.router_chunk_size));
     return rep;
   }
+  const OverloadAudit ov = build_overload_audit(instance, log, rep);
 
   // --- fault timeline sanity; down windows and slowdown steps per node -----
   struct Window {
@@ -178,6 +251,12 @@ AuditReport audit_fault_run(const Instance& instance, const RunLog& log,
   }
   if (!rep.ok) return rep;
 
+  // The engine never sheds a re-dispatched job and never re-dispatches a
+  // shed one; a log claiming both for the same job is inconsistent.
+  for (std::size_t j = 0; j < n_jobs; ++j)
+    if (ov.shed(j) && !redis[j].empty())
+      rep.fail("job " + std::to_string(j) + " was both shed and re-dispatched");
+
   auto down_at = [&](NodeId v, Time t) {
     for (const Window& w : down[uidx(v)])
       if (w.lo <= t && t < w.hi) return true;
@@ -201,8 +280,9 @@ AuditReport audit_fault_run(const Instance& instance, const RunLog& log,
   for (std::size_t j = 0; j < n_jobs; ++j) {
     const auto& path = log.paths[j];
     if (path.empty()) {
-      rep.fail("job " + std::to_string(j) +
-               " has no recorded path (never dispatched)");
+      if (!ov.rejected[j])
+        rep.fail("job " + std::to_string(j) +
+                 " has no recorded path (never dispatched)");
       continue;
     }
     bool ok = true;
@@ -291,6 +371,16 @@ AuditReport audit_fault_run(const Instance& instance, const RunLog& log,
                fmt(s.t0) + "," + fmt(s.t1) + ")");
       continue;
     }
+    if (ov.rejected[uidx(s.job)]) {
+      rep.fail("rejected job " + std::to_string(s.job) +
+               " recorded a burst at t=" + fmt(s.t0));
+      continue;
+    }
+    if (ov.shed(uidx(s.job)) && s.t1 > ov.shed_t[uidx(s.job)] + tol)
+      rep.fail("shed job " + std::to_string(s.job) +
+               " processed after its eviction at t=" +
+               fmt(ov.shed_t[uidx(s.job)]) + ": burst [" + fmt(s.t0) + "," +
+               fmt(s.t1) + ") on node " + std::to_string(s.node));
     const Job& job = instance.job(s.job);
     if (s.t0 < job.release - tol)
       rep.fail("job " + std::to_string(s.job) + " ran on node " +
@@ -391,6 +481,14 @@ AuditReport audit_fault_run(const Instance& instance, const RunLog& log,
     const double leaf_work = instance.processing_time(job.id, leaf);
     const Time claimed = log.completion[j];
 
+    if (ov.shed(j)) {
+      // An evicted job keeps its partial walk but must never finish; the
+      // no-burst-after-eviction rule was enforced per segment above.
+      if (claimed >= 0.0)
+        rep.fail("shed job " + std::to_string(j) + " claims completion " +
+                 fmt(claimed));
+      continue;
+    }
     if (claimed < 0.0) {
       rep.fail("job " + std::to_string(j) + " never completed");
       continue;
@@ -436,6 +534,10 @@ AuditReport audit_fault_run(const Instance& instance, const RunLog& log,
       "fault mode: " + std::to_string(log.faults.size()) +
       " fault record(s); priority consistency not audited (crashes "
       "legitimately reorder work)");
+  if (ov.active)
+    rep.notes.push_back(
+        "fault mode: queue-cap and deadline admission checks skipped "
+        "(re-dispatch replays hop-0 work without an admission decision)");
   if (opts.eps > 0.0)
     rep.notes.push_back(
         "fault mode: lemma margins not audited (the paper's bounds "
@@ -498,6 +600,7 @@ AuditReport audit_run(const Instance& instance, const RunLog& log,
              " node(s)");
     return rep;
   }
+  const OverloadAudit ov = build_overload_audit(instance, log, rep);
 
   // --- per-job setup: path sanity, chunking, item aggregates ---------------
   std::vector<JobAudit> ja(n_jobs);
@@ -505,8 +608,9 @@ AuditReport audit_run(const Instance& instance, const RunLog& log,
     const Job& job = instance.job(static_cast<JobId>(j));
     const auto& path = log.paths[j];
     if (path.empty()) {
-      rep.fail("job " + std::to_string(j) +
-               " has no recorded path (never dispatched)");
+      if (!ov.rejected[j])
+        rep.fail("job " + std::to_string(j) +
+                 " has no recorded path (never dispatched)");
       continue;
     }
     bool path_ok = true;
@@ -557,6 +661,16 @@ AuditReport audit_run(const Instance& instance, const RunLog& log,
       rep.fail("segment rate " + fmt(s.rate) + " != speed " +
                fmt(log.speeds[uidx(s.node)]) + " of node " +
                std::to_string(s.node));
+    if (ov.rejected[uidx(s.job)]) {
+      rep.fail("rejected job " + std::to_string(s.job) +
+               " recorded a burst at t=" + fmt(s.t0));
+      continue;
+    }
+    if (ov.shed(uidx(s.job)) && s.t1 > ov.shed_t[uidx(s.job)] + tol)
+      rep.fail("shed job " + std::to_string(s.job) +
+               " processed after its eviction at t=" +
+               fmt(ov.shed_t[uidx(s.job)]) + ": burst [" + fmt(s.t0) + "," +
+               fmt(s.t1) + ") on node " + std::to_string(s.node));
     JobAudit& a = ja[uidx(s.job)];
     if (!a.path) continue;  // path problem already reported
     const int hop = a.hop_of(s.node);
@@ -630,27 +744,34 @@ AuditReport audit_run(const Instance& instance, const RunLog& log,
     const NodeId leaf = a.path->back();
     const double leaf_work = instance.processing_time(job.id, leaf);
 
-    // Work conservation per item.
-    for (std::size_t h = 0; h + 1 < len; ++h)
-      for (std::int32_t c = 0; c < a.chunks; ++c) {
-        const ItemAgg& agg = a.router[h][uidx(c)];
-        if (!agg.ran()) {
-          rep.fail("job " + std::to_string(j) + " chunk " + std::to_string(c) +
-                   " never ran on node " + std::to_string((*a.path)[h]));
-        } else if (std::fabs(agg.work - a.chunk_size) >
-                   tol * std::max(1.0, a.chunk_size)) {
-          rep.fail("job " + std::to_string(j) + " chunk " + std::to_string(c) +
-                   " on node " + std::to_string((*a.path)[h]) + ": work " +
-                   fmt(agg.work) + " != " + fmt(a.chunk_size));
+    // Work conservation per item. A shed job is exempt: it keeps whatever
+    // partial walk it made before eviction (the no-burst-after-eviction rule
+    // is enforced per segment; precedence below still covers what did run).
+    const bool was_shed = ov.shed(j);
+    if (!was_shed) {
+      for (std::size_t h = 0; h + 1 < len; ++h)
+        for (std::int32_t c = 0; c < a.chunks; ++c) {
+          const ItemAgg& agg = a.router[h][uidx(c)];
+          if (!agg.ran()) {
+            rep.fail("job " + std::to_string(j) + " chunk " +
+                     std::to_string(c) + " never ran on node " +
+                     std::to_string((*a.path)[h]));
+          } else if (std::fabs(agg.work - a.chunk_size) >
+                     tol * std::max(1.0, a.chunk_size)) {
+            rep.fail("job " + std::to_string(j) + " chunk " +
+                     std::to_string(c) + " on node " +
+                     std::to_string((*a.path)[h]) + ": work " + fmt(agg.work) +
+                     " != " + fmt(a.chunk_size));
+          }
         }
+      if (!a.leaf.ran()) {
+        rep.fail("job " + std::to_string(j) + " never ran on its machine " +
+                 std::to_string(leaf));
+      } else if (std::fabs(a.leaf.work - leaf_work) >
+                 tol * std::max(1.0, leaf_work)) {
+        rep.fail("job " + std::to_string(j) + " machine work " +
+                 fmt(a.leaf.work) + " != " + fmt(leaf_work));
       }
-    if (!a.leaf.ran()) {
-      rep.fail("job " + std::to_string(j) + " never ran on its machine " +
-               std::to_string(leaf));
-    } else if (std::fabs(a.leaf.work - leaf_work) >
-               tol * std::max(1.0, leaf_work)) {
-      rep.fail("job " + std::to_string(j) + " machine work " +
-               fmt(a.leaf.work) + " != " + fmt(leaf_work));
     }
 
     // Store-and-forward precedence, chunk by chunk down the path.
@@ -679,7 +800,11 @@ AuditReport audit_run(const Instance& instance, const RunLog& log,
 
     // Claimed completion vs the log.
     const Time claimed = log.completion[j];
-    if (claimed < 0.0) {
+    if (was_shed) {
+      if (claimed >= 0.0)
+        rep.fail("shed job " + std::to_string(j) + " claims completion " +
+                 fmt(claimed));
+    } else if (claimed < 0.0) {
       rep.fail("job " + std::to_string(j) + " never completed");
     } else if (a.leaf.ran() && std::fabs(a.leaf.last - claimed) > tol) {
       rep.fail("job " + std::to_string(j) + " claimed completion " +
@@ -705,6 +830,89 @@ AuditReport audit_run(const Instance& instance, const RunLog& log,
         a.avail[h][uidx(c)] = t;
       }
     a.leaf_avail = (len == 1) ? job.release : all_data_arrived;
+  }
+
+  // --- overload admission control ------------------------------------------
+  if (ov.active) {
+    const overload::ShedConfig& sc = log.shed;
+    rep.notes.push_back(std::string("overload mode: policy ") +
+                        overload::shed_policy_name(sc.policy) + ", " +
+                        std::to_string(log.sheds.size()) +
+                        " admission record(s)");
+    if (sc.policy == overload::ShedPolicy::kBoundedQueue ||
+        sc.policy == overload::ShedPolicy::kLargestFirst) {
+      // Cap safety: at every admission epoch the root-cut backlog —
+      // reconstructed from the burst log exactly as the engine's
+      // pending_remaining aggregates measure it — must respect the cap.
+      // Hop 0 of every path is a root child, so a job's root-cut
+      // contribution is its hop-0 requirement minus hop-0 work done.
+      auto hop0_remaining_at = [&](std::size_t i, Time t) {
+        const double required =
+            ja[i].len() == 1
+                ? instance.processing_time(static_cast<JobId>(i),
+                                           ja[i].path->back())
+                : instance.job(static_cast<JobId>(i)).size;
+        double done = 0.0;
+        const auto it = by_item_node.find({i, 0});
+        if (it != by_item_node.end())
+          for (const Segment* s : it->second) {
+            if (s->t1 <= t)
+              done += s->work();
+            else if (s->t0 < t)
+              done += (t - s->t0) * s->rate;
+          }
+        return std::max(required - done, 0.0);
+      };
+      for (std::size_t j = 0; j < n_jobs; ++j) {
+        if (!ja[j].path) continue;  // rejected: no admission epoch
+        const Time r_j = instance.job(static_cast<JobId>(j)).release;
+        double backlog = 0.0;
+        for (std::size_t i = 0; i < n_jobs; ++i) {
+          if (!ja[i].path) continue;
+          const Time r_i = instance.job(static_cast<JobId>(i)).release;
+          if (r_i > r_j || (r_i == r_j && i > j)) continue;  // admitted later
+          if (ov.shed(i) && ov.shed_t[i] <= r_j + tol) continue;  // evicted
+          backlog += hop0_remaining_at(i, r_j);
+        }
+        if (backlog > sc.queue_cap + tol * std::max(1.0, sc.queue_cap))
+          rep.fail("queue cap exceeded at admission of job " +
+                   std::to_string(j) + " (t=" + fmt(r_j) +
+                   "): reconstructed root-cut backlog " + fmt(backlog) +
+                   " > cap " + fmt(sc.queue_cap));
+      }
+    }
+    if (sc.policy == overload::ShedPolicy::kDeadline) {
+      // Every admission decision must carry the recorded Lemma-4 estimate,
+      // and the recorded estimate must actually justify the decision against
+      // bound = slack x p_j.
+      for (std::size_t j = 0; j < n_jobs; ++j) {
+        const double want =
+            sc.deadline_slack * instance.job(static_cast<JobId>(j)).size;
+        const double dtol = tol * std::max(1.0, want);
+        if (ja[j].path) {
+          if (!ov.has_admitf[j]) {
+            rep.fail("deadline policy admitted job " + std::to_string(j) +
+                     " without a recorded F bound (admitf line)");
+            continue;
+          }
+          if (std::fabs(ov.admit_bound[j] - want) > dtol)
+            rep.fail("job " + std::to_string(j) + " admitf bound " +
+                     fmt(ov.admit_bound[j]) + " != slack x size " + fmt(want));
+          if (ov.admit_f[j] > ov.admit_bound[j] + dtol)
+            rep.fail("deadline policy admitted job " + std::to_string(j) +
+                     " with estimated completion F " + fmt(ov.admit_f[j]) +
+                     " > bound " + fmt(ov.admit_bound[j]));
+        } else if (ov.rejected[j]) {
+          if (std::fabs(ov.reject_bound[j] - want) > dtol)
+            rep.fail("job " + std::to_string(j) + " reject bound " +
+                     fmt(ov.reject_bound[j]) + " != slack x size " + fmt(want));
+          if (ov.reject_f[j] <= ov.reject_bound[j] - dtol)
+            rep.fail("deadline policy rejected job " + std::to_string(j) +
+                     " whose estimated completion F " + fmt(ov.reject_f[j]) +
+                     " met the bound " + fmt(ov.reject_bound[j]));
+        }
+      }
+    }
   }
 
   // --- priority consistency ------------------------------------------------
@@ -833,6 +1041,7 @@ AuditReport audit_run(const Instance& instance, const RunLog& log,
     for (std::size_t j = 0; j < n_jobs; ++j) {
       const JobAudit& a = ja[j];
       if (!a.path) continue;
+      if (ov.shed(j)) continue;  // partial walk: margins are undefined
       const Job& job = instance.job(static_cast<JobId>(j));
       LemmaRow row;
       row.job = job.id;

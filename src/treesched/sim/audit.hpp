@@ -24,6 +24,15 @@
 // move jobs from a dead machine to a live one, the final attempt performs
 // exactly the required machine work, and all routing precedes it. Priority
 // consistency and lemma margins are skipped with a note.
+//
+// Run logs carrying admission-control records (a shed policy) get the
+// overload rules on top, in both modes: a rejected job never runs and is
+// exempt from the never-dispatched check, a shed job never progresses after
+// its eviction and never completes, and no job is both shed and
+// re-dispatched. In clean mode the volume caps of bounded-queue /
+// largest-first are re-verified at every admission epoch by reconstructing
+// the root-cut backlog from the burst log, and deadline admissions must
+// match their recorded Lemma-4 F estimate against bound = slack x p_j.
 #pragma once
 
 #include <string>

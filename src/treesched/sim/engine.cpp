@@ -501,6 +501,8 @@ void Engine::redispatch_jobs_of(NodeId dead_leaf, Time t) {
 void Engine::reassign_leaf(JobId j, NodeId new_leaf, Time t) {
   ++mutation_count_;  // invalidate policy caches between successive reassigns
   JobState& js = jobs_[uidx(j)];
+  TS_CHECK(!js.shed, "re-dispatching a shed job");
+  js.redispatched = true;  // recovery claims the job: it is never shed now
   TS_REQUIRE(js.owned_path.empty(),
              "re-dispatch is unsupported for custom-path jobs");
   TS_CHECK(js.chunks == 1, "re-dispatch requires whole-job forwarding");
@@ -595,6 +597,76 @@ void Engine::reassign_leaf(JobId j, NodeId new_leaf, Time t) {
   // Old-branch nodes may have lost their running item.
   for (std::size_t i = shared; i < old_len; ++i)
     force_resched(old_path[i], t);
+}
+
+// ---------------------------------------------------------------------------
+// Overload protection
+// ---------------------------------------------------------------------------
+
+void Engine::set_admission(AdmissionPolicy* admission) {
+  TS_REQUIRE(now_ == 0.0 && admitted_count_ == 0 && rejected_count_ == 0,
+             "admission controller must be armed before the run starts");
+  admission_ = admission;
+}
+
+void Engine::reject(JobId j, double f, double bound) {
+  TS_REQUIRE(j >= 0 && j < inst_->job_count(), "reject: job id out of range");
+  JobState& js = jobs_[uidx(j)];
+  TS_REQUIRE(!js.admitted, "reject: job already admitted");
+  TS_REQUIRE(!js.rejected, "reject: job already rejected");
+  const Job& job = inst_->job(j);
+  js.rejected = true;
+  ++rejected_count_;
+  // The record keeps the static attributes so shed-volume accounting and
+  // run-log emission never need the (possibly gone) instance.
+  JobRecord& rec = metrics_.job(j);
+  rec.release = job.release;
+  rec.weight = job.weight;
+  rec.size = job.size;
+  rec.rejected = true;
+  shed_log_.push_back({ShedRecord::Kind::kReject, now_, j, f, bound});
+}
+
+void Engine::shed(JobId j) {
+  TS_REQUIRE(j >= 0 && j < inst_->job_count(), "shed: job id out of range");
+  JobState& js = jobs_[uidx(j)];
+  TS_REQUIRE(js.admitted && !js.done,
+             "shed: job must be admitted and unfinished");
+  TS_REQUIRE(!js.shed, "shed: job already shed");
+  TS_REQUIRE(!js.redispatched, "shed: a re-dispatched job is never shed");
+  TS_REQUIRE(js.owned_path.empty(), "shed is unsupported for custom-path jobs");
+  const Time t = now_;
+  ++mutation_count_;
+  const std::vector<NodeId>& path = *js.path;
+  // Tear the job out of every hop, exactly like the post-divergence half of
+  // reassign_leaf: materialize the truthful burst, drop the availability and
+  // deferred entries, and erase the queue membership + index entry.
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    const NodeId v = path[i];
+    NodeState& ns = nodes_[uidx(v)];
+    pause(v, t);
+    const int idx = static_cast<int>(i);
+    if (ns.has_running && ns.running.job == j) ns.has_running = false;
+    if (js.in_avail[uidx(idx)]) erase_avail(v, j, idx);
+    ns.deferred.erase(
+        std::remove_if(ns.deferred.begin(), ns.deferred.end(),
+                       [j](const std::pair<JobId, int>& d) {
+                         return d.first == j;
+                       }),
+        ns.deferred.end());
+    if (ns.inflight.erase(j) == 1) index_erase(v, j);
+  }
+  // Fractional flow stops accruing at the eviction instant.
+  accumulate_frac_to(j, t);
+  js.frac = 0.0;
+  js.shed = true;
+  metrics_.job(j).shed = true;
+  shed_log_.push_back({ShedRecord::Kind::kShed, t, j, -1.0, -1.0});
+  for (const NodeId v : path) force_resched(v, t);
+}
+
+void Engine::log_admission(JobId j, double f, double bound) {
+  shed_log_.push_back({ShedRecord::Kind::kAdmit, now_, j, f, bound});
 }
 
 // ---------------------------------------------------------------------------
@@ -693,6 +765,7 @@ void Engine::admit_on_path(JobId j, const std::vector<NodeId>* path) {
   JobRecord& rec = metrics_.job(j);
   rec.release = job.release;
   rec.weight = job.weight;
+  rec.size = job.size;
   rec.leaf = leaf;
   rec.node_completion.assign(len, -1.0);
 
@@ -704,6 +777,12 @@ void Engine::admit_on_path(JobId j, const std::vector<NodeId>* path) {
 void Engine::run(AssignmentPolicy& policy) {
   for (const Job& job : inst_->jobs()) {
     advance_to(job.release);
+    if (admission_ != nullptr && !admission_->admit(*this, job)) {
+      // The controller vetoed the arrival; make sure the refusal is on
+      // record even if it forgot to call reject() itself.
+      if (!jobs_[uidx(job.id)].rejected) reject(job.id);
+      continue;
+    }
     const NodeId leaf = policy.assign(*this, job);
     admit(job.id, leaf);
   }
@@ -722,7 +801,7 @@ void Engine::run_with_assignment(const std::vector<NodeId>& leaf_of_job) {
 }
 
 void Engine::run_to_completion() {
-  TS_REQUIRE(admitted_count_ == inst_->job_count(),
+  TS_REQUIRE(admitted_count_ + rejected_count_ == inst_->job_count(),
              "run_to_completion with unadmitted jobs");
   for (;;) {
     const Time ft = next_fault_time();
@@ -738,9 +817,10 @@ void Engine::run_to_completion() {
     now_ = std::max(now_, ft);
     apply_next_fault();
   }
-  TS_CHECK(metrics_.all_completed(),
-           "events drained with unfinished jobs (a hand-written fault plan "
-           "that never recovers a node can wedge its queue)");
+  for (const JobState& js : jobs_)
+    TS_CHECK(js.done || js.shed || js.rejected,
+             "events drained with unfinished jobs (a hand-written fault plan "
+             "that never recovers a node can wedge its queue)");
 }
 
 // ---------------------------------------------------------------------------
@@ -877,7 +957,7 @@ double Engine::total_remaining_work() const {
   double total = 0.0;
   for (JobId j = 0; j < static_cast<JobId>(jobs_.size()); ++j) {
     const JobState& js = jobs_[uidx(j)];
-    if (!js.admitted || js.done) continue;
+    if (!js.admitted || js.done || js.shed) continue;
     for (const NodeId v : *js.path) total += remaining_on(j, v);
   }
   return total;

@@ -22,6 +22,13 @@
 // outages defer deliveries into the severed child until the edge recovers.
 // Fault runs require the paper's whole-job forwarding (router_chunk_size
 // == 0).
+//
+// Overload extension (set_admission): an AdmissionPolicy is consulted once
+// per arriving job, at its release instant, before leaf assignment. The
+// controller may veto the arrival (reject), evict an already-admitted job
+// (shed), or record the Lemma-4 bound it admitted under (log_admission);
+// every decision lands in shed_log() and is serialized into run logs so
+// treesched_audit can re-check the overload invariants offline.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +40,7 @@
 #include "treesched/core/instance.hpp"
 #include "treesched/core/speed_profile.hpp"
 #include "treesched/fault/plan.hpp"
+#include "treesched/overload/config.hpp"
 #include "treesched/sim/dispatch_index.hpp"
 #include "treesched/sim/metrics.hpp"
 #include "treesched/sim/priority.hpp"
@@ -65,6 +73,21 @@ class RedispatchPolicy {
   virtual ~RedispatchPolicy() = default;
   virtual NodeId reassign(const Engine& engine, JobId job,
                           NodeId dead_leaf) = 0;
+  virtual const char* name() const = 0;
+};
+
+/// Admission-control hook, consulted by run() once per arriving job at its
+/// release instant, BEFORE leaf assignment. Returning true admits the job
+/// normally; returning false drops it — the controller should first call
+/// engine.reject(job.id, ...) to record why (the engine records a bare
+/// rejection otherwise). The controller may also evict already-admitted,
+/// still-unfinished jobs via engine.shed() to make room. Decisions must be
+/// pure functions of engine queries and static job attributes so degraded
+/// runs stay byte-reproducible across thread counts and query modes.
+class AdmissionPolicy {
+ public:
+  virtual ~AdmissionPolicy() = default;
+  virtual bool admit(Engine& engine, const Job& job) = 0;
   virtual const char* name() const = 0;
 };
 
@@ -101,6 +124,23 @@ struct FaultRecord {
   NodeId to = kInvalidNode;    ///< kRedispatch only: the new leaf
 };
 
+/// One admission-control decision, in decision order. Serialized into run
+/// logs (shed/reject/admitf lines) so treesched_audit can verify that shed
+/// jobs were never processed afterwards, caps held, and deadline admissions
+/// respected the recorded Lemma-4 bound.
+struct ShedRecord {
+  enum class Kind : std::uint8_t {
+    kReject,  ///< arriving job refused at the root
+    kShed,    ///< already-admitted job evicted from its path
+    kAdmit,   ///< deadline-policy admission with its recorded F bound
+  };
+  Kind kind = Kind::kReject;
+  Time t = 0.0;
+  JobId job = kInvalidJob;
+  double f = -1.0;      ///< Lemma-4 bound F(j, leaf) evaluated; -1 if unused
+  double bound = -1.0;  ///< admission threshold slack * p_j; -1 if unused
+};
+
 struct EngineConfig {
   /// Discipline used on every node (the paper's algorithm uses SJF).
   NodePolicy node_policy = NodePolicy::kSjf;
@@ -119,6 +159,11 @@ struct EngineConfig {
   /// path is differential-tested against. Also forced on by setting the
   /// TREESCHED_SLOW_QUERIES environment variable to anything but "0".
   bool slow_queries = false;
+  /// Overload protection. Purely descriptive at the engine level (recorded
+  /// into run logs); the actual decisions are made by the AdmissionPolicy
+  /// the caller arms via set_admission. kNone + no admission policy is
+  /// byte-identical to the pre-overload engine.
+  overload::ShedConfig shed;
 };
 
 /// The simulator. Non-copyable; references the Instance (not owned — the
@@ -146,6 +191,36 @@ class Engine {
   double fault_factor(NodeId v) const { return nodes_[uidx(v)].factor; }
   /// Applied fault timeline (plan events + re-dispatch records), in order.
   const std::vector<FaultRecord>& fault_log() const { return fault_log_; }
+
+  // --- overload protection -----------------------------------------------
+
+  /// Arms the admission controller (caller-owned; kept alive for the run).
+  /// Must be set before any job is admitted or time advanced. run() then
+  /// consults it once per arriving job; a false verdict skips both leaf
+  /// assignment and admission for that job.
+  void set_admission(AdmissionPolicy* admission);
+
+  /// Records the refusal of an arriving, not-yet-admitted job. `f`/`bound`
+  /// carry the deadline policy's Lemma-4 evaluation (-1 elsewhere).
+  void reject(JobId j, double f = -1.0, double bound = -1.0);
+
+  /// Evicts an admitted, unfinished job from every hop of its path: its
+  /// in-flight work items disappear, partial progress is abandoned (the
+  /// recorded segments stay — that time was genuinely burnt), and the job
+  /// never completes. Re-dispatched jobs are never shed (the recovery
+  /// invariant would otherwise lose the redispatch chain's final assignee).
+  void shed(JobId j);
+
+  /// Deadline-policy bookkeeping: records that job j was admitted with
+  /// Lemma-4 bound `f` against threshold `bound` (audited offline).
+  void log_admission(JobId j, double f, double bound);
+
+  bool job_shed(JobId j) const { return jobs_[uidx(j)].shed; }
+  bool job_rejected(JobId j) const { return jobs_[uidx(j)].rejected; }
+  /// True once fault recovery has re-dispatched j (such jobs are shed-exempt).
+  bool job_redispatched(JobId j) const { return jobs_[uidx(j)].redispatched; }
+  /// Admission-control decision timeline, in decision order.
+  const std::vector<ShedRecord>& shed_log() const { return shed_log_; }
 
   // --- driving -----------------------------------------------------------
 
@@ -303,6 +378,9 @@ class Engine {
   struct JobState {
     bool admitted = false;
     bool done = false;
+    bool shed = false;          ///< evicted by the admission controller
+    bool rejected = false;      ///< refused at arrival (never admitted)
+    bool redispatched = false;  ///< moved by fault recovery (never shed)
     NodeId leaf = kInvalidNode;
     const std::vector<NodeId>* path = nullptr;  ///< processing node sequence
     std::vector<NodeId> owned_path;  ///< backing storage for custom paths
@@ -393,10 +471,13 @@ class Engine {
   RedispatchPolicy* redispatch_ = nullptr;
   std::size_t fault_cursor_ = 0;
   std::vector<FaultRecord> fault_log_;
+  AdmissionPolicy* admission_ = nullptr;
+  std::vector<ShedRecord> shed_log_;
   Time now_ = 0.0;
   std::uint64_t seq_ = 0;
   std::uint64_t mutation_count_ = 0;
   JobId admitted_count_ = 0;
+  JobId rejected_count_ = 0;
 };
 
 }  // namespace treesched::sim

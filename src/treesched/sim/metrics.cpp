@@ -33,7 +33,61 @@ double Metrics::total_flow_time() const {
 
 double Metrics::mean_flow_time() const {
   const std::size_t n = completed_count();
-  return n == 0 ? 0.0 : total_flow_time() / static_cast<double>(n);
+  if (n == 0) return std::numeric_limits<double>::quiet_NaN();
+  return total_flow_time() / static_cast<double>(n);
+}
+
+std::size_t Metrics::shed_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(jobs_.begin(), jobs_.end(),
+                    [](const JobRecord& r) { return r.shed; }));
+}
+
+std::size_t Metrics::rejected_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(jobs_.begin(), jobs_.end(),
+                    [](const JobRecord& r) { return r.rejected; }));
+}
+
+std::size_t Metrics::admitted_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(jobs_.begin(), jobs_.end(),
+                    [](const JobRecord& r) { return r.admitted(); }));
+}
+
+double Metrics::shed_volume() const {
+  double total = 0.0;
+  for (const auto& r : jobs_)
+    if (r.shed || r.rejected) total += r.size;
+  return total;
+}
+
+double Metrics::goodput() const {
+  const std::size_t n = completed_count();
+  if (n == 0) return std::numeric_limits<double>::quiet_NaN();
+  const double span = makespan();
+  if (span <= 0.0) return std::numeric_limits<double>::quiet_NaN();
+  return static_cast<double>(n) / span;
+}
+
+double Metrics::mean_flow_time_admitted() const {
+  const std::size_t n = admitted_count();
+  if (n == 0) return std::numeric_limits<double>::quiet_NaN();
+  return total_flow_time() / static_cast<double>(n);
+}
+
+double Metrics::flow_percentile(double q) const {
+  TS_REQUIRE(q >= 0.0 && q <= 1.0, "flow_percentile requires q in [0, 1]");
+  std::vector<double> flows;
+  flows.reserve(jobs_.size());
+  for (const auto& r : jobs_)
+    if (r.completed()) flows.push_back(r.flow());
+  if (flows.empty()) return std::numeric_limits<double>::quiet_NaN();
+  std::sort(flows.begin(), flows.end());
+  const double rank = std::ceil(q * static_cast<double>(flows.size()));
+  const std::size_t i =
+      rank <= 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+  return flows[std::min(i, flows.size() - 1)];
 }
 
 double Metrics::total_fractional_flow_time() const {

@@ -13,13 +13,18 @@ struct JobRecord {
   JobId id = kInvalidJob;
   Time release = 0.0;
   double weight = 1.0;
+  double size = 0.0;                     ///< p_j (recorded for shed accounting)
   NodeId leaf = kInvalidNode;            ///< assigned machine
   Time completion = -1.0;                ///< leaf completion; -1 if unfinished
   double fractional_area = 0.0;          ///< the paper's fractional flow contribution
+  bool shed = false;                     ///< evicted by the admission controller
+  bool rejected = false;                 ///< refused at arrival (never admitted)
   std::vector<Time> node_completion;     ///< completion per path index (first hop..leaf)
 
   bool completed() const { return completion >= 0.0; }
   Time flow() const { return completed() ? completion - release : -1.0; }
+  /// Admitted = the job entered the system (completed or shed, not rejected).
+  bool admitted() const { return leaf != kInvalidNode; }
 };
 
 /// Aggregates over a run. Populated by the Engine; query helpers compute the
@@ -36,11 +41,38 @@ class Metrics {
   bool all_completed() const;
   std::size_t completed_count() const;
 
+  // --- overload accounting -------------------------------------------------
+  // Contract for every completed-job average below (mean_flow_time,
+  // mean_flow_time_admitted, flow_percentile, goodput): when the relevant
+  // denominator is zero the result is quiet NaN, never a division by zero or
+  // a fake 0.0 — JSON emitters serialize it as null.
+
+  /// Jobs evicted mid-run by the admission controller.
+  std::size_t shed_count() const;
+  /// Jobs refused at arrival (never admitted).
+  std::size_t rejected_count() const;
+  /// Jobs that entered the system (completed or later shed).
+  std::size_t admitted_count() const;
+  /// Total p_j over shed + rejected jobs: the volume deliberately dropped.
+  double shed_volume() const;
+  /// Completed jobs per unit time over the run (completed_count / makespan):
+  /// the honest throughput of a degraded run. NaN if nothing completed.
+  double goodput() const;
+
   /// Sum of (C_j - r_j) over completed jobs. The paper's primary objective.
   double total_flow_time() const;
 
-  /// Mean flow time over completed jobs.
+  /// Mean flow time over completed jobs; NaN when no job completed.
   double mean_flow_time() const;
+
+  /// Completed flow normalized by ADMITTED jobs (completed + shed): unlike
+  /// mean_flow_time this cannot be gamed by shedding slow jobs, because the
+  /// shed ones stay in the denominator. NaN when nothing was admitted.
+  double mean_flow_time_admitted() const;
+
+  /// q-quantile of completed flow times (q in [0,1]; 0.99 = p99), computed
+  /// by rank ceil(q*n) over the sorted flows. NaN when no job completed.
+  double flow_percentile(double q) const;
 
   /// The paper's fractional flow time variant (Section 2).
   double total_fractional_flow_time() const;

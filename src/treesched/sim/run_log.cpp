@@ -82,6 +82,7 @@ RunLog make_run_log(const Instance& instance, const SpeedProfile& speeds,
   RunLog log;
   log.node_policy = cfg.node_policy;
   log.router_chunk_size = cfg.router_chunk_size;
+  log.shed = cfg.shed;
   log.speeds = speeds.speeds();
   log.paths = paths;
   log.completion.assign(uidx(instance.job_count()), -1.0);
@@ -95,6 +96,7 @@ RunLog make_run_log(const Instance& instance, const Engine& engine) {
   RunLog log = make_run_log(instance, engine.speeds(), engine.config(),
                             engine.recorder(), engine.metrics());
   log.faults = engine.fault_log();
+  log.sheds = engine.shed_log();
   return log;
 }
 
@@ -122,6 +124,27 @@ void write_run_log(std::ostream& os, const RunLog& log) {
     else
       os << "fevent " << fault_token(fr.kind) << ' ' << fr.t << ' ' << fr.node
          << ' ' << fr.factor << '\n';
+  }
+  // Emitted only for overload-protected runs: a shed-policy-none log stays
+  // byte-identical to the pre-overload format.
+  if (log.shed.enabled() || !log.sheds.empty()) {
+    os << "shedcfg " << overload::shed_policy_name(log.shed.policy) << ' '
+       << log.shed.queue_cap << ' ' << log.shed.deadline_slack << '\n';
+    for (const ShedRecord& sr : log.sheds) {
+      switch (sr.kind) {
+        case ShedRecord::Kind::kShed:
+          os << "shed " << sr.t << ' ' << sr.job << '\n';
+          break;
+        case ShedRecord::Kind::kReject:
+          os << "reject " << sr.t << ' ' << sr.job << ' ' << sr.f << ' '
+             << sr.bound << '\n';
+          break;
+        case ShedRecord::Kind::kAdmit:
+          os << "admitf " << sr.t << ' ' << sr.job << ' ' << sr.f << ' '
+             << sr.bound << '\n';
+          break;
+      }
+    }
   }
 }
 
@@ -191,6 +214,32 @@ RunLog read_run_log(std::istream& is) {
       if (!(ls >> fr.t >> fr.job >> fr.node >> fr.to))
         bad("bad redispatch line: " + line);
       log.faults.push_back(fr);
+    } else if (tag == "shedcfg") {
+      std::string p;
+      if (!(ls >> p >> log.shed.queue_cap >> log.shed.deadline_slack))
+        bad("bad shedcfg line: " + line);
+      try {
+        log.shed.policy = overload::parse_shed_policy(p);
+      } catch (const std::invalid_argument&) {
+        bad("unknown shed policy '" + p + "'");
+      }
+    } else if (tag == "shed") {
+      ShedRecord sr;
+      sr.kind = ShedRecord::Kind::kShed;
+      if (!(ls >> sr.t >> sr.job)) bad("bad shed line: " + line);
+      log.sheds.push_back(sr);
+    } else if (tag == "reject") {
+      ShedRecord sr;
+      sr.kind = ShedRecord::Kind::kReject;
+      if (!(ls >> sr.t >> sr.job >> sr.f >> sr.bound))
+        bad("bad reject line: " + line);
+      log.sheds.push_back(sr);
+    } else if (tag == "admitf") {
+      ShedRecord sr;
+      sr.kind = ShedRecord::Kind::kAdmit;
+      if (!(ls >> sr.t >> sr.job >> sr.f >> sr.bound))
+        bad("bad admitf line: " + line);
+      log.sheds.push_back(sr);
     } else {
       bad("unknown tag '" + tag + "'");
     }

@@ -16,6 +16,16 @@
 // application order), which switches treesched_audit into its fault mode:
 //   fevent <node-down|node-up|edge-down|edge-up|slow> <t> <node> <factor>
 //   redispatch <t> <job> <from> <to>
+//
+// Overload-protected runs (shed policy != none) carry the admission-control
+// config and decision timeline, which arms treesched_audit's overload rules
+// (shed jobs never processed afterwards, caps held, deadline bounds
+// respected). Runs without shedding emit none of these lines, keeping their
+// logs byte-identical to the pre-overload format:
+//   shedcfg <none|bounded-queue|largest-first|deadline> <cap> <slack>
+//   shed <t> <job>
+//   reject <t> <job> <f> <bound>
+//   admitf <t> <job> <f> <bound>
 #pragma once
 
 #include <iosfwd>
@@ -41,6 +51,11 @@ struct RunLog {
   /// `paths` then holds each job's FINAL path (earlier epochs are
   /// reconstructed from the redispatch records).
   std::vector<FaultRecord> faults;
+  /// Admission-control configuration of the run. Serialized (and the audit's
+  /// overload rules armed) only when the policy is not kNone.
+  overload::ShedConfig shed;
+  /// Admission-control decision timeline, in decision order.
+  std::vector<ShedRecord> sheds;
 };
 
 /// Captures a finished engine run. Paths are derived from the recorded leaf

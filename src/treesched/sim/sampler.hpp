@@ -24,8 +24,11 @@ class QueueSampler : public EngineObserver {
       if (tree.is_root(v)) continue;
       s.queued_jobs += engine.queue_size(v);
     }
-    for (const NodeId rc : tree.root_children())
+    for (const NodeId rc : tree.root_children()) {
       s.alive_jobs += engine.queue_size(rc);
+      s.backlog += engine.pending_remaining(rc);
+    }
+    s.shed_decisions = engine.shed_log().size();
     samples_.push_back(s);
   }
 
@@ -33,6 +36,10 @@ class QueueSampler : public EngineObserver {
     Time t = 0.0;
     std::size_t queued_jobs = 0;  ///< sum of |Q_v| over processing nodes
     std::size_t alive_jobs = 0;   ///< jobs not yet past their root child
+    double backlog = 0.0;         ///< root-cut volume (saturation timeline)
+    /// Cumulative admission-control decisions so far (shed/reject/admitf) —
+    /// 0 throughout non-overload runs.
+    std::size_t shed_decisions = 0;
   };
 
   const std::vector<Sample>& samples() const { return samples_; }
@@ -43,6 +50,15 @@ class QueueSampler : public EngineObserver {
     out.reserve(samples_.size());
     for (const auto& s : samples_)
       out.push_back(static_cast<double>(s.queued_jobs));
+    return out;
+  }
+
+  /// The root-cut backlog series — the saturation timeline of a degraded
+  /// run (flat under shedding, divergent without it at rho > 1).
+  std::vector<double> backlog_series() const {
+    std::vector<double> out;
+    out.reserve(samples_.size());
+    for (const auto& s : samples_) out.push_back(s.backlog);
     return out;
   }
 

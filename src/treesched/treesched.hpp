@@ -43,6 +43,10 @@
 #include "treesched/algo/psw_model.hpp"
 #include "treesched/algo/runner.hpp"
 
+#include "treesched/overload/config.hpp"
+#include "treesched/overload/controller.hpp"
+#include "treesched/overload/estimator.hpp"
+
 #include "treesched/lp/dual_fitting.hpp"
 #include "treesched/lp/flowtime_lp.hpp"
 #include "treesched/lp/lower_bounds.hpp"

@@ -1,5 +1,8 @@
 #include "treesched/workload/generator.hpp"
 
+#include <algorithm>
+#include <limits>
+
 #include "treesched/util/assert.hpp"
 
 namespace treesched::workload {
@@ -93,6 +96,23 @@ Instance generate(util::Rng& rng, std::shared_ptr<const Tree> tree,
 
 Instance generate(util::Rng& rng, const Tree& tree, const WorkloadSpec& spec) {
   return generate(rng, std::make_shared<const Tree>(tree), spec);
+}
+
+double offered_load(const Instance& instance, const SpeedProfile& speeds) {
+  if (instance.job_count() == 0) return 0.0;
+  double volume = 0.0;
+  Time horizon = 0.0;
+  for (const Job& j : instance.jobs()) {
+    volume += j.size;
+    horizon = std::max(horizon, j.release);
+  }
+  if (volume <= 0.0) return 0.0;
+  double capacity = 0.0;
+  for (const NodeId rc : instance.tree().root_children())
+    capacity += speeds.speed(rc);
+  if (horizon <= 0.0 || capacity <= 0.0)
+    return std::numeric_limits<double>::infinity();
+  return volume / (horizon * capacity);
 }
 
 }  // namespace treesched::workload

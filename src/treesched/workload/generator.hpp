@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "treesched/core/instance.hpp"
+#include "treesched/core/speed_profile.hpp"
 #include "treesched/workload/arrivals.hpp"
 #include "treesched/workload/sizes.hpp"
 #include "treesched/workload/unrelated.hpp"
@@ -58,5 +59,15 @@ Instance generate(util::Rng& rng, std::shared_ptr<const Tree> tree,
 
 /// Convenience overload copying the tree.
 Instance generate(util::Rng& rng, const Tree& tree, const WorkloadSpec& spec);
+
+/// Achieved offered load rho of a generated instance at the root cut:
+/// total router volume sum p_j over (arrival horizon * total root-child
+/// speed). Unlike the WorkloadSpec::load target this is computed from the
+/// ACTUAL sizes — including the class-rounding inflation that historically
+/// made "load 0.85" silently overload the speed-1 adversary — so rho >= 1
+/// here means the run genuinely saturates without shedding. Returns
+/// infinity for degenerate horizons (all jobs released at t = 0) or a
+/// zero-speed root cut; 0.0 for empty instances.
+double offered_load(const Instance& instance, const SpeedProfile& speeds);
 
 }  // namespace treesched::workload

@@ -3,6 +3,7 @@
 // gantt windows, opt-search options, trace file errors, harness helpers.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <fstream>
 
 #include "treesched/treesched.hpp"
@@ -28,7 +29,10 @@ TEST(Metrics, EmptyAndPartialStates) {
   EXPECT_FALSE(m.all_completed());
   EXPECT_EQ(m.completed_count(), 0u);
   EXPECT_DOUBLE_EQ(m.total_flow_time(), 0.0);
-  EXPECT_DOUBLE_EQ(m.mean_flow_time(), 0.0);
+  // Completed-job averages of an empty set are NaN by contract (a "0" here
+  // would read as "jobs finished instantly" in overload experiments).
+  EXPECT_TRUE(std::isnan(m.mean_flow_time()));
+  EXPECT_TRUE(std::isnan(m.goodput()));
   EXPECT_DOUBLE_EQ(m.max_flow_time(), 0.0);
   EXPECT_DOUBLE_EQ(m.makespan(), 0.0);
   EXPECT_THROW(m.lk_norm_flow_time(0.5), std::invalid_argument);

@@ -1,0 +1,381 @@
+// Overload protection: admission-control policies, Engine::shed invariants,
+// shed-record run-log round-trips, audit acceptance/tamper detection, the
+// saturation estimator, goodput metrics, and fast/slow-query determinism of
+// degraded runs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "treesched/treesched.hpp"
+
+namespace treesched {
+namespace {
+
+sim::EngineConfig shed_cfg(overload::ShedPolicy policy, double cap,
+                           double slack = 8.0) {
+  sim::EngineConfig cfg;
+  cfg.record_schedule = true;
+  cfg.shed.policy = policy;
+  cfg.shed.queue_cap = cap;
+  cfg.shed.deadline_slack = slack;
+  return cfg;
+}
+
+TEST(ShedConfig, ValidationCatchesBadKnobs) {
+  overload::ShedConfig ok;  // none needs nothing
+  EXPECT_NO_THROW(overload::validate_shed_config(ok));
+  overload::ShedConfig bq;
+  bq.policy = overload::ShedPolicy::kBoundedQueue;
+  EXPECT_THROW(overload::validate_shed_config(bq), std::invalid_argument);
+  bq.queue_cap = 4.0;
+  EXPECT_NO_THROW(overload::validate_shed_config(bq));
+  overload::ShedConfig lf;
+  lf.policy = overload::ShedPolicy::kLargestFirst;
+  lf.queue_cap = -1.0;
+  EXPECT_THROW(overload::validate_shed_config(lf), std::invalid_argument);
+  overload::ShedConfig dl;
+  dl.policy = overload::ShedPolicy::kDeadline;
+  dl.deadline_slack = 0.0;
+  EXPECT_THROW(overload::validate_shed_config(dl), std::invalid_argument);
+  EXPECT_THROW(overload::parse_shed_policy("drop-random"),
+               std::invalid_argument);
+  EXPECT_EQ(overload::parse_shed_policy("largest-first"),
+            overload::ShedPolicy::kLargestFirst);
+}
+
+TEST(BoundedQueue, RejectsArrivalOverCap) {
+  Instance inst(builders::star_of_paths(1, 1),
+                {Job(0, 0.0, 4.0), Job(1, 0.0, 4.0)},
+                EndpointModel::kIdentical);
+  const auto cfg = shed_cfg(overload::ShedPolicy::kBoundedQueue, 5.0);
+  sim::Engine eng(inst, SpeedProfile::uniform(inst.tree(), 1.0), cfg);
+  overload::AdmissionController ctl(cfg.shed);
+  eng.set_admission(&ctl);
+  algo::PaperGreedyPolicy policy(0.5);
+  eng.run(policy);
+
+  EXPECT_FALSE(eng.job_rejected(0));
+  EXPECT_TRUE(eng.job_rejected(1));
+  EXPECT_FALSE(eng.job_shed(1));
+  // j0 alone: router [0,4], leaf [4,8].
+  EXPECT_DOUBLE_EQ(eng.metrics().job(0).completion, 8.0);
+  EXPECT_EQ(eng.metrics().rejected_count(), 1u);
+  EXPECT_EQ(eng.metrics().shed_count(), 0u);
+  EXPECT_DOUBLE_EQ(eng.metrics().shed_volume(), 4.0);
+  EXPECT_DOUBLE_EQ(eng.metrics().goodput(), 1.0 / 8.0);
+
+  ASSERT_EQ(eng.shed_log().size(), 1u);
+  const sim::ShedRecord& rec = eng.shed_log()[0];
+  EXPECT_EQ(rec.kind, sim::ShedRecord::Kind::kReject);
+  EXPECT_EQ(rec.job, 1);
+  EXPECT_DOUBLE_EQ(rec.t, 0.0);
+}
+
+TEST(LargestFirst, EvictsLargestInflightJob) {
+  // j0 (size 6) is admitted; when j1 (size 2) arrives at t=1 the backlog is
+  // 5 + 2 > cap 6, and j0 is the largest candidate -> j0 is shed, j1 runs
+  // on a clean path: router [1,3], leaf [3,5].
+  Instance inst(builders::star_of_paths(1, 1),
+                {Job(0, 0.0, 6.0), Job(1, 1.0, 2.0)},
+                EndpointModel::kIdentical);
+  const auto cfg = shed_cfg(overload::ShedPolicy::kLargestFirst, 6.0);
+  sim::Engine eng(inst, SpeedProfile::uniform(inst.tree(), 1.0), cfg);
+  overload::AdmissionController ctl(cfg.shed);
+  eng.set_admission(&ctl);
+  algo::PaperGreedyPolicy policy(0.5);
+  eng.run(policy);
+
+  EXPECT_TRUE(eng.job_shed(0));
+  EXPECT_FALSE(eng.job_rejected(0));
+  EXPECT_FALSE(eng.job_shed(1));
+  EXPECT_DOUBLE_EQ(eng.metrics().job(1).completion, 5.0);
+  EXPECT_LT(eng.metrics().job(0).completion, 0.0);  // never completes
+  EXPECT_EQ(eng.metrics().shed_count(), 1u);
+  EXPECT_DOUBLE_EQ(eng.metrics().shed_volume(), 6.0);
+  EXPECT_DOUBLE_EQ(eng.metrics().goodput(), 1.0 / 5.0);
+
+  ASSERT_EQ(eng.shed_log().size(), 1u);
+  EXPECT_EQ(eng.shed_log()[0].kind, sim::ShedRecord::Kind::kShed);
+  EXPECT_EQ(eng.shed_log()[0].job, 0);
+  EXPECT_DOUBLE_EQ(eng.shed_log()[0].t, 1.0);
+}
+
+TEST(LargestFirst, RejectsArrivalWhenItIsLargest) {
+  Instance inst(builders::star_of_paths(1, 1),
+                {Job(0, 0.0, 2.0), Job(1, 1.0, 10.0)},
+                EndpointModel::kIdentical);
+  const auto cfg = shed_cfg(overload::ShedPolicy::kLargestFirst, 6.0);
+  sim::Engine eng(inst, SpeedProfile::uniform(inst.tree(), 1.0), cfg);
+  overload::AdmissionController ctl(cfg.shed);
+  eng.set_admission(&ctl);
+  algo::PaperGreedyPolicy policy(0.5);
+  eng.run(policy);
+
+  EXPECT_TRUE(eng.job_rejected(1));
+  EXPECT_FALSE(eng.job_shed(0));
+  // j0 is undisturbed: router [0,2], leaf [2,4].
+  EXPECT_DOUBLE_EQ(eng.metrics().job(0).completion, 4.0);
+}
+
+TEST(Deadline, AdmitsIffLemma4BoundWithinSlack) {
+  // Two unit jobs at t=0, slack 1.5: the first sees an empty system
+  // (F = p_j <= 1.5), the second queues behind it (F > 1.5) and is rejected.
+  Instance inst(builders::star_of_paths(1, 1),
+                {Job(0, 0.0, 1.0), Job(1, 0.0, 1.0)},
+                EndpointModel::kIdentical);
+  const auto cfg = shed_cfg(overload::ShedPolicy::kDeadline, 0.0, 1.5);
+  sim::Engine eng(inst, SpeedProfile::uniform(inst.tree(), 1.0), cfg);
+  overload::AdmissionController ctl(cfg.shed, 0.5);
+  eng.set_admission(&ctl);
+  algo::PaperGreedyPolicy policy(0.5);
+  eng.run(policy);
+
+  EXPECT_FALSE(eng.job_rejected(0));
+  EXPECT_TRUE(eng.job_rejected(1));
+  // Every deadline decision carries its evaluated F and the slack*p_j bound.
+  ASSERT_EQ(eng.shed_log().size(), 2u);
+  const sim::ShedRecord& admit = eng.shed_log()[0];
+  const sim::ShedRecord& reject = eng.shed_log()[1];
+  EXPECT_EQ(admit.kind, sim::ShedRecord::Kind::kAdmit);
+  EXPECT_EQ(admit.job, 0);
+  EXPECT_DOUBLE_EQ(admit.bound, 1.5);
+  EXPECT_LE(admit.f, admit.bound);
+  EXPECT_EQ(reject.kind, sim::ShedRecord::Kind::kReject);
+  EXPECT_EQ(reject.job, 1);
+  EXPECT_DOUBLE_EQ(reject.bound, 1.5);
+  EXPECT_GT(reject.f, reject.bound);
+}
+
+TEST(Deadline, GenerousSlackAdmitsEverything) {
+  Instance inst(builders::star_of_paths(2, 2),
+                {Job(0, 0.0, 1.0), Job(1, 0.0, 2.0), Job(2, 0.5, 1.0)},
+                EndpointModel::kIdentical);
+  const auto cfg = shed_cfg(overload::ShedPolicy::kDeadline, 0.0, 100.0);
+  sim::Engine eng(inst, SpeedProfile::uniform(inst.tree(), 1.0), cfg);
+  overload::AdmissionController ctl(cfg.shed, 0.5);
+  eng.set_admission(&ctl);
+  algo::PaperGreedyPolicy policy(0.5);
+  eng.run(policy);
+  EXPECT_TRUE(eng.metrics().all_completed());
+  EXPECT_EQ(eng.metrics().rejected_count(), 0u);
+}
+
+TEST(RunLog, ShedRecordsRoundTripAndAuditPasses) {
+  Instance inst(builders::star_of_paths(1, 1),
+                {Job(0, 0.0, 6.0), Job(1, 1.0, 2.0)},
+                EndpointModel::kIdentical);
+  const auto cfg = shed_cfg(overload::ShedPolicy::kLargestFirst, 6.0);
+  sim::Engine eng(inst, SpeedProfile::uniform(inst.tree(), 1.0), cfg);
+  overload::AdmissionController ctl(cfg.shed);
+  eng.set_admission(&ctl);
+  algo::PaperGreedyPolicy policy(0.5);
+  eng.run(policy);
+
+  const sim::RunLog log = sim::make_run_log(inst, eng);
+  std::stringstream ss;
+  sim::write_run_log(ss, log);
+  const sim::RunLog back = sim::read_run_log(ss);
+
+  EXPECT_EQ(back.shed.policy, overload::ShedPolicy::kLargestFirst);
+  EXPECT_DOUBLE_EQ(back.shed.queue_cap, 6.0);
+  ASSERT_EQ(back.sheds.size(), log.sheds.size());
+  for (std::size_t i = 0; i < back.sheds.size(); ++i) {
+    EXPECT_EQ(back.sheds[i].kind, log.sheds[i].kind);
+    EXPECT_EQ(back.sheds[i].job, log.sheds[i].job);
+    EXPECT_DOUBLE_EQ(back.sheds[i].t, log.sheds[i].t);
+    EXPECT_DOUBLE_EQ(back.sheds[i].f, log.sheds[i].f);
+    EXPECT_DOUBLE_EQ(back.sheds[i].bound, log.sheds[i].bound);
+  }
+
+  const sim::AuditReport rep = sim::audit_run(inst, back);
+  EXPECT_TRUE(rep.ok) << rep.summary();
+}
+
+TEST(Audit, FlagsShedJobProcessedAfterEviction) {
+  Instance inst(builders::star_of_paths(1, 1),
+                {Job(0, 0.0, 6.0), Job(1, 1.0, 2.0)},
+                EndpointModel::kIdentical);
+  const auto cfg = shed_cfg(overload::ShedPolicy::kLargestFirst, 6.0);
+  sim::Engine eng(inst, SpeedProfile::uniform(inst.tree(), 1.0), cfg);
+  overload::AdmissionController ctl(cfg.shed);
+  eng.set_admission(&ctl);
+  algo::PaperGreedyPolicy policy(0.5);
+  eng.run(policy);
+  ASSERT_TRUE(eng.job_shed(0));
+
+  sim::RunLog log = sim::make_run_log(inst, eng);
+  ASSERT_TRUE(sim::audit_run(inst, log).ok);
+
+  // Tamper: a burst for the shed job AFTER its shed time must be caught.
+  sim::Segment forged;
+  forged.node = inst.tree().root_children()[0];
+  forged.job = 0;
+  forged.t0 = 2.0;
+  forged.t1 = 3.0;
+  forged.rate = 1.0;
+  log.segments.push_back(forged);
+  const sim::AuditReport rep = sim::audit_run(inst, log);
+  EXPECT_FALSE(rep.ok);
+}
+
+TEST(Audit, FlagsRejectedJobWithRecordedPath) {
+  Instance inst(builders::star_of_paths(1, 1),
+                {Job(0, 0.0, 6.0), Job(1, 1.0, 2.0)},
+                EndpointModel::kIdentical);
+  const auto cfg = shed_cfg(overload::ShedPolicy::kLargestFirst, 6.0);
+  sim::Engine eng(inst, SpeedProfile::uniform(inst.tree(), 1.0), cfg);
+  overload::AdmissionController ctl(cfg.shed);
+  eng.set_admission(&ctl);
+  algo::PaperGreedyPolicy policy(0.5);
+  eng.run(policy);
+
+  sim::RunLog log = sim::make_run_log(inst, eng);
+  // Tamper: claim the completed job j1 was rejected — it has a recorded
+  // path and segments, so the overload rules must refuse the log.
+  sim::ShedRecord forged;
+  forged.kind = sim::ShedRecord::Kind::kReject;
+  forged.t = 1.0;
+  forged.job = 1;
+  log.sheds.push_back(forged);
+  EXPECT_FALSE(sim::audit_run(inst, log).ok);
+}
+
+TEST(RunLog, NoShedLinesWithoutShedding) {
+  Instance inst(builders::star_of_paths(1, 1), {Job(0, 0.0, 1.0)},
+                EndpointModel::kIdentical);
+  sim::EngineConfig cfg;
+  cfg.record_schedule = true;
+  sim::Engine eng(inst, SpeedProfile::uniform(inst.tree(), 1.0), cfg);
+  eng.run_with_assignment({inst.tree().leaves()[0]});
+  std::stringstream ss;
+  sim::write_run_log(ss, sim::make_run_log(inst, eng));
+  const std::string text = ss.str();
+  EXPECT_EQ(text.find("shedcfg"), std::string::npos);
+  EXPECT_EQ(text.find("shed "), std::string::npos);
+}
+
+TEST(Determinism, ShedDecisionsIdenticalAcrossQueryModes) {
+  // The shed decision stream must be a pure function of the differential-
+  // tested aggregates: fast dispatch indices vs the slow rescanning oracle
+  // must produce byte-identical degraded run logs.
+  util::Rng rng(7);
+  workload::WorkloadSpec spec;
+  spec.jobs = 80;
+  spec.load = 2.5;  // sustained overload
+  const Instance inst =
+      workload::generate(rng, builders::star_of_paths(3, 2), spec);
+
+  auto run_mode = [&](bool slow) {
+    auto cfg = shed_cfg(overload::ShedPolicy::kLargestFirst, 12.0);
+    cfg.slow_queries = slow;
+    sim::Engine eng(inst, SpeedProfile::uniform(inst.tree(), 1.0), cfg);
+    overload::AdmissionController ctl(cfg.shed);
+    eng.set_admission(&ctl);
+    algo::PaperGreedyPolicy policy(0.5);
+    eng.run(policy);
+    std::stringstream ss;
+    sim::write_run_log(ss, sim::make_run_log(inst, eng));
+    EXPECT_GT(eng.metrics().shed_count() + eng.metrics().rejected_count(), 0u);
+    return ss.str();
+  };
+  EXPECT_EQ(run_mode(false), run_mode(true));
+}
+
+TEST(Estimator, WindowedRhoMatchesOfferedWork) {
+  Instance inst(builders::star_of_paths(1, 1), {Job(0, 0.0, 4.0)},
+                EndpointModel::kIdentical);
+  sim::Engine eng(inst, SpeedProfile::uniform(inst.tree(), 1.0));
+  overload::SaturationEstimator est(/*window=*/100.0);
+  eng.set_observer(&est);
+  eng.run_with_assignment({inst.tree().leaves()[0]});
+  const NodeId router = inst.tree().root_children()[0];
+  // 4 units of work over now()=8 of simulated time at speed 1.
+  EXPECT_NEAR(est.rho_hat(eng, router), 0.5, 1e-12);
+  EXPECT_NEAR(est.max_root_child_rho(eng), 0.5, 1e-12);
+  // Everything drained: no instantaneous backlog left.
+  EXPECT_DOUBLE_EQ(overload::SaturationEstimator::root_backlog(eng), 0.0);
+}
+
+TEST(Workload, OfferedLoadMatchesRootCutArithmetic) {
+  // 3 jobs, 12 volume, releases spanning [0, 4], root cut capacity 2.
+  Instance inst(builders::star_of_paths(2, 1),
+                {Job(0, 0.0, 4.0), Job(1, 2.0, 4.0), Job(2, 4.0, 4.0)},
+                EndpointModel::kIdentical);
+  const SpeedProfile speeds = SpeedProfile::uniform(inst.tree(), 1.0);
+  EXPECT_DOUBLE_EQ(workload::offered_load(inst, speeds), 12.0 / (4.0 * 2.0));
+  // Degenerate horizon (all releases at 0) => infinite instantaneous load.
+  Instance burst(builders::star_of_paths(2, 1),
+                 {Job(0, 0.0, 4.0), Job(1, 0.0, 4.0)},
+                 EndpointModel::kIdentical);
+  EXPECT_TRUE(std::isinf(workload::offered_load(
+      burst, SpeedProfile::uniform(burst.tree(), 1.0))));
+  Instance empty(builders::star_of_paths(2, 1), {},
+                 EndpointModel::kIdentical);
+  EXPECT_DOUBLE_EQ(workload::offered_load(
+                       empty, SpeedProfile::uniform(empty.tree(), 1.0)),
+                   0.0);
+}
+
+TEST(Metrics, GoodputAndPercentilesUnderShedding) {
+  Instance inst(builders::star_of_paths(1, 1),
+                {Job(0, 0.0, 4.0), Job(1, 0.0, 4.0)},
+                EndpointModel::kIdentical);
+  const auto cfg = shed_cfg(overload::ShedPolicy::kBoundedQueue, 5.0);
+  sim::Engine eng(inst, SpeedProfile::uniform(inst.tree(), 1.0), cfg);
+  overload::AdmissionController ctl(cfg.shed);
+  eng.set_admission(&ctl);
+  algo::PaperGreedyPolicy policy(0.5);
+  eng.run(policy);
+
+  const sim::Metrics& m = eng.metrics();
+  EXPECT_EQ(m.admitted_count(), 1u);
+  EXPECT_DOUBLE_EQ(m.mean_flow_time_admitted(), 8.0);
+  EXPECT_DOUBLE_EQ(m.flow_percentile(0.99), 8.0);
+  EXPECT_DOUBLE_EQ(m.flow_percentile(0.0), 8.0);
+  EXPECT_THROW(m.flow_percentile(1.5), std::invalid_argument);
+}
+
+TEST(Sweep, ShedDimensionReportsGoodputPerPolicy) {
+  exec::SweepSpec spec;
+  spec.policies = {"paper"};
+  spec.trees = {"star-4x2"};
+  spec.eps_grid = {1.0};
+  spec.seeds = 2;
+  spec.jobs = 60;
+  spec.load = 2.0;
+  spec.shed_policies = {"none", "largest-first"};
+  spec.queue_cap = 10.0;
+  spec.threads = 2;
+  const exec::SweepResult r = exec::run_sweep(spec);
+  ASSERT_EQ(r.cells.size(), 2u);
+  ASSERT_EQ(r.tasks.size(), 4u);
+  std::size_t none_shed = 0, lf_shed = 0;
+  for (const auto& t : r.tasks) {
+    if (r.spec.shed_policies[t.shed_i] == "none")
+      none_shed += t.shed_jobs;
+    else
+      lf_shed += t.shed_jobs;
+  }
+  EXPECT_EQ(none_shed, 0u);
+  EXPECT_GT(lf_shed, 0u);  // rho=2 must trigger shedding
+  const std::string json = exec::sweep_json(r, /*include_timing=*/false);
+  EXPECT_NE(json.find("\"shed_policies\""), std::string::npos);
+  EXPECT_NE(json.find("\"goodput\""), std::string::npos);
+}
+
+TEST(Sweep, NoShedDimensionKeepsJsonFreeOfOverloadKeys) {
+  exec::SweepSpec spec;
+  spec.policies = {"paper"};
+  spec.trees = {"star-4x2"};
+  spec.eps_grid = {1.0};
+  spec.seeds = 1;
+  spec.jobs = 30;
+  const exec::SweepResult r = exec::run_sweep(spec);
+  const std::string json = exec::sweep_json(r, /*include_timing=*/false);
+  EXPECT_EQ(json.find("shed"), std::string::npos);
+  EXPECT_EQ(json.find("goodput"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace treesched

@@ -14,11 +14,17 @@
 // re-dispatch for crashed machines, and --record-out logs the fault events
 // so treesched_audit can verify the recovery invariants offline.
 //
+// Overload protection: --shed-policy arms admission control at the root
+// (bounded-queue and largest-first need --queue-cap, deadline uses
+// --deadline-slack). Every shed/reject decision lands in the run log, and
+// treesched_audit re-verifies caps and deadline bounds offline.
+//
 // Exit codes: 0 = clean, 64 = usage/config error (bad flag, unknown
 // policy/speed/node-policy name, malformed fault plan), 2 = the schedule
 // failed replay validation, 1 = runtime error (unreadable trace, I/O).
 #include <algorithm>
 #include <iostream>
+#include <optional>
 
 #include "treesched/algo/anycast.hpp"
 #include "treesched/treesched.hpp"
@@ -84,6 +90,14 @@ int main(int argc, char** argv) {
                                     "mean time to repair for generated plans");
   auto& fault_horizon = cli.add_double(
       "fault-horizon", 0.0, "generated-plan horizon (0 = auto from releases)");
+  auto& shed_policy = cli.add_string(
+      "shed-policy", "none",
+      "admission control: none|bounded-queue|largest-first|deadline");
+  auto& queue_cap = cli.add_double(
+      "queue-cap", 0.0,
+      "root-cut volume cap for bounded-queue/largest-first shedding");
+  auto& deadline_slack = cli.add_double(
+      "deadline-slack", 8.0, "deadline shedding admits iff F <= slack * p_j");
   auto& validate = cli.add_flag("validate", "replay-check the schedule");
   auto& record_out = cli.add_string(
       "record-out", "", "write the burst log here for treesched_audit");
@@ -110,10 +124,31 @@ int main(int argc, char** argv) {
       throw std::invalid_argument("--fault-rate must be non-negative");
     const bool faulty = !fault_plan_path.empty() || fault_rate > 0.0;
 
+    overload::ShedConfig shed_cfg;
+    shed_cfg.policy = overload::parse_shed_policy(shed_policy);
+    shed_cfg.queue_cap = queue_cap;
+    shed_cfg.deadline_slack = deadline_slack;
+    overload::validate_shed_config(shed_cfg);
+    if (shed_cfg.enabled()) {
+      if (chunk != 0.0)
+        throw std::invalid_argument(
+            "load shedding needs --chunk 0 (whole-job forwarding)");
+      if (validate)
+        throw std::invalid_argument(
+            "--validate cannot replay shedding runs; use --record-out and "
+            "treesched_audit instead");
+    }
+
     const Instance inst = workload::read_trace_file(trace);
     const SpeedProfile speeds = parse_speeds(speeds_spec, inst.tree());
+    const double rho = workload::offered_load(inst, speeds);
+    if (rho >= 1.0 && !shed_cfg.enabled())
+      std::cerr << "warning: offered load rho=" << rho
+                << " >= 1: the trace saturates the root cut at these speeds "
+                   "and flow times diverge with it (consider --shed-policy)\n";
 
     sim::EngineConfig cfg;
+    cfg.shed = shed_cfg;
     cfg.router_chunk_size = chunk;
     cfg.record_schedule = validate || !record_out.empty();
     if (node_policy == "fifo") cfg.node_policy = sim::NodePolicy::kFifo;
@@ -142,6 +177,10 @@ int main(int argc, char** argv) {
     sim::Metrics metrics;
     if (util::starts_with(policy_name, "anycast-") ||
         has_custom_sources(inst)) {
+      if (shed_cfg.enabled())
+        throw std::invalid_argument(
+            "load shedding is not supported for anycast/arbitrary-source "
+            "traces");
       algo::AnycastStrategy strategy = algo::AnycastStrategy::kGreedy;
       if (policy_name == "anycast-closest")
         strategy = algo::AnycastStrategy::kClosest;
@@ -170,6 +209,12 @@ int main(int argc, char** argv) {
       auto policy = algo::make_policy(policy_name, inst, eps,
                                       static_cast<std::uint64_t>(seed));
       sim::Engine engine(inst, speeds, cfg);
+
+      std::optional<overload::AdmissionController> admission;
+      if (shed_cfg.enabled()) {
+        admission.emplace(shed_cfg, eps);
+        engine.set_admission(&*admission);
+      }
 
       fault::FaultPlan plan;
       algo::FaultAwareGreedy redispatch(eps);
@@ -225,6 +270,15 @@ int main(int argc, char** argv) {
               << "weighted flow      : "
               << metrics.total_weighted_flow_time() << '\n'
               << "makespan           : " << metrics.makespan() << '\n';
+    if (shed_cfg.enabled())
+      std::cout << "offered load rho   : " << rho << '\n'
+                << "admitted           : " << metrics.admitted_count() << '\n'
+                << "rejected           : " << metrics.rejected_count() << '\n'
+                << "shed               : " << metrics.shed_count() << '\n'
+                << "shed volume        : " << metrics.shed_volume() << '\n'
+                << "goodput            : " << metrics.goodput() << '\n'
+                << "p99 flow time      : " << metrics.flow_percentile(0.99)
+                << '\n';
     if (with_lb) {
       const double lb = lp::combined_lower_bound(inst);
       std::cout << "OPT lower bound    : " << lb << '\n'

@@ -1,4 +1,9 @@
-// treesched_sweep — parallel policy × topology × eps × fault × seed sweeps.
+// treesched_sweep — parallel policy × topology × eps × fault × shed-policy
+// × seed sweeps.
+//
+// Overload dimension: --shed-policies none,largest-first,... compares
+// admission-control policies per cell (with --queue-cap / --deadline-slack),
+// reporting goodput and shed counts alongside the flow-time ratios.
 //
 //   treesched_sweep --policies paper,closest --trees star-2x3,figure1
 //       --eps 1.0,0.5 --seeds 5 --threads 8 --json results.json
@@ -23,6 +28,7 @@
 // policy/tree, eps <= 0, unwritable --record-dir, foreign checkpoint),
 // 3 = tasks were skipped (per-task --timeout-ms exceeded or a task kept
 // failing), 130 = interrupted by SIGINT/SIGTERM, 1 = unexpected error.
+#include <algorithm>
 #include <atomic>
 #include <csignal>
 #include <filesystem>
@@ -103,6 +109,15 @@ int main(int argc, char** argv) {
                                     "mean time to repair for crashed nodes");
   auto& fault_horizon = cli.add_double(
       "fault-horizon", 0.0, "fault window horizon (0 = auto from releases)");
+  auto& shed_policies = cli.add_string(
+      "shed-policies", "",
+      "comma-separated admission policies (none|bounded-queue|largest-first|"
+      "deadline); adds the overload grid dimension");
+  auto& queue_cap = cli.add_double(
+      "queue-cap", 0.0,
+      "root-cut volume cap for bounded-queue/largest-first cells");
+  auto& deadline_slack = cli.add_double(
+      "deadline-slack", 8.0, "deadline cells admit iff F <= slack * p_j");
   auto& threads = cli.add_int(
       "threads", 0, "worker threads (0 = TREESCHED_THREADS or hardware)");
   auto& timeout_ms = cli.add_double(
@@ -143,6 +158,10 @@ int main(int argc, char** argv) {
       spec.fault_rates = parse_doubles("fault-rates", fault_rates);
     spec.fault_mttr = fault_mttr;
     spec.fault_horizon = fault_horizon;
+    if (!shed_policies.empty())
+      spec.shed_policies = parse_list("shed-policies", shed_policies);
+    spec.queue_cap = queue_cap;
+    spec.deadline_slack = deadline_slack;
     spec.threads = static_cast<std::size_t>(threads);
     spec.timeout_ms = timeout_ms;
     spec.retries = static_cast<int>(retries);
@@ -172,6 +191,19 @@ int main(int argc, char** argv) {
 
     std::signal(SIGINT, on_signal);
     std::signal(SIGTERM, on_signal);
+
+    // The silent-overload footgun: class-rounded sizes inflate the ACHIEVED
+    // load past the --load target, so a nominally stable spec can saturate
+    // the root cut. Probe the real rho and warn unless a shedding cell will
+    // keep the backlog bounded.
+    const bool any_shedding =
+        std::any_of(spec.shed_policies.begin(), spec.shed_policies.end(),
+                    [](const std::string& p) { return p != "none"; });
+    const double rho = exec::probe_offered_load(spec);
+    if (rho >= 1.0 && !any_shedding)
+      std::cerr << "warning: offered load rho=" << rho
+                << " >= 1: generated instances saturate the root cut and "
+                   "flow times diverge (consider --shed-policies)\n";
 
     const exec::SweepResult result = exec::run_sweep(spec);
 
