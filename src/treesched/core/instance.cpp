@@ -29,7 +29,7 @@ Instance::Instance(Tree tree, std::vector<Job> jobs, EndpointModel model)
 void Instance::validate() const {
   std::vector<bool> seen(jobs_.size(), false);
   for (const Job& j : jobs_) {
-    TS_REQUIRE(j.id >= 0 && static_cast<std::size_t>(j.id) < jobs_.size(),
+    TS_REQUIRE(j.id >= 0 && uidx(j.id) < jobs_.size(),
                "job ids must be dense 0..n-1");
     TS_REQUIRE(!seen[uidx(j.id)], "duplicate job id");
     seen[uidx(j.id)] = true;

@@ -6,7 +6,7 @@ namespace treesched {
 
 SpeedProfile::SpeedProfile(const Tree& tree, std::vector<double> speeds)
     : speeds_(std::move(speeds)) {
-  TS_REQUIRE(speeds_.size() == static_cast<std::size_t>(tree.node_count()),
+  TS_REQUIRE(speeds_.size() == uidx(tree.node_count()),
              "speed vector must cover every node");
   for (NodeId v = 0; v < tree.node_count(); ++v) {
     if (tree.is_root(v)) continue;

@@ -24,6 +24,8 @@ inline constexpr JobId kInvalidJob = -1;
 /// the (validated-non-negative) conversion explicit under -Wsign-conversion.
 template <typename T>
 constexpr std::size_t uidx(T id) noexcept {
+  // treesched-lint: allow(inv-raw-id-cast): uidx() is the designated funnel
+  // this rule routes every other id cast through.
   return static_cast<std::size_t>(id);
 }
 

@@ -93,6 +93,9 @@ GatherReport<R> gather_cancellable(std::vector<std::future<R>>& futures,
     // Per-task patience, measured from this future's gather turn; while
     // earlier tasks are waited on, later ones run in the background.
     const bool bounded = timeout.count() > 0;
+    // treesched-lint: allow(det-wallclock): gather patience only decides how
+    // long to wait for a worker; task results and their order are fixed by
+    // the futures themselves, so the clock cannot reach any output.
     const auto deadline =
         bounded ? Clock::now() + timeout : Clock::time_point::max();
     bool ready = false;
@@ -110,6 +113,8 @@ GatherReport<R> gather_cancellable(std::vector<std::future<R>>& futures,
       }
       auto wait = cancel != nullptr ? kSlice : std::chrono::milliseconds::max();
       if (bounded) {
+        // treesched-lint: allow(det-wallclock): remaining-patience check for
+        // the same wait deadline; never observable in results.
         const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
             deadline - Clock::now());
         if (left.count() <= 0) {

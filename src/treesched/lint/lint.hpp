@@ -1,0 +1,86 @@
+// treesched_lint — project-specific determinism & model-invariant analyzer.
+//
+// Rules pattern-match over util::lex token streams; there is no libclang or
+// type information. Each rule therefore states a *syntactic discipline* the
+// codebase commits to (route id casts through uidx(), route FP accumulation
+// through util::CompensatedSum, never read wall clocks outside util/, ...)
+// chosen so that honoring the discipline implies the semantic guarantee and
+// violating the guarantee is impossible without tripping the syntax.
+//
+// Suppression: a finding is suppressed by a comment trailing its own line,
+// or standing alone directly above the statement it excuses (the annotation
+// then covers that whole statement, through its ';' or opening '{'):
+//
+//   // treesched-lint: allow(<rule-id>): <justification>
+//
+// The justification is mandatory; an allow() without one is itself reported
+// (rule `lint-bad-suppression`) so suppressions cannot silently accumulate.
+// Suppressed findings stay in the JSON report with their justification — the
+// CI gate fails only on unsuppressed ones.
+//
+// See docs/LINTING.md for the rule catalogue and the rationale linking each
+// rule to the determinism / model guarantee it protects.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "treesched/util/lexer.hpp"
+
+namespace treesched::lint {
+
+enum class Severity : std::uint8_t { kWarning, kError };
+
+const char* severity_name(Severity s);
+
+struct Finding {
+  std::string rule;       ///< rule id, e.g. "det-wallclock"
+  Severity severity = Severity::kError;
+  std::string file;       ///< path as scanned ('/'-separated, root-relative)
+  int line = 0;
+  int col = 0;
+  std::string message;
+  bool suppressed = false;
+  std::string justification;  ///< non-empty iff suppressed
+};
+
+struct RuleInfo {
+  const char* id;
+  Severity severity;
+  const char* summary;  ///< one line; the full rationale lives in LINTING.md
+};
+
+/// The rule catalogue, in stable report order.
+const std::vector<RuleInfo>& rule_catalogue();
+
+/// Lints one in-memory file. `path` should be the root-relative path with
+/// '/' separators — rules use it for scoping (util/ timing-shim exemption,
+/// stats//sim FP-accumulation scope, metrics.hpp audit-reference scope).
+std::vector<Finding> lint_source(std::string_view source,
+                                 const std::string& path);
+
+struct Report {
+  std::vector<Finding> findings;  ///< sorted by (file, line, col, rule)
+  std::size_t files_scanned = 0;
+
+  std::size_t unsuppressed_count() const;
+  std::size_t suppressed_count() const {
+    return findings.size() - unsuppressed_count();
+  }
+  std::map<std::string, std::size_t> by_rule() const;
+};
+
+/// Lints every .hpp/.cpp under `root`/<dirs...>, recursively, in
+/// byte-lexicographic path order (the report is stable across platforms and
+/// directory-enumeration orders). Throws std::runtime_error if a directory
+/// cannot be read.
+Report lint_tree(const std::string& root, const std::vector<std::string>& dirs);
+
+/// Human-readable findings table (suppressed entries shown only on request).
+std::string report_table(const Report& report, bool show_suppressed);
+
+/// The stable machine-readable report, schema "treesched-lint-v1".
+std::string report_json(const Report& report);
+
+}  // namespace treesched::lint

@@ -11,6 +11,13 @@ namespace treesched::lp {
 
 namespace {
 
+/// Discretization of continuous model times onto the LP's unit grid: the
+/// slot containing time t, and the first slot boundary at or after t.
+/// Every continuous-time -> slot conversion in this TU goes through these
+/// two so the rounding direction is named at the call site.
+int slot_of(double t) { return static_cast<int>(std::floor(t)); }
+int slot_ceil(double t) { return static_cast<int>(std::ceil(t)); }
+
 /// Dense (node, job, slot) -> LP variable map; -1 where the variable does
 /// not exist (slots before the job's release, or the root node).
 class VarIndex {
@@ -22,7 +29,7 @@ class VarIndex {
         idx_(uidx(jobs_) * uidx(nodes_) * uidx(horizon), -1) {
     const Tree& tree = inst.tree();
     for (const Job& job : inst.jobs()) {
-      const int r = static_cast<int>(std::floor(job.release));
+      const int r = slot_of(job.release);
       for (NodeId v = 0; v < tree.node_count(); ++v) {
         if (tree.is_root(v)) continue;
         for (int t = r; t < horizon; ++t)
@@ -65,7 +72,7 @@ LpModel build_flowtime_lp(const Instance& instance, const SpeedProfile& speeds,
   // the path-volume term on leaves (eta_{j,v}/p_{j,v} per unit processed).
   auto is_root_child = [&](NodeId v) { return tree.parent(v) == tree.root(); };
   for (const Job& job : instance.jobs()) {
-    const int r = static_cast<int>(job.release);
+    const int r = slot_of(job.release);
     for (NodeId v = 0; v < tree.node_count(); ++v) {
       if (tree.is_root(v)) continue;
       const bool leaf = tree.is_leaf(v);
@@ -103,7 +110,7 @@ LpModel build_flowtime_lp(const Instance& instance, const SpeedProfile& speeds,
     row.rhs = 1.0;
     for (const NodeId v : tree.leaves()) {
       const double p = instance.processing_time(job.id, v);
-      for (int t = static_cast<int>(job.release); t < horizon; ++t)
+      for (int t = slot_of(job.release); t < horizon; ++t)
         row.coeffs.emplace_back(vars.var(v, job.id, t), 1.0 / p);
     }
     model.add_row(std::move(row));
@@ -115,7 +122,7 @@ LpModel build_flowtime_lp(const Instance& instance, const SpeedProfile& speeds,
     if (tree.is_root(v) || tree.is_leaf(v)) continue;
     for (const Job& job : instance.jobs()) {
       const double pv = instance.processing_time(job.id, v);
-      const int r = static_cast<int>(job.release);
+      const int r = slot_of(job.release);
       for (int t = r; t < horizon; ++t) {
         LpRow row;
         row.sense = RowSense::kGe;
@@ -145,7 +152,7 @@ FlowtimeLpResult solve_flowtime_lp(const Instance& instance,
     algo::PaperGreedyPolicy greedy(0.5);
     sim::Engine engine(instance, speeds);
     engine.run(greedy);
-    horizon = static_cast<int>(std::ceil(engine.metrics().makespan())) + 1;
+    horizon = slot_ceil(engine.metrics().makespan()) + 1;
   }
   FlowtimeLpResult result;
   for (int attempt = 0; attempt < 4; ++attempt) {

@@ -9,6 +9,7 @@
 #include <tuple>
 
 #include "treesched/sim/priority.hpp"
+#include "treesched/util/csum.hpp"
 #include "treesched/util/table.hpp"
 
 namespace treesched::sim {
@@ -852,32 +853,32 @@ AuditReport audit_run(const Instance& instance, const RunLog& log,
                 ? instance.processing_time(static_cast<JobId>(i),
                                            ja[i].path->back())
                 : instance.job(static_cast<JobId>(i)).size;
-        double done = 0.0;
+        util::CompensatedSum done;
         const auto it = by_item_node.find({i, 0});
         if (it != by_item_node.end())
           for (const Segment* s : it->second) {
             if (s->t1 <= t)
-              done += s->work();
+              done.add(s->work());
             else if (s->t0 < t)
-              done += (t - s->t0) * s->rate;
+              done.add((t - s->t0) * s->rate);
           }
-        return std::max(required - done, 0.0);
+        return std::max(required - done.value(), 0.0);
       };
       for (std::size_t j = 0; j < n_jobs; ++j) {
         if (!ja[j].path) continue;  // rejected: no admission epoch
         const Time r_j = instance.job(static_cast<JobId>(j)).release;
-        double backlog = 0.0;
+        util::CompensatedSum backlog;
         for (std::size_t i = 0; i < n_jobs; ++i) {
           if (!ja[i].path) continue;
           const Time r_i = instance.job(static_cast<JobId>(i)).release;
           if (r_i > r_j || (r_i == r_j && i > j)) continue;  // admitted later
           if (ov.shed(i) && ov.shed_t[i] <= r_j + tol) continue;  // evicted
-          backlog += hop0_remaining_at(i, r_j);
+          backlog.add(hop0_remaining_at(i, r_j));
         }
-        if (backlog > sc.queue_cap + tol * std::max(1.0, sc.queue_cap))
+        if (backlog.value() > sc.queue_cap + tol * std::max(1.0, sc.queue_cap))
           rep.fail("queue cap exceeded at admission of job " +
                    std::to_string(j) + " (t=" + fmt(r_j) +
-                   "): reconstructed root-cut backlog " + fmt(backlog) +
+                   "): reconstructed root-cut backlog " + fmt(backlog.value()) +
                    " > cap " + fmt(sc.queue_cap));
       }
     }
@@ -1012,16 +1013,16 @@ AuditReport audit_run(const Instance& instance, const RunLog& log,
 
     // remaining work of job i on its hop h at time t, from the burst log.
     auto remaining_at = [&](std::size_t i, int h, double required, Time t) {
-      double done = 0.0;
+      util::CompensatedSum done;
       auto it = by_item_node.find({i, h});
       if (it != by_item_node.end())
         for (const Segment* s : it->second) {
           if (s->t1 <= t)
-            done += s->work();
+            done.add(s->work());
           else if (s->t0 < t)
-            done += (t - s->t0) * s->rate;
+            done.add((t - s->t0) * s->rate);
         }
-      return std::max(required - done, 0.0);
+      return std::max(required - done.value(), 0.0);
     };
     // Is some work item of job i available on its hop h at time t?
     auto available_at = [&](const JobAudit& a, std::size_t h, Time t) {
@@ -1063,7 +1064,7 @@ AuditReport audit_run(const Instance& instance, const RunLog& log,
         if (t < 0.0) continue;
         const double p_j = instance.processing_time(job.id, v);
         const Time r_j = job.release;
-        double vol = 0.0;
+        util::CompensatedSum vol;
         for (std::size_t i = 0; i < n_jobs; ++i) {
           const JobAudit& ai = ja[i];
           if (!ai.path) continue;
@@ -1081,10 +1082,10 @@ AuditReport audit_run(const Instance& instance, const RunLog& log,
                   ? instance.processing_time(static_cast<JobId>(i),
                                              ai.path->back())
                   : instance.job(static_cast<JobId>(i)).size;
-          vol += remaining_at(i, hi, required, t);
+          vol.add(remaining_at(i, hi, required, t));
         }
         const double bound = 2.0 / eps * p_j;
-        const double ratio = vol / bound;
+        const double ratio = vol.value() / bound;
         if (ratio > row.lemma2_ratio) {
           row.lemma2_ratio = ratio;
           row.lemma2_node = v;

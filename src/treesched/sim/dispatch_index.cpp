@@ -9,6 +9,8 @@ namespace {
 // The tree shape must depend only on the entry set so repeated runs (and
 // the resume machinery above the engine) stay bit-reproducible.
 std::uint32_t priority_of(JobId job) {
+  // treesched-lint: allow(inv-raw-id-cast): hash input, not an index — the
+  // uint32 truncation of the id is the avalanche's deliberate seed width.
   std::uint64_t z = static_cast<std::uint64_t>(static_cast<std::uint32_t>(job)) +
                     0x9E3779B97F4A7C15ULL;
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;

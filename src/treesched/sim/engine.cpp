@@ -26,7 +26,7 @@ bool slow_queries_env() {
 Engine::Engine(const Instance& instance, SpeedProfile speeds, EngineConfig cfg)
     : inst_(&instance), speeds_(std::move(speeds)), cfg_(cfg) {
   TS_REQUIRE(speeds_.speeds().size() ==
-                 static_cast<std::size_t>(instance.tree().node_count()),
+                 uidx(instance.tree().node_count()),
              "speed profile does not match the tree");
   TS_REQUIRE(cfg_.router_chunk_size >= 0.0, "chunk size must be >= 0");
   if (slow_queries_env()) cfg_.slow_queries = true;
@@ -791,7 +791,7 @@ void Engine::run(AssignmentPolicy& policy) {
 
 void Engine::run_with_assignment(const std::vector<NodeId>& leaf_of_job) {
   TS_REQUIRE(leaf_of_job.size() ==
-                 static_cast<std::size_t>(inst_->job_count()),
+                 uidx(inst_->job_count()),
              "assignment vector must cover every job");
   for (const Job& job : inst_->jobs()) {
     advance_to(job.release);
@@ -888,6 +888,9 @@ double Engine::higher_priority_remaining(NodeId v, double cand_size,
         pi < cand_size ||
         (pi == cand_size &&
          (ri < cand_release || (ri == cand_release && i < cand_id)));
+    // treesched-lint: allow(inv-fp-accum): slow-path mirror of the
+    // incremental index; the differential suite compares the two paths
+    // bit-exactly, so the naive rounding is load-bearing.
     if (higher) sum += remaining_on(i, v);
   }
   return sum;
@@ -915,6 +918,9 @@ double Engine::larger_residual_fraction(NodeId v, double size) const {
   double sum = 0.0;
   for (const JobId i : ns.inflight) {
     const double pi = size_on(i, v);
+    // treesched-lint: allow(inv-fp-accum): slow-path mirror of the
+    // incremental index; the differential suite compares the two paths
+    // bit-exactly, so the naive rounding is load-bearing.
     if (pi > size) sum += remaining_on(i, v) / pi;
   }
   return sum;
@@ -930,6 +936,9 @@ double Engine::alpha_leaf(NodeId leaf) const {
     return std::max(sum, 0.0);
   }
   double sum = 0.0;
+  // treesched-lint: allow(inv-fp-accum): slow-path mirror of the
+  // incremental index; the differential suite compares the two paths
+  // bit-exactly, so the naive rounding is load-bearing.
   for (const JobId i : ns.inflight)
     sum += remaining_on(i, leaf) / size_on(i, leaf);
   return sum;
@@ -940,6 +949,9 @@ double Engine::pending_remaining(NodeId v) const {
   if (!cfg_.slow_queries)
     return std::max(ns.index.total_remaining() - running_drain(ns, v), 0.0);
   double sum = 0.0;
+  // treesched-lint: allow(inv-fp-accum): slow-path mirror of the
+  // incremental index; the differential suite compares the two paths
+  // bit-exactly, so the naive rounding is load-bearing.
   for (const JobId i : ns.inflight) sum += remaining_on(i, v);
   return sum;
 }
@@ -948,6 +960,9 @@ double Engine::alpha_root_child(NodeId root_child) const {
   TS_REQUIRE(tree().parent(root_child) == tree().root(),
              "alpha_root_child on non-root-child");
   double sum = 0.0;
+  // treesched-lint: allow(inv-fp-accum): alpha values feed dispatch
+  // decisions; their exact rounding is part of the golden-schedule
+  // contract shared with the reference simulator.
   for (const NodeId leaf : tree().leaves_under(root_child))
     sum += alpha_leaf(leaf);
   return sum;
@@ -958,6 +973,8 @@ double Engine::total_remaining_work() const {
   for (JobId j = 0; j < static_cast<JobId>(jobs_.size()); ++j) {
     const JobState& js = jobs_[uidx(j)];
     if (!js.admitted || js.done || js.shed) continue;
+    // treesched-lint: allow(inv-fp-accum): compared against the overload
+    // estimator's running sums, which accumulate the same way.
     for (const NodeId v : *js.path) total += remaining_on(j, v);
   }
   return total;

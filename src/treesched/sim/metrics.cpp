@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "treesched/util/assert.hpp"
+#include "treesched/util/csum.hpp"
 
 namespace treesched::sim {
 
@@ -25,10 +26,10 @@ std::size_t Metrics::completed_count() const {
 }
 
 double Metrics::total_flow_time() const {
-  double total = 0.0;
+  util::CompensatedSum total;
   for (const auto& r : jobs_)
-    if (r.completed()) total += r.flow();
-  return total;
+    if (r.completed()) total.add(r.flow());
+  return total.value();
 }
 
 double Metrics::mean_flow_time() const {
@@ -56,10 +57,10 @@ std::size_t Metrics::admitted_count() const {
 }
 
 double Metrics::shed_volume() const {
-  double total = 0.0;
+  util::CompensatedSum total;
   for (const auto& r : jobs_)
-    if (r.shed || r.rejected) total += r.size;
-  return total;
+    if (r.shed || r.rejected) total.add(r.size);
+  return total.value();
 }
 
 double Metrics::goodput() const {
@@ -91,22 +92,22 @@ double Metrics::flow_percentile(double q) const {
 }
 
 double Metrics::total_fractional_flow_time() const {
-  double total = 0.0;
-  for (const auto& r : jobs_) total += r.fractional_area;
-  return total;
+  util::CompensatedSum total;
+  for (const auto& r : jobs_) total.add(r.fractional_area);
+  return total.value();
 }
 
 double Metrics::total_weighted_flow_time() const {
-  double total = 0.0;
+  util::CompensatedSum total;
   for (const auto& r : jobs_)
-    if (r.completed()) total += r.weight * r.flow();
-  return total;
+    if (r.completed()) total.add(r.weight * r.flow());
+  return total.value();
 }
 
 double Metrics::total_weighted_fractional_flow_time() const {
-  double total = 0.0;
-  for (const auto& r : jobs_) total += r.weight * r.fractional_area;
-  return total;
+  util::CompensatedSum total;
+  for (const auto& r : jobs_) total.add(r.weight * r.fractional_area);
+  return total.value();
 }
 
 double Metrics::max_flow_time() const {
@@ -118,10 +119,10 @@ double Metrics::max_flow_time() const {
 
 double Metrics::lk_norm_flow_time(double k) const {
   TS_REQUIRE(k >= 1.0, "l_k norm requires k >= 1");
-  double total = 0.0;
+  util::CompensatedSum total;
   for (const auto& r : jobs_)
-    if (r.completed()) total += std::pow(r.flow(), k);
-  return std::pow(total, 1.0 / k);
+    if (r.completed()) total.add(std::pow(r.flow(), k));
+  return std::pow(total.value(), 1.0 / k);
 }
 
 double Metrics::makespan() const {

@@ -39,6 +39,8 @@ class Metrics {
   const std::vector<JobRecord>& jobs() const { return jobs_; }
 
   bool all_completed() const;
+  /// audit: work-conservation (every completion re-derived from the burst
+  /// log; a claimed completion with missing machine work is a violation).
   std::size_t completed_count() const;
 
   // --- overload accounting -------------------------------------------------
@@ -48,46 +50,66 @@ class Metrics {
   // a fake 0.0 — JSON emitters serialize it as null.
 
   /// Jobs evicted mid-run by the admission controller.
+  /// audit: admission-control (a shed job must never progress or complete
+  /// after its recorded eviction).
   std::size_t shed_count() const;
   /// Jobs refused at arrival (never admitted).
+  /// audit: admission-control (a rejected job must never run at all).
   std::size_t rejected_count() const;
   /// Jobs that entered the system (completed or later shed).
+  /// audit: admission-control (admission epochs reconstructed per job).
   std::size_t admitted_count() const;
   /// Total p_j over shed + rejected jobs: the volume deliberately dropped.
+  /// audit: admission-control (sums instance sizes over audited shed flags).
   double shed_volume() const;
   /// Completed jobs per unit time over the run (completed_count / makespan):
   /// the honest throughput of a degraded run. NaN if nothing completed.
+  /// audit: none(derived ratio of completed_count and makespan, both audited).
   double goodput() const;
 
   /// Sum of (C_j - r_j) over completed jobs. The paper's primary objective.
+  /// audit: work-conservation (completions re-derived from segment work;
+  /// treesched_audit recomputes the sum from the log alone).
   double total_flow_time() const;
 
   /// Mean flow time over completed jobs; NaN when no job completed.
+  /// audit: none(total_flow_time / completed_count, both audited).
   double mean_flow_time() const;
 
   /// Completed flow normalized by ADMITTED jobs (completed + shed): unlike
   /// mean_flow_time this cannot be gamed by shedding slow jobs, because the
   /// shed ones stay in the denominator. NaN when nothing was admitted.
+  /// audit: none(total_flow_time / admitted_count, both audited).
   double mean_flow_time_admitted() const;
 
   /// q-quantile of completed flow times (q in [0,1]; 0.99 = p99), computed
   /// by rank ceil(q*n) over the sorted flows. NaN when no job completed.
+  /// audit: none(order statistic of audited per-job flows).
   double flow_percentile(double q) const;
 
   /// The paper's fractional flow time variant (Section 2).
+  /// audit: work-conservation (the area integrand is remaining work, whose
+  /// trajectory the audit reconstructs per segment).
   double total_fractional_flow_time() const;
 
   /// Weighted extensions (beyond the paper, which has unit weights).
+  /// audit: work-conservation (weights come from the instance; the flow
+  /// factors are the audited per-job quantities).
   double total_weighted_flow_time() const;
+  /// audit: work-conservation (same factorization as above).
   double total_weighted_fractional_flow_time() const;
 
   /// Maximum flow time (the open-question objective in the conclusion).
+  /// audit: none(max over audited per-job flows).
   double max_flow_time() const;
 
   /// l_k norm of flow times: (sum flow^k)^(1/k); k >= 1.
+  /// audit: none(monotone transform of audited per-job flows).
   double lk_norm_flow_time(double k) const;
 
   /// Makespan: latest completion time.
+  /// audit: capacity (no segment may end after the claimed makespan; the
+  /// audit's reconstructed timeline bounds it from below).
   double makespan() const;
 
  private:

@@ -44,7 +44,7 @@ ReferenceResult simulate_reference(const Instance& instance,
   TS_REQUIRE(policy == NodePolicy::kSjf || policy == NodePolicy::kFifo,
              "reference simulator supports SJF and FIFO only");
   TS_REQUIRE(leaf_of_job.size() ==
-                 static_cast<std::size_t>(instance.job_count()),
+                 uidx(instance.job_count()),
              "assignment must cover every job");
   TS_REQUIRE(chunk_size >= 0.0, "chunk size must be >= 0");
   const Tree& tree = instance.tree();
@@ -115,7 +115,8 @@ ReferenceResult simulate_reference(const Instance& instance,
   const long guard_limit =
       256 + 8L * (n + 1) * (tree.node_count() + 1) * max_chunks;
   while (true) {
-    TS_CHECK(++guard < guard_limit * 8,
+    ++guard;
+    TS_CHECK(guard < guard_limit * 8,
              "reference simulator failed to make progress");
     refresh_avail_stamps(now);
 

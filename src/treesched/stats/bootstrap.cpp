@@ -5,6 +5,7 @@
 #include "treesched/core/types.hpp"
 #include "treesched/stats/summary.hpp"
 #include "treesched/util/assert.hpp"
+#include "treesched/util/csum.hpp"
 
 namespace treesched::stats {
 
@@ -18,10 +19,10 @@ std::pair<double, double> bootstrap_mean_ci(util::Rng& rng,
   std::vector<double> means;
   means.reserve(uidx(resamples));
   for (int r = 0; r < resamples; ++r) {
-    double sum = 0.0;
+    util::CompensatedSum sum;
     for (std::int64_t i = 0; i < n; ++i)
-      sum += samples[static_cast<std::size_t>(rng.uniform_int(0, n - 1))];
-    means.push_back(sum / static_cast<double>(n));
+      sum.add(samples[static_cast<std::size_t>(rng.uniform_int(0, n - 1))]);
+    means.push_back(sum.value() / static_cast<double>(n));
   }
   const double alpha = (1.0 - confidence) / 2.0;
   return {percentile(means, alpha), percentile(means, 1.0 - alpha)};

@@ -1,0 +1,44 @@
+// Compensated (Neumaier) floating-point summation.
+//
+// This is the designated accumulation helper enforced by treesched_lint's
+// `inv-fp-accum` rule: naive `total += x` loops over containers in stats/sim
+// lose low-order bits in an order-dependent way, so two algebraically equal
+// aggregations can diverge in the last ulps and poison byte-identity
+// comparisons downstream. CompensatedSum keeps a running error term
+// (Neumaier's variant of Kahan summation, correct even when the addend
+// exceeds the running sum), making the result far less sensitive to
+// accumulation order and magnitude spread.
+//
+// The summation itself is still deterministic for a fixed call sequence —
+// determinism comes from fixed iteration order, precision from compensation.
+#pragma once
+
+#include <cmath>
+
+namespace treesched::util {
+
+class CompensatedSum {
+ public:
+  CompensatedSum() = default;
+  explicit CompensatedSum(double initial) : sum_(initial) {}
+
+  void add(double x) {
+    const double t = sum_ + x;
+    // Neumaier: the compensation recovers the bits the smaller-magnitude
+    // operand lost when it was rounded into t.
+    if (std::abs(sum_) >= std::abs(x))
+      comp_ += (sum_ - t) + x;
+    else
+      comp_ += (x - t) + sum_;
+    sum_ = t;
+  }
+
+  /// The compensated total.
+  double value() const { return sum_ + comp_; }
+
+ private:
+  double sum_ = 0.0;
+  double comp_ = 0.0;
+};
+
+}  // namespace treesched::util

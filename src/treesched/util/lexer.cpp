@@ -1,0 +1,343 @@
+#include "treesched/util/lexer.hpp"
+
+#include <cctype>
+
+namespace treesched::util {
+
+namespace {
+
+/// Cursor over the source with line/column tracking. All consumption goes
+/// through advance() so positions can never drift from the text.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view src) : src_(src) {}
+
+  bool done() const { return pos_ >= src_.size(); }
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  int line() const { return line_; }
+  int col() const { return col_; }
+  std::size_t pos() const { return pos_; }
+
+  char advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  std::string_view slice(std::size_t from) const {
+    return src_.substr(from, pos_ - from);
+  }
+
+ private:
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool digit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+/// Longest-first table of multi-character punctuators we must not split:
+/// a rule distinguishing `==` from `=` (assert side effects) or `+=` from
+/// `+` (FP accumulation) depends on maximal munch here.
+constexpr const char* kPunct3[] = {"<<=", ">>=", "...", "->*"};
+constexpr const char* kPunct2[] = {"::", "->", "++", "--", "<<", ">>", "<=",
+                                   ">=", "==", "!=", "&&", "||", "+=", "-=",
+                                   "*=", "/=", "%=", "&=", "|=", "^=", "##"};
+
+struct Lexer {
+  Cursor cur;
+  LexedFile out;
+  // Depth of `#if 0`-style disabled regions. While > 0, non-directive tokens
+  // are dropped; nested #if/#ifdef/#ifndef inside the dead region push
+  // further so the matching #endif is found correctly. `#else`/`#elif` at
+  // depth 1 re-enable (the live branch follows).
+  int disabled_depth = 0;
+  // True after a newline until the first non-whitespace token: a `#` only
+  // starts a directive at the (possibly indented) beginning of a line.
+  bool line_start = true;
+
+  Lexer(std::string_view src, std::string path) : cur(src) {
+    out.path = std::move(path);
+  }
+
+  void emit(TokKind kind, std::string text, int line, int col) {
+    if (disabled_depth > 0 && kind != TokKind::kDirective) return;
+    out.tokens.push_back(Token{kind, std::move(text), line, col});
+  }
+
+  void run() {
+    while (!cur.done()) {
+      const char c = cur.peek();
+      if (c == '\n') {
+        cur.advance();
+        line_start = true;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        cur.advance();
+        continue;
+      }
+      if (c == '/' && cur.peek(1) == '/') {
+        line_comment();
+        continue;
+      }
+      if (c == '/' && cur.peek(1) == '*') {
+        block_comment();  // does not clear line_start: `/**/ #if` still rare
+        continue;
+      }
+      if (c == '#' && line_start) {
+        directive();
+        continue;
+      }
+      line_start = false;
+      if (c == 'R' && cur.peek(1) == '"') {
+        raw_string();
+      } else if (is_string_prefix()) {
+        prefixed_string();
+      } else if (c == '"') {
+        quoted(TokKind::kString, '"');
+      } else if (c == '\'') {
+        quoted(TokKind::kChar, '\'');
+      } else if (ident_start(c)) {
+        identifier();
+      } else if (digit(c) || (c == '.' && digit(cur.peek(1)))) {
+        number();
+      } else {
+        punct();
+      }
+    }
+  }
+
+  void line_comment() {
+    const int line = cur.line(), col = cur.col();
+    const std::size_t from = cur.pos();
+    while (!cur.done() && cur.peek() != '\n') cur.advance();
+    emit(TokKind::kComment, std::string(cur.slice(from)), line, col);
+  }
+
+  void block_comment() {
+    const int line = cur.line(), col = cur.col();
+    const std::size_t from = cur.pos();
+    cur.advance();  // '/'
+    cur.advance();  // '*'
+    while (!cur.done()) {
+      if (cur.peek() == '*' && cur.peek(1) == '/') {
+        cur.advance();
+        cur.advance();
+        break;
+      }
+      cur.advance();
+    }
+    emit(TokKind::kComment, std::string(cur.slice(from)), line, col);
+  }
+
+  /// Consumes a whole directive (with backslash continuations); emits one
+  /// kDirective token whose text is the directive name ("pragma", "if",
+  /// "include", ...), then maintains the disabled-region state for `#if 0`.
+  void directive() {
+    const int line = cur.line(), col = cur.col();
+    cur.advance();  // '#'
+    while (!cur.done() && (cur.peek() == ' ' || cur.peek() == '\t'))
+      cur.advance();
+    const std::size_t name_from = cur.pos();
+    while (!cur.done() && ident_char(cur.peek())) cur.advance();
+    const std::string name(cur.slice(name_from));
+    // Rest of the logical line (continuations included), for the `#if 0`
+    // test. A trailing // comment ends the directive so it is still lexed
+    // as a comment token (suppressions can sit on directive lines).
+    const std::size_t rest_from = cur.pos();
+    while (!cur.done()) {
+      if (cur.peek() == '\\' &&
+          (cur.peek(1) == '\n' ||
+           (cur.peek(1) == '\r' && cur.peek(2) == '\n'))) {
+        cur.advance();
+        cur.advance();
+        continue;
+      }
+      if (cur.peek() == '\n') break;
+      if (cur.peek() == '/' && (cur.peek(1) == '/' || cur.peek(1) == '*'))
+        break;
+      cur.advance();
+    }
+    const std::string rest(cur.slice(rest_from));
+    std::string text = name;
+    {
+      std::size_t b = 0, e = rest.size();
+      while (b < e && std::isspace(static_cast<unsigned char>(rest[b]))) ++b;
+      while (e > b && std::isspace(static_cast<unsigned char>(rest[e - 1])))
+        --e;
+      if (e > b) {
+        text.push_back(' ');
+        text.append(rest, b, e - b);
+      }
+    }
+    emit(TokKind::kDirective, text, line, col);
+
+    const auto rest_is_zero = [&rest]() {
+      std::size_t i = 0;
+      while (i < rest.size() && (rest[i] == ' ' || rest[i] == '\t')) ++i;
+      return i < rest.size() && rest[i] == '0' &&
+             (i + 1 == rest.size() || !ident_char(rest[i + 1]));
+    };
+    if (disabled_depth > 0) {
+      if (name == "if" || name == "ifdef" || name == "ifndef") {
+        ++disabled_depth;
+      } else if (name == "endif") {
+        --disabled_depth;
+      } else if (disabled_depth == 1 && (name == "else" || name == "elif")) {
+        disabled_depth = 0;
+      }
+    } else if (name == "if" && rest_is_zero()) {
+      disabled_depth = 1;
+    }
+  }
+
+  void raw_string() {
+    const int line = cur.line(), col = cur.col();
+    cur.advance();  // 'R'
+    cur.advance();  // '"'
+    std::string delim;
+    while (!cur.done() && cur.peek() != '(') delim.push_back(cur.advance());
+    if (!cur.done()) cur.advance();  // '('
+    const std::string closer = ")" + delim + "\"";
+    const std::size_t from = cur.pos();
+    while (!cur.done()) {
+      if (cur.peek() == ')') {
+        bool match = true;
+        for (std::size_t i = 0; i < closer.size(); ++i)
+          if (cur.peek(i) != closer[i]) {
+            match = false;
+            break;
+          }
+        if (match) {
+          const std::size_t body_len = cur.pos() - from;
+          for (std::size_t i = 0; i < closer.size(); ++i) cur.advance();
+          emit(TokKind::kString,
+               std::string(cur.slice(from).substr(0, body_len)), line, col);
+          return;
+        }
+      }
+      cur.advance();
+    }
+    emit(TokKind::kString, std::string(cur.slice(from)), line, col);
+  }
+
+  /// u8"...", u"...", U"...", L"..." (same prefixes on char literals);
+  /// R-combinations (u8R, LR, ...) re-dispatch to raw_string after the
+  /// encoding prefix.
+  bool is_string_prefix() const {
+    const char c = cur.peek();
+    if (c != 'u' && c != 'U' && c != 'L') return false;
+    const std::size_t ahead = (c == 'u' && cur.peek(1) == '8') ? 2 : 1;
+    return cur.peek(ahead) == '"' || cur.peek(ahead) == '\'' ||
+           (cur.peek(ahead) == 'R' && cur.peek(ahead + 1) == '"');
+  }
+
+  void prefixed_string() {
+    cur.advance();                         // u / U / L
+    if (cur.peek() == '8') cur.advance();  // u8
+    if (cur.peek() == 'R') {
+      raw_string();
+      return;
+    }
+    quoted(cur.peek() == '"' ? TokKind::kString : TokKind::kChar, cur.peek());
+  }
+
+  void quoted(TokKind kind, char quote) {
+    const int line = cur.line(), col = cur.col();
+    cur.advance();  // opening quote
+    const std::size_t from = cur.pos();
+    while (!cur.done()) {
+      const char c = cur.peek();
+      if (c == '\\') {
+        cur.advance();
+        if (!cur.done()) cur.advance();
+        continue;
+      }
+      if (c == quote || c == '\n') {  // newline: unterminated, close here
+        const std::size_t body_len = cur.pos() - from;
+        if (c == quote) cur.advance();
+        emit(kind, std::string(cur.slice(from).substr(0, body_len)), line,
+             col);
+        return;
+      }
+      cur.advance();
+    }
+    emit(kind, std::string(cur.slice(from)), line, col);
+  }
+
+  void identifier() {
+    const int line = cur.line(), col = cur.col();
+    const std::size_t from = cur.pos();
+    while (!cur.done() && ident_char(cur.peek())) cur.advance();
+    emit(TokKind::kIdentifier, std::string(cur.slice(from)), line, col);
+  }
+
+  void number() {
+    const int line = cur.line(), col = cur.col();
+    const std::size_t from = cur.pos();
+    // pp-number: digits, letters (hex digits and suffixes), digit
+    // separators, dots, and signed exponents. Over-accepts; fine for
+    // matching purposes.
+    while (!cur.done()) {
+      const char c = cur.peek();
+      if (ident_char(c) || c == '.' || c == '\'') {
+        cur.advance();
+      } else if (c == '+' || c == '-') {
+        const std::string_view so_far = cur.slice(from);
+        const char last = so_far.empty() ? '\0' : so_far.back();
+        if (last == 'e' || last == 'E' || last == 'p' || last == 'P')
+          cur.advance();
+        else
+          break;
+      } else {
+        break;
+      }
+    }
+    emit(TokKind::kNumber, std::string(cur.slice(from)), line, col);
+  }
+
+  void punct() {
+    const int line = cur.line(), col = cur.col();
+    for (const char* p : kPunct3)
+      if (cur.peek() == p[0] && cur.peek(1) == p[1] && cur.peek(2) == p[2]) {
+        cur.advance();
+        cur.advance();
+        cur.advance();
+        emit(TokKind::kPunct, p, line, col);
+        return;
+      }
+    for (const char* p : kPunct2)
+      if (cur.peek() == p[0] && cur.peek(1) == p[1]) {
+        cur.advance();
+        cur.advance();
+        emit(TokKind::kPunct, p, line, col);
+        return;
+      }
+    emit(TokKind::kPunct, std::string(1, cur.advance()), line, col);
+  }
+};
+
+}  // namespace
+
+LexedFile lex(std::string_view source, std::string path) {
+  Lexer lexer(source, std::move(path));
+  lexer.run();
+  return std::move(lexer.out);
+}
+
+}  // namespace treesched::util

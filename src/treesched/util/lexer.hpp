@@ -1,0 +1,56 @@
+// Minimal C++ tokenizer backing the treesched_lint static analyzer.
+//
+// This is deliberately not a parser: rules in src/treesched/lint pattern-match
+// over the token stream, so the lexer only has to get the *boundaries* right —
+// comments (line and block, multi-line), string literals (including raw
+// strings), character literals, preprocessor directives, and `#if 0` disabled
+// regions must never leak their contents as identifier tokens, or a banned
+// name quoted in a doc comment would fire a determinism rule. Comments are
+// kept as tokens (rules read suppression annotations and TODO markers from
+// them); disabled-region tokens are dropped entirely.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace treesched::util {
+
+enum class TokKind : std::uint8_t {
+  kIdentifier,  ///< identifiers and keywords (rules do their own keyword sets)
+  kNumber,      ///< numeric literal, including hex/bin and digit separators
+  kString,      ///< string literal, raw or not; text excludes quotes/prefix
+  kChar,        ///< character literal
+  kPunct,       ///< one operator/punctuator per token (maximal munch)
+  kDirective,   ///< a whole directive; text is `name [trimmed argument text]`
+  kComment,     ///< line or block comment; text includes the full body
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;  ///< see per-kind notes on TokKind
+  int line;          ///< 1-based line of the token's first character
+  int col;           ///< 1-based column of the token's first character
+};
+
+struct LexedFile {
+  std::string path;           ///< as passed to lex(); relative or absolute
+  std::vector<Token> tokens;  ///< in source order, disabled regions excluded
+};
+
+/// Tokenizes `source`. Never throws on malformed input: an unterminated
+/// string/comment is closed at end of file, so the analyzer degrades to
+/// missing findings rather than crashing on a file it cannot read.
+LexedFile lex(std::string_view source, std::string path);
+
+/// True if `tok` is an identifier with exactly this text.
+inline bool is_ident(const Token& tok, std::string_view text) {
+  return tok.kind == TokKind::kIdentifier && tok.text == text;
+}
+
+/// True if `tok` is a punctuator with exactly this text.
+inline bool is_punct(const Token& tok, std::string_view text) {
+  return tok.kind == TokKind::kPunct && tok.text == text;
+}
+
+}  // namespace treesched::util

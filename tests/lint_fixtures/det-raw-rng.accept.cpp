@@ -1,0 +1,9 @@
+// scan-as: src/treesched/workload/fixture.cpp
+// util::Rng with split_seed streams; std engine names only in prose.
+#include "treesched/util/rng.hpp"
+
+// std::mt19937 would be wrong here (see docs/LINTING.md).
+double draw(std::uint64_t seed) {
+  util::Rng rng(util::split_seed(seed, 7));
+  return rng.uniform();
+}

@@ -1,0 +1,8 @@
+// scan-as: src/treesched/workload/fixture.cpp
+#include <random>
+
+int draw() {
+  std::mt19937 gen(42);
+  std::uniform_int_distribution<int> d(0, 9);
+  return d(gen);
+}

@@ -1,0 +1,11 @@
+// scan-as: src/treesched/exec/fixture.cpp
+// Point lookups into a hash map are order-free; iteration goes over the
+// id-keyed vector. Same emitting TU, nothing to flag.
+#include <ostream>
+#include <unordered_map>
+#include <vector>
+
+void emit_json(std::ostream& os, const std::unordered_map<int, double>& idx,
+               const std::vector<int>& order) {
+  for (const int id : order) os << id << idx.at(id);
+}

@@ -1,0 +1,9 @@
+// scan-as: src/treesched/exec/fixture.cpp
+// Hash-order iteration in a TU that emits JSON.
+#include <ostream>
+#include <unordered_map>
+
+void emit_json(std::ostream& os) {
+  std::unordered_map<int, double> by_node;
+  for (const auto& [k, v] : by_node) os << k << v;
+}

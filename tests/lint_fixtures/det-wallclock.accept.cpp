@@ -1,0 +1,12 @@
+// scan-as: src/treesched/sim/fixture.cpp
+// Simulation time via member calls, banned names in strings/comments only,
+// and a justified suppression: none of these may fire.
+double f(const Engine& engine, const Rec& r) {
+  // rand() and time(0) in prose are fine.
+  const char* s = "clock() inside a string literal";
+  return engine.now() + r.time(3) + (s != nullptr ? 1.0 : 0.0);
+}
+
+// treesched-lint: allow(det-wallclock): harness-side wait deadline; the
+// value never reaches any run output.
+long deadline() { return std::chrono::steady_clock::now().time_since_epoch().count(); }

@@ -1,0 +1,10 @@
+// scan-as: src/treesched/sim/fixture.cpp
+// Wall-clock reads in a scheduling path: every call below must fire.
+#include <chrono>
+#include <ctime>
+
+double jitter() {
+  const auto t0 = std::chrono::steady_clock::now();
+  long seed = time(nullptr);
+  return static_cast<double>(seed) + t0.time_since_epoch().count();
+}

@@ -1,0 +1,9 @@
+// scan-as: src/treesched/sim/fixture.cpp
+#include <cassert>
+
+void f(int x, long guard, std::string msg) {
+  assert(x + 1 > 0);
+  ++guard;
+  TS_CHECK(guard < 100, "stuck");
+  TS_REQUIRE(x == 3, msg += " (detail)");  // message arg may build state
+}

@@ -1,0 +1,7 @@
+// scan-as: src/treesched/sim/fixture.cpp
+#include <cassert>
+
+void f(int x, long guard) {
+  assert(x++ > 0);
+  TS_CHECK(++guard < 100, "stuck");
+}

@@ -1,0 +1,6 @@
+// scan-as: src/treesched/core/fixture.hpp
+#pragma once
+
+struct Guarded {
+  int x = 0;
+};

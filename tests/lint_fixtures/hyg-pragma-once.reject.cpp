@@ -1,0 +1,5 @@
+// scan-as: src/treesched/core/fixture.hpp
+// A header with neither #pragma once nor an include guard.
+struct Unguarded {
+  int x = 0;
+};

@@ -1,0 +1,5 @@
+// scan-as: src/treesched/sim/fixture.cpp
+// TODO(#42): referenced marker, allowed.
+// TODO(issue-queue-cap): slug-referenced marker, allowed.
+// Prose mentioning TODO markers mid-sentence is not a marker.
+int f() { return 0; }

@@ -1,0 +1,8 @@
+// scan-as: src/treesched/sim/fixture.cpp
+// TODO tighten this bound
+int f() {
+  /*
+   * TODO also this one, inside a block comment
+   */
+  return 0;
+}

@@ -1,0 +1,10 @@
+// scan-as: src/treesched/stats/fixture.cpp
+#include <vector>
+
+#include "treesched/util/csum.hpp"
+
+double total_of(const std::vector<double>& xs) {
+  util::CompensatedSum total;
+  for (const double x : xs) total.add(x);
+  return total.value();
+}

@@ -1,0 +1,8 @@
+// scan-as: src/treesched/stats/fixture.cpp
+#include <vector>
+
+double total_of(const std::vector<double>& xs) {
+  double total = 0.0;
+  for (const double x : xs) total += x;
+  return total;
+}

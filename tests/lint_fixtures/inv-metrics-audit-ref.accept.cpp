@@ -1,0 +1,11 @@
+// scan-as: src/treesched/sim/metrics.hpp
+#pragma once
+
+class Metrics {
+ public:
+  /// A serialized aggregate.
+  /// audit: work-conservation (recomputed from the burst log).
+  double shiny_metric() const;
+  /// A derived ratio. audit: none(quotient of audited quantities).
+  double derived_metric() const;
+};

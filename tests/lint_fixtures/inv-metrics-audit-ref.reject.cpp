@@ -1,0 +1,8 @@
+// scan-as: src/treesched/sim/metrics.hpp
+#pragma once
+
+class Metrics {
+ public:
+  /// A serialized aggregate with no audit reference.
+  double shiny_metric() const;
+};

@@ -1,0 +1,11 @@
+// scan-as: src/treesched/sim/fixture.cpp
+// uidx() for ids; raw casts of non-id members and float targets are fine.
+#include <cmath>
+#include <cstddef>
+
+std::size_t slot(int node_id, const Job& job, double chunk) {
+  const auto chunks = static_cast<std::int32_t>(std::ceil(job.size / chunk));
+  const double frac = static_cast<double>(node_id) / 7.0;
+  return uidx(node_id) + uidx(job.id) + static_cast<std::size_t>(chunks) +
+         static_cast<std::size_t>(frac);
+}

@@ -1,0 +1,6 @@
+// scan-as: src/treesched/sim/fixture.cpp
+#include <cstddef>
+
+std::size_t slot(int node_id, const Job& job) {
+  return static_cast<std::size_t>(node_id) + static_cast<std::size_t>(job.id);
+}

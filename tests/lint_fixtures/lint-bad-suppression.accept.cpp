@@ -1,0 +1,6 @@
+// scan-as: src/treesched/sim/fixture.cpp
+#include <ctime>
+
+// treesched-lint: allow(det-wallclock): fixture exercising a well-formed,
+// justified, and used annotation.
+long a = time(nullptr);

@@ -1,0 +1,11 @@
+// scan-as: src/treesched/sim/fixture.cpp
+#include <ctime>
+
+// treesched-lint: allow(det-wallclock)
+long a = time(nullptr);
+
+// treesched-lint: allow(not-a-rule): names an unknown rule
+int b = 0;
+
+// treesched-lint: deny(det-wallclock): unknown verb
+int c = 0;

@@ -1,0 +1,5 @@
+// scan-as: src/treesched/sim/fixture.cpp
+#include <ctime>
+
+// treesched-lint: allow(det-wallclock): used annotation, so not stale
+long a = time(nullptr);

@@ -1,0 +1,3 @@
+// scan-as: src/treesched/sim/fixture.cpp
+// treesched-lint: allow(det-wallclock): nothing below actually reads a clock
+int x = 3;

@@ -1,0 +1,128 @@
+// Fixture-file tests for treesched_lint. Every rule in the catalogue has an
+// accept fixture (must produce zero findings of that rule) and a reject
+// fixture (must produce at least one unsuppressed finding of it) under
+// tests/lint_fixtures/, named `<rule-id>.accept.cpp` / `<rule-id>.reject.cpp`.
+// Each fixture's first line declares the path it is scanned *as* (rules
+// scope by path):  // scan-as: src/treesched/sim/fixture.cpp
+//
+// The suite also self-scans the shipped tree: the repository must stay clean
+// under its own analyzer, which is what lets CI gate on exit code 2.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "treesched/lint/lint.hpp"
+
+namespace fs = std::filesystem;
+
+using treesched::lint::Finding;
+using treesched::lint::lint_source;
+using treesched::lint::lint_tree;
+using treesched::lint::rule_catalogue;
+
+namespace {
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  EXPECT_TRUE(in) << "cannot read " << p;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// First line must be `// scan-as: <path>`.
+std::string scan_as(const std::string& source, const fs::path& p) {
+  const std::string marker = "// scan-as: ";
+  EXPECT_EQ(source.compare(0, marker.size(), marker), 0)
+      << p << " is missing its scan-as header";
+  const std::size_t eol = source.find('\n');
+  return source.substr(marker.size(), eol - marker.size());
+}
+
+std::vector<Finding> lint_fixture(const std::string& rule,
+                                  const char* verdict) {
+  const fs::path p =
+      fs::path(LINT_FIXTURE_DIR) / (rule + "." + verdict + ".cpp");
+  EXPECT_TRUE(fs::exists(p)) << "missing fixture " << p;
+  const std::string source = read_file(p);
+  return lint_source(source, scan_as(source, p));
+}
+
+int count_unsuppressed(const std::vector<Finding>& fs_, const std::string& r) {
+  int n = 0;
+  for (const Finding& f : fs_)
+    if (f.rule == r && !f.suppressed) ++n;
+  return n;
+}
+
+TEST(LintFixtures, EveryRuleHasAnAcceptAndARejectFixture) {
+  for (const auto& rule : rule_catalogue()) {
+    EXPECT_TRUE(fs::exists(fs::path(LINT_FIXTURE_DIR) /
+                           (std::string(rule.id) + ".accept.cpp")))
+        << rule.id;
+    EXPECT_TRUE(fs::exists(fs::path(LINT_FIXTURE_DIR) /
+                           (std::string(rule.id) + ".reject.cpp")))
+        << rule.id;
+  }
+}
+
+TEST(LintFixtures, RejectFixturesFireTheirRule) {
+  for (const auto& rule : rule_catalogue()) {
+    const auto findings = lint_fixture(rule.id, "reject");
+    EXPECT_GE(count_unsuppressed(findings, rule.id), 1)
+        << rule.id << ".reject.cpp produced no unsuppressed " << rule.id
+        << " finding";
+  }
+}
+
+TEST(LintFixtures, AcceptFixturesStayQuietOnTheirRule) {
+  for (const auto& rule : rule_catalogue()) {
+    const auto findings = lint_fixture(rule.id, "accept");
+    EXPECT_EQ(count_unsuppressed(findings, rule.id), 0)
+        << rule.id << ".accept.cpp unexpectedly fired " << rule.id;
+  }
+}
+
+TEST(LintFixtures, NoStrayFilesInFixtureDir) {
+  // Guards the naming convention the other tests key off.
+  for (const auto& entry : fs::directory_iterator(LINT_FIXTURE_DIR)) {
+    const std::string name = entry.path().filename().string();
+    const bool ok = name.find(".accept.cpp") != std::string::npos ||
+                    name.find(".reject.cpp") != std::string::npos;
+    EXPECT_TRUE(ok) << "unexpected fixture file " << name;
+  }
+}
+
+TEST(LintSelfScan, ShippedTreeIsClean) {
+  const auto report =
+      lint_tree(LINT_PROJECT_ROOT, {"src", "tools", "bench"});
+  EXPECT_GT(report.files_scanned, 100u);  // sanity: the scan found the tree
+  std::string offenders;
+  for (const Finding& f : report.findings)
+    if (!f.suppressed)
+      offenders += "\n  " + f.file + ":" + std::to_string(f.line) + " [" +
+                   f.rule + "] " + f.message;
+  EXPECT_EQ(report.unsuppressed_count(), 0u) << offenders;
+}
+
+TEST(LintSelfScan, EverySuppressionInTheTreeCarriesAJustification) {
+  const auto report =
+      lint_tree(LINT_PROJECT_ROOT, {"src", "tools", "bench"});
+  for (const Finding& f : report.findings) {
+    if (f.suppressed) {
+      EXPECT_FALSE(f.justification.empty()) << f.file;
+    }
+  }
+}
+
+TEST(LintSelfScan, ReportJsonIsDeterministic) {
+  const auto a = lint_tree(LINT_PROJECT_ROOT, {"src", "tools", "bench"});
+  const auto b = lint_tree(LINT_PROJECT_ROOT, {"src", "tools", "bench"});
+  EXPECT_EQ(treesched::lint::report_json(a), treesched::lint::report_json(b));
+}
+
+}  // namespace

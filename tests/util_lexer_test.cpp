@@ -1,0 +1,200 @@
+// Edge cases for the from-scratch C++ lexer behind treesched_lint. The
+// linter's no-false-positive story rests on these: banned names inside
+// string literals, comments, raw strings, or `#if 0` regions must come out
+// of the lexer as non-code tokens (or not at all).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "treesched/util/lexer.hpp"
+
+using treesched::util::LexedFile;
+using treesched::util::TokKind;
+using treesched::util::Token;
+using treesched::util::lex;
+
+namespace {
+
+std::vector<std::string> texts_of(const LexedFile& f, TokKind kind) {
+  std::vector<std::string> out;
+  for (const Token& t : f.tokens)
+    if (t.kind == kind) out.push_back(t.text);
+  return out;
+}
+
+bool has_code_ident(const LexedFile& f, const std::string& name) {
+  for (const Token& t : f.tokens)
+    if (t.kind == TokKind::kIdentifier && t.text == name) return true;
+  return false;
+}
+
+TEST(Lexer, BannedNameInsideStringLiteralIsNotCode) {
+  const auto f =
+      lex(R"x(const char* s = "call rand() and time(0)";)x", "x.cpp");
+  EXPECT_FALSE(has_code_ident(f, "rand"));
+  EXPECT_FALSE(has_code_ident(f, "time"));
+  const auto strs = texts_of(f, TokKind::kString);
+  ASSERT_EQ(strs.size(), 1u);
+  EXPECT_EQ(strs[0], "call rand() and time(0)");
+}
+
+TEST(Lexer, BannedNameInsideCommentIsNotCode) {
+  const auto f = lex("// rand() is banned\nint x; /* time(0) too */", "x.cpp");
+  EXPECT_FALSE(has_code_ident(f, "rand"));
+  EXPECT_FALSE(has_code_ident(f, "time"));
+  EXPECT_TRUE(has_code_ident(f, "x"));
+  EXPECT_EQ(texts_of(f, TokKind::kComment).size(), 2u);
+}
+
+TEST(Lexer, RawStringBodyIsOneStringToken) {
+  const auto f =
+      lex("auto s = R\"(rand() \" unbalanced)\";\nint after;", "x.cpp");
+  EXPECT_FALSE(has_code_ident(f, "rand"));
+  EXPECT_TRUE(has_code_ident(f, "after"));
+  const auto strs = texts_of(f, TokKind::kString);
+  ASSERT_EQ(strs.size(), 1u);
+  EXPECT_EQ(strs[0], "rand() \" unbalanced");
+}
+
+TEST(Lexer, RawStringWithCustomDelimiter) {
+  const auto f =
+      lex("auto s = R\"ab(text with )\" inside)ab\";\nint after;", "x.cpp");
+  const auto strs = texts_of(f, TokKind::kString);
+  ASSERT_EQ(strs.size(), 1u);
+  EXPECT_EQ(strs[0], "text with )\" inside");
+  EXPECT_TRUE(has_code_ident(f, "after"));
+}
+
+TEST(Lexer, EncodingPrefixedStringsAndRawCombos) {
+  const auto f = lex(
+      "auto a = u8\"rand()\"; auto b = L\"x\"; auto c = LR\"(time(0))\";",
+      "x.cpp");
+  EXPECT_FALSE(has_code_ident(f, "rand"));
+  EXPECT_FALSE(has_code_ident(f, "time"));
+  EXPECT_EQ(texts_of(f, TokKind::kString).size(), 3u);
+  // The prefix letters must not leak out as identifiers either.
+  EXPECT_FALSE(has_code_ident(f, "u8"));
+  EXPECT_FALSE(has_code_ident(f, "L"));
+  EXPECT_FALSE(has_code_ident(f, "LR"));
+}
+
+TEST(Lexer, MultiLineBlockCommentTracksLines) {
+  const auto f = lex("/* line1\nline2\nline3 */\nint x;", "x.cpp");
+  const auto comments = texts_of(f, TokKind::kComment);
+  ASSERT_EQ(comments.size(), 1u);
+  EXPECT_NE(comments[0].find("line2"), std::string::npos);
+  for (const Token& t : f.tokens) {
+    if (t.kind == TokKind::kIdentifier && t.text == "x") {
+      EXPECT_EQ(t.line, 4);
+    }
+  }
+}
+
+TEST(Lexer, IfZeroRegionDropsCode) {
+  const auto f = lex(
+      "int keep1;\n#if 0\nint dropped = rand();\n#endif\nint keep2;\n",
+      "x.cpp");
+  EXPECT_TRUE(has_code_ident(f, "keep1"));
+  EXPECT_TRUE(has_code_ident(f, "keep2"));
+  EXPECT_FALSE(has_code_ident(f, "dropped"));
+  EXPECT_FALSE(has_code_ident(f, "rand"));
+}
+
+TEST(Lexer, IfZeroHandlesNestingAndElse) {
+  const auto f = lex(
+      "#if 0\n#ifdef FOO\nint inner;\n#endif\nint dead;\n#else\nint live;\n"
+      "#endif\n",
+      "x.cpp");
+  EXPECT_FALSE(has_code_ident(f, "inner"));
+  EXPECT_FALSE(has_code_ident(f, "dead"));
+  EXPECT_TRUE(has_code_ident(f, "live"));
+}
+
+TEST(Lexer, IfOneIsNotDisabled) {
+  const auto f = lex("#if 1\nint live;\n#endif\n", "x.cpp");
+  EXPECT_TRUE(has_code_ident(f, "live"));
+}
+
+TEST(Lexer, DirectiveWithLineContinuation) {
+  const auto f = lex("#define M(a) \\\n  ((a) + 1)\nint x;\n", "x.cpp");
+  const auto dirs = texts_of(f, TokKind::kDirective);
+  ASSERT_EQ(dirs.size(), 1u);
+  EXPECT_EQ(dirs[0].substr(0, 6), "define");
+  for (const Token& t : f.tokens) {
+    if (t.kind == TokKind::kIdentifier && t.text == "x") {
+      EXPECT_EQ(t.line, 3);
+    }
+  }
+}
+
+TEST(Lexer, HashMidLineIsNotADirective) {
+  const auto f = lex("int a = 1\n#if 0\n#endif\nx # y;\n", "x.cpp");
+  // '#' after code on the same line stays a punctuator.
+  bool saw_hash_punct = false;
+  for (const Token& t : f.tokens)
+    if (t.kind == TokKind::kPunct && t.text == "#") saw_hash_punct = true;
+  EXPECT_TRUE(saw_hash_punct);
+}
+
+TEST(Lexer, MaximalMunchPunctuators) {
+  const auto f = lex("a += b; c <<= d; e->f; g >> h; i++;", "x.cpp");
+  const auto puncts = texts_of(f, TokKind::kPunct);
+  EXPECT_NE(std::find(puncts.begin(), puncts.end(), "+="), puncts.end());
+  EXPECT_NE(std::find(puncts.begin(), puncts.end(), "<<="), puncts.end());
+  EXPECT_NE(std::find(puncts.begin(), puncts.end(), "->"), puncts.end());
+  EXPECT_NE(std::find(puncts.begin(), puncts.end(), ">>"), puncts.end());
+  EXPECT_NE(std::find(puncts.begin(), puncts.end(), "++"), puncts.end());
+}
+
+TEST(Lexer, PpNumbersWithExponentsAndSeparators) {
+  const auto f = lex("double x = 1.5e-3 + 0x1Fp+2 + 1'000'000;", "x.cpp");
+  const auto nums = texts_of(f, TokKind::kNumber);
+  ASSERT_EQ(nums.size(), 3u);
+  EXPECT_EQ(nums[0], "1.5e-3");
+  EXPECT_EQ(nums[1], "0x1Fp+2");
+  EXPECT_EQ(nums[2], "1'000'000");
+}
+
+TEST(Lexer, CharLiteralWithEscapes) {
+  const auto f = lex(R"(char c = '\''; char d = '\\';)", "x.cpp");
+  const auto chars = texts_of(f, TokKind::kChar);
+  ASSERT_EQ(chars.size(), 2u);
+  EXPECT_EQ(chars[0], "\\'");
+  EXPECT_EQ(chars[1], "\\\\");
+}
+
+TEST(Lexer, UnterminatedStringClosesAtNewline) {
+  const auto f = lex("auto s = \"no close\nint next;\n", "x.cpp");
+  EXPECT_TRUE(has_code_ident(f, "next"));
+  const auto strs = texts_of(f, TokKind::kString);
+  ASSERT_EQ(strs.size(), 1u);
+  EXPECT_EQ(strs[0], "no close");
+}
+
+TEST(Lexer, LineAndColumnPositions) {
+  const auto f = lex("int a;\n  double b;\n", "x.cpp");
+  for (const Token& t : f.tokens) {
+    if (t.kind != TokKind::kIdentifier) continue;
+    if (t.text == "a") {
+      EXPECT_EQ(t.line, 1);
+      EXPECT_EQ(t.col, 5);
+    }
+    if (t.text == "b") {
+      EXPECT_EQ(t.line, 2);
+      EXPECT_EQ(t.col, 10);
+    }
+  }
+}
+
+TEST(Lexer, TrailingCommentAfterDirectiveIsLexed) {
+  const auto f =
+      lex("#pragma once  // treesched-lint: marker here\nint x;\n", "x.hpp");
+  ASSERT_EQ(texts_of(f, TokKind::kComment).size(), 1u);
+  const auto dirs = texts_of(f, TokKind::kDirective);
+  ASSERT_EQ(dirs.size(), 1u);
+  EXPECT_EQ(dirs[0], "pragma once");
+}
+
+}  // namespace

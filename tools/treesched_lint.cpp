@@ -1,0 +1,67 @@
+// treesched_lint — determinism & model-invariant static analyzer.
+//
+//   treesched_lint --root . [--dirs src,tools,bench] [--json findings.json]
+//
+// Scans the project's C++ sources with the from-scratch rule set in
+// src/treesched/lint (no compiler dependency), prints a findings table, and
+// optionally writes the stable treesched-lint-v1 JSON document that CI
+// uploads as an artifact. Rules and the suppression policy are documented in
+// docs/LINTING.md.
+//
+// Exit codes: 0 = clean (suppressed findings allowed), 1 = usage/input
+// error, 2 = unsuppressed findings. The CI gate is `exit != 0`.
+#include <iostream>
+
+#include "treesched/lint/lint.hpp"
+#include "treesched/util/cli.hpp"
+#include "treesched/util/fs.hpp"
+#include "treesched/util/string_util.hpp"
+
+using namespace treesched;
+
+int main(int argc, char** argv) {
+  util::Cli cli("treesched_lint",
+                "Static analysis for determinism and model invariants.");
+  auto& root = cli.add_string("root", ".", "project root to scan");
+  auto& dirs = cli.add_string(
+      "dirs", "src,tools,bench", "comma-separated directories under --root");
+  auto& json_path =
+      cli.add_string("json", "", "write treesched-lint-v1 JSON here");
+  auto& show_suppressed =
+      cli.add_flag("show-suppressed", "include suppressed findings in the table");
+  auto& list_rules = cli.add_flag("list-rules", "print the rule catalogue");
+  auto& quiet = cli.add_flag("quiet", "print only the summary line");
+
+  try {
+    cli.parse(argc, argv);
+
+    if (list_rules) {
+      for (const lint::RuleInfo& r : lint::rule_catalogue())
+        std::cout << r.id << " (" << lint::severity_name(r.severity) << "): "
+                  << r.summary << '\n';
+      return 0;
+    }
+
+    const lint::Report report = lint::lint_tree(root, util::split(dirs, ','));
+    if (report.files_scanned == 0)
+      throw std::runtime_error("no lintable files under " + root +
+                               " (check --root/--dirs)");
+
+    if (!json_path.empty())
+      util::write_file_atomic(json_path, lint::report_json(report));
+
+    if (quiet) {
+      std::cout << "treesched_lint: " << report.files_scanned << " files, "
+                << report.unsuppressed_count() << " unsuppressed findings\n";
+    } else {
+      std::cout << lint::report_table(report, show_suppressed);
+    }
+    return report.unsuppressed_count() == 0 ? 0 : 2;
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: " << e.what() << '\n' << cli.usage();
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
