@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <limits>
+#include <sstream>
 #include <stdexcept>
 
 #include "treesched/algo/general_tree.hpp"
@@ -227,6 +228,79 @@ NodeId TwoChoicePolicy::assign(const sim::Engine& engine, const Job& job) {
   const NodeId b = pick();
   if (a == b) return a;
   return volume_cost(engine, job, a) <= volume_cost(engine, job, b) ? a : b;
+}
+
+// ---------------------------------------------------------------------------
+// Stream-state round-trips (single whitespace-free tokens; see
+// sim::AssignmentPolicy::stream_state)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string rng_token(const util::Rng& rng) {
+  const auto s = rng.state();
+  std::ostringstream os;
+  os << "rng:" << s[0] << ':' << s[1] << ':' << s[2] << ':' << s[3];
+  return os.str();
+}
+
+util::Rng rng_from_token(const std::string& token) {
+  std::array<std::uint64_t, 4> s{};
+  char c1 = 0, c2 = 0, c3 = 0;
+  std::istringstream is(token);
+  std::string tag(4, '\0');
+  is.read(tag.data(), 4);
+  is >> s[0] >> c1 >> s[1] >> c2 >> s[2] >> c3 >> s[3];
+  TS_REQUIRE(is && tag == "rng:" && c1 == ':' && c2 == ':' && c3 == ':',
+             "malformed rng stream-state token: " + token);
+  util::Rng rng;
+  rng.set_state(s);
+  return rng;
+}
+
+std::size_t counter_from_token(const std::string& token, const char* tag) {
+  const std::string prefix = std::string(tag) + ":";
+  TS_REQUIRE(token.compare(0, prefix.size(), prefix) == 0,
+             "malformed stream-state token: " + token);
+  std::istringstream is(token.substr(prefix.size()));
+  std::size_t n = 0;
+  is >> n;
+  TS_REQUIRE(static_cast<bool>(is), "malformed stream-state token: " + token);
+  return n;
+}
+
+}  // namespace
+
+std::string PaperGreedyPolicy::stream_state() const {
+  std::ostringstream os;
+  os << "rot:" << rotation_;
+  return os.str();
+}
+
+void PaperGreedyPolicy::restore_stream_state(const std::string& state) {
+  rotation_ = counter_from_token(state, "rot");
+}
+
+std::string RandomLeafPolicy::stream_state() const { return rng_token(rng_); }
+
+void RandomLeafPolicy::restore_stream_state(const std::string& state) {
+  rng_ = rng_from_token(state);
+}
+
+std::string RoundRobinPolicy::stream_state() const {
+  std::ostringstream os;
+  os << "rr:" << next_;
+  return os.str();
+}
+
+void RoundRobinPolicy::restore_stream_state(const std::string& state) {
+  next_ = counter_from_token(state, "rr");
+}
+
+std::string TwoChoicePolicy::stream_state() const { return rng_token(rng_); }
+
+void TwoChoicePolicy::restore_stream_state(const std::string& state) {
+  rng_ = rng_from_token(state);
 }
 
 // ---------------------------------------------------------------------------

@@ -64,6 +64,12 @@ class PaperGreedyPolicy : public sim::AssignmentPolicy {
     return cached_F(engine, job, leaf);
   }
 
+  /// kRotate carries a tie cursor across decisions; snapshot it so resumed
+  /// streaming runs break ties identically. (The epoch cache is pure
+  /// derived state and needs no serialization.)
+  std::string stream_state() const override;
+  void restore_stream_state(const std::string& state) override;
+
  private:
   /// F evaluated through a per-root-child epoch cache: F depends on the leaf
   /// only through R(v), so one evaluation per root child suffices for the
@@ -125,6 +131,10 @@ class RandomLeafPolicy : public sim::AssignmentPolicy {
   NodeId assign(const sim::Engine& engine, const Job& job) override;
   const char* name() const override { return "random"; }
 
+  /// Snapshots the RNG stream position for streaming kill/resume.
+  std::string stream_state() const override;
+  void restore_stream_state(const std::string& state) override;
+
  private:
   util::Rng rng_;
 };
@@ -134,6 +144,10 @@ class RoundRobinPolicy : public sim::AssignmentPolicy {
  public:
   NodeId assign(const sim::Engine& engine, const Job& job) override;
   const char* name() const override { return "round-robin"; }
+
+  /// Snapshots the rotation cursor for streaming kill/resume.
+  std::string stream_state() const override;
+  void restore_stream_state(const std::string& state) override;
 
  private:
   std::size_t next_ = 0;
@@ -167,6 +181,10 @@ class TwoChoicePolicy : public sim::AssignmentPolicy {
   explicit TwoChoicePolicy(std::uint64_t seed);
   NodeId assign(const sim::Engine& engine, const Job& job) override;
   const char* name() const override { return "two-choice"; }
+
+  /// Snapshots the RNG stream position for streaming kill/resume.
+  std::string stream_state() const override;
+  void restore_stream_state(const std::string& state) override;
 
  private:
   double volume_cost(const sim::Engine& engine, const Job& job,

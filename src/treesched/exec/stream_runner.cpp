@@ -1,0 +1,434 @@
+#include "treesched/exec/stream_runner.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "treesched/algo/policies.hpp"
+#include "treesched/core/instance.hpp"
+#include "treesched/overload/controller.hpp"
+#include "treesched/sim/engine.hpp"
+#include "treesched/sim/runlog_segments.hpp"
+#include "treesched/util/assert.hpp"
+#include "treesched/util/fs.hpp"
+#include "treesched/util/mem.hpp"
+#include "treesched/util/stopwatch.hpp"
+
+namespace treesched::exec {
+
+namespace {
+
+std::uint64_t fnv1a(const std::string& bytes) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Streaming-safe policies only: every decision must be reproducible from
+/// (engine state, stream_state token). broomstick-mirror simulates the whole
+/// instance up front and fault-greedy needs fault plans — both are
+/// incompatible with windowed streams.
+std::unique_ptr<sim::AssignmentPolicy> make_stream_policy(
+    const std::string& name, double eps, std::uint64_t seed) {
+  if (name == "paper") return std::make_unique<algo::PaperGreedyPolicy>(eps);
+  if (name == "closest") return std::make_unique<algo::ClosestLeafPolicy>();
+  if (name == "random")
+    return std::make_unique<algo::RandomLeafPolicy>(seed);
+  if (name == "round-robin")
+    return std::make_unique<algo::RoundRobinPolicy>();
+  if (name == "least-volume")
+    return std::make_unique<algo::LeastVolumePolicy>();
+  if (name == "least-count")
+    return std::make_unique<algo::LeastCountPolicy>();
+  if (name == "two-choice")
+    return std::make_unique<algo::TwoChoicePolicy>(seed);
+  throw std::invalid_argument(
+      "policy '" + name +
+      "' is not streaming-safe (want paper|closest|random|round-robin|"
+      "least-volume|least-count|two-choice)");
+}
+
+/// Identity of the run every snapshot is checked against: resuming under a
+/// different tree, speed profile, stream, policy, or windowing would replay
+/// a DIFFERENT run while claiming continuity.
+std::string spec_string(const Tree& tree, const SpeedProfile& speeds,
+                        const StreamRunnerConfig& cfg) {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << "tree";
+  for (NodeId v = 0; v < tree.node_count(); ++v)
+    os << ' ' << tree.parent(v) << ':' << static_cast<int>(tree.kind(v));
+  os << "\nspeeds";
+  for (NodeId v = 0; v < tree.node_count(); ++v)
+    os << ' ' << speeds.speed(v);
+  os << "\nstream " << cfg.stream.seed << ' ' << cfg.stream.lambda << ' '
+     << static_cast<int>(cfg.stream.sizes.dist) << ' ' << cfg.stream.sizes.scale
+     << ' ' << cfg.stream.sizes.spread << ' ' << cfg.stream.sizes.shape << ' '
+     << cfg.stream.sizes.mix << ' ' << cfg.stream.sizes.class_eps;
+  os << "\nrun " << cfg.total_jobs << ' ' << cfg.window << ' ' << cfg.policy
+     << ' ' << cfg.eps << ' ' << cfg.policy_seed << ' '
+     << static_cast<int>(cfg.node_policy) << ' '
+     << static_cast<int>(cfg.shed.policy) << ' ' << cfg.shed.queue_cap << ' '
+     << cfg.shed.deadline_slack << ' ' << (cfg.record_path.empty() ? 0 : 1)
+     << ' ' << cfg.segment_cap << ' ' << cfg.snapshot_every;
+  return os.str();
+}
+
+void expect_tag(std::istream& is, const char* tag) {
+  std::string got;
+  is >> got;
+  TS_REQUIRE(is && got == tag,
+             std::string("snapshot: expected '") + tag + "', got '" + got +
+                 "'");
+}
+
+class StreamRunner;
+
+/// Feeds completions to the segment writer the instant they happen and
+/// drains the recorder whenever it fills a segment (so the tail
+/// run_to_completion phase cannot grow the recorder unboundedly).
+class StreamFeed : public sim::EngineObserver {
+ public:
+  explicit StreamFeed(StreamRunner* runner) : runner_(runner) {}
+  void on_job_completed(const sim::Engine& engine, JobId j) override;
+  void on_event(const sim::Engine& engine, Time t) override;
+
+ private:
+  StreamRunner* runner_;
+};
+
+class StreamRunner {
+ public:
+  StreamRunner(std::shared_ptr<const Tree> tree, const SpeedProfile& speeds,
+               const StreamRunnerConfig& cfg)
+      : tree_(std::move(tree)),
+        speeds_(speeds),
+        cfg_(cfg),
+        stream_(cfg.stream),
+        feed_(this) {
+    TS_REQUIRE(cfg_.total_jobs > 0, "streaming run needs total_jobs > 0");
+    TS_REQUIRE(cfg_.window > 0, "streaming run needs a positive window");
+    overload::validate_shed_config(cfg_.shed);
+    if (cfg_.snapshot_every > 0 || cfg_.die_after_snapshot > 0)
+      TS_REQUIRE(!cfg_.snapshot_path.empty(),
+                 "snapshotting needs --snapshot-path");
+    policy_ = make_stream_policy(cfg_.policy, cfg_.eps, cfg_.policy_seed);
+    if (cfg_.shed.enabled()) admission_.emplace(cfg_.shed, cfg_.eps);
+    if (!cfg_.record_path.empty())
+      writer_.emplace(
+          sim::SegmentedRunLogWriter::Config{cfg_.record_path,
+                                             cfg_.segment_cap},
+          *tree_, speeds_.speeds(), cfg_.node_policy, 0.0, cfg_.shed);
+    spec_fp_ = fnv1a(spec_string(*tree_, speeds_, cfg_));
+  }
+
+  StreamRunnerResult run() {
+    if (cfg_.resume_snapshot.empty()) {
+      if (writer_) writer_->start_fresh();
+      fill_window(sim::StreamAccumulator());
+    } else {
+      load_snapshot();
+    }
+    for (;;) {
+      while (processed_ < window_jobs_.size()) {
+        step_one_arrival();
+        if (result_.interrupted) return finish();
+      }
+      if (base_ + processed_ >= cfg_.total_jobs) break;
+      // The next arrival exists; decide how it enters the system.
+      const workload::StreamJob nxt = stream_.peek(gen_cursor_);
+      engine_->advance_to(nxt.release);
+      drain();
+      if (engine_->drained()) {
+        // Quiescent instant: nothing in flight, so the finished window's
+        // per-job records can be dropped — the accumulator carries the
+        // metrics across.
+        sim::StreamAccumulator acc = engine_->metrics().stream_accumulator();
+        fill_window(std::move(acc));
+      } else {
+        extend_window();
+      }
+    }
+    engine_->run_to_completion();
+    drain();
+    if (writer_) {
+      const sim::StreamAccumulator& acc =
+          engine_->metrics().stream_accumulator();
+      writer_->write_final(base_ + processed_, acc.completed, acc.shed,
+                           acc.rejected, acc.flow.value(), acc.makespan);
+    }
+    return finish();
+  }
+
+  // Observer callbacks (via StreamFeed).
+  void on_done(const sim::Engine& engine, JobId j) {
+    if (writer_)
+      writer_->on_done(base_ + static_cast<std::uint64_t>(j), engine.now());
+  }
+  void on_tick(const sim::Engine& engine) {
+    if (writer_ && engine.recorder().segments().size() >= cfg_.segment_cap)
+      drain();
+    heartbeat(engine.now());
+  }
+
+ private:
+  StreamRunnerResult finish() {
+    result_.arrivals = base_ + processed_;
+    result_.acc = engine_->metrics().stream_accumulator();
+    if (writer_) result_.segments_written = writer_->next_index();
+    return result_;
+  }
+
+  /// Builds a fresh engine over the next window of at most `window` arrivals
+  /// starting at the generation cursor, seeding its metrics with `acc`.
+  void fill_window(sim::StreamAccumulator acc) {
+    base_ = gen_cursor_.index;
+    window_cursor_ = gen_cursor_;
+    window_jobs_.clear();
+    const std::uint64_t remaining = cfg_.total_jobs - base_;
+    const std::size_t n =
+        static_cast<std::size_t>(std::min<std::uint64_t>(cfg_.window,
+                                                         remaining));
+    for (std::size_t i = 0; i < n; ++i) {
+      const workload::StreamJob sj = stream_.next(gen_cursor_);
+      window_jobs_.emplace_back(static_cast<JobId>(i), sj.release, sj.size);
+    }
+    processed_ = 0;
+    shed_consumed_ = 0;
+    rebuild_engine(nullptr, &acc);
+  }
+
+  /// Grows the current window by one quantum and moves the live engine
+  /// state over byte-exactly.
+  void extend_window() {
+    std::ostringstream blob;
+    engine_->save_state(blob);
+    const std::uint64_t generated = base_ + window_jobs_.size();
+    const std::uint64_t remaining = cfg_.total_jobs - generated;
+    const std::size_t grow =
+        static_cast<std::size_t>(std::min<std::uint64_t>(cfg_.window,
+                                                         remaining));
+    TS_REQUIRE(grow > 0, "extend_window with no arrivals left");
+    for (std::size_t i = 0; i < grow; ++i) {
+      const workload::StreamJob sj = stream_.next(gen_cursor_);
+      window_jobs_.emplace_back(static_cast<JobId>(window_jobs_.size()),
+                                sj.release, sj.size);
+    }
+    std::istringstream in(blob.str());
+    rebuild_engine(&in, nullptr);
+  }
+
+  /// (Re)creates instance + engine over window_jobs_. Exactly one of
+  /// `state` (load_state blob) / `acc` (fresh streaming window) is given.
+  void rebuild_engine(std::istream* state, sim::StreamAccumulator* acc) {
+    engine_.reset();  // references the old instance — must go first
+    inst_ = std::make_unique<Instance>(tree_, window_jobs_,
+                                       EndpointModel::kIdentical);
+    sim::EngineConfig ecfg;
+    ecfg.node_policy = cfg_.node_policy;
+    ecfg.record_schedule = writer_.has_value();
+    ecfg.router_chunk_size = 0.0;
+    ecfg.slow_queries = cfg_.slow_queries;
+    ecfg.shed = cfg_.shed;
+    engine_ = std::make_unique<sim::Engine>(*inst_, speeds_, ecfg);
+    if (admission_) engine_->set_admission(&*admission_);
+    if (state != nullptr)
+      engine_->load_state(*state);
+    else
+      engine_->metrics().enable_streaming(std::move(*acc));
+    engine_->set_observer(&feed_);
+    result_.max_window = std::max(result_.max_window, window_jobs_.size());
+  }
+
+  void step_one_arrival() {
+    const Job& job = inst_->job(static_cast<JobId>(processed_));
+    engine_->advance_to(job.release);
+    const bool admitted =
+        !admission_ || admission_->admit(*engine_, job);
+    if (admitted) {
+      const NodeId leaf = policy_->assign(*engine_, job);
+      engine_->admit(job.id, leaf);
+      if (writer_)
+        writer_->on_admit(base_ + processed_, job.release, job.weight,
+                          job.size, leaf);
+    } else if (!engine_->job_rejected(job.id)) {
+      engine_->reject(job.id);
+    }
+    ++processed_;
+    drain();
+    heartbeat(engine_->now());
+    const std::uint64_t done = base_ + processed_;
+    if (cfg_.snapshot_every > 0 && done % cfg_.snapshot_every == 0 &&
+        done < cfg_.total_jobs)
+      take_snapshot(done);
+  }
+
+  /// Feeds everything the engine produced so far to the segment writer.
+  /// Always a safe point for commit: callers invoke it only when every
+  /// event with sort key <= now() has been processed.
+  void drain() {
+    if (!writer_) return;
+    for (const sim::Segment& s : engine_->recorder().segments())
+      writer_->on_burst(s, base_ + uidx(s.job));
+    engine_->recorder().clear();
+    const auto& sl = engine_->shed_log();
+    for (; shed_consumed_ < sl.size(); ++shed_consumed_) {
+      const sim::ShedRecord& r = sl[shed_consumed_];
+      const std::uint64_t gj = base_ + uidx(r.job);
+      if (r.kind == sim::ShedRecord::Kind::kShed)
+        writer_->on_shed(r.t, gj);
+      else if (r.kind == sim::ShedRecord::Kind::kReject)
+        writer_->on_reject(r.t, gj);
+      // kAdmit is deadline-policy bookkeeping, not part of the segment
+      // format (the monolithic run log keeps it).
+    }
+    writer_->commit(false);
+  }
+
+  void take_snapshot(std::uint64_t done) {
+    drain();
+    if (writer_) writer_->commit(true);
+    std::ostringstream os;
+    os << std::setprecision(17);
+    os << "streamsnap 1\n";
+    os << "spec " << spec_fp_ << '\n';
+    os << "progress " << done << '\n';
+    os << "window " << base_ << ' ' << window_jobs_.size() << ' '
+       << processed_ << '\n';
+    os << "wcursor " << window_cursor_.index << ' ' << window_cursor_.clock
+       << '\n';
+    os << "gcursor " << gen_cursor_.index << ' ' << gen_cursor_.clock << '\n';
+    os << "policystate " << policy_->stream_state() << '\n';
+    os << "shedconsumed " << shed_consumed_ << '\n';
+    if (writer_)
+      os << "writer " << writer_->next_index() << ' ' << writer_->chain()
+         << '\n';
+    else
+      os << "writer 0 0\n";
+    engine_->save_state(os);
+    os << "streamsnap-end\n";
+    util::write_file_atomic(cfg_.snapshot_path, os.str());
+    ++result_.snapshots_written;
+    if (cfg_.die_after_snapshot > 0 &&
+        result_.snapshots_written >= cfg_.die_after_snapshot)
+      result_.interrupted = true;
+  }
+
+  void load_snapshot() {
+    std::ifstream is = [this] {
+      std::ifstream f(cfg_.resume_snapshot);
+      TS_REQUIRE(static_cast<bool>(f),
+                 "cannot open snapshot " + cfg_.resume_snapshot);
+      return f;
+    }();
+    expect_tag(is, "streamsnap");
+    int version = 0;
+    TS_REQUIRE(static_cast<bool>(is >> version) && version == 1,
+               "unsupported snapshot version");
+    expect_tag(is, "spec");
+    std::uint64_t fp = 0;
+    is >> fp;
+    TS_REQUIRE(is && fp == spec_fp_,
+               "snapshot was taken under a different run spec");
+    expect_tag(is, "progress");
+    std::uint64_t done = 0;
+    is >> done;
+    expect_tag(is, "window");
+    std::size_t count = 0;
+    is >> base_ >> count >> processed_;
+    expect_tag(is, "wcursor");
+    is >> window_cursor_.index >> window_cursor_.clock;
+    expect_tag(is, "gcursor");
+    workload::StreamCursor gcur;
+    is >> gcur.index >> gcur.clock;
+    expect_tag(is, "policystate");
+    std::string pstate;
+    is >> pstate;
+    expect_tag(is, "shedconsumed");
+    is >> shed_consumed_;
+    expect_tag(is, "writer");
+    std::size_t widx = 0;
+    std::uint64_t wchain = 0;
+    is >> widx >> wchain;
+    TS_REQUIRE(static_cast<bool>(is), "truncated snapshot header");
+    TS_REQUIRE(done == base_ + processed_,
+               "snapshot progress disagrees with its window position");
+
+    // Regenerate the window from its cursor — bit-identical to the original
+    // generation by the per-index RNG-stream construction.
+    gen_cursor_ = window_cursor_;
+    window_jobs_.clear();
+    for (std::size_t i = 0; i < count; ++i) {
+      const workload::StreamJob sj = stream_.next(gen_cursor_);
+      window_jobs_.emplace_back(static_cast<JobId>(i), sj.release, sj.size);
+    }
+    TS_REQUIRE(gen_cursor_.index == gcur.index &&
+                   gen_cursor_.clock == gcur.clock,
+               "regenerated window does not land on the saved cursor");
+    rebuild_engine(&is, nullptr);
+    expect_tag(is, "streamsnap-end");
+    policy_->restore_stream_state(pstate);
+    if (writer_) writer_->resume(widx, wchain);
+  }
+
+  void heartbeat(Time sim_now) {
+    if (cfg_.progress_every <= 0.0) return;
+    if (watch_.elapsed_seconds() - last_beat_ < cfg_.progress_every) return;
+    last_beat_ = watch_.elapsed_seconds();
+    std::cerr << "[stream] jobs " << (base_ + processed_) << '/'
+              << cfg_.total_jobs << " simtime " << sim_now << " window "
+              << window_jobs_.size() << " rss "
+              << util::current_rss_bytes() / (1024 * 1024) << "MB\n";
+  }
+
+  std::shared_ptr<const Tree> tree_;
+  SpeedProfile speeds_;
+  StreamRunnerConfig cfg_;
+  workload::JobStream stream_;
+  StreamFeed feed_;
+  std::unique_ptr<sim::AssignmentPolicy> policy_;
+  std::optional<overload::AdmissionController> admission_;
+  std::optional<sim::SegmentedRunLogWriter> writer_;
+  std::uint64_t spec_fp_ = 0;
+
+  std::unique_ptr<Instance> inst_;
+  std::unique_ptr<sim::Engine> engine_;
+  std::vector<Job> window_jobs_;
+  workload::StreamCursor gen_cursor_;     ///< next arrival to generate
+  workload::StreamCursor window_cursor_;  ///< cursor at window start
+  std::uint64_t base_ = 0;                ///< global id of window-local 0
+  std::size_t processed_ = 0;             ///< window-local arrivals consumed
+  std::size_t shed_consumed_ = 0;         ///< shed-log entries fed to writer
+
+  util::Stopwatch watch_;
+  double last_beat_ = 0.0;
+  StreamRunnerResult result_;
+};
+
+void StreamFeed::on_job_completed(const sim::Engine& engine, JobId j) {
+  runner_->on_done(engine, j);
+}
+
+void StreamFeed::on_event(const sim::Engine& engine, Time /*t*/) {
+  runner_->on_tick(engine);
+}
+
+}  // namespace
+
+StreamRunnerResult run_stream(std::shared_ptr<const Tree> tree,
+                              const SpeedProfile& speeds,
+                              const StreamRunnerConfig& cfg) {
+  TS_REQUIRE(tree != nullptr, "run_stream needs a tree");
+  StreamRunner runner(std::move(tree), speeds, cfg);
+  return runner.run();
+}
+
+}  // namespace treesched::exec

@@ -1,0 +1,97 @@
+// Streaming endurance driver: unbounded arrival streams over a bounded
+// memory footprint.
+//
+// The engine's Instance is immutable and sized up front, so an endurance run
+// cannot hand it 10^8 jobs. Instead the runner windows the stream: it
+// generates arrivals lazily (workload::JobStream), admits them into an
+// engine built over the current window, and
+//
+//  * rotates when the system drains before the next arrival — a quiescent
+//    instant: the finished window's records are dropped, a fresh engine over
+//    the next window carries the metrics forward through the streaming
+//    accumulator (sim::Metrics::enable_streaming);
+//  * extends when the next arrival lands while work is in flight: the live
+//    state moves to an engine over a larger window via Engine::save_state /
+//    load_state, which is byte-exact.
+//
+// Because rotation happens only at quiescent instants and extension is
+// byte-exact, every schedule decision, metric bit, and run-log byte is
+// INDEPENDENT of the window quantum — the windowing is invisible.
+//
+// Snapshots: every `snapshot_every` arrivals the runner force-commits the
+// segmented run log and writes one atomic snapshot file (stream cursors,
+// policy decision state, writer chain position, full engine state). A run
+// resumed from the snapshot replays byte-identically: same metrics bits,
+// same segment files, same manifest — the kill-and-resume differential the
+// endurance CI leg checks. Snapshot points sit at arrival boundaries, after
+// a full recorder drain, which is what makes them safe commit points for
+// the segment writer.
+//
+// Streaming restrictions (TS_REQUIREd or rejected eagerly): Poisson root
+// arrivals with unit weights, identical endpoints, whole-job forwarding
+// (chunk 0), no fault injection, and a policy whose decision state
+// round-trips through AssignmentPolicy::stream_state (paper, closest,
+// random, round-robin, least-volume, least-count, two-choice).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "treesched/core/speed_profile.hpp"
+#include "treesched/core/tree.hpp"
+#include "treesched/overload/config.hpp"
+#include "treesched/sim/metrics.hpp"
+#include "treesched/sim/priority.hpp"
+#include "treesched/workload/stream.hpp"
+
+namespace treesched::exec {
+
+struct StreamRunnerConfig {
+  workload::StreamSpec stream;   ///< the arrival process
+  std::uint64_t total_jobs = 0;  ///< arrivals to consume; > 0
+  /// Window quantum: jobs per engine window (and per extension step). Pure
+  /// memory/speed tuning — results are window-invariant (see file comment).
+  std::size_t window = 4096;
+  std::string policy = "paper";
+  double eps = 0.5;
+  std::uint64_t policy_seed = 1;  ///< for the randomized policies
+  sim::NodePolicy node_policy = sim::NodePolicy::kSjf;
+  overload::ShedConfig shed;     ///< admission control (validated eagerly)
+  bool slow_queries = false;     ///< EngineConfig::slow_queries passthrough
+  /// Segmented run-log manifest path ("" = no recording).
+  std::string record_path;
+  std::size_t segment_cap = 4096;
+  /// Arrivals between snapshots (0 = no snapshots; requires snapshot_path).
+  std::uint64_t snapshot_every = 0;
+  std::string snapshot_path;
+  /// Resume from this snapshot instead of starting fresh ("" = fresh).
+  std::string resume_snapshot;
+  /// Exit right after writing the N-th snapshot of THIS process (0 = never)
+  /// — the deterministic stand-in for kill -9 in the endurance smoke tests.
+  std::uint64_t die_after_snapshot = 0;
+  /// Seconds between stderr heartbeats (0 = silent).
+  double progress_every = 0.0;
+};
+
+struct StreamRunnerResult {
+  /// True when die_after_snapshot stopped the run early.
+  bool interrupted = false;
+  std::uint64_t arrivals = 0;       ///< arrivals processed (admit or reject)
+  std::uint64_t snapshots_written = 0;  ///< by this process
+  std::size_t max_window = 0;       ///< peak window size (extension depth)
+  std::size_t segments_written = 0; ///< run-log segments closed
+  /// The streaming metrics accumulator at the end of the run (complete only
+  /// when !interrupted).
+  sim::StreamAccumulator acc;
+};
+
+/// Runs the stream to total_jobs arrivals (or the next snapshot when
+/// die_after_snapshot triggers). Throws std::invalid_argument on config
+/// errors (unknown/unsupported policy, bad shed config, snapshot flags
+/// without a path, spec mismatch on resume).
+StreamRunnerResult run_stream(std::shared_ptr<const Tree> tree,
+                              const SpeedProfile& speeds,
+                              const StreamRunnerConfig& cfg);
+
+}  // namespace treesched::exec

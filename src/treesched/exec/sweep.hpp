@@ -68,6 +68,10 @@ struct SweepSpec {
   double timeout_ms = 0.0;       ///< per-task gather patience; 0 = none
   /// When non-empty: every task writes its instance trace and run log here
   /// (index-suffixed via sim::task_log_path) for offline treesched_audit.
+  /// Segment-aware: a streaming task's segmented log derives its per-segment
+  /// names via sim::segment_log_path FROM the task-suffixed base
+  /// (`x.task000003.seg000001.log`), so recorded streaming sweeps never
+  /// collide with each other or with their own manifest.
   std::string record_dir;
   /// Transient-failure retries per task; each attempt k sleeps
   /// retry_backoff_ms * min(2^(k-1), 32) before re-running.

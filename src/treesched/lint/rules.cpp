@@ -575,6 +575,31 @@ void rule_hyg_assert_side_effect(const FileCtx& ctx) {
 }
 
 // ---------------------------------------------------------------------------
+// det-sketch-merge — order-sensitive sketch merge outside stats/
+// ---------------------------------------------------------------------------
+//
+// Guarantee protected: quantile sketches produce identical bytes regardless
+// of how work was parallelized. QuantileDigest::absorb_unordered folds its
+// argument in call order, so two threads merging partials in completion
+// order yield different centroids run to run. Every call site outside the
+// sketch implementation itself must route through
+// stats::merge_deterministic(), which fixes the fold order to the caller's
+// index order.
+
+void rule_det_sketch_merge(const FileCtx& ctx) {
+  if (ctx.in_dir("src/treesched/stats/")) return;  // the implementation
+  const auto& t = ctx.code;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdentifier) continue;
+    if (t[i].text != "absorb_unordered") continue;
+    if (!punct_at(t, i + 1, "(")) continue;
+    ctx.report("det-sketch-merge", Severity::kError, t[i].line, t[i].col,
+               "absorb_unordered() is order-sensitive; merge sketches via "
+               "stats::merge_deterministic() so the fold order is fixed");
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Suppressions
 // ---------------------------------------------------------------------------
 
@@ -680,6 +705,8 @@ const std::vector<RuleInfo>& rule_catalogue() {
        "std <random> engine or distribution instead of util::Rng"},
       {"det-unordered-iter", Severity::kError,
        "hash- or address-ordered iteration in an output-emitting TU"},
+      {"det-sketch-merge", Severity::kError,
+       "order-sensitive sketch merge (absorb_unordered) outside stats/"},
       {"inv-raw-id-cast", Severity::kError,
        "integral cast of NodeId/JobId/time value bypassing uidx()"},
       {"inv-fp-accum", Severity::kWarning,
@@ -717,6 +744,7 @@ std::vector<Finding> lint_source(std::string_view source,
   rule_det_wallclock(ctx);
   rule_det_raw_rng(ctx);
   rule_det_unordered_iter(ctx);
+  rule_det_sketch_merge(ctx);
   rule_inv_raw_id_cast(ctx);
   rule_inv_fp_accum(ctx);
   rule_inv_metrics_audit_ref(ctx);

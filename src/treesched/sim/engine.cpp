@@ -306,6 +306,9 @@ void Engine::handle_completion(NodeId v, Time t) {
     rec.completion = t;
     rec.node_completion[uidx(idx)] = t;
     if (observer_) observer_->on_job_completed(*this, j);
+    // Retirement point: in streaming mode the record folds into the
+    // bounded-memory accumulator now, in completion order (no-op otherwise).
+    metrics_.finalize_job(j);
   } else {
     const std::int32_t c = js.chunks_done[uidx(idx)];
     TS_CHECK(c == item.chunk, "completed chunk is not the head");
@@ -625,6 +628,7 @@ void Engine::reject(JobId j, double f, double bound) {
   rec.size = job.size;
   rec.rejected = true;
   shed_log_.push_back({ShedRecord::Kind::kReject, now_, j, f, bound});
+  metrics_.finalize_job(j);
 }
 
 void Engine::shed(JobId j) {
@@ -662,6 +666,7 @@ void Engine::shed(JobId j) {
   js.shed = true;
   metrics_.job(j).shed = true;
   shed_log_.push_back({ShedRecord::Kind::kShed, t, j, -1.0, -1.0});
+  metrics_.finalize_job(j);
   for (const NodeId v : path) force_resched(v, t);
 }
 

@@ -32,9 +32,11 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <queue>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "treesched/core/instance.hpp"
@@ -59,6 +61,15 @@ class AssignmentPolicy {
   virtual ~AssignmentPolicy() = default;
   virtual NodeId assign(const Engine& engine, const Job& job) = 0;
   virtual const char* name() const = 0;
+
+  /// Streaming endurance runs snapshot the policy alongside the engine: a
+  /// policy with internal decision state (rotation counters, RNG position)
+  /// must round-trip it here as one whitespace-free token so resumed runs
+  /// replay byte-identically. Stateless policies keep the defaults.
+  virtual std::string stream_state() const { return "-"; }
+  virtual void restore_stream_state(const std::string& state) {
+    (void)state;
+  }
 };
 
 /// Failure-aware re-dispatch hook: when leaf `dead_leaf` crashes, the engine
@@ -329,7 +340,13 @@ class Engine {
   // --- results -------------------------------------------------------------
 
   const Metrics& metrics() const { return metrics_; }
+  /// Mutable access for streaming drivers (enable_streaming at window start,
+  /// finalization carry-over). The engine itself owns all record writes.
+  Metrics& metrics() { return metrics_; }
   const ScheduleRecorder& recorder() const { return recorder_; }
+  /// Mutable access for streaming drivers that drain recorded segments into
+  /// run-log segment files between rotations (recorder().clear()).
+  ScheduleRecorder& recorder() { return recorder_; }
   void set_observer(EngineObserver* obs) { observer_ = obs; }
 
   /// Total work still unfinished anywhere (for conservation tests).
@@ -337,6 +354,26 @@ class Engine {
 
   /// True when no events are pending (all admitted jobs finished).
   bool drained() const { return events_.empty(); }
+
+  // --- snapshot / restore --------------------------------------------------
+
+  /// Serializes the full live simulation state (clock, per-job stored
+  /// arrays, per-node running bursts and availability sets, pending event
+  /// queue, shed log, metrics incl. streaming accumulator) as text at full
+  /// double precision, such that load_state + replay is byte-identical to
+  /// the uninterrupted run. Dispatch-index treaps are NOT serialized — their
+  /// shape is a pure function of the key set, so load_state rebuilds them.
+  /// Restrictions (TS_REQUIREd): no fault plan, no custom admit_via_path
+  /// paths, whole-job forwarding or chunked both fine.
+  void save_state(std::ostream& os) const;
+
+  /// Restores state captured by save_state into a PRISTINE engine (nothing
+  /// admitted, clock at 0) built over the same tree/speeds/policy config.
+  /// The instance may have MORE jobs than the snapshot (window extension);
+  /// the extra jobs must all be untouched in the snapshot. slow_queries may
+  /// differ from the saving engine — indices are rebuilt or skipped to match
+  /// this engine's own mode. Arm set_admission BEFORE calling load_state.
+  void load_state(std::istream& is);
 
  private:
   struct Event {

@@ -2,16 +2,122 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <string>
 
 #include "treesched/util/assert.hpp"
 #include "treesched/util/csum.hpp"
 
 namespace treesched::sim {
 
+namespace {
+
+void expect_tag(std::istream& is, const char* tag) {
+  std::string got;
+  is >> got;
+  TS_REQUIRE(is && got == tag, std::string("metrics load: expected '") + tag +
+                                   "', got '" + got + "'");
+}
+
+void save_csum(std::ostream& os, const util::CompensatedSum& s) {
+  os << s.sum() << ' ' << s.compensation();
+}
+
+void load_csum(std::istream& is, util::CompensatedSum& s) {
+  double sum = 0.0, comp = 0.0;
+  is >> sum >> comp;
+  s.set_state(sum, comp);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// StreamAccumulator
+// ---------------------------------------------------------------------------
+
+void StreamAccumulator::fold(const JobRecord& r) {
+  if (r.completed()) {
+    ++completed;
+    const double f = r.flow();
+    flow.add(f);
+    weighted_flow.add(r.weight * f);
+    max_flow = std::max(max_flow, f);
+    makespan = std::max(makespan, r.completion);
+    flow_digest.add(f);
+    p99_marker.add(f);
+  }
+  if (r.shed) ++shed;
+  if (r.rejected) ++rejected;
+  if (r.admitted()) ++admitted;
+  if (r.shed || r.rejected) shed_volume.add(r.size);
+  frac.add(r.fractional_area);
+  weighted_frac.add(r.weight * r.fractional_area);
+}
+
+void StreamAccumulator::save(std::ostream& os) const {
+  const auto flags = os.flags();
+  const auto prec = os.precision();
+  os << std::setprecision(17);
+  os << "acc " << completed << ' ' << shed << ' ' << rejected << ' '
+     << admitted << ' ' << max_flow << ' ' << makespan << '\n';
+  os << "sums ";
+  save_csum(os, flow);
+  os << ' ';
+  save_csum(os, weighted_flow);
+  os << ' ';
+  save_csum(os, frac);
+  os << ' ';
+  save_csum(os, weighted_frac);
+  os << ' ';
+  save_csum(os, shed_volume);
+  os << '\n';
+  flow_digest.save(os);
+  p99_marker.save(os);
+  os.flags(flags);
+  os.precision(prec);
+}
+
+void StreamAccumulator::load(std::istream& is) {
+  expect_tag(is, "acc");
+  is >> completed >> shed >> rejected >> admitted >> max_flow >> makespan;
+  expect_tag(is, "sums");
+  load_csum(is, flow);
+  load_csum(is, weighted_flow);
+  load_csum(is, frac);
+  load_csum(is, weighted_frac);
+  load_csum(is, shed_volume);
+  TS_REQUIRE(static_cast<bool>(is), "accumulator load: truncated state");
+  flow_digest.load(is);
+  p99_marker.load(is);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
 void Metrics::reset(std::size_t job_count) {
   jobs_.assign(job_count, JobRecord{});
   for (std::size_t j = 0; j < job_count; ++j)
     jobs_[j].id = static_cast<JobId>(j);
+  acc_ = StreamAccumulator();
+}
+
+void Metrics::enable_streaming(StreamAccumulator acc) {
+  TS_REQUIRE(std::none_of(jobs_.begin(), jobs_.end(),
+                          [](const JobRecord& r) { return r.finalized; }),
+             "enable_streaming: window already has finalized jobs");
+  mode_ = MetricsMode::kStreaming;
+  acc_ = std::move(acc);
+}
+
+void Metrics::finalize_job(JobId j) {
+  if (mode_ != MetricsMode::kStreaming) return;
+  JobRecord& r = jobs_[uidx(j)];
+  if (r.finalized) return;
+  r.finalized = true;
+  acc_.fold(r);
 }
 
 bool Metrics::all_completed() const {
@@ -20,12 +126,15 @@ bool Metrics::all_completed() const {
 }
 
 std::size_t Metrics::completed_count() const {
+  if (mode_ == MetricsMode::kStreaming)
+    return static_cast<std::size_t>(acc_.completed);
   return static_cast<std::size_t>(
       std::count_if(jobs_.begin(), jobs_.end(),
                     [](const JobRecord& r) { return r.completed(); }));
 }
 
 double Metrics::total_flow_time() const {
+  if (mode_ == MetricsMode::kStreaming) return acc_.flow.value();
   util::CompensatedSum total;
   for (const auto& r : jobs_)
     if (r.completed()) total.add(r.flow());
@@ -39,24 +148,37 @@ double Metrics::mean_flow_time() const {
 }
 
 std::size_t Metrics::shed_count() const {
+  if (mode_ == MetricsMode::kStreaming)
+    return static_cast<std::size_t>(acc_.shed);
   return static_cast<std::size_t>(
       std::count_if(jobs_.begin(), jobs_.end(),
                     [](const JobRecord& r) { return r.shed; }));
 }
 
 std::size_t Metrics::rejected_count() const {
+  if (mode_ == MetricsMode::kStreaming)
+    return static_cast<std::size_t>(acc_.rejected);
   return static_cast<std::size_t>(
       std::count_if(jobs_.begin(), jobs_.end(),
                     [](const JobRecord& r) { return r.rejected; }));
 }
 
 std::size_t Metrics::admitted_count() const {
-  return static_cast<std::size_t>(
-      std::count_if(jobs_.begin(), jobs_.end(),
-                    [](const JobRecord& r) { return r.admitted(); }));
+  // Streaming: retired admissions live in the accumulator; still-live window
+  // jobs are counted from their (unfinalized) records, matching full-mode
+  // semantics at every instant.
+  const auto live = static_cast<std::size_t>(std::count_if(
+      jobs_.begin(), jobs_.end(), [this](const JobRecord& r) {
+        if (mode_ == MetricsMode::kStreaming && r.finalized) return false;
+        return r.admitted();
+      }));
+  if (mode_ == MetricsMode::kStreaming)
+    return static_cast<std::size_t>(acc_.admitted) + live;
+  return live;
 }
 
 double Metrics::shed_volume() const {
+  if (mode_ == MetricsMode::kStreaming) return acc_.shed_volume.value();
   util::CompensatedSum total;
   for (const auto& r : jobs_)
     if (r.shed || r.rejected) total.add(r.size);
@@ -79,6 +201,7 @@ double Metrics::mean_flow_time_admitted() const {
 
 double Metrics::flow_percentile(double q) const {
   TS_REQUIRE(q >= 0.0 && q <= 1.0, "flow_percentile requires q in [0, 1]");
+  if (mode_ == MetricsMode::kStreaming) return acc_.flow_digest.quantile(q);
   std::vector<double> flows;
   flows.reserve(jobs_.size());
   for (const auto& r : jobs_)
@@ -93,11 +216,20 @@ double Metrics::flow_percentile(double q) const {
 
 double Metrics::total_fractional_flow_time() const {
   util::CompensatedSum total;
+  if (mode_ == MetricsMode::kStreaming) {
+    // Retired areas from the accumulator + partial accrual of live jobs,
+    // folded in window-index order (deterministic).
+    total.merge(acc_.frac);
+    for (const auto& r : jobs_)
+      if (!r.finalized) total.add(r.fractional_area);
+    return total.value();
+  }
   for (const auto& r : jobs_) total.add(r.fractional_area);
   return total.value();
 }
 
 double Metrics::total_weighted_flow_time() const {
+  if (mode_ == MetricsMode::kStreaming) return acc_.weighted_flow.value();
   util::CompensatedSum total;
   for (const auto& r : jobs_)
     if (r.completed()) total.add(r.weight * r.flow());
@@ -106,11 +238,18 @@ double Metrics::total_weighted_flow_time() const {
 
 double Metrics::total_weighted_fractional_flow_time() const {
   util::CompensatedSum total;
+  if (mode_ == MetricsMode::kStreaming) {
+    total.merge(acc_.weighted_frac);
+    for (const auto& r : jobs_)
+      if (!r.finalized) total.add(r.weight * r.fractional_area);
+    return total.value();
+  }
   for (const auto& r : jobs_) total.add(r.weight * r.fractional_area);
   return total.value();
 }
 
 double Metrics::max_flow_time() const {
+  if (mode_ == MetricsMode::kStreaming) return acc_.max_flow;
   double mx = 0.0;
   for (const auto& r : jobs_)
     if (r.completed()) mx = std::max(mx, r.flow());
@@ -119,6 +258,8 @@ double Metrics::max_flow_time() const {
 
 double Metrics::lk_norm_flow_time(double k) const {
   TS_REQUIRE(k >= 1.0, "l_k norm requires k >= 1");
+  TS_REQUIRE(mode_ == MetricsMode::kFull,
+             "lk_norm_flow_time needs per-job flows (full mode only)");
   util::CompensatedSum total;
   for (const auto& r : jobs_)
     if (r.completed()) total.add(std::pow(r.flow(), k));
@@ -126,10 +267,60 @@ double Metrics::lk_norm_flow_time(double k) const {
 }
 
 double Metrics::makespan() const {
+  if (mode_ == MetricsMode::kStreaming) return acc_.makespan;
   double mx = 0.0;
   for (const auto& r : jobs_)
     if (r.completed()) mx = std::max(mx, r.completion);
   return mx;
+}
+
+void Metrics::save(std::ostream& os) const {
+  const auto flags = os.flags();
+  const auto prec = os.precision();
+  os << std::setprecision(17);
+  os << "metrics " << (mode_ == MetricsMode::kStreaming ? "streaming" : "full")
+     << ' ' << jobs_.size() << '\n';
+  if (mode_ == MetricsMode::kStreaming) acc_.save(os);
+  for (const auto& r : jobs_) {
+    os << "jr " << r.id << ' ' << r.release << ' ' << r.weight << ' '
+       << r.size << ' ' << r.leaf << ' ' << r.completion << ' '
+       << r.fractional_area << ' ' << (r.shed ? 1 : 0) << ' '
+       << (r.rejected ? 1 : 0) << ' ' << (r.finalized ? 1 : 0) << ' '
+       << r.node_completion.size();
+    for (const Time t : r.node_completion) os << ' ' << t;
+    os << '\n';
+  }
+  os.flags(flags);
+  os.precision(prec);
+}
+
+void Metrics::load(std::istream& is) {
+  expect_tag(is, "metrics");
+  std::string mode;
+  std::size_t n = 0;
+  is >> mode >> n;
+  TS_REQUIRE(is && (mode == "streaming" || mode == "full"),
+             "metrics load: bad mode");
+  TS_REQUIRE(jobs_.size() >= n,
+             "metrics load: window smaller than serialized record count");
+  mode_ = mode == "streaming" ? MetricsMode::kStreaming : MetricsMode::kFull;
+  if (mode_ == MetricsMode::kStreaming) acc_.load(is);
+  for (std::size_t j = 0; j < n; ++j) {
+    expect_tag(is, "jr");
+    JobRecord& r = jobs_[j];
+    int shed = 0, rejected = 0, finalized = 0;
+    std::size_t nc = 0;
+    is >> r.id >> r.release >> r.weight >> r.size >> r.leaf >> r.completion >>
+        r.fractional_area >> shed >> rejected >> finalized >> nc;
+    TS_REQUIRE(is && r.id == static_cast<JobId>(j),
+               "metrics load: record id out of order");
+    r.shed = shed != 0;
+    r.rejected = rejected != 0;
+    r.finalized = finalized != 0;
+    r.node_completion.assign(nc, 0.0);
+    for (std::size_t i = 0; i < nc; ++i) is >> r.node_completion[i];
+  }
+  TS_REQUIRE(static_cast<bool>(is), "metrics load: truncated state");
 }
 
 }  // namespace treesched::sim

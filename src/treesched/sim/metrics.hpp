@@ -1,10 +1,14 @@
 // Per-job and aggregate result accounting for a simulation run.
 #pragma once
 
+#include <cstdint>
+#include <iosfwd>
 #include <limits>
 #include <vector>
 
 #include "treesched/core/types.hpp"
+#include "treesched/stats/quantile_sketch.hpp"
+#include "treesched/util/csum.hpp"
 
 namespace treesched::sim {
 
@@ -20,6 +24,7 @@ struct JobRecord {
   bool shed = false;                     ///< evicted by the admission controller
   bool rejected = false;                 ///< refused at arrival (never admitted)
   std::vector<Time> node_completion;     ///< completion per path index (first hop..leaf)
+  bool finalized = false;                ///< streaming mode: folded into the accumulator
 
   bool completed() const { return completion >= 0.0; }
   Time flow() const { return completed() ? completion - release : -1.0; }
@@ -27,17 +32,81 @@ struct JobRecord {
   bool admitted() const { return leaf != kInvalidNode; }
 };
 
+/// How Metrics stores results. kFull keeps every JobRecord queryable forever
+/// (the historical behavior); kStreaming folds each record into a
+/// bounded-memory accumulator the moment the job retires (completes, is
+/// shed, or is rejected), so an endurance run's memory never grows with the
+/// number of retired jobs — only with the live window.
+enum class MetricsMode { kFull, kStreaming };
+
+/// Bounded-memory aggregate over all retired (finalized) jobs. Everything a
+/// streaming run reports comes from here plus the still-live window records;
+/// flow percentiles come from the quantile sketches (see
+/// stats/quantile_sketch.hpp for the documented rank-error bound).
+struct StreamAccumulator {
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t admitted = 0;  ///< finalized admitted (completed + shed)
+  util::CompensatedSum flow;
+  util::CompensatedSum weighted_flow;
+  util::CompensatedSum frac;
+  util::CompensatedSum weighted_frac;
+  util::CompensatedSum shed_volume;
+  double max_flow = 0.0;
+  double makespan = 0.0;
+  stats::QuantileDigest flow_digest;   ///< all completed flows (percentiles)
+  stats::P2Quantile p99_marker{0.99};  ///< independent p99 cross-check
+
+  /// Folds one retired job in. Call order defines the sketch insertion
+  /// sequence, so callers must fold in a deterministic order (the engine
+  /// folds in completion order, which is deterministic by construction).
+  void fold(const JobRecord& r);
+
+  /// Text round-trip (full %.17g precision) for engine snapshots.
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
+};
+
 /// Aggregates over a run. Populated by the Engine; query helpers compute the
 /// objectives studied in the paper (total / fractional flow) plus the
 /// extension objectives (max flow, l_k norms).
 class Metrics {
  public:
+  /// Clears all records. Preserves the mode but NOT the accumulator — a
+  /// streaming caller that rotates windows must re-arm via enable_streaming
+  /// with the carried accumulator after the owning engine resets.
   void reset(std::size_t job_count);
 
   JobRecord& job(JobId j) { return jobs_[uidx(j)]; }
   const JobRecord& job(JobId j) const { return jobs_[uidx(j)]; }
+  /// In streaming mode this is only the current window, not history.
   const std::vector<JobRecord>& jobs() const { return jobs_; }
 
+  // --- streaming mode ------------------------------------------------------
+
+  MetricsMode mode() const { return mode_; }
+
+  /// Switches to streaming mode, seeding the accumulator with `acc` (the
+  /// carry-over from previous windows; default empty). Must be called before
+  /// any job in the current window retires.
+  void enable_streaming(StreamAccumulator acc = StreamAccumulator());
+
+  /// Streaming mode: folds job j's record into the accumulator and marks it
+  /// finalized (idempotent). No-op in full mode. The engine calls this at
+  /// every retirement point (completion, shed, reject), so fold order equals
+  /// retirement order — deterministic.
+  void finalize_job(JobId j);
+
+  const StreamAccumulator& stream_accumulator() const { return acc_; }
+
+  /// Text round-trip of mode + accumulator + all window records, for engine
+  /// snapshots. load() requires reset() with at least the serialized record
+  /// count first (extra records stay fresh — window extension).
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
+
+  /// In streaming mode: scoped to the current window (history is retired).
   bool all_completed() const;
   /// audit: work-conservation (every completion re-derived from the burst
   /// log; a claimed completion with missing machine work is a violation).
@@ -82,9 +151,11 @@ class Metrics {
   /// audit: none(total_flow_time / admitted_count, both audited).
   double mean_flow_time_admitted() const;
 
-  /// q-quantile of completed flow times (q in [0,1]; 0.99 = p99), computed
-  /// by rank ceil(q*n) over the sorted flows. NaN when no job completed.
-  /// audit: none(order statistic of audited per-job flows).
+  /// q-quantile of completed flow times (q in [0,1]; 0.99 = p99). Full mode:
+  /// exact rank ceil(q*n) over the sorted flows. Streaming mode: the digest
+  /// estimate, whose rank is within n/max_centroids (+ buffered tail) of the
+  /// request — see stats/quantile_sketch.hpp. NaN when no job completed.
+  /// audit: none(order statistic / sketch of audited per-job flows).
   double flow_percentile(double q) const;
 
   /// The paper's fractional flow time variant (Section 2).
@@ -103,7 +174,8 @@ class Metrics {
   /// audit: none(max over audited per-job flows).
   double max_flow_time() const;
 
-  /// l_k norm of flow times: (sum flow^k)^(1/k); k >= 1.
+  /// l_k norm of flow times: (sum flow^k)^(1/k); k >= 1. Full mode only —
+  /// streaming keeps no per-job flows and the sketches don't support moments.
   /// audit: none(monotone transform of audited per-job flows).
   double lk_norm_flow_time(double k) const;
 
@@ -114,6 +186,8 @@ class Metrics {
 
  private:
   std::vector<JobRecord> jobs_;
+  MetricsMode mode_ = MetricsMode::kFull;
+  StreamAccumulator acc_;  ///< meaningful only in streaming mode
 };
 
 }  // namespace treesched::sim

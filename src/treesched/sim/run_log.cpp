@@ -254,15 +254,32 @@ RunLog read_run_log_file(const std::string& path) {
   return read_run_log(f);
 }
 
-std::string task_log_path(const std::string& base, std::size_t task_index) {
-  std::ostringstream tag;
-  tag << ".task" << std::setw(6) << std::setfill('0') << task_index;
+namespace {
+
+// Shared naming helper: inserts `tag` before the final extension of `base`
+// (appends when there is none). Both per-task and per-segment names go
+// through here so the two compose predictably.
+std::string tagged_log_path(const std::string& base, const std::string& tag) {
   const std::size_t dot = base.find_last_of('.');
   const std::size_t slash = base.find_last_of('/');
   const bool has_ext =
       dot != std::string::npos && (slash == std::string::npos || dot > slash);
-  if (!has_ext) return base + tag.str();
-  return base.substr(0, dot) + tag.str() + base.substr(dot);
+  if (!has_ext) return base + tag;
+  return base.substr(0, dot) + tag + base.substr(dot);
+}
+
+}  // namespace
+
+std::string task_log_path(const std::string& base, std::size_t task_index) {
+  std::ostringstream tag;
+  tag << ".task" << std::setw(6) << std::setfill('0') << task_index;
+  return tagged_log_path(base, tag.str());
+}
+
+std::string segment_log_path(const std::string& base, std::size_t index) {
+  std::ostringstream tag;
+  tag << ".seg" << std::setw(6) << std::setfill('0') << index;
+  return tagged_log_path(base, tag.str());
 }
 
 }  // namespace treesched::sim

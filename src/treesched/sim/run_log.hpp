@@ -85,6 +85,15 @@ void write_run_log_file(const std::string& path, const RunLog& log);
 /// per-task file is a complete, independently auditable run log.
 std::string task_log_path(const std::string& base, std::size_t task_index);
 
+/// Segment-file naming of the streaming run-log format
+/// (runlog_segments.hpp): segment `index` of a segmented log rooted at
+/// `base` lives in its own file, tagged ".segNNNNNN" before the final
+/// extension ("runs/stream.log", 3 → "runs/stream.seg000003.log").
+/// Composes with task_log_path — apply task_log_path first, so a recorded
+/// streaming sweep cell writes "trace.task000007.seg000003.txt" and cells
+/// never collide.
+std::string segment_log_path(const std::string& base, std::size_t index);
+
 /// Parses a run log; throws std::invalid_argument on malformed input.
 RunLog read_run_log(std::istream& is);
 RunLog read_run_log_file(const std::string& path);

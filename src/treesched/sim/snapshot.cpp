@@ -1,0 +1,278 @@
+// Engine snapshot/restore (treesched-enginestate-v1).
+//
+// Serializes the complete live simulation state as text at full double
+// precision so that load_state + replay of the remaining arrivals is
+// byte-identical to an uninterrupted run. Two deliberate non-goals keep the
+// format small and the determinism argument simple:
+//
+//  * Dispatch-index treaps are NOT serialized. Their shape and float
+//    association depend only on the key set (deterministic hashed
+//    priorities), so the loader re-inserts the restored inflight keys and
+//    obtains bit-identical aggregates — this is the property
+//    sim_dispatch_index_test locks down. It also lets a fast-path engine
+//    load a slow-path snapshot and vice versa (the differential test).
+//
+//  * Node availability sets are NOT serialized either: every member is some
+//    job's (in_avail, avail_key) pair, so they are rebuilt from the per-job
+//    arrays. The pending event queue IS serialized verbatim (minus stale
+//    entries), because completion event times are sums that cannot be
+//    re-derived bit-exactly from the restored remaining work.
+//
+// Restrictions (TS_REQUIREd at save): no fault plan consumed, no
+// custom-path jobs, all nodes in nominal fault state. Streaming endurance
+// runs satisfy all three by construction.
+#include <algorithm>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "treesched/sim/engine.hpp"
+#include "treesched/util/assert.hpp"
+
+namespace treesched::sim {
+
+namespace {
+
+constexpr char kMagic[] = "enginestate";
+constexpr int kVersion = 1;
+
+void expect_tag(std::istream& is, const char* tag) {
+  std::string got;
+  is >> got;
+  TS_REQUIRE(is && got == tag, std::string("engine load: expected '") + tag +
+                                   "', got '" + got + "'");
+}
+
+}  // namespace
+
+void Engine::save_state(std::ostream& os) const {
+  TS_REQUIRE(fault_plan_ == nullptr && fault_log_.empty(),
+             "save_state does not support fault runs");
+  for (const NodeState& ns : nodes_)
+    TS_REQUIRE(!ns.down && !ns.edge_down && ns.factor == 1.0 &&
+                   ns.deferred.empty(),
+               "save_state requires nodes in nominal fault state");
+  for (const JobState& js : jobs_)
+    TS_REQUIRE(js.owned_path.empty(),
+               "save_state does not support custom-path jobs");
+
+  const auto flags = os.flags();
+  const auto prec = os.precision();
+  os << std::setprecision(17);
+
+  os << kMagic << ' ' << kVersion << '\n';
+  os << "config " << node_policy_name(cfg_.node_policy) << ' '
+     << (cfg_.record_schedule ? 1 : 0) << ' ' << cfg_.router_chunk_size
+     << '\n';
+  os << "clock " << now_ << ' ' << seq_ << ' ' << mutation_count_ << ' '
+     << static_cast<long long>(admitted_count_) << ' '
+     << static_cast<long long>(rejected_count_) << '\n';
+
+  // Per-job status chart: '.' untouched, 'R' rejected, 'L' live (admitted,
+  // unfinished, not shed), 'D' done, 'S' shed. Touched-but-not-rejected jobs
+  // get a full state line below.
+  std::string status(jobs_.size(), '.');
+  for (std::size_t j = 0; j < jobs_.size(); ++j) {
+    const JobState& js = jobs_[j];
+    if (js.rejected)
+      status[j] = 'R';
+    else if (js.shed)
+      status[j] = 'S';
+    else if (js.done)
+      status[j] = 'D';
+    else if (js.admitted)
+      status[j] = 'L';
+  }
+  os << "status " << status.size() << ' ' << status << '\n';
+
+  for (std::size_t j = 0; j < jobs_.size(); ++j) {
+    const JobState& js = jobs_[j];
+    if (status[j] == '.' || status[j] == 'R') continue;
+    const std::size_t len = js.path->size();
+    os << "job " << j << ' ' << status[j] << ' ' << js.leaf << ' '
+       << js.chunks << ' ' << js.chunk_size << ' ' << js.leaf_rem << ' '
+       << js.frac << ' ' << js.frac_touch << ' ' << len;
+    for (std::size_t i = 0; i + 1 < len; ++i)
+      os << ' ' << js.chunks_done[i] << ' ' << js.head_rem[i];
+    for (std::size_t i = 0; i < len; ++i) {
+      os << ' ' << (js.in_avail[i] ? 1 : 0);
+      if (js.in_avail[i]) {
+        const PriorityKey& k = js.avail_key[i];
+        os << ' ' << k.a << ' ' << k.b << ' ' << k.chunk;
+      }
+    }
+    os << '\n';
+  }
+
+  for (std::size_t v = 0; v < nodes_.size(); ++v) {
+    const NodeState& ns = nodes_[v];
+    os << "node " << v << ' ' << ns.version << ' ' << ns.burst_start << ' '
+       << (ns.has_running ? 1 : 0);
+    if (ns.has_running)
+      os << ' ' << ns.running.a << ' ' << ns.running.b << ' '
+         << ns.running.job << ' ' << ns.running.chunk << ' '
+         << ns.running_rem;
+    os << '\n';
+  }
+
+  // Pending events in pop order, stale ones (version mismatch) dropped: the
+  // loader re-pushes and the heap restores the identical (t, seq) order.
+  auto evq = events_;
+  std::vector<Event> live;
+  while (!evq.empty()) {
+    const Event ev = evq.top();
+    evq.pop();
+    if (ev.version == nodes_[uidx(ev.node)].version) live.push_back(ev);
+  }
+  os << "events " << live.size() << '\n';
+  for (const Event& ev : live)
+    os << "ev " << ev.t << ' ' << ev.seq << ' ' << ev.node << ' '
+       << ev.version << '\n';
+
+  os << "shedlog " << shed_log_.size() << '\n';
+  for (const ShedRecord& sr : shed_log_)
+    os << "sl " << static_cast<int>(sr.kind) << ' ' << sr.t << ' ' << sr.job
+       << ' ' << sr.f << ' ' << sr.bound << '\n';
+
+  metrics_.save(os);
+  os << "end\n";
+  os.flags(flags);
+  os.precision(prec);
+}
+
+void Engine::load_state(std::istream& is) {
+  TS_REQUIRE(now_ == 0.0 && seq_ == 0 && mutation_count_ == 0 &&
+                 admitted_count_ == 0 && rejected_count_ == 0 &&
+                 events_.empty() && fault_plan_ == nullptr,
+             "load_state requires a pristine engine");
+
+  expect_tag(is, kMagic);
+  int version = 0;
+  is >> version;
+  TS_REQUIRE(is && version == kVersion, "engine load: unsupported version");
+
+  expect_tag(is, "config");
+  std::string policy;
+  int record = 0;
+  double chunk = 0.0;
+  is >> policy >> record >> chunk;
+  TS_REQUIRE(is && policy == node_policy_name(cfg_.node_policy),
+             "engine load: node policy mismatch");
+  TS_REQUIRE((record != 0) == cfg_.record_schedule,
+             "engine load: record_schedule mismatch");
+  TS_REQUIRE(chunk == cfg_.router_chunk_size,
+             "engine load: router_chunk_size mismatch");
+
+  expect_tag(is, "clock");
+  long long adm = 0, rej = 0;
+  is >> now_ >> seq_ >> mutation_count_ >> adm >> rej;
+  admitted_count_ = static_cast<JobId>(adm);
+  rejected_count_ = static_cast<JobId>(rej);
+
+  expect_tag(is, "status");
+  std::size_t n = 0;
+  std::string status;
+  is >> n >> status;
+  TS_REQUIRE(is && status.size() == n, "engine load: malformed status chart");
+  TS_REQUIRE(n <= jobs_.size(),
+             "engine load: snapshot has more jobs than the instance");
+  for (std::size_t j = 0; j < n; ++j)
+    if (status[j] == 'R') jobs_[j].rejected = true;
+
+  std::string tag;
+  while (is >> tag && tag == "job") {
+    std::size_t j = 0;
+    char st = 0;
+    std::size_t len = 0;
+    is >> j;
+    TS_REQUIRE(is && j < n, "engine load: job id out of range");
+    JobState& js = jobs_[j];
+    is >> st >> js.leaf >> js.chunks >> js.chunk_size >> js.leaf_rem >>
+        js.frac >> js.frac_touch >> len;
+    TS_REQUIRE(is && status[j] == st, "engine load: bad job line");
+    TS_REQUIRE(tree().is_leaf(js.leaf), "engine load: job leaf is no machine");
+    js.path = &tree().path_to(js.leaf);
+    TS_REQUIRE(js.path->size() == len, "engine load: path length mismatch");
+    js.admitted = true;
+    js.done = st == 'D';
+    js.shed = st == 'S';
+    js.chunks_done.assign(len - 1, 0);
+    js.head_rem.assign(len - 1, 0.0);
+    for (std::size_t i = 0; i + 1 < len; ++i)
+      is >> js.chunks_done[i] >> js.head_rem[i];
+    js.in_avail.assign(len, false);
+    js.avail_key.assign(len, PriorityKey{});
+    for (std::size_t i = 0; i < len; ++i) {
+      int avail = 0;
+      is >> avail;
+      if (avail == 0) continue;
+      TS_REQUIRE(st == 'L', "engine load: retired job has available work");
+      PriorityKey k;
+      k.job = static_cast<JobId>(j);
+      is >> k.a >> k.b >> k.chunk;
+      js.in_avail[i] = true;
+      js.avail_key[i] = k;
+      const bool inserted =
+          nodes_[uidx((*js.path)[i])].avail.insert(k).second;
+      TS_REQUIRE(inserted, "engine load: duplicate availability key");
+    }
+    TS_REQUIRE(static_cast<bool>(is), "engine load: truncated job line");
+    if (st == 'L') {
+      // Queue membership mirrors unfinished work per hop; the dispatch-index
+      // treaps rebuild bit-identically from the restored key set.
+      for (std::size_t i = 0; i + 1 < len; ++i) {
+        if (js.chunks_done[i] >= js.chunks) continue;
+        nodes_[uidx((*js.path)[i])].inflight.insert(static_cast<JobId>(j));
+        index_insert((*js.path)[i], static_cast<JobId>(j),
+                     static_cast<int>(i));
+      }
+      nodes_[uidx(js.leaf)].inflight.insert(static_cast<JobId>(j));
+      index_insert(js.leaf, static_cast<JobId>(j),
+                   static_cast<int>(len - 1));
+    }
+  }
+
+  TS_REQUIRE(tag == "node", "engine load: expected node section");
+  for (std::size_t v = 0; v < nodes_.size(); ++v) {
+    if (v > 0) expect_tag(is, "node");
+    std::size_t id = 0;
+    int has_running = 0;
+    NodeState& ns = nodes_[v];
+    is >> id >> ns.version >> ns.burst_start >> has_running;
+    TS_REQUIRE(is && id == v, "engine load: node section out of order");
+    ns.has_running = has_running != 0;
+    if (ns.has_running)
+      is >> ns.running.a >> ns.running.b >> ns.running.job >>
+          ns.running.chunk >> ns.running_rem;
+  }
+
+  expect_tag(is, "events");
+  std::size_t nev = 0;
+  is >> nev;
+  for (std::size_t i = 0; i < nev; ++i) {
+    expect_tag(is, "ev");
+    Event ev;
+    is >> ev.t >> ev.seq >> ev.node >> ev.version;
+    TS_REQUIRE(is && ev.seq < seq_, "engine load: event from the future");
+    events_.push(ev);
+  }
+
+  expect_tag(is, "shedlog");
+  std::size_t nsl = 0;
+  is >> nsl;
+  shed_log_.assign(nsl, ShedRecord{});
+  for (std::size_t i = 0; i < nsl; ++i) {
+    expect_tag(is, "sl");
+    int kind = 0;
+    is >> kind >> shed_log_[i].t >> shed_log_[i].job >> shed_log_[i].f >>
+        shed_log_[i].bound;
+    shed_log_[i].kind = static_cast<ShedRecord::Kind>(kind);
+  }
+
+  metrics_.load(is);
+  expect_tag(is, "end");
+  TS_REQUIRE(static_cast<bool>(is), "engine load: truncated snapshot");
+}
+
+}  // namespace treesched::sim

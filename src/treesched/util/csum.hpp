@@ -36,6 +36,26 @@ class CompensatedSum {
   /// The compensated total.
   double value() const { return sum_ + comp_; }
 
+  /// Folds another partial sum into this one: adds the other's running sum
+  /// and compensation as two separate addends so neither error term is
+  /// discarded. Deterministic for a fixed merge order (callers that merge
+  /// shards must fix that order, e.g. by task index).
+  void merge(const CompensatedSum& other) {
+    add(other.sum_);
+    add(other.comp_);
+  }
+
+  /// Raw state accessors for exact serialization (engine snapshots must
+  /// round-trip the pair, not the folded value(), to stay byte-identical).
+  double sum() const { return sum_; }
+  double compensation() const { return comp_; }
+
+  /// Restores state captured via sum()/compensation().
+  void set_state(double sum, double comp) {
+    sum_ = sum;
+    comp_ = comp;
+  }
+
  private:
   double sum_ = 0.0;
   double comp_ = 0.0;

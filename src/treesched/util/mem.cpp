@@ -1,0 +1,34 @@
+#include "treesched/util/mem.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace treesched::util {
+
+namespace {
+
+// Parses "<field>:   <kB> kB" out of /proc/self/status. Returns 0 when the
+// file or the field is absent (non-Linux platforms).
+std::uint64_t proc_status_kb(const char* field) {
+  std::ifstream in("/proc/self/status");
+  if (!in) return 0;
+  std::string line;
+  const std::string want = std::string(field) + ":";
+  while (std::getline(in, line)) {
+    if (line.compare(0, want.size(), want) != 0) continue;
+    std::istringstream ls(line.substr(want.size()));
+    std::uint64_t kb = 0;
+    ls >> kb;
+    return kb;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::uint64_t peak_rss_bytes() { return proc_status_kb("VmHWM") * 1024; }
+
+std::uint64_t current_rss_bytes() { return proc_status_kb("VmRSS") * 1024; }
+
+}  // namespace treesched::util

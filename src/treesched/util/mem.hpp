@@ -1,0 +1,18 @@
+// Process memory introspection for endurance benchmarks and heartbeats.
+#pragma once
+
+#include <cstdint>
+
+namespace treesched::util {
+
+/// Peak resident set size (VmHWM) of the current process in bytes, read from
+/// /proc/self/status. Returns 0 on platforms without procfs — callers must
+/// treat 0 as "unknown", not "tiny". Monotone non-decreasing over a process
+/// lifetime, so per-phase deltas within one process are meaningless; compare
+/// across separate processes instead.
+std::uint64_t peak_rss_bytes();
+
+/// Current resident set size (VmRSS) in bytes; 0 when unavailable.
+std::uint64_t current_rss_bytes();
+
+}  // namespace treesched::util

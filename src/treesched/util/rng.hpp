@@ -6,6 +6,7 @@
 // sequence) pair reproduces bit-identical workloads anywhere.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -84,6 +85,15 @@ class Rng {
   /// Derives an independent child generator; useful to give each experiment
   /// repetition its own stream without coupling call orders.
   Rng split();
+
+  /// Raw xoshiro256++ state, for engine snapshots: restoring via set_state
+  /// resumes the stream at exactly the captured position.
+  std::array<std::uint64_t, 4> state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+
+  /// Restores state captured via state().
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    for (std::size_t i = 0; i < 4; ++i) s_[i] = s[i];
+  }
 
  private:
   std::uint64_t s_[4];

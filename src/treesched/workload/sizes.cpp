@@ -57,37 +57,39 @@ double SizeSpec::base_mean() const {
   return scale;
 }
 
+double draw_one_size(util::Rng& rng, const SizeSpec& spec) {
+  TS_REQUIRE(spec.scale > 0.0, "size scale must be positive");
+  double p = spec.scale;
+  switch (spec.dist) {
+    case SizeDistribution::kFixed:
+      break;
+    case SizeDistribution::kUniform:
+      TS_REQUIRE(spec.spread > 1.0, "uniform spread must exceed 1");
+      p = rng.uniform_real(spec.scale, spec.scale * spec.spread);
+      break;
+    case SizeDistribution::kExponential:
+      // Shifted off zero so sizes stay strictly positive.
+      p = std::max(1e-3 * spec.scale, rng.exponential(1.0 / spec.scale));
+      break;
+    case SizeDistribution::kBoundedPareto:
+      TS_REQUIRE(spec.spread > 1.0, "pareto spread must exceed 1");
+      p = rng.bounded_pareto(spec.scale, spec.scale * spec.spread,
+                             spec.shape);
+      break;
+    case SizeDistribution::kBimodal:
+      TS_REQUIRE(spec.mix >= 0.0 && spec.mix <= 1.0, "mix in [0,1]");
+      p = rng.bernoulli(spec.mix) ? spec.scale * spec.spread : spec.scale;
+      break;
+  }
+  if (spec.class_eps > 0.0) p = util::round_up_to_class(p, spec.class_eps);
+  return p;
+}
+
 std::vector<double> draw_sizes(util::Rng& rng, int n, const SizeSpec& spec) {
   TS_REQUIRE(n >= 0, "size count must be non-negative");
-  TS_REQUIRE(spec.scale > 0.0, "size scale must be positive");
   std::vector<double> out;
   out.reserve(uidx(n));
-  for (int i = 0; i < n; ++i) {
-    double p = spec.scale;
-    switch (spec.dist) {
-      case SizeDistribution::kFixed:
-        break;
-      case SizeDistribution::kUniform:
-        TS_REQUIRE(spec.spread > 1.0, "uniform spread must exceed 1");
-        p = rng.uniform_real(spec.scale, spec.scale * spec.spread);
-        break;
-      case SizeDistribution::kExponential:
-        // Shifted off zero so sizes stay strictly positive.
-        p = std::max(1e-3 * spec.scale, rng.exponential(1.0 / spec.scale));
-        break;
-      case SizeDistribution::kBoundedPareto:
-        TS_REQUIRE(spec.spread > 1.0, "pareto spread must exceed 1");
-        p = rng.bounded_pareto(spec.scale, spec.scale * spec.spread,
-                               spec.shape);
-        break;
-      case SizeDistribution::kBimodal:
-        TS_REQUIRE(spec.mix >= 0.0 && spec.mix <= 1.0, "mix in [0,1]");
-        p = rng.bernoulli(spec.mix) ? spec.scale * spec.spread : spec.scale;
-        break;
-    }
-    if (spec.class_eps > 0.0) p = util::round_up_to_class(p, spec.class_eps);
-    out.push_back(p);
-  }
+  for (int i = 0; i < n; ++i) out.push_back(draw_one_size(rng, spec));
   return out;
 }
 

@@ -36,6 +36,11 @@ struct SizeSpec {
   double base_mean() const;
 };
 
+/// Draws one size (exactly the per-draw logic of draw_sizes, factored out so
+/// streaming arrival generators can draw sizes one at a time from per-index
+/// RNG streams without materializing a vector).
+double draw_one_size(util::Rng& rng, const SizeSpec& spec);
+
 /// Draws n sizes.
 std::vector<double> draw_sizes(util::Rng& rng, int n, const SizeSpec& spec);
 

@@ -1,0 +1,28 @@
+#include "treesched/workload/stream.hpp"
+
+#include "treesched/util/assert.hpp"
+#include "treesched/util/rng.hpp"
+
+namespace treesched::workload {
+
+JobStream::JobStream(StreamSpec spec) : spec_(std::move(spec)) {
+  TS_REQUIRE(spec_.lambda > 0.0, "stream arrival rate must be positive");
+  TS_REQUIRE(spec_.sizes.scale > 0.0, "stream size scale must be positive");
+}
+
+StreamJob JobStream::next(StreamCursor& cursor) const {
+  // Per-index stream: gap then size from the same child RNG, so one
+  // split_seed call covers both draws and the cursor stays two numbers.
+  util::Rng rng(util::split_seed(spec_.seed, cursor.index));
+  const double gap = rng.exponential(spec_.lambda);
+  cursor.clock += gap;
+  ++cursor.index;
+  return {cursor.clock, draw_one_size(rng, spec_.sizes)};
+}
+
+StreamJob JobStream::peek(const StreamCursor& cursor) const {
+  StreamCursor copy = cursor;
+  return next(copy);
+}
+
+}  // namespace treesched::workload

@@ -1,0 +1,60 @@
+// Unbounded Poisson arrival streams for endurance runs.
+//
+// A JobStream generates an infinite arrival sequence (release, size) lazily,
+// one job at a time, with O(1) state: each arrival index gets its own RNG
+// stream via util::split_seed(seed, index), so the i-th arrival's gap and
+// size never depend on how many draws earlier arrivals made. A Cursor
+// (index, clock) therefore resumes the stream exactly — serializing those
+// two numbers into an engine snapshot is enough to regenerate the identical
+// suffix after kill/restore, and regenerating a window [base, base+n) from a
+// saved cursor is bit-identical to having never stopped.
+#pragma once
+
+#include <cstdint>
+
+#include "treesched/workload/sizes.hpp"
+
+namespace treesched::workload {
+
+/// Parameters of the arrival process. Streaming endurance mode deliberately
+/// supports the paper's base regime only: Poisson arrivals at the root with
+/// unit weights (use `arrival_rate_for_load` to pick lambda for a target
+/// rho).
+struct StreamSpec {
+  std::uint64_t seed = 0x5eedULL;
+  double lambda = 1.0;  ///< arrival rate (jobs per unit time); > 0
+  SizeSpec sizes;
+};
+
+/// Position in the stream: `index` arrivals consumed, last release at
+/// `clock`. Default-constructed = the beginning.
+struct StreamCursor {
+  std::uint64_t index = 0;
+  double clock = 0.0;
+};
+
+/// One generated arrival.
+struct StreamJob {
+  double release = 0.0;
+  double size = 0.0;
+};
+
+/// Lazy arrival generator over a StreamSpec (stateless itself; all position
+/// lives in the caller's cursor).
+class JobStream {
+ public:
+  explicit JobStream(StreamSpec spec);
+
+  const StreamSpec& spec() const { return spec_; }
+
+  /// Generates the arrival at cursor.index and advances the cursor.
+  StreamJob next(StreamCursor& cursor) const;
+
+  /// The arrival the cursor points at, without consuming it.
+  StreamJob peek(const StreamCursor& cursor) const;
+
+ private:
+  StreamSpec spec_;
+};
+
+}  // namespace treesched::workload

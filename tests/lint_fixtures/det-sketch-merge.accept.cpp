@@ -1,0 +1,11 @@
+// scan-as: src/treesched/exec/fixture.cpp
+// Partial sketches merged through the deterministic-order helper; the
+// phrase absorb_unordered may appear in prose without firing.
+#include <vector>
+
+#include "treesched/stats/quantile_sketch.hpp"
+
+treesched::stats::QuantileDigest combine(
+    const std::vector<treesched::stats::QuantileDigest>& parts) {
+  return treesched::stats::merge_deterministic(parts);
+}

@@ -1,0 +1,11 @@
+// scan-as: src/treesched/exec/fixture.cpp
+#include <vector>
+
+#include "treesched/stats/quantile_sketch.hpp"
+
+treesched::stats::QuantileDigest combine(
+    const std::vector<treesched::stats::QuantileDigest>& parts) {
+  treesched::stats::QuantileDigest out;
+  for (const auto& p : parts) out.absorb_unordered(p);
+  return out;
+}

@@ -410,15 +410,17 @@ TEST(LintReport, JsonCarriesSchemaAndFindings) {
 
 TEST(LintReport, CatalogueHasStableRuleSet) {
   const auto& rules = treesched::lint::rule_catalogue();
-  EXPECT_EQ(rules.size(), 11u);
+  EXPECT_EQ(rules.size(), 12u);
   // Spot-check ids the docs and suppressions depend on.
-  bool has_wallclock = false, has_stale = false;
+  bool has_wallclock = false, has_stale = false, has_sketch = false;
   for (const auto& r : rules) {
     if (std::string(r.id) == "det-wallclock") has_wallclock = true;
     if (std::string(r.id) == "lint-stale-suppression") has_stale = true;
+    if (std::string(r.id) == "det-sketch-merge") has_sketch = true;
   }
   EXPECT_TRUE(has_wallclock);
   EXPECT_TRUE(has_stale);
+  EXPECT_TRUE(has_sketch);
 }
 
 }  // namespace

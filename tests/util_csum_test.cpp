@@ -1,0 +1,95 @@
+// util::CompensatedSum edge cases: the Neumaier alternating-sign sequence
+// (where classic Kahan fails), magnitude cliffs, merge order discipline,
+// and the raw-state round trip engine snapshots rely on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "treesched/util/csum.hpp"
+#include "treesched/util/rng.hpp"
+
+using treesched::util::CompensatedSum;
+
+TEST(CompensatedSumTest, NeumaierAlternatingSign) {
+  // 1 + 1e100 + 1 - 1e100 = 2. Naive and classic Kahan both return 0
+  // because the large addend wipes the small ones; Neumaier's compensation
+  // keeps them because it also covers |addend| > |sum|.
+  CompensatedSum s;
+  s.add(1.0);
+  s.add(1e100);
+  s.add(1.0);
+  s.add(-1e100);
+  EXPECT_DOUBLE_EQ(s.value(), 2.0);
+}
+
+TEST(CompensatedSumTest, MagnitudeCliff) {
+  // 1e16 is past the point where += 1.0 rounds to a no-op in naive
+  // summation (ulp(1e16) = 2). Ten thousand unit addends must all survive.
+  CompensatedSum s;
+  s.add(1e16);
+  double naive = 1e16;
+  for (int i = 0; i < 10000; ++i) {
+    s.add(1.0);
+    naive += 1.0;
+  }
+  s.add(-1e16);
+  EXPECT_DOUBLE_EQ(s.value(), 10000.0);
+  EXPECT_NE(naive - 1e16, 10000.0);  // the failure mode being defended against
+}
+
+TEST(CompensatedSumTest, ManySmallOntoLarge) {
+  // 0.1 is inexact in binary; 10^6 of them drift visibly under naive
+  // accumulation but stay at one ulp compensated.
+  CompensatedSum s;
+  for (int i = 0; i < 1000000; ++i) s.add(0.1);
+  EXPECT_NEAR(s.value(), 100000.0, 1e-9);
+}
+
+TEST(CompensatedSumTest, MergePreservesBothErrorTerms) {
+  treesched::util::Rng rng(13);
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i)
+    xs.push_back((rng.uniform01() - 0.5) * std::pow(10.0, 16.0 * rng.uniform01()));
+
+  CompensatedSum whole;
+  for (const double x : xs) whole.add(x);
+
+  // Shard by index, merge in index order: the compensated result must agree
+  // with the single-pass sum to high relative precision even though the
+  // magnitudes span 16 decades.
+  std::vector<CompensatedSum> shards(4);
+  for (std::size_t i = 0; i < xs.size(); ++i) shards[i % 4].add(xs[i]);
+  CompensatedSum merged;
+  for (const CompensatedSum& sh : shards) merged.merge(sh);
+  const double scale = std::abs(whole.value()) + 1.0;
+  EXPECT_NEAR(merged.value(), whole.value(), 1e-9 * scale);
+}
+
+TEST(CompensatedSumTest, MergeIsDeterministicForAFixedOrder) {
+  treesched::util::Rng rng(29);
+  std::vector<CompensatedSum> shards(6);
+  for (int i = 0; i < 6000; ++i)
+    shards[static_cast<std::size_t>(i) % 6].add((rng.uniform01() - 0.5) * 1e8);
+  CompensatedSum a, b;
+  for (const CompensatedSum& sh : shards) a.merge(sh);
+  for (const CompensatedSum& sh : shards) b.merge(sh);
+  // Bitwise: same fold order, same bits — the property the sweep and the
+  // streaming accumulator lean on for byte-identical artifacts.
+  EXPECT_EQ(a.sum(), b.sum());
+  EXPECT_EQ(a.compensation(), b.compensation());
+}
+
+TEST(CompensatedSumTest, RawStateRoundTrip) {
+  CompensatedSum s;
+  s.add(1e16);
+  for (int i = 0; i < 100; ++i) s.add(0.1);
+  CompensatedSum t;
+  t.set_state(s.sum(), s.compensation());
+  // Continuations must be bit-identical — snapshots serialize (sum, comp),
+  // not the folded value(), precisely so resumed runs do not fork.
+  s.add(0.7);
+  t.add(0.7);
+  EXPECT_EQ(t.sum(), s.sum());
+  EXPECT_EQ(t.compensation(), s.compensation());
+  EXPECT_EQ(t.value(), s.value());
+}

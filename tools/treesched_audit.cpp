@@ -9,11 +9,22 @@
 // point, immediate-dispatch assignment stability, and (with --eps) the
 // Lemma 1/2/3 bounds with per-job worst-case margins.
 //
+// Segmented streaming logs (treesched-runlog-seg-v1, written by
+// treesched_run --stream --record-out) are audited incrementally in
+// O(segment) memory instead:
+//
+//   treesched_audit --segments seg/manifest.log
+//
+// This mode needs no --trace: job identities are reconstructed from the
+// jobrec admission lines inside the segments, and the fingerprint chain in
+// the manifest proves the segment files are the ones the writer sealed.
+//
 // Exit codes: 0 = clean, 1 = usage/input error, 2 = invariant violation.
 #include <iostream>
 
 #include "treesched/sim/audit.hpp"
 #include "treesched/sim/run_log.hpp"
+#include "treesched/sim/runlog_segments.hpp"
 #include "treesched/util/cli.hpp"
 #include "treesched/workload/trace_io.hpp"
 
@@ -24,6 +35,10 @@ int main(int argc, char** argv) {
                 "Audit a recorded run against the paper's invariants.");
   auto& trace = cli.add_string("trace", "", "instance trace path (required)");
   auto& log_path = cli.add_string("log", "", "run log path (required)");
+  auto& segments = cli.add_string(
+      "segments", "",
+      "segmented-log manifest path: audit a streaming run incrementally "
+      "(no --trace/--log needed)");
   auto& eps = cli.add_double(
       "eps", 0.0, "speed-augmentation epsilon; > 0 prints lemma margins");
   auto& strict = cli.add_flag(
@@ -33,6 +48,26 @@ int main(int argc, char** argv) {
   cli.parse(argc, argv);
 
   try {
+    if (!segments.empty()) {
+      if (!trace.empty() || !log_path.empty())
+        throw std::invalid_argument(
+            "--segments is self-contained; drop --trace/--log");
+      if (eps > 0.0 || strict)
+        throw std::invalid_argument(
+            "lemma margins need per-job release/size context the segment "
+            "audit streams past; use the monolithic --trace/--log mode");
+      sim::SegmentAuditOptions opts;
+      opts.tol = tol;
+      const sim::SegmentAuditResult res = sim::audit_segments(segments, opts);
+      std::cout << (res.ok ? "segment audit: OK" : "segment audit: FAILED")
+                << " (" << res.segments << " segments, " << res.payload_lines
+                << " payload lines, " << res.arrivals << " arrivals, "
+                << res.completed << " completed)\n";
+      if (!quiet)
+        for (const auto& v : res.violations)
+          std::cout << "  segment " << v.segment << ": " << v.message << '\n';
+      return res.ok ? 0 : 2;
+    }
     if (trace.empty()) throw std::invalid_argument("--trace is required");
     if (log_path.empty()) throw std::invalid_argument("--log is required");
     const Instance inst = workload::read_trace_file(trace);

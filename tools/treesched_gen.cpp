@@ -6,42 +6,12 @@
 // cater:<branches>x<spine>x<leaves>, figure1, random:<routers>x<leaves>.
 #include <iostream>
 
+#include "spec_parse.hpp"
 #include "treesched/treesched.hpp"
 
 using namespace treesched;
-
-namespace {
-
-Tree parse_tree(const std::string& spec, util::Rng& rng) {
-  const auto parts = util::split(spec, ':');
-  const std::string kind = parts[0];
-  std::vector<int> dims;
-  if (parts.size() > 1)
-    for (const auto& d : util::split(parts[1], 'x'))
-      dims.push_back(std::stoi(d));
-  auto dim = [&dims](std::size_t i, int def) {
-    return i < dims.size() ? dims[i] : def;
-  };
-  if (kind == "star") return builders::star_of_paths(dim(0, 2), dim(1, 3));
-  if (kind == "fat") return builders::fat_tree(dim(0, 2), dim(1, 2), dim(2, 2));
-  if (kind == "cater")
-    return builders::caterpillar(dim(0, 2), dim(1, 3), dim(2, 2));
-  if (kind == "figure1") return builders::figure1_tree();
-  if (kind == "random")
-    return builders::random_tree(rng, dim(0, 8), dim(1, 10));
-  throw std::invalid_argument("unknown tree spec: " + spec);
-}
-
-workload::SizeDistribution parse_sizes(const std::string& s) {
-  if (s == "fixed") return workload::SizeDistribution::kFixed;
-  if (s == "uniform") return workload::SizeDistribution::kUniform;
-  if (s == "exp") return workload::SizeDistribution::kExponential;
-  if (s == "pareto") return workload::SizeDistribution::kBoundedPareto;
-  if (s == "bimodal") return workload::SizeDistribution::kBimodal;
-  throw std::invalid_argument("unknown size distribution: " + s);
-}
-
-}  // namespace
+using tools::parse_sizes;
+using tools::parse_tree;
 
 int main(int argc, char** argv) {
   util::Cli cli("treesched_gen", "Generate a tree-scheduling trace file.");

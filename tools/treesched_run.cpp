@@ -23,11 +23,19 @@
 // policy/speed/node-policy name, malformed fault plan), 2 = the schedule
 // failed replay validation, 1 = runtime error (unreadable trace, I/O).
 #include <algorithm>
+#include <iomanip>
 #include <iostream>
+#include <memory>
 #include <optional>
+#include <sstream>
 
+#include "spec_parse.hpp"
 #include "treesched/algo/anycast.hpp"
+#include "treesched/exec/stream_runner.hpp"
 #include "treesched/treesched.hpp"
+#include "treesched/util/fs.hpp"
+#include "treesched/util/mem.hpp"
+#include "treesched/util/stopwatch.hpp"
 
 using namespace treesched;
 
@@ -37,6 +45,9 @@ constexpr int kExitOk = 0;
 constexpr int kExitUsage = 64;
 constexpr int kExitValidation = 2;
 constexpr int kExitRuntime = 1;
+/// Streaming run stopped deliberately by --die-at-snapshot (mirrors the
+/// exit status of a SIGINT kill, which it stands in for).
+constexpr int kExitInterrupted = 130;
 
 SpeedProfile parse_speeds(const std::string& spec, const Tree& tree) {
   const auto parts = util::split(spec, ':');
@@ -68,6 +79,38 @@ bool has_custom_sources(const Instance& inst) {
     if (j.source != kInvalidNode) return true;
   return false;
 }
+
+sim::NodePolicy parse_node_policy(const std::string& name) {
+  if (name == "sjf") return sim::NodePolicy::kSjf;
+  if (name == "fifo") return sim::NodePolicy::kFifo;
+  if (name == "srpt") return sim::NodePolicy::kSrpt;
+  if (name == "lcfs") return sim::NodePolicy::kLcfs;
+  if (name == "hdf") return sim::NodePolicy::kHdf;
+  throw std::invalid_argument("unknown node policy '" + name +
+                              "' (want sjf|fifo|srpt|lcfs|hdf)");
+}
+
+/// --progress-every heartbeat for monolithic (whole-trace) runs. Wall time
+/// comes from util::Stopwatch — the sanctioned clock shim — so the simulation
+/// stays deterministic and the det-wallclock lint rule stays quiet.
+class ProgressBeat final : public sim::EngineObserver {
+ public:
+  ProgressBeat(double every, std::size_t total) : every_(every), total_(total) {}
+
+  void on_event(const sim::Engine& engine, Time t) override {
+    if (watch_.elapsed_seconds() - last_ < every_) return;
+    last_ = watch_.elapsed_seconds();
+    std::cerr << "[run] jobs " << engine.metrics().completed_count() << '/'
+              << total_ << " simtime " << t << " rss "
+              << util::current_rss_bytes() / (1024 * 1024) << "MB\n";
+  }
+
+ private:
+  util::Stopwatch watch_;
+  double every_;
+  double last_ = 0.0;
+  std::size_t total_;
+};
 
 }  // namespace
 
@@ -103,6 +146,41 @@ int main(int argc, char** argv) {
       "record-out", "", "write the burst log here for treesched_audit");
   auto& with_lb = cli.add_flag("lb", "also compute the certified lower bound");
   auto& seed = cli.add_int("seed", 1, "seed for randomized policies");
+  auto& progress_every = cli.add_double(
+      "progress-every", 0.0, "stderr heartbeat period in seconds (0=off)");
+  auto& stream_mode = cli.add_flag(
+      "stream", "streaming endurance mode: generate arrivals on the fly "
+                "instead of reading --trace (bounded memory)");
+  auto& tree_spec = cli.add_string("tree", "fat:2x2x2",
+                                   "streaming: topology spec (as treesched_gen)");
+  auto& stream_jobs = cli.add_int("stream-jobs", 100000,
+                                  "streaming: total arrivals to run");
+  auto& load = cli.add_double("load", 0.7,
+                              "streaming: root-cut utilization target");
+  auto& sizes_name = cli.add_string(
+      "sizes", "pareto", "streaming: fixed|uniform|exp|pareto|bimodal");
+  auto& scale = cli.add_double("scale", 8.0, "streaming: size scale");
+  auto& class_eps = cli.add_double(
+      "class-eps", 0.0, "streaming: round sizes to powers of 1+eps (0=off)");
+  auto& window = cli.add_int(
+      "window", 4096,
+      "streaming: jobs per engine window (results are window-invariant)");
+  auto& segment_cap = cli.add_int(
+      "segment-cap", 4096, "streaming: run-log payload lines per segment");
+  auto& snapshot_every = cli.add_int(
+      "snapshot-every", 0, "streaming: arrivals between snapshots (0=off)");
+  auto& snapshot_path = cli.add_string("snapshot-path", "",
+                                       "streaming: snapshot file path");
+  auto& resume_snapshot = cli.add_string(
+      "resume-snapshot", "", "streaming: resume from this snapshot file");
+  auto& die_at_snapshot = cli.add_int(
+      "die-at-snapshot", 0,
+      "streaming: exit 130 right after this process writes its N-th "
+      "snapshot (deterministic kill for endurance tests)");
+  auto& metrics_json = cli.add_string(
+      "metrics-json", "",
+      "streaming: write final metrics as JSON here (full precision, "
+      "byte-stable across kill-and-resume)");
 
   try {
     cli.parse(argc, argv);
@@ -112,11 +190,130 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (eps <= 0.0)
+      throw std::invalid_argument("--eps must be positive");
+
+    if (stream_mode) {
+      if (!trace.empty())
+        throw std::invalid_argument(
+            "--stream generates its own arrivals; drop --trace");
+      if (!fault_plan_path.empty() || fault_rate > 0.0)
+        throw std::invalid_argument(
+            "--stream does not support fault injection");
+      if (chunk != 0.0)
+        throw std::invalid_argument(
+            "--stream needs --chunk 0 (whole-job forwarding)");
+      if (validate)
+        throw std::invalid_argument(
+            "--validate has no streaming mode; record with --record-out and "
+            "run treesched_audit --segments instead");
+      if (with_lb)
+        throw std::invalid_argument(
+            "--lb needs the whole instance up front; not available with "
+            "--stream");
+      if (stream_jobs <= 0)
+        throw std::invalid_argument("--stream-jobs must be positive");
+      if (load <= 0.0)
+        throw std::invalid_argument("--load must be positive");
+
+      overload::ShedConfig shed_cfg;
+      shed_cfg.policy = overload::parse_shed_policy(shed_policy);
+      shed_cfg.queue_cap = queue_cap;
+      shed_cfg.deadline_slack = deadline_slack;
+
+      util::Rng tree_rng(static_cast<std::uint64_t>(seed));
+      auto tree =
+          std::make_shared<const Tree>(tools::parse_tree(tree_spec, tree_rng));
+      const SpeedProfile speeds = parse_speeds(speeds_spec, *tree);
+
+      exec::StreamRunnerConfig scfg;
+      scfg.stream.seed = static_cast<std::uint64_t>(seed);
+      scfg.stream.sizes.dist = tools::parse_sizes(sizes_name);
+      scfg.stream.sizes.scale = scale;
+      scfg.stream.sizes.class_eps = class_eps;
+      scfg.stream.lambda = workload::arrival_rate_for_load(
+          static_cast<int>(tree->root_children().size()),
+          scfg.stream.sizes.mean(), load);
+      scfg.total_jobs = static_cast<std::uint64_t>(stream_jobs);
+      scfg.window = static_cast<std::size_t>(window);
+      scfg.policy = policy_name;
+      scfg.eps = eps;
+      scfg.policy_seed = static_cast<std::uint64_t>(seed);
+      scfg.node_policy = parse_node_policy(node_policy);
+      scfg.shed = shed_cfg;
+      scfg.record_path = record_out;
+      scfg.segment_cap = static_cast<std::size_t>(segment_cap);
+      scfg.snapshot_every = static_cast<std::uint64_t>(snapshot_every);
+      scfg.snapshot_path = snapshot_path;
+      scfg.resume_snapshot = resume_snapshot;
+      scfg.die_after_snapshot = static_cast<std::uint64_t>(die_at_snapshot);
+      scfg.progress_every = progress_every;
+
+      const exec::StreamRunnerResult res =
+          exec::run_stream(tree, speeds, scfg);
+      if (res.interrupted) {
+        std::cerr << "[stream] stopping after snapshot " << res.snapshots_written
+                  << " (--die-at-snapshot); resume with --resume-snapshot "
+                  << snapshot_path << '\n';
+        return kExitInterrupted;
+      }
+
+      const sim::StreamAccumulator& a = res.acc;
+      const double mean_flow =
+          a.completed > 0 ? a.flow.value() / static_cast<double>(a.completed)
+                          : 0.0;
+      std::cout << "policy             : " << policy_name << " (streaming)\n"
+                << "arrivals           : " << res.arrivals << '\n'
+                << "completed          : " << a.completed << '\n'
+                << "shed               : " << a.shed << '\n'
+                << "rejected           : " << a.rejected << '\n'
+                << "total flow time    : " << a.flow.value() << '\n'
+                << "mean flow time     : " << mean_flow << '\n'
+                << "max flow time      : " << a.max_flow << '\n'
+                << "fractional flow    : " << a.frac.value() << '\n'
+                << "weighted flow      : " << a.weighted_flow.value() << '\n'
+                << "makespan           : " << a.makespan << '\n'
+                << "p50 flow (digest)  : " << a.flow_digest.quantile(0.5)
+                << '\n'
+                << "p99 flow (digest)  : " << a.flow_digest.quantile(0.99)
+                << '\n'
+                << "p99 flow (marker)  : " << a.p99_marker.estimate() << '\n'
+                << "max window         : " << res.max_window << '\n'
+                << "segments written   : " << res.segments_written << '\n'
+                << "peak rss           : "
+                << util::peak_rss_bytes() / (1024 * 1024) << " MB\n";
+      if (!metrics_json.empty()) {
+        // Only run-invariant quantities (identical whether or not the run
+        // was killed and resumed) — this file is the byte-cmp artifact of
+        // the endurance differential, so process-local stats like
+        // max_window or segments-written-by-this-process must stay out.
+        std::ostringstream js;
+        js << std::setprecision(17);
+        js << "{\n"
+           << "  \"format\": \"treesched-stream-metrics-v1\",\n"
+           << "  \"arrivals\": " << res.arrivals << ",\n"
+           << "  \"completed\": " << a.completed << ",\n"
+           << "  \"shed\": " << a.shed << ",\n"
+           << "  \"rejected\": " << a.rejected << ",\n"
+           << "  \"total_flow\": " << a.flow.value() << ",\n"
+           << "  \"weighted_flow\": " << a.weighted_flow.value() << ",\n"
+           << "  \"fractional_flow\": " << a.frac.value() << ",\n"
+           << "  \"shed_volume\": " << a.shed_volume.value() << ",\n"
+           << "  \"max_flow\": " << a.max_flow << ",\n"
+           << "  \"makespan\": " << a.makespan << ",\n"
+           << "  \"p50_digest\": " << a.flow_digest.quantile(0.5) << ",\n"
+           << "  \"p90_digest\": " << a.flow_digest.quantile(0.9) << ",\n"
+           << "  \"p99_digest\": " << a.flow_digest.quantile(0.99) << ",\n"
+           << "  \"p99_marker\": " << a.p99_marker.estimate() << "\n"
+           << "}\n";
+        util::write_file_atomic(metrics_json, js.str());
+      }
+      return kExitOk;
+    }
+
     if (trace.empty())
       throw std::invalid_argument("--trace is required (make one with "
                                   "treesched_gen --out trace.txt)");
-    if (eps <= 0.0)
-      throw std::invalid_argument("--eps must be positive");
     if (!fault_plan_path.empty() && fault_rate > 0.0)
       throw std::invalid_argument(
           "--fault-plan and --fault-rate are mutually exclusive");
@@ -151,13 +348,7 @@ int main(int argc, char** argv) {
     cfg.shed = shed_cfg;
     cfg.router_chunk_size = chunk;
     cfg.record_schedule = validate || !record_out.empty();
-    if (node_policy == "fifo") cfg.node_policy = sim::NodePolicy::kFifo;
-    else if (node_policy == "srpt") cfg.node_policy = sim::NodePolicy::kSrpt;
-    else if (node_policy == "lcfs") cfg.node_policy = sim::NodePolicy::kLcfs;
-    else if (node_policy == "hdf") cfg.node_policy = sim::NodePolicy::kHdf;
-    else if (node_policy != "sjf")
-      throw std::invalid_argument("unknown node policy '" + node_policy +
-                                  "' (want sjf|fifo|srpt|lcfs|hdf)");
+    cfg.node_policy = parse_node_policy(node_policy);
 
     if (faulty) {
       if (chunk != 0.0)
@@ -209,6 +400,12 @@ int main(int argc, char** argv) {
       auto policy = algo::make_policy(policy_name, inst, eps,
                                       static_cast<std::uint64_t>(seed));
       sim::Engine engine(inst, speeds, cfg);
+
+      std::optional<ProgressBeat> beat;
+      if (progress_every > 0.0) {
+        beat.emplace(progress_every, inst.jobs().size());
+        engine.set_observer(&*beat);
+      }
 
       std::optional<overload::AdmissionController> admission;
       if (shed_cfg.enabled()) {
