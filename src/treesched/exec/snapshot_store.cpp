@@ -1,0 +1,257 @@
+#include "treesched/exec/snapshot_store.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "treesched/util/assert.hpp"
+#include "treesched/util/failpoint.hpp"
+#include "treesched/util/fs.hpp"
+#include "treesched/util/hash.hpp"
+
+namespace treesched::exec {
+
+namespace {
+
+constexpr char kEnvelopeMagic[] = "treesched-snapshot-v2";
+constexpr char kManifestMagic[] = "treesched-snapmanifest-v1";
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace
+
+std::string encode_snapshot_envelope(
+    const std::vector<SnapshotSection>& sections) {
+  std::string out = std::string(kEnvelopeMagic) + "\n";
+  for (const SnapshotSection& s : sections) {
+    TS_REQUIRE(!s.name.empty() &&
+                   s.name.find_first_of(" \n") == std::string::npos,
+               "snapshot envelope: section name must be one token");
+    out += "section " + s.name + ' ' + std::to_string(s.payload.size()) +
+           ' ' + std::to_string(util::fnv1a_64(s.payload)) + '\n';
+    out += s.payload;
+    out += '\n';
+  }
+  out += "whole " + std::to_string(util::fnv1a_64(out)) + '\n';
+  return out;
+}
+
+std::vector<SnapshotSection> decode_snapshot_envelope(
+    const std::string& bytes) {
+  std::size_t pos = 0;
+  auto read_line = [&](std::string& line) {
+    const std::size_t nl = bytes.find('\n', pos);
+    if (nl == std::string::npos) return false;
+    line = bytes.substr(pos, nl - pos);
+    pos = nl + 1;
+    return true;
+  };
+
+  std::string line;
+  TS_REQUIRE(read_line(line) && line == kEnvelopeMagic,
+             "snapshot envelope: bad magic (corrupt, truncated, or from an "
+             "unsupported version)");
+  std::vector<SnapshotSection> out;
+  for (;;) {
+    const std::size_t header_pos = pos;
+    TS_REQUIRE(read_line(line),
+               "snapshot envelope: truncated before the whole-file "
+               "fingerprint line");
+    if (starts_with(line, "whole ")) {
+      std::istringstream ls(line.substr(6));
+      std::uint64_t fp = 0;
+      ls >> fp;
+      TS_REQUIRE(static_cast<bool>(ls),
+                 "snapshot envelope: malformed whole-file fingerprint line");
+      TS_REQUIRE(fp == util::fnv1a_64(bytes.substr(0, header_pos)),
+                 "snapshot envelope: whole-file fingerprint mismatch "
+                 "(corrupt bytes)");
+      TS_REQUIRE(pos == bytes.size(),
+                 "snapshot envelope: trailing bytes after the fingerprint");
+      return out;
+    }
+    TS_REQUIRE(starts_with(line, "section "),
+               "snapshot envelope: expected a section header, got '" + line +
+                   "'");
+    std::istringstream ls(line.substr(8));
+    SnapshotSection sec;
+    std::size_t len = 0;
+    std::uint64_t fp = 0;
+    ls >> sec.name >> len >> fp;
+    TS_REQUIRE(static_cast<bool>(ls),
+               "snapshot envelope: malformed section header '" + line + "'");
+    // Length-driven: the payload may contain anything, including lines that
+    // look like headers.
+    TS_REQUIRE(pos + len < bytes.size(),
+               "snapshot envelope: truncated payload in section '" +
+                   sec.name + "'");
+    sec.payload = bytes.substr(pos, len);
+    pos += len;
+    TS_REQUIRE(bytes[pos] == '\n',
+               "snapshot envelope: section '" + sec.name +
+                   "' payload length disagrees with the header");
+    ++pos;
+    TS_REQUIRE(fp == util::fnv1a_64(sec.payload),
+               "snapshot envelope: section '" + sec.name +
+                   "' fingerprint mismatch (corrupt bytes)");
+    out.push_back(std::move(sec));
+  }
+}
+
+const std::string& find_snapshot_section(
+    const std::vector<SnapshotSection>& sections, const std::string& name) {
+  for (const SnapshotSection& s : sections)
+    if (s.name == name) return s.payload;
+  throw std::invalid_argument("snapshot envelope: missing section '" + name +
+                              "' (wrong producer or incompatible run mode)");
+}
+
+SnapshotStore::SnapshotStore(std::string base, int keep)
+    : base_(std::move(base)), keep_(keep) {
+  TS_REQUIRE(!base_.empty(), "snapshot store needs a base path");
+  TS_REQUIRE(keep_ >= 1, "--snapshot-keep must be >= 1");
+}
+
+std::string SnapshotStore::gen_path(int index) const {
+  std::ostringstream os;
+  os << base_ << ".gen" << std::setw(3) << std::setfill('0') << index;
+  return os.str();
+}
+
+void SnapshotStore::write_manifest(
+    const std::vector<SnapshotGeneration>& oldest_first) {
+  std::ostringstream os;
+  os << kManifestMagic << '\n';
+  os << "keep " << keep_ << '\n';
+  for (const SnapshotGeneration& g : oldest_first)
+    os << "gen " << g.index << ' ' << g.progress << ' ' << g.fingerprint
+       << '\n';
+  util::write_file_atomic(base_, os.str());
+}
+
+void SnapshotStore::write(std::uint64_t progress,
+                          const std::string& envelope) {
+  std::vector<SnapshotGeneration> gens;  // oldest first
+  try {
+    gens = generations();
+    std::reverse(gens.begin(), gens.end());
+  } catch (const SnapshotMissingError&) {
+    // First snapshot of this run — start the manifest fresh.
+  }
+  const int index = gens.empty() ? 0 : gens.back().index + 1;
+  const std::string path = gen_path(index);
+
+  std::string bytes = envelope;
+  if (const auto hit = util::failpoint_hit("snapshot.write")) {
+    switch (hit->kind) {
+      case util::FailKind::kEnospc:
+        throw std::runtime_error("failed to write snapshot generation " +
+                                 path + ": injected ENOSPC (failpoint "
+                                 "snapshot.write)");
+      case util::FailKind::kFsyncFail:
+        throw std::runtime_error("failed to write snapshot generation " +
+                                 path + ": injected fsync failure "
+                                 "(failpoint snapshot.write)");
+      case util::FailKind::kTornWrite:
+        bytes = util::apply_torn(bytes);
+        break;
+      case util::FailKind::kBitFlip:
+        bytes = util::apply_bit_flip(bytes);
+        break;
+      case util::FailKind::kShortRead:
+        break;  // a read-side kind; meaningless at the write seam
+    }
+  }
+  // The manifest records the INTENDED fingerprint: if the storage lied (torn
+  // or flipped bytes above), verification at read time catches it.
+  util::write_file_atomic(path, bytes);
+
+  SnapshotGeneration g;
+  g.index = index;
+  g.progress = progress;
+  g.fingerprint = util::fnv1a_64(envelope);
+  g.path = path;
+  gens.push_back(g);
+
+  // Retention: drop the OLDEST healthy generations beyond the budget. Only
+  // manifest-listed (healthy) files are ever deleted — quarantined ones were
+  // renamed out of the manifest and stay on disk.
+  while (gens.size() > static_cast<std::size_t>(keep_)) {
+    std::error_code ec;
+    std::filesystem::remove(gens.front().path, ec);
+    gens.erase(gens.begin());
+  }
+  write_manifest(gens);
+}
+
+std::vector<SnapshotGeneration> SnapshotStore::generations() const {
+  std::ifstream is(base_);
+  if (!is)
+    throw SnapshotMissingError("no snapshot manifest at '" + base_ +
+                               "' (this run never wrote a snapshot)");
+  std::string tag;
+  is >> tag;
+  TS_REQUIRE(is && tag == kManifestMagic,
+             "snapshot manifest '" + base_ +
+                 "': bad magic (corrupt or unsupported)");
+  int keep = 0;
+  is >> tag >> keep;
+  TS_REQUIRE(is && tag == "keep" && keep >= 1,
+             "snapshot manifest '" + base_ + "': malformed keep line");
+  std::vector<SnapshotGeneration> gens;
+  while (is >> tag) {
+    TS_REQUIRE(tag == "gen",
+               "snapshot manifest '" + base_ + "': unexpected token '" + tag +
+                   "'");
+    SnapshotGeneration g;
+    is >> g.index >> g.progress >> g.fingerprint;
+    TS_REQUIRE(static_cast<bool>(is),
+               "snapshot manifest '" + base_ + "': truncated gen line");
+    g.path = gen_path(g.index);
+    gens.push_back(std::move(g));
+  }
+  std::reverse(gens.begin(), gens.end());  // newest first: the ladder order
+  return gens;
+}
+
+std::optional<std::string> SnapshotStore::read(
+    const SnapshotGeneration& gen) const {
+  std::ifstream is(gen.path, std::ios::binary);
+  if (!is) return std::nullopt;
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  std::string bytes = buf.str();
+  if (const auto hit = util::failpoint_hit("snapshot.read")) {
+    switch (hit->kind) {
+      case util::FailKind::kShortRead:
+        bytes = util::apply_torn(bytes);
+        break;
+      case util::FailKind::kBitFlip:
+        bytes = util::apply_bit_flip(bytes);
+        break;
+      case util::FailKind::kEnospc:
+      case util::FailKind::kFsyncFail:
+      case util::FailKind::kTornWrite:
+        break;  // write-side kinds; meaningless at the read seam
+    }
+  }
+  return bytes;
+}
+
+void SnapshotStore::quarantine(const SnapshotGeneration& gen,
+                               const std::string& reason) {
+  const std::string qpath = gen.path + ".quarantined";
+  std::error_code ec;
+  std::filesystem::rename(gen.path, qpath, ec);
+  std::ofstream log(quarantine_log_path(), std::ios::app);
+  log << "quarantined gen " << gen.index << " progress " << gen.progress
+      << " -> " << (ec ? gen.path + " (rename failed: file gone?)" : qpath)
+      << ": " << reason << '\n';
+}
+
+}  // namespace treesched::exec

@@ -1,7 +1,6 @@
 #include "treesched/exec/stream_runner.hpp"
 
 #include <algorithm>
-#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <optional>
@@ -11,26 +10,18 @@
 
 #include "treesched/algo/policies.hpp"
 #include "treesched/core/instance.hpp"
+#include "treesched/exec/snapshot_store.hpp"
 #include "treesched/overload/controller.hpp"
 #include "treesched/sim/engine.hpp"
 #include "treesched/sim/runlog_segments.hpp"
 #include "treesched/util/assert.hpp"
-#include "treesched/util/fs.hpp"
+#include "treesched/util/hash.hpp"
 #include "treesched/util/mem.hpp"
 #include "treesched/util/stopwatch.hpp"
 
 namespace treesched::exec {
 
 namespace {
-
-std::uint64_t fnv1a(const std::string& bytes) {
-  std::uint64_t h = 1469598103934665603ULL;
-  for (const char c : bytes) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
 
 /// Streaming-safe policies only: every decision must be reproducible from
 /// (engine state, stream_state token). broomstick-mirror simulates the whole
@@ -98,6 +89,7 @@ class StreamRunner;
 class StreamFeed : public sim::EngineObserver {
  public:
   explicit StreamFeed(StreamRunner* runner) : runner_(runner) {}
+  void on_job_admitted(const sim::Engine& engine, JobId j) override;
   void on_job_completed(const sim::Engine& engine, JobId j) override;
   void on_event(const sim::Engine& engine, Time t) override;
 
@@ -127,7 +119,9 @@ class StreamRunner {
           sim::SegmentedRunLogWriter::Config{cfg_.record_path,
                                              cfg_.segment_cap},
           *tree_, speeds_.speeds(), cfg_.node_policy, 0.0, cfg_.shed);
-    spec_fp_ = fnv1a(spec_string(*tree_, speeds_, cfg_));
+    if (!cfg_.snapshot_path.empty())
+      store_.emplace(cfg_.snapshot_path, cfg_.snapshot_keep);
+    spec_fp_ = util::fnv1a_64(spec_string(*tree_, speeds_, cfg_));
   }
 
   StreamRunnerResult run() {
@@ -169,6 +163,9 @@ class StreamRunner {
   }
 
   // Observer callbacks (via StreamFeed).
+  void on_admitted(const sim::Engine& engine, JobId j) {
+    if (admission_) admission_->estimator().on_job_admitted(engine, j);
+  }
   void on_done(const sim::Engine& engine, JobId j) {
     if (writer_)
       writer_->on_done(base_ + static_cast<std::uint64_t>(j), engine.now());
@@ -184,6 +181,15 @@ class StreamRunner {
     result_.arrivals = base_ + processed_;
     result_.acc = engine_->metrics().stream_accumulator();
     if (writer_) result_.segments_written = writer_->next_index();
+    if (admission_) {
+      // rho-hat first (it prunes the window at now()), then serialize — the
+      // byte-compared state is the post-reading one both runs agree on.
+      result_.rho_hat_root =
+          admission_->estimator().max_root_child_rho(*engine_);
+      std::ostringstream os;
+      admission_->save_state(os);
+      result_.overload_state = os.str();
+    }
     return result_;
   }
 
@@ -296,48 +302,60 @@ class StreamRunner {
   void take_snapshot(std::uint64_t done) {
     drain();
     if (writer_) writer_->commit(true);
-    std::ostringstream os;
-    os << std::setprecision(17);
-    os << "streamsnap 1\n";
-    os << "spec " << spec_fp_ << '\n';
-    os << "progress " << done << '\n';
-    os << "window " << base_ << ' ' << window_jobs_.size() << ' '
+    std::ostringstream hs;
+    hs << std::setprecision(17);
+    hs << "streamsnap 2\n";
+    hs << "spec " << spec_fp_ << '\n';
+    hs << "progress " << done << '\n';
+    hs << "window " << base_ << ' ' << window_jobs_.size() << ' '
        << processed_ << '\n';
-    os << "wcursor " << window_cursor_.index << ' ' << window_cursor_.clock
+    hs << "wcursor " << window_cursor_.index << ' ' << window_cursor_.clock
        << '\n';
-    os << "gcursor " << gen_cursor_.index << ' ' << gen_cursor_.clock << '\n';
-    os << "policystate " << policy_->stream_state() << '\n';
-    os << "shedconsumed " << shed_consumed_ << '\n';
+    hs << "gcursor " << gen_cursor_.index << ' ' << gen_cursor_.clock << '\n';
+    hs << "policystate " << policy_->stream_state() << '\n';
+    hs << "shedconsumed " << shed_consumed_ << '\n';
     if (writer_)
-      os << "writer " << writer_->next_index() << ' ' << writer_->chain()
+      hs << "writer " << writer_->next_index() << ' ' << writer_->chain()
          << '\n';
     else
-      os << "writer 0 0\n";
-    engine_->save_state(os);
-    os << "streamsnap-end\n";
-    util::write_file_atomic(cfg_.snapshot_path, os.str());
+      hs << "writer 0 0\n";
+    std::vector<SnapshotSection> sections;
+    sections.push_back({"stream", hs.str()});
+    std::ostringstream es;
+    engine_->save_state(es);
+    sections.push_back({"engine", es.str()});
+    if (admission_) {
+      std::ostringstream as;
+      admission_->save_state(as);
+      sections.push_back({"overload", as.str()});
+    }
+    store_->write(done, encode_snapshot_envelope(sections));
     ++result_.snapshots_written;
     if (cfg_.die_after_snapshot > 0 &&
         result_.snapshots_written >= cfg_.die_after_snapshot)
       result_.interrupted = true;
   }
 
-  void load_snapshot() {
-    std::ifstream is = [this] {
-      std::ifstream f(cfg_.resume_snapshot);
-      TS_REQUIRE(static_cast<bool>(f),
-                 "cannot open snapshot " + cfg_.resume_snapshot);
-      return f;
-    }();
+  /// One rung of the ladder: restores the full runner state from a decoded
+  /// envelope. Throws SnapshotSpecMismatchError on a clean snapshot from a
+  /// different run and std::invalid_argument on internal inconsistency. May
+  /// leave the runner half-mutated on throw — the ladder either retries
+  /// (which overwrites everything) or aborts the run.
+  void restore_from_sections(const std::vector<SnapshotSection>& sections) {
+    std::istringstream is(find_snapshot_section(sections, "stream"));
     expect_tag(is, "streamsnap");
     int version = 0;
-    TS_REQUIRE(static_cast<bool>(is >> version) && version == 1,
-               "unsupported snapshot version");
+    TS_REQUIRE(static_cast<bool>(is >> version) && version == 2,
+               "unsupported snapshot version (want streamsnap 2)");
     expect_tag(is, "spec");
     std::uint64_t fp = 0;
     is >> fp;
-    TS_REQUIRE(is && fp == spec_fp_,
-               "snapshot was taken under a different run spec");
+    TS_REQUIRE(static_cast<bool>(is), "truncated spec line");
+    if (fp != spec_fp_)
+      throw SnapshotSpecMismatchError(
+          "snapshot was taken under a different run spec (tree, stream, "
+          "policy, windowing, or shed config differ) — resume with the "
+          "original flags or start fresh without --resume-snapshot");
     expect_tag(is, "progress");
     std::uint64_t done = 0;
     is >> done;
@@ -373,10 +391,78 @@ class StreamRunner {
     TS_REQUIRE(gen_cursor_.index == gcur.index &&
                    gen_cursor_.clock == gcur.clock,
                "regenerated window does not land on the saved cursor");
-    rebuild_engine(&is, nullptr);
-    expect_tag(is, "streamsnap-end");
+    std::istringstream es(find_snapshot_section(sections, "engine"));
+    rebuild_engine(&es, nullptr);
+    if (admission_) {
+      std::istringstream as(find_snapshot_section(sections, "overload"));
+      admission_->load_state(as);
+    }
     policy_->restore_stream_state(pstate);
+    // Cross-check the segmented run log: resume() verifies the manifest
+    // chain prefix BEFORE rewriting anything, so a mismatch here (damaged
+    // or foreign run log) is safe to retry against an older generation,
+    // whose shorter chain prefix may still verify.
     if (writer_) writer_->resume(widx, wchain);
+  }
+
+  /// The self-healing resume ladder: walk the manifest newest-first,
+  /// quarantine generations whose BYTES are damaged, skip missing ones,
+  /// fall back to the newest generation that verifies and restores. Typed
+  /// outcomes: SnapshotMissingError (no manifest), SnapshotSpecMismatchError
+  /// (clean snapshot, wrong run — no point walking further down, every rung
+  /// carries the same spec), SnapshotUnrecoverableError (ladder exhausted).
+  void load_snapshot() {
+    SnapshotStore store(cfg_.resume_snapshot, cfg_.snapshot_keep);
+    const std::vector<SnapshotGeneration> gens = store.generations();
+    std::string notes;
+    for (std::size_t i = 0; i < gens.size(); ++i) {
+      const SnapshotGeneration& gen = gens[i];
+      const std::string label = "gen " + std::to_string(gen.index);
+      const std::optional<std::string> bytes = store.read(gen);
+      if (!bytes) {
+        notes += "; " + label + ": file missing";
+        continue;
+      }
+      bool decoded = false;
+      try {
+        TS_REQUIRE(util::fnv1a_64(*bytes) == gen.fingerprint,
+                   "whole-file fingerprint disagrees with the manifest "
+                   "(torn write or substituted file)");
+        const std::vector<SnapshotSection> sections =
+            decode_snapshot_envelope(*bytes);
+        decoded = true;
+        restore_from_sections(sections);
+      } catch (const SnapshotSpecMismatchError&) {
+        throw;
+      } catch (const std::invalid_argument& e) {
+        if (!decoded) {
+          // Damaged bytes: quarantine the file (rename, never delete).
+          store.quarantine(gen, e.what());
+          notes += "; " + label + ": quarantined (" + e.what() + ")";
+        } else {
+          // The envelope verified but restoring against THIS run failed
+          // (e.g. run-log chain mismatch) — the snapshot file itself is
+          // fine, so fall back without quarantining it.
+          notes += "; " + label + ": restore failed (" + e.what() + ")";
+        }
+        continue;
+      }
+      if (i > 0)
+        std::cerr << "[stream] resume: newer snapshot generation(s) "
+                     "unusable (" << notes.substr(2)
+                  << "); resumed from " << label << " at progress "
+                  << gen.progress << "\n";
+      return;
+    }
+    throw SnapshotUnrecoverableError(
+        "resume failed: all " + std::to_string(gens.size()) +
+        " snapshot generation(s) at '" + cfg_.resume_snapshot +
+        "' are unusable (" + (notes.empty() ? "empty manifest"
+                                            : notes.substr(2)) +
+        ") — corrupt files were renamed to *.quarantined; inspect " +
+        store.quarantine_log_path() +
+        ", then restart without --resume-snapshot or point it at a good "
+        "copy");
   }
 
   void heartbeat(Time sim_now) {
@@ -397,6 +483,7 @@ class StreamRunner {
   std::unique_ptr<sim::AssignmentPolicy> policy_;
   std::optional<overload::AdmissionController> admission_;
   std::optional<sim::SegmentedRunLogWriter> writer_;
+  std::optional<SnapshotStore> store_;
   std::uint64_t spec_fp_ = 0;
 
   std::unique_ptr<Instance> inst_;
@@ -412,6 +499,10 @@ class StreamRunner {
   double last_beat_ = 0.0;
   StreamRunnerResult result_;
 };
+
+void StreamFeed::on_job_admitted(const sim::Engine& engine, JobId j) {
+  runner_->on_admitted(engine, j);
+}
 
 void StreamFeed::on_job_completed(const sim::Engine& engine, JobId j) {
   runner_->on_done(engine, j);

@@ -19,13 +19,25 @@
 // INDEPENDENT of the window quantum — the windowing is invisible.
 //
 // Snapshots: every `snapshot_every` arrivals the runner force-commits the
-// segmented run log and writes one atomic snapshot file (stream cursors,
-// policy decision state, writer chain position, full engine state). A run
-// resumed from the snapshot replays byte-identically: same metrics bits,
-// same segment files, same manifest — the kill-and-resume differential the
+// segmented run log and writes one checksummed snapshot GENERATION
+// (exec/snapshot_store.hpp): a treesched-snapshot-v2 envelope holding the
+// stream cursors, policy decision state, writer chain position, full engine
+// state, and — when shedding is on — the admission controller's saturation
+// estimator. Generations rotate under a manifest with a keep budget. A run
+// resumed from a snapshot replays byte-identically: same metrics bits, same
+// segment files, same manifest — the kill-and-resume differential the
 // endurance CI leg checks. Snapshot points sit at arrival boundaries, after
 // a full recorder drain, which is what makes them safe commit points for
 // the segment writer.
+//
+// Resume walks a SELF-HEALING LADDER: generations are verified newest
+// first; a missing or corrupt generation is skipped (corrupt files are
+// quarantined, never deleted) and the run falls back to the newest valid
+// one, cross-checking the segmented run-log chain as it lands. A clean
+// snapshot from a different run spec raises SnapshotSpecMismatchError; no
+// manifest at all raises SnapshotMissingError; a fully exhausted ladder
+// raises SnapshotUnrecoverableError with a one-line actionable report —
+// treesched_run maps the three to distinct exit codes.
 //
 // Streaming restrictions (TS_REQUIREd or rejected eagerly): Poisson root
 // arrivals with unit weights, identical endpoints, whole-job forwarding
@@ -64,8 +76,13 @@ struct StreamRunnerConfig {
   std::size_t segment_cap = 4096;
   /// Arrivals between snapshots (0 = no snapshots; requires snapshot_path).
   std::uint64_t snapshot_every = 0;
+  /// Snapshot manifest path; generations land next to it as .genNNN files.
   std::string snapshot_path;
-  /// Resume from this snapshot instead of starting fresh ("" = fresh).
+  /// Healthy snapshot generations to retain (--snapshot-keep, >= 1).
+  int snapshot_keep = 3;
+  /// Resume from the snapshot manifest at this path instead of starting
+  /// fresh ("" = fresh). Resume verifies generations newest-first and falls
+  /// back across corrupt ones (see the file comment).
   std::string resume_snapshot;
   /// Exit right after writing the N-th snapshot of THIS process (0 = never)
   /// — the deterministic stand-in for kill -9 in the endurance smoke tests.
@@ -84,12 +101,20 @@ struct StreamRunnerResult {
   /// The streaming metrics accumulator at the end of the run (complete only
   /// when !interrupted).
   sim::StreamAccumulator acc;
+  /// Serialized AdmissionController durable state (the saturation
+  /// estimator's windowed readings) at the end of the run; empty when
+  /// shedding is off. Chaos tests byte-compare it across kill/resume.
+  std::string overload_state;
+  /// Windowed rho-hat over the root cut at the end of the run (0 when
+  /// shedding is off or nothing was admitted).
+  double rho_hat_root = 0.0;
 };
 
 /// Runs the stream to total_jobs arrivals (or the next snapshot when
 /// die_after_snapshot triggers). Throws std::invalid_argument on config
 /// errors (unknown/unsupported policy, bad shed config, snapshot flags
-/// without a path, spec mismatch on resume).
+/// without a path, spec mismatch on resume) and the typed snapshot errors
+/// from exec/snapshot_store.hpp on resume-ladder outcomes.
 StreamRunnerResult run_stream(std::shared_ptr<const Tree> tree,
                               const SpeedProfile& speeds,
                               const StreamRunnerConfig& cfg);

@@ -100,6 +100,14 @@ bool AdmissionController::admit_largest_first(sim::Engine& engine,
   }
 }
 
+void AdmissionController::save_state(std::ostream& os) const {
+  estimator_.save_state(os);
+}
+
+void AdmissionController::load_state(std::istream& is) {
+  estimator_.load_state(is);
+}
+
 bool AdmissionController::admit_deadline(sim::Engine& engine, const Job& job) {
   double fmin = std::numeric_limits<double>::infinity();
   for (const NodeId leaf : engine.tree().leaves())

@@ -24,8 +24,11 @@
 // degraded runs are byte-reproducible across thread counts and query modes.
 #pragma once
 
+#include <iosfwd>
+
 #include "treesched/algo/policies.hpp"
 #include "treesched/overload/config.hpp"
+#include "treesched/overload/estimator.hpp"
 #include "treesched/sim/engine.hpp"
 
 namespace treesched::overload {
@@ -48,6 +51,21 @@ class AdmissionController : public sim::AdmissionPolicy {
   /// Root-cut backlog: sum of pending_remaining over the root children.
   static double root_backlog(const sim::Engine& engine);
 
+  /// The controller-owned saturation estimator: callers feed it admissions
+  /// (it is a passive observer) and read rho-hat from it. Owning it here
+  /// puts the windowed readings under the controller's durable state, so a
+  /// degraded run's saturation telemetry survives kill/resume.
+  SaturationEstimator& estimator() { return estimator_; }
+  const SaturationEstimator& estimator() const { return estimator_; }
+
+  /// Durable state round-trip: delegates to the estimator (the policies
+  /// themselves are stateless; PaperGreedyPolicy's epoch cache is keyed by
+  /// engine identity + mutation count and recomputes deterministically, so
+  /// it is deliberately not serialized). Same checksum-reject contract as
+  /// SaturationEstimator::load_state.
+  void save_state(std::ostream& os) const;
+  void load_state(std::istream& is);
+
  private:
   bool admit_bounded_queue(sim::Engine& engine, const Job& job);
   bool admit_largest_first(sim::Engine& engine, const Job& job);
@@ -55,6 +73,7 @@ class AdmissionController : public sim::AdmissionPolicy {
 
   ShedConfig cfg_;
   algo::PaperGreedyPolicy greedy_;  ///< deadline F evaluation (epoch-cached)
+  SaturationEstimator estimator_;  ///< windowed rho-hat (durable state)
 };
 
 }  // namespace treesched::overload

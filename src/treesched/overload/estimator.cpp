@@ -1,9 +1,14 @@
 #include "treesched/overload/estimator.hpp"
 
 #include <algorithm>
+#include <iomanip>
+#include <istream>
 #include <limits>
+#include <ostream>
+#include <sstream>
 
 #include "treesched/util/assert.hpp"
+#include "treesched/util/hash.hpp"
 
 namespace treesched::overload {
 
@@ -59,6 +64,59 @@ double SaturationEstimator::root_backlog(const sim::Engine& engine) {
   for (const NodeId rc : engine.tree().root_children())
     sum += engine.pending_remaining(rc);
   return sum;
+}
+
+std::string SaturationEstimator::payload() const {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << "satest 1 " << window_ << ' ' << arrivals_.size() << '\n';
+  for (std::size_t v = 0; v < arrivals_.size(); ++v) {
+    os << "sat " << v << ' ' << arrivals_[v].size() << ' ' << sums_[v];
+    for (const Arrival& a : arrivals_[v]) os << ' ' << a.t << ' ' << a.work;
+    os << '\n';
+  }
+  return os.str();
+}
+
+void SaturationEstimator::save_state(std::ostream& os) const {
+  const std::string p = payload();
+  os << p << "satcsum " << util::fnv1a_64(p) << '\n';
+}
+
+void SaturationEstimator::load_state(std::istream& is) {
+  std::string tag;
+  int version = 0;
+  is >> tag >> version;
+  TS_REQUIRE(is && tag == "satest" && version == 1,
+             "estimator load: bad magic/version (corrupt or unsupported)");
+  SaturationEstimator tmp(window_);
+  double window = 0.0;
+  std::size_t nodes = 0;
+  is >> window >> nodes;
+  TS_REQUIRE(is && window == window_,
+             "estimator load: window mismatch (state from a different run?)");
+  tmp.arrivals_.resize(nodes);
+  tmp.sums_.assign(nodes, 0.0);
+  for (std::size_t v = 0; v < nodes; ++v) {
+    std::size_t id = 0, n = 0;
+    is >> tag >> id >> n >> tmp.sums_[v];
+    TS_REQUIRE(is && tag == "sat" && id == v,
+               "estimator load: node record out of order (corrupt state)");
+    for (std::size_t i = 0; i < n; ++i) {
+      Arrival a;
+      is >> a.t >> a.work;
+      tmp.arrivals_[v].push_back(a);
+    }
+  }
+  TS_REQUIRE(static_cast<bool>(is), "estimator load: truncated state");
+  std::uint64_t csum = 0;
+  is >> tag >> csum;
+  TS_REQUIRE(is && tag == "satcsum",
+             "estimator load: missing checksum line (truncated state)");
+  TS_REQUIRE(csum == util::fnv1a_64(tmp.payload()),
+             "estimator load: checksum mismatch (corrupt state)");
+  arrivals_ = std::move(tmp.arrivals_);
+  sums_ = std::move(tmp.sums_);
 }
 
 }  // namespace treesched::overload

@@ -13,6 +13,8 @@
 #pragma once
 
 #include <deque>
+#include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "treesched/sim/engine.hpp"
@@ -43,6 +45,14 @@ class SaturationEstimator : public sim::EngineObserver {
   /// Root-cut backlog: sum of pending_remaining over the root children.
   static double root_backlog(const sim::Engine& engine);
 
+  /// Text round-trip (full %.17g precision) of the windowed state — the
+  /// per-node arrival deques and their running sums — with an FNV-1a-64
+  /// self-checksum, so a shed streaming run's rho-hat readings continue
+  /// byte-identically across kill/resume. load_state rejects truncated or
+  /// bit-flipped bytes and a mismatched window with std::invalid_argument.
+  void save_state(std::ostream& os) const;
+  void load_state(std::istream& is);
+
  private:
   struct Arrival {
     Time t = 0.0;
@@ -50,6 +60,7 @@ class SaturationEstimator : public sim::EngineObserver {
   };
 
   void prune(NodeId v, Time now);
+  std::string payload() const;  ///< canonical serialized state (checksummed)
 
   double window_;
   std::vector<std::deque<Arrival>> arrivals_;  ///< per node, time-ordered

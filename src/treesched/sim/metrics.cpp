@@ -5,10 +5,12 @@
 #include <iomanip>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <string>
 
 #include "treesched/util/assert.hpp"
 #include "treesched/util/csum.hpp"
+#include "treesched/util/hash.hpp"
 
 namespace treesched::sim {
 
@@ -56,41 +58,65 @@ void StreamAccumulator::fold(const JobRecord& r) {
   weighted_frac.add(r.weight * r.fractional_area);
 }
 
-void StreamAccumulator::save(std::ostream& os) const {
-  const auto flags = os.flags();
-  const auto prec = os.precision();
+namespace {
+
+/// Canonical serialized head (counters + compensated sums) — the bytes the
+/// self-checksum covers. The sketches that follow carry their own checksums.
+std::string acc_head(const StreamAccumulator& a) {
+  std::ostringstream os;
   os << std::setprecision(17);
-  os << "acc " << completed << ' ' << shed << ' ' << rejected << ' '
-     << admitted << ' ' << max_flow << ' ' << makespan << '\n';
+  os << "acc " << a.completed << ' ' << a.shed << ' ' << a.rejected << ' '
+     << a.admitted << ' ' << a.max_flow << ' ' << a.makespan << '\n';
   os << "sums ";
-  save_csum(os, flow);
+  save_csum(os, a.flow);
   os << ' ';
-  save_csum(os, weighted_flow);
+  save_csum(os, a.weighted_flow);
   os << ' ';
-  save_csum(os, frac);
+  save_csum(os, a.frac);
   os << ' ';
-  save_csum(os, weighted_frac);
+  save_csum(os, a.weighted_frac);
   os << ' ';
-  save_csum(os, shed_volume);
+  save_csum(os, a.shed_volume);
   os << '\n';
+  return os.str();
+}
+
+}  // namespace
+
+void StreamAccumulator::save(std::ostream& os) const {
+  const std::string head = acc_head(*this);
+  os << head << "acccsum " << util::fnv1a_64(head) << '\n';
   flow_digest.save(os);
   p99_marker.save(os);
-  os.flags(flags);
-  os.precision(prec);
 }
 
 void StreamAccumulator::load(std::istream& is) {
+  StreamAccumulator tmp;
   expect_tag(is, "acc");
-  is >> completed >> shed >> rejected >> admitted >> max_flow >> makespan;
+  is >> tmp.completed >> tmp.shed >> tmp.rejected >> tmp.admitted >>
+      tmp.max_flow >> tmp.makespan;
   expect_tag(is, "sums");
-  load_csum(is, flow);
-  load_csum(is, weighted_flow);
-  load_csum(is, frac);
-  load_csum(is, weighted_frac);
-  load_csum(is, shed_volume);
+  load_csum(is, tmp.flow);
+  load_csum(is, tmp.weighted_flow);
+  load_csum(is, tmp.frac);
+  load_csum(is, tmp.weighted_frac);
+  load_csum(is, tmp.shed_volume);
   TS_REQUIRE(static_cast<bool>(is), "accumulator load: truncated state");
-  flow_digest.load(is);
-  p99_marker.load(is);
+  // Reject corrupt bytes before they become state: re-serialize what was
+  // parsed and require the recorded checksum to reproduce (truncations die
+  // above or on the missing tag; flipped digits re-serialize differently).
+  std::string got;
+  is >> got;
+  TS_REQUIRE(is && got == "acccsum",
+             "accumulator load: missing checksum line (truncated state)");
+  std::uint64_t csum = 0;
+  is >> csum;
+  TS_REQUIRE(static_cast<bool>(is), "accumulator load: truncated checksum");
+  TS_REQUIRE(csum == util::fnv1a_64(acc_head(tmp)),
+             "accumulator load: checksum mismatch (corrupt state)");
+  tmp.flow_digest.load(is);
+  tmp.p99_marker.load(is);
+  *this = tmp;
 }
 
 // ---------------------------------------------------------------------------

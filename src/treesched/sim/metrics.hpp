@@ -63,7 +63,10 @@ struct StreamAccumulator {
   /// folds in completion order, which is deterministic by construction).
   void fold(const JobRecord& r);
 
-  /// Text round-trip (full %.17g precision) for engine snapshots.
+  /// Text round-trip (full %.17g precision) for engine snapshots. Carries
+  /// an FNV-1a-64 self-checksum (as do the embedded sketches): load()
+  /// rejects truncated or bit-flipped state with std::invalid_argument
+  /// instead of silently mis-loading.
   void save(std::ostream& os) const;
   void load(std::istream& is);
 };

@@ -12,26 +12,20 @@
 #include "treesched/sim/run_log.hpp"
 #include "treesched/util/assert.hpp"
 #include "treesched/util/csum.hpp"
+#include "treesched/util/failpoint.hpp"
 #include "treesched/util/fs.hpp"
+#include "treesched/util/hash.hpp"
 #include "treesched/util/string_util.hpp"
 
 namespace treesched::sim {
 
 namespace {
 
-constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
-constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
-
-std::uint64_t fnv1a(const std::string& bytes, std::uint64_t h = kFnvOffset) {
-  for (const char c : bytes) {
-    h ^= static_cast<unsigned char>(c);
-    h *= kFnvPrime;
-  }
-  return h;
-}
+using util::fnv1a_64;
+using util::kFnvOffsetBasis;
 
 std::uint64_t chain_step(std::uint64_t chain, std::uint64_t fp) {
-  return fnv1a(std::to_string(chain) + ":" + std::to_string(fp));
+  return fnv1a_64(std::to_string(chain) + ":" + std::to_string(fp));
 }
 
 const char* policy_token(NodePolicy p) {
@@ -75,7 +69,7 @@ SegmentedRunLogWriter::SegmentedRunLogWriter(
       policy_(policy),
       chunk_(router_chunk_size),
       shed_(shed),
-      chain_(kFnvOffset) {
+      chain_(kFnvOffsetBasis) {
   TS_REQUIRE(!cfg_.base_path.empty(), "segmented log needs a base path");
   TS_REQUIRE(cfg_.segment_cap > 0, "segment cap must be positive");
   TS_REQUIRE(speeds_.size() == uidx(tree.node_count()),
@@ -144,7 +138,7 @@ void SegmentedRunLogWriter::resume(std::size_t next_index,
   TS_REQUIRE(seg_lines == next_index,
              "resume: manifest has fewer segments than the snapshot");
   if (next_index == 0)
-    TS_REQUIRE(chain == kFnvOffset,
+    TS_REQUIRE(chain == kFnvOffsetBasis,
                "resume: chain of an empty log must be the FNV offset basis");
   util::write_file_atomic(cfg_.base_path, kept.str());
   next_index_ = next_index;
@@ -212,17 +206,45 @@ void SegmentedRunLogWriter::commit(bool force) {
   for (const Pending& p : pending_) os << p.line << '\n';
   os << "end " << next_index_ << ' ' << pending_.size() << '\n';
   const std::string content = os.str();
-  const std::uint64_t fp = fnv1a(content);
+  const std::uint64_t fp = fnv1a_64(content);
   chain_ = chain_step(chain_, fp);
   util::write_file_atomic(segment_log_path(cfg_.base_path, next_index_),
                           content);
   // Manifest entry: append + flush, so at worst a crash tears this one line
   // (which readers drop as a torn tail).
+  std::ostringstream entry;
+  entry << "segment " << next_index_ << ' ' << pending_.size() << ' ' << fp
+        << ' ' << chain_ << '\n';
+  std::string entry_line = entry.str();
+  // Failpoint seam "manifest.append": enospc / fsync-fail fail loudly;
+  // torn-write appends only a prefix of the entry line SILENTLY — the torn
+  // tail readers must tolerate, and the resume ladder must detect as a
+  // too-short manifest.
+  if (const auto hit = util::failpoint_hit("manifest.append")) {
+    switch (hit->kind) {
+      case util::FailKind::kEnospc:
+        throw std::runtime_error("cannot append to manifest " +
+                                 cfg_.base_path +
+                                 ": injected ENOSPC (failpoint "
+                                 "manifest.append)");
+      case util::FailKind::kFsyncFail:
+        throw std::runtime_error("manifest append failed: " + cfg_.base_path +
+                                 ": injected fsync failure (failpoint "
+                                 "manifest.append)");
+      case util::FailKind::kTornWrite:
+        entry_line = util::apply_torn(entry_line);
+        break;
+      case util::FailKind::kBitFlip:
+        entry_line = util::apply_bit_flip(entry_line);
+        break;
+      case util::FailKind::kShortRead:
+        break;  // a read-side kind; meaningless at the append seam
+    }
+  }
   std::ofstream manifest(cfg_.base_path, std::ios::app);
   TS_REQUIRE(static_cast<bool>(manifest),
              "cannot append to manifest " + cfg_.base_path);
-  manifest << "segment " << next_index_ << ' ' << pending_.size() << ' '
-           << fp << ' ' << chain_ << '\n';
+  manifest << entry_line;
   manifest.flush();
   TS_REQUIRE(static_cast<bool>(manifest),
              "manifest append failed: " + cfg_.base_path);
@@ -291,6 +313,16 @@ class SegmentAuditor {
     ++violation_count_;
     if (out_.violations.size() < opts_.max_violations)
       out_.violations.push_back({segment, msg});
+  }
+
+  /// Records the FIRST segment whose file integrity broke (missing file,
+  /// fingerprint mismatch, chain mismatch) so treesched_audit can name the
+  /// exact file and suggest quarantining it.
+  void note_broken(std::size_t segment, const std::string& path) {
+    if (out_.has_first_bad) return;
+    out_.has_first_bad = true;
+    out_.first_bad_segment = segment;
+    out_.first_bad_path = path;
   }
 
   bool run(const std::string& manifest_path) {
@@ -431,19 +463,31 @@ class SegmentAuditor {
     std::ifstream in(seg_path, std::ios::binary);
     if (!in) {
       fail(idx, "missing segment file: " + seg_path);
+      note_broken(idx, seg_path);
       return;
     }
     std::ostringstream buf;
     buf << in.rdbuf();
-    const std::string content = buf.str();
-    const std::uint64_t fp = fnv1a(content);
+    std::string content = buf.str();
+    // Failpoint seam "segment.read": short-read / bit-flip corrupt the
+    // slurped bytes — the fingerprint check below must catch both.
+    if (const auto hit = util::failpoint_hit("segment.read")) {
+      if (hit->kind == util::FailKind::kShortRead)
+        content = util::apply_torn(content);
+      else if (hit->kind == util::FailKind::kBitFlip)
+        content = util::apply_bit_flip(content);
+    }
+    const std::uint64_t fp = fnv1a_64(content);
     if (fp != entry.fp) {
       fail(idx, "segment fingerprint mismatch (tampered or truncated)");
+      note_broken(idx, seg_path);
       return;  // content is untrustworthy; replaying it would cascade noise
     }
     const std::uint64_t want_chain = chain_step(chain_, fp);
-    if (want_chain != entry.chain)
+    if (want_chain != entry.chain) {
       fail(idx, "manifest chain mismatch (segments reordered or dropped?)");
+      note_broken(idx, seg_path);
+    }
     chain_ = want_chain;
 
     std::istringstream is(content);
@@ -660,7 +704,7 @@ class SegmentAuditor {
   SegmentAuditResult& out_;
   ManifestData m_;
   std::size_t violation_count_ = 0;
-  std::uint64_t chain_ = kFnvOffset;
+  std::uint64_t chain_ = kFnvOffsetBasis;
   std::map<std::uint64_t, LiveJob> live_;
   std::map<NodeId, double> node_last_t1_;
   double prev_key_ = 0.0;

@@ -146,6 +146,12 @@ struct SegmentAuditResult {
   std::uint64_t payload_lines = 0;
   std::uint64_t arrivals = 0;
   std::uint64_t completed = 0;
+  /// The FIRST segment whose file integrity broke (missing, fingerprint
+  /// mismatch, chain mismatch) — treesched_audit names it and suggests
+  /// quarantining the exact file.
+  bool has_first_bad = false;
+  std::size_t first_bad_segment = 0;
+  std::string first_bad_path;
 };
 
 struct SegmentAuditOptions {

@@ -1,4 +1,5 @@
-// Engine snapshot/restore (treesched-enginestate-v1).
+// Engine snapshot/restore (treesched-enginestate-v2; v2 added the
+// self-checksummed metrics/sketch serialization, so v1 blobs are rejected).
 //
 // Serializes the complete live simulation state as text at full double
 // precision so that load_state + replay of the remaining arrivals is
@@ -35,7 +36,7 @@ namespace treesched::sim {
 namespace {
 
 constexpr char kMagic[] = "enginestate";
-constexpr int kVersion = 1;
+constexpr int kVersion = 2;
 
 void expect_tag(std::istream& is, const char* tag) {
   std::string got;

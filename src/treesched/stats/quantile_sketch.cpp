@@ -6,17 +6,38 @@
 #include <istream>
 #include <limits>
 #include <ostream>
+#include <sstream>
 #include <string>
 
 #include "treesched/core/types.hpp"
 #include "treesched/util/assert.hpp"
 #include "treesched/util/csum.hpp"
+#include "treesched/util/hash.hpp"
 
 namespace treesched::stats {
 
 namespace {
 
 double quiet_nan() { return std::numeric_limits<double>::quiet_NaN(); }
+
+/// Reads and verifies the "<tag> <fnv>" self-checksum line against the
+/// re-serialized canonical payload. A mutation that parses to the same
+/// doubles re-serializes identically and passes — the value is unchanged,
+/// so that is not a mis-load; anything else is rejected here.
+void expect_checksum(std::istream& is, const char* tag,
+                     const std::string& payload, const char* what) {
+  std::string got;
+  is >> got;
+  TS_REQUIRE(is && got == tag,
+             std::string(what) + ": missing '" + tag +
+                 "' checksum line (truncated or corrupt state)");
+  std::uint64_t csum = 0;
+  is >> csum;
+  TS_REQUIRE(static_cast<bool>(is),
+             std::string(what) + ": truncated checksum");
+  TS_REQUIRE(csum == util::fnv1a_64(payload),
+             std::string(what) + ": checksum mismatch (corrupt state)");
+}
 
 void expect_tag(std::istream& is, const char* tag) {
   std::string got;
@@ -116,25 +137,32 @@ double P2Quantile::estimate() const {
   return height_[2];
 }
 
-void P2Quantile::save(std::ostream& os) const {
-  const auto flags = os.flags();
-  const auto prec = os.precision();
+std::string P2Quantile::payload() const {
+  std::ostringstream os;
   os << std::setprecision(17);
   os << "p2 " << q_ << ' ' << count_;
   for (int i = 0; i < 5; ++i)
     os << ' ' << height_[i] << ' ' << pos_[i] << ' ' << desired_[i];
   os << '\n';
-  os.flags(flags);
-  os.precision(prec);
+  return os.str();
+}
+
+void P2Quantile::save(std::ostream& os) const {
+  const std::string p = payload();
+  os << p << "p2csum " << util::fnv1a_64(p) << '\n';
 }
 
 void P2Quantile::load(std::istream& is) {
   expect_tag(is, "p2");
+  P2Quantile tmp(q_);
   double q;
-  is >> q >> count_;
+  is >> q >> tmp.count_;
   TS_REQUIRE(is && q == q_, "p2 load: quantile mismatch");
-  for (int i = 0; i < 5; ++i) is >> height_[i] >> pos_[i] >> desired_[i];
+  for (int i = 0; i < 5; ++i)
+    is >> tmp.height_[i] >> tmp.pos_[i] >> tmp.desired_[i];
   TS_REQUIRE(static_cast<bool>(is), "p2 load: truncated state");
+  expect_checksum(is, "p2csum", tmp.payload(), "p2 load");
+  *this = tmp;
 }
 
 // ---------------------------------------------------------------------------
@@ -248,35 +276,46 @@ double QuantileDigest::quantile(double q) const {
   return max_;
 }
 
-void QuantileDigest::save(std::ostream& os) const {
-  const auto flags = os.flags();
-  const auto prec = os.precision();
+std::string QuantileDigest::payload() const {
+  std::ostringstream os;
   os << std::setprecision(17);
   os << "digest " << max_centroids_ << ' ' << count_ << ' ' << min_ << ' '
      << max_ << ' ' << centroids_.size() << ' ' << buffer_.size() << '\n';
   for (const Centroid& c : centroids_)
     os << "c " << c.mean << ' ' << c.weight << '\n';
   for (const double x : buffer_) os << "b " << x << '\n';
-  os.flags(flags);
-  os.precision(prec);
+  return os.str();
+}
+
+void QuantileDigest::save(std::ostream& os) const {
+  const std::string p = payload();
+  os << p << "digestcsum " << util::fnv1a_64(p) << '\n';
 }
 
 void QuantileDigest::load(std::istream& is) {
   expect_tag(is, "digest");
+  QuantileDigest tmp(max_centroids_);
   std::size_t mc = 0, nc = 0, nb = 0;
-  is >> mc >> count_ >> min_ >> max_ >> nc >> nb;
+  is >> mc >> tmp.count_ >> tmp.min_ >> tmp.max_ >> nc >> nb;
   TS_REQUIRE(is && mc == max_centroids_, "digest load: max_centroids mismatch");
-  centroids_.assign(nc, Centroid{});
+  // Structural bounds BEFORE any allocation: a corrupt count must not drive
+  // a giant .assign() — the writer never exceeds these (compress() caps the
+  // centroid list and flushes the buffer at 2 * max_centroids).
+  TS_REQUIRE(nc <= 2 * max_centroids_ + 2 && nb < 2 * max_centroids_,
+             "digest load: implausible centroid/buffer count (corrupt state)");
+  tmp.centroids_.assign(nc, Centroid{});
   for (std::size_t i = 0; i < nc; ++i) {
     expect_tag(is, "c");
-    is >> centroids_[i].mean >> centroids_[i].weight;
+    is >> tmp.centroids_[i].mean >> tmp.centroids_[i].weight;
   }
-  buffer_.assign(nb, 0.0);
+  tmp.buffer_.assign(nb, 0.0);
   for (std::size_t i = 0; i < nb; ++i) {
     expect_tag(is, "b");
-    is >> buffer_[i];
+    is >> tmp.buffer_[i];
   }
   TS_REQUIRE(static_cast<bool>(is), "digest load: truncated state");
+  expect_checksum(is, "digestcsum", tmp.payload(), "digest load");
+  *this = tmp;
 }
 
 QuantileDigest merge_deterministic(const std::vector<QuantileDigest>& parts) {

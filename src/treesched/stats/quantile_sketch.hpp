@@ -61,11 +61,16 @@ class P2Quantile {
   std::uint64_t count() const { return count_; }
   double q() const { return q_; }
 
-  /// Text round-trip (full %.17g precision) for engine snapshots.
+  /// Text round-trip (full %.17g precision) for engine snapshots. save()
+  /// appends an FNV-1a-64 self-checksum line; load() re-serializes the
+  /// parsed state and rejects (std::invalid_argument) any bytes that do not
+  /// reproduce the checksum — truncated or bit-flipped state never loads.
   void save(std::ostream& os) const;
   void load(std::istream& is);
 
  private:
+  std::string payload() const;  ///< canonical serialized state (checksummed)
+
   double q_;
   std::uint64_t count_ = 0;
   double height_[5] = {0, 0, 0, 0, 0};   ///< marker heights q0..q4
@@ -98,7 +103,9 @@ class QuantileDigest {
   /// `det-sketch-merge` rule — route through merge_deterministic().
   void absorb_unordered(const QuantileDigest& other);
 
-  /// Text round-trip (full %.17g precision) for engine snapshots.
+  /// Text round-trip (full %.17g precision) for engine snapshots. Same
+  /// self-checksum contract as P2Quantile: corrupt state is rejected with
+  /// std::invalid_argument, never silently mis-loaded.
   void save(std::ostream& os) const;
   void load(std::istream& is);
 
@@ -109,6 +116,7 @@ class QuantileDigest {
   };
 
   void compress();
+  std::string payload() const;  ///< canonical serialized state (checksummed)
 
   std::size_t max_centroids_;
   std::uint64_t count_ = 0;

@@ -1,0 +1,139 @@
+#include "treesched/util/failpoint.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+
+#include "treesched/util/string_util.hpp"
+
+namespace treesched::util {
+
+namespace {
+
+struct Entry {
+  std::string site;
+  FailKind kind = FailKind::kEnospc;
+  std::uint64_t nth = 1;    ///< fire on this evaluation of the site (1-based)
+  bool fired = false;
+};
+
+struct State {
+  std::vector<Entry> entries;
+  /// Per-site evaluation counters, keyed by site name. A flat vector keeps
+  /// iteration deterministic (no unordered containers).
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::string> fired_log;
+};
+
+// The armed flag is the disarmed fast path; the mutex guards everything
+// else (write_file_atomic is reachable from sweep worker threads).
+std::atomic<bool> g_armed{false};
+std::mutex g_mu;
+State g_state;
+
+std::uint64_t& counter_for(State& st, const std::string& site) {
+  for (auto& [name, count] : st.counters)
+    if (name == site) return count;
+  st.counters.emplace_back(site, 0);
+  return st.counters.back().second;
+}
+
+}  // namespace
+
+const char* fail_kind_name(FailKind k) {
+  switch (k) {
+    case FailKind::kEnospc: return "enospc";
+    case FailKind::kFsyncFail: return "fsync-fail";
+    case FailKind::kTornWrite: return "torn-write";
+    case FailKind::kShortRead: return "short-read";
+    case FailKind::kBitFlip: return "bit-flip";
+  }
+  return "?";
+}
+
+FailKind parse_fail_kind(const std::string& token) {
+  if (token == "enospc") return FailKind::kEnospc;
+  if (token == "fsync-fail") return FailKind::kFsyncFail;
+  if (token == "torn-write") return FailKind::kTornWrite;
+  if (token == "short-read") return FailKind::kShortRead;
+  if (token == "bit-flip") return FailKind::kBitFlip;
+  throw std::invalid_argument(
+      "unknown failpoint kind '" + token +
+      "' (want enospc|fsync-fail|torn-write|short-read|bit-flip)");
+}
+
+void arm_failpoints(const std::string& spec) {
+  State fresh;
+  for (const std::string& part : split(trim(spec), ',')) {
+    const std::string item = trim(part);
+    if (item.empty()) continue;
+    const auto fields = split(item, ':');
+    if (fields.size() != 3)
+      throw std::invalid_argument("failpoint '" + item +
+                                  "' is not site:kind:nth");
+    Entry e;
+    e.site = trim(fields[0]);
+    e.kind = parse_fail_kind(trim(fields[1]));
+    try {
+      const long long n = std::stoll(trim(fields[2]));
+      if (n < 1) throw std::invalid_argument("non-positive");
+      e.nth = static_cast<std::uint64_t>(n);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("failpoint '" + item +
+                                  "': nth must be a positive integer");
+    }
+    if (e.site.empty())
+      throw std::invalid_argument("failpoint '" + item + "': empty site");
+    fresh.entries.push_back(std::move(e));
+  }
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_state = std::move(fresh);
+  g_armed.store(!g_state.entries.empty(), std::memory_order_relaxed);
+}
+
+void arm_failpoints_from_env() {
+  const char* env = std::getenv("TREESCHED_FAILPOINTS");
+  if (env != nullptr && env[0] != '\0') arm_failpoints(env);
+}
+
+void disarm_failpoints() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_state = State();
+  g_armed.store(false, std::memory_order_relaxed);
+}
+
+bool failpoints_armed() {
+  return g_armed.load(std::memory_order_relaxed);
+}
+
+std::optional<FailpointHit> failpoint_hit(const char* site) {
+  if (!g_armed.load(std::memory_order_relaxed)) return std::nullopt;
+  std::lock_guard<std::mutex> lock(g_mu);
+  const std::uint64_t count = ++counter_for(g_state, site);
+  for (Entry& e : g_state.entries) {
+    if (e.fired || e.site != site || e.nth != count) continue;
+    e.fired = true;
+    g_state.fired_log.push_back(e.site + ":" + fail_kind_name(e.kind));
+    return FailpointHit{e.kind};
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> failpoints_fired() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return g_state.fired_log;
+}
+
+std::string apply_torn(const std::string& bytes) {
+  return bytes.substr(0, bytes.size() / 2);
+}
+
+std::string apply_bit_flip(const std::string& bytes) {
+  std::string out = bytes;
+  if (!out.empty())
+    out[out.size() / 2] = static_cast<char>(out[out.size() / 2] ^ 0x01);
+  return out;
+}
+
+}  // namespace treesched::util

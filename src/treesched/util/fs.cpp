@@ -3,11 +3,14 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <stdexcept>
 #include <string>
 
 #include <fcntl.h>
 #include <unistd.h>
+
+#include "treesched/util/failpoint.hpp"
 
 namespace treesched::util {
 
@@ -18,30 +21,94 @@ namespace {
                            "': " + std::strerror(errno));
 }
 
+/// fsync the directory containing `path`, so the rename that just landed a
+/// new directory entry survives power loss. rename(2) alone only orders the
+/// entry in page cache; the metadata reaches disk when the DIRECTORY is
+/// synced (fsync(2) NOTES).
+void fsync_parent_dir(const std::string& path) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  const std::string dir = parent.empty() ? std::string(".") : parent.string();
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) fail("cannot open parent directory of", path);
+  if (::fsync(dfd) != 0) {
+    const int saved = errno;
+    ::close(dfd);
+    errno = saved;
+    fail("fsync failed for parent directory of", path);
+  }
+  ::close(dfd);
+}
+
 }  // namespace
 
 void write_file_atomic(const std::string& path, const std::string& content) {
+  // Failpoint seam (site "fs.atomic", one evaluation per call): enospc and
+  // fsync-fail abort loudly at the matching stage; torn-write and bit-flip
+  // corrupt the payload and SUCCEED silently — modeling storage that lied
+  // about durability, which is exactly what checksummed readers must catch.
+  bool inject_enospc = false;
+  bool inject_fsync_fail = false;
+  const std::string* payload = &content;
+  std::string corrupted;
+  if (const auto hit = failpoint_hit("fs.atomic")) {
+    switch (hit->kind) {
+      case FailKind::kEnospc:
+        inject_enospc = true;
+        break;
+      case FailKind::kFsyncFail:
+        inject_fsync_fail = true;
+        break;
+      case FailKind::kTornWrite:
+        corrupted = apply_torn(content);
+        payload = &corrupted;
+        break;
+      case FailKind::kBitFlip:
+        corrupted = apply_bit_flip(content);
+        payload = &corrupted;
+        break;
+      case FailKind::kShortRead:
+        break;  // a read fault has no meaning at a write seam
+    }
+  }
+
   // Same-directory temporary: rename() is only atomic within a filesystem,
   // and a pid suffix keeps concurrent writers off each other's temp file.
   const std::string tmp = path + ".tmp." + std::to_string(::getpid());
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) fail("cannot create temporary file", tmp);
 
+  if (inject_enospc) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    errno = ENOSPC;
+    fail("write failed for", tmp);
+  }
   std::size_t off = 0;
-  while (off < content.size()) {
+  while (off < payload->size()) {
     const ::ssize_t n =
-        ::write(fd, content.data() + off, content.size() - off);
+        ::write(fd, payload->data() + off, payload->size() - off);
     if (n < 0) {
       if (errno == EINTR) continue;
+      const int saved = errno;
       ::close(fd);
       ::unlink(tmp.c_str());
+      errno = saved;
       fail("write failed for", tmp);
     }
     off += static_cast<std::size_t>(n);
   }
-  if (::fsync(fd) != 0) {
+  if (inject_fsync_fail) {
     ::close(fd);
     ::unlink(tmp.c_str());
+    errno = EIO;
+    fail("fsync failed for", tmp);
+  }
+  if (::fsync(fd) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    errno = saved;
     fail("fsync failed for", tmp);
   }
   if (::close(fd) != 0) {
@@ -49,9 +116,15 @@ void write_file_atomic(const std::string& path, const std::string& content) {
     fail("close failed for", tmp);
   }
   if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int saved = errno;
     ::unlink(tmp.c_str());
+    errno = saved;
     fail("cannot rename temporary over", path);
   }
+  // The rename landed; now make the new directory entry durable. On failure
+  // the target file is already the new content (visible, just not yet
+  // guaranteed on disk), so there is no temporary left to clean up.
+  fsync_parent_dir(path);
 }
 
 }  // namespace treesched::util

@@ -3,17 +3,23 @@
 // Sweep JSON, run logs, and fault plans are consumed by other tools (and by
 // --resume); a process killed mid-write must leave either the complete old
 // file or the complete new file, never a torn one. write_file_atomic writes
-// to a sibling temporary, fsyncs it, and renames it over the target —
-// rename(2) on the same filesystem is atomic.
+// to a sibling temporary, fsyncs it, renames it over the target — rename(2)
+// on the same filesystem is atomic — and then fsyncs the parent directory
+// so the new entry itself survives power loss.
+//
+// This is also a failpoint seam (site "fs.atomic", util/failpoint.hpp): the
+// durability chaos tests inject ENOSPC, fsync failure, torn writes, and
+// single-bit corruption here deterministically.
 #pragma once
 
 #include <string>
 
 namespace treesched::util {
 
-/// Atomically replaces `path` with `content` (tmp + fsync + rename). Throws
-/// std::runtime_error with a one-line actionable message on any I/O failure;
-/// the temporary is cleaned up best-effort.
+/// Atomically replaces `path` with `content` (tmp + fsync + rename + parent
+/// directory fsync). Throws std::runtime_error with a one-line actionable
+/// message on any I/O failure; the temporary is unlinked on every error
+/// path.
 void write_file_atomic(const std::string& path, const std::string& content);
 
 }  // namespace treesched::util

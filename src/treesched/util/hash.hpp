@@ -1,0 +1,29 @@
+// FNV-1a 64-bit hashing — the repo's one fingerprint function.
+//
+// Run-log segment fingerprints, snapshot envelope checksums, sketch
+// self-checksums, and run-spec identities all use the same primitive so a
+// fingerprint printed by one tool can be recomputed by any other. FNV-1a is
+// not cryptographic; it detects accidental corruption (torn writes, bit
+// rot, truncation), which is the durability layer's threat model — an
+// adversary with write access to the files can forge anything anyway.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace treesched::util {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 1469598103934665603ULL;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+/// FNV-1a 64 over `bytes`, seeded with `h` so hashes can be chained.
+inline std::uint64_t fnv1a_64(const std::string& bytes,
+                              std::uint64_t h = kFnvOffsetBasis) {
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace treesched::util

@@ -6,6 +6,8 @@
 #include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "treesched/stats/quantile_sketch.hpp"
@@ -156,6 +158,62 @@ TEST(QuantileDigestTest, DeterministicMergeHoldsRankBound) {
     expect_rank_within(data, merged.quantile(q), q, slack);
   // Same parts, same order → same bytes, independent of when shards landed.
   EXPECT_EQ(digest_bytes(merge_deterministic(parts)), digest_bytes(merged));
+}
+
+TEST(P2QuantileTest, RejectsTruncatedAndBitFlippedState) {
+  P2Quantile p(0.99);
+  treesched::util::Rng rng(3);
+  for (int i = 0; i < 500; ++i) p.add(rng.uniform01() * 100.0);
+  std::ostringstream os;
+  p.save(os);
+  const std::string bytes = os.str();
+  // Durability contract: a mutated serialization is either rejected with
+  // std::invalid_argument or decodes to the EXACT original state (an
+  // equivalent encoding, e.g. a newline flipped to another whitespace
+  // byte) — it never silently mis-loads.
+  const auto check = [&](const std::string& mut) {
+    P2Quantile q(0.99);
+    std::istringstream is(mut);
+    try {
+      q.load(is);
+    } catch (const std::invalid_argument&) {
+      return;
+    }
+    std::ostringstream rs;
+    q.save(rs);
+    EXPECT_EQ(rs.str(), bytes);
+  };
+  for (std::size_t len = 0; len < bytes.size(); ++len)
+    check(bytes.substr(0, len));
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::string mut = bytes;
+    mut[i] = static_cast<char>(mut[i] ^ 0x01);
+    check(mut);
+  }
+}
+
+TEST(QuantileDigestTest, RejectsTruncatedAndBitFlippedState) {
+  QuantileDigest d(64);
+  for (const double x : pareto_sample(3000, 41)) d.add(x);
+  const std::string bytes = digest_bytes(d);
+  const std::size_t stride = std::max<std::size_t>(1, bytes.size() / 512);
+  const auto check = [&](const std::string& mut) {
+    QuantileDigest e(64);
+    std::istringstream is(mut);
+    try {
+      e.load(is);
+    } catch (const std::invalid_argument&) {
+      return;
+    }
+    EXPECT_EQ(digest_bytes(e), bytes);
+  };
+  for (std::size_t len = 0; len < bytes.size(); len += stride)
+    check(bytes.substr(0, len));
+  for (std::size_t i = 0; i < bytes.size(); i += stride) {
+    std::string mut = bytes;
+    mut[i] = static_cast<char>(mut[i] ^ 0x01);
+    check(mut);
+  }
 }
 
 TEST(QuantileDigestTest, SaveLoadRoundTripsExactly) {

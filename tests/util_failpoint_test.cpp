@@ -1,0 +1,151 @@
+// Failpoint framework unit tests: spec parsing, deterministic nth-evaluation
+// firing, the fired log, and each fault kind's documented effect on the
+// fs.atomic seam (write_file_atomic).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "treesched/util/failpoint.hpp"
+#include "treesched/util/fs.hpp"
+
+namespace treesched {
+namespace {
+
+std::string tmp_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(is)) << path;
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { util::disarm_failpoints(); }
+};
+
+TEST_F(FailpointTest, DisarmedIsNoop) {
+  EXPECT_FALSE(util::failpoints_armed());
+  EXPECT_FALSE(util::failpoint_hit("fs.atomic").has_value());
+  EXPECT_TRUE(util::failpoints_fired().empty());
+}
+
+TEST_F(FailpointTest, ParsesEveryKind) {
+  EXPECT_EQ(util::parse_fail_kind("enospc"), util::FailKind::kEnospc);
+  EXPECT_EQ(util::parse_fail_kind("fsync-fail"), util::FailKind::kFsyncFail);
+  EXPECT_EQ(util::parse_fail_kind("torn-write"), util::FailKind::kTornWrite);
+  EXPECT_EQ(util::parse_fail_kind("short-read"), util::FailKind::kShortRead);
+  EXPECT_EQ(util::parse_fail_kind("bit-flip"), util::FailKind::kBitFlip);
+  EXPECT_THROW(util::parse_fail_kind("eio"), std::invalid_argument);
+}
+
+TEST_F(FailpointTest, RejectsMalformedSpecs) {
+  EXPECT_THROW(util::arm_failpoints("fs.atomic"), std::invalid_argument);
+  EXPECT_THROW(util::arm_failpoints("fs.atomic:enospc"),
+               std::invalid_argument);
+  EXPECT_THROW(util::arm_failpoints("fs.atomic:enospc:0"),
+               std::invalid_argument);
+  EXPECT_THROW(util::arm_failpoints("fs.atomic:enospc:x"),
+               std::invalid_argument);
+  EXPECT_THROW(util::arm_failpoints(":enospc:1"), std::invalid_argument);
+  EXPECT_THROW(util::arm_failpoints("a:nope:1"), std::invalid_argument);
+  EXPECT_FALSE(util::failpoints_armed());
+}
+
+TEST_F(FailpointTest, FiresOnNthEvaluationExactlyOnce) {
+  util::arm_failpoints("site.x:bit-flip:3");
+  EXPECT_FALSE(util::failpoint_hit("site.y").has_value());  // other site
+  EXPECT_FALSE(util::failpoint_hit("site.x").has_value());  // eval 1
+  EXPECT_FALSE(util::failpoint_hit("site.x").has_value());  // eval 2
+  const auto hit = util::failpoint_hit("site.x");            // eval 3
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->kind, util::FailKind::kBitFlip);
+  EXPECT_FALSE(util::failpoint_hit("site.x").has_value());  // fired already
+  const auto fired = util::failpoints_fired();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], "site.x:bit-flip");
+}
+
+TEST_F(FailpointTest, MultipleEntriesAndScopedGuard) {
+  {
+    util::ScopedFailpoints guard("a:enospc:1,b:short-read:2");
+    EXPECT_TRUE(util::failpoints_armed());
+    ASSERT_TRUE(util::failpoint_hit("a").has_value());
+    EXPECT_FALSE(util::failpoint_hit("b").has_value());
+    ASSERT_TRUE(util::failpoint_hit("b").has_value());
+    EXPECT_EQ(util::failpoints_fired().size(), 2u);
+  }
+  EXPECT_FALSE(util::failpoints_armed());
+  EXPECT_TRUE(util::failpoints_fired().empty());
+}
+
+TEST_F(FailpointTest, CorruptionHelpersAreDeterministic) {
+  EXPECT_EQ(util::apply_torn("abcdef"), "abc");
+  const std::string flipped = util::apply_bit_flip("abcdef");
+  ASSERT_EQ(flipped.size(), 6u);
+  int diffs = 0;
+  for (std::size_t i = 0; i < 6; ++i) diffs += flipped[i] != "abcdef"[i];
+  EXPECT_EQ(diffs, 1);  // exactly one byte, one bit
+}
+
+TEST_F(FailpointTest, AtomicWriteEnospcFailsLoudAndLeavesOldContent) {
+  const std::string path = tmp_path("fp_enospc.txt");
+  util::write_file_atomic(path, "old\n");
+  util::ScopedFailpoints guard("fs.atomic:enospc:1");
+  EXPECT_THROW(util::write_file_atomic(path, "new\n"), std::runtime_error);
+  EXPECT_EQ(slurp(path), "old\n");  // the old file survives intact
+  EXPECT_EQ(util::failpoints_fired().size(), 1u);
+}
+
+TEST_F(FailpointTest, AtomicWriteFsyncFailureFailsLoud) {
+  const std::string path = tmp_path("fp_fsync.txt");
+  util::ScopedFailpoints guard("fs.atomic:fsync-fail:1");
+  EXPECT_THROW(util::write_file_atomic(path, "data\n"), std::runtime_error);
+}
+
+TEST_F(FailpointTest, AtomicWriteTornWriteSucceedsSilentlyWithPrefix) {
+  const std::string path = tmp_path("fp_torn.txt");
+  util::ScopedFailpoints guard("fs.atomic:torn-write:1");
+  // The writer does NOT notice — storage lied. Checksummed readers must.
+  util::write_file_atomic(path, "0123456789");
+  EXPECT_EQ(slurp(path), "01234");
+}
+
+TEST_F(FailpointTest, AtomicWriteBitFlipSucceedsSilentlyOneByteOff) {
+  const std::string path = tmp_path("fp_flip.txt");
+  util::ScopedFailpoints guard("fs.atomic:bit-flip:1");
+  util::write_file_atomic(path, "0123456789");
+  const std::string got = slurp(path);
+  ASSERT_EQ(got.size(), 10u);
+  int diffs = 0;
+  for (std::size_t i = 0; i < got.size(); ++i) diffs += got[i] != "0123456789"[i];
+  EXPECT_EQ(diffs, 1);
+}
+
+TEST_F(FailpointTest, SecondEvaluationTargetsSecondWrite) {
+  const std::string path = tmp_path("fp_nth.txt");
+  util::ScopedFailpoints guard("fs.atomic:enospc:2");
+  util::write_file_atomic(path, "first\n");  // unaffected
+  EXPECT_EQ(slurp(path), "first\n");
+  EXPECT_THROW(util::write_file_atomic(path, "second\n"), std::runtime_error);
+  EXPECT_EQ(slurp(path), "first\n");
+}
+
+TEST_F(FailpointTest, EmptySpecDisarms) {
+  util::arm_failpoints("a:enospc:1");
+  EXPECT_TRUE(util::failpoints_armed());
+  util::arm_failpoints("");
+  EXPECT_FALSE(util::failpoints_armed());
+}
+
+}  // namespace
+}  // namespace treesched

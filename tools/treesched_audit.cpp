@@ -66,6 +66,13 @@ int main(int argc, char** argv) {
       if (!quiet)
         for (const auto& v : res.violations)
           std::cout << "  segment " << v.segment << ": " << v.message << '\n';
+      if (res.has_first_bad)
+        std::cout << "first broken segment: " << res.first_bad_segment
+                  << " (" << res.first_bad_path << ")\n"
+                  << "hint: quarantine it (mv " << res.first_bad_path << ' '
+                  << res.first_bad_path << ".quarantined) and re-audit; the "
+                  << "chain pins every later segment, so only a writer can "
+                  << "legitimately regenerate the file\n";
       return res.ok ? 0 : 2;
     }
     if (trace.empty()) throw std::invalid_argument("--trace is required");

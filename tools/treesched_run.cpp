@@ -19,9 +19,20 @@
 // --deadline-slack). Every shed/reject decision lands in the run log, and
 // treesched_audit re-verifies caps and deadline bounds offline.
 //
+// Durability: streaming snapshots rotate checksummed generations under a
+// manifest (--snapshot-path is the manifest; --snapshot-keep the retention
+// budget) and --resume-snapshot walks the self-healing ladder, falling back
+// to the newest valid generation and quarantining corrupt ones.
+// --failpoints (or $TREESCHED_FAILPOINTS) arms deterministic I/O fault
+// injection for the chaos tests — see util/failpoint.hpp for the spec.
+//
 // Exit codes: 0 = clean, 64 = usage/config error (bad flag, unknown
 // policy/speed/node-policy name, malformed fault plan), 2 = the schedule
-// failed replay validation, 1 = runtime error (unreadable trace, I/O).
+// failed replay validation, 1 = runtime error (unreadable trace, I/O),
+// 130 = stopped by --die-at-snapshot. Resume-ladder outcomes: 65 = every
+// snapshot generation corrupt/unrecoverable (quarantine report written),
+// 66 = no snapshot manifest at the resume path, 67 = snapshot is clean but
+// from a different run spec.
 #include <algorithm>
 #include <iomanip>
 #include <iostream>
@@ -31,9 +42,12 @@
 
 #include "spec_parse.hpp"
 #include "treesched/algo/anycast.hpp"
+#include "treesched/exec/snapshot_store.hpp"
 #include "treesched/exec/stream_runner.hpp"
 #include "treesched/treesched.hpp"
+#include "treesched/util/failpoint.hpp"
 #include "treesched/util/fs.hpp"
+#include "treesched/util/hash.hpp"
 #include "treesched/util/mem.hpp"
 #include "treesched/util/stopwatch.hpp"
 
@@ -48,6 +62,13 @@ constexpr int kExitRuntime = 1;
 /// Streaming run stopped deliberately by --die-at-snapshot (mirrors the
 /// exit status of a SIGINT kill, which it stands in for).
 constexpr int kExitInterrupted = 130;
+/// Resume ladder exhausted: every snapshot generation failed verification
+/// (EX_DATAERR). The corrupt files are quarantined, never deleted.
+constexpr int kExitSnapshotCorrupt = 65;
+/// --resume-snapshot points at a path with no snapshot manifest (EX_NOINPUT).
+constexpr int kExitSnapshotMissing = 66;
+/// Snapshot verified clean but was taken under a different run spec.
+constexpr int kExitSpecMismatch = 67;
 
 SpeedProfile parse_speeds(const std::string& spec, const Tree& tree) {
   const auto parts = util::split(spec, ':');
@@ -169,10 +190,16 @@ int main(int argc, char** argv) {
       "segment-cap", 4096, "streaming: run-log payload lines per segment");
   auto& snapshot_every = cli.add_int(
       "snapshot-every", 0, "streaming: arrivals between snapshots (0=off)");
-  auto& snapshot_path = cli.add_string("snapshot-path", "",
-                                       "streaming: snapshot file path");
+  auto& snapshot_path = cli.add_string(
+      "snapshot-path", "",
+      "streaming: snapshot manifest path (generations land as .genNNN)");
+  auto& snapshot_keep = cli.add_int(
+      "snapshot-keep", 3,
+      "streaming: healthy snapshot generations to retain (>= 1)");
   auto& resume_snapshot = cli.add_string(
-      "resume-snapshot", "", "streaming: resume from this snapshot file");
+      "resume-snapshot", "",
+      "streaming: resume from the snapshot manifest at this path (falls "
+      "back across corrupt generations)");
   auto& die_at_snapshot = cli.add_int(
       "die-at-snapshot", 0,
       "streaming: exit 130 right after this process writes its N-th "
@@ -181,9 +208,15 @@ int main(int argc, char** argv) {
       "metrics-json", "",
       "streaming: write final metrics as JSON here (full precision, "
       "byte-stable across kill-and-resume)");
+  auto& failpoints = cli.add_string(
+      "failpoints", "",
+      "arm deterministic I/O fault injection: site:kind:nth,... "
+      "(chaos testing; also read from $TREESCHED_FAILPOINTS)");
 
   try {
     cli.parse(argc, argv);
+    util::arm_failpoints_from_env();
+    if (!failpoints.empty()) util::arm_failpoints(failpoints);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\nrun with --help for usage\n";
     return kExitUsage;
@@ -245,6 +278,7 @@ int main(int argc, char** argv) {
       scfg.segment_cap = static_cast<std::size_t>(segment_cap);
       scfg.snapshot_every = static_cast<std::uint64_t>(snapshot_every);
       scfg.snapshot_path = snapshot_path;
+      scfg.snapshot_keep = static_cast<int>(snapshot_keep);
       scfg.resume_snapshot = resume_snapshot;
       scfg.die_after_snapshot = static_cast<std::uint64_t>(die_at_snapshot);
       scfg.progress_every = progress_every;
@@ -290,7 +324,7 @@ int main(int argc, char** argv) {
         std::ostringstream js;
         js << std::setprecision(17);
         js << "{\n"
-           << "  \"format\": \"treesched-stream-metrics-v1\",\n"
+           << "  \"format\": \"treesched-stream-metrics-v2\",\n"
            << "  \"arrivals\": " << res.arrivals << ",\n"
            << "  \"completed\": " << a.completed << ",\n"
            << "  \"shed\": " << a.shed << ",\n"
@@ -304,8 +338,15 @@ int main(int argc, char** argv) {
            << "  \"p50_digest\": " << a.flow_digest.quantile(0.5) << ",\n"
            << "  \"p90_digest\": " << a.flow_digest.quantile(0.9) << ",\n"
            << "  \"p99_digest\": " << a.flow_digest.quantile(0.99) << ",\n"
-           << "  \"p99_marker\": " << a.p99_marker.estimate() << "\n"
-           << "}\n";
+           << "  \"p99_marker\": " << a.p99_marker.estimate();
+        if (shed_cfg.enabled())
+          // Saturation telemetry rides in the byte-cmp artifact: the
+          // fingerprint makes the estimator's kill/resume round-trip
+          // load-bearing in the endurance differential.
+          js << ",\n  \"rho_hat_root\": " << res.rho_hat_root
+             << ",\n  \"overload_state_fp\": "
+             << util::fnv1a_64(res.overload_state);
+        js << "\n}\n";
         util::write_file_atomic(metrics_json, js.str());
       }
       return kExitOk;
@@ -482,9 +523,18 @@ int main(int argc, char** argv) {
                 << "flow / lower bound : " << metrics.total_flow_time() / lb
                 << '\n';
     }
+  } catch (const exec::SnapshotSpecMismatchError& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return kExitSpecMismatch;
   } catch (const std::invalid_argument& e) {
     std::cerr << "error: " << e.what() << "\nrun with --help for usage\n";
     return kExitUsage;
+  } catch (const exec::SnapshotMissingError& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return kExitSnapshotMissing;
+  } catch (const exec::SnapshotUnrecoverableError& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return kExitSnapshotCorrupt;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return kExitRuntime;
