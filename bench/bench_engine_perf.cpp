@@ -4,6 +4,46 @@
 #include <benchmark/benchmark.h>
 
 #include "treesched/treesched.hpp"
+#include "treesched/util/mem.hpp"
+
+// Allocation telemetry: this binary (and only this binary — the macro is a
+// bench/CMakeLists.txt target_compile_definitions, never set for the
+// libraries or tests) replaces the global operator new/delete with counting
+// shims, so BENCH_engine_perf.json records how many heap allocations one
+// simulated job costs. The hot-path rewrite (calendar queue, pooled avail
+// heaps, job arenas) is an allocation-count change as much as a time change;
+// the counter is what keeps a per-insert allocation from sneaking back in
+// without the time gate noticing on a fast machine.
+#ifdef TREESCHED_BENCH_COUNT_ALLOCS
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+// The malloc/free pairing is correct by construction here (every new routes
+// through the malloc above), but the compiler's heuristic cannot see that
+// across the replaced globals and flags the free() calls.
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+void* operator new(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n == 0 ? 1 : n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
+#endif  // TREESCHED_BENCH_COUNT_ALLOCS
 
 using namespace treesched;
 
@@ -111,6 +151,10 @@ void BM_DispatchWideTree(benchmark::State& state) {
   const SpeedProfile speeds = SpeedProfile::uniform(inst.tree(), 1.5);
   sim::EngineConfig cfg;
   cfg.slow_queries = state.range(0) != 0;
+#ifdef TREESCHED_BENCH_COUNT_ALLOCS
+  const std::uint64_t allocs_before =
+      g_alloc_count.load(std::memory_order_relaxed);
+#endif
   for (auto _ : state) {
     algo::PaperGreedyPolicy policy(0.5);
     sim::Engine engine(inst, speeds, cfg);
@@ -118,6 +162,15 @@ void BM_DispatchWideTree(benchmark::State& state) {
     benchmark::DoNotOptimize(engine.metrics().total_flow_time());
   }
   state.SetItemsProcessed(state.iterations() * spec.jobs);
+#ifdef TREESCHED_BENCH_COUNT_ALLOCS
+  const std::uint64_t allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+  state.counters["allocs_per_job"] =
+      static_cast<double>(allocs) /
+      (static_cast<double>(state.iterations()) * spec.jobs);
+#endif
+  state.counters["peak_rss_bytes"] =
+      static_cast<double>(util::peak_rss_bytes());
 }
 BENCHMARK(BM_DispatchWideTree)->ArgNames({"slow"})->Arg(0)->Arg(1);
 

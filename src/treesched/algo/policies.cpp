@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <limits>
+#include <map>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "treesched/algo/general_tree.hpp"
 #include "treesched/util/assert.hpp"
@@ -54,10 +56,9 @@ double PaperGreedyPolicy::cached_F(const sim::Engine& engine, const Job& job,
   if (engine.config().slow_queries) return F(engine, job, leaf);
   const Tree& tree = engine.tree();
   const NodeId rc = tree.root_child_of(leaf);
-  if (cache_engine_ != &engine || cache_mutations_ != engine.mutation_count() ||
-      cache_now_ != engine.now() || cache_job_ != job.id) {
+  if (cache_engine_ != &engine || cache_now_ != engine.now() ||
+      cache_job_ != job.id) {
     cache_engine_ = &engine;
-    cache_mutations_ = engine.mutation_count();
     cache_now_ = engine.now();
     cache_job_ = job.id;
     ++cache_gen_;
@@ -65,13 +66,21 @@ double PaperGreedyPolicy::cached_F(const sim::Engine& engine, const Job& job,
     if (cache_f_.size() < n) {
       cache_f_.resize(n);
       cache_stamp_.resize(n, 0);
+      cache_rc_epoch_.resize(n, 0);
     }
   }
-  if (cache_stamp_[uidx(rc)] != cache_gen_) {
-    cache_f_[uidx(rc)] = F(engine, job, leaf);
-    cache_stamp_[uidx(rc)] = cache_gen_;
+  // Slot validity is per root child: the generation covers (engine, now,
+  // job), and the subtree epoch covers mutations under this root child — F
+  // reads nothing outside it, so mutations under OTHER root children (a
+  // shed cascade, a re-dispatch chain) leave this slot valid.
+  const std::size_t r = uidx(rc);
+  const std::uint64_t epoch = engine.subtree_mutation_count(rc);
+  if (cache_stamp_[r] != cache_gen_ || cache_rc_epoch_[r] != epoch) {
+    cache_f_[r] = F(engine, job, leaf);
+    cache_stamp_[r] = cache_gen_;
+    cache_rc_epoch_[r] = epoch;
   }
-  return cache_f_[uidx(rc)];
+  return cache_f_[r];
 }
 
 double PaperGreedyPolicy::assignment_cost(const sim::Engine& engine,
@@ -86,7 +95,78 @@ double PaperGreedyPolicy::assignment_cost(const sim::Engine& engine,
   return cached_F(engine, job, leaf) + f_prime + depth_penalty;
 }
 
+void PaperGreedyPolicy::build_groups(const sim::Engine& engine) const {
+  if (group_engine_ == &engine) return;
+  group_engine_ = &engine;
+  const Tree& tree = engine.tree();
+  const auto& leaves = tree.leaves();
+  groups_.clear();
+  group_of_pos_.assign(leaves.size(), -1);
+  std::map<std::pair<NodeId, int>, std::int32_t> gid;
+  for (std::size_t pos = 0; pos < leaves.size(); ++pos) {
+    const NodeId v = leaves[pos];
+    const auto key = std::make_pair(tree.root_child_of(v), tree.d(v));
+    auto it = gid.find(key);
+    if (it == gid.end()) {
+      it = gid.emplace(key, static_cast<std::int32_t>(groups_.size())).first;
+      groups_.push_back({v, 0});
+    }
+    ++groups_[uidx(it->second)].count;
+    group_of_pos_[pos] = it->second;
+  }
+  group_tied_stamp_.assign(groups_.size(), 0);
+  group_tie_gen_ = 0;
+}
+
+NodeId PaperGreedyPolicy::assign_grouped(const sim::Engine& engine,
+                                         const Job& job) {
+  build_groups(engine);
+  // Pass 1 over group representatives. Groups are ordered by their first
+  // position in leaves(), so a strict-< scan selects the same leaf the
+  // per-leaf sweep would: the first leaf (in leaves() order) attaining the
+  // minimum is necessarily the first member of the first minimal group.
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t best_g = groups_.size();
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    const double cost = assignment_cost(engine, job, groups_[g].first_leaf);
+    if (cost < best) {
+      best = cost;
+      best_g = g;
+    }
+  }
+  TS_CHECK(best_g < groups_.size(), "no leaf to assign to");
+  if (tie_break_ != TieBreak::kRotate) return groups_[best_g].first_leaf;
+  // Pass 2: a group is tied iff its (shared, bit-identical) cost is within
+  // tolerance, making every member tied. The k-th tied leaf in leaves()
+  // order is found by walking positions and checking the group mark.
+  const double tol = 1e-9 * std::max(1.0, std::fabs(best));
+  ++group_tie_gen_;
+  std::size_t count = 0;
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    if (assignment_cost(engine, job, groups_[g].first_leaf) <= best + tol) {
+      group_tied_stamp_[g] = group_tie_gen_;
+      count += uidx(groups_[g].count);
+    }
+  }
+  if (count <= 1) return groups_[best_g].first_leaf;
+  std::size_t k = rotation_++ % count;
+  const auto& leaves = engine.tree().leaves();
+  for (std::size_t pos = 0;; ++pos) {
+    if (group_tied_stamp_[uidx(group_of_pos_[pos])] == group_tie_gen_) {
+      if (k == 0) return leaves[pos];
+      --k;
+    }
+  }
+}
+
 NodeId PaperGreedyPolicy::assign(const sim::Engine& engine, const Job& job) {
+  // Identical-endpoint fast path: the cost is constant across each (root
+  // child, depth) leaf group, so one representative per group suffices. The
+  // oracle mode keeps the seed's per-leaf sweep so the differential suite
+  // pins the grouped scan against it.
+  if (!engine.config().slow_queries &&
+      engine.instance().model() == EndpointModel::kIdentical)
+    return assign_grouped(engine, job);
   // Pass 1: the true minimum. The old single-pass version derived the tie
   // tolerance from the *running* best (zero while best_leaf was still
   // kInvalidNode), so a chain of sub-tolerance improvements could leave

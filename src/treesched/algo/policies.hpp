@@ -73,12 +73,23 @@ class PaperGreedyPolicy : public sim::AssignmentPolicy {
  private:
   /// F evaluated through a per-root-child epoch cache: F depends on the leaf
   /// only through R(v), so one evaluation per root child suffices for the
-  /// whole leaves() sweep. The epoch key (engine identity, mutation count,
-  /// now, job) invalidates the cache on any engine mutation — including the
-  /// re-dispatch cascade, where the engine bumps its mutation counter
-  /// between successive reassignments.
+  /// whole leaves() sweep. The global key (engine identity, now, job) starts
+  /// a fresh generation; within a generation each slot additionally carries
+  /// the root child's own mutation epoch (Engine::subtree_mutation_count),
+  /// so a mutation under one root child — a shed cascade, a re-dispatch —
+  /// invalidates only that slot instead of every cached congestion term.
   double cached_F(const sim::Engine& engine, const Job& job,
                   NodeId leaf) const;
+
+  /// Identical-model fast path of assign(): in that model every leaf of a
+  /// (root child, depth) group has the bit-identical assignment cost, so the
+  /// sweep evaluates one representative per static group. Group order (by
+  /// first position in leaves()) makes the strict-< scan return the same
+  /// leaf as the per-leaf sweep, and the rotation tie-break indexes tied
+  /// leaves in leaves() order — byte-identical decisions, ~|leaves|/|groups|
+  /// times fewer cost evaluations.
+  NodeId assign_grouped(const sim::Engine& engine, const Job& job);
+  void build_groups(const sim::Engine& engine) const;
 
   double eps_;
   double penalty_;
@@ -87,12 +98,24 @@ class PaperGreedyPolicy : public sim::AssignmentPolicy {
 
   // Epoch-cache state (mutable: assignment_cost is const and hot).
   mutable const sim::Engine* cache_engine_ = nullptr;
-  mutable std::uint64_t cache_mutations_ = 0;
   mutable Time cache_now_ = 0.0;
   mutable JobId cache_job_ = kInvalidJob;
   mutable std::uint64_t cache_gen_ = 0;        ///< bumped on every epoch change
   mutable std::vector<double> cache_f_;        ///< per root-child F value
   mutable std::vector<std::uint64_t> cache_stamp_;  ///< gen that wrote the slot
+  mutable std::vector<std::uint64_t> cache_rc_epoch_;  ///< subtree epoch seen
+
+  // Static (root child, depth) leaf groups of the engine's tree, ordered by
+  // first position in leaves(); rebuilt only when the engine changes.
+  struct LeafGroup {
+    NodeId first_leaf = kInvalidNode;  ///< first member in leaves() order
+    std::int32_t count = 0;            ///< member leaves
+  };
+  mutable const sim::Engine* group_engine_ = nullptr;
+  mutable std::vector<LeafGroup> groups_;
+  mutable std::vector<std::int32_t> group_of_pos_;  ///< leaves() pos -> group
+  mutable std::vector<std::uint64_t> group_tied_stamp_;  ///< tie-scan marks
+  mutable std::uint64_t group_tie_gen_ = 0;
 };
 
 /// Failure-aware variant of the paper's greedy rule: the same Lemma-4 cost

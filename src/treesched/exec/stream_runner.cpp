@@ -235,10 +235,16 @@ class StreamRunner {
   /// (Re)creates instance + engine over window_jobs_. Exactly one of
   /// `state` (load_state blob) / `acc` (fresh streaming window) is given.
   void rebuild_engine(std::istream* state, sim::StreamAccumulator* acc) {
+    // Carry the retiring engine's arena footprint forward so the next
+    // window's job arenas start at their steady-state size instead of
+    // re-growing from zero on every rotation.
+    const std::size_t arena_hint =
+        engine_ != nullptr ? engine_->arena_size() : 0;
     engine_.reset();  // references the old instance — must go first
     inst_ = std::make_unique<Instance>(tree_, window_jobs_,
                                        EndpointModel::kIdentical);
     sim::EngineConfig ecfg;
+    ecfg.arena_reserve = arena_hint;
     ecfg.node_policy = cfg_.node_policy;
     ecfg.record_schedule = writer_.has_value();
     ecfg.router_chunk_size = 0.0;

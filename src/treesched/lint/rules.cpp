@@ -600,6 +600,39 @@ void rule_det_sketch_merge(const FileCtx& ctx) {
 }
 
 // ---------------------------------------------------------------------------
+// perf-engine-hot-container — node-per-element containers in the engine
+// ---------------------------------------------------------------------------
+//
+// Guarantee protected: the engine hot path stays allocation-free in steady
+// state. PR9 replaced the engine's std::priority_queue event queue with the
+// calendar queue (event_queue.hpp) and the per-node std::set availability
+// sets with pooled flat heaps; a std::set or std::priority_queue declaration
+// creeping back into sim/engine re-introduces a node allocation per insert
+// on the path the 8x fast/slow perf gate measures. Deliberate exceptions
+// (e.g. the inflight sets whose ordered iteration IS the public contract)
+// carry explicit suppressions with the reason the container choice is
+// load-bearing.
+
+void rule_perf_engine_hot_container(const FileCtx& ctx) {
+  if (ctx.path.find("sim/engine") == std::string::npos) return;
+  const auto& t = ctx.code;
+  for (std::size_t i = 2; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdentifier ||
+        (t[i].text != "set" && t[i].text != "priority_queue"))
+      continue;
+    if (!punct_at(t, i - 1, "::") || !ident_at(t, i - 2, "std") ||
+        !punct_at(t, i + 1, "<"))
+      continue;
+    ctx.report("perf-engine-hot-container", Severity::kError, t[i].line,
+               t[i].col,
+               "std::" + t[i].text +
+                   " in the engine allocates per element on the hot path; "
+                   "use EventQueue / the pooled avail heaps, or suppress "
+                   "with the reason this container is load-bearing");
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Suppressions
 // ---------------------------------------------------------------------------
 
@@ -707,6 +740,9 @@ const std::vector<RuleInfo>& rule_catalogue() {
        "hash- or address-ordered iteration in an output-emitting TU"},
       {"det-sketch-merge", Severity::kError,
        "order-sensitive sketch merge (absorb_unordered) outside stats/"},
+      {"perf-engine-hot-container", Severity::kError,
+       "std::set / std::priority_queue declaration in the sim/engine hot "
+       "path"},
       {"inv-raw-id-cast", Severity::kError,
        "integral cast of NodeId/JobId/time value bypassing uidx()"},
       {"inv-fp-accum", Severity::kWarning,
@@ -745,6 +781,7 @@ std::vector<Finding> lint_source(std::string_view source,
   rule_det_raw_rng(ctx);
   rule_det_unordered_iter(ctx);
   rule_det_sketch_merge(ctx);
+  rule_perf_engine_hot_container(ctx);
   rule_inv_raw_id_cast(ctx);
   rule_inv_fp_accum(ctx);
   rule_inv_metrics_audit_ref(ctx);

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <vector>
 
 #include "treesched/algo/policies.hpp"
 #include "treesched/overload/config.hpp"
@@ -74,6 +75,15 @@ class AdmissionController : public sim::AdmissionPolicy {
   ShedConfig cfg_;
   algo::PaperGreedyPolicy greedy_;  ///< deadline F evaluation (epoch-cached)
   SaturationEstimator estimator_;  ///< windowed rho-hat (durable state)
+
+  // Fast-path sweep set for admit_deadline: one representative leaf per root
+  // child, in first-occurrence order of leaves(). F depends on the leaf only
+  // through R(v), and min over doubles is order-independent, so sweeping the
+  // representatives yields the bit-identical fmin of the full leaves() sweep.
+  // Rebuilt lazily when the engine changes; the slow-query oracle keeps the
+  // full per-leaf loop.
+  const sim::Engine* rep_engine_ = nullptr;
+  std::vector<NodeId> rep_leaves_;
 };
 
 }  // namespace treesched::overload

@@ -19,16 +19,23 @@ std::uint32_t priority_of(JobId job) {
 }
 }  // namespace
 
-DispatchIndex::Ref DispatchIndex::alloc(const SjfKey& key, double remaining) {
-  Ref t;
-  if (!free_list_.empty()) {
-    t = free_list_.back();
-    free_list_.pop_back();
-  } else {
-    t = static_cast<Ref>(pool_.size());
-    pool_.emplace_back();
+void DispatchIndex::attach_pool(TreapPool* pool) {
+  TS_REQUIRE(root_ == kNil, "attach_pool on a non-empty dispatch index");
+  pool_ = pool;
+  owned_.reset();
+}
+
+TreapPool& DispatchIndex::pool() {
+  if (pool_ == nullptr) {
+    owned_ = std::make_unique<TreapPool>();
+    pool_ = owned_.get();
   }
-  Node& n = pool_[uidx(t)];
+  return *pool_;
+}
+
+DispatchIndex::Ref DispatchIndex::alloc(const SjfKey& key, double remaining) {
+  const Ref t = pool().alloc();
+  Node& n = pool_->node(t);
   n.key = key;
   n.rem = remaining;
   n.frac = remaining / key.size;
@@ -41,21 +48,19 @@ DispatchIndex::Ref DispatchIndex::alloc(const SjfKey& key, double remaining) {
   return t;
 }
 
-void DispatchIndex::free_node(Ref t) { free_list_.push_back(t); }
-
 void DispatchIndex::pull(Ref t) {
-  Node& n = pool_[uidx(t)];
+  Node& n = pool_->node(t);
   n.cnt = 1;
   n.sum_rem = n.rem;
   n.sum_frac = n.frac;
   if (n.left != kNil) {
-    const Node& l = pool_[uidx(n.left)];
+    const Node& l = pool_->node(n.left);
     n.cnt += l.cnt;
     n.sum_rem += l.sum_rem;
     n.sum_frac += l.sum_frac;
   }
   if (n.right != kNil) {
-    const Node& r = pool_[uidx(n.right)];
+    const Node& r = pool_->node(n.right);
     n.cnt += r.cnt;
     n.sum_rem += r.sum_rem;
     n.sum_frac += r.sum_frac;
@@ -68,13 +73,13 @@ void DispatchIndex::split(Ref t, const SjfKey& key, Ref& left, Ref& right) {
     right = kNil;
     return;
   }
-  Node& n = pool_[uidx(t)];
+  Node& n = pool_->node(t);
   if (n.key < key) {
     left = t;
-    split(n.right, key, pool_[uidx(t)].right, right);
+    split(n.right, key, pool_->node(t).right, right);
   } else {
     right = t;
-    split(n.left, key, left, pool_[uidx(t)].left);
+    split(n.left, key, left, pool_->node(t).left);
   }
   pull(t);
 }
@@ -82,32 +87,34 @@ void DispatchIndex::split(Ref t, const SjfKey& key, Ref& left, Ref& right) {
 DispatchIndex::Ref DispatchIndex::merge(Ref left, Ref right) {
   if (left == kNil) return right;
   if (right == kNil) return left;
-  if (pool_[uidx(left)].prio >= pool_[uidx(right)].prio) {
-    pool_[uidx(left)].right = merge(pool_[uidx(left)].right, right);
+  if (pool_->node(left).prio >= pool_->node(right).prio) {
+    pool_->node(left).right = merge(pool_->node(left).right, right);
     pull(left);
     return left;
   }
-  pool_[uidx(right)].left = merge(left, pool_[uidx(right)].left);
+  pool_->node(right).left = merge(left, pool_->node(right).left);
   pull(right);
   return right;
 }
 
 void DispatchIndex::insert(const SjfKey& key, double remaining) {
+  // The alloc may be the pool's first touch (lazy private pool) and may
+  // reallocate the node vector, so it happens before any refs are taken.
+  const Ref fresh = alloc(key, remaining);
   Ref left = kNil;
   Ref right = kNil;
   split(root_, key, left, right);
   // The key must be new: the smallest entry of `right`, if any, differs.
-  const Ref fresh = alloc(key, remaining);
   root_ = merge(merge(left, fresh), right);
 }
 
 DispatchIndex::Ref DispatchIndex::erase_rec(Ref t, const SjfKey& key,
                                             bool& erased) {
   if (t == kNil) return kNil;
-  Node& n = pool_[uidx(t)];
+  Node& n = pool_->node(t);
   if (key == n.key) {
     const Ref replacement = merge(n.left, n.right);
-    free_node(t);
+    pool_->free(t);
     erased = true;
     return replacement;
   }
@@ -127,7 +134,7 @@ void DispatchIndex::erase(const SjfKey& key) {
 
 bool DispatchIndex::update_rec(Ref t, const SjfKey& key, double remaining) {
   if (t == kNil) return false;
-  Node& n = pool_[uidx(t)];
+  Node& n = pool_->node(t);
   bool found;
   if (key == n.key) {
     n.rem = remaining;
@@ -149,9 +156,9 @@ double DispatchIndex::remaining_before(const SjfKey& key) const {
   double acc = 0.0;
   Ref t = root_;
   while (t != kNil) {
-    const Node& n = pool_[uidx(t)];
+    const Node& n = pool_->node(t);
     if (n.key < key) {
-      if (n.left != kNil) acc += pool_[uidx(n.left)].sum_rem;
+      if (n.left != kNil) acc += pool_->node(n.left).sum_rem;
       acc += n.rem;
       t = n.right;
     } else {
@@ -165,12 +172,12 @@ int DispatchIndex::count_size_greater(double size) const {
   int acc = 0;
   Ref t = root_;
   while (t != kNil) {
-    const Node& n = pool_[uidx(t)];
+    const Node& n = pool_->node(t);
     if (n.key.size > size) {
       // Everything right of n is lexicographically larger, hence has size
       // >= n.key.size > size.
       acc += 1;
-      if (n.right != kNil) acc += pool_[uidx(n.right)].cnt;
+      if (n.right != kNil) acc += pool_->node(n.right).cnt;
       t = n.left;
     } else {
       // Everything left of n has size <= n.key.size <= size.
@@ -184,10 +191,10 @@ double DispatchIndex::fraction_size_greater(double size) const {
   double acc = 0.0;
   Ref t = root_;
   while (t != kNil) {
-    const Node& n = pool_[uidx(t)];
+    const Node& n = pool_->node(t);
     if (n.key.size > size) {
       acc += n.frac;
-      if (n.right != kNil) acc += pool_[uidx(n.right)].sum_frac;
+      if (n.right != kNil) acc += pool_->node(n.right).sum_frac;
       t = n.left;
     } else {
       t = n.right;

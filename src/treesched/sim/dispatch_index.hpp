@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "treesched/core/types.hpp"
@@ -46,8 +47,60 @@ struct SjfKey {
   }
 };
 
+/// Shared backing store for dispatch-index treap nodes. The engine owns ONE
+/// pool and attaches it to every per-node index, so the whole engine's treap
+/// nodes live in a single contiguous allocation (with one shared free list)
+/// instead of one vector per node. Refs handed out to different indices
+/// intermix freely — an index only ever follows refs reachable from its own
+/// root. Treap shapes, and hence float associations, are untouched: the pool
+/// changes where nodes live, never how trees are built.
+class TreapPool {
+ public:
+  using Ref = std::int32_t;
+  static constexpr Ref kNil = -1;
+
+  struct Node {
+    SjfKey key;
+    double rem = 0.0;
+    double frac = 0.0;      ///< rem / key.size, precomputed at update time
+    double sum_rem = 0.0;   ///< subtree aggregate of rem
+    double sum_frac = 0.0;  ///< subtree aggregate of frac
+    std::int32_t cnt = 0;   ///< subtree size
+    Ref left = kNil;
+    Ref right = kNil;
+    std::uint32_t prio = 0;
+  };
+
+  Node& node(Ref t) { return nodes_[uidx(t)]; }
+  const Node& node(Ref t) const { return nodes_[uidx(t)]; }
+
+  /// Hands out a node (recycled or fresh); the caller initializes it.
+  Ref alloc() {
+    if (!free_list_.empty()) {
+      const Ref t = free_list_.back();
+      free_list_.pop_back();
+      return t;
+    }
+    const Ref t = static_cast<Ref>(nodes_.size());
+    nodes_.emplace_back();
+    return t;
+  }
+  void free(Ref t) { free_list_.push_back(t); }
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Ref> free_list_;
+};
+
 class DispatchIndex {
  public:
+  /// Points this index at a shared node pool (the engine attaches its
+  /// per-engine pool to every node's index at construction). Must be called
+  /// while the index is empty. Without an attached pool the index lazily
+  /// creates a private one on first insert, so standalone use (tests,
+  /// tools) needs no setup.
+  void attach_pool(TreapPool* pool);
+
   /// Inserts a new entry. The key must not be present. O(log n).
   void insert(const SjfKey& key, double remaining);
 
@@ -57,7 +110,9 @@ class DispatchIndex {
   /// Removes an existing entry. O(log n).
   void erase(const SjfKey& key);
 
-  std::size_t size() const { return root_ == kNil ? 0 : uidx(pool_[uidx(root_)].cnt); }
+  std::size_t size() const {
+    return root_ == kNil ? 0 : uidx(pool_->node(root_).cnt);
+  }
   bool empty() const { return root_ == kNil; }
 
   /// Sum of remaining over entries with key strictly less than `key`
@@ -74,40 +129,30 @@ class DispatchIndex {
 
   /// Sum of remaining over all entries. O(1).
   double total_remaining() const {
-    return root_ == kNil ? 0.0 : pool_[uidx(root_)].sum_rem;
+    return root_ == kNil ? 0.0 : pool_->node(root_).sum_rem;
   }
 
   /// Sum of remaining / size over all entries. O(1).
   double total_fraction() const {
-    return root_ == kNil ? 0.0 : pool_[uidx(root_)].sum_frac;
+    return root_ == kNil ? 0.0 : pool_->node(root_).sum_frac;
   }
 
  private:
-  using Ref = std::int32_t;
-  static constexpr Ref kNil = -1;
+  using Ref = TreapPool::Ref;
+  using Node = TreapPool::Node;
+  static constexpr Ref kNil = TreapPool::kNil;
 
-  struct Node {
-    SjfKey key;
-    double rem = 0.0;
-    double frac = 0.0;      ///< rem / key.size, precomputed at update time
-    double sum_rem = 0.0;   ///< subtree aggregate of rem
-    double sum_frac = 0.0;  ///< subtree aggregate of frac
-    std::int32_t cnt = 0;   ///< subtree size
-    Ref left = kNil;
-    Ref right = kNil;
-    std::uint32_t prio = 0;
-  };
+  TreapPool& pool();
 
   Ref alloc(const SjfKey& key, double remaining);
-  void free_node(Ref t);
   void pull(Ref t);
   void split(Ref t, const SjfKey& key, Ref& left, Ref& right);
   Ref merge(Ref left, Ref right);
   Ref erase_rec(Ref t, const SjfKey& key, bool& erased);
   bool update_rec(Ref t, const SjfKey& key, double remaining);
 
-  std::vector<Node> pool_;
-  std::vector<Ref> free_list_;
+  TreapPool* pool_ = nullptr;
+  std::unique_ptr<TreapPool> owned_;  ///< lazy fallback for standalone use
   Ref root_ = kNil;
 };
 

@@ -31,7 +31,17 @@ Engine::Engine(const Instance& instance, SpeedProfile speeds, EngineConfig cfg)
   TS_REQUIRE(cfg_.router_chunk_size >= 0.0, "chunk size must be >= 0");
   if (slow_queries_env()) cfg_.slow_queries = true;
   nodes_.resize(uidx(instance.tree().node_count()));
+  if (!cfg_.slow_queries)
+    for (NodeState& ns : nodes_) ns.index.attach_pool(&index_pool_);
   jobs_.resize(uidx(instance.job_count()));
+  subtree_mutations_.assign(uidx(instance.tree().node_count()), 0);
+  if (cfg_.arena_reserve > 0) {
+    a_chunks_done_.reserve(cfg_.arena_reserve);
+    a_head_rem_.reserve(cfg_.arena_reserve);
+    a_key_.reserve(cfg_.arena_reserve);
+    a_slot_.reserve(cfg_.arena_reserve);
+    a_in_avail_.reserve(cfg_.arena_reserve);
+  }
   metrics_.reset(uidx(instance.job_count()));
 }
 
@@ -39,38 +49,54 @@ Engine::Engine(const Instance& instance, SpeedProfile speeds, EngineConfig cfg)
 // Internal helpers
 // ---------------------------------------------------------------------------
 
+std::uint32_t Engine::alloc_span(std::size_t len) {
+  const std::size_t off = a_in_avail_.size();
+  a_chunks_done_.resize(off + len, 0);
+  a_head_rem_.resize(off + len, 0.0);
+  a_key_.resize(off + len);
+  a_slot_.resize(off + len, -1);
+  a_in_avail_.resize(off + len, 0);
+  return static_cast<std::uint32_t>(off);
+}
+
+void Engine::bump_subtree(NodeId v) {
+  if (v == tree().root()) return;
+  ++subtree_mutations_[uidx(tree().root_child_of(v))];
+}
+
 int Engine::path_index(const JobState& js, NodeId v) const {
-  TS_REQUIRE(js.path != nullptr, "job not admitted");
-  if (js.owned_path.empty()) {
+  TS_REQUIRE(js.admitted, "job not admitted");
+  if (js.path != nullptr) {
     // Root-dispatched paths are tree().path_to(leaf): the node at depth d
     // sits at position d - 1, so the lookup is O(1) instead of a scan.
     const int idx = tree().depth(v) - 1;
-    TS_REQUIRE(idx >= 0 && static_cast<std::size_t>(idx) < js.path->size() &&
+    TS_REQUIRE(idx >= 0 && static_cast<std::size_t>(idx) < js.len &&
                    (*js.path)[uidx(idx)] == v,
                "node not on the job's path");
     return idx;
   }
   // Custom paths (arbitrary-source extension) may climb before descending;
   // they are short and rare, so the scan stays.
-  for (std::size_t i = 0; i < js.path->size(); ++i)
-    if ((*js.path)[i] == v) return static_cast<int>(i);
+  for (std::size_t i = 0; i < js.len; ++i)
+    if (path_node(js, i) == v) return static_cast<int>(i);
   TS_REQUIRE(false, "node not on the job's path");
   return -1;
 }
 
 bool Engine::is_leaf_index(const JobState& js, int idx) const {
-  return static_cast<std::size_t>(idx) + 1 == js.path->size();
+  return static_cast<std::size_t>(idx) + 1 == js.len;
 }
 
 double Engine::stored_remaining_item(const JobState& js, int idx) const {
   if (is_leaf_index(js, idx)) return js.leaf_rem;
-  TS_CHECK(js.chunks_done[uidx(idx)] < js.chunks, "no pending chunk on this node");
-  return js.head_rem[uidx(idx)];
+  TS_CHECK(chunks_done(js, uidx(idx)) < js.chunks,
+           "no pending chunk on this node");
+  return head_rem(js, uidx(idx));
 }
 
 double Engine::live_remaining_item(JobId j, int idx) const {
   const JobState& js = jobs_[uidx(j)];
-  const NodeId v = (*js.path)[uidx(idx)];
+  const NodeId v = path_node(js, uidx(idx));
   double rem = stored_remaining_item(js, idx);
   const NodeState& ns = nodes_[uidx(v)];
   if (ns.has_running && ns.running.job == j)
@@ -80,10 +106,10 @@ double Engine::live_remaining_item(JobId j, int idx) const {
 
 double Engine::stored_remaining_total(const JobState& js, int idx) const {
   if (is_leaf_index(js, idx)) return js.done ? 0.0 : js.leaf_rem;
-  if (js.chunks_done[uidx(idx)] == js.chunks) return 0.0;
-  return static_cast<double>(js.chunks - js.chunks_done[uidx(idx)] - 1) *
+  if (chunks_done(js, uidx(idx)) == js.chunks) return 0.0;
+  return static_cast<double>(js.chunks - chunks_done(js, uidx(idx)) - 1) *
              js.chunk_size +
-         js.head_rem[uidx(idx)];
+         head_rem(js, uidx(idx));
 }
 
 SjfKey Engine::index_key(JobId j, NodeId v) const {
@@ -116,10 +142,10 @@ double Engine::running_drain(const NodeState& ns, NodeId v) const {
 
 PriorityKey Engine::make_key(JobId j, int idx, Time avail_time) const {
   const JobState& js = jobs_[uidx(j)];
-  const NodeId v = (*js.path)[uidx(idx)];
+  const NodeId v = path_node(js, uidx(idx));
   PriorityKey k;
   k.job = j;
-  k.chunk = is_leaf_index(js, idx) ? kLeafChunk : js.chunks_done[uidx(idx)];
+  k.chunk = is_leaf_index(js, idx) ? kLeafChunk : chunks_done(js, uidx(idx));
   const Time release = inst_->job(j).release;
   switch (cfg_.node_policy) {
     case NodePolicy::kSjf:
@@ -146,22 +172,90 @@ PriorityKey Engine::make_key(JobId j, int idx, Time avail_time) const {
   return k;
 }
 
+// --- availability heap -----------------------------------------------------
+//
+// Each node's available items form a flat binary min-heap on the full
+// PriorityKey order (a total order, so the minimum is unique). The heap
+// position of item (job, idx) lives in the job arena (a_slot_) and follows
+// every sift, which makes erase-by-item O(log n) with no allocation and no
+// tree nodes — the dispatch-index treap's pool idiom, flattened further.
+
+void Engine::avail_set_slot(const AvailEntry& e, std::int32_t pos) {
+  const JobState& js = jobs_[uidx(e.key.job)];
+  a_slot_[js.span + uidx(e.idx)] = pos;
+}
+
+void Engine::avail_sift_up(std::vector<AvailEntry>& h, std::size_t i) {
+  const AvailEntry e = h[i];
+  while (i > 0) {
+    const std::size_t p = (i - 1) / 2;
+    if (!(e.key < h[p].key)) break;
+    h[i] = h[p];
+    avail_set_slot(h[i], static_cast<std::int32_t>(i));
+    i = p;
+  }
+  h[i] = e;
+  avail_set_slot(e, static_cast<std::int32_t>(i));
+}
+
+void Engine::avail_sift_down(std::vector<AvailEntry>& h, std::size_t i) {
+  const std::size_t n = h.size();
+  const AvailEntry e = h[i];
+  for (;;) {
+    std::size_t c = 2 * i + 1;
+    if (c >= n) break;
+    if (c + 1 < n && h[c + 1].key < h[c].key) ++c;
+    if (!(h[c].key < e.key)) break;
+    h[i] = h[c];
+    avail_set_slot(h[i], static_cast<std::int32_t>(i));
+    i = c;
+  }
+  h[i] = e;
+  avail_set_slot(e, static_cast<std::int32_t>(i));
+}
+
+void Engine::avail_push(NodeId v, const PriorityKey& k, int idx) {
+  std::vector<AvailEntry>& h = nodes_[uidx(v)].avail;
+  h.push_back({k, idx});
+  avail_sift_up(h, h.size() - 1);
+}
+
+void Engine::avail_remove(NodeId v, JobId j, int idx) {
+  std::vector<AvailEntry>& h = nodes_[uidx(v)].avail;
+  const JobState& js = jobs_[uidx(j)];
+  const std::int32_t pos = a_slot_[js.span + uidx(idx)];
+  TS_CHECK(pos >= 0 && static_cast<std::size_t>(pos) < h.size() &&
+               h[uidx(pos)].key.job == j && h[uidx(pos)].idx == idx,
+           "avail heap slot out of sync");
+  a_slot_[js.span + uidx(idx)] = -1;
+  const std::size_t last = h.size() - 1;
+  const std::size_t p = uidx(pos);
+  if (p != last) {
+    h[p] = h[last];
+    h.pop_back();
+    if (p > 0 && h[p].key < h[(p - 1) / 2].key)
+      avail_sift_up(h, p);
+    else
+      avail_sift_down(h, p);
+  } else {
+    h.pop_back();
+  }
+}
+
 void Engine::insert_avail(NodeId v, JobId j, int idx, Time t) {
   JobState& js = jobs_[uidx(j)];
-  TS_CHECK(!js.in_avail[uidx(idx)], "work item already available");
+  TS_CHECK(!in_avail(js, uidx(idx)), "work item already available");
   const PriorityKey k = make_key(j, idx, t);
-  const bool inserted = nodes_[uidx(v)].avail.insert(k).second;
-  TS_CHECK(inserted, "duplicate priority key");
-  js.in_avail[uidx(idx)] = true;
-  js.avail_key[uidx(idx)] = k;
+  avail_push(v, k, idx);
+  in_avail(js, uidx(idx)) = 1;
+  avail_key(js, uidx(idx)) = k;
 }
 
 void Engine::erase_avail(NodeId v, JobId j, int idx) {
   JobState& js = jobs_[uidx(j)];
-  TS_CHECK(js.in_avail[uidx(idx)], "work item not available");
-  const std::size_t erased = nodes_[uidx(v)].avail.erase(js.avail_key[uidx(idx)]);
-  TS_CHECK(erased == 1, "avail key missing from node set");
-  js.in_avail[uidx(idx)] = false;
+  TS_CHECK(in_avail(js, uidx(idx)), "work item not available");
+  avail_remove(v, j, idx);
+  in_avail(js, uidx(idx)) = 0;
 }
 
 void Engine::deliver(NodeId v, JobId j, int idx, Time t) {
@@ -199,13 +293,14 @@ void Engine::pause(NodeId v, Time t) {
   }
   const JobId j = ns.running.job;
   JobState& js = jobs_[uidx(j)];
-  const int idx = path_index(js, v);
+  const int idx = ns.running_idx;
   const double stored = stored_remaining_item(js, idx);
   TS_CHECK(w <= stored + kWorkTol * std::max(1.0, stored),
            "node performed more work than the item had");
   const double done = std::min(w, stored);
   const double rem = stored - done;
   ++mutation_count_;
+  bump_subtree(v);
 
   if (cfg_.record_schedule)
     recorder_.add({v, j, ns.running.chunk, ns.burst_start, t, sp});
@@ -222,7 +317,7 @@ void Engine::pause(NodeId v, Time t) {
     js.frac_touch = t;
     js.leaf_rem = rem;
   } else {
-    js.head_rem[uidx(idx)] = rem;
+    head_rem(js, uidx(idx)) = rem;
   }
 
   index_refresh(v, j, idx);
@@ -233,10 +328,9 @@ void Engine::pause(NodeId v, Time t) {
     erase_avail(v, j, idx);
     PriorityKey k = ns.running;
     k.a = rem;
-    const bool inserted = ns.avail.insert(k).second;
-    TS_CHECK(inserted, "SRPT key refresh collision");
-    js.in_avail[uidx(idx)] = true;
-    js.avail_key[uidx(idx)] = k;
+    avail_push(v, k, idx);
+    in_avail(js, uidx(idx)) = 1;
+    avail_key(js, uidx(idx)) = k;
     ns.running = k;
   }
   ns.burst_start = t;
@@ -244,20 +338,22 @@ void Engine::pause(NodeId v, Time t) {
 
 void Engine::resched(NodeId v, Time t) {
   NodeState& ns = nodes_[uidx(v)];
-  if (ns.has_running && !ns.avail.empty() && ns.running == *ns.avail.begin())
+  if (ns.has_running && !ns.avail.empty() &&
+      ns.running == ns.avail.front().key)
     return;  // the pending completion event is still accurate
   ++ns.version;
   if (ns.down || ns.avail.empty()) {
     ns.has_running = false;
     return;
   }
-  ns.running = *ns.avail.begin();
+  const AvailEntry top = ns.avail.front();
+  ns.running = top.key;
   ns.has_running = true;
+  ns.running_idx = top.idx;
   ns.burst_start = t;
-  const JobState& js = jobs_[uidx(ns.running.job)];
-  const int idx = path_index(js, v);
-  const double rem = stored_remaining_item(js, idx);
-  ns.running_rem = stored_remaining_total(js, idx);
+  const JobState& js = jobs_[uidx(top.key.job)];
+  const double rem = stored_remaining_item(js, top.idx);
+  ns.running_rem = stored_remaining_total(js, top.idx);
   events_.push({t + rem / node_speed(v), seq_++, v, ns.version});
 }
 
@@ -269,13 +365,14 @@ void Engine::force_resched(NodeId v, Time t) {
   ++ns.version;
   ns.has_running = false;
   if (ns.down || ns.avail.empty()) return;
-  ns.running = *ns.avail.begin();
+  const AvailEntry top = ns.avail.front();
+  ns.running = top.key;
   ns.has_running = true;
+  ns.running_idx = top.idx;
   ns.burst_start = t;
-  const JobState& js = jobs_[uidx(ns.running.job)];
-  const int idx = path_index(js, v);
-  const double rem = stored_remaining_item(js, idx);
-  ns.running_rem = stored_remaining_total(js, idx);
+  const JobState& js = jobs_[uidx(top.key.job)];
+  const double rem = stored_remaining_item(js, top.idx);
+  ns.running_rem = stored_remaining_total(js, top.idx);
   events_.push({t + rem / node_speed(v), seq_++, v, ns.version});
 }
 
@@ -286,7 +383,7 @@ void Engine::handle_completion(NodeId v, Time t) {
   const PriorityKey item = ns.running;
   const JobId j = item.job;
   JobState& js = jobs_[uidx(j)];
-  const int idx = path_index(js, v);
+  const int idx = ns.running_idx;
   const double rem = stored_remaining_item(js, idx);
   TS_CHECK(rem <= kWorkTol * std::max(1.0, js.chunk_size),
            "completion fired with work remaining");
@@ -294,6 +391,7 @@ void Engine::handle_completion(NodeId v, Time t) {
   ns.has_running = false;
   erase_avail(v, j, idx);
   ++mutation_count_;
+  bump_subtree(v);
 
   if (is_leaf_index(js, idx)) {
     js.leaf_rem = 0.0;
@@ -310,11 +408,11 @@ void Engine::handle_completion(NodeId v, Time t) {
     // bounded-memory accumulator now, in completion order (no-op otherwise).
     metrics_.finalize_job(j);
   } else {
-    const std::int32_t c = js.chunks_done[uidx(idx)];
+    const std::int32_t c = chunks_done(js, uidx(idx));
     TS_CHECK(c == item.chunk, "completed chunk is not the head");
-    js.chunks_done[uidx(idx)] = c + 1;
-    js.head_rem[uidx(idx)] = js.chunk_size;
-    const bool node_finished = (js.chunks_done[uidx(idx)] == js.chunks);
+    chunks_done(js, uidx(idx)) = c + 1;
+    head_rem(js, uidx(idx)) = js.chunk_size;
+    const bool node_finished = (chunks_done(js, uidx(idx)) == js.chunks);
     if (node_finished)
       index_erase(v, j);
     else
@@ -322,19 +420,20 @@ void Engine::handle_completion(NodeId v, Time t) {
 
     // Next head chunk may already be deliverable on this node.
     if (!node_finished &&
-        (idx == 0 || js.chunks_done[uidx(idx)] < js.chunks_done[uidx(idx - 1)]))
+        (idx == 0 ||
+         chunks_done(js, uidx(idx)) < chunks_done(js, uidx(idx - 1))))
       insert_avail(v, j, idx, t);
 
     // Deliver chunk c downstream.
     const bool next_is_leaf = is_leaf_index(js, idx + 1);
     if (!next_is_leaf) {
-      if (js.chunks_done[uidx(idx + 1)] == c) {
+      if (chunks_done(js, uidx(idx + 1)) == c) {
         // The child was waiting for exactly this chunk.
-        deliver((*js.path)[uidx(idx + 1)], j, idx + 1, t);
+        deliver(path_node(js, uidx(idx) + 1), j, idx + 1, t);
       }
     } else if (node_finished) {
       // All data arrived at the last router: the leaf work becomes available.
-      deliver((*js.path)[uidx(idx + 1)], j, idx + 1, t);
+      deliver(path_node(js, uidx(idx) + 1), j, idx + 1, t);
     }
 
     if (node_finished) {
@@ -372,6 +471,7 @@ void Engine::apply_next_fault() {
   const fault::FaultEvent& fe = fault_plan_->events[fault_cursor_++];
   const Time t = now_;
   ++mutation_count_;  // speed factors and topology state feed the queries
+  bump_subtree(fe.node);
   switch (fe.kind) {
     case fault::FaultKind::kNodeDown:
       fault_log_.push_back({FaultRecord::Kind::kNodeDown, t, fe.node, 1.0,
@@ -411,7 +511,7 @@ void Engine::apply_node_down(NodeId v, Time t) {
     // a pristine copy exists upstream; re-receiving is free in this model).
     const JobId j = ns.running.job;
     JobState& js = jobs_[uidx(j)];
-    const int idx = path_index(js, v);
+    const int idx = ns.running_idx;
     if (is_leaf_index(js, idx)) {
       const double p = size_on(j, v);
       if (js.leaf_rem < p) {
@@ -421,17 +521,16 @@ void Engine::apply_node_down(NodeId v, Time t) {
         js.leaf_rem = p;
       }
     } else {
-      js.head_rem[uidx(idx)] = js.chunk_size;
+      head_rem(js, uidx(idx)) = js.chunk_size;
     }
     index_refresh(v, j, idx);
-    if (cfg_.node_policy == NodePolicy::kSrpt && js.in_avail[uidx(idx)]) {
-      PriorityKey k = js.avail_key[uidx(idx)];
+    if (cfg_.node_policy == NodePolicy::kSrpt && in_avail(js, uidx(idx))) {
+      PriorityKey k = avail_key(js, uidx(idx));
       erase_avail(v, j, idx);
       k.a = stored_remaining_item(js, idx);
-      const bool inserted = ns.avail.insert(k).second;
-      TS_CHECK(inserted, "SRPT key revert collision");
-      js.in_avail[uidx(idx)] = true;
-      js.avail_key[uidx(idx)] = k;
+      avail_push(v, k, idx);
+      in_avail(js, uidx(idx)) = 1;
+      avail_key(js, uidx(idx)) = k;
     }
     ns.has_running = false;
   }
@@ -506,13 +605,15 @@ void Engine::reassign_leaf(JobId j, NodeId new_leaf, Time t) {
   JobState& js = jobs_[uidx(j)];
   TS_CHECK(!js.shed, "re-dispatching a shed job");
   js.redispatched = true;  // recovery claims the job: it is never shed now
-  TS_REQUIRE(js.owned_path.empty(),
+  TS_REQUIRE(js.path != nullptr,
              "re-dispatch is unsupported for custom-path jobs");
   TS_CHECK(js.chunks == 1, "re-dispatch requires whole-job forwarding");
   const std::vector<NodeId> old_path = *js.path;  // copy: js.path changes
   const std::vector<NodeId>& new_path = tree().path_to(new_leaf);
   const std::size_t old_len = old_path.size();
   const std::size_t new_len = new_path.size();
+  bump_subtree(old_path[0]);
+  bump_subtree(new_path[0]);
 
   // Shared prefix: hops where receipt/processing progress carries over.
   std::size_t shared = 0;
@@ -529,7 +630,7 @@ void Engine::reassign_leaf(JobId j, NodeId new_leaf, Time t) {
     pause(v, t);
     const int idx = static_cast<int>(i);
     if (ns.has_running && ns.running.job == j) ns.has_running = false;
-    if (js.in_avail[uidx(idx)]) erase_avail(v, j, idx);
+    if (in_avail(js, i)) erase_avail(v, j, idx);
     ns.deferred.erase(
         std::remove_if(ns.deferred.begin(), ns.deferred.end(),
                        [j](const std::pair<JobId, int>& d) {
@@ -542,19 +643,31 @@ void Engine::reassign_leaf(JobId j, NodeId new_leaf, Time t) {
   }
 
   // Rebuild the per-path job state: prefix entries survive, the rest resets.
+  // A longer path moves the job to a fresh arena span; the shared-prefix
+  // entries are copied across (their avail-heap back-pointers follow the
+  // span automatically — heap entries address items as (job, idx)).
+  if (new_len > js.len) {
+    const std::uint32_t off = alloc_span(new_len);
+    for (std::size_t i = 0; i < shared; ++i) {
+      a_chunks_done_[off + i] = a_chunks_done_[js.span + i];
+      a_head_rem_[off + i] = a_head_rem_[js.span + i];
+      a_key_[off + i] = a_key_[js.span + i];
+      a_slot_[off + i] = a_slot_[js.span + i];
+      a_in_avail_[off + i] = a_in_avail_[js.span + i];
+    }
+    js.span = off;
+  }
+  js.len = static_cast<std::uint32_t>(new_len);
   js.path = &new_path;
   js.leaf = new_leaf;
-  js.chunks_done.resize(new_len - 1);
-  js.head_rem.resize(new_len - 1);
-  js.in_avail.resize(new_len);
-  js.avail_key.resize(new_len);
-  for (std::size_t i = shared; i < new_len - 1; ++i) {
-    js.chunks_done[i] = 0;
-    js.head_rem[i] = js.chunk_size;
+  for (std::size_t i = shared; i + 1 < new_len; ++i) {
+    chunks_done(js, i) = 0;
+    head_rem(js, i) = js.chunk_size;
   }
   for (std::size_t i = shared; i < new_len; ++i) {
-    js.in_avail[i] = false;
-    js.avail_key[i] = PriorityKey{};
+    in_avail(js, i) = 0;
+    avail_key(js, i) = PriorityKey{};
+    a_slot_[js.span + i] = -1;
   }
   js.leaf_rem = inst_->processing_time(j, new_leaf);
   accumulate_frac_to(j, t);
@@ -577,7 +690,7 @@ void Engine::reassign_leaf(JobId j, NodeId new_leaf, Time t) {
   // exactly the divergence hop deliverable now.
   std::size_t frontier = new_len - 1;
   for (std::size_t i = 0; i < new_len - 1; ++i) {
-    if (js.chunks_done[i] < js.chunks) {
+    if (chunks_done(js, i) < js.chunks) {
       frontier = i;
       break;
     }
@@ -593,7 +706,7 @@ void Engine::reassign_leaf(JobId j, NodeId new_leaf, Time t) {
     const bool deferred_here = std::any_of(
         fs.deferred.begin(), fs.deferred.end(),
         [j](const std::pair<JobId, int>& d) { return d.first == j; });
-    TS_CHECK(js.in_avail[frontier] || deferred_here,
+    TS_CHECK(in_avail(js, frontier) || deferred_here,
              "re-dispatched job lost its frontier work item");
   }
 
@@ -638,10 +751,11 @@ void Engine::shed(JobId j) {
              "shed: job must be admitted and unfinished");
   TS_REQUIRE(!js.shed, "shed: job already shed");
   TS_REQUIRE(!js.redispatched, "shed: a re-dispatched job is never shed");
-  TS_REQUIRE(js.owned_path.empty(), "shed is unsupported for custom-path jobs");
+  TS_REQUIRE(js.path != nullptr, "shed is unsupported for custom-path jobs");
   const Time t = now_;
   ++mutation_count_;
   const std::vector<NodeId>& path = *js.path;
+  bump_subtree(path[0]);
   // Tear the job out of every hop, exactly like the post-divergence half of
   // reassign_leaf: materialize the truthful burst, drop the availability and
   // deferred entries, and erase the queue membership + index entry.
@@ -651,7 +765,7 @@ void Engine::shed(JobId j) {
     pause(v, t);
     const int idx = static_cast<int>(i);
     if (ns.has_running && ns.running.job == j) ns.has_running = false;
-    if (js.in_avail[uidx(idx)]) erase_avail(v, j, idx);
+    if (in_avail(js, i)) erase_avail(v, j, idx);
     ns.deferred.erase(
         std::remove_if(ns.deferred.begin(), ns.deferred.end(),
                        [j](const std::pair<JobId, int>& d) {
@@ -685,9 +799,9 @@ void Engine::advance_to(Time t) {
     const bool fault_due = ft <= t;
     const Time limit = fault_due ? ft : t;
     // Completions at the fault instant are processed before the fault.
-    while (!events_.empty() && events_.top().t <= limit) {
-      const Event ev = events_.top();
-      events_.pop();
+    while (const SimEvent* pev = events_.peek()) {
+      if (pev->t > limit) break;
+      const SimEvent ev = events_.pop();
       if (ev.version != nodes_[uidx(ev.node)].version) continue;  // stale
       now_ = std::max(now_, ev.t);
       handle_completion(ev.node, now_);
@@ -704,9 +818,10 @@ void Engine::admit(JobId j, NodeId leaf) {
   TS_REQUIRE(j >= 0 && j < inst_->job_count(), "job id out of range");
   TS_REQUIRE(!jobs_[uidx(j)].admitted, "job already admitted");
   TS_REQUIRE(tree().is_leaf(leaf), "assignment target must be a machine");
-  TS_CHECK(tree().path_to(leaf).size() >= 2,
+  const std::vector<NodeId>& path = tree().path_to(leaf);
+  TS_CHECK(path.size() >= 2,
            "leaf adjacent to the root slipped through validation");
-  admit_on_path(j, &tree().path_to(leaf));
+  admit_on_path(j, &path, path.size());
 }
 
 void Engine::admit_via_path(JobId j, std::vector<NodeId> path) {
@@ -729,11 +844,13 @@ void Engine::admit_via_path(JobId j, std::vector<NodeId> path) {
     }
   }
   JobState& js = jobs_[uidx(j)];
-  js.owned_path = std::move(path);
-  admit_on_path(j, &js.owned_path);
+  js.own_off = static_cast<std::uint32_t>(a_path_.size());
+  a_path_.insert(a_path_.end(), path.begin(), path.end());
+  admit_on_path(j, nullptr, path.size());
 }
 
-void Engine::admit_on_path(JobId j, const std::vector<NodeId>* path) {
+void Engine::admit_on_path(JobId j, const std::vector<NodeId>* path,
+                           std::size_t len) {
   const Job& job = inst_->job(j);
   TS_REQUIRE(now_ <= job.release + util::kEps,
              "cannot admit a job after its release time has passed");
@@ -742,9 +859,10 @@ void Engine::admit_on_path(JobId j, const std::vector<NodeId>* path) {
   JobState& js = jobs_[uidx(j)];
   js.admitted = true;
   js.path = path;
-  js.leaf = path->back();
+  js.span = alloc_span(len);
+  js.len = static_cast<std::uint32_t>(len);
+  js.leaf = path_node(js, len - 1);
   const NodeId leaf = js.leaf;
-  const std::size_t len = js.path->size();
 
   if (cfg_.router_chunk_size > 0.0)
     js.chunks = static_cast<std::int32_t>(
@@ -752,17 +870,15 @@ void Engine::admit_on_path(JobId j, const std::vector<NodeId>* path) {
   else
     js.chunks = 1;
   js.chunk_size = job.size / js.chunks;
-  js.chunks_done.assign(len - 1, 0);
-  js.head_rem.assign(len - 1, js.chunk_size);
+  for (std::size_t i = 0; i + 1 < len; ++i) head_rem(js, i) = js.chunk_size;
   js.leaf_rem = inst_->processing_time(j, leaf);
-  js.in_avail.assign(len, false);
-  js.avail_key.assign(len, PriorityKey{});
   js.frac = 1.0;
   js.frac_touch = now_;
 
   ++mutation_count_;
   for (std::size_t i = 0; i < len; ++i) {
-    const NodeId v = (*js.path)[i];
+    const NodeId v = path_node(js, i);
+    bump_subtree(v);
     nodes_[uidx(v)].inflight.insert(j);
     index_insert(v, j, static_cast<int>(i));
   }
@@ -774,22 +890,34 @@ void Engine::admit_on_path(JobId j, const std::vector<NodeId>* path) {
   rec.leaf = leaf;
   rec.node_completion.assign(len, -1.0);
 
-  deliver((*js.path)[0], j, 0, now_);
+  deliver(path_node(js, 0), j, 0, now_);
   ++admitted_count_;
   if (observer_) observer_->on_job_admitted(*this, j);
 }
 
 void Engine::run(AssignmentPolicy& policy) {
-  for (const Job& job : inst_->jobs()) {
-    advance_to(job.release);
-    if (admission_ != nullptr && !admission_->admit(*this, job)) {
-      // The controller vetoed the arrival; make sure the refusal is on
-      // record even if it forgot to call reject() itself.
-      if (!jobs_[uidx(job.id)].rejected) reject(job.id);
-      continue;
-    }
-    const NodeId leaf = policy.assign(*this, job);
-    admit(job.id, leaf);
+  const std::vector<Job>& all = inst_->jobs();
+  for (std::size_t i = 0; i < all.size();) {
+    // Batched releases: arrivals sharing a release instant form one batch
+    // epoch — the clock advances once, then admission + assignment run
+    // back-to-back (every pending event is strictly later, so no engine
+    // state can change between the batch's jobs other than by the
+    // admissions themselves).
+    const Time release = all[i].release;
+    advance_to(release);
+    ++release_epoch_;
+    do {
+      const Job& job = all[i];
+      if (admission_ != nullptr && !admission_->admit(*this, job)) {
+        // The controller vetoed the arrival; make sure the refusal is on
+        // record even if it forgot to call reject() itself.
+        if (!jobs_[uidx(job.id)].rejected) reject(job.id);
+      } else {
+        const NodeId leaf = policy.assign(*this, job);
+        admit(job.id, leaf);
+      }
+      ++i;
+    } while (i < all.size() && all[i].release == release);
   }
   run_to_completion();
 }
@@ -810,9 +938,9 @@ void Engine::run_to_completion() {
              "run_to_completion with unadmitted jobs");
   for (;;) {
     const Time ft = next_fault_time();
-    while (!events_.empty() && events_.top().t <= ft) {
-      const Event ev = events_.top();
-      events_.pop();
+    while (const SimEvent* pev = events_.peek()) {
+      if (pev->t > ft) break;
+      const SimEvent ev = events_.pop();
       if (ev.version != nodes_[uidx(ev.node)].version) continue;
       now_ = std::max(now_, ev.t);
       handle_completion(ev.node, now_);
@@ -853,16 +981,16 @@ bool Engine::available_on(JobId j, NodeId v) const {
   const JobState& js = jobs_[uidx(j)];
   TS_REQUIRE(js.admitted, "available_on: job not admitted");
   const int idx = path_index(js, v);
-  return js.in_avail[uidx(idx)];
+  return in_avail(js, uidx(idx)) != 0;
 }
 
 int Engine::current_path_index(JobId j) const {
   const JobState& js = jobs_[uidx(j)];
   TS_REQUIRE(js.admitted, "current_path_index: job not admitted");
-  const int len = static_cast<int>(js.path->size());
+  const int len = static_cast<int>(js.len);
   if (js.done) return len;
   for (int i = 0; i < len - 1; ++i)
-    if (js.chunks_done[uidx(i)] < js.chunks) return i;
+    if (chunks_done(js, uidx(i)) < js.chunks) return i;
   return len - 1;
 }
 
@@ -978,9 +1106,10 @@ double Engine::total_remaining_work() const {
   for (JobId j = 0; j < static_cast<JobId>(jobs_.size()); ++j) {
     const JobState& js = jobs_[uidx(j)];
     if (!js.admitted || js.done || js.shed) continue;
-    // treesched-lint: allow(inv-fp-accum): compared against the overload
-    // estimator's running sums, which accumulate the same way.
-    for (const NodeId v : *js.path) total += remaining_on(j, v);
+    for (std::size_t i = 0; i < js.len; ++i)
+      // treesched-lint: allow(inv-fp-accum): compared against the overload
+      // estimator's running sums, which accumulate the same way.
+      total += remaining_on(j, path_node(js, i));
   }
   return total;
 }

@@ -12,6 +12,14 @@
 // (advance_to / admit), which the general-tree algorithm uses to simulate
 // its broomstick image online.
 //
+// Hot-path layout (see MODEL.md "Event queue & memory layout"): the pending
+// events live in a calendar queue with exact (t, seq) pop order; each node's
+// available work items form a flat binary min-heap with back-pointers in the
+// job arena; and all per-(job, path-index) state is structure-of-arrays in
+// per-run arenas indexed by a span per job, so admission and delivery do not
+// allocate. The slow-query oracle (TREESCHED_SLOW_QUERIES) shares all of
+// this — it only changes how the aggregate queries are answered.
+//
 // Fault extension (set_fault_plan): the engine consumes a declarative
 // fault::FaultPlan and interleaves its events deterministically with the
 // completion events. A crashed node performs no work and loses the partial
@@ -34,7 +42,6 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <queue>
 #include <set>
 #include <string>
 #include <vector>
@@ -44,6 +51,7 @@
 #include "treesched/fault/plan.hpp"
 #include "treesched/overload/config.hpp"
 #include "treesched/sim/dispatch_index.hpp"
+#include "treesched/sim/event_queue.hpp"
 #include "treesched/sim/metrics.hpp"
 #include "treesched/sim/priority.hpp"
 #include "treesched/sim/recorder.hpp"
@@ -170,6 +178,12 @@ struct EngineConfig {
   /// path is differential-tested against. Also forced on by setting the
   /// TREESCHED_SLOW_QUERIES environment variable to anything but "0".
   bool slow_queries = false;
+  /// Pre-sizing hint for the per-run job-state arenas, in per-path-index
+  /// entries (roughly sum of path lengths over admitted jobs). Streaming
+  /// drivers pass the previous window's high-water mark (arena_size()) so
+  /// rotated windows never re-grow the arenas. 0 = grow on demand. Purely a
+  /// capacity hint: observable behavior is identical for any value.
+  std::size_t arena_reserve = 0;
   /// Overload protection. Purely descriptive at the engine level (recorded
   /// into run logs); the actual decisions are made by the AdmissionPolicy
   /// the caller arms via set_admission. kNone + no admission policy is
@@ -253,7 +267,10 @@ class Engine {
   void admit_via_path(JobId j, std::vector<NodeId> path);
 
   /// Offline convenience: admits every job of the instance in release order
-  /// using `policy` for leaf assignment, then drains all events.
+  /// using `policy` for leaf assignment, then drains all events. Arrivals
+  /// sharing a release instant form one batch epoch: the clock advances once
+  /// per distinct release, then the batch's admission checks and greedy
+  /// assignments run back-to-back (no event can be pending between them).
   void run(AssignmentPolicy& policy);
 
   /// Offline convenience with a fixed assignment (leaf per job id).
@@ -298,6 +315,10 @@ class Engine {
   std::vector<JobId> queue_at(NodeId v) const;
   /// Q_v(now) by const reference (ascending job id) — the allocation-free
   /// iteration path for per-leaf policy loops and monitors.
+  // treesched-lint: allow(perf-engine-hot-container): the ordered std::set
+  // is the public Q_v iteration contract (ascending job id) that policies,
+  // monitors and the audit replay rely on; membership changes once per
+  // job-hop, not per event, so it is off the per-event hot path.
   const std::set<JobId>& inflight_at(NodeId v) const {
     return nodes_[uidx(v)].inflight;
   }
@@ -309,6 +330,20 @@ class Engine {
   /// layers use to cache per-root-child aggregates across repeated
   /// assignment-cost evaluations at one instant.
   std::uint64_t mutation_count() const { return mutation_count_; }
+
+  /// Per-root-child mutation epoch: bumped exactly when a mutation touches
+  /// state under that root child (admission, burst materialization,
+  /// completion, shed, fault transition, re-dispatch endpoint). Lets policy
+  /// caches invalidate only the touched subtree instead of every root child
+  /// — e.g. a shed cascade under one rack keeps the other racks' cached
+  /// congestion terms valid. Requires a root child.
+  std::uint64_t subtree_mutation_count(NodeId root_child) const {
+    return subtree_mutations_[uidx(root_child)];
+  }
+
+  /// Number of release batches started by run(): arrivals sharing a release
+  /// instant share one epoch. Monotone during run(); 0 before.
+  std::uint64_t release_epoch() const { return release_epoch_; }
 
   // --- the paper's aggregate queries (SJF ordering) ------------------------
 
@@ -355,6 +390,11 @@ class Engine {
   /// True when no events are pending (all admitted jobs finished).
   bool drained() const { return events_.empty(); }
 
+  /// Current size of the per-run job-state arenas, in per-path-index
+  /// entries — the high-water mark streaming drivers feed back as
+  /// EngineConfig::arena_reserve when they rotate windows.
+  std::size_t arena_size() const { return a_in_avail_.size(); }
+
   // --- snapshot / restore --------------------------------------------------
 
   /// Serializes the full live simulation state (clock, per-job stored
@@ -376,19 +416,21 @@ class Engine {
   void load_state(std::istream& is);
 
  private:
-  struct Event {
-    Time t = 0.0;
-    std::uint64_t seq = 0;
-    NodeId node = kInvalidNode;
-    std::uint64_t version = 0;
-    friend bool operator>(const Event& a, const Event& b) {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
-    }
+  /// One member of a node's availability heap. The heap is ordered by the
+  /// full PriorityKey (a total order — ties break by job id then chunk), so
+  /// the minimum is unique and pops are deterministic. `idx` caches the
+  /// item's path index; the item's current heap position lives in the job
+  /// arena (a_slot_) and is maintained through every sift.
+  struct AvailEntry {
+    PriorityKey key;
+    std::int32_t idx = 0;
   };
 
   struct NodeState {
-    std::set<PriorityKey> avail;   ///< available work items, best first
+    std::vector<AvailEntry> avail;  ///< flat min-heap of available items
+    // treesched-lint: allow(perf-engine-hot-container): backing store of the
+    // public inflight_at contract (ascending-id iteration of Q_v); mutated
+    // once per job-hop, not per event — see the accessor's note.
     std::set<JobId> inflight;      ///< Q_v: routed through, unfinished here
     /// Incremental SJF aggregates over `inflight` (empty in slow-query
     /// mode); values are the stored remaining as of the last materialized
@@ -396,6 +438,7 @@ class Engine {
     DispatchIndex index;
     PriorityKey running{};         ///< cached top at burst start
     bool has_running = false;
+    std::int32_t running_idx = 0;  ///< path index of the running item
     /// Stored remaining-on-v of the running item's job (whole job, pending
     /// chunks included) as of burst_start — refreshed whenever the stored
     /// arrays mutate, so remaining_on and the aggregate-query adjustments
@@ -412,6 +455,11 @@ class Engine {
     std::vector<std::pair<JobId, int>> deferred;
   };
 
+  /// Per-job state. All per-path-index arrays (chunk progress, head
+  /// remainders, availability keys/flags/heap slots) live in the engine's
+  /// per-run arenas as structure-of-arrays, addressed by [span, span + len);
+  /// the struct itself holds only scalars, so admission never allocates
+  /// per-job heap blocks.
   struct JobState {
     bool admitted = false;
     bool done = false;
@@ -419,21 +467,68 @@ class Engine {
     bool rejected = false;      ///< refused at arrival (never admitted)
     bool redispatched = false;  ///< moved by fault recovery (never shed)
     NodeId leaf = kInvalidNode;
-    const std::vector<NodeId>* path = nullptr;  ///< processing node sequence
-    std::vector<NodeId> owned_path;  ///< backing storage for custom paths
-    std::int32_t chunks = 1;          ///< router chunk count (1 = paper mode)
-    double chunk_size = 0.0;          ///< router work per chunk
-    std::vector<std::int32_t> chunks_done;  ///< per router path index
-    std::vector<double> head_rem;     ///< remaining of head chunk per router
+    /// Tree-owned processing path; nullptr for admit_via_path jobs, whose
+    /// node sequence lives in a_path_ at [own_off, own_off + len).
+    const std::vector<NodeId>* path = nullptr;
+    std::uint32_t span = 0;     ///< arena offset of the per-path-index state
+    std::uint32_t len = 0;      ///< path length (== span length)
+    std::uint32_t own_off = 0;  ///< a_path_ offset for custom paths
+    std::int32_t chunks = 1;    ///< router chunk count (1 = paper mode)
+    double chunk_size = 0.0;    ///< router work per chunk
     double leaf_rem = 0.0;
-    std::vector<PriorityKey> avail_key;  ///< per path index; valid if in avail
-    std::vector<bool> in_avail;          ///< per path index
     // Fractional flow accounting (exact, piecewise linear).
     double frac = 1.0;
     Time frac_touch = 0.0;
   };
 
-  void admit_on_path(JobId j, const std::vector<NodeId>* path);
+  // Path access through the span views (custom paths live in a_path_).
+  std::size_t path_len(const JobState& js) const { return js.len; }
+  NodeId path_node(const JobState& js, std::size_t i) const {
+    return js.path != nullptr ? (*js.path)[i] : a_path_[js.own_off + i];
+  }
+  bool has_custom_path(const JobState& js) const {
+    return js.admitted && js.path == nullptr;
+  }
+
+  // Arena views of the per-(job, path-index) state.
+  std::int32_t& chunks_done(const JobState& js, std::size_t i) {
+    return a_chunks_done_[js.span + i];
+  }
+  std::int32_t chunks_done(const JobState& js, std::size_t i) const {
+    return a_chunks_done_[js.span + i];
+  }
+  double& head_rem(const JobState& js, std::size_t i) {
+    return a_head_rem_[js.span + i];
+  }
+  double head_rem(const JobState& js, std::size_t i) const {
+    return a_head_rem_[js.span + i];
+  }
+  PriorityKey& avail_key(const JobState& js, std::size_t i) {
+    return a_key_[js.span + i];
+  }
+  const PriorityKey& avail_key(const JobState& js, std::size_t i) const {
+    return a_key_[js.span + i];
+  }
+  std::uint8_t& in_avail(const JobState& js, std::size_t i) {
+    return a_in_avail_[js.span + i];
+  }
+  std::uint8_t in_avail(const JobState& js, std::size_t i) const {
+    return a_in_avail_[js.span + i];
+  }
+
+  /// Appends `len` zero-initialized entries to every arena array (one shared
+  /// offset space) and returns their offset.
+  std::uint32_t alloc_span(std::size_t len);
+
+  // Availability-heap maintenance (allocation-free once capacity is warm).
+  void avail_set_slot(const AvailEntry& e, std::int32_t pos);
+  void avail_sift_up(std::vector<AvailEntry>& h, std::size_t i);
+  void avail_sift_down(std::vector<AvailEntry>& h, std::size_t i);
+  void avail_push(NodeId v, const PriorityKey& k, int idx);
+  void avail_remove(NodeId v, JobId j, int idx);
+
+  void admit_on_path(JobId j, const std::vector<NodeId>* path,
+                     std::size_t len);
   int path_index(const JobState& js, NodeId v) const;
   bool is_leaf_index(const JobState& js, int idx) const;
   double stored_remaining_item(const JobState& js, int idx) const;
@@ -458,6 +553,10 @@ class Engine {
     return speeds_.speed(v) * nodes_[uidx(v)].factor;
   }
 
+  /// Bumps the per-root-child mutation epoch of the subtree containing v
+  /// (no-op for the root, whose queue state feeds no policy cache).
+  void bump_subtree(NodeId v);
+
   PriorityKey make_key(JobId j, int idx, Time avail_time) const;
   void insert_avail(NodeId v, JobId j, int idx, Time t);
   void erase_avail(NodeId v, JobId j, int idx);
@@ -471,7 +570,7 @@ class Engine {
   void pause(NodeId v, Time t);
 
   /// Re-evaluates which item v should run at time t (after pause + any
-  /// avail-set mutations) and schedules its completion event.
+  /// avail-heap mutations) and schedules its completion event.
   void resched(NodeId v, Time t);
 
   /// Like resched but never trusts the pending completion event — used after
@@ -500,7 +599,21 @@ class Engine {
   EngineConfig cfg_;
   std::vector<NodeState> nodes_;
   std::vector<JobState> jobs_;
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  EventQueue events_;
+  /// Shared treap node pool behind every per-node dispatch index — one
+  /// contiguous allocation for the whole engine instead of one vector per
+  /// node (the calendar-queue PR extended the treap's pool idiom this way).
+  TreapPool index_pool_;
+  // Per-run job-state arenas (see JobState). One shared offset space; reset
+  // happens by engine teardown — streaming drivers rebuild the engine per
+  // window and carry arena_size() forward as the arena_reserve hint.
+  std::vector<std::int32_t> a_chunks_done_;
+  std::vector<double> a_head_rem_;
+  std::vector<PriorityKey> a_key_;
+  std::vector<std::int32_t> a_slot_;  ///< heap position per item; -1 = absent
+  std::vector<std::uint8_t> a_in_avail_;  ///< byte-backed (no bit proxies)
+  std::vector<NodeId> a_path_;  ///< backing storage for custom paths
+  std::vector<std::uint64_t> subtree_mutations_;  ///< per root child
   Metrics metrics_;
   ScheduleRecorder recorder_;
   EngineObserver* observer_ = nullptr;
@@ -513,6 +626,7 @@ class Engine {
   Time now_ = 0.0;
   std::uint64_t seq_ = 0;
   std::uint64_t mutation_count_ = 0;
+  std::uint64_t release_epoch_ = 0;
   JobId admitted_count_ = 0;
   JobId rejected_count_ = 0;
 };

@@ -1,0 +1,105 @@
+// Calendar (bucketed) event queue for the simulator hot loop.
+//
+// The engine pops events in strict (t, seq) order; a comparison heap pays
+// O(log n) per operation and scatters its storage. A calendar queue exploits
+// what the simulation guarantees — every push carries a timestamp no earlier
+// than the last popped event — to make push/pop O(1) amortized:
+//
+//  * Time is divided into fixed-width buckets; a ring of `nbuckets` vectors
+//    covers the window [cur, cur + nbuckets) of bucket indices starting at
+//    the bucket currently being drained.
+//  * Pushes into the current bucket keep it a binary min-heap on (t, seq);
+//    pushes into later ring buckets are plain appends (the bucket is heapified
+//    once, when the drain frontier reaches it).
+//  * Events past the ring's horizon land in an overflow min-heap and migrate
+//    into the ring as the frontier advances. If the ring drains empty while
+//    the overflow holds far-future events, the ring is re-based onto the
+//    overflow minimum's bucket — safe precisely because no pending or future
+//    event can precede the minimum pending event.
+//
+// Tie-order guarantee: events with equal t always share a bucket (same
+// floor(t / width)), every bucket heap and the overflow heap compare by the
+// full (t, seq) pair, and buckets are drained in ascending index order — so
+// the pop sequence is the exact total order (t, seq), bit-identical to the
+// std::priority_queue it replaces. sorted_events() exposes that order for
+// snapshot serialization.
+//
+// The structure re-sizes itself (bucket count and width) from the observed
+// event population; all re-size decisions are pure functions of the queue
+// content, so runs stay deterministic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "treesched/core/types.hpp"
+
+namespace treesched::sim {
+
+/// A scheduled engine event: completion check for `node`, valid only while
+/// the node's version still matches.
+struct SimEvent {
+  Time t = 0.0;
+  std::uint64_t seq = 0;
+  NodeId node = kInvalidNode;
+  std::uint64_t version = 0;
+};
+
+class EventQueue {
+ public:
+  EventQueue();
+
+  void push(const SimEvent& ev);
+
+  /// The minimum (t, seq) event, or nullptr when empty. May advance the
+  /// drain frontier / migrate overflow internally (hence non-const).
+  const SimEvent* peek();
+
+  /// Removes and returns the minimum event. Requires !empty().
+  SimEvent pop();
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  /// Every pending event in ascending (t, seq) order — the exact pop order —
+  /// for snapshot serialization.
+  std::vector<SimEvent> sorted_events() const;
+
+ private:
+  static bool event_less(const SimEvent& a, const SimEvent& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.seq < b.seq;
+  }
+  // std::*_heap comparators build max-heaps; invert to get min-heaps.
+  static bool heap_cmp(const SimEvent& a, const SimEvent& b) {
+    return event_less(b, a);
+  }
+
+  std::vector<SimEvent>& bucket(std::uint64_t abs_index) {
+    return buckets_[abs_index & (buckets_.size() - 1)];
+  }
+  double horizon() const {
+    return width_ * static_cast<double>(cur_ + buckets_.size());
+  }
+  std::uint64_t bucket_index(Time t) const;
+
+  void push_into_ring(const SimEvent& ev);
+  void migrate_overflow();
+  /// Moves cur_ to the next non-empty ring bucket (or serves overflow when
+  /// the ring is empty) and leaves the current bucket heapified.
+  void settle();
+  void maybe_resize();
+  void rebuild(std::size_t nbuckets, double width);
+
+  std::vector<std::vector<SimEvent>> buckets_;  ///< ring; size is a power of 2
+  std::vector<SimEvent> overflow_;              ///< min-heap past the horizon
+  std::uint64_t cur_ = 0;       ///< absolute index of the drain-frontier bucket
+  double width_ = 1.0;          ///< bucket width in simulated time
+  std::size_t size_ = 0;        ///< total pending events
+  std::size_t ring_count_ = 0;  ///< pending events inside the ring
+  bool cur_heaped_ = true;      ///< bucket(cur_) is heap-ordered
+  std::size_t grow_at_ = 0;     ///< rebuild thresholds on size_
+  std::size_t shrink_at_ = 0;
+};
+
+}  // namespace treesched::sim

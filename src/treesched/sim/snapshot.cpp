@@ -55,7 +55,7 @@ void Engine::save_state(std::ostream& os) const {
                    ns.deferred.empty(),
                "save_state requires nodes in nominal fault state");
   for (const JobState& js : jobs_)
-    TS_REQUIRE(js.owned_path.empty(),
+    TS_REQUIRE(!has_custom_path(js),
                "save_state does not support custom-path jobs");
 
   const auto flags = os.flags();
@@ -90,16 +90,16 @@ void Engine::save_state(std::ostream& os) const {
   for (std::size_t j = 0; j < jobs_.size(); ++j) {
     const JobState& js = jobs_[j];
     if (status[j] == '.' || status[j] == 'R') continue;
-    const std::size_t len = js.path->size();
+    const std::size_t len = js.len;
     os << "job " << j << ' ' << status[j] << ' ' << js.leaf << ' '
        << js.chunks << ' ' << js.chunk_size << ' ' << js.leaf_rem << ' '
        << js.frac << ' ' << js.frac_touch << ' ' << len;
     for (std::size_t i = 0; i + 1 < len; ++i)
-      os << ' ' << js.chunks_done[i] << ' ' << js.head_rem[i];
+      os << ' ' << chunks_done(js, i) << ' ' << head_rem(js, i);
     for (std::size_t i = 0; i < len; ++i) {
-      os << ' ' << (js.in_avail[i] ? 1 : 0);
-      if (js.in_avail[i]) {
-        const PriorityKey& k = js.avail_key[i];
+      os << ' ' << (in_avail(js, i) ? 1 : 0);
+      if (in_avail(js, i)) {
+        const PriorityKey& k = avail_key(js, i);
         os << ' ' << k.a << ' ' << k.b << ' ' << k.chunk;
       }
     }
@@ -118,16 +118,12 @@ void Engine::save_state(std::ostream& os) const {
   }
 
   // Pending events in pop order, stale ones (version mismatch) dropped: the
-  // loader re-pushes and the heap restores the identical (t, seq) order.
-  auto evq = events_;
-  std::vector<Event> live;
-  while (!evq.empty()) {
-    const Event ev = evq.top();
-    evq.pop();
+  // loader re-pushes and the queue restores the identical (t, seq) order.
+  std::vector<SimEvent> live;
+  for (const SimEvent& ev : events_.sorted_events())
     if (ev.version == nodes_[uidx(ev.node)].version) live.push_back(ev);
-  }
   os << "events " << live.size() << '\n';
-  for (const Event& ev : live)
+  for (const SimEvent& ev : live)
     os << "ev " << ev.t << ' ' << ev.seq << ' ' << ev.node << ' '
        << ev.version << '\n';
 
@@ -198,12 +194,10 @@ void Engine::load_state(std::istream& is) {
     js.admitted = true;
     js.done = st == 'D';
     js.shed = st == 'S';
-    js.chunks_done.assign(len - 1, 0);
-    js.head_rem.assign(len - 1, 0.0);
+    js.span = alloc_span(len);
+    js.len = static_cast<std::uint32_t>(len);
     for (std::size_t i = 0; i + 1 < len; ++i)
-      is >> js.chunks_done[i] >> js.head_rem[i];
-    js.in_avail.assign(len, false);
-    js.avail_key.assign(len, PriorityKey{});
+      is >> chunks_done(js, i) >> head_rem(js, i);
     for (std::size_t i = 0; i < len; ++i) {
       int avail = 0;
       is >> avail;
@@ -212,18 +206,18 @@ void Engine::load_state(std::istream& is) {
       PriorityKey k;
       k.job = static_cast<JobId>(j);
       is >> k.a >> k.b >> k.chunk;
-      js.in_avail[i] = true;
-      js.avail_key[i] = k;
-      const bool inserted =
-          nodes_[uidx((*js.path)[i])].avail.insert(k).second;
-      TS_REQUIRE(inserted, "engine load: duplicate availability key");
+      in_avail(js, i) = 1;
+      avail_key(js, i) = k;
+      // Availability heaps rebuild from the per-job arrays; their internal
+      // layout is never observable (pops follow the full key order).
+      avail_push((*js.path)[i], k, static_cast<int>(i));
     }
     TS_REQUIRE(static_cast<bool>(is), "engine load: truncated job line");
     if (st == 'L') {
       // Queue membership mirrors unfinished work per hop; the dispatch-index
       // treaps rebuild bit-identically from the restored key set.
       for (std::size_t i = 0; i + 1 < len; ++i) {
-        if (js.chunks_done[i] >= js.chunks) continue;
+        if (chunks_done(js, i) >= js.chunks) continue;
         nodes_[uidx((*js.path)[i])].inflight.insert(static_cast<JobId>(j));
         index_insert((*js.path)[i], static_cast<JobId>(j),
                      static_cast<int>(i));
@@ -243,9 +237,13 @@ void Engine::load_state(std::istream& is) {
     is >> id >> ns.version >> ns.burst_start >> has_running;
     TS_REQUIRE(is && id == v, "engine load: node section out of order");
     ns.has_running = has_running != 0;
-    if (ns.has_running)
+    if (ns.has_running) {
       is >> ns.running.a >> ns.running.b >> ns.running.job >>
           ns.running.chunk >> ns.running_rem;
+      // Derived, not serialized: the running item's path index.
+      ns.running_idx =
+          path_index(jobs_[uidx(ns.running.job)], static_cast<NodeId>(v));
+    }
   }
 
   expect_tag(is, "events");
@@ -253,7 +251,7 @@ void Engine::load_state(std::istream& is) {
   is >> nev;
   for (std::size_t i = 0; i < nev; ++i) {
     expect_tag(is, "ev");
-    Event ev;
+    SimEvent ev;
     is >> ev.t >> ev.seq >> ev.node >> ev.version;
     TS_REQUIRE(is && ev.seq < seq_, "engine load: event from the future");
     events_.push(ev);

@@ -1,0 +1,27 @@
+// scan-as: src/treesched/sim/engine.hpp
+// The pooled flat structures the rule steers toward pass clean, and the
+// one deliberate node-per-element container (the inflight set, whose
+// ordered iteration is the public contract) carries a suppression. Outside
+// sim/engine the rule is silent entirely.
+#pragma once
+#include <set>
+#include <vector>
+
+struct PriorityKey {
+  double size;
+  int job;
+};
+
+struct AvailEntry {
+  PriorityKey key;
+  int idx;
+};
+
+struct NodeState {
+  // Flat binary heap — allocation-free pop/insert once warmed.
+  std::vector<AvailEntry> avail;
+  // treesched-lint: allow(perf-engine-hot-container): ordered iteration of
+  // inflight_at() is the public contract (largest-first eviction scans it);
+  // it is not on the dispatch hot path.
+  std::set<int> inflight;
+};

@@ -1,0 +1,25 @@
+// scan-as: src/treesched/sim/engine.hpp
+// Both banned containers, unsuppressed: the std::set availability set and
+// the std::priority_queue event queue the PR9 rewrite removed.
+#pragma once
+#include <queue>
+#include <set>
+#include <vector>
+
+struct PriorityKey {
+  double size;
+  int job;
+};
+
+struct Event {
+  double t;
+  unsigned long long seq;
+};
+
+struct NodeState {
+  std::set<PriorityKey> avail;
+};
+
+struct Engine {
+  std::priority_queue<Event, std::vector<Event>> events;
+};

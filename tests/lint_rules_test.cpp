@@ -410,17 +410,21 @@ TEST(LintReport, JsonCarriesSchemaAndFindings) {
 
 TEST(LintReport, CatalogueHasStableRuleSet) {
   const auto& rules = treesched::lint::rule_catalogue();
-  EXPECT_EQ(rules.size(), 12u);
+  EXPECT_EQ(rules.size(), 13u);
   // Spot-check ids the docs and suppressions depend on.
   bool has_wallclock = false, has_stale = false, has_sketch = false;
+  bool has_hot_container = false;
   for (const auto& r : rules) {
     if (std::string(r.id) == "det-wallclock") has_wallclock = true;
     if (std::string(r.id) == "lint-stale-suppression") has_stale = true;
     if (std::string(r.id) == "det-sketch-merge") has_sketch = true;
+    if (std::string(r.id) == "perf-engine-hot-container")
+      has_hot_container = true;
   }
   EXPECT_TRUE(has_wallclock);
   EXPECT_TRUE(has_stale);
   EXPECT_TRUE(has_sketch);
+  EXPECT_TRUE(has_hot_container);
 }
 
 }  // namespace

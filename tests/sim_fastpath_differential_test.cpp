@@ -6,6 +6,7 @@
 // the headline metrics: the indices are a pure representation change.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -13,8 +14,10 @@
 #include "treesched/algo/policies.hpp"
 #include "treesched/core/tree_builders.hpp"
 #include "treesched/fault/model.hpp"
+#include "treesched/overload/controller.hpp"
 #include "treesched/sim/engine.hpp"
 #include "treesched/sim/run_log.hpp"
+#include "treesched/util/rng.hpp"
 #include "treesched/workload/generator.hpp"
 
 namespace treesched {
@@ -137,6 +140,218 @@ std::vector<FastSlowCase> all_cases() {
 
 INSTANTIATE_TEST_SUITE_P(AllPolicies, FastSlow, testing::ValuesIn(all_cases()),
                          case_name);
+
+// ---------------------------------------------------------------------------
+// Calendar-queue stress battery (PR9): workloads crafted to push the event
+// queue through its structural regimes — dense same-instant bursts (one
+// bucket, seq-order ties, batched release epochs), far-future fault events
+// (overflow heap, ring re-bases) — plus snapshot round-trips, all checked
+// fast vs slow to the byte.
+// ---------------------------------------------------------------------------
+
+/// Jobs in bursts: `per_burst` jobs share each release instant exactly.
+Instance burst_instance(std::shared_ptr<const Tree> tree, int bursts,
+                        int per_burst, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Job> jobs;
+  JobId id = 0;
+  for (int b = 0; b < bursts; ++b) {
+    const Time release = static_cast<Time>(b) * 3.0;
+    for (int k = 0; k < per_burst; ++k)
+      jobs.emplace_back(id++, release, rng.bounded_pareto(0.5, 40.0, 1.3));
+  }
+  return Instance(std::move(tree), std::move(jobs),
+                  EndpointModel::kIdentical);
+}
+
+TEST(FastSlowStress, SameInstantReleaseStorms) {
+  // 8 bursts x 30 jobs at the same instant: every burst is one release
+  // epoch whose completions pile onto shared instants downstream, so the
+  // queue drains long same-(t) runs that must pop in seq order.
+  const auto tree = std::make_shared<const Tree>(builders::fat_tree(4, 2, 2));
+  const Instance inst = burst_instance(tree, 8, 30, 0x5707);
+  const SpeedProfile speeds = SpeedProfile::uniform(inst.tree(), 1.5);
+  const FastSlowCase c{"paper", 0, EndpointModel::kIdentical, false};
+
+  const RunResult fast = run_once(inst, speeds, c, /*slow=*/false);
+  const RunResult slow = run_once(inst, speeds, c, /*slow=*/true);
+  EXPECT_EQ(fast.log, slow.log);
+  EXPECT_EQ(fast.flow, slow.flow);
+  EXPECT_EQ(fast.makespan, slow.makespan);
+}
+
+TEST(FastSlowStress, FarFutureFaultEventsCrossBucketBoundaries) {
+  // A long, sparse fault horizon: recovery events land thousands of time
+  // units past the job events, so they sit in the calendar's overflow heap
+  // and surface through ring re-bases after the completion traffic drains.
+  const auto tree = std::make_shared<const Tree>(builders::fat_tree(3, 2, 2));
+  util::Rng rng(0xfafa);
+  workload::WorkloadSpec spec;
+  spec.jobs = 60;
+  spec.load = 1.1;
+  spec.sizes.dist = workload::SizeDistribution::kBoundedPareto;
+  const Instance inst = workload::generate(rng, *tree, spec);
+  const SpeedProfile speeds = SpeedProfile::uniform(inst.tree(), 1.5);
+
+  auto run_with_far_faults = [&](bool slow) {
+    sim::EngineConfig cfg;
+    cfg.record_schedule = true;
+    cfg.slow_queries = slow;
+    sim::Engine engine(inst, speeds, cfg);
+    algo::PaperGreedyPolicy policy(0.5);
+    algo::FaultAwareGreedy redispatch(0.5);
+    fault::FaultModel model;
+    model.node_failure_rate = 0.002;
+    model.node_mttr = 4000.0;  // recoveries far beyond the last completion
+    model.slow_rate = 0.002;
+    model.slow_factor = 0.5;
+    model.horizon = 9000.0;
+    const fault::FaultPlan plan =
+        fault::generate_plan(inst.tree(), model, 0x90);
+    engine.set_fault_plan(&plan, &redispatch);
+    engine.run(policy);
+    std::ostringstream os;
+    sim::write_run_log(os, sim::make_run_log(inst, engine));
+    return RunResult{os.str(), engine.metrics().total_flow_time(),
+                     engine.metrics().makespan()};
+  };
+
+  const RunResult fast = run_with_far_faults(false);
+  const RunResult slow = run_with_far_faults(true);
+  EXPECT_EQ(fast.log, slow.log);
+  EXPECT_EQ(fast.flow, slow.flow);
+  EXPECT_EQ(fast.makespan, slow.makespan);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot save -> load -> replay byte-identity across query modes,
+// shedding, and chunked routing.
+// ---------------------------------------------------------------------------
+
+struct ReplayCase {
+  bool slow;       ///< query mode of BOTH the saver and the resumer
+  bool shed;       ///< bounded-queue admission armed on both engines
+  double chunk;    ///< router chunk size (0 = whole-job forwarding)
+};
+
+std::string replay_name(const testing::TestParamInfo<ReplayCase>& info) {
+  std::string name = info.param.slow ? "slow" : "fast";
+  if (info.param.shed) name += "_shedding";
+  if (info.param.chunk > 0.0) name += "_chunked";
+  return name;
+}
+
+class SnapshotReplay : public testing::TestWithParam<ReplayCase> {};
+
+TEST_P(SnapshotReplay, SaveLoadReplayIsByteIdentical) {
+  const ReplayCase& rc = GetParam();
+  const auto tree = std::make_shared<const Tree>(builders::fat_tree(3, 2, 2));
+  const Instance inst = burst_instance(tree, 10, 12, 0xbeef);
+  const SpeedProfile speeds = SpeedProfile::uniform(inst.tree(), 1.5);
+
+  sim::EngineConfig cfg;
+  cfg.slow_queries = rc.slow;
+  cfg.router_chunk_size = rc.chunk;
+  overload::ShedConfig shed;
+  if (rc.shed) {
+    shed.policy = overload::ShedPolicy::kBoundedQueue;
+    shed.queue_cap = 120.0;
+    cfg.shed = shed;
+  }
+
+  // Mirrors Engine::run's batch loop so the reference and the resumed run
+  // drive admissions identically on either side of the snapshot point.
+  const auto drive = [&](sim::Engine& engine, sim::AssignmentPolicy& policy,
+                         overload::AdmissionController* adm, std::size_t from,
+                         std::size_t to) {
+    const std::vector<Job>& all = inst.jobs();
+    for (std::size_t i = from; i < to;) {
+      const Time release = all[i].release;
+      engine.advance_to(release);
+      do {
+        const Job& job = all[i];
+        if (adm != nullptr && !adm->admit(engine, job)) {
+          // reject() recorded by the controller
+        } else {
+          engine.admit(job.id, policy.assign(engine, job));
+        }
+        ++i;
+      } while (i < to && all[i].release == release);
+    }
+  };
+
+  const std::size_t cut = 64;  // mid-burst: splits a same-instant batch
+
+  // Reference: drives straight through.
+  algo::PaperGreedyPolicy p_ref(0.5);
+  overload::AdmissionController adm_ref(cfg.shed);
+  sim::Engine ref(inst, speeds, cfg);
+  if (rc.shed) ref.set_admission(&adm_ref);
+  drive(ref, p_ref, rc.shed ? &adm_ref : nullptr, 0, cut);
+  std::ostringstream snap;
+  ref.save_state(snap);
+  drive(ref, p_ref, rc.shed ? &adm_ref : nullptr, cut, inst.jobs().size());
+  ref.run_to_completion();
+
+  // Resumed: loads the mid-run snapshot, must converge to the same bytes.
+  algo::PaperGreedyPolicy p_res(0.5);
+  overload::AdmissionController adm_res(cfg.shed);
+  sim::Engine res(inst, speeds, cfg);
+  if (rc.shed) res.set_admission(&adm_res);
+  std::istringstream in(snap.str());
+  res.load_state(in);
+  drive(res, p_res, rc.shed ? &adm_res : nullptr, cut, inst.jobs().size());
+  res.run_to_completion();
+
+  // Byte-level: the final serialized engine states and metrics agree.
+  std::ostringstream final_ref, final_res, m_ref, m_res;
+  ref.save_state(final_ref);
+  res.save_state(final_res);
+  ref.metrics().save(m_ref);
+  res.metrics().save(m_res);
+  EXPECT_EQ(final_res.str(), final_ref.str());
+  EXPECT_EQ(m_res.str(), m_ref.str());
+  EXPECT_EQ(res.metrics().total_flow_time(), ref.metrics().total_flow_time());
+  EXPECT_EQ(res.metrics().makespan(), ref.metrics().makespan());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, SnapshotReplay,
+    testing::ValuesIn(std::vector<ReplayCase>{
+        {/*slow=*/false, /*shed=*/false, /*chunk=*/0.0},
+        {/*slow=*/true, /*shed=*/false, /*chunk=*/0.0},
+        {/*slow=*/false, /*shed=*/true, /*chunk=*/0.0},
+        {/*slow=*/true, /*shed=*/true, /*chunk=*/0.0},
+        {/*slow=*/false, /*shed=*/false, /*chunk=*/0.75},
+        {/*slow=*/true, /*shed=*/false, /*chunk=*/0.75},
+    }),
+    replay_name);
+
+// The two query modes must also produce the SAME snapshot bytes (the
+// treesched-snapshot-v2 format is mode-independent): save at the same cut
+// from a fast and a slow engine and byte-compare.
+TEST(FastSlowStress, SnapshotBytesAgreeAcrossQueryModes) {
+  const auto tree = std::make_shared<const Tree>(builders::fat_tree(3, 2, 2));
+  const Instance inst = burst_instance(tree, 10, 12, 0xbeef);
+  const SpeedProfile speeds = SpeedProfile::uniform(inst.tree(), 1.5);
+
+  const auto snap_at_cut = [&](bool slow) {
+    sim::EngineConfig cfg;
+    cfg.slow_queries = slow;
+    sim::Engine engine(inst, speeds, cfg);
+    algo::PaperGreedyPolicy policy(0.5);
+    const std::vector<Job>& all = inst.jobs();
+    for (std::size_t i = 0; i < 64; ++i) {
+      engine.advance_to(all[i].release);
+      engine.admit(all[i].id, policy.assign(engine, all[i]));
+    }
+    std::ostringstream os;
+    engine.save_state(os);
+    return os.str();
+  };
+
+  EXPECT_EQ(snap_at_cut(false), snap_at_cut(true));
+}
 
 }  // namespace
 }  // namespace treesched
