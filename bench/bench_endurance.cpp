@@ -19,6 +19,8 @@
 //
 // All randomness derives from --seed via per-arrival split streams, so
 // every number here is byte-identical run to run.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <iostream>
 #include <sstream>
@@ -93,6 +95,43 @@ int main(int argc, char** argv) {
               << "p99 flow (marker)  : " << big.acc.p99_marker.estimate()
               << "\n\n";
 
+    // Supervision hot-path tax: the SAME endurance stream with watchdog +
+    // governor armed at ceilings that never fire, against an unguarded run
+    // of the identical config. Both drop the segmented log so the pair
+    // isolates the per-arrival guard bookkeeping (watchdog progress,
+    // pressure sampling) from recording I/O. The chaos-supervision CI leg
+    // gates guard_overhead_frac at <= 3%.
+    exec::StreamRunnerConfig plain_cfg = scfg;
+    plain_cfg.record_path.clear();
+    util::Stopwatch plain_watch;
+    const exec::StreamRunnerResult plain =
+        exec::run_stream(tree, speeds, plain_cfg);
+    const double plain_wall = plain_watch.elapsed_seconds();
+    const double rate_plain =
+        plain_wall > 0.0 ? static_cast<double>(plain.arrivals) / plain_wall
+                         : 0.0;
+
+    exec::StreamRunnerConfig guard_cfg = plain_cfg;
+    guard_cfg.guard.watchdog.window_deadline_s = 3600.0;
+    guard_cfg.guard.governor.rss_ceiling_bytes = std::uint64_t{1} << 50;
+    guard_cfg.guard.governor.queue_ceiling = std::size_t{1} << 40;
+    guard_cfg.guard.governor.arena_ceiling = std::size_t{1} << 40;
+    util::Stopwatch guard_watch;
+    const exec::StreamRunnerResult guarded =
+        exec::run_stream(tree, speeds, guard_cfg);
+    const double guard_wall = guard_watch.elapsed_seconds();
+    const double rate_guarded =
+        guard_wall > 0.0 ? static_cast<double>(guarded.arrivals) / guard_wall
+                         : 0.0;
+    const double overhead_frac =
+        rate_plain > 0.0 ? std::max(0.0, 1.0 - rate_guarded / rate_plain)
+                         : 0.0;
+
+    std::cout << "guard overhead (" << jobs << " arrivals, armed, idle)\n"
+              << "jobs/s unguarded   : " << rate_plain << '\n'
+              << "jobs/s guarded     : " << rate_guarded << '\n'
+              << "overhead fraction  : " << overhead_frac << "\n\n";
+
     // Sketch fidelity on a prefix small enough for full per-job records.
     exec::StreamRunnerConfig small_cfg = scfg;
     small_cfg.total_jobs = static_cast<std::uint64_t>(exact_jobs);
@@ -138,6 +177,9 @@ int main(int argc, char** argv) {
          << "  \"peak_rss_bytes\": " << rss << ",\n"
          << "  \"max_window\": " << big.max_window << ",\n"
          << "  \"segments\": " << big.segments_written << ",\n"
+         << "  \"jobs_per_s_unguarded\": " << json_num(rate_plain) << ",\n"
+         << "  \"jobs_per_s_guarded\": " << json_num(rate_guarded) << ",\n"
+         << "  \"guard_overhead_frac\": " << json_num(overhead_frac) << ",\n"
          << "  \"p99_digest\": " << json_num(big.acc.flow_digest.quantile(0.99))
          << ",\n"
          << "  \"p99_marker\": " << json_num(big.acc.p99_marker.estimate())

@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iomanip>
+#include <iostream>
 #include <sstream>
 
 #include "treesched/util/assert.hpp"
@@ -248,10 +249,25 @@ void SnapshotStore::quarantine(const SnapshotGeneration& gen,
   const std::string qpath = gen.path + ".quarantined";
   std::error_code ec;
   std::filesystem::rename(gen.path, qpath, ec);
-  std::ofstream log(quarantine_log_path(), std::ios::app);
-  log << "quarantined gen " << gen.index << " progress " << gen.progress
-      << " -> " << (ec ? gen.path + " (rename failed: file gone?)" : qpath)
-      << ": " << reason << '\n';
+  // Crash-safe single-write append (tail-healed, fsynced): the quarantine
+  // report is the post-mortem record of damaged generations, so it must not
+  // itself tear or vanish when the resume ladder is interrupted mid-walk.
+  // Failpoint site "quarantine.append". A failed append (ENOSPC and friends)
+  // must not abort the ladder — quarantining is best-effort bookkeeping;
+  // losing the log line is strictly better than losing the resume.
+  std::ostringstream line;
+  line << "quarantined gen " << gen.index << " progress " << gen.progress
+       << " -> " << (ec ? gen.path + " (rename failed: file gone?)" : qpath)
+       << ": " << reason;
+  std::string text = line.str();
+  std::replace(text.begin(), text.end(), '\n', ' ');
+  try {
+    util::append_line_durable(quarantine_log_path(), text,
+                              "quarantine.append");
+  } catch (const std::exception& e) {
+    std::cerr << "[snapshot] warning: cannot append to quarantine report "
+              << quarantine_log_path() << ": " << e.what() << '\n';
+  }
 }
 
 }  // namespace treesched::exec

@@ -1,16 +1,23 @@
 #include "treesched/exec/stream_runner.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <iomanip>
 #include <iostream>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "treesched/algo/policies.hpp"
 #include "treesched/core/instance.hpp"
 #include "treesched/exec/snapshot_store.hpp"
+#include "treesched/guard/clock.hpp"
+#include "treesched/guard/governor.hpp"
+#include "treesched/guard/guard_log.hpp"
+#include "treesched/guard/health.hpp"
+#include "treesched/guard/watchdog.hpp"
 #include "treesched/overload/controller.hpp"
 #include "treesched/sim/engine.hpp"
 #include "treesched/sim/runlog_segments.hpp"
@@ -122,6 +129,18 @@ class StreamRunner {
     if (!cfg_.snapshot_path.empty())
       store_.emplace(cfg_.snapshot_path, cfg_.snapshot_keep);
     spec_fp_ = util::fnv1a_64(spec_string(*tree_, speeds_, cfg_));
+    window_quantum_ = cfg_.window;
+    if (cfg_.guard.watchdog.enabled())
+      watchdog_.emplace(cfg_.guard.watchdog, &gclock_);
+    if (cfg_.guard.governor.enabled())
+      governor_.emplace(cfg_.guard.governor);
+    if (!cfg_.guard.guard_log.empty()) {
+      glog_.emplace(cfg_.guard.guard_log);
+      // Incarnation preamble: the armed configuration every later guard
+      // line is audited against.
+      glog_->ceiling(cfg_.guard.governor,
+                     cfg_.guard.watchdog.window_deadline_s);
+    }
   }
 
   StreamRunnerResult run() {
@@ -133,9 +152,11 @@ class StreamRunner {
     }
     for (;;) {
       while (processed_ < window_jobs_.size()) {
+        if (check_cancel()) return finish();
         step_one_arrival();
         if (result_.interrupted) return finish();
       }
+      if (check_cancel()) return finish();
       if (base_ + processed_ >= cfg_.total_jobs) break;
       // The next arrival exists; decide how it enters the system.
       const workload::StreamJob nxt = stream_.peek(gen_cursor_);
@@ -151,6 +172,9 @@ class StreamRunner {
         extend_window();
       }
     }
+    // Tail drain: every arrival is in, so "window deadline" no longer
+    // applies — disarm the watchdog rather than abort a finishing run.
+    watchdog_.reset();
     engine_->run_to_completion();
     drain();
     if (writer_) {
@@ -174,11 +198,15 @@ class StreamRunner {
     if (writer_ && engine.recorder().segments().size() >= cfg_.segment_cap)
       drain();
     heartbeat(engine.now());
+    write_status();
+    poll_watchdog();
   }
 
  private:
   StreamRunnerResult finish() {
     result_.arrivals = base_ + processed_;
+    if (governor_) result_.stage = governor_->stage();
+    write_status(/*force=*/true);
     result_.acc = engine_->metrics().stream_accumulator();
     if (writer_) result_.segments_written = writer_->next_index();
     if (admission_) {
@@ -201,7 +229,7 @@ class StreamRunner {
     window_jobs_.clear();
     const std::uint64_t remaining = cfg_.total_jobs - base_;
     const std::size_t n =
-        static_cast<std::size_t>(std::min<std::uint64_t>(cfg_.window,
+        static_cast<std::size_t>(std::min<std::uint64_t>(window_quantum_,
                                                          remaining));
     for (std::size_t i = 0; i < n; ++i) {
       const workload::StreamJob sj = stream_.next(gen_cursor_);
@@ -220,7 +248,7 @@ class StreamRunner {
     const std::uint64_t generated = base_ + window_jobs_.size();
     const std::uint64_t remaining = cfg_.total_jobs - generated;
     const std::size_t grow =
-        static_cast<std::size_t>(std::min<std::uint64_t>(cfg_.window,
+        static_cast<std::size_t>(std::min<std::uint64_t>(window_quantum_,
                                                          remaining));
     TS_REQUIRE(grow > 0, "extend_window with no arrivals left");
     for (std::size_t i = 0; i < grow; ++i) {
@@ -281,6 +309,167 @@ class StreamRunner {
     if (cfg_.snapshot_every > 0 && done % cfg_.snapshot_every == 0 &&
         done < cfg_.total_jobs)
       take_snapshot(done);
+    guard_on_arrival(done);
+  }
+
+  // --- supervision hooks ---------------------------------------------------
+
+  /// Per-arrival guard work: watchdog re-arm, status refresh, governor
+  /// pressure sampling, and the test-only stall. All no-ops (one branch
+  /// each) when supervision is off — the bench_endurance overhead gate
+  /// holds the guards-on tax under a few percent.
+  void guard_on_arrival(std::uint64_t done) {
+    if (watchdog_) watchdog_->progress(done);
+    write_status();
+    if (governor_ && done % cfg_.guard.governor.sample_every == 0)
+      sample_governor();
+    if (cfg_.guard_stall_at > 0 && !stalled_ && done >= cfg_.guard_stall_at)
+      stall();
+  }
+
+  void sample_governor() {
+    guard::Pressure p;
+    p.rss_bytes = util::current_rss_bytes();
+    p.event_queue = engine_->event_queue_size();
+    p.arena = engine_->arena_size();
+    if (const auto to = governor_->observe(p)) apply_stage(*to, p);
+  }
+
+  /// Applies one degradation-ladder rung. The mitigations deliberately work
+  /// on RUNTIME knobs only (window quantum, effective shed caps) — the
+  /// configured spec identity is untouched, so snapshots from a degraded
+  /// run still resume under the original flags.
+  void apply_stage(guard::Stage to, const guard::Pressure& p) {
+    const auto from = static_cast<guard::Stage>(static_cast<int>(to) - 1);
+    if (glog_) glog_->governor_escalate(gclock_.now_s(), from, to, p);
+    std::cerr << "[guard] governor: " << guard::stage_name(from) << " -> "
+              << guard::stage_name(to) << " (rss " << p.rss_bytes
+              << " queue " << p.event_queue << " arena " << p.arena << ")\n";
+    result_.stage = to;
+    switch (to) {
+      case guard::Stage::kStreamingMetrics:
+        // Streaming runs are born with streaming metrics — the rung is a
+        // recorded no-op here so the audited ladder order is uniform.
+        break;
+      case guard::Stage::kShrunkWindow:
+        window_quantum_ = std::max<std::size_t>(64, window_quantum_ / 2);
+        break;
+      case guard::Stage::kTightenedShed:
+        if (admission_) admission_->tighten(0.5);
+        break;
+      case guard::Stage::kAbort: {
+        if (store_) take_snapshot(base_ + processed_);
+        throw guard::GovernorAbortError(
+            "resource governor: ceilings still breached after the full "
+            "degradation ladder (rss " + std::to_string(p.rss_bytes) +
+            ", queue " + std::to_string(p.event_queue) + ", arena " +
+            std::to_string(p.arena) +
+            ") — aborting with the snapshot generation intact; resume with "
+            "--resume-snapshot or raise the ceilings");
+      }
+      case guard::Stage::kNormal:
+        break;
+    }
+  }
+
+  /// Polls the watchdog and performs whatever escalation came due. Runs
+  /// inside observer ticks on purpose: a wedged window never reaches the
+  /// next arrival boundary, so deferring actions there would never fire.
+  /// Tick instants are consistent engine states with exactly [0, processed_)
+  /// arrivals admitted, which is what makes the forced snapshot resumable.
+  void poll_watchdog() {
+    if (!watchdog_) return;
+    const auto act = watchdog_->poll();
+    if (act == guard::Watchdog::Action::kNone) return;
+    const double stalled = watchdog_->stalled_s();
+    const std::uint64_t arr = base_ + processed_;
+    if (glog_)
+      glog_->watchdog(gclock_.now_s(), guard::Watchdog::action_name(act),
+                      stalled, arr);
+    std::cerr << "[guard] watchdog: " << guard::Watchdog::action_name(act)
+              << " — no arrival progress for " << stalled << "s (arrivals "
+              << arr << ")\n";
+    switch (act) {
+      case guard::Watchdog::Action::kLog:
+        break;
+      case guard::Watchdog::Action::kSnapshot:
+        // Secure the progress while the process is still alive: force a
+        // snapshot generation (which also rotates the open segment).
+        if (store_) {
+          take_snapshot(arr);
+        } else {
+          drain();
+          if (writer_) writer_->commit(true);
+        }
+        break;
+      case guard::Watchdog::Action::kAbort:
+        throw guard::WatchdogAbortError(
+            "watchdog: stream window made no progress for " +
+            std::to_string(stalled) + "s (3x the " +
+            std::to_string(cfg_.guard.watchdog.window_deadline_s) +
+            "s deadline) — aborting; the snapshot generation written at 2x "
+            "is intact, resume with --resume-snapshot");
+      case guard::Watchdog::Action::kNone:
+        break;
+    }
+  }
+
+  /// TEST ONLY (--guard-stall-at): freeze at an arrival boundary with
+  /// status writes and watchdog polls still running — the deterministic
+  /// stand-in for a wedged window. May throw WatchdogAbortError mid-stall.
+  void stall() {
+    stalled_ = true;
+    std::cerr << "[guard] test stall: freezing for " << cfg_.guard_stall_s
+              << "s at arrival " << (base_ + processed_) << "\n";
+    const double until = gclock_.now_s() + cfg_.guard_stall_s;
+    while (gclock_.now_s() < until) {
+      if (cancel_set()) return;
+      write_status();
+      poll_watchdog();
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+
+  /// Refreshes the child status JSON (atomic replace) at ~4 Hz. rho-hat
+  /// reads mid-run are safe for the byte-compared end state: the
+  /// estimator's prune is prefix-consistent, so intermediate reads leave
+  /// the final serialized state bit-identical.
+  void write_status(bool force = false) {
+    if (cfg_.status_file.empty()) return;
+    const double now = gclock_.now_s();
+    if (!force && now - last_status_ < 0.25) return;
+    last_status_ = now;
+    guard::ChildStatus s;
+    s.arrivals = base_ + processed_;
+    s.window = window_jobs_.size();
+    if (admission_ && engine_)
+      s.rho_hat = admission_->estimator().max_root_child_rho(*engine_);
+    if (governor_) s.stage = governor_->stage();
+    s.t_s = now;
+    guard::write_child_status(cfg_.status_file, s);
+  }
+
+  bool cancel_set() const {
+    return cfg_.cancel != nullptr &&
+           cfg_.cancel->load(std::memory_order_relaxed);
+  }
+
+  /// Arrival-boundary graceful stop: flush the open segment, write one
+  /// final snapshot generation, and report cancelled (exit 130 upstream).
+  bool check_cancel() {
+    if (!cancel_set()) return false;
+    std::cerr << "[stream] stop signal at arrival " << (base_ + processed_)
+              << ": flushing segments"
+              << (store_ ? " and writing a final snapshot generation" : "")
+              << "; resume with --resume-snapshot\n";
+    if (store_) {
+      take_snapshot(base_ + processed_);
+    } else {
+      drain();
+      if (writer_) writer_->commit(true);
+    }
+    result_.cancelled = true;
+    return true;
   }
 
   /// Feeds everything the engine produced so far to the segment writer.
@@ -504,6 +693,17 @@ class StreamRunner {
   util::Stopwatch watch_;
   double last_beat_ = 0.0;
   StreamRunnerResult result_;
+
+  // Supervision (guard/): all wall-clock readings flow through gclock_ and
+  // reach only the guard sidecar log + status file — never a schedule,
+  // metric, or run-log byte.
+  guard::SteadyClock gclock_;
+  std::optional<guard::Watchdog> watchdog_;
+  std::optional<guard::Governor> governor_;
+  std::optional<guard::GuardLogWriter> glog_;
+  std::size_t window_quantum_ = 0;  ///< runtime quantum (governor may shrink)
+  double last_status_ = -1.0;
+  bool stalled_ = false;  ///< test stall already performed
 };
 
 void StreamFeed::on_job_admitted(const sim::Engine& engine, JobId j) {

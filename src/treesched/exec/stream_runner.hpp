@@ -46,12 +46,14 @@
 // random, round-robin, least-volume, least-count, two-choice).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
 
 #include "treesched/core/speed_profile.hpp"
 #include "treesched/core/tree.hpp"
+#include "treesched/guard/config.hpp"
 #include "treesched/overload/config.hpp"
 #include "treesched/sim/metrics.hpp"
 #include "treesched/sim/priority.hpp"
@@ -89,11 +91,37 @@ struct StreamRunnerConfig {
   std::uint64_t die_after_snapshot = 0;
   /// Seconds between stderr heartbeats (0 = silent).
   double progress_every = 0.0;
+  /// Supervision: watchdog deadline, governor ceilings, guard sidecar log
+  /// (guard/config.hpp). Guard events never touch a run-log or metric byte —
+  /// they are wall-clock-driven, so they live outside the deterministic
+  /// fingerprint chain. The governor's window shrinking adjusts only the
+  /// RUNTIME quantum; `window` above stays the spec identity, so snapshots
+  /// from a degraded run still resume under the original flags.
+  guard::GuardConfig guard;
+  /// Child status JSON (treesched-child-status-v1) refreshed atomically a
+  /// few times per second for the supervisor's wedge watch ("" = off).
+  std::string status_file;
+  /// TEST ONLY: when global arrival N is reached, freeze (poll loop, status
+  /// writes and watchdog polls continue, arrivals do not) for guard_stall_s
+  /// wall seconds — the deterministic stand-in for a wedged window in the
+  /// watchdog/breaker end-to-end tests. 0 = off.
+  std::uint64_t guard_stall_at = 0;
+  double guard_stall_s = 0.0;
+  /// Graceful-stop flag (set by the SIGINT/SIGTERM handler), polled at
+  /// arrival boundaries: when it goes true the runner flushes the open
+  /// segment, writes one final snapshot generation, and returns with
+  /// cancelled=true (treesched_run exits 130; resumable).
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct StreamRunnerResult {
   /// True when die_after_snapshot stopped the run early.
   bool interrupted = false;
+  /// True when the cancel flag (SIGINT/SIGTERM) stopped the run early; the
+  /// open segment was flushed and a final snapshot generation written.
+  bool cancelled = false;
+  /// Deepest degradation-ladder stage the governor reached this process.
+  guard::Stage stage = guard::Stage::kNormal;
   std::uint64_t arrivals = 0;       ///< arrivals processed (admit or reject)
   std::uint64_t snapshots_written = 0;  ///< by this process
   std::size_t max_window = 0;       ///< peak window size (extension depth)

@@ -1,0 +1,46 @@
+// Injectable monotone clock for the supervision subsystem.
+//
+// Everything in guard/ that reasons about wall time — watchdog deadlines,
+// restart backoff, the crash-loop breaker window — takes a Clock* so tests
+// can replay exact timelines with FakeClock and CI never sleeps to assert a
+// schedule. The real implementation wraps util::Stopwatch, the repo's
+// sanctioned wall-clock shim (see the det-wallclock lint rule): guard code
+// never reads ambient time directly, and none of these readings can reach a
+// schedule, a metric, or a run-log byte — guard timestamps live only in the
+// guard sidecar log and the health file, both outside the deterministic
+// fingerprint chain.
+#pragma once
+
+#include "treesched/util/stopwatch.hpp"
+
+namespace treesched::guard {
+
+/// Monotone seconds since an arbitrary per-instance epoch.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual double now_s() = 0;
+};
+
+/// Production clock: seconds since construction, via util::Stopwatch.
+class SteadyClock final : public Clock {
+ public:
+  double now_s() override { return watch_.elapsed_seconds(); }
+
+ private:
+  util::Stopwatch watch_;
+};
+
+/// Test clock: advances only when told to, so deadline and backoff
+/// schedules replay deterministically (and jitterlessly) in unit tests.
+class FakeClock final : public Clock {
+ public:
+  double now_s() override { return t_; }
+  void advance(double s) { t_ += s; }
+  void set(double t) { t_ = t; }
+
+ private:
+  double t_ = 0.0;
+};
+
+}  // namespace treesched::guard

@@ -1,0 +1,25 @@
+#include "treesched/guard/governor.hpp"
+
+namespace treesched::guard {
+
+Governor::Governor(GovernorConfig cfg) : cfg_(cfg) {}
+
+bool Governor::breached(const Pressure& p) const {
+  return (cfg_.rss_ceiling_bytes > 0 && p.rss_bytes >= cfg_.rss_ceiling_bytes) ||
+         (cfg_.queue_ceiling > 0 && p.event_queue >= cfg_.queue_ceiling) ||
+         (cfg_.arena_ceiling > 0 && p.arena >= cfg_.arena_ceiling);
+}
+
+std::optional<Stage> Governor::observe(const Pressure& p) {
+  if (!cfg_.enabled() || stage_ == Stage::kAbort) return std::nullopt;
+  if (cooldown_left_ > 0) {
+    --cooldown_left_;
+    return std::nullopt;
+  }
+  if (!breached(p)) return std::nullopt;
+  stage_ = static_cast<Stage>(static_cast<int>(stage_) + 1);
+  cooldown_left_ = cfg_.cooldown_samples;
+  return stage_;
+}
+
+}  // namespace treesched::guard

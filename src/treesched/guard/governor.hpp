@@ -1,0 +1,48 @@
+// Resource governor: the decision core of the staged degradation ladder.
+//
+// The stream runner samples resource pressure (RSS, engine event-queue
+// size, job-arena footprint) every `sample_every` arrivals and feeds each
+// sample to observe(). A sample at or over any armed ceiling escalates the
+// ladder by EXACTLY one stage; `cooldown_samples` further samples must then
+// pass before the next rung can fire, so each mitigation gets a chance to
+// relieve pressure before the ladder concludes it did not.
+//
+// The governor always starts at Stage::kNormal — even for streaming runs
+// that are already using streaming metrics — so the audited ladder order is
+// identical everywhere; the runner simply treats the kStreamingMetrics rung
+// as a no-op when already satisfied. Applying the mitigations (switching
+// metrics mode, shrinking the window quantum, tightening admission) is the
+// runner's job; the governor only decides WHEN, which keeps it a pure,
+// deterministically testable function of the sample sequence.
+#pragma once
+
+#include <optional>
+
+#include "treesched/guard/config.hpp"
+
+namespace treesched::guard {
+
+class Governor {
+ public:
+  explicit Governor(GovernorConfig cfg);
+
+  /// Feed one pressure sample. Returns the stage to escalate TO when this
+  /// sample fires a rung (caller applies the mitigation and writes the
+  /// guard line), std::nullopt otherwise. Never escalates past kAbort.
+  std::optional<Stage> observe(const Pressure& p);
+
+  /// True when any armed ceiling is at or below the sampled value.
+  bool breached(const Pressure& p) const;
+
+  Stage stage() const { return stage_; }
+  const GovernorConfig& config() const { return cfg_; }
+
+ private:
+  GovernorConfig cfg_;
+  Stage stage_ = Stage::kNormal;
+  /// Samples seen since the last escalation; primed past the cooldown so
+  /// the very first breaching sample can fire.
+  std::size_t cooldown_left_ = 0;
+};
+
+}  // namespace treesched::guard

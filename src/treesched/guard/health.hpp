@@ -1,0 +1,69 @@
+// Health/status files for supervised runs.
+//
+// Two small JSON documents, both refreshed with util::write_file_atomic so
+// an observer (operator, CI, the supervisor itself) never reads a torn
+// file:
+//
+//   Child status (`--guard-status <path>`, schema treesched-child-status-v1)
+//     Written by the stream child on every heartbeat: arrivals processed,
+//     current window index, rho_hat at the root, degradation stage, and the
+//     child-clock timestamp. The supervisor reads it to (a) merge progress
+//     into the health file and (b) detect a totally wedged child — the
+//     `arrivals` field frozen past the heartbeat deadline — which even an
+//     in-process watchdog cannot report if the process is truly stuck.
+//
+//   Health file (`--health-file <path>`, schema treesched-health-v1)
+//     Written by the supervisor: child pid, lifecycle state (starting |
+//     running | backoff | gaveup | done | interrupted), restart counters,
+//     last exit code/signal, plus the latest child status fields.
+//
+// Both are flat JSON objects; the matching read_* helpers do flat key
+// extraction (no JSON dependency) and return nullopt on a missing or
+// unparsable file, which callers treat as "no status yet".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "treesched/guard/config.hpp"
+
+namespace treesched::guard {
+
+struct ChildStatus {
+  std::uint64_t arrivals = 0;
+  std::uint64_t window = 0;
+  double rho_hat = 0.0;
+  Stage stage = Stage::kNormal;
+  double t_s = 0.0;  ///< child-clock seconds at the write
+};
+
+std::string encode_child_status(const ChildStatus& s);
+void write_child_status(const std::string& path, const ChildStatus& s);
+std::optional<ChildStatus> read_child_status(const std::string& path);
+
+struct HealthStatus {
+  int pid = 0;
+  std::string state = "starting";
+  std::uint64_t restarts = 0;
+  std::uint64_t consecutive_crashes = 0;
+  int last_exit_code = 0;
+  int last_signal = 0;
+  /// Latest child status, merged in when a child status file exists.
+  bool have_child = false;
+  ChildStatus child;
+};
+
+std::string encode_health(const HealthStatus& h);
+void write_health(const std::string& path, const HealthStatus& h);
+std::optional<HealthStatus> read_health(const std::string& path);
+
+/// Flat-JSON field extraction used by the readers above (and by tests):
+/// finds `"key":` at the top level of a one-object document. No nesting,
+/// no escapes in strings — exactly what the two schemas above emit.
+std::optional<double> json_number_field(const std::string& doc,
+                                        const std::string& key);
+std::optional<std::string> json_string_field(const std::string& doc,
+                                             const std::string& key);
+
+}  // namespace treesched::guard

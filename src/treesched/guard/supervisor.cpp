@@ -1,0 +1,359 @@
+#include "treesched/guard/supervisor.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <thread>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "treesched/guard/guard_log.hpp"
+
+namespace treesched::guard {
+
+RestartPolicy::RestartPolicy(RestartPolicyConfig cfg, Clock* clock)
+    : cfg_(cfg), clock_(clock) {}
+
+void RestartPolicy::on_start() {
+  start_t_ = clock_->now_s();
+  running_ = true;
+}
+
+RestartPolicy::Decision RestartPolicy::on_crash() {
+  const double now = clock_->now_s();
+  if (running_ && now - start_t_ >= cfg_.stable_s) consecutive_ = 0;
+  running_ = false;
+  ++consecutive_;
+
+  crash_times_.push_back(now);
+  while (!crash_times_.empty() &&
+         now - crash_times_.front() > cfg_.breaker_window_s)
+    crash_times_.pop_front();
+
+  Decision d;
+  if (crash_times_.size() >= cfg_.breaker_max) {
+    d.give_up = true;
+    return d;
+  }
+  ++restarts_;
+  double backoff = cfg_.backoff_base_s;
+  for (std::uint64_t i = 1; i < consecutive_ && backoff < cfg_.backoff_cap_s;
+       ++i)
+    backoff *= 2.0;
+  d.backoff_s = std::min(backoff, cfg_.backoff_cap_s);
+  return d;
+}
+
+namespace {
+
+/// Last delivered stop signal; the poll loop forwards it to the child so a
+/// ^C on the supervisor becomes a graceful child shutdown (exit 130).
+volatile std::sig_atomic_t g_stop_signal = 0;
+
+void on_stop_signal(int sig) { g_stop_signal = sig; }
+
+class SignalForwarding {
+ public:
+  SignalForwarding() {
+    g_stop_signal = 0;
+    struct ::sigaction sa{};
+    sa.sa_handler = &on_stop_signal;
+    ::sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGINT, &sa, &old_int_);
+    ::sigaction(SIGTERM, &sa, &old_term_);
+  }
+  ~SignalForwarding() {
+    ::sigaction(SIGINT, &old_int_, nullptr);
+    ::sigaction(SIGTERM, &old_term_, nullptr);
+  }
+
+ private:
+  struct ::sigaction old_int_{};
+  struct ::sigaction old_term_{};
+};
+
+bool manifest_exists(const std::string& base) {
+  std::error_code ec;
+  return !base.empty() && std::filesystem::exists(base, ec) && !ec;
+}
+
+pid_t spawn_child(const std::vector<std::string>& argv) {
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const auto& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+  cargv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0)
+    throw std::runtime_error(std::string("fork failed: ") +
+                             std::strerror(errno));
+  if (pid == 0) {
+    ::execv(cargv[0], cargv.data());
+    // Still here: exec failed. 64 (usage) tells the supervisor not to retry.
+    std::cerr << "error: cannot exec '" << argv[0]
+              << "': " << std::strerror(errno) << '\n';
+    ::_exit(64);
+  }
+  return pid;
+}
+
+struct ChildExit {
+  int code = 0;      ///< exit code when exited normally
+  int signal = 0;    ///< terminating signal when killed (code unset)
+  bool by_signal() const { return signal != 0; }
+};
+
+std::string describe_exit(const ChildExit& e) {
+  std::ostringstream os;
+  if (e.by_signal())
+    os << "signal " << e.signal << " (" << ::strsignal(e.signal) << ")";
+  else
+    os << "exit " << e.code;
+  return os.str();
+}
+
+enum class Outcome { kDone, kFatal, kRestartResume, kRestartFresh };
+
+Outcome classify(const ChildExit& e) {
+  if (e.by_signal()) return Outcome::kRestartResume;
+  switch (e.code) {
+    case 0:
+    case 130:
+      return Outcome::kDone;
+    case 64:  // usage/config — deterministic, a restart reruns the same error
+    case 2:   // validation failure
+    case 67:  // snapshot from a different run spec
+      return Outcome::kFatal;
+    case 65:  // every generation corrupt — the resume path is poisoned
+    case 66:  // no manifest behind the resume flag
+      return Outcome::kRestartFresh;
+    default:  // 1, 70, 71, anything else unexpected
+      return Outcome::kRestartResume;
+  }
+}
+
+class SupervisorLoop {
+ public:
+  explicit SupervisorLoop(const SupervisorConfig& cfg) : cfg_(cfg) {
+    if (!cfg_.guard_log.empty()) log_.emplace(cfg_.guard_log);
+    policy_.emplace(cfg_.restart, &clock_);
+  }
+
+  int run() {
+    SignalForwarding forwarding;
+    bool resume_poisoned = false;
+
+    for (;;) {
+      const bool resume =
+          !resume_poisoned && manifest_exists(cfg_.snapshot_base);
+      const pid_t pid = launch(resume);
+      const ChildExit ended = watch(pid);
+      health_.last_exit_code = ended.by_signal() ? 0 : ended.code;
+      health_.last_signal = ended.signal;
+      supervisor_log("exit " + describe_exit(ended));
+
+      switch (classify(ended)) {
+        case Outcome::kDone:
+          finish(ended.code == 130 ? "interrupted" : "done");
+          return ended.code;
+        case Outcome::kFatal:
+          std::cerr << "[supervise] child failed with a non-restartable "
+                       "error ("
+                    << describe_exit(ended) << "); giving up\n";
+          finish("gaveup");
+          return ended.code;
+        case Outcome::kRestartFresh:
+          resume_poisoned = true;
+          break;
+        case Outcome::kRestartResume:
+          resume_poisoned = false;
+          break;
+      }
+
+      const RestartPolicy::Decision d = policy_->on_crash();
+      health_.restarts = policy_->restarts();
+      health_.consecutive_crashes = policy_->consecutive();
+      if (d.give_up) {
+        report_crash_loop(ended);
+        finish("gaveup");
+        return kExitCrashLoop;
+      }
+      supervisor_log("backoff " + fmt(d.backoff_s) +
+                     " restarts " + std::to_string(policy_->restarts()));
+      std::cerr << "[supervise] child " << describe_exit(ended)
+                << "; restart " << policy_->restarts() << " in "
+                << fmt(d.backoff_s) << "s\n";
+      if (!sleep_with_health(d.backoff_s)) {
+        // Stop signal during backoff: nothing to forward, exit as if the
+        // child had been interrupted gracefully.
+        finish("interrupted");
+        return 130;
+      }
+    }
+  }
+
+ private:
+  static std::string fmt(double v) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  }
+
+  std::vector<std::string> child_argv(bool resume) const {
+    std::vector<std::string> argv = cfg_.child_argv;
+    if (resume) {
+      argv.push_back("--resume-snapshot");
+      argv.push_back(cfg_.snapshot_base);
+    }
+    return argv;
+  }
+
+  pid_t launch(bool resume) {
+    const pid_t pid = spawn_child(child_argv(resume));
+    policy_->on_start();
+    health_.pid = static_cast<int>(pid);
+    health_.state = "running";
+    supervisor_log("start pid " + std::to_string(pid) +
+                   (resume ? " resume" : " fresh"));
+    write_health();
+    // The wedge watch starts fresh with each incarnation.
+    last_arrivals_.reset();
+    last_change_t_ = clock_.now_s();
+    return pid;
+  }
+
+  /// Polls until the child is reaped. Forwards stop signals; SIGKILLs a
+  /// wedged child (status-file arrivals frozen past the deadline).
+  ChildExit watch(pid_t pid) {
+    bool forwarded = false;
+    bool wedge_killed = false;
+    for (;;) {
+      int status = 0;
+      const pid_t r = ::waitpid(pid, &status, WNOHANG);
+      if (r == pid) {
+        ChildExit e;
+        if (WIFSIGNALED(status)) e.signal = WTERMSIG(status);
+        else e.code = WEXITSTATUS(status);
+        if (wedge_killed && e.by_signal() && e.signal == SIGKILL)
+          supervisor_log("wedge-kill reaped pid " + std::to_string(pid));
+        return e;
+      }
+      if (r < 0 && errno != EINTR) {
+        ChildExit e;
+        e.code = 1;  // lost track of the child; treat as a crash
+        return e;
+      }
+
+      if (g_stop_signal != 0 && !forwarded) {
+        forwarded = true;
+        supervisor_log("forward signal " +
+                       std::to_string(static_cast<int>(g_stop_signal)));
+        ::kill(pid, static_cast<int>(g_stop_signal));
+      }
+
+      refresh_child_status();
+      if (!wedge_killed && !forwarded && cfg_.heartbeat_deadline_s > 0.0 &&
+          clock_.now_s() - last_change_t_ > cfg_.heartbeat_deadline_s) {
+        wedge_killed = true;
+        supervisor_log("wedge pid " + std::to_string(pid) + " frozen " +
+                       fmt(clock_.now_s() - last_change_t_) + "s");
+        std::cerr << "[supervise] child " << pid
+                  << " made no progress for over " << cfg_.heartbeat_deadline_s
+                  << "s; killing it\n";
+        ::kill(pid, SIGKILL);
+      }
+      write_health();
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(cfg_.poll_interval_s));
+    }
+  }
+
+  void refresh_child_status() {
+    if (cfg_.child_status_file.empty()) return;
+    if (const auto s = read_child_status(cfg_.child_status_file)) {
+      if (!last_arrivals_ || *last_arrivals_ != s->arrivals) {
+        last_arrivals_ = s->arrivals;
+        last_change_t_ = clock_.now_s();
+      }
+      health_.have_child = true;
+      health_.child = *s;
+    }
+  }
+
+  /// Sleeps `s` seconds in poll slices, keeping the health file fresh.
+  /// Returns false if a stop signal arrived mid-backoff.
+  bool sleep_with_health(double s) {
+    health_.state = "backoff";
+    const double until = clock_.now_s() + s;
+    while (clock_.now_s() < until) {
+      if (g_stop_signal != 0) return false;
+      write_health();
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          std::min(cfg_.poll_interval_s, until - clock_.now_s())));
+    }
+    return true;
+  }
+
+  void report_crash_loop(const ChildExit& last) {
+    supervisor_log("giveup crashes " +
+                   std::to_string(policy_->crashes_in_window()) + " window " +
+                   fmt(cfg_.restart.breaker_window_s));
+    std::cerr
+        << "[supervise] CRASH LOOP: " << policy_->crashes_in_window()
+        << " crashes within " << cfg_.restart.breaker_window_s
+        << "s (last: " << describe_exit(last) << "); giving up.\n"
+        << "[supervise] the failure is likely deterministic — inspect the "
+           "child's stderr above"
+        << (cfg_.snapshot_base.empty()
+                ? std::string(".")
+                : ", the quarantine report at " + cfg_.snapshot_base +
+                      ".quarantine.log, and the newest generation under " +
+                      cfg_.snapshot_base + ".genNNN.")
+        << '\n'
+        << "[supervise] rerun without --supervise to reproduce in the "
+           "foreground.\n";
+  }
+
+  void finish(const std::string& state) {
+    health_.state = state;
+    health_.pid = 0;
+    supervisor_log(state);
+    write_health();
+  }
+
+  void supervisor_log(const std::string& detail) {
+    if (log_) log_->supervisor(clock_.now_s(), detail);
+  }
+
+  void write_health() {
+    if (!cfg_.health_file.empty()) write_health(cfg_.health_file);
+  }
+  void write_health(const std::string& path) {
+    guard::write_health(path, health_);
+  }
+
+  SupervisorConfig cfg_;
+  SteadyClock clock_;
+  std::optional<GuardLogWriter> log_;
+  std::optional<RestartPolicy> policy_;
+  HealthStatus health_;
+  std::optional<std::uint64_t> last_arrivals_;
+  double last_change_t_ = 0.0;
+};
+
+}  // namespace
+
+int run_supervisor(const SupervisorConfig& cfg) {
+  return SupervisorLoop(cfg).run();
+}
+
+}  // namespace treesched::guard

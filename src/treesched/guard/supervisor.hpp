@@ -1,0 +1,115 @@
+// Crash-loop-safe auto-restart for endurance runs (treesched_run
+// --supervise).
+//
+// The supervisor fork/execs the streaming child, watches it through a
+// waitpid poll loop, and on a restartable death relaunches it — resuming
+// from the newest VERIFIED snapshot generation when a manifest exists (the
+// child's own self-healing ladder does the verification and fallback), or
+// from scratch otherwise (streaming runs are deterministic from the seed,
+// so a fresh start converges to the same bytes, just more slowly).
+//
+// RestartPolicy is the pure, clock-injected decision core: capped
+// exponential backoff between restarts, a consecutive-crash counter that a
+// stable run resets, and the crash-loop breaker — N crashes inside a
+// sliding T-second window and the supervisor gives up with an actionable
+// report and exit 69 rather than burn the machine retrying a determinist
+// failure forever.
+//
+// Child exit classification:
+//   0                 -> done, pass through
+//   130               -> interrupted (graceful SIGINT/SIGTERM), pass through
+//   64, 2, 67         -> fatal: config/validation/spec errors that a
+//                        restart cannot fix; pass through immediately
+//   65, 66            -> snapshot unrecoverable/missing: restart FRESH
+//                        (counts as a crash for the breaker)
+//   signal, 1, 70, 71 -> restartable crash (resume from snapshot)
+//
+// External wedge detection: the in-process watchdog cannot report if the
+// child is truly stuck, so the supervisor also watches the child's status
+// file — the `arrivals` field frozen past --heartbeat-deadline-s means
+// SIGKILL + restart. The health file (--health-file) is refreshed
+// atomically on every poll so operators and CI always see a coherent
+// {pid, state, restarts, window, rho_hat, stage} document.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "treesched/guard/clock.hpp"
+#include "treesched/guard/config.hpp"
+#include "treesched/guard/health.hpp"
+
+namespace treesched::guard {
+
+/// Exit code when the crash-loop breaker trips (EX_UNAVAILABLE).
+constexpr int kExitCrashLoop = 69;
+
+struct RestartPolicyConfig {
+  std::size_t breaker_max = 5;   ///< crashes within the window to give up
+  double breaker_window_s = 60.0;
+  double backoff_base_s = 0.5;
+  double backoff_cap_s = 30.0;
+  /// A child that lived at least this long resets the consecutive-crash
+  /// counter (the crash loop, if any, was broken).
+  double stable_s = 10.0;
+};
+
+/// Pure restart decision core. All time flows through the injected Clock,
+/// so tests replay exact backoff schedules and breaker trip points with a
+/// FakeClock — no sleeping, no jitter.
+class RestartPolicy {
+ public:
+  RestartPolicy(RestartPolicyConfig cfg, Clock* clock);
+
+  /// Record a child launch (now).
+  void on_start();
+
+  struct Decision {
+    bool give_up = false;    ///< breaker tripped
+    double backoff_s = 0.0;  ///< wait before the next launch
+  };
+
+  /// Record a child crash (now) and decide what happens next. Capped
+  /// exponential backoff: min(cap, base * 2^(consecutive-1)).
+  Decision on_crash();
+
+  std::uint64_t restarts() const { return restarts_; }
+  std::uint64_t consecutive() const { return consecutive_; }
+  /// Crashes currently inside the breaker window.
+  std::size_t crashes_in_window() const { return crash_times_.size(); }
+  const RestartPolicyConfig& config() const { return cfg_; }
+
+ private:
+  RestartPolicyConfig cfg_;
+  Clock* clock_;
+  double start_t_ = 0.0;
+  bool running_ = false;
+  std::uint64_t restarts_ = 0;
+  std::uint64_t consecutive_ = 0;
+  std::deque<double> crash_times_;  ///< sliding breaker window
+};
+
+struct SupervisorConfig {
+  /// Child argv for a FRESH start (argv[0] = executable path). The
+  /// supervisor appends `--resume-snapshot <snapshot_base>` itself when the
+  /// manifest exists, so `child_argv` must NOT carry a resume flag.
+  std::vector<std::string> child_argv;
+  /// Snapshot manifest base path ("" = never resume, always fresh).
+  std::string snapshot_base;
+  std::string health_file;        ///< "" = no health file
+  std::string child_status_file;  ///< "" = no progress merge / wedge watch
+  std::string guard_log;          ///< "" = no guard log
+  /// Child status `arrivals` frozen this long -> SIGKILL + restart (0 off).
+  double heartbeat_deadline_s = 0.0;
+  double poll_interval_s = 0.05;
+  RestartPolicyConfig restart;
+};
+
+/// Runs the supervision loop to completion. Returns the process exit code
+/// for treesched_run: the child's own code when it finished (0 / 130 /
+/// fatal config errors), or kExitCrashLoop (69) when the breaker tripped.
+int run_supervisor(const SupervisorConfig& cfg);
+
+}  // namespace treesched::guard

@@ -1,0 +1,42 @@
+#include "treesched/guard/watchdog.hpp"
+
+namespace treesched::guard {
+
+Watchdog::Watchdog(WatchdogConfig cfg, Clock* clock)
+    : cfg_(cfg), clock_(clock), last_progress_t_(clock->now_s()) {}
+
+void Watchdog::progress(std::uint64_t arrivals) {
+  arrivals_ = arrivals;
+  last_progress_t_ = clock_->now_s();
+  fired_rank_ = 0;
+}
+
+double Watchdog::stalled_s() { return clock_->now_s() - last_progress_t_; }
+
+Watchdog::Action Watchdog::poll() {
+  if (!cfg_.enabled() || fired_rank_ >= 3) return Action::kNone;
+  const double stalled = stalled_s();
+  // Fire the next rank the moment its deadline multiple passes; one rank per
+  // poll keeps the log -> snapshot -> abort order even if polls are sparse
+  // and the stall already overshot several multiples.
+  const int due_rank = fired_rank_ + 1;
+  if (stalled < cfg_.window_deadline_s * due_rank) return Action::kNone;
+  fired_rank_ = due_rank;
+  switch (due_rank) {
+    case 1: return Action::kLog;
+    case 2: return Action::kSnapshot;
+    default: return Action::kAbort;
+  }
+}
+
+const char* Watchdog::action_name(Action a) {
+  switch (a) {
+    case Action::kNone: return "none";
+    case Action::kLog: return "log";
+    case Action::kSnapshot: return "snapshot";
+    case Action::kAbort: return "abort";
+  }
+  return "?";
+}
+
+}  // namespace treesched::guard

@@ -1,0 +1,61 @@
+// Progress watchdog for streaming runs: detects a wedged stream window —
+// the event loop ticking without completing arrivals, or not ticking at
+// all — by wall-clock deadline, and escalates in three staged steps:
+//
+//   1x deadline  -> kLog       (loud stderr + guard-log line)
+//   2x deadline  -> kSnapshot  (force a snapshot generation + segment
+//                               rotate, so no progress is lost if the stall
+//                               never clears)
+//   3x deadline  -> kAbort     (controlled abort, exit 70, snapshot intact)
+//
+// The watchdog itself is pure bookkeeping over an injectable Clock: the
+// stream runner reports progress and polls from the engine-observer tick
+// callback, and performs whatever action poll() returns. Acting inside the
+// tick callback matters — a wedged window by definition never reaches the
+// next arrival boundary, so deferring actions there would never fire.
+//
+// None of this can perturb determinism: a fired watchdog only writes guard
+// sidecar lines and forces a snapshot at an instant the engine is already
+// consistent; schedules, metrics, and run-log bytes are untouched.
+#pragma once
+
+#include <cstdint>
+
+#include "treesched/guard/clock.hpp"
+#include "treesched/guard/config.hpp"
+
+namespace treesched::guard {
+
+class Watchdog {
+ public:
+  enum class Action { kNone, kLog, kSnapshot, kAbort };
+
+  /// `clock` must outlive the watchdog. A disabled config (deadline 0)
+  /// makes every poll() return kNone.
+  Watchdog(WatchdogConfig cfg, Clock* clock);
+
+  /// Report forward progress (an arrival fully processed, or a window
+  /// rotation). Re-arms the deadline and resets the escalation ladder.
+  void progress(std::uint64_t arrivals);
+
+  /// Returns the next escalation step that has come due, at most one step
+  /// per call and each step at most once per stall episode.
+  Action poll();
+
+  /// Seconds since the last reported progress (0 before any progress).
+  double stalled_s();
+
+  /// Arrival count at the last reported progress.
+  std::uint64_t arrivals() const { return arrivals_; }
+
+  static const char* action_name(Action a);
+
+ private:
+  WatchdogConfig cfg_;
+  Clock* clock_;
+  double last_progress_t_;
+  std::uint64_t arrivals_ = 0;
+  int fired_rank_ = 0;  ///< 0 none, 1 log, 2 snapshot, 3 abort
+};
+
+}  // namespace treesched::guard

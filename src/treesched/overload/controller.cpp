@@ -31,6 +31,13 @@ AdmissionController::AdmissionController(const ShedConfig& cfg, double eps)
   validate_shed_config(cfg_);
 }
 
+void AdmissionController::tighten(double factor) {
+  if (!(factor > 0.0 && factor <= 1.0))
+    throw std::invalid_argument("tighten factor must be in (0, 1]");
+  cfg_.queue_cap *= factor;
+  cfg_.deadline_slack *= factor;
+}
+
 double AdmissionController::root_backlog(const sim::Engine& engine) {
   double sum = 0.0;
   for (const NodeId rc : engine.tree().root_children())

@@ -47,7 +47,18 @@ class AdmissionController : public sim::AdmissionPolicy {
 
   bool admit(sim::Engine& engine, const Job& job) override;
   const char* name() const override { return shed_policy_name(cfg_.policy); }
+  /// Effective config — reflects any tighten() calls.
   const ShedConfig& config() const { return cfg_; }
+
+  /// Degradation-ladder hook (guard governor, stage tightened-shed): scales
+  /// the effective shedding knob by `factor` in (0, 1] so the policy drains
+  /// backlog harder — volume policies shed above queue_cap * factor,
+  /// deadline admits under slack * factor. Cumulative across calls; the
+  /// decision rule itself is untouched, so a tightened run is exactly the
+  /// run that would have used the smaller knob from the start of the next
+  /// arrival. Not serialized: a resumed incarnation starts back at the
+  /// configured knobs with its ladder at stage normal.
+  void tighten(double factor);
 
   /// Root-cut backlog: sum of pending_remaining over the root children.
   static double root_backlog(const sim::Engine& engine);

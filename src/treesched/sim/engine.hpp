@@ -395,6 +395,10 @@ class Engine {
   /// EngineConfig::arena_reserve when they rotate windows.
   std::size_t arena_size() const { return a_in_avail_.size(); }
 
+  /// Pending events in the calendar queue — a direct backlog/memory pressure
+  /// reading for the resource governor (guard/governor.hpp).
+  std::size_t event_queue_size() const { return events_.size(); }
+
   // --- snapshot / restore --------------------------------------------------
 
   /// Serializes the full live simulation state (clock, per-job stored

@@ -8,6 +8,7 @@
 #include <string>
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include "treesched/util/failpoint.hpp"
@@ -125,6 +126,92 @@ void write_file_atomic(const std::string& path, const std::string& content) {
   // the target file is already the new content (visible, just not yet
   // guaranteed on disk), so there is no temporary left to clean up.
   fsync_parent_dir(path);
+}
+
+void append_line_durable(const std::string& path, const std::string& line,
+                         const char* failpoint_site) {
+  if (line.find('\n') != std::string::npos)
+    throw std::runtime_error("append_line_durable: record for '" + path +
+                             "' contains a newline");
+  bool inject_fsync_fail = false;
+  std::string record = line + '\n';
+  if (failpoint_site != nullptr) {
+    if (const auto hit = failpoint_hit(failpoint_site)) {
+      switch (hit->kind) {
+        case FailKind::kEnospc:
+          errno = ENOSPC;
+          fail("append failed for", path);
+        case FailKind::kFsyncFail:
+          inject_fsync_fail = true;
+          break;
+        case FailKind::kTornWrite:
+          // Storage lied: a newline-less prefix reaches the file and the
+          // call SUCCEEDS — the torn tail the next append must heal.
+          record = apply_torn(record);
+          if (!record.empty() && record.back() == '\n') record.pop_back();
+          break;
+        case FailKind::kBitFlip:
+          record = apply_bit_flip(record);
+          break;
+        case FailKind::kShortRead:
+          break;  // a read fault has no meaning at a write seam
+      }
+    }
+  }
+
+  // O_RDWR, not O_WRONLY: the tail-heal below preads the last byte, which a
+  // write-only descriptor refuses.
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) fail("cannot open for append", path);
+
+  // Heal a torn tail from a previous crash: if the file does not end in a
+  // newline, a lone '\n' first turns the torn record into its own truncated
+  // line so the new record never concatenates onto it.
+  struct ::stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail("fstat failed for", path);
+  }
+  if (st.st_size > 0) {
+    char tail = '\n';
+    if (::pread(fd, &tail, 1, st.st_size - 1) == 1 && tail != '\n') {
+      if (::write(fd, "\n", 1) != 1) {
+        const int saved = errno;
+        ::close(fd);
+        errno = saved;
+        fail("append (tail heal) failed for", path);
+      }
+    }
+  }
+
+  // One write(2) for the whole record: concurrent O_APPEND appenders never
+  // interleave mid-record, and a crash tears at most this final line.
+  std::size_t off = 0;
+  while (off < record.size()) {
+    const ::ssize_t n = ::write(fd, record.data() + off, record.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      fail("append failed for", path);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (inject_fsync_fail) {
+    ::close(fd);
+    errno = EIO;
+    fail("fsync failed for", path);
+  }
+  if (::fsync(fd) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail("fsync failed for", path);
+  }
+  if (::close(fd) != 0) fail("close failed for", path);
 }
 
 }  // namespace treesched::util

@@ -22,4 +22,20 @@ namespace treesched::util {
 /// path.
 void write_file_atomic(const std::string& path, const std::string& content);
 
+/// Crash-safe append of one record to a line-oriented log (quarantine
+/// reports, guard logs). `line` must not contain '\n'. The record plus its
+/// terminating newline goes to the kernel in a SINGLE O_APPEND write(2), so
+/// concurrent appenders (supervisor + child) never interleave mid-record and
+/// a crash can tear at most the final line. Before appending, a torn tail
+/// from a previous crash (file not ending in '\n') is healed by writing a
+/// lone newline first — the torn record becomes its own truncated line and
+/// the new record always starts clean. The write is fsynced.
+///
+/// `failpoint_site` (nullable) names a failpoint seam evaluated per call:
+/// enospc / fsync-fail throw std::runtime_error loudly; torn-write appends
+/// only a newline-less prefix and SUCCEEDS silently (storage lied — exactly
+/// the tail the next append must heal); bit-flip corrupts one bit silently.
+void append_line_durable(const std::string& path, const std::string& line,
+                         const char* failpoint_site = nullptr);
+
 }  // namespace treesched::util

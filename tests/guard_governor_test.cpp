@@ -1,0 +1,99 @@
+// Governor unit tests: the staged degradation ladder as a pure function of
+// the pressure-sample sequence — exactly one stage per sustained breach,
+// cooldown samples between rungs, any armed ceiling can fire, and the
+// ladder never walks past abort.
+#include <gtest/gtest.h>
+
+#include "treesched/guard/config.hpp"
+#include "treesched/guard/governor.hpp"
+
+namespace treesched {
+namespace {
+
+using guard::Governor;
+using guard::Pressure;
+using guard::Stage;
+
+Pressure pressure(std::uint64_t rss, std::size_t queue, std::size_t arena) {
+  Pressure p;
+  p.rss_bytes = rss;
+  p.event_queue = queue;
+  p.arena = arena;
+  return p;
+}
+
+TEST(GuardGovernor, DisabledNeverEscalates) {
+  Governor gov(guard::GovernorConfig{});  // all ceilings 0 = unchecked
+  EXPECT_FALSE(gov.config().enabled());
+  for (int i = 0; i < 100; ++i)
+    EXPECT_FALSE(gov.observe(pressure(1u << 30, 1u << 20, 1u << 20)));
+  EXPECT_EQ(gov.stage(), Stage::kNormal);
+}
+
+TEST(GuardGovernor, BreachedChecksEachArmedCeiling) {
+  guard::GovernorConfig cfg;
+  cfg.rss_ceiling_bytes = 1000;
+  cfg.queue_ceiling = 50;
+  Governor gov(cfg);
+  EXPECT_FALSE(gov.breached(pressure(999, 49, 1u << 20)));  // arena unchecked
+  EXPECT_TRUE(gov.breached(pressure(1000, 0, 0)));  // at the ceiling counts
+  EXPECT_TRUE(gov.breached(pressure(0, 50, 0)));
+}
+
+TEST(GuardGovernor, OneStagePerBreachWithCooldown) {
+  guard::GovernorConfig cfg;
+  cfg.arena_ceiling = 100;
+  cfg.cooldown_samples = 3;
+  Governor gov(cfg);
+
+  const Pressure hot = pressure(0, 0, 100);
+  // The very first breaching sample fires (cooldown is primed empty).
+  ASSERT_TRUE(gov.observe(hot));
+  EXPECT_EQ(gov.stage(), Stage::kStreamingMetrics);
+  // The next cooldown_samples samples are swallowed even under pressure.
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(gov.observe(hot));
+  ASSERT_TRUE(gov.observe(hot));
+  EXPECT_EQ(gov.stage(), Stage::kShrunkWindow);
+}
+
+TEST(GuardGovernor, PressureRelievedStopsTheLadder) {
+  guard::GovernorConfig cfg;
+  cfg.arena_ceiling = 100;
+  cfg.cooldown_samples = 2;
+  Governor gov(cfg);
+  ASSERT_TRUE(gov.observe(pressure(0, 0, 150)));
+  EXPECT_FALSE(gov.observe(pressure(0, 0, 150)));  // cooldown
+  EXPECT_FALSE(gov.observe(pressure(0, 0, 150)));  // cooldown
+  // The mitigation bit: pressure is back under the ceiling, no more rungs.
+  for (int i = 0; i < 50; ++i) EXPECT_FALSE(gov.observe(pressure(0, 0, 99)));
+  EXPECT_EQ(gov.stage(), Stage::kStreamingMetrics);
+  // Pressure returns -> the ladder resumes where it stood.
+  ASSERT_TRUE(gov.observe(pressure(0, 0, 100)));
+  EXPECT_EQ(gov.stage(), Stage::kShrunkWindow);
+}
+
+TEST(GuardGovernor, WalksTheFullLadderInOrderAndStopsAtAbort) {
+  guard::GovernorConfig cfg;
+  cfg.rss_ceiling_bytes = 1;
+  cfg.cooldown_samples = 0;
+  Governor gov(cfg);
+  const Pressure hot = pressure(2, 0, 0);
+  EXPECT_EQ(gov.observe(hot), Stage::kStreamingMetrics);
+  EXPECT_EQ(gov.observe(hot), Stage::kShrunkWindow);
+  EXPECT_EQ(gov.observe(hot), Stage::kTightenedShed);
+  EXPECT_EQ(gov.observe(hot), Stage::kAbort);
+  // Past abort there is nothing left to do; observe() goes quiet.
+  EXPECT_FALSE(gov.observe(hot));
+  EXPECT_EQ(gov.stage(), Stage::kAbort);
+}
+
+TEST(GuardGovernor, StageNamesRoundTrip) {
+  for (const Stage s :
+       {Stage::kNormal, Stage::kStreamingMetrics, Stage::kShrunkWindow,
+        Stage::kTightenedShed, Stage::kAbort})
+    EXPECT_EQ(guard::parse_stage(guard::stage_name(s)), s);
+  EXPECT_THROW(guard::parse_stage("molten"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace treesched

@@ -1,0 +1,89 @@
+// Watchdog unit tests: the staged wall-clock escalation (log at 1x the
+// deadline, snapshot at 2x, abort at 3x) replayed jitterlessly on a
+// FakeClock — one step per poll, each step once per stall episode, and a
+// progress report rewinds the whole ladder.
+#include <gtest/gtest.h>
+
+#include "treesched/guard/clock.hpp"
+#include "treesched/guard/config.hpp"
+#include "treesched/guard/watchdog.hpp"
+
+namespace treesched {
+namespace {
+
+using guard::Watchdog;
+
+guard::WatchdogConfig deadline(double s) {
+  guard::WatchdogConfig cfg;
+  cfg.window_deadline_s = s;
+  return cfg;
+}
+
+TEST(GuardWatchdog, DisabledNeverFires) {
+  guard::FakeClock clock;
+  Watchdog wd(deadline(0.0), &clock);
+  clock.advance(1e6);
+  EXPECT_EQ(wd.poll(), Watchdog::Action::kNone);
+}
+
+TEST(GuardWatchdog, EscalatesAtExactDeadlineMultiples) {
+  guard::FakeClock clock;
+  Watchdog wd(deadline(2.0), &clock);
+  wd.progress(10);
+
+  clock.set(1.999);
+  EXPECT_EQ(wd.poll(), Watchdog::Action::kNone);
+  clock.set(2.0);  // 1x: log
+  EXPECT_EQ(wd.poll(), Watchdog::Action::kLog);
+  EXPECT_EQ(wd.poll(), Watchdog::Action::kNone);  // once per episode
+  clock.set(3.999);
+  EXPECT_EQ(wd.poll(), Watchdog::Action::kNone);
+  clock.set(4.0);  // 2x: snapshot
+  EXPECT_EQ(wd.poll(), Watchdog::Action::kSnapshot);
+  EXPECT_EQ(wd.poll(), Watchdog::Action::kNone);
+  clock.set(6.0);  // 3x: abort
+  EXPECT_EQ(wd.poll(), Watchdog::Action::kAbort);
+  EXPECT_EQ(wd.poll(), Watchdog::Action::kNone);  // no rank past abort
+  EXPECT_DOUBLE_EQ(wd.stalled_s(), 6.0);
+  EXPECT_EQ(wd.arrivals(), 10u);
+}
+
+TEST(GuardWatchdog, OneStepPerPollEvenAfterLongStall) {
+  // A poll after a huge stall still walks the ladder one rung at a time, so
+  // the guard log always shows the full log -> snapshot -> abort sequence.
+  guard::FakeClock clock;
+  Watchdog wd(deadline(1.0), &clock);
+  wd.progress(1);
+  clock.set(100.0);
+  EXPECT_EQ(wd.poll(), Watchdog::Action::kLog);
+  EXPECT_EQ(wd.poll(), Watchdog::Action::kSnapshot);
+  EXPECT_EQ(wd.poll(), Watchdog::Action::kAbort);
+  EXPECT_EQ(wd.poll(), Watchdog::Action::kNone);
+}
+
+TEST(GuardWatchdog, ProgressResetsTheEpisode) {
+  guard::FakeClock clock;
+  Watchdog wd(deadline(1.0), &clock);
+  wd.progress(5);
+  clock.set(2.5);
+  EXPECT_EQ(wd.poll(), Watchdog::Action::kLog);
+  EXPECT_EQ(wd.poll(), Watchdog::Action::kSnapshot);
+
+  wd.progress(6);  // the stall cleared: fresh deadline, fresh ladder
+  EXPECT_DOUBLE_EQ(wd.stalled_s(), 0.0);
+  EXPECT_EQ(wd.poll(), Watchdog::Action::kNone);
+  clock.set(3.5);
+  EXPECT_EQ(wd.poll(), Watchdog::Action::kLog);
+  EXPECT_EQ(wd.arrivals(), 6u);
+}
+
+TEST(GuardWatchdog, ActionNames) {
+  EXPECT_STREQ(Watchdog::action_name(Watchdog::Action::kNone), "none");
+  EXPECT_STREQ(Watchdog::action_name(Watchdog::Action::kLog), "log");
+  EXPECT_STREQ(Watchdog::action_name(Watchdog::Action::kSnapshot),
+               "snapshot");
+  EXPECT_STREQ(Watchdog::action_name(Watchdog::Action::kAbort), "abort");
+}
+
+}  // namespace
+}  // namespace treesched

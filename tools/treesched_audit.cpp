@@ -19,9 +19,21 @@
 // jobrec admission lines inside the segments, and the fingerprint chain in
 // the manifest proves the segment files are the ones the writer sealed.
 //
+// Guard sidecar logs (treesched-guardlog-v1, written by treesched_run
+// --guard-log / --supervise) are verified with:
+//
+//   treesched_audit --guard run.guard.log
+//
+// This re-checks the supervision invariants offline: the degradation
+// ladder escalated in order (one stage at a time, per child incarnation),
+// every escalation recorded pressure at or over an armed ceiling, watchdog
+// actions followed log -> snapshot -> abort with stalls over the armed
+// deadline multiples, and timestamps are monotone.
+//
 // Exit codes: 0 = clean, 1 = usage/input error, 2 = invariant violation.
 #include <iostream>
 
+#include "treesched/guard/guard_log.hpp"
 #include "treesched/sim/audit.hpp"
 #include "treesched/sim/run_log.hpp"
 #include "treesched/sim/runlog_segments.hpp"
@@ -44,10 +56,30 @@ int main(int argc, char** argv) {
   auto& strict = cli.add_flag(
       "strict-lemmas", "treat a lemma margin ratio > 1 as a violation");
   auto& tol = cli.add_double("tol", 1e-6, "numeric comparison tolerance");
+  auto& guard_log = cli.add_string(
+      "guard", "",
+      "guard sidecar log path: verify the supervision invariants (ladder "
+      "order, recorded pressure, watchdog escalation, monotone timestamps)");
   auto& quiet = cli.add_flag("quiet", "print only the verdict line");
   cli.parse(argc, argv);
 
   try {
+    if (!guard_log.empty()) {
+      if (!trace.empty() || !log_path.empty() || !segments.empty())
+        throw std::invalid_argument(
+            "--guard is self-contained; drop --trace/--log/--segments");
+      const guard::GuardAuditResult res = guard::audit_guard_log(guard_log);
+      std::cout << (res.ok ? "guard audit: OK" : "guard audit: FAILED")
+                << " (" << res.incarnations << " incarnation(s), "
+                << res.governor_escalations << " escalation(s), "
+                << res.watchdog_events << " watchdog event(s), "
+                << res.supervisor_events << " supervisor event(s), "
+                << "max stage " << guard::stage_name(res.max_stage) << ")\n";
+      if (!quiet)
+        for (const auto& v : res.violations)
+          std::cout << "  line " << v.line << ": " << v.message << '\n';
+      return res.ok ? 0 : 2;
+    }
     if (!segments.empty()) {
       if (!trace.empty() || !log_path.empty())
         throw std::invalid_argument(

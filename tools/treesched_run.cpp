@@ -26,24 +26,48 @@
 // --failpoints (or $TREESCHED_FAILPOINTS) arms deterministic I/O fault
 // injection for the chaos tests — see util/failpoint.hpp for the spec.
 //
+// Supervision (--supervise): fork/execs the streaming run as a child,
+// restarts it from the newest verified snapshot generation on crash
+// (capped exponential backoff), trips a crash-loop breaker after
+// --restart-max crashes inside --restart-window-s, and refreshes
+// --health-file atomically. In-process guards for the child:
+// --watchdog-window-s arms the progress watchdog (log at 1x, force
+// snapshot at 2x, abort 70 at 3x the deadline) and
+// --rss-ceiling-mb/--queue-ceiling/--arena-ceiling arm the resource
+// governor's staged degradation ladder (streaming metrics -> shrink window
+// -> tighten shed -> abort 71), every transition recorded in --guard-log
+// for treesched_audit --guard. SIGINT/SIGTERM during --stream flush the
+// open segment, write a final snapshot generation, and exit 130 —
+// resumable.
+//
 // Exit codes: 0 = clean, 64 = usage/config error (bad flag, unknown
 // policy/speed/node-policy name, malformed fault plan), 2 = the schedule
 // failed replay validation, 1 = runtime error (unreadable trace, I/O),
-// 130 = stopped by --die-at-snapshot. Resume-ladder outcomes: 65 = every
-// snapshot generation corrupt/unrecoverable (quarantine report written),
-// 66 = no snapshot manifest at the resume path, 67 = snapshot is clean but
-// from a different run spec.
+// 130 = stopped by --die-at-snapshot or a graceful SIGINT/SIGTERM.
+// Resume-ladder outcomes: 65 = every snapshot generation
+// corrupt/unrecoverable (quarantine report written), 66 = no snapshot
+// manifest at the resume path, 67 = snapshot is clean but from a different
+// run spec. Supervision outcomes: 69 = crash-loop breaker gave up, 70 =
+// watchdog abort (wedged window, snapshot intact), 71 = governor abort
+// (ladder exhausted, snapshot intact).
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <iomanip>
 #include <iostream>
 #include <memory>
 #include <optional>
+#include <set>
 #include <sstream>
+
+#include <unistd.h>
 
 #include "spec_parse.hpp"
 #include "treesched/algo/anycast.hpp"
 #include "treesched/exec/snapshot_store.hpp"
 #include "treesched/exec/stream_runner.hpp"
+#include "treesched/guard/config.hpp"
+#include "treesched/guard/supervisor.hpp"
 #include "treesched/treesched.hpp"
 #include "treesched/util/failpoint.hpp"
 #include "treesched/util/fs.hpp"
@@ -69,6 +93,60 @@ constexpr int kExitSnapshotCorrupt = 65;
 constexpr int kExitSnapshotMissing = 66;
 /// Snapshot verified clean but was taken under a different run spec.
 constexpr int kExitSpecMismatch = 67;
+/// Watchdog abort: the stream window made no progress for 3x the deadline.
+/// The snapshot generation forced at 2x is intact.
+constexpr int kExitWatchdogAbort = 70;
+/// Governor abort: resource ceilings still breached after the full
+/// degradation ladder. A snapshot generation is intact.
+constexpr int kExitGovernorAbort = 71;
+
+/// Graceful-stop flag for --stream: SIGINT/SIGTERM set it, the runner polls
+/// it at arrival boundaries and shuts down resumably.
+std::atomic<bool> g_cancel{false};
+void on_cancel_signal(int /*sig*/) { g_cancel.store(true); }
+
+/// Rebuilds this process's argv for the supervised child: drops the
+/// supervisor-only options (the child must not supervise recursively, and
+/// the supervisor decides resume itself) in both `--flag value` and
+/// `--flag=value` spellings, then appends the child-side guard plumbing.
+std::vector<std::string> build_child_argv(
+    int argc, char** argv, const std::string& status_file,
+    const std::string& guard_log) {
+  static const std::set<std::string> kDropValued = {
+      "--health-file",    "--heartbeat-deadline-s", "--restart-max",
+      "--restart-window-s", "--backoff-base-s",     "--backoff-cap-s",
+      "--resume-snapshot", "--guard-status",        "--guard-log"};
+  static const std::set<std::string> kDropFlags = {"--supervise"};
+
+  std::vector<std::string> out;
+  char exe[4096];
+  const ::ssize_t n = ::readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+  if (n > 0) {
+    exe[n] = '\0';
+    out.emplace_back(exe);
+  } else {
+    out.emplace_back(argv[0]);
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string head = arg.substr(0, arg.find('='));
+    if (kDropFlags.count(head) != 0) continue;
+    if (kDropValued.count(head) != 0) {
+      if (arg.find('=') == std::string::npos && i + 1 < argc) ++i;
+      continue;
+    }
+    out.push_back(arg);
+  }
+  if (!status_file.empty()) {
+    out.push_back("--guard-status");
+    out.push_back(status_file);
+  }
+  if (!guard_log.empty()) {
+    out.push_back("--guard-log");
+    out.push_back(guard_log);
+  }
+  return out;
+}
 
 SpeedProfile parse_speeds(const std::string& spec, const Tree& tree) {
   const auto parts = util::split(spec, ':');
@@ -212,14 +290,99 @@ int main(int argc, char** argv) {
       "failpoints", "",
       "arm deterministic I/O fault injection: site:kind:nth,... "
       "(chaos testing; also read from $TREESCHED_FAILPOINTS)");
+  auto& supervise = cli.add_flag(
+      "supervise", "streaming: run as a supervised child with auto-restart "
+                   "from the newest verified snapshot generation");
+  auto& health_file = cli.add_string(
+      "health-file", "",
+      "supervise: status JSON (pid, state, restarts, window, rho_hat, "
+      "stage), refreshed atomically");
+  auto& heartbeat_deadline = cli.add_double(
+      "heartbeat-deadline-s", 0.0,
+      "supervise: SIGKILL + restart a child whose status-file arrivals "
+      "freeze this long (0=off)");
+  auto& restart_max = cli.add_int(
+      "restart-max", 5,
+      "supervise: crash-loop breaker — give up (exit 69) after this many "
+      "crashes inside --restart-window-s");
+  auto& restart_window = cli.add_double(
+      "restart-window-s", 60.0, "supervise: crash-loop breaker window");
+  auto& backoff_base = cli.add_double(
+      "backoff-base-s", 0.5, "supervise: first restart backoff (doubles per "
+                             "consecutive crash)");
+  auto& backoff_cap = cli.add_double("backoff-cap-s", 30.0,
+                                     "supervise: restart backoff ceiling");
+  auto& watchdog_window = cli.add_double(
+      "watchdog-window-s", 0.0,
+      "streaming: wall-clock progress deadline per stream window — log at "
+      "1x, force snapshot at 2x, abort 70 at 3x (0=off)");
+  auto& rss_ceiling_mb = cli.add_int(
+      "rss-ceiling-mb", 0,
+      "streaming: governor RSS ceiling in MB (0=unchecked)");
+  auto& queue_ceiling = cli.add_int(
+      "queue-ceiling", 0,
+      "streaming: governor ceiling on engine event-queue entries (0=off)");
+  auto& arena_ceiling = cli.add_int(
+      "arena-ceiling", 0,
+      "streaming: governor ceiling on engine job-arena slots (0=off)");
+  auto& guard_log = cli.add_string(
+      "guard-log", "",
+      "streaming: guard sidecar log (watchdog/governor/supervisor events; "
+      "audited by treesched_audit --guard)");
+  auto& guard_status = cli.add_string(
+      "guard-status", "",
+      "streaming: child status JSON for the supervisor's wedge watch "
+      "(defaults to <health-file>.child under --supervise)");
+  auto& guard_stall_at = cli.add_int(
+      "guard-stall-at", 0,
+      "TEST ONLY: freeze at this global arrival for --guard-stall-s "
+      "seconds (wedged-window stand-in)");
+  auto& guard_stall_s = cli.add_double(
+      "guard-stall-s", 0.0, "TEST ONLY: stall duration in wall seconds");
 
   try {
     cli.parse(argc, argv);
-    util::arm_failpoints_from_env();
-    if (!failpoints.empty()) util::arm_failpoints(failpoints);
+    // The supervisor must NOT arm failpoints in its own process: health and
+    // guard-log writes go through the same fs seams the chaos battery
+    // targets, and the spec is meant for the CHILD — it reaches it via the
+    // pass-through argv / inherited environment.
+    if (!supervise) {
+      util::arm_failpoints_from_env();
+      if (!failpoints.empty()) util::arm_failpoints(failpoints);
+    }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\nrun with --help for usage\n";
     return kExitUsage;
+  }
+
+  if (supervise) {
+    try {
+      if (!stream_mode)
+        throw std::invalid_argument("--supervise requires --stream");
+      if (restart_max <= 0)
+        throw std::invalid_argument("--restart-max must be positive");
+      guard::SupervisorConfig sup;
+      sup.snapshot_base = snapshot_path;
+      sup.health_file = health_file;
+      sup.child_status_file = guard_status;
+      if (sup.child_status_file.empty() && !health_file.empty())
+        sup.child_status_file = health_file + ".child";
+      sup.guard_log = guard_log;
+      sup.heartbeat_deadline_s = heartbeat_deadline;
+      sup.restart.breaker_max = static_cast<std::size_t>(restart_max);
+      sup.restart.breaker_window_s = restart_window;
+      sup.restart.backoff_base_s = backoff_base;
+      sup.restart.backoff_cap_s = backoff_cap;
+      sup.child_argv =
+          build_child_argv(argc, argv, sup.child_status_file, guard_log);
+      return guard::run_supervisor(sup);
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "error: " << e.what() << "\nrun with --help for usage\n";
+      return kExitUsage;
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << '\n';
+      return kExitRuntime;
+    }
   }
 
   try {
@@ -282,9 +445,39 @@ int main(int argc, char** argv) {
       scfg.resume_snapshot = resume_snapshot;
       scfg.die_after_snapshot = static_cast<std::uint64_t>(die_at_snapshot);
       scfg.progress_every = progress_every;
+      scfg.guard.watchdog.window_deadline_s = watchdog_window;
+      scfg.guard.governor.rss_ceiling_bytes =
+          static_cast<std::uint64_t>(rss_ceiling_mb) * 1024 * 1024;
+      scfg.guard.governor.queue_ceiling =
+          static_cast<std::size_t>(queue_ceiling);
+      scfg.guard.governor.arena_ceiling =
+          static_cast<std::size_t>(arena_ceiling);
+      scfg.guard.guard_log = guard_log;
+      scfg.status_file = guard_status;
+      scfg.guard_stall_at = static_cast<std::uint64_t>(guard_stall_at);
+      scfg.guard_stall_s = guard_stall_s;
+      scfg.cancel = &g_cancel;
+
+      // Graceful SIGINT/SIGTERM: flush the open segment, write a final
+      // snapshot generation, exit 130 — resumable.
+      struct ::sigaction sa{};
+      sa.sa_handler = &on_cancel_signal;
+      ::sigemptyset(&sa.sa_mask);
+      ::sigaction(SIGINT, &sa, nullptr);
+      ::sigaction(SIGTERM, &sa, nullptr);
 
       const exec::StreamRunnerResult res =
           exec::run_stream(tree, speeds, scfg);
+      if (res.cancelled) {
+        std::cerr << "[stream] interrupted at arrival " << res.arrivals
+                  << "; segments flushed"
+                  << (snapshot_path.empty()
+                          ? std::string()
+                          : ", resume with --resume-snapshot " +
+                                snapshot_path)
+                  << '\n';
+        return kExitInterrupted;
+      }
       if (res.interrupted) {
         std::cerr << "[stream] stopping after snapshot " << res.snapshots_written
                   << " (--die-at-snapshot); resume with --resume-snapshot "
@@ -526,6 +719,12 @@ int main(int argc, char** argv) {
   } catch (const exec::SnapshotSpecMismatchError& e) {
     std::cerr << "error: " << e.what() << '\n';
     return kExitSpecMismatch;
+  } catch (const guard::WatchdogAbortError& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return kExitWatchdogAbort;
+  } catch (const guard::GovernorAbortError& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return kExitGovernorAbort;
   } catch (const std::invalid_argument& e) {
     std::cerr << "error: " << e.what() << "\nrun with --help for usage\n";
     return kExitUsage;
